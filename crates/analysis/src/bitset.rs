@@ -1,0 +1,165 @@
+//! A compact fixed-capacity bit set over entity ids.
+
+use tossa_ir::ids::EntityId;
+use std::marker::PhantomData;
+
+/// A dense bit set indexed by a typed entity id.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitSet<K: EntityId> {
+    words: Vec<u64>,
+    _marker: PhantomData<K>,
+}
+
+impl<K: EntityId> BitSet<K> {
+    /// Creates an empty set with capacity for `len` entities.
+    pub fn new(len: usize) -> Self {
+        BitSet { words: vec![0; len.div_ceil(64)], _marker: PhantomData }
+    }
+
+    /// Inserts `k`; returns true if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `k` exceeds the capacity.
+    pub fn insert(&mut self, k: K) -> bool {
+        let (w, b) = (k.index() / 64, k.index() % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        old & (1 << b) == 0
+    }
+
+    /// Removes `k`; returns true if it was present.
+    pub fn remove(&mut self, k: K) -> bool {
+        let (w, b) = (k.index() / 64, k.index() % 64);
+        let old = self.words[w];
+        self.words[w] &= !(1 << b);
+        old & (1 << b) != 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, k: K) -> bool {
+        let (w, b) = (k.index() / 64, k.index() % 64);
+        self.words.get(w).is_some_and(|&word| word & (1 << b) != 0)
+    }
+
+    /// In-place union; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet<K>) -> bool {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// In-place difference (`self -= other`).
+    pub fn subtract(&mut self, other: &BitSet<K>) {
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Whether the intersection with `other` is non-empty.
+    pub fn intersects(&self, other: &BitSet<K>) -> bool {
+        self.words.iter().zip(&other.words).any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates over members in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = K> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(K::from_index(wi * 64 + b))
+            })
+        })
+    }
+}
+
+impl<K: EntityId> std::fmt::Debug for BitSet<K>
+where
+    K: std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tossa_ir::ids::Var;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s: BitSet<Var> = BitSet::new(200);
+        assert!(s.insert(Var::new(3)));
+        assert!(!s.insert(Var::new(3)));
+        assert!(s.insert(Var::new(150)));
+        assert!(s.contains(Var::new(3)));
+        assert!(!s.contains(Var::new(4)));
+        assert!(s.remove(Var::new(3)));
+        assert!(!s.remove(Var::new(3)));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn union_and_subtract() {
+        let mut a: BitSet<Var> = BitSet::new(100);
+        let mut b: BitSet<Var> = BitSet::new(100);
+        a.insert(Var::new(1));
+        b.insert(Var::new(2));
+        b.insert(Var::new(1));
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.count(), 2);
+        a.subtract(&b);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut s: BitSet<Var> = BitSet::new(300);
+        for i in [250, 3, 64, 65] {
+            s.insert(Var::new(i));
+        }
+        let got: Vec<usize> = s.iter().map(|v| v.index()).collect();
+        assert_eq!(got, vec![3, 64, 65, 250]);
+    }
+
+    #[test]
+    fn intersects() {
+        let mut a: BitSet<Var> = BitSet::new(100);
+        let mut b: BitSet<Var> = BitSet::new(100);
+        a.insert(Var::new(70));
+        assert!(!a.intersects(&b));
+        b.insert(Var::new(70));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let s: BitSet<Var> = BitSet::new(10);
+        assert!(!s.contains(Var::new(1000)));
+    }
+}

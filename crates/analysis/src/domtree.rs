@@ -1,0 +1,297 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy algorithm.
+//!
+//! SSA construction places φs on iterated dominance frontiers, and the
+//! paper's Class 1 interference test asks whether one definition
+//! dominates another (§3.2). Both are answered here.
+
+use crate::bitset::BitSet;
+use tossa_ir::cfg::{reverse_postorder, Cfg};
+use tossa_ir::ids::{Block, EntityVec};
+use tossa_ir::Function;
+
+/// The dominator tree of a function's reachable blocks.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator of each block (entry maps to itself;
+    /// unreachable blocks map to `None`).
+    idom: EntityVec<Block, Option<Block>>,
+    /// Depth in the dominator tree (entry = 0).
+    depth: EntityVec<Block, u32>,
+    /// Reverse postorder of reachable blocks.
+    rpo: Vec<Block>,
+    /// Position of each block in `rpo` (`usize::MAX` if unreachable).
+    rpo_pos: EntityVec<Block, usize>,
+    entry: Block,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `f`.
+    pub fn compute(f: &Function, cfg: &Cfg) -> DomTree {
+        let n = f.num_blocks();
+        let rpo = reverse_postorder(f);
+        let mut rpo_pos: EntityVec<Block, usize> = EntityVec::filled(n, usize::MAX);
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_pos[b] = i;
+        }
+        let mut idom: EntityVec<Block, Option<Block>> = EntityVec::filled(n, None);
+        idom[f.entry] = Some(f.entry);
+
+        let intersect = |idom: &EntityVec<Block, Option<Block>>, mut a: Block, mut b: Block| {
+            while a != b {
+                while rpo_pos[a] > rpo_pos[b] {
+                    a = idom[a].expect("processed block has idom");
+                }
+                while rpo_pos[b] > rpo_pos[a] {
+                    b = idom[b].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<Block> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom != idom[b] {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        let mut depth: EntityVec<Block, u32> = EntityVec::filled(n, 0);
+        for &b in &rpo {
+            if b != f.entry {
+                let d = idom[b].expect("reachable block has idom");
+                depth[b] = depth[d] + 1;
+            }
+        }
+        DomTree { idom, depth, rpo, rpo_pos, entry: f.entry }
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: Block) -> Option<Block> {
+        match self.idom[b] {
+            Some(d) if b != self.entry => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: Block, mut b: Block) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        while self.depth[b] > self.depth[a] {
+            b = self.idom[b].expect("has idom");
+        }
+        a == b
+    }
+
+    /// Whether `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: Block, b: Block) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: Block) -> bool {
+        self.idom[b].is_some()
+    }
+
+    /// Reverse postorder of the reachable blocks.
+    pub fn rpo(&self) -> &[Block] {
+        &self.rpo
+    }
+
+    /// Position of `b` in reverse postorder (`usize::MAX` if unreachable).
+    pub fn rpo_pos(&self, b: Block) -> usize {
+        self.rpo_pos[b]
+    }
+
+    /// Children of `b` in the dominator tree.
+    pub fn children(&self, b: Block) -> Vec<Block> {
+        self.idom
+            .iter()
+            .filter_map(|(c, &d)| (d == Some(b) && c != self.entry).then_some(c))
+            .collect()
+    }
+
+    /// Dominator-tree preorder of reachable blocks.
+    pub fn preorder(&self) -> Vec<Block> {
+        let mut out = Vec::with_capacity(self.rpo.len());
+        let mut stack = vec![self.entry];
+        while let Some(b) = stack.pop() {
+            out.push(b);
+            let mut kids = self.children(b);
+            kids.sort_by_key(|&c| std::cmp::Reverse(self.rpo_pos[c]));
+            stack.extend(kids);
+        }
+        out
+    }
+}
+
+/// Reference implementation: dominators by iterative set intersection in
+/// O(n²) — used by tests to validate [`DomTree`].
+pub fn naive_dominators(f: &Function, cfg: &Cfg) -> EntityVec<Block, BitSet<Block>> {
+    let n = f.num_blocks();
+    let rpo = reverse_postorder(f);
+    let mut dom: EntityVec<Block, BitSet<Block>> = EntityVec::filled(n, BitSet::new(n));
+    let mut all = BitSet::new(n);
+    for &b in &rpo {
+        all.insert(b);
+    }
+    for b in f.blocks() {
+        if b == f.entry {
+            dom[b].insert(b);
+        } else {
+            dom[b] = all.clone();
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &rpo {
+            if b == f.entry {
+                continue;
+            }
+            let mut new = all.clone();
+            let mut any_pred = false;
+            for &p in cfg.preds(b) {
+                if rpo.contains(&p) {
+                    any_pred = true;
+                    let mut tmp = new.clone();
+                    // intersection = new & dom[p]
+                    tmp.subtract(&dom[p]);
+                    new.subtract(&tmp);
+                }
+            }
+            if !any_pred {
+                new.clear();
+            }
+            new.insert(b);
+            if new != dom[b] {
+                dom[b] = new;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    fn parse(text: &str) -> Function {
+        parse_function(text, &Machine::dsp32()).unwrap()
+    }
+
+    fn irreducible() -> Function {
+        // entry -> a, b; a -> b; b -> a (irreducible-ish with exit via a).
+        parse(
+            "func @irr {
+entry:
+  %c = input
+  br %c, a, b
+a:
+  br %c, b, exit
+b:
+  jump a
+exit:
+  ret %c
+}",
+        )
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let f = irreducible();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        for b in f.blocks() {
+            assert!(dt.dominates(f.entry, b), "{b}");
+        }
+        assert_eq!(dt.idom(f.entry), None);
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let f = parse(
+            "func @d {
+entry:
+  %c = input
+  br %c, l, r
+l:
+  jump exit
+r:
+  jump exit
+exit:
+  ret %c
+}",
+        );
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let bb = |i| Block::new(i);
+        assert_eq!(dt.idom(bb(1)), Some(f.entry));
+        assert_eq!(dt.idom(bb(2)), Some(f.entry));
+        assert_eq!(dt.idom(bb(3)), Some(f.entry)); // join dominated by entry only
+        assert!(!dt.dominates(bb(1), bb(3)));
+        assert!(dt.strictly_dominates(f.entry, bb(3)));
+        assert!(!dt.strictly_dominates(bb(3), bb(3)));
+    }
+
+    #[test]
+    fn matches_naive_on_irreducible() {
+        let f = irreducible();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let naive = naive_dominators(&f, &cfg);
+        for a in f.blocks() {
+            for b in f.blocks() {
+                assert_eq!(
+                    dt.dominates(a, b),
+                    naive[b].contains(a),
+                    "dominates({a}, {b}) mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_blocks_are_not_dominated() {
+        let f = parse("func @u {\nentry:\n  ret\ndead:\n  ret\n}");
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let dead = Block::new(1);
+        assert!(!dt.is_reachable(dead));
+        assert!(!dt.dominates(f.entry, dead));
+        assert!(!dt.dominates(dead, f.entry));
+    }
+
+    #[test]
+    fn preorder_parents_before_children() {
+        let f = irreducible();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let pre = dt.preorder();
+        let pos = |b: Block| pre.iter().position(|&x| x == b).unwrap();
+        for &b in dt.rpo() {
+            if let Some(d) = dt.idom(b) {
+                assert!(pos(d) < pos(b));
+            }
+        }
+    }
+}

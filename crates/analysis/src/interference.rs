@@ -1,0 +1,225 @@
+//! Classic interference graph over (possibly non-SSA) code, with the
+//! move-exception of Chaitin's coalescing and an O(1)-amortized vertex
+//! merge, as used by the aggressive "repeated coalescing" baseline
+//! (paper §5, `Coalescing`).
+
+use crate::liveness::Liveness;
+use tossa_ir::cfg::Cfg;
+use tossa_ir::ids::{Inst, Var};
+use tossa_ir::{Function, Opcode};
+use std::collections::HashSet;
+
+/// An undirected interference graph over variables.
+#[derive(Clone, Debug)]
+pub struct InterferenceGraph {
+    adj: Vec<HashSet<Var>>,
+}
+
+impl InterferenceGraph {
+    /// Builds the graph: at every definition point, the defined variables
+    /// interfere with everything live after the instruction — except that
+    /// the destination of a `mov` does not interfere with its source *on
+    /// account of that copy alone*.
+    pub fn build(f: &Function, _cfg: &Cfg, live: &Liveness) -> InterferenceGraph {
+        let mut g = InterferenceGraph { adj: vec![HashSet::new(); f.num_vars()] };
+        for b in f.blocks() {
+            let insts: Vec<Inst> = f.block_insts(b).collect();
+            let mut cursor = live.live_exit(f, b);
+            for &i in insts.iter().rev() {
+                let inst = f.inst(i);
+                if inst.is_phi() {
+                    continue;
+                }
+                let move_src = if inst.opcode == Opcode::Mov {
+                    Some(inst.uses[0].var)
+                } else {
+                    None
+                };
+                for d in &inst.defs {
+                    for l in cursor.iter() {
+                        if l != d.var && Some(l) != move_src {
+                            g.add_edge(d.var, l);
+                        }
+                    }
+                }
+                // Simultaneously-defined variables interfere.
+                for (k, d1) in inst.defs.iter().enumerate() {
+                    for d2 in &inst.defs[k + 1..] {
+                        g.add_edge(d1.var, d2.var);
+                    }
+                }
+                for d in &inst.defs {
+                    cursor.remove(d.var);
+                }
+                for u in &inst.uses {
+                    cursor.insert(u.var);
+                }
+            }
+        }
+        g
+    }
+
+    /// Creates an empty graph over `n` variables.
+    pub fn empty(n: usize) -> InterferenceGraph {
+        InterferenceGraph { adj: vec![HashSet::new(); n] }
+    }
+
+    /// Adds an interference edge.
+    pub fn add_edge(&mut self, a: Var, b: Var) {
+        if a == b {
+            return;
+        }
+        self.adj[a.index()].insert(b);
+        self.adj[b.index()].insert(a);
+    }
+
+    /// Whether `a` and `b` interfere.
+    pub fn interferes(&self, a: Var, b: Var) -> bool {
+        self.adj[a.index()].contains(&b)
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: Var) -> impl Iterator<Item = Var> + '_ {
+        self.adj[v.index()].iter().copied()
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: Var) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Merges vertex `b` into vertex `a` (after coalescing the move
+    /// `a = b` or `b = a`): `a` inherits `b`'s neighbors and `b` becomes
+    /// isolated. This is the cheap SSA-style "simple edge union" merge the
+    /// paper contrasts with re-running liveness (§3.5).
+    pub fn merge(&mut self, a: Var, b: Var) {
+        debug_assert!(!self.interferes(a, b), "merging interfering vars");
+        let bn: Vec<Var> = self.adj[b.index()].drain().collect();
+        for n in bn {
+            self.adj[n.index()].remove(&b);
+            if n != a {
+                self.add_edge(a, n);
+            }
+        }
+    }
+
+    /// Total number of edges (for diagnostics).
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(|s| s.len()).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    fn setup(text: &str) -> (Function, InterferenceGraph) {
+        let f = parse_function(text, &Machine::dsp32()).unwrap();
+        f.validate().unwrap();
+        let cfg = Cfg::compute(&f);
+        let live = Liveness::compute(&f, &cfg);
+        let g = InterferenceGraph::build(&f, &cfg, &live);
+        (f, g)
+    }
+
+    fn var(f: &Function, name: &str) -> Var {
+        f.vars().find(|&v| f.var(v).name == name).unwrap()
+    }
+
+    #[test]
+    fn overlapping_ranges_interfere() {
+        let (f, g) = setup(
+            "func @i {
+entry:
+  %a = make 1
+  %b = make 2
+  %c = add %a, %b
+  ret %c
+}",
+        );
+        assert!(g.interferes(var(&f, "a"), var(&f, "b")));
+        assert!(!g.interferes(var(&f, "a"), var(&f, "c")));
+    }
+
+    #[test]
+    fn move_does_not_create_interference() {
+        let (f, g) = setup(
+            "func @m {
+entry:
+  %a = make 1
+  %b = mov %a
+  ret %b
+}",
+        );
+        assert!(!g.interferes(var(&f, "a"), var(&f, "b")));
+    }
+
+    #[test]
+    fn copy_related_overlap_still_coalescable() {
+        let (f, g) = setup(
+            "func @m {
+entry:
+  %a = make 1
+  %b = mov %a
+  %c = add %a, %b
+  ret %c
+}",
+        );
+        // a and b overlap, but only through the copy: they hold the same
+        // value, so Chaitin's construction leaves them coalescable.
+        assert!(!g.interferes(var(&f, "a"), var(&f, "b")));
+    }
+
+    #[test]
+    fn redefined_source_interferes_with_copy_dest() {
+        let (f, g) = setup(
+            "func @m {
+entry:
+  %b = make 5
+  %a = make 1
+  %b = mov %a
+  %a = make 2
+  %c = add %a, %b
+  ret %c
+}",
+        );
+        // a is redefined while b is live: a genuinely interferes with b.
+        assert!(g.interferes(var(&f, "a"), var(&f, "b")));
+    }
+
+    #[test]
+    fn simultaneous_defs_interfere() {
+        let (f, g) = setup(
+            "func @s {
+entry:
+  %a, %b = input
+  ret %a
+}",
+        );
+        assert!(g.interferes(var(&f, "a"), var(&f, "b")));
+    }
+
+    #[test]
+    fn merge_unions_neighbors() {
+        let (f, mut g) = setup(
+            "func @m {
+entry:
+  %a = make 1
+  %b = mov %a
+  %x = make 9
+  %c = add %b, %x
+  ret %c
+}",
+        );
+        let (a, b, x) = (var(&f, "a"), var(&f, "b"), var(&f, "x"));
+        // b interferes with x (x defined while b live)? x defined after b,
+        // b live across x's def.
+        assert!(g.interferes(b, x) || g.interferes(x, b));
+        assert!(!g.interferes(a, b));
+        g.merge(a, b);
+        assert!(g.interferes(a, x));
+        assert_eq!(g.degree(b), 0);
+    }
+}

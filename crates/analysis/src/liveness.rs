@@ -1,0 +1,392 @@
+//! Liveness analysis with the paper's φ conventions (§3.2, Class 2):
+//!
+//! * a φ instruction "does not occur where it textually appears, but at
+//!   the end of each predecessor basic block instead";
+//! * a φ *use* flowing from block `C` is live up to the end of `C` but is
+//!   **dead at the exit of `C`** (it does not appear in `live_out(C)`);
+//! * a φ *definition* is live-in to its block (it was written at the end
+//!   of every predecessor).
+//!
+//! The same dataflow works for non-SSA code (no φs, multiple defs per
+//! variable), which the Chaitin-style coalescing baseline relies on.
+
+use crate::bitset::BitSet;
+use tossa_ir::cfg::Cfg;
+use tossa_ir::ids::{Block, EntityVec, Inst, Var};
+use tossa_ir::Function;
+
+/// Per-block live-in/live-out sets.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: EntityVec<Block, BitSet<Var>>,
+    live_out: EntityVec<Block, BitSet<Var>>,
+}
+
+impl Liveness {
+    /// Computes liveness by the usual backward fixpoint.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Liveness {
+        let nb = f.num_blocks();
+        let nv = f.num_vars();
+        let mut live_in: EntityVec<Block, BitSet<Var>> = EntityVec::filled(nb, BitSet::new(nv));
+        let mut live_out: EntityVec<Block, BitSet<Var>> = EntityVec::filled(nb, BitSet::new(nv));
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Backward iteration converges faster on postorder, but any
+            // order is correct; block creation order keeps this simple.
+            for b in f.blocks().rev_vec() {
+                // live_out(b) = U_s (live_in(s) \ phi_defs(s))
+                let mut out = BitSet::new(nv);
+                for &s in cfg.succs(b) {
+                    let mut contrib = live_in[s].clone();
+                    for phi in f.phis(s) {
+                        contrib.remove(f.inst(phi).defs[0].var);
+                    }
+                    out.union_with(&contrib);
+                }
+                // In-block transfer starts from the values read by the
+                // successors' φs at our end, plus live_out.
+                let mut cursor = out.clone();
+                for (_, arg) in phi_uses_at_end(f, b) {
+                    cursor.insert(arg);
+                }
+                transfer_block(f, b, &mut cursor);
+                if out != live_out[b] {
+                    live_out[b] = out;
+                    changed = true;
+                }
+                if cursor != live_in[b] {
+                    live_in[b] = cursor;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Values live at the entry of `b` (φ definitions of `b` included when
+    /// they are used at or after `b`).
+    pub fn live_in(&self, b: Block) -> &BitSet<Var> {
+        &self.live_in[b]
+    }
+
+    /// Values live at the exit of `b`. φ uses flowing out of `b` are *not*
+    /// included (paper convention); see [`Liveness::live_exit`].
+    pub fn live_out(&self, b: Block) -> &BitSet<Var> {
+        &self.live_out[b]
+    }
+
+    /// Values live at the end of `b` *including* the arguments read by the
+    /// successors' φs (the starting point for in-block backward scans).
+    pub fn live_exit(&self, f: &Function, b: Block) -> BitSet<Var> {
+        let mut s = self.live_out[b].clone();
+        for (_, arg) in phi_uses_at_end(f, b) {
+            s.insert(arg);
+        }
+        s
+    }
+}
+
+/// Applies the backward in-block transfer to `cursor` (which enters as
+/// the live-at-end set and leaves as live-at-entry). φs of `b` itself are
+/// skipped: their defs happen at the end of predecessors and their uses
+/// at the end of predecessors too.
+fn transfer_block(f: &Function, b: Block, cursor: &mut BitSet<Var>) {
+    let insts: Vec<Inst> = f.block_insts(b).collect();
+    for &i in insts.iter().rev() {
+        let inst = f.inst(i);
+        if inst.is_phi() {
+            continue;
+        }
+        for d in &inst.defs {
+            cursor.remove(d.var);
+        }
+        for u in &inst.uses {
+            cursor.insert(u.var);
+        }
+    }
+}
+
+/// The φ uses that semantically occur at the end of `b`: pairs of
+/// `(phi inst, argument var)` for every φ of every successor of `b` whose
+/// argument flows in from `b`.
+pub fn phi_uses_at_end(f: &Function, b: Block) -> Vec<(Inst, Var)> {
+    let mut out = Vec::new();
+    for &s in f.succs(b) {
+        for phi in f.phis(s) {
+            if let Some(op) = f.inst(phi).phi_arg_for(b) {
+                out.push((phi, op.var));
+            }
+        }
+    }
+    out
+}
+
+/// The unique definition site of each variable, for SSA-form functions.
+#[derive(Clone, Debug)]
+pub struct DefMap {
+    sites: EntityVec<Var, Option<DefSite>>,
+}
+
+/// Where a variable is defined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DefSite {
+    /// Defining block.
+    pub block: Block,
+    /// Defining instruction.
+    pub inst: Inst,
+    /// Position of the instruction within the block.
+    pub pos: usize,
+    /// Whether the definition is a φ.
+    pub is_phi: bool,
+}
+
+impl DefMap {
+    /// Records the first definition of every variable. For SSA functions
+    /// this is *the* definition.
+    pub fn compute(f: &Function) -> DefMap {
+        let mut sites: EntityVec<Var, Option<DefSite>> = EntityVec::filled(f.num_vars(), None);
+        for b in f.blocks() {
+            for (pos, i) in f.block_insts(b).enumerate() {
+                let inst = f.inst(i);
+                for d in &inst.defs {
+                    if sites[d.var].is_none() {
+                        sites[d.var] =
+                            Some(DefSite { block: b, inst: i, pos, is_phi: inst.is_phi() });
+                    }
+                }
+            }
+        }
+        DefMap { sites }
+    }
+
+    /// The definition site of `v`, if it has one.
+    pub fn site(&self, v: Var) -> Option<DefSite> {
+        self.sites.get(v).copied().flatten()
+    }
+}
+
+/// For every variable `v`, the set of variables live immediately *after*
+/// the definition of `v` — the exact interference oracle: when
+/// `def(x)` dominates `def(y)`, `x` and `y` have overlapping live ranges
+/// iff `x` is live after `def(y)`.
+///
+/// For a φ definition the point "after the def" is the entry of its block
+/// (after the parallel copies of all incoming edges), so the set is the
+/// block's live-in.
+#[derive(Clone, Debug)]
+pub struct LiveAtDefs {
+    after: EntityVec<Var, Option<BitSet<Var>>>,
+}
+
+impl LiveAtDefs {
+    /// Computes the live-after-def set of every defined variable with one
+    /// backward scan per block.
+    pub fn compute(f: &Function, live: &Liveness, defs: &DefMap) -> LiveAtDefs {
+        let nv = f.num_vars();
+        let mut after: EntityVec<Var, Option<BitSet<Var>>> = EntityVec::filled(nv, None);
+        for b in f.blocks() {
+            let insts: Vec<Inst> = f.block_insts(b).collect();
+            let mut cursor = live.live_exit(f, b);
+            for (pos, &i) in insts.iter().enumerate().rev() {
+                let inst = f.inst(i);
+                if inst.is_phi() {
+                    continue;
+                }
+                // `cursor` is currently the live set after inst i.
+                for d in &inst.defs {
+                    if defs.site(d.var).map(|s| (s.inst, s.pos)) == Some((i, pos)) {
+                        after[d.var] = Some(cursor.clone());
+                    }
+                }
+                for d in &inst.defs {
+                    cursor.remove(d.var);
+                }
+                for u in &inst.uses {
+                    cursor.insert(u.var);
+                }
+            }
+            // φ defs: live-after is the block's live-in.
+            for phi in f.phis(b) {
+                let v = f.inst(phi).defs[0].var;
+                if defs.site(v).map(|s| s.inst) == Some(phi) {
+                    after[v] = Some(live.live_in(b).clone());
+                }
+            }
+        }
+        LiveAtDefs { after }
+    }
+
+    /// The variables live just after the definition of `v` (`None` if `v`
+    /// has no definition).
+    pub fn after_def(&self, v: Var) -> Option<&BitSet<Var>> {
+        self.after.get(v).and_then(|o| o.as_ref())
+    }
+}
+
+trait RevBlocks {
+    fn rev_vec(self) -> Vec<Block>;
+}
+
+impl<I: Iterator<Item = Block>> RevBlocks for I {
+    fn rev_vec(self) -> Vec<Block> {
+        let mut v: Vec<Block> = self.collect();
+        v.reverse();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    fn setup(text: &str) -> (Function, Cfg) {
+        let f = parse_function(text, &Machine::dsp32()).unwrap();
+        f.validate().unwrap();
+        let cfg = Cfg::compute(&f);
+        (f, cfg)
+    }
+
+    fn var(f: &Function, name: &str) -> Var {
+        f.vars().find(|&v| f.var(v).name == name).unwrap_or_else(|| panic!("no var {name}"))
+    }
+
+    #[test]
+    fn straightline_liveness() {
+        let (f, cfg) = setup(
+            "func @s {
+entry:
+  %a, %b = input
+  %c = add %a, %b
+  %d = add %c, %a
+  ret %d
+}",
+        );
+        let live = Liveness::compute(&f, &cfg);
+        assert!(live.live_in(f.entry).is_empty());
+        assert!(live.live_out(f.entry).is_empty());
+        let defs = DefMap::compute(&f);
+        let lad = LiveAtDefs::compute(&f, &live, &defs);
+        // After def of c: a is still live (used by d), b is dead.
+        let after_c = lad.after_def(var(&f, "c")).unwrap();
+        assert!(after_c.contains(var(&f, "a")));
+        assert!(!after_c.contains(var(&f, "b")));
+        assert!(after_c.contains(var(&f, "c")));
+        // After def of d: only d.
+        let after_d = lad.after_def(var(&f, "d")).unwrap();
+        assert_eq!(after_d.count(), 1);
+    }
+
+    #[test]
+    fn phi_use_not_live_out_phi_def_live_in() {
+        let (f, cfg) = setup(
+            "func @l {
+entry:
+  %z = make 0
+  %n = input
+  jump head
+head:
+  %i = phi [entry: %z], [body: %i2]
+  %c = cmplt %i, %n
+  br %c, body, exit
+body:
+  %i2 = addi %i, 1
+  jump head
+exit:
+  ret %i
+}",
+        );
+        let live = Liveness::compute(&f, &cfg);
+        let (entry, head, body) = (f.entry, Block::new(1), Block::new(2));
+        let z = var(&f, "z");
+        let i = var(&f, "i");
+        let i2 = var(&f, "i2");
+        // z is a φ use from entry: live inside entry, dead at its exit.
+        assert!(!live.live_out(entry).contains(z));
+        assert!(live.live_exit(&f, entry).contains(z));
+        // φ def i is live-in to head.
+        assert!(live.live_in(head).contains(i));
+        // i2 is a φ use from body: dead at body exit, but live-in to body?
+        // It is defined in body, so not live-in.
+        assert!(!live.live_out(body).contains(i2));
+        assert!(!live.live_in(body).contains(i2));
+        assert!(live.live_exit(&f, body).contains(i2));
+        // n flows around the loop.
+        let n = var(&f, "n");
+        assert!(live.live_out(entry).contains(n));
+        assert!(live.live_in(head).contains(n));
+        assert!(live.live_out(body).contains(n));
+    }
+
+    #[test]
+    fn phi_input_code_matches_paper_example() {
+        // Fig. 5(c)-like shape: x2 pinned case — check i (φ def) live
+        // after def of i2 (they interfere: lost-copy shape).
+        let (f, cfg) = setup(
+            "func @fig {
+entry:
+  %z = make 0
+  jump head
+head:
+  %i = phi [entry: %z], [body: %i2]
+  %i2 = addi %i, 1
+  %c = cmplt %i, %i2
+  br %c, body, exit
+body:
+  jump head
+exit:
+  ret %i
+}",
+        );
+        let live = Liveness::compute(&f, &cfg);
+        let defs = DefMap::compute(&f);
+        let lad = LiveAtDefs::compute(&f, &live, &defs);
+        let i = var(&f, "i");
+        let i2 = var(&f, "i2");
+        // i is used by cmplt after i2's def, so live after def(i2).
+        assert!(lad.after_def(i2).unwrap().contains(i));
+        // after def of φ i = live_in(head) contains i.
+        assert!(lad.after_def(i).unwrap().contains(i));
+    }
+
+    #[test]
+    fn non_ssa_multiple_defs() {
+        let (f, cfg) = setup(
+            "func @m {
+entry:
+  %a = make 1
+  %x = mov %a
+  %x = addi %x, 2
+  ret %x
+}",
+        );
+        let live = Liveness::compute(&f, &cfg);
+        assert!(live.live_in(f.entry).is_empty());
+        let defs = DefMap::compute(&f);
+        // DefMap records the first def.
+        let x = var(&f, "x");
+        assert_eq!(defs.site(x).unwrap().pos, 1);
+    }
+
+    #[test]
+    fn phi_uses_at_end_lists_edge_args() {
+        let (f, _) = setup(
+            "func @p {
+entry:
+  %a = make 1
+  %b = make 2
+  jump m
+m:
+  %x = phi [entry: %a]
+  %y = phi [entry: %b]
+  ret %x, %y
+}",
+        );
+        let uses = phi_uses_at_end(&f, f.entry);
+        let names: Vec<&str> = uses.iter().map(|&(_, v)| f.var(v).name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Natural-loop analysis: back edges, loop membership, nesting depth.
+//!
+//! The coalescer visits confluence points "based on an inner to outer
+//! loop traversal, so as to optimize in priority the most frequently
+//! executed blocks" (paper §3, Algorithm 1), and Table 5 weights each
+//! `mov` by `5^depth`.
+
+use crate::domtree::DomTree;
+use tossa_ir::cfg::Cfg;
+use tossa_ir::ids::{Block, EntityVec};
+use tossa_ir::Function;
+
+/// Loop nesting information.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    depth: EntityVec<Block, u32>,
+    headers: Vec<Block>,
+}
+
+impl LoopInfo {
+    /// Computes natural loops from back edges (`a -> h` with `h`
+    /// dominating `a`) and derives a nesting depth per block. Blocks of a
+    /// natural loop are found by a backward walk from the latch stopping
+    /// at the header.
+    pub fn compute(f: &Function, cfg: &Cfg, dt: &DomTree) -> LoopInfo {
+        let n = f.num_blocks();
+        let mut depth: EntityVec<Block, u32> = EntityVec::filled(n, 0);
+        let mut headers: Vec<Block> = Vec::new();
+        // Collect loops per header (merging bodies of shared headers).
+        let mut body_of: Vec<(Block, Vec<Block>)> = Vec::new();
+        for a in f.blocks() {
+            if !dt.is_reachable(a) {
+                continue;
+            }
+            for &h in f.succs(a) {
+                if !dt.dominates(h, a) {
+                    continue;
+                }
+                // Natural loop of back edge a -> h.
+                let mut body = vec![h];
+                let mut in_body = vec![false; n];
+                in_body[h.index()] = true;
+                let mut stack = vec![a];
+                while let Some(b) = stack.pop() {
+                    if in_body[b.index()] {
+                        continue;
+                    }
+                    in_body[b.index()] = true;
+                    body.push(b);
+                    for &p in cfg.preds(b) {
+                        if dt.is_reachable(p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+                match body_of.iter_mut().find(|(hh, _)| *hh == h) {
+                    Some((_, existing)) => {
+                        for b in body {
+                            if !existing.contains(&b) {
+                                existing.push(b);
+                            }
+                        }
+                    }
+                    None => {
+                        headers.push(h);
+                        body_of.push((h, body));
+                    }
+                }
+            }
+        }
+        // Depth of a block = number of distinct loops containing it.
+        for (_, body) in &body_of {
+            for &b in body {
+                depth[b] += 1;
+            }
+        }
+        LoopInfo { depth, headers }
+    }
+
+    /// Loop nesting depth of `b` (0 outside any loop).
+    pub fn depth(&self, b: Block) -> u32 {
+        self.depth[b]
+    }
+
+    /// The loop headers, in discovery order.
+    pub fn headers(&self) -> &[Block] {
+        &self.headers
+    }
+
+    /// The maximum nesting depth in the function.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.values().copied().max().unwrap_or(0)
+    }
+
+    /// Reachable blocks ordered from the innermost loops outwards
+    /// (decreasing depth), ties broken by reverse postorder — the
+    /// traversal order of the paper's Algorithm 1.
+    pub fn blocks_inner_to_outer(&self, dt: &DomTree) -> Vec<Block> {
+        let mut blocks: Vec<Block> = dt.rpo().to_vec();
+        blocks.sort_by_key(|&b| (std::cmp::Reverse(self.depth(b)), dt.rpo_pos(b)));
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    fn setup(text: &str) -> (Function, Cfg, DomTree) {
+        let f = parse_function(text, &Machine::dsp32()).unwrap();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        (f, cfg, dt)
+    }
+
+    #[test]
+    fn nested_loops_have_increasing_depth() {
+        let (f, cfg, dt) = setup(
+            "func @n {
+entry:
+  %c = input
+  jump outer
+outer:
+  jump inner
+inner:
+  br %c, inner, outertest
+outertest:
+  br %c, outer, exit
+exit:
+  ret %c
+}",
+        );
+        let li = LoopInfo::compute(&f, &cfg, &dt);
+        let (outer, inner, outertest) = (Block::new(1), Block::new(2), Block::new(3));
+        assert_eq!(li.depth(f.entry), 0);
+        assert_eq!(li.depth(outer), 1);
+        assert_eq!(li.depth(outertest), 1);
+        assert_eq!(li.depth(inner), 2);
+        assert_eq!(li.depth(Block::new(4)), 0);
+        assert_eq!(li.max_depth(), 2);
+        assert_eq!(li.headers().len(), 2);
+    }
+
+    #[test]
+    fn straightline_has_no_loops() {
+        let (f, cfg, dt) = setup("func @s {\nentry:\n  ret\n}");
+        let li = LoopInfo::compute(&f, &cfg, &dt);
+        assert_eq!(li.max_depth(), 0);
+        assert!(li.headers().is_empty());
+    }
+
+    #[test]
+    fn inner_to_outer_order() {
+        let (f, cfg, dt) = setup(
+            "func @n {
+entry:
+  %c = input
+  jump outer
+outer:
+  jump inner
+inner:
+  br %c, inner, outertest
+outertest:
+  br %c, outer, exit
+exit:
+  ret %c
+}",
+        );
+        let li = LoopInfo::compute(&f, &cfg, &dt);
+        let order = li.blocks_inner_to_outer(&dt);
+        assert_eq!(order[0], Block::new(2)); // inner first
+        assert_eq!(*order.last().unwrap(), Block::new(4)); // exit last
+        // Depths never increase along the order.
+        for w in order.windows(2) {
+            assert!(li.depth(w[0]) >= li.depth(w[1]));
+        }
+    }
+
+    #[test]
+    fn self_loop() {
+        let (f, cfg, dt) = setup(
+            "func @s {
+entry:
+  %c = input
+  jump l
+l:
+  br %c, l, exit
+exit:
+  ret %c
+}",
+        );
+        let li = LoopInfo::compute(&f, &cfg, &dt);
+        assert_eq!(li.depth(Block::new(1)), 1);
+        assert_eq!(li.headers(), &[Block::new(1)]);
+    }
+}

@@ -1,0 +1,20 @@
+//! # tossa-baselines — the algorithms the paper compares against
+//!
+//! * [`naive`] — Cytron-style φ replacement with Briggs et al.'s
+//!   swap/lost-copy fixes \[1\], \[4\];
+//! * [`sreedhar`] — Sreedhar et al.'s SSA→CSSA Method III and the
+//!   resulting out-of-SSA translation \[11\];
+//! * [`chaitin`] — aggressive repeated register coalescing \[3\], \[5\];
+//! * [`cleanup`] — non-SSA dead code elimination.
+
+#![warn(missing_docs)]
+
+pub mod chaitin;
+pub mod cleanup;
+pub mod naive;
+pub mod sreedhar;
+
+pub use chaitin::aggressive_coalesce;
+pub use cleanup::dead_code_elim;
+pub use naive::naive_out_of_ssa;
+pub use sreedhar::{sreedhar_out_of_ssa, to_cssa};

@@ -1,0 +1,174 @@
+//! Naive out-of-SSA translation (Cytron et al. \[4\] with the correctness
+//! fixes of Briggs et al. \[1\]): one copy per φ argument, placed as a
+//! parallel copy at the end of each predecessor, then sequentialized.
+//! φ-related edges from multi-successor blocks are split first, which
+//! rules out the lost-copy problem; cycle breaking in the parallel copy
+//! rules out the swap problem.
+
+use tossa_core::reconstruct::split_edges_for_phis;
+use tossa_ir::ids::{Block, Inst, Var};
+use tossa_ir::instr::InstData;
+use tossa_ir::parallel_copy::sequentialize;
+use tossa_ir::Function;
+
+/// Statistics of a naive translation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NaiveStats {
+    /// Copies inserted for φ arguments.
+    pub phi_copies: usize,
+    /// Temporaries introduced by cycle breaking.
+    pub temp_copies: usize,
+    /// φs removed.
+    pub phis_removed: usize,
+}
+
+/// Replaces every φ with per-edge copies; no coalescing at all.
+pub fn naive_out_of_ssa(f: &mut Function) -> NaiveStats {
+    let mut stats = NaiveStats::default();
+    split_edges_for_phis(f);
+
+    // Gather all (pred, dst, src) copies, per predecessor block.
+    let blocks: Vec<Block> = f.blocks().collect();
+    for &b in &blocks {
+        let mut group: Vec<(Var, Var)> = Vec::new();
+        for &s in f.succs(b).to_vec().iter() {
+            for phi in f.phis(s).collect::<Vec<_>>() {
+                let inst = f.inst(phi);
+                let Some(arg) = inst.phi_arg_for(b) else { continue };
+                group.push((inst.defs[0].var, arg.var));
+            }
+        }
+        if group.is_empty() {
+            continue;
+        }
+        stats.phi_copies += group.iter().filter(|(d, s)| d != s).count();
+        let seq = sequentialize(&group, || {
+            stats.temp_copies += 1;
+            f.new_var("swap")
+        });
+        // Insert before the terminator.
+        let term_pos = f.block(b).insts.len() - 1;
+        for (k, (d, s)) in seq.into_iter().enumerate() {
+            f.insert_inst(b, term_pos + k, InstData::mov(d, s));
+        }
+    }
+    // Delete the φs.
+    for &b in &blocks {
+        for phi in f.phis(b).collect::<Vec<Inst>>() {
+            f.remove_inst(b, phi);
+            stats.phis_removed += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tossa_ir::interp;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    fn parse(text: &str) -> Function {
+        let f = parse_function(text, &Machine::dsp32()).unwrap();
+        f.validate().unwrap();
+        f
+    }
+
+    #[test]
+    fn diamond_two_copies() {
+        let mut f = parse(
+            "func @d {
+entry:
+  %c = input
+  br %c, l, r
+l:
+  %a = make 1
+  jump m
+r:
+  %b = make 2
+  jump m
+m:
+  %x = phi [l: %a], [r: %b]
+  ret %x
+}",
+        );
+        let orig = f.clone();
+        let stats = naive_out_of_ssa(&mut f);
+        f.validate().unwrap();
+        assert_eq!(stats.phi_copies, 2);
+        assert_eq!(stats.phis_removed, 1);
+        assert_eq!(f.count_moves(), 2);
+        for c in [0, 1] {
+            assert_eq!(
+                interp::run(&orig, &[c], 100).unwrap().outputs,
+                interp::run(&f, &[c], 100).unwrap().outputs
+            );
+        }
+    }
+
+    #[test]
+    fn briggs_swap_correct() {
+        let mut f = parse(
+            "func @swap {
+entry:
+  %a, %b, %n = input
+  %z = make 0
+  jump head
+head:
+  %x = phi [entry: %a], [latch: %y]
+  %y = phi [entry: %b], [latch: %x]
+  %i = phi [entry: %z], [latch: %i2]
+  %i2 = addi %i, 1
+  %c = cmplt %i2, %n
+  br %c, latch, exit
+latch:
+  jump head
+exit:
+  ret %x, %y
+}",
+        );
+        let orig = f.clone();
+        let stats = naive_out_of_ssa(&mut f);
+        f.validate().unwrap();
+        assert!(stats.temp_copies >= 1, "swap needs a temp");
+        for n in [1, 2, 3, 7] {
+            assert_eq!(
+                interp::run(&orig, &[7, 9, n], 10_000).unwrap().outputs,
+                interp::run(&f, &[7, 9, n], 10_000).unwrap().outputs,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn briggs_lost_copy_correct() {
+        // Lost-copy shape: φ value used after the loop, back edge is
+        // critical before splitting.
+        let mut f = parse(
+            "func @lost {
+entry:
+  %one = make 1
+  %n = input
+  jump head
+head:
+  %x = phi [entry: %one], [head: %x2]
+  %x2 = addi %x, 1
+  %c = cmplt %x2, %n
+  br %c, head, exit
+exit:
+  ret %x
+}",
+        );
+        let orig = f.clone();
+        naive_out_of_ssa(&mut f);
+        f.validate().unwrap();
+        for n in [0, 2, 5] {
+            assert_eq!(
+                interp::run(&orig, &[n], 10_000).unwrap().outputs,
+                interp::run(&f, &[n], 10_000).unwrap().outputs,
+                "n={n}"
+            );
+        }
+    }
+}

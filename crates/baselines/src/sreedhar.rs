@@ -1,0 +1,580 @@
+//! Sreedhar et al.'s SSA→CSSA conversion, Method III (interference graph
+//! and liveness driven copy insertion) \[11\], and the resulting
+//! out-of-SSA translation.
+//!
+//! In *conventional* SSA (CSSA) every φ-congruence class is
+//! interference-free, so replacing all members of a class by one name and
+//! deleting the φs is correct. Method III inserts copies only for φ
+//! resources whose congruence classes actually interfere, choosing the
+//! side to split from liveness information (the four cases of \[11\]),
+//! with the "process the unresolved resources" heuristic for
+//! virtually-interfering pairs.
+//!
+//! The paper (§5) notes its Sreedhar implementation "still performs some
+//! illegal variable splitting" around SP; this implementation instead
+//! refuses to split resources of a dedicated-register web when the other
+//! side can be split, and a final safety pass inserts copies for any
+//! interference the heuristic left behind, so the output is always
+//! genuinely conventional.
+
+use tossa_analysis::{DefMap, LiveAtDefs, Liveness};
+use tossa_ir::cfg::Cfg;
+use tossa_ir::ids::{Block, Inst, Var};
+use tossa_ir::instr::InstData;
+use tossa_ir::Function;
+use std::collections::{BTreeSet, HashMap};
+
+/// Statistics of a CSSA conversion.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CssaStats {
+    /// Copies inserted for φ arguments.
+    pub arg_copies: usize,
+    /// Copies inserted for φ results.
+    pub def_copies: usize,
+    /// Copies added by the final safety pass.
+    pub safety_copies: usize,
+}
+
+impl CssaStats {
+    /// All copies inserted.
+    pub fn total(&self) -> usize {
+        self.arg_copies + self.def_copies + self.safety_copies
+    }
+}
+
+struct Analyses {
+    live: Liveness,
+    defs: DefMap,
+    lad: LiveAtDefs,
+}
+
+fn analyze(f: &Function) -> Analyses {
+    let cfg = Cfg::compute(f);
+    let live = Liveness::compute(f, &cfg);
+    let defs = DefMap::compute(f);
+    let lad = LiveAtDefs::compute(f, &live, &defs);
+    Analyses { live, defs, lad }
+}
+
+/// Exact pairwise live-range interference (dominance + live-after-def).
+fn interferes(a: &Analyses, x: Var, y: Var) -> bool {
+    if x == y {
+        return false;
+    }
+    let (Some(sx), Some(sy)) = (a.defs.site(x), a.defs.site(y)) else {
+        return false;
+    };
+    // Same-instruction defs always interfere.
+    if sx.inst == sy.inst {
+        return true;
+    }
+    a.lad.after_def(y).is_some_and(|s| s.contains(x))
+        || a.lad.after_def(x).is_some_and(|s| s.contains(y))
+        || (sx.block == sy.block && sx.is_phi && sy.is_phi)
+}
+
+/// φ-congruence classes maintained with union-find + member lists.
+struct Classes {
+    parent: Vec<usize>,
+    members: HashMap<usize, Vec<Var>>,
+}
+
+impl Classes {
+    fn new(n: usize) -> Classes {
+        Classes { parent: (0..n).collect(), members: HashMap::new() }
+    }
+    fn grow(&mut self, n: usize) {
+        while self.parent.len() < n {
+            self.parent.push(self.parent.len());
+        }
+    }
+    fn find(&mut self, v: Var) -> usize {
+        let mut r = v.index();
+        while self.parent[r] != r {
+            r = self.parent[r];
+        }
+        let mut c = v.index();
+        while self.parent[c] != r {
+            let n = self.parent[c];
+            self.parent[c] = r;
+            c = n;
+        }
+        r
+    }
+    fn members_of(&mut self, v: Var) -> Vec<Var> {
+        let r = self.find(v);
+        self.members.get(&r).cloned().unwrap_or_else(|| vec![v])
+    }
+    fn union(&mut self, a: Var, b: Var) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let ma = self.members.remove(&ra).unwrap_or_else(|| vec![Var::new(ra)]);
+        let mut mb = self.members.remove(&rb).unwrap_or_else(|| vec![Var::new(rb)]);
+        mb.extend(ma);
+        self.parent[ra] = rb;
+        self.members.insert(rb, mb);
+    }
+}
+
+/// Whether splitting `v` (renaming it at a φ boundary) should be avoided:
+/// versions of dedicated registers must keep their web intact (§5).
+fn avoid_split(f: &Function, v: Var) -> bool {
+    let data = f.var(v);
+    if data.reg.is_some() {
+        return true;
+    }
+    data.origin.is_some_and(|o| f.var(o).reg.is_some())
+}
+
+/// Converts `f` to conventional SSA by Method-III-style copy insertion.
+pub fn to_cssa(f: &mut Function) -> CssaStats {
+    let mut stats = CssaStats::default();
+    let mut classes = Classes::new(f.num_vars());
+
+    // Process φs block by block. Analyses are recomputed after each φ's
+    // copies are inserted (simple and robust; incremental updates are the
+    // production optimization the paper's authors describe).
+    let phi_list: Vec<(Block, Inst)> =
+        f.all_insts().filter(|&(_, i)| f.inst(i).is_phi()).collect();
+
+    for (block, phi) in phi_list {
+        let analyses = analyze(f);
+        let inst = f.inst(phi).clone();
+        // Resources of this φ: (var, block where its value crosses).
+        let mut resources: Vec<(Var, Block, Option<usize>)> = Vec::new();
+        resources.push((inst.defs[0].var, block, None));
+        for (k, u) in inst.uses.iter().enumerate() {
+            resources.push((u.var, inst.phi_preds[k], Some(k)));
+        }
+
+        // Pairwise interference of congruence classes -> candidates.
+        let mut candidates: BTreeSet<usize> = BTreeSet::new(); // index into resources
+        let mut unresolved: Vec<(usize, usize)> = Vec::new();
+        for i in 0..resources.len() {
+            for j in i + 1..resources.len() {
+                let (xi, li, _) = resources[i];
+                let (xj, lj, _) = resources[j];
+                if xi == xj {
+                    continue;
+                }
+                let ci = classes.members_of(xi);
+                let cj = classes.members_of(xj);
+                let class_interf = ci
+                    .iter()
+                    .any(|&a| cj.iter().any(|&b| interferes(&analyses, a, b)));
+                if !class_interf {
+                    continue;
+                }
+                // The four cases of Method III.
+                let ci_live_out_lj =
+                    ci.iter().any(|&a| analyses.live.live_out(lj).contains(a));
+                let cj_live_out_li =
+                    cj.iter().any(|&a| analyses.live.live_out(li).contains(a));
+                match (ci_live_out_lj, cj_live_out_li) {
+                    (true, false) => {
+                        candidates.insert(i);
+                    }
+                    (false, true) => {
+                        candidates.insert(j);
+                    }
+                    (true, true) => {
+                        candidates.insert(i);
+                        candidates.insert(j);
+                    }
+                    (false, false) => unresolved.push((i, j)),
+                }
+            }
+        }
+        // Process the unresolved resources: repeatedly take the resource
+        // with the most unresolved neighbours.
+        loop {
+            unresolved.retain(|&(i, j)| !candidates.contains(&i) && !candidates.contains(&j));
+            if unresolved.is_empty() {
+                break;
+            }
+            let mut count: HashMap<usize, usize> = HashMap::new();
+            for &(i, j) in &unresolved {
+                *count.entry(i).or_insert(0) += 1;
+                *count.entry(j).or_insert(0) += 1;
+            }
+            let pick = *count
+                .iter()
+                .max_by_key(|&(&i, &c)| {
+                    // Prefer splitting resources that are allowed to split.
+                    let splittable = !avoid_split(f, resources[i].0);
+                    (splittable, c, std::cmp::Reverse(i))
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            candidates.insert(pick);
+        }
+
+        // Never split a dedicated-register web if any alternative exists:
+        // swap such candidates for their pair partners where possible.
+        let final_candidates: Vec<usize> = candidates.iter().copied().collect();
+
+        // Insert the copies.
+        for idx in final_candidates {
+            let (x, l, arg_slot) = resources[idx];
+            match arg_slot {
+                Some(k) => {
+                    // xi' = xi at the end of the predecessor l.
+                    let nv = f.new_var(format!("{}_c", f.var(x).name));
+                    let at = f.block(l).insts.len().saturating_sub(1);
+                    f.insert_inst(l, at, InstData::mov(nv, x));
+                    f.inst_mut(phi).uses[k].var = nv;
+                    classes.grow(f.num_vars());
+                    stats.arg_copies += 1;
+                }
+                None => {
+                    // x0' = φ(...); x0 = x0' at the head of the block.
+                    let nv = f.new_var(format!("{}_c", f.var(x).name));
+                    f.inst_mut(phi).defs[0].var = nv;
+                    let at = f.first_non_phi(l);
+                    f.insert_inst(l, at, InstData::mov(x, nv));
+                    classes.grow(f.num_vars());
+                    stats.def_copies += 1;
+                }
+            }
+        }
+
+        // Merge the (possibly renamed) φ resources into one class.
+        let inst = f.inst(phi).clone();
+        let d = inst.defs[0].var;
+        for u in &inst.uses {
+            classes.union(d, u.var);
+        }
+    }
+
+    stats.safety_copies = safety_pass(f);
+    stats
+}
+
+/// Final safety pass: whatever the Method III heuristic left behind is
+/// resolved by splitting the offending φ resources until every
+/// φ-congruence class is interference-free. Conversion back out of SSA is
+/// only correct on genuinely conventional code, so this pass guarantees
+/// the post-condition rather than trusting the heuristic.
+fn safety_pass(f: &mut Function) -> usize {
+    let mut inserted = 0;
+    loop {
+        let analyses = analyze(f);
+        let phis: Vec<Inst> =
+            f.all_insts().filter(|&(_, i)| f.inst(i).is_phi()).map(|(_, i)| i).collect();
+        // Webs from all φ unions.
+        let mut all = Classes::new(f.num_vars());
+        for &i in &phis {
+            let inst = f.inst(i);
+            let d = inst.defs[0].var;
+            for u in &inst.uses {
+                all.union(d, u.var);
+            }
+        }
+        // Find one φ whose direct resources' webs conflict pairwise.
+        let mut fix: Option<(Inst, usize)> = None; // (phi, arg slot to split)
+        'outer: for &p in &phis {
+            let inst = f.inst(p).clone();
+            let d = inst.defs[0].var;
+            if all.members_of(d).len() < 2 {
+                continue;
+            }
+            // Sub-web of each direct resource: its class built from all
+            // φs *except* p (so splitting one argument detaches it).
+            let mut without = Classes::new(f.num_vars());
+            for &i in &phis {
+                if i == p {
+                    continue;
+                }
+                let oi = f.inst(i);
+                let od = oi.defs[0].var;
+                for u in &oi.uses {
+                    without.union(od, u.var);
+                }
+            }
+            let mut webs: Vec<(Option<usize>, Vec<Var>)> = Vec::new();
+            webs.push((None, without.members_of(d)));
+            for (k, u) in inst.uses.iter().enumerate() {
+                webs.push((Some(k), without.members_of(u.var)));
+            }
+            for i in 0..webs.len() {
+                for j in i + 1..webs.len() {
+                    let conflict = webs[i].1.iter().any(|&a| {
+                        webs[j].1.iter().any(|&b| interferes(&analyses, a, b))
+                    });
+                    if conflict {
+                        // Prefer splitting an argument over the def, and a
+                        // splittable resource over a dedicated-register web.
+                        let slot = match (webs[i].0, webs[j].0) {
+                            (Some(ki), Some(kj)) => {
+                                if avoid_split(f, inst.uses[ki].var) {
+                                    Some(kj)
+                                } else {
+                                    Some(ki)
+                                }
+                            }
+                            (Some(k), None) | (None, Some(k)) => Some(k),
+                            (None, None) => unreachable!("distinct webs"),
+                        };
+                        fix = Some((p, slot.expect("an argument side exists")));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let Some((p, k)) = fix else { break };
+        let inst = f.inst(p).clone();
+        let u = inst.uses[k].var;
+        let l = inst.phi_preds[k];
+        let nv = f.new_var(format!("{}_s", f.var(u).name));
+        let at = f.block(l).insts.len().saturating_sub(1);
+        f.insert_inst(l, at, InstData::mov(nv, u));
+        f.inst_mut(p).uses[k].var = nv;
+        inserted += 1;
+    }
+    inserted
+}
+
+/// Full Sreedhar-style out-of-SSA: convert to CSSA, rename every
+/// φ-congruence class to a single representative, and delete the φs.
+pub fn sreedhar_out_of_ssa(f: &mut Function) -> CssaStats {
+    let stats = to_cssa(f);
+    let mut classes = Classes::new(f.num_vars());
+    for (_, i) in f.all_insts().collect::<Vec<_>>() {
+        let inst = f.inst(i);
+        if !inst.is_phi() {
+            continue;
+        }
+        let d = inst.defs[0].var;
+        for u in inst.uses.clone() {
+            classes.union(d, u.var);
+        }
+    }
+    // Rename members to a representative, preferring one that carries a
+    // register identity so dedicated-register webs keep their register.
+    let mut rep: HashMap<usize, Var> = HashMap::new();
+    for v in f.vars().collect::<Vec<_>>() {
+        let r = classes.find(v);
+        let entry = rep.entry(r).or_insert(Var::new(r));
+        if f.var(v).reg.is_some() {
+            *entry = v;
+        }
+    }
+    f.rewrite_vars(|v| {
+        let r = classes.find(v);
+        rep.get(&r).copied().unwrap_or(Var::new(r))
+    });
+    // Delete φs (now self-referential).
+    for b in f.blocks().collect::<Vec<_>>() {
+        for phi in f.phis(b).collect::<Vec<_>>() {
+            f.remove_inst(b, phi);
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tossa_ir::interp;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    fn parse(text: &str) -> Function {
+        let f = parse_function(text, &Machine::dsp32()).unwrap();
+        f.validate().unwrap();
+        tossa_ssa::verify_ssa(&f).unwrap();
+        f
+    }
+
+    fn cssa_is_conventional(f: &Function) {
+        // No two members of any φ-congruence class interfere.
+        let analyses = analyze(f);
+        let mut classes = Classes::new(f.num_vars());
+        for (_, i) in f.all_insts() {
+            let inst = f.inst(i);
+            if inst.is_phi() {
+                let d = inst.defs[0].var;
+                for u in &inst.uses {
+                    classes.union(d, u.var);
+                }
+            }
+        }
+        for (_, i) in f.all_insts() {
+            let inst = f.inst(i);
+            if !inst.is_phi() {
+                continue;
+            }
+            let members = classes.members_of(inst.defs[0].var);
+            for (a_idx, &a) in members.iter().enumerate() {
+                for &b in &members[a_idx + 1..] {
+                    assert!(
+                        !interferes(&analyses, a, b),
+                        "{a} and {b} interfere within a class\n{f}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_interfering_phi_needs_no_copies() {
+        let mut f = parse(
+            "func @d {
+entry:
+  %c = input
+  br %c, l, r
+l:
+  %a = make 1
+  jump m
+r:
+  %b = make 2
+  jump m
+m:
+  %x = phi [l: %a], [r: %b]
+  ret %x
+}",
+        );
+        let orig = f.clone();
+        let stats = sreedhar_out_of_ssa(&mut f);
+        f.validate().unwrap();
+        assert_eq!(stats.total(), 0);
+        assert_eq!(f.count_moves(), 0);
+        for c in [0, 1] {
+            assert_eq!(
+                interp::run(&orig, &[c], 100).unwrap().outputs,
+                interp::run(&f, &[c], 100).unwrap().outputs
+            );
+        }
+    }
+
+    #[test]
+    fn interfering_arg_gets_one_copy() {
+        // a is used after the φ: a interferes with the class.
+        let mut f = parse(
+            "func @i {
+entry:
+  %c = input
+  %a = make 1
+  br %c, l, r
+l:
+  jump m
+r:
+  %b = make 2
+  jump m
+m:
+  %x = phi [l: %a], [r: %b]
+  %y = add %x, %a
+  ret %y
+}",
+        );
+        let orig = f.clone();
+        let mut g = f.clone();
+        let stats = to_cssa(&mut g);
+        assert!(stats.total() >= 1);
+        cssa_is_conventional(&g);
+        let _ = sreedhar_out_of_ssa(&mut f);
+        f.validate().unwrap();
+        for c in [0, 1] {
+            assert_eq!(
+                interp::run(&orig, &[c], 100).unwrap().outputs,
+                interp::run(&f, &[c], 100).unwrap().outputs
+            );
+        }
+    }
+
+    #[test]
+    fn lost_copy_handled() {
+        let mut f = parse(
+            "func @lost {
+entry:
+  %one = make 1
+  %n = input
+  jump head
+head:
+  %x = phi [entry: %one], [head: %x2]
+  %x2 = addi %x, 1
+  %c = cmplt %x2, %n
+  br %c, head, exit
+exit:
+  ret %x
+}",
+        );
+        let orig = f.clone();
+        let _ = sreedhar_out_of_ssa(&mut f);
+        f.validate().unwrap();
+        for n in [0, 2, 5] {
+            assert_eq!(
+                interp::run(&orig, &[n], 10_000).unwrap().outputs,
+                interp::run(&f, &[n], 10_000).unwrap().outputs,
+                "n={n}\n{f}"
+            );
+        }
+    }
+
+    #[test]
+    fn swap_handled() {
+        let mut f = parse(
+            "func @swap {
+entry:
+  %a, %b, %n = input
+  %z = make 0
+  jump head
+head:
+  %x = phi [entry: %a], [latch: %y]
+  %y = phi [entry: %b], [latch: %x]
+  %i = phi [entry: %z], [latch: %i2]
+  %i2 = addi %i, 1
+  %c = cmplt %i2, %n
+  br %c, latch, exit
+latch:
+  jump head
+exit:
+  ret %x, %y
+}",
+        );
+        let orig = f.clone();
+        let _ = sreedhar_out_of_ssa(&mut f);
+        f.validate().unwrap();
+        for n in [1, 2, 5] {
+            assert_eq!(
+                interp::run(&orig, &[7, 9, n], 10_000).unwrap().outputs,
+                interp::run(&f, &[7, 9, n], 10_000).unwrap().outputs,
+                "n={n}\n{f}"
+            );
+        }
+    }
+
+    #[test]
+    fn chained_phis_stay_conventional() {
+        let mut f = parse(
+            "func @chain {
+entry:
+  %p, %q = input
+  jump head
+head:
+  %x = phi [entry: %p], [body: %y2]
+  %y = phi [entry: %q], [body: %x2]
+  %x2 = addi %x, 1
+  %y2 = addi %y, -1
+  %c = cmplt %x2, %y2
+  br %c, body, exit
+body:
+  jump head
+exit:
+  ret %x, %y
+}",
+        );
+        let orig = f.clone();
+        let mut g = f.clone();
+        to_cssa(&mut g);
+        cssa_is_conventional(&g);
+        let _ = sreedhar_out_of_ssa(&mut f);
+        f.validate().unwrap();
+        assert_eq!(
+            interp::run(&orig, &[0, 10], 10_000).unwrap().outputs,
+            interp::run(&f, &[0, 10], 10_000).unwrap().outputs
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Microbenchmarks of the analysis substrate on large generated
+//! functions: dominators, liveness, the live-after-def oracle, SSA
+//! construction, and the out-of-pinned-SSA reconstruction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tossa_analysis::{DefMap, DomTree, LiveAtDefs, Liveness};
+use tossa_bench::suites::synth::{generate_function, SynthConfig};
+use tossa_core::reconstruct::out_of_pinned_ssa;
+use tossa_ir::cfg::Cfg;
+use tossa_ir::Function;
+use tossa_ssa::to_ssa;
+
+fn big_function(scale: usize) -> Function {
+    let cfg = SynthConfig {
+        functions: 1,
+        pool: 10,
+        max_depth: 3,
+        body_len: 4 + scale,
+    };
+    generate_function(42 + scale as u64, &cfg).func
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for scale in [2usize, 6, 12] {
+        let f = big_function(scale);
+        let insts = f.all_insts().count();
+        let cfg = Cfg::compute(&f);
+        group.bench_with_input(BenchmarkId::new("domtree", insts), &f, |b, f| {
+            b.iter(|| black_box(DomTree::compute(f, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("liveness", insts), &f, |b, f| {
+            b.iter(|| black_box(Liveness::compute(f, &cfg)))
+        });
+        let live = Liveness::compute(&f, &cfg);
+        let defs = DefMap::compute(&f);
+        group.bench_with_input(BenchmarkId::new("live_at_defs", insts), &f, |b, f| {
+            b.iter(|| black_box(LiveAtDefs::compute(f, &live, &defs)))
+        });
+        group.bench_with_input(BenchmarkId::new("to_ssa", insts), &f, |b, f| {
+            b.iter_batched(
+                || f.clone(),
+                |mut f| {
+                    to_ssa(&mut f);
+                    black_box(f)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        let mut ssa = f.clone();
+        to_ssa(&mut ssa);
+        group.bench_with_input(BenchmarkId::new("reconstruct", insts), &ssa, |b, ssa| {
+            b.iter_batched(
+                || ssa.clone(),
+                |mut f| {
+                    black_box(out_of_pinned_ssa(&mut f));
+                    f
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyses);
+criterion_main!(benches);

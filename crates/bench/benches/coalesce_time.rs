@@ -1,0 +1,95 @@
+//! The compile-time claim of §5 (\[CC3\]): the cost of the post-SSA
+//! repeated register coalescer is proportional to the number of move
+//! instructions in its input, so handling moves at the SSA level shrinks
+//! its workload by an order of magnitude.
+//!
+//! This bench prepares, outside the timed region, the out-of-SSA outputs
+//! of three pipelines (`Lφ,ABI`, `LABI`, `Sφ`) and times only the
+//! aggressive Chaitin coalescing that follows each — plus the cost of the
+//! pinning coalescer itself, to show the trade is worth it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tossa_baselines::aggressive_coalesce;
+use tossa_bench::runner::run_experiment;
+use tossa_bench::suites::all_suites;
+use tossa_core::coalesce::CoalesceOptions;
+use tossa_core::collect::{pinning_abi, pinning_sp};
+use tossa_core::{program_pinning, Experiment};
+use tossa_ir::Function;
+
+fn prepared(exp: Experiment) -> Vec<Function> {
+    all_suites(10)
+        .iter()
+        .flat_map(|s| {
+            s.functions
+                .iter()
+                .map(|bf| run_experiment(&bf.func, exp, &CoalesceOptions::default()).func)
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn bench_chaitin_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaitin_after");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for (label, exp) in [
+        ("Lphi_ABI", Experiment::LphiAbi),
+        ("LABI", Experiment::Labi),
+        ("Sphi", Experiment::Sphi),
+    ] {
+        let funcs = prepared(exp);
+        let moves: usize = funcs.iter().map(|f| f.count_moves()).sum();
+        group.bench_function(format!("{label}_{moves}_moves"), |b| {
+            b.iter_batched(
+                || funcs.clone(),
+                |mut funcs| {
+                    for f in funcs.iter_mut() {
+                        black_box(aggressive_coalesce(f));
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_pinning_coalescer(c: &mut Criterion) {
+    // The SSA-level coalescer itself, on pinned SSA input.
+    let inputs: Vec<Function> = all_suites(10)
+        .iter()
+        .flat_map(|s| {
+            s.functions
+                .iter()
+                .map(|bf| {
+                    let mut f = tossa_bench::runner::front_end(&bf.func);
+                    pinning_sp(&mut f);
+                    pinning_abi(&mut f);
+                    f
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let mut group = c.benchmark_group("pinning");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.bench_function("program_pinning_all_suites", |b| {
+        b.iter_batched(
+            || inputs.clone(),
+            |mut funcs| {
+                for f in funcs.iter_mut() {
+                    black_box(program_pinning(f, &CoalesceOptions::default()));
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaitin_workload, bench_pinning_coalescer);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benchmark over the table-generating pipelines: wall-clock
+//! time of each Table-1 experiment over each suite (the data behind
+//! Tables 2–4 regenerates on every iteration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tossa_bench::runner::run_suite;
+use tossa_bench::suites::all_suites;
+use tossa_core::coalesce::CoalesceOptions;
+use tossa_core::Experiment;
+
+fn bench_experiments(c: &mut Criterion) {
+    let suites = all_suites(10);
+    let mut group = c.benchmark_group("experiment");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &exp in Experiment::all() {
+        for suite in &suites {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{exp:?}"), suite.name),
+                suite,
+                |b, suite| {
+                    b.iter(|| {
+                        black_box(run_suite(
+                            suite,
+                            exp,
+                            &CoalesceOptions::default(),
+                            false,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    use tossa_core::interfere::InterferenceMode;
+    let suites = all_suites(10);
+    let spec = suites.iter().find(|s| s.name == "SPECint").expect("suite");
+    let mut group = c.benchmark_group("table5_variant");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let variants: [(&str, CoalesceOptions); 4] = [
+        ("base", CoalesceOptions::default()),
+        ("depth", CoalesceOptions { depth_priority: true, ..Default::default() }),
+        ("opt", CoalesceOptions { mode: InterferenceMode::Optimistic, ..Default::default() }),
+        ("pess", CoalesceOptions { mode: InterferenceMode::Pessimistic, ..Default::default() }),
+    ];
+    for (name, opts) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_suite(spec, Experiment::LphiAbi, &opts, false)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerates the paper's tables.
+//!
+//! Usage: `tables [table1|table2|table3|table4|table5|all] [--no-verify] [--spec N]`
+
+use tossa_bench::suites::all_suites;
+use tossa_bench::tables;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
+    let verify = !args.iter().any(|a| a == "--no-verify");
+    let spec_scale = args
+        .iter()
+        .position(|a| a == "--spec")
+        .and_then(|p| args.get(p + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+
+    let suites = all_suites(spec_scale);
+    eprintln!(
+        "suites: {}",
+        suites
+            .iter()
+            .map(|s| format!("{} ({} fns, {} insts)", s.name, s.functions.len(), s.num_insts()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    match which.as_str() {
+        "table1" => print!("{}", tables::table1()),
+        "table2" => print!("{}", tables::table2(&suites, verify)),
+        "table3" => print!("{}", tables::table3(&suites, verify)),
+        "table4" => print!("{}", tables::table4(&suites, verify)),
+        "table5" => print!("{}", tables::table5(&suites, verify)),
+        "all" => {
+            println!("{}", tables::table1());
+            println!("{}", tables::table2(&suites, verify));
+            println!("{}", tables::table3(&suites, verify));
+            println!("{}", tables::table4(&suites, verify));
+            println!("{}", tables::table5(&suites, verify));
+        }
+        other => {
+            eprintln!("unknown table `{other}`; use table1..table5 or all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # tossa-bench — workloads and the experiment harness
+//!
+//! Everything needed to regenerate the paper's evaluation (§5):
+//!
+//! * [`suites`] — the five benchmark populations (substitutes for
+//!   `VALcc1`/`VALcc2`/`example1-8`/`LAI Large`/`SPECint`; see
+//!   DESIGN.md §3);
+//! * [`metrics`] — move counts and the `5^depth` weighted counts;
+//! * [`runner`] — the Table-1 pipeline executor with end-to-end
+//!   interpreter verification;
+//! * [`tables`] — renderers for Tables 1–5.
+//!
+//! Regenerate every table with:
+//!
+//! ```bash
+//! cargo run -p tossa-bench --release --bin tables -- all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod runner;
+pub mod suites;
+pub mod tables;

@@ -1,0 +1,234 @@
+//! Experiment runner: executes one Table-1 pipeline over a function or a
+//! suite, with optional end-to-end interpreter verification.
+
+use crate::metrics;
+use crate::suites::{BenchFunction, Suite};
+use tossa_baselines::{aggressive_coalesce, dead_code_elim, to_cssa};
+use tossa_core::coalesce::CoalesceOptions;
+use tossa_core::collect::{naive_abi, pinning_abi, pinning_cssa, pinning_sp};
+use tossa_core::reconstruct::out_of_pinned_ssa;
+use tossa_core::{program_pinning, Experiment, ReconstructStats};
+use tossa_ir::{interp, Function};
+use tossa_ssa::{ifconv, opt, psi, to_ssa};
+
+/// Result of running one pipeline on one function.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The final non-SSA function.
+    pub func: Function,
+    /// Static move count of the final code.
+    pub moves: usize,
+    /// `5^depth`-weighted move count (Table 5 metric).
+    pub weighted: u64,
+    /// Copy statistics from the out-of-pinned-SSA phase.
+    pub recon: ReconstructStats,
+    /// Moves removed by the Chaitin pass, when enabled.
+    pub coalesced: usize,
+}
+
+/// Verification failure: the translated function diverged from the
+/// source.
+#[derive(Clone, Debug)]
+pub struct VerifyError {
+    /// Function name.
+    pub function: String,
+    /// Inputs that exposed the divergence.
+    pub inputs: Vec<i64>,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} on {:?}: {}", self.function, self.inputs, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+const FUEL: u64 = 5_000_000;
+
+/// Shared front end: SSA construction, if-conversion of small diamonds
+/// to ψ instructions (the LAO's input is predicated ST120 code, §5),
+/// ψ lowering to two-operand `psel` chains, and the SSA-level
+/// optimizations the paper assumes have run ("value numbering ... while
+/// in SSA form").
+pub fn front_end(src: &Function) -> Function {
+    let mut f = src.clone();
+    to_ssa(&mut f);
+    ifconv::if_convert(&mut f, &ifconv::IfConvOptions::default());
+    psi::lower_psis(&mut f);
+    opt::copy_propagate(&mut f);
+    opt::gvn(&mut f);
+    opt::dce(&mut f);
+    f
+}
+
+/// Runs one experiment pipeline on a pre-SSA function.
+pub fn run_experiment(src: &Function, exp: Experiment, opts: &CoalesceOptions) -> RunResult {
+    let passes = exp.passes();
+    let mut f = front_end(src);
+    if passes.sreedhar {
+        to_cssa(&mut f);
+    }
+    if passes.pinning_cssa {
+        pinning_cssa(&mut f);
+    }
+    if passes.pinning_sp {
+        pinning_sp(&mut f);
+    }
+    if passes.pinning_abi {
+        pinning_abi(&mut f);
+    }
+    if passes.pinning_phi {
+        program_pinning(&mut f, opts);
+    }
+    debug_assert!(passes.out_of_pinned_ssa);
+    let recon = out_of_pinned_ssa(&mut f);
+    if passes.naive_abi {
+        naive_abi(&mut f);
+    }
+    dead_code_elim(&mut f);
+    let mut coalesced = 0;
+    if passes.coalescing {
+        coalesced = aggressive_coalesce(&mut f).coalesced;
+        dead_code_elim(&mut f);
+    }
+    let moves = metrics::move_count(&f);
+    let weighted = metrics::weighted_move_count(&f);
+    RunResult { func: f, moves, weighted, recon, coalesced }
+}
+
+/// Checks that `result` computes the same outputs as `src` on every
+/// sample input.
+///
+/// # Errors
+/// Returns the first diverging input.
+pub fn verify(src: &Function, result: &Function, inputs: &[Vec<i64>]) -> Result<(), VerifyError> {
+    for ins in inputs {
+        let want = interp::run(src, ins, FUEL).map_err(|e| VerifyError {
+            function: src.name.clone(),
+            inputs: ins.clone(),
+            message: format!("source traps: {e}"),
+        })?;
+        let got = interp::run(result, ins, FUEL).map_err(|e| VerifyError {
+            function: src.name.clone(),
+            inputs: ins.clone(),
+            message: format!("translated code traps: {e}"),
+        })?;
+        if want.outputs != got.outputs {
+            return Err(VerifyError {
+                function: src.name.clone(),
+                inputs: ins.clone(),
+                message: format!("outputs {:?} != expected {:?}", got.outputs, want.outputs),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Aggregate of one experiment over a whole suite.
+#[derive(Clone, Debug, Default)]
+pub struct SuiteResult {
+    /// Total moves across the suite.
+    pub moves: usize,
+    /// Total weighted moves.
+    pub weighted: u64,
+    /// Total φ copies before any cleanup.
+    pub phi_copies: usize,
+    /// Total ABI copies before any cleanup.
+    pub abi_copies: usize,
+    /// Total repair copies.
+    pub repair_copies: usize,
+    /// Total moves removed by Chaitin coalescing.
+    pub coalesced: usize,
+}
+
+/// Runs one experiment over a suite, verifying every function unless
+/// `verify_each` is false.
+///
+/// # Panics
+/// Panics on a verification failure — a translation that changes program
+/// behaviour invalidates every number in the tables.
+pub fn run_suite(
+    suite: &Suite,
+    exp: Experiment,
+    opts: &CoalesceOptions,
+    verify_each: bool,
+) -> SuiteResult {
+    let mut total = SuiteResult::default();
+    for bf in &suite.functions {
+        let r = run_experiment(&bf.func, exp, opts);
+        if verify_each {
+            if let Err(e) = verify(&bf.func, &r.func, &bf.inputs) {
+                panic!("experiment {exp} broke {e}\n{}", r.func);
+            }
+        }
+        total.moves += r.moves;
+        total.weighted += r.weighted;
+        total.phi_copies += r.recon.phi_copies;
+        total.abi_copies += r.recon.abi_copies;
+        total.repair_copies += r.recon.repair_copies;
+        total.coalesced += r.coalesced;
+    }
+    total
+}
+
+/// Runs a [`BenchFunction`] through an experiment and verifies it.
+///
+/// # Errors
+/// Propagates the verification failure.
+pub fn run_verified(
+    bf: &BenchFunction,
+    exp: Experiment,
+    opts: &CoalesceOptions,
+) -> Result<RunResult, VerifyError> {
+    let r = run_experiment(&bf.func, exp, opts);
+    verify(&bf.func, &r.func, &bf.inputs)?;
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites;
+
+    #[test]
+    fn every_experiment_preserves_semantics_on_examples() {
+        let ex = suites::paper_examples::examples();
+        for &exp in Experiment::all() {
+            for bf in &ex {
+                run_verified(bf, exp, &CoalesceOptions::default())
+                    .unwrap_or_else(|e| panic!("{exp}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn our_algorithm_beats_naive_on_kernels() {
+        let suite = suites::Suite { name: "VALcc1", functions: suites::kernels::valcc1() };
+        let opts = CoalesceOptions::default();
+        let ours = run_suite(&suite, Experiment::LphiC, &opts, true);
+        let naive = run_suite(&suite, Experiment::CNoAbi, &opts, true);
+        assert!(
+            ours.moves <= naive.moves,
+            "Lphi+C {} > C {}",
+            ours.moves,
+            naive.moves
+        );
+    }
+
+    #[test]
+    fn abi_pinning_beats_naive_abi() {
+        let suite = suites::Suite { name: "VALcc1", functions: suites::kernels::valcc1() };
+        let opts = CoalesceOptions::default();
+        let pinned = run_suite(&suite, Experiment::LphiAbiC, &opts, true);
+        let naive = run_suite(&suite, Experiment::CAbi, &opts, true);
+        assert!(
+            pinned.moves <= naive.moves,
+            "Lphi,ABI+C {} > C(abi) {}",
+            pinned.moves,
+            naive.moves
+        );
+    }
+}

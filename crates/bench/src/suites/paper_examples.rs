@@ -1,0 +1,226 @@
+//! `example1-8`: "small examples written in LAI code specifically for
+//! the experiment" (§5) — reconstructions of the scenarios in the
+//! paper's figures, written as pre-SSA functions whose SSA form exhibits
+//! the figures' shapes.
+
+use crate::suites::BenchFunction;
+use tossa_ir::machine::Machine;
+use tossa_ir::parse::parse_function;
+
+struct Example {
+    text: &'static str,
+    inputs: &'static [&'static [i64]],
+}
+
+const EXAMPLES: &[Example] = &[
+    // example1 — Fig. 1: ABI parameter passing + two-operand make/more
+    // constant pair + autoadd.
+    Example {
+        text: "
+func @example1 {
+entry:
+  %cin, %p = input
+  %a = load %p
+  %p = autoadd %p, 1
+  %b = load %p
+  %d = call f(%a, %b)
+  %e = add %cin, %d
+  %l = make 0x00A1
+  %k = more %l, 0x2BFA
+  %fo = sub %e, %k
+  ret %fo
+}",
+        inputs: &[&[5, 900], &[-3, 1234]],
+    },
+    // example2 — Fig. 2 (corrected): an SP φ whose arguments agree, the
+    // legal variant of the stack-pointer merge.
+    Example {
+        text: "
+func @example2 {
+entry:
+  %c, %v = input
+  SP = addi SP, -2
+  store SP, %v
+  br %c, l, r
+l:
+  %x = load SP
+  %x = addi %x, 1
+  jump m
+r:
+  %x = load SP
+  jump m
+m:
+  SP = addi SP, 2
+  ret %x
+}",
+        inputs: &[&[0, 7], &[1, 7]],
+    },
+    // example3 — Fig. 3: input in R0/R1, a loop whose φ web is pinned to
+    // R0 by the call and return.
+    Example {
+        text: "
+func @example3 {
+entry:
+  %x, %y = input
+  %k = make 40
+  jump head
+head:
+  %cond = cmplt %x, %k
+  br %cond, body, exit
+body:
+  %x = addi %x, 1
+  %y = add %y, %k
+  %x = call g(%x, %y)
+  jump head
+exit:
+  ret %x
+}",
+        inputs: &[&[39, 2], &[100, 5]],
+    },
+    // example4 — Fig. 5: x = φ(x1, x2) where one argument interferes
+    // with the result.
+    Example {
+        text: "
+func @example4 {
+entry:
+  %c = input
+  %x1 = make 10
+  br %c, l, r
+l:
+  jump m
+r:
+  %x2 = addi %x1, 5
+  %x1 = addi %x2, 0
+  jump m
+m:
+  %s = add %x1, %x1
+  ret %s
+}",
+        inputs: &[&[0], &[1]],
+    },
+    // example5 — Fig. 8: partial coalescing; several definitions feed a
+    // call result register while one value crosses the call.
+    Example {
+        text: "
+func @example5 {
+entry:
+  %c = input
+  %z = call f1()
+  br %c, l, r
+l:
+  %w = call f2()
+  %z = mov %w
+  jump m
+r:
+  jump m
+m:
+  %u = call f3(%z)
+  %s = add %u, %z
+  ret %s
+}",
+        inputs: &[&[0], &[1]],
+    },
+    // example6 — Fig. 9: two φs in one block sharing arguments.
+    Example {
+        text: "
+func @example6 {
+entry:
+  %c = input
+  br %c, p1, p2
+p1:
+  %x = call f1()
+  %y = call f2()
+  jump m
+p2:
+  %x = call f3()
+  %y = mov %x
+  jump m
+m:
+  %s = add %x, %y
+  ret %s
+}",
+        inputs: &[&[0], &[1]],
+    },
+    // example7 — Fig. 10: cross-swapping φs benefit from parallel-copy
+    // placement.
+    Example {
+        text: "
+func @example7 {
+entry:
+  %x, %y, %n = input
+  %i = make 0
+  jump head
+head:
+  %c = cmplt %i, %n
+  br %c, body, exit
+body:
+  %t = mov %x
+  %x = mov %y
+  %y = mov %t
+  %i = addi %i, 1
+  jump head
+exit:
+  %r = call f(%x, %y)
+  ret %r
+}",
+        inputs: &[&[1, 2, 0], &[1, 2, 1], &[1, 2, 3]],
+    },
+    // example8 — Fig. 11: a loop with an ABI-constrained autoadd whose φ
+    // has one interfering argument.
+    Example {
+        text: "
+func @example8 {
+entry:
+  %c, %init = input
+  %b0 = call f1()
+  %mask = make 7
+  %b = and %b0, %mask
+  %a = make 0
+  jump head
+head:
+  %b = autoadd %b, 1
+  %a = add %a, %b
+  %cc = cmplt %b, %c
+  br %cc, head, exit
+exit:
+  %r = add %a, %b
+  ret %r
+}",
+        inputs: &[&[0, 0], &[10, 0]],
+    },
+];
+
+/// The `example1-8` suite.
+pub fn examples() -> Vec<BenchFunction> {
+    EXAMPLES
+        .iter()
+        .map(|e| {
+            let func = parse_function(e.text, &Machine::dsp32())
+                .unwrap_or_else(|err| panic!("example parse: {err}\n{}", e.text));
+            func.validate().unwrap_or_else(|err| panic!("example invalid: {err}"));
+            BenchFunction {
+                func,
+                inputs: e.inputs.iter().map(|i| i.to_vec()).collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tossa_ir::interp;
+
+    #[test]
+    fn all_examples_run() {
+        let ex = examples();
+        assert_eq!(ex.len(), 8);
+        for bf in &ex {
+            for inputs in &bf.inputs {
+                interp::run(&bf.func, inputs, 1_000_000).unwrap_or_else(|e| {
+                    panic!("{} traps on {inputs:?}: {e}", bf.func.name)
+                });
+            }
+        }
+    }
+}

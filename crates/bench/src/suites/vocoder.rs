@@ -1,0 +1,389 @@
+//! `LAI Large` substitute: larger fixed-point speech-codec-like
+//! functions, modeled on the ETSI EFR vocoder stages the paper's
+//! `LAI Large` suite comes from (§5). Each generator emits LAI text with
+//! deeper loop nests, more temporaries, and calls, parameterized by a
+//! frame size so several scales can be produced deterministically.
+
+use crate::suites::BenchFunction;
+use std::fmt::Write as _;
+use tossa_ir::machine::Machine;
+use tossa_ir::parse::parse_function;
+
+fn build(text: String, inputs: Vec<Vec<i64>>) -> BenchFunction {
+    let func = parse_function(&text, &Machine::dsp32())
+        .unwrap_or_else(|e| panic!("vocoder parse: {e}\n{text}"));
+    func.validate().unwrap_or_else(|e| panic!("vocoder invalid: {e}"));
+    BenchFunction { func, inputs }
+}
+
+/// Hamming-like windowing: `out[i] = (x[i] * w[i]) >> 15`, windows built
+/// with make/more constants, pointers walked with autoadd.
+fn windowing(unroll: usize) -> BenchFunction {
+    let mut t = String::from(
+        "func @vc_window {
+entry:
+  %x, %w, %out, %n = input
+  %k15 = make 15
+  %acc = make 0
+  %i = make 0
+  jump head
+head:
+  %c = cmplt %i, %n
+  br %c, body, exit
+body:
+",
+    );
+    for u in 0..unroll {
+        let _ = write!(
+            t,
+            "  %xv{u} = load %x
+  %x = autoadd %x, 1
+  %wv{u} = load %w
+  %w = autoadd %w, 1
+  %p{u} = mul %xv{u}, %wv{u}
+  %s{u} = shr %p{u}, %k15
+  store %out, %s{u}
+  %out = autoadd %out, 1
+  %acc = add %acc, %s{u}
+"
+        );
+    }
+    let _ = write!(
+        t,
+        "  %i = addi %i, {unroll}
+  jump head
+exit:
+  ret %acc
+}}
+"
+    );
+    build(
+        t,
+        vec![vec![1000, 2000, 3000, 0], vec![1000, 2000, 3000, 8], vec![1000, 2000, 3000, 16]],
+    )
+}
+
+/// Autocorrelation: nested loop `r[k] = Σ x[i]·x[i+k]`, the classic
+/// depth-2 DSP kernel of every LPC front end.
+fn autocorrelation() -> BenchFunction {
+    let t = "
+func @vc_autocorr {
+entry:
+  %x, %n, %order, %r = input
+  %k = make 0
+  jump ohead
+ohead:
+  %oc = cmple %k, %order
+  br %oc, oinit, done
+oinit:
+  %acc = make 0
+  %i = make 0
+  %lim = sub %n, %k
+  jump ihead
+ihead:
+  %ic = cmplt %i, %lim
+  br %ic, ibody, ostore
+ibody:
+  %pi = add %x, %i
+  %ik = add %i, %k
+  %pk = add %x, %ik
+  %vi = load %pi
+  %vk = load %pk
+  %p = mul %vi, %vk
+  %acc = add %acc, %p
+  %i = addi %i, 1
+  jump ihead
+ostore:
+  %pr = add %r, %k
+  store %pr, %acc
+  %k = addi %k, 1
+  jump ohead
+done:
+  %p0 = load %r
+  ret %p0
+}
+"
+    .to_string();
+    build(t, vec![vec![100, 6, 3, 900], vec![100, 12, 5, 900]])
+}
+
+/// Levinson-like lattice recursion (simplified): two inner sweeps per
+/// order with a reflection-coefficient call (models the division the EFR
+/// code does via a helper).
+fn lattice() -> BenchFunction {
+    let t = "
+func @vc_lattice {
+entry:
+  %r, %order = input
+  %k15 = make 15
+  %err = load %r
+  %m = make 1
+  jump ohead
+ohead:
+  %oc = cmple %m, %order
+  br %oc, obody, done
+obody:
+  %pm = add %r, %m
+  %rm = load %pm
+  %acc = make 0
+  %j = make 1
+  jump ihead
+ihead:
+  %ic = cmplt %j, %m
+  br %ic, ibody, refl
+ibody:
+  %pj = add %r, %j
+  %aj = load %pj
+  %mj = sub %m, %j
+  %pmj = add %r, %mj
+  %rj = load %pmj
+  %pr = mul %aj, %rj
+  %pr = shr %pr, %k15
+  %acc = add %acc, %pr
+  %j = addi %j, 1
+  jump ihead
+refl:
+  %num = sub %rm, %acc
+  %kcoef = call divide(%num, %err)
+  %j2 = make 1
+  jump uhead
+uhead:
+  %uc = cmplt %j2, %m
+  br %uc, ubody, uend
+ubody:
+  %pj2 = add %r, %j2
+  %aj2 = load %pj2
+  %mj2 = sub %m, %j2
+  %pmj2 = add %r, %mj2
+  %amj = load %pmj2
+  %t1 = mul %kcoef, %amj
+  %t1 = shr %t1, %k15
+  %anew = add %aj2, %t1
+  store %pj2, %anew
+  %j2 = addi %j2, 1
+  jump uhead
+uend:
+  %ksq = mul %kcoef, %kcoef
+  %ksq = shr %ksq, %k15
+  %one = make 0x7FFF
+  %fac = sub %one, %ksq
+  %err = mul %err, %fac
+  %err = shr %err, %k15
+  %m = addi %m, 1
+  jump ohead
+done:
+  ret %err
+}
+"
+    .to_string();
+    build(t, vec![vec![700, 2], vec![700, 4], vec![700, 6]])
+}
+
+/// Codebook quantization: exhaustive nearest-entry search, depth 2 with
+/// a branchy running minimum.
+fn quantize() -> BenchFunction {
+    let t = "
+func @vc_quantize {
+entry:
+  %vec, %dim, %book, %entries = input
+  %best = make 0x7FFF
+  %best = more %best, 0xFFFF
+  %bestidx = make 0
+  %e = make 0
+  jump ohead
+ohead:
+  %oc = cmplt %e, %entries
+  br %oc, oinit, done
+oinit:
+  %dist = make 0
+  %d = make 0
+  %row = mul %e, %dim
+  %base = add %book, %row
+  jump ihead
+ihead:
+  %ic = cmplt %d, %dim
+  br %ic, ibody, compare
+ibody:
+  %pv = add %vec, %d
+  %pb = add %base, %d
+  %vv = load %pv
+  %bv = load %pb
+  %diff = sub %vv, %bv
+  %sq = mul %diff, %diff
+  %dist = add %dist, %sq
+  %d = addi %d, 1
+  jump ihead
+compare:
+  %lt = cmplt %dist, %best
+  br %lt, newbest, olatch
+newbest:
+  %best = mov %dist
+  %bestidx = mov %e
+  jump olatch
+olatch:
+  %e = addi %e, 1
+  jump ohead
+done:
+  ret %bestidx, %best
+}
+"
+    .to_string();
+    build(t, vec![vec![100, 3, 400, 4], vec![100, 4, 400, 8]])
+}
+
+/// Pitch interpolation: fractional-delay FIR across a frame, depth 2,
+/// with stack-relative scratch (exercises the SP web at scale).
+fn interpolate() -> BenchFunction {
+    let t = "
+func @vc_interp {
+entry:
+  %sig, %n, %frac = input
+  %k6 = make 6
+  %k12 = make 12
+  SP = addi SP, -8
+  %acc = make 0
+  %i = make 0
+  jump ohead
+ohead:
+  %oc = cmplt %i, %n
+  br %oc, oinit, done
+oinit:
+  %sum = make 0
+  %t = make 0
+  jump ihead
+ihead:
+  %ic = cmplt %t, %k6
+  br %ic, ibody, ostore
+ibody:
+  %idx = add %i, %t
+  %ps = add %sig, %idx
+  %sv = load %ps
+  %coefidx = mul %t, %frac
+  %coef = addi %coefidx, 3
+  %pr = mul %sv, %coef
+  %sum = add %sum, %pr
+  %t = addi %t, 1
+  jump ihead
+ostore:
+  %sum = shr %sum, %k12
+  %slot = and %i, %k6
+  %sp2 = add SP, %slot
+  store %sp2, %sum
+  %back = load %sp2
+  %acc = add %acc, %back
+  %i = addi %i, 1
+  jump ohead
+done:
+  SP = addi SP, 8
+  ret %acc
+}
+"
+    .to_string();
+    build(t, vec![vec![100, 0, 1], vec![100, 5, 2], vec![100, 12, 3]])
+}
+
+/// Residual energy: triple-nested subframe/tap/sample sweep with a call
+/// per subframe, the biggest function of the suite.
+fn residual(depth3: bool) -> BenchFunction {
+    let inner = if depth3 {
+        "
+  %s = make 0
+  jump shead
+shead:
+  %sc = cmplt %s, %taps
+  br %sc, sbody, send
+sbody:
+  %st = add %tap, %s
+  %pp = add %exc, %st
+  %ev = load %pp
+  %prod = mul %ev, %gain
+  %energy = add %energy, %prod
+  %s = addi %s, 1
+  jump shead
+send:
+"
+    } else {
+        "
+"
+    };
+    let name = if depth3 { "vc_residual3" } else { "vc_residual2" };
+    let t = format!(
+        "func @{name} {{
+entry:
+  %exc, %nsub, %taps, %gain = input
+  %total = make 0
+  %sub = make 0
+  jump ohead
+ohead:
+  %oc = cmplt %sub, %nsub
+  br %oc, oinit, done
+oinit:
+  %energy = make 0
+  %tap = make 0
+  jump thead
+thead:
+  %tc = cmplt %tap, %taps
+  br %tc, tbody, onorm
+tbody:
+  %pt = add %exc, %tap
+  %tv = load %pt
+  %sq = mul %tv, %tv
+  %energy = add %energy, %sq
+{inner}
+  %tap = addi %tap, 1
+  jump thead
+onorm:
+  %norm = call normalize(%energy, %sub)
+  %total = add %total, %norm
+  %sub = addi %sub, 1
+  jump ohead
+done:
+  ret %total
+}}
+"
+    );
+    build(t, vec![vec![100, 2, 3, 2], vec![100, 4, 5, 3]])
+}
+
+/// The `LAI Large` substitute suite.
+pub fn lai_large() -> Vec<BenchFunction> {
+    vec![
+        windowing(1),
+        windowing(4),
+        autocorrelation(),
+        lattice(),
+        quantize(),
+        interpolate(),
+        residual(false),
+        residual(true),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tossa_ir::interp;
+
+    #[test]
+    fn suite_builds_and_runs() {
+        let suite = lai_large();
+        assert_eq!(suite.len(), 8);
+        for bf in &suite {
+            for inputs in &bf.inputs {
+                interp::run(&bf.func, inputs, 5_000_000).unwrap_or_else(|e| {
+                    panic!("{} traps on {inputs:?}: {e}", bf.func.name)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn functions_are_larger_than_kernels() {
+        let suite = lai_large();
+        let total: usize = suite
+            .iter()
+            .map(|b| b.func.all_insts().count())
+            .sum();
+        assert!(total > 250, "LAI Large should be big, got {total} insts");
+    }
+}

@@ -1,0 +1,441 @@
+//! The paper's interference model (§3.2–§3.3): `Variable_kills`,
+//! `stronglyInterfere`, `Resource_killed`, `Resource_interfere`, plus the
+//! optimistic/pessimistic variants of Algorithm 4 (Table 5's `opt` and
+//! `pess` rows).
+
+use tossa_analysis::{DefMap, DomTree, LiveAtDefs, Liveness};
+use tossa_ir::ids::Var;
+use tossa_ir::Function;
+
+/// How Class 1 kills (overlapping live ranges under dominance) are
+/// decided.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum InterferenceMode {
+    /// Exact: uses the live-after-def oracle (the paper's base
+    /// implementation).
+    #[default]
+    Exact,
+    /// Algorithm 4 `Variable_kills_optimistic`: block-level live-out
+    /// only — cheaper, may miss kills (repairs fix the difference).
+    Optimistic,
+    /// Algorithm 4 `Variable_kills_pessimistic`: block-level live-in or
+    /// same-block — may over-report, blocking profitable merges.
+    Pessimistic,
+}
+
+/// Read-only bundle of the analyses the interference procedures need.
+pub struct InterferenceEnv<'a> {
+    /// The SSA function under translation.
+    pub f: &'a Function,
+    /// Dominator tree.
+    pub dt: &'a DomTree,
+    /// Liveness with the paper's φ conventions.
+    pub live: &'a Liveness,
+    /// Unique definition sites.
+    pub defs: &'a DefMap,
+    /// Exact live-after-def oracle (used by [`InterferenceMode::Exact`]).
+    pub lad: &'a LiveAtDefs,
+    /// Which Class 1 rule to apply.
+    pub mode: InterferenceMode,
+}
+
+impl<'a> InterferenceEnv<'a> {
+    /// Whether `def(a)` dominates `def(b)` at instruction granularity.
+    /// Two φ definitions of the same block execute in parallel and do not
+    /// dominate one another.
+    pub fn def_dominates(&self, a: Var, b: Var) -> bool {
+        let (Some(sa), Some(sb)) = (self.defs.site(a), self.defs.site(b)) else {
+            return false;
+        };
+        if sa.block == sb.block {
+            if sa.is_phi && sb.is_phi {
+                return false;
+            }
+            sa.pos < sb.pos
+        } else {
+            self.dt.strictly_dominates(sa.block, sb.block)
+        }
+    }
+
+    /// The paper's `Variable_kills(a, b)` — true when **`a` kills `b`**:
+    ///
+    /// * Case 1: `def(b)` dominates `def(a)` and the two live ranges
+    ///   overlap, so writing the shared resource at `def(a)` clobbers the
+    ///   still-live `b`;
+    /// * Case 2: `a = φ(a1:B1, …, an:Bn)` and `b` is live out of some
+    ///   `Bi` with `b ≠ ai` — the parallel copy at the end of `Bi`
+    ///   clobbers `b`. (`a` may equal `b`: the lost-copy self-kill.)
+    pub fn variable_kills(&self, a: Var, b: Var) -> bool {
+        // Case 1.
+        if a != b && self.def_dominates(b, a) {
+            let killed = match self.mode {
+                InterferenceMode::Exact => self
+                    .lad
+                    .after_def(a)
+                    .is_some_and(|set| set.contains(b)),
+                InterferenceMode::Optimistic => {
+                    let na = self.defs.site(a).expect("def").block;
+                    self.live.live_out(na).contains(b)
+                }
+                InterferenceMode::Pessimistic => {
+                    let na = self.defs.site(a).expect("def").block;
+                    let nb = self.defs.site(b).expect("def").block;
+                    na == nb || self.live.live_in(na).contains(b)
+                }
+            };
+            if killed {
+                return true;
+            }
+        }
+        // Case 2.
+        if let Some(site) = self.defs.site(a) {
+            if site.is_phi {
+                let inst = self.f.inst(site.inst);
+                for (k, op) in inst.uses.iter().enumerate() {
+                    let bi = inst.phi_preds[k];
+                    if b != op.var && self.live.live_out(bi).contains(b) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// The paper's `stronglyInterfere(a, b)`: pinning the definitions of
+    /// `a` and `b` to one resource would be *incorrect* (not merely
+    /// repair-worthy):
+    ///
+    /// * Classes 3 & 4: both φ-defined in the same block, or their φ
+    ///   arguments disagree in a common predecessor;
+    /// * two variables defined by the same instruction (Fig. 4 Case 1).
+    pub fn strongly_interfere(&self, a: Var, b: Var) -> bool {
+        if a == b {
+            return false;
+        }
+        let (Some(sa), Some(sb)) = (self.defs.site(a), self.defs.site(b)) else {
+            return false;
+        };
+        if sa.inst == sb.inst {
+            return true; // same instruction
+        }
+        if sa.is_phi && sb.is_phi {
+            if sa.block == sb.block {
+                return true; // Class 4 (and same-block φ parallelism)
+            }
+            // Class 3: arguments disagree in a shared predecessor.
+            let ia = self.f.inst(sa.inst);
+            let ib = self.f.inst(sb.inst);
+            for (k, &ba) in ia.phi_preds.iter().enumerate() {
+                for (j, &bb) in ib.phi_preds.iter().enumerate() {
+                    if ba == bb && ia.uses[k].var != ib.uses[j].var {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// A resource viewed as the set of variables pinned to it
+/// (§3.3: "we identify the notion of resource with the set of variables
+/// pinned to it").
+#[derive(Clone, Debug, Default)]
+pub struct ResourceSet {
+    /// Member variables (definition-pinned).
+    pub members: Vec<Var>,
+    /// Whether the set denotes a physical register.
+    pub is_phys: bool,
+}
+
+impl ResourceSet {
+    /// A singleton set for an unpinned variable.
+    pub fn singleton(v: Var) -> ResourceSet {
+        ResourceSet { members: vec![v], is_phys: false }
+    }
+
+    /// The paper's `Resource_killed`: members already killed by another
+    /// member (including self-kills).
+    pub fn killed_within(&self, env: &InterferenceEnv<'_>) -> Vec<Var> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|&ai| self.members.iter().any(|&aj| env.variable_kills(aj, ai)))
+            .collect()
+    }
+}
+
+/// The paper's `Resource_interfere(A, B)`: merging the two variable sets
+/// would create a *new* simple interference (a kill of a not-yet-killed
+/// variable) or any strong interference. Two distinct physical resources
+/// always interfere.
+pub fn resource_interfere(env: &InterferenceEnv<'_>, a: &ResourceSet, b: &ResourceSet) -> bool {
+    if a.is_phys && b.is_phys {
+        // Distinct physical registers (callers never ask about A == A).
+        return true;
+    }
+    let killed_a = a.killed_within(env);
+    let killed_b = b.killed_within(env);
+    for &x in &a.members {
+        for &y in &b.members {
+            if !killed_a.contains(&x) && env.variable_kills(y, x) {
+                return true;
+            }
+            if !killed_b.contains(&y) && env.variable_kills(x, y) {
+                return true;
+            }
+            if env.strongly_interfere(x, y) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tossa_analysis::{DefMap, DomTree, LiveAtDefs, Liveness};
+    use tossa_ir::cfg::Cfg;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    struct Setup {
+        f: Function,
+        dt: DomTree,
+        live: Liveness,
+        defs: DefMap,
+        lad: LiveAtDefs,
+    }
+
+    fn setup(text: &str) -> Setup {
+        let f = parse_function(text, &Machine::dsp32()).unwrap();
+        f.validate().unwrap();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let live = Liveness::compute(&f, &cfg);
+        let defs = DefMap::compute(&f);
+        let lad = LiveAtDefs::compute(&f, &live, &defs);
+        Setup { f, dt, live, defs, lad }
+    }
+
+    impl Setup {
+        fn env(&self, mode: InterferenceMode) -> InterferenceEnv<'_> {
+            InterferenceEnv {
+                f: &self.f,
+                dt: &self.dt,
+                live: &self.live,
+                defs: &self.defs,
+                lad: &self.lad,
+                mode,
+            }
+        }
+        fn var(&self, name: &str) -> Var {
+            self.f
+                .vars()
+                .find(|&v| self.f.var(v).name == name)
+                .unwrap_or_else(|| panic!("no var {name}"))
+        }
+    }
+
+    #[test]
+    fn class1_kill_detected() {
+        // y defined while x live (x used after): pinning x,y together
+        // would clobber x at y's def => y kills x.
+        let s = setup(
+            "func @c1 {
+entry:
+  %x = make 1
+  %y = make 2
+  %s = add %x, %y
+  ret %s
+}",
+        );
+        let env = s.env(InterferenceMode::Exact);
+        let (x, y) = (s.var("x"), s.var("y"));
+        assert!(env.variable_kills(y, x), "y kills x");
+        assert!(!env.variable_kills(x, y), "x defined before y: x cannot kill y");
+    }
+
+    #[test]
+    fn class1_no_kill_when_dead() {
+        let s = setup(
+            "func @c1b {
+entry:
+  %x = make 1
+  %u = addi %x, 1
+  %y = make 2
+  %s = add %y, %u
+  ret %s
+}",
+        );
+        let env = s.env(InterferenceMode::Exact);
+        let (x, y) = (s.var("x"), s.var("y"));
+        // x dead before y's def: no kill either way.
+        assert!(!env.variable_kills(y, x));
+        assert!(!env.variable_kills(x, y));
+    }
+
+    #[test]
+    fn class2_phi_parallel_copy_kill() {
+        // Paper Fig. 6 middle: y = φ(., z), x live out of z's block,
+        // x != z => y kills x.
+        let s = setup(
+            "func @c2 {
+entry:
+  %x = make 1
+  %z = make 2
+  jump m
+m:
+  %y = phi [entry: %z]
+  %s = add %y, %x
+  ret %s
+}",
+        );
+        let env = s.env(InterferenceMode::Exact);
+        let (x, y, z) = (s.var("x"), s.var("y"), s.var("z"));
+        assert!(env.variable_kills(y, x), "parallel copy at end of entry kills x");
+        assert!(!env.variable_kills(y, z), "z is the argument itself");
+    }
+
+    #[test]
+    fn lost_copy_self_kill() {
+        // x = φ(...) with x live out of a predecessor on an unsplit
+        // critical edge: x kills itself.
+        let s = setup(
+            "func @lost {
+entry:
+  %a = make 0
+  jump head
+head:
+  %x = phi [entry: %a], [head: %x2]
+  %x2 = addi %x, 1
+  %c = cmplt %x2, %x
+  br %c, head, exit
+exit:
+  ret %x
+}",
+        );
+        let env = s.env(InterferenceMode::Exact);
+        let x = s.var("x");
+        assert!(env.variable_kills(x, x), "lost-copy self-kill");
+    }
+
+    #[test]
+    fn class3_phi_args_disagree() {
+        let s = setup(
+            "func @c3 {
+entry:
+  %a = make 1
+  %b = make 2
+  jump m
+m:
+  %x = phi [entry: %a]
+  %y = phi [entry: %b]
+  %s = add %x, %y
+  ret %s
+}",
+        );
+        let env = s.env(InterferenceMode::Exact);
+        let (x, y) = (s.var("x"), s.var("y"));
+        // Same block: Classes 3&4 say all φ defs of a block strongly
+        // interfere (here also args disagree).
+        assert!(env.strongly_interfere(x, y));
+        assert!(env.strongly_interfere(y, x));
+    }
+
+    #[test]
+    fn same_instruction_defs_strongly_interfere() {
+        let s = setup(
+            "func @si {
+entry:
+  %a, %b = input
+  ret %a
+}",
+        );
+        let env = s.env(InterferenceMode::Exact);
+        assert!(env.strongly_interfere(s.var("a"), s.var("b")));
+    }
+
+    #[test]
+    fn resource_interfere_phys_pair() {
+        let s = setup("func @p {\nentry:\n  ret\n}");
+        let env = s.env(InterferenceMode::Exact);
+        let a = ResourceSet { members: vec![], is_phys: true };
+        let b = ResourceSet { members: vec![], is_phys: true };
+        assert!(resource_interfere(&env, &a, &b));
+    }
+
+    #[test]
+    fn resource_interfere_respects_already_killed() {
+        // x killed within A already; adding another killer of x to the
+        // resource is NOT a new interference.
+        let s = setup(
+            "func @rk {
+entry:
+  %x = make 1
+  %y = make 2
+  %s = add %x, %y
+  %z = make 3
+  %t = add %s, %z
+  %u = add %t, %x
+  ret %u
+}",
+        );
+        let env = s.env(InterferenceMode::Exact);
+        let (x, y, z) = (s.var("x"), s.var("y"), s.var("z"));
+        // y kills x; z kills x (x live to the end).
+        assert!(env.variable_kills(y, x));
+        assert!(env.variable_kills(z, x));
+        let a = ResourceSet { members: vec![x, y], is_phys: false };
+        let b = ResourceSet { members: vec![z], is_phys: false };
+        // x is already killed within {x, y}; z also kills x but that is
+        // not NEW (and y is live across z's def? y's last use is at s,
+        // before z's def, so no y/z kill either).
+        let killed_a = a.killed_within(&env);
+        assert!(killed_a.contains(&x));
+        assert!(!killed_a.contains(&y));
+        assert!(!resource_interfere(&env, &a, &b));
+    }
+
+    #[test]
+    fn optimistic_misses_in_block_kill() {
+        // b's range ends within the block: exact sees the kill of b by a,
+        // optimistic (live-out only) does not.
+        let s = setup(
+            "func @opt {
+entry:
+  %b = make 1
+  %a = make 2
+  %s = add %a, %b
+  ret %s
+}",
+        );
+        let exact = s.env(InterferenceMode::Exact);
+        let opt = s.env(InterferenceMode::Optimistic);
+        let (a, b) = (s.var("a"), s.var("b"));
+        assert!(exact.variable_kills(a, b));
+        assert!(!opt.variable_kills(a, b), "b not live-out: optimistic misses it");
+    }
+
+    #[test]
+    fn pessimistic_over_reports_same_block() {
+        // b dead before a's def, same block: pessimistic still reports.
+        let s = setup(
+            "func @pess {
+entry:
+  %b = make 1
+  %u = addi %b, 1
+  %a = make 2
+  %s = add %a, %u
+  ret %s
+}",
+        );
+        let exact = s.env(InterferenceMode::Exact);
+        let pess = s.env(InterferenceMode::Pessimistic);
+        let (a, b) = (s.var("a"), s.var("b"));
+        assert!(!exact.variable_kills(a, b));
+        assert!(pess.variable_kills(a, b), "same-block rule over-approximates");
+    }
+}

@@ -1,0 +1,561 @@
+//! The function container: blocks, instruction arena, variables,
+//! resources.
+
+use crate::ids::{Block, EntityVec, Inst, Resource, Var};
+use crate::instr::{InstData, Operand};
+use crate::machine::{Machine, PhysReg};
+use crate::opcode::Opcode;
+use crate::resources::ResourceTable;
+use std::fmt;
+
+/// Per-variable metadata.
+#[derive(Clone, Debug)]
+pub struct VarData {
+    /// Display name (unique names are not required; the printer
+    /// disambiguates with the id).
+    pub name: String,
+    /// *Variable pinning* (paper §2.1): the resource the variable's unique
+    /// definition is pinned to, if any. Only meaningful while in SSA form.
+    pub pin: Option<Resource>,
+    /// After the out-of-SSA translation, variables that carry a physical
+    /// register identity record it here; such a variable *is* that
+    /// machine register in the final code.
+    pub reg: Option<PhysReg>,
+    /// For variables produced by SSA renaming: the pre-SSA variable this
+    /// version was renamed from. Constraint collection uses it to find
+    /// versions of dedicated registers (paper §2.2, the SP web).
+    pub origin: Option<Var>,
+}
+
+/// Per-block metadata: a label and the ordered instruction list.
+#[derive(Clone, Debug)]
+pub struct BlockData {
+    /// Display label.
+    pub name: String,
+    /// Ordered instructions; φs first, terminator last.
+    pub insts: Vec<Inst>,
+}
+
+/// An error found by [`Function::validate`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ValidateError {
+    /// Human-readable description of the violated invariant.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// A function of the linear IR.
+///
+/// Instructions live in an arena ([`Inst`] ids); each block holds an
+/// ordered list of instruction ids. Removing an instruction from a block
+/// leaves its arena slot in place (ids are never reused).
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Entry block.
+    pub entry: Block,
+    /// The machine this function targets.
+    pub machine: Machine,
+    /// Renaming resources of this function.
+    pub resources: ResourceTable,
+    blocks: EntityVec<Block, BlockData>,
+    insts: EntityVec<Inst, InstData>,
+    vars: EntityVec<Var, VarData>,
+}
+
+impl Function {
+    /// Creates an empty function with a single empty entry block.
+    pub fn new(name: impl Into<String>, machine: Machine) -> Function {
+        let mut blocks = EntityVec::new();
+        let entry = blocks.push(BlockData { name: "entry".to_string(), insts: Vec::new() });
+        Function {
+            name: name.into(),
+            entry,
+            machine,
+            resources: ResourceTable::new(),
+            blocks,
+            insts: EntityVec::new(),
+            vars: EntityVec::new(),
+        }
+    }
+
+    // ---- variables ------------------------------------------------------
+
+    /// Creates a fresh variable with the given display name.
+    pub fn new_var(&mut self, name: impl Into<String>) -> Var {
+        self.vars.push(VarData { name: name.into(), pin: None, reg: None, origin: None })
+    }
+
+    /// Creates a fresh variable that is an SSA version of `origin`
+    /// (inherits its display name).
+    pub fn new_var_version(&mut self, origin: Var) -> Var {
+        let name = self.vars[origin].name.clone();
+        let root = self.vars[origin].origin.unwrap_or(origin);
+        self.vars.push(VarData { name, pin: None, reg: None, origin: Some(root) })
+    }
+
+    /// Number of variables ever created.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Variable metadata.
+    pub fn var(&self, v: Var) -> &VarData {
+        &self.vars[v]
+    }
+
+    /// Mutable variable metadata.
+    pub fn var_mut(&mut self, v: Var) -> &mut VarData {
+        &mut self.vars[v]
+    }
+
+    /// Iterates over all variables.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + use<> {
+        let n = self.vars.len();
+        (0..n).map(Var::new)
+    }
+
+    // ---- blocks ---------------------------------------------------------
+
+    /// Creates a new empty block.
+    pub fn add_block(&mut self, name: impl Into<String>) -> Block {
+        self.blocks.push(BlockData { name: name.into(), insts: Vec::new() })
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Block metadata.
+    pub fn block(&self, b: Block) -> &BlockData {
+        &self.blocks[b]
+    }
+
+    /// Mutable block metadata.
+    pub fn block_mut(&mut self, b: Block) -> &mut BlockData {
+        &mut self.blocks[b]
+    }
+
+    /// Iterates over all blocks in creation order.
+    pub fn blocks(&self) -> impl Iterator<Item = Block> + use<> {
+        let n = self.blocks.len();
+        (0..n).map(Block::new)
+    }
+
+    // ---- instructions ---------------------------------------------------
+
+    /// Appends an instruction to a block and returns its id.
+    pub fn push_inst(&mut self, block: Block, data: InstData) -> Inst {
+        let id = self.insts.push(data);
+        self.blocks[block].insts.push(id);
+        id
+    }
+
+    /// Inserts an instruction into `block` at position `index`.
+    ///
+    /// # Panics
+    /// Panics if `index > block.insts.len()`.
+    pub fn insert_inst(&mut self, block: Block, index: usize, data: InstData) -> Inst {
+        let id = self.insts.push(data);
+        self.blocks[block].insts.insert(index, id);
+        id
+    }
+
+    /// Allocates an instruction in the arena without placing it in a block.
+    pub fn alloc_inst(&mut self, data: InstData) -> Inst {
+        self.insts.push(data)
+    }
+
+    /// Instruction payload.
+    pub fn inst(&self, i: Inst) -> &InstData {
+        &self.insts[i]
+    }
+
+    /// Mutable instruction payload.
+    pub fn inst_mut(&mut self, i: Inst) -> &mut InstData {
+        &mut self.insts[i]
+    }
+
+    /// Iterates over the instruction ids of a block.
+    pub fn block_insts(&self, b: Block) -> impl Iterator<Item = Inst> + '_ {
+        self.blocks[b].insts.iter().copied()
+    }
+
+    /// Iterates over `(block, inst)` for the whole function, in block
+    /// creation order and intra-block order.
+    pub fn all_insts(&self) -> impl Iterator<Item = (Block, Inst)> + '_ {
+        self.blocks().flat_map(move |b| self.block_insts(b).map(move |i| (b, i)))
+    }
+
+    /// The φ instructions at the head of `b`.
+    pub fn phis(&self, b: Block) -> impl Iterator<Item = Inst> + '_ {
+        self.block_insts(b).take_while(|&i| self.insts[i].is_phi())
+    }
+
+    /// Index of the first non-φ instruction of `b` (== number of φs).
+    pub fn first_non_phi(&self, b: Block) -> usize {
+        self.blocks[b].insts.iter().take_while(|&&i| self.insts[i].is_phi()).count()
+    }
+
+    /// The terminator of `b`, if the block is non-empty and properly
+    /// terminated.
+    pub fn terminator(&self, b: Block) -> Option<Inst> {
+        let last = *self.blocks[b].insts.last()?;
+        self.insts[last].is_terminator().then_some(last)
+    }
+
+    /// Successor blocks of `b` according to its terminator. Empty for
+    /// `ret` or unterminated blocks.
+    pub fn succs(&self, b: Block) -> &[Block] {
+        match self.terminator(b) {
+            Some(t) => &self.insts[t].targets,
+            None => &[],
+        }
+    }
+
+    /// Removes `inst` from `block`'s instruction list (the arena slot
+    /// remains allocated). Returns true if it was present.
+    pub fn remove_inst(&mut self, block: Block, inst: Inst) -> bool {
+        let list = &mut self.blocks[block].insts;
+        match list.iter().position(|&i| i == inst) {
+            Some(pos) => {
+                list.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    // ---- whole-function edits --------------------------------------------
+
+    /// Rewrites every operand variable through `map`.
+    pub fn rewrite_vars(&mut self, mut map: impl FnMut(Var) -> Var) {
+        let block_ids: Vec<Block> = self.blocks().collect();
+        for b in block_ids {
+            let insts = self.blocks[b].insts.clone();
+            for i in insts {
+                for op in self.insts[i].operands_mut() {
+                    op.var = map(op.var);
+                }
+            }
+        }
+    }
+
+    /// Computes, for each variable, its defining instruction(s).
+    /// In SSA form each list has at most one element.
+    pub fn def_sites(&self) -> EntityVec<Var, Vec<(Block, Inst)>> {
+        let mut defs: EntityVec<Var, Vec<(Block, Inst)>> =
+            EntityVec::filled(self.vars.len(), Vec::new());
+        for (b, i) in self.all_insts() {
+            for d in &self.insts[i].defs {
+                defs[d.var].push((b, i));
+            }
+        }
+        defs
+    }
+
+    /// Counts the `mov` instructions currently in the function, ignoring
+    /// self-moves (the metric of the paper's Tables 2–4).
+    pub fn count_moves(&self) -> usize {
+        self.all_insts()
+            .filter(|&(_, i)| {
+                let d = &self.insts[i];
+                d.opcode.is_move() && !d.is_self_move()
+            })
+            .count()
+    }
+
+    // ---- validation -----------------------------------------------------
+
+    /// Checks structural invariants: every reachable block ends in a
+    /// terminator, φs lead their block, branch targets are in range,
+    /// per-opcode def/use arities hold, and φ argument counts match their
+    /// predecessor lists.
+    ///
+    /// # Errors
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        let err = |message: String| Err(ValidateError { message });
+        for b in self.blocks() {
+            let data = &self.blocks[b];
+            if data.insts.is_empty() {
+                return err(format!("block {b} is empty"));
+            }
+            let last = *data.insts.last().expect("non-empty");
+            if !self.insts[last].is_terminator() {
+                return err(format!("block {b} does not end in a terminator"));
+            }
+            let mut seen_non_phi = false;
+            for (pos, &i) in data.insts.iter().enumerate() {
+                let inst = &self.insts[i];
+                if inst.is_terminator() && pos + 1 != data.insts.len() {
+                    return err(format!("terminator {i} of {b} is not last"));
+                }
+                if inst.is_phi() {
+                    if seen_non_phi {
+                        return err(format!("phi {i} of {b} after a non-phi"));
+                    }
+                } else {
+                    seen_non_phi = true;
+                }
+                for t in &inst.targets {
+                    if t.index() >= self.blocks.len() {
+                        return err(format!("{i} targets out-of-range block {t}"));
+                    }
+                }
+                for op in inst.operands() {
+                    if op.var.index() >= self.vars.len() {
+                        return err(format!("{i} references out-of-range var {}", op.var));
+                    }
+                }
+                self.check_arity(b, i)?;
+            }
+        }
+        // φ argument lists must match the actual predecessors.
+        let mut preds: EntityVec<Block, Vec<Block>> =
+            EntityVec::filled(self.blocks.len(), Vec::new());
+        for b in self.blocks() {
+            for &s in self.succs(b) {
+                preds[s].push(b);
+            }
+        }
+        for b in self.blocks() {
+            for i in self.phis(b) {
+                let inst = &self.insts[i];
+                let mut got: Vec<Block> = inst.phi_preds.clone();
+                let mut want = preds[b].clone();
+                got.sort();
+                want.sort();
+                want.dedup();
+                if got != want {
+                    return err(format!(
+                        "phi {i} of {b} has preds {got:?} but block has preds {want:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_arity(&self, b: Block, i: Inst) -> Result<(), ValidateError> {
+        let inst = &self.insts[i];
+        let (defs, uses) = (inst.defs.len(), inst.uses.len());
+        let bad = |what: &str| {
+            Err(ValidateError {
+                message: format!("{} {i} in {b}: bad {what} arity ({defs} defs, {uses} uses)", inst.opcode),
+            })
+        };
+        match inst.opcode {
+            Opcode::Input => {
+                if uses != 0 {
+                    return bad("use");
+                }
+            }
+            Opcode::Mov | Opcode::More | Opcode::AddImm | Opcode::AutoAdd | Opcode::Load
+            | Opcode::Neg | Opcode::Not => {
+                if defs != 1 || uses != 1 {
+                    return bad("def/use");
+                }
+            }
+            Opcode::Make => {
+                if defs != 1 || uses != 0 {
+                    return bad("def/use");
+                }
+            }
+            Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::And | Opcode::Or | Opcode::Xor
+            | Opcode::Shl | Opcode::Shr | Opcode::CmpEq | Opcode::CmpNe | Opcode::CmpLt
+            | Opcode::CmpLe => {
+                if defs != 1 || uses != 2 {
+                    return bad("def/use");
+                }
+            }
+            Opcode::Select | Opcode::PSel => {
+                if defs != 1 || uses != 3 {
+                    return bad("def/use");
+                }
+            }
+            Opcode::Store => {
+                if defs != 0 || uses != 2 {
+                    return bad("def/use");
+                }
+            }
+            Opcode::Call => {
+                if defs > 1 {
+                    return bad("def");
+                }
+                if inst.callee.is_none() {
+                    return Err(ValidateError { message: format!("call {i} has no callee") });
+                }
+            }
+            Opcode::Br => {
+                if defs != 0 || uses != 1 || inst.targets.len() != 2 {
+                    return bad("def/use/target");
+                }
+            }
+            Opcode::Jump => {
+                if defs != 0 || uses != 0 || inst.targets.len() != 1 {
+                    return bad("def/use/target");
+                }
+            }
+            Opcode::Ret => {
+                if defs != 0 {
+                    return bad("def");
+                }
+            }
+            Opcode::Phi => {
+                if defs != 1 || uses == 0 || uses != inst.phi_preds.len() {
+                    return bad("def/use/pred");
+                }
+            }
+            Opcode::Psi => {
+                if defs != 1 || uses < 2 || uses % 2 != 0 {
+                    return bad("def/use");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: pins the definition of `v` to the interned resource of a
+/// physical register.
+pub fn pin_var_to_reg(f: &mut Function, v: Var, reg: PhysReg) -> Resource {
+    let name = f.machine.reg_name(reg).to_string();
+    let r = f.resources.phys(reg, &name);
+    f.var_mut(v).pin = Some(r);
+    r
+}
+
+/// Convenience: pins an operand occurrence. `pos` addresses the operand
+/// among defs-then-uses.
+///
+/// # Panics
+/// Panics if `pos` is out of range.
+pub fn pin_operand(f: &mut Function, inst: Inst, pos: usize, res: Resource) {
+    let data = f.inst_mut(inst);
+    let ndefs = data.defs.len();
+    if pos < ndefs {
+        data.defs[pos].pin = Some(res);
+    } else {
+        data.uses[pos - ndefs].pin = Some(res);
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.var)?;
+        if let Some(r) = self.pin {
+            write!(f, "!{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Var;
+
+    fn tiny() -> Function {
+        let mut f = Function::new("t", Machine::dsp32());
+        let a = f.new_var("a");
+        let b = f.new_var("b");
+        f.push_inst(f.entry, InstData::new(Opcode::Make).with_defs(vec![a.into()]).with_imm(1));
+        f.push_inst(f.entry, InstData::mov(b, a));
+        f.push_inst(f.entry, InstData::new(Opcode::Ret).with_uses(vec![b.into()]));
+        f
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let f = tiny();
+        assert!(f.validate().is_ok());
+        assert_eq!(f.count_moves(), 1);
+        assert_eq!(f.num_blocks(), 1);
+        assert_eq!(f.block_insts(f.entry).count(), 3);
+    }
+
+    #[test]
+    fn self_moves_not_counted() {
+        let mut f = tiny();
+        let a = Var::new(0);
+        f.insert_inst(f.entry, 2, InstData::mov(a, a));
+        assert_eq!(f.count_moves(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_missing_terminator() {
+        let mut f = Function::new("t", Machine::dsp32());
+        let a = f.new_var("a");
+        f.push_inst(f.entry, InstData::new(Opcode::Make).with_defs(vec![a.into()]));
+        let e = f.validate().unwrap_err();
+        assert!(e.message.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn validate_rejects_misplaced_phi() {
+        let mut f = tiny();
+        let c = f.new_var("c");
+        let entry = f.entry;
+        f.insert_inst(entry, 1, InstData::phi(c, vec![(entry, Var::new(0))]));
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_arity() {
+        let mut f = Function::new("t", Machine::dsp32());
+        let a = f.new_var("a");
+        f.push_inst(
+            f.entry,
+            InstData::new(Opcode::Add).with_defs(vec![a.into()]).with_uses(vec![a.into()]),
+        );
+        f.push_inst(f.entry, InstData::new(Opcode::Ret));
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn phi_preds_checked_against_cfg() {
+        let mut f = Function::new("t", Machine::dsp32());
+        let a = f.new_var("a");
+        let x = f.new_var("x");
+        let merge = f.add_block("merge");
+        f.push_inst(f.entry, InstData::new(Opcode::Make).with_defs(vec![a.into()]).with_imm(3));
+        f.push_inst(f.entry, InstData::new(Opcode::Jump).with_targets(vec![merge]));
+        // φ claims a pred that is not an actual predecessor.
+        let bogus = f.add_block("bogus");
+        f.push_inst(bogus, InstData::new(Opcode::Ret));
+        f.push_inst(merge, InstData::phi(x, vec![(bogus, a)]));
+        f.push_inst(merge, InstData::new(Opcode::Ret).with_uses(vec![x.into()]));
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn pinning_helpers() {
+        let mut f = tiny();
+        let v = Var::new(0);
+        let reg = f.machine.abi.ret_reg;
+        let r = pin_var_to_reg(&mut f, v, reg);
+        assert_eq!(f.var(v).pin, Some(r));
+        assert_eq!(f.resources.as_phys(r), Some(f.machine.abi.ret_reg));
+        let inst = f.block_insts(f.entry).nth(1).unwrap();
+        pin_operand(&mut f, inst, 1, r); // the use of the mov
+        assert_eq!(f.inst(inst).uses[0].pin, Some(r));
+    }
+
+    #[test]
+    fn def_sites_in_ssa() {
+        let f = tiny();
+        let sites = f.def_sites();
+        assert_eq!(sites[Var::new(0)].len(), 1);
+        assert_eq!(sites[Var::new(1)].len(), 1);
+    }
+}

@@ -1,0 +1,418 @@
+//! A reference interpreter for the IR.
+//!
+//! The interpreter gives the IR an executable semantics so that every
+//! out-of-SSA translation can be checked end-to-end: a function and its
+//! translated form must produce identical outputs on identical inputs.
+//!
+//! Semantics notes:
+//! * values are `i64` with wrapping arithmetic; shifts mask their amount;
+//! * memory is a sparse word-addressed map, initially `default_mem`
+//!   everywhere;
+//! * `call` is a *deterministic pure function* of the callee name and the
+//!   argument values (a hash mix) — enough to detect any misrouted value
+//!   through ABI registers without modeling real callees;
+//! * φs at a block entry evaluate in parallel with values flowing from
+//!   the edge just taken; ψ takes the last satisfied guard, 0 otherwise.
+
+use crate::function::Function;
+use crate::ids::{Block, Var};
+use crate::opcode::Opcode;
+use std::collections::HashMap;
+
+/// Why execution stopped abnormally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// The step budget was exhausted (likely an infinite loop).
+    OutOfFuel,
+    /// A variable was read before any assignment.
+    UndefinedVar(Var, String),
+    /// Control reached a block without a terminator.
+    MissingTerminator(Block),
+    /// `input` requested more values than were supplied.
+    NotEnoughInputs,
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::OutOfFuel => write!(f, "out of fuel"),
+            Trap::UndefinedVar(v, name) => write!(f, "read of undefined {v} (`{name}`)"),
+            Trap::MissingTerminator(b) => write!(f, "block {b} has no terminator"),
+            Trap::NotEnoughInputs => write!(f, "not enough input values"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Result of a successful run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecResult {
+    /// Values of the `ret` uses, in order.
+    pub outputs: Vec<i64>,
+    /// Instructions executed.
+    pub steps: u64,
+}
+
+/// Deterministic model of an external call: a hash mix of the callee name
+/// and arguments. Exposed so tests can predict call results.
+pub fn call_model(callee: &str, args: &[i64]) -> i64 {
+    let mut h: i64 = 0x517c_c1b7_2722_0a95u64 as i64;
+    for b in callee.bytes() {
+        h = (h ^ b as i64).wrapping_mul(0x0100_0000_01b3);
+    }
+    for &a in args {
+        h = (h ^ a).wrapping_mul(0x0100_0000_01b3);
+        h = h.rotate_left(13);
+    }
+    h
+}
+
+/// Runs `f` on `inputs` with a step budget.
+///
+/// # Errors
+/// Returns a [`Trap`] on undefined reads, missing terminators, fuel
+/// exhaustion, or insufficient inputs.
+pub fn run(f: &Function, inputs: &[i64], fuel: u64) -> Result<ExecResult, Trap> {
+    let mut env: HashMap<Var, i64> = HashMap::new();
+    let mut mem: HashMap<i64, i64> = HashMap::new();
+    let mut steps: u64 = 0;
+    let mut block = f.entry;
+
+    // Dedicated (special-class) registers such as SP have a well-defined
+    // incoming value; every variable carrying such a register identity
+    // starts with it. General-purpose register variables stay undefined
+    // so misrouted values still trap.
+    for v in f.vars() {
+        if let Some(reg) = f.var(v).reg {
+            if f.machine.reg_class(reg) == crate::machine::RegClass::Special {
+                env.insert(v, 0x0010_0000 + (reg.index() as i64) * 0x1_0000);
+            }
+        }
+    }
+
+    let read = |env: &HashMap<Var, i64>, v: Var| -> Result<i64, Trap> {
+        env.get(&v).copied().ok_or_else(|| Trap::UndefinedVar(v, f.var(v).name.clone()))
+    };
+
+    loop {
+        // Execute the block's instructions (φs were handled on edge entry;
+        // at the entry block there are none).
+        let insts: Vec<_> = f.block_insts(block).collect();
+        let mut next: Option<Block> = None;
+        for &i in &insts {
+            let inst = f.inst(i);
+            if inst.is_phi() {
+                continue; // evaluated on edge transfer
+            }
+            steps += 1;
+            if steps > fuel {
+                return Err(Trap::OutOfFuel);
+            }
+            let u = |idx: usize| read(&env, inst.uses[idx].var);
+            match inst.opcode {
+                Opcode::Input => {
+                    if inputs.len() < inst.defs.len() {
+                        return Err(Trap::NotEnoughInputs);
+                    }
+                    for (k, d) in inst.defs.iter().enumerate() {
+                        env.insert(d.var, inputs[k]);
+                    }
+                }
+                Opcode::Mov => {
+                    let v = u(0)?;
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::Make => {
+                    env.insert(inst.defs[0].var, inst.imm);
+                }
+                Opcode::More => {
+                    let v = u(0)?;
+                    env.insert(inst.defs[0].var, (v << 16) | (inst.imm & 0xffff));
+                }
+                Opcode::Add => {
+                    let v = u(0)?.wrapping_add(u(1)?);
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::Sub => {
+                    let v = u(0)?.wrapping_sub(u(1)?);
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::Mul => {
+                    let v = u(0)?.wrapping_mul(u(1)?);
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::And => {
+                    let v = u(0)? & u(1)?;
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::Or => {
+                    let v = u(0)? | u(1)?;
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::Xor => {
+                    let v = u(0)? ^ u(1)?;
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::Shl => {
+                    let v = u(0)?.wrapping_shl(u(1)? as u32 & 63);
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::Shr => {
+                    let v = u(0)?.wrapping_shr(u(1)? as u32 & 63);
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::Neg => {
+                    let v = u(0)?.wrapping_neg();
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::Not => {
+                    let v = !u(0)?;
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::AddImm | Opcode::AutoAdd => {
+                    let v = u(0)?.wrapping_add(inst.imm);
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::Load => {
+                    let addr = u(0)?;
+                    let v = mem.get(&addr).copied().unwrap_or_else(|| default_mem(addr));
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::Store => {
+                    let addr = u(0)?;
+                    let v = u(1)?;
+                    mem.insert(addr, v);
+                }
+                Opcode::CmpEq => {
+                    let v = (u(0)? == u(1)?) as i64;
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::CmpNe => {
+                    let v = (u(0)? != u(1)?) as i64;
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::CmpLt => {
+                    let v = (u(0)? < u(1)?) as i64;
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::CmpLe => {
+                    let v = (u(0)? <= u(1)?) as i64;
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::Select | Opcode::PSel => {
+                    let v = if u(0)? != 0 { u(1)? } else { u(2)? };
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::Call => {
+                    let mut args = Vec::with_capacity(inst.uses.len());
+                    for k in 0..inst.uses.len() {
+                        args.push(u(k)?);
+                    }
+                    let callee = inst.callee.as_deref().unwrap_or("");
+                    let v = call_model(callee, &args);
+                    if let Some(d) = inst.defs.first() {
+                        env.insert(d.var, v);
+                    }
+                }
+                Opcode::Psi => {
+                    let mut v = 0;
+                    for pair in inst.uses.chunks(2) {
+                        if read(&env, pair[0].var)? != 0 {
+                            v = read(&env, pair[1].var)?;
+                        }
+                    }
+                    env.insert(inst.defs[0].var, v);
+                }
+                Opcode::Br => {
+                    let c = u(0)?;
+                    next = Some(if c != 0 { inst.targets[0] } else { inst.targets[1] });
+                }
+                Opcode::Jump => {
+                    next = Some(inst.targets[0]);
+                }
+                Opcode::Ret => {
+                    let mut outputs = Vec::with_capacity(inst.uses.len());
+                    for k in 0..inst.uses.len() {
+                        outputs.push(u(k)?);
+                    }
+                    return Ok(ExecResult { outputs, steps });
+                }
+                Opcode::Phi => unreachable!("phis skipped above"),
+            }
+        }
+        let Some(next_block) = next else {
+            return Err(Trap::MissingTerminator(block));
+        };
+        // Edge transfer: evaluate the successor's φs in parallel.
+        let phis: Vec<_> = f.phis(next_block).collect();
+        if !phis.is_empty() {
+            let mut updates = Vec::with_capacity(phis.len());
+            for &phi in &phis {
+                let inst = f.inst(phi);
+                let arg = inst.phi_arg_for(block).ok_or_else(|| {
+                    Trap::UndefinedVar(inst.defs[0].var, "phi missing pred".to_string())
+                })?;
+                updates.push((inst.defs[0].var, read(&env, arg.var)?));
+                steps += 1;
+                if steps > fuel {
+                    return Err(Trap::OutOfFuel);
+                }
+            }
+            for (d, v) in updates {
+                env.insert(d, v);
+            }
+        }
+        block = next_block;
+    }
+}
+
+/// Initial content of memory at `addr` — a fixed pseudo-random pattern so
+/// loads of unwritten cells are deterministic but nontrivial.
+pub fn default_mem(addr: i64) -> i64 {
+    (addr ^ 0x5bd1_e995).wrapping_mul(0x2545_f491_4f6c_dd1d) >> 17
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::machine::Machine;
+
+    #[test]
+    fn arithmetic_and_inputs() {
+        let mut fb = FunctionBuilder::new("t", Machine::dsp32());
+        let ins = fb.inputs(&["a", "b"]);
+        let s = fb.add("s", ins[0], ins[1]);
+        let d = fb.mul("d", s, s);
+        fb.ret(&[d]);
+        let f = fb.finish();
+        let r = run(&f, &[3, 4], 100).unwrap();
+        assert_eq!(r.outputs, vec![49]);
+    }
+
+    #[test]
+    fn loop_with_phi() {
+        // sum 0..n via φ
+        let mut fb = FunctionBuilder::new("sum", Machine::dsp32());
+        let n = fb.inputs(&["n"])[0];
+        let z = fb.make("z", 0);
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let exit = fb.block("exit");
+        fb.jump(head);
+        fb.switch_to(body);
+        let i = fb.var("i");
+        let acc = fb.var("acc");
+        let i2 = fb.addi("i2", i, 1);
+        let acc2 = fb.add("acc2", acc, i);
+        fb.jump(head);
+        fb.switch_to(head);
+        let entry = fb.func().entry;
+        let iphi = fb.phi("i", &[(entry, z), (body, i2)]);
+        let accphi = fb.phi("acc", &[(entry, z), (body, acc2)]);
+        let c = fb.cmplt("c", iphi, n);
+        fb.br(c, body, exit);
+        fb.switch_to(exit);
+        fb.ret(&[accphi]);
+        let mut f = fb.finish();
+        f.rewrite_vars(|v| {
+            if v == i {
+                iphi
+            } else if v == acc {
+                accphi
+            } else {
+                v
+            }
+        });
+        assert!(f.validate().is_ok(), "{:?}", f.validate());
+        let r = run(&f, &[5], 1000).unwrap();
+        assert_eq!(r.outputs, vec![10]); // 0+1+2+3+4
+    }
+
+    #[test]
+    fn phis_evaluate_in_parallel() {
+        // swap via φs: (x, y) = (y, x) each iteration.
+        let text = "
+func @swap {
+entry:
+  %a, %b, %n = input
+  jump head
+head:
+  %x = phi [entry: %a], [body: %y]
+  %y = phi [entry: %b], [body: %x]
+  %i = phi [entry: %n], [body: %i2]
+  %i2 = addi %i, -1
+  %z = make 0
+  %c2 = cmplt %z, %i
+  br %c2, body, exit
+body:
+  jump head
+exit:
+  ret %x, %y
+}";
+        let f = crate::parse::parse_function(text, &Machine::dsp32()).unwrap();
+        // one iteration: n = 1 -> swapped once
+        let r = run(&f, &[7, 9, 1], 1000).unwrap();
+        assert_eq!(r.outputs, vec![9, 7]);
+        // two iterations: back to original
+        let r = run(&f, &[7, 9, 2], 1000).unwrap();
+        assert_eq!(r.outputs, vec![7, 9]);
+    }
+
+    #[test]
+    fn memory_and_calls_are_deterministic() {
+        let mut fb = FunctionBuilder::new("m", Machine::dsp32());
+        let p = fb.inputs(&["p"])[0];
+        let v = fb.load("v", p);
+        let q = fb.autoadd("q", p, 1);
+        let w = fb.load("w", q);
+        let s = fb.add("s", v, w);
+        fb.store(p, s);
+        let v2 = fb.load("v2", p);
+        let r = fb.call("r", "f", &[v2, s]);
+        fb.ret(&[r]);
+        let f = fb.finish();
+        let r1 = run(&f, &[100], 100).unwrap();
+        let r2 = run(&f, &[100], 100).unwrap();
+        assert_eq!(r1.outputs, r2.outputs);
+        let expected = {
+            let v = default_mem(100);
+            let w = default_mem(101);
+            call_model("f", &[v.wrapping_add(w), v.wrapping_add(w)])
+        };
+        assert_eq!(r1.outputs, vec![expected]);
+    }
+
+    #[test]
+    fn fuel_limits_infinite_loops() {
+        let text = "func @inf {\nentry:\n  jump entry\n}";
+        let f = crate::parse::parse_function(text, &Machine::dsp32()).unwrap();
+        assert_eq!(run(&f, &[], 50), Err(Trap::OutOfFuel));
+    }
+
+    #[test]
+    fn undefined_read_traps() {
+        let text = "func @u {\nentry:\n  %y = mov %x\n  ret %y\n}";
+        let f = crate::parse::parse_function(text, &Machine::dsp32()).unwrap();
+        match run(&f, &[], 50) {
+            Err(Trap::UndefinedVar(_, name)) => assert_eq!(name, "x"),
+            other => panic!("expected undefined var, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn psi_takes_last_satisfied_guard() {
+        let text = "
+func @psi {
+entry:
+  %p1, %a1, %p2, %a2 = input
+  %x = psi %p1 ? %a1, %p2 ? %a2
+  ret %x
+}";
+        let f = crate::parse::parse_function(text, &Machine::dsp32()).unwrap();
+        assert_eq!(run(&f, &[1, 10, 1, 20], 50).unwrap().outputs, vec![20]);
+        assert_eq!(run(&f, &[1, 10, 0, 20], 50).unwrap().outputs, vec![10]);
+        assert_eq!(run(&f, &[0, 10, 0, 20], 50).unwrap().outputs, vec![0]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Machine model: physical registers and ABI conventions.
+//!
+//! The paper targets the STMicroelectronics ST120 DSP. That machine is
+//! proprietary, so this crate models a fictional but faithful stand-in,
+//! `DSP32`, exposing the same *classes* of renaming constraints the paper
+//! exercises:
+//!
+//! * ABI function parameter passing rules (arguments in `R0..R3`, pointer
+//!   arguments in `P0..P1`, result in `R0`) — paper Fig. 1, statements
+//!   `S0`, `S3`, `S8`;
+//! * a dedicated stack pointer `SP` that must keep its identity across the
+//!   out-of-SSA translation — paper §2.2, Fig. 2;
+//! * two-operand instructions (`more`, `autoadd`) whose definition must
+//!   reuse the resource of their first use — paper Fig. 1, statements
+//!   `S1`, `S6`.
+//!
+//! The out-of-SSA algorithms only observe the machine through pinnings, so
+//! any machine inducing the same pinning patterns exercises the same code
+//! paths (see DESIGN.md §3).
+
+use std::fmt;
+
+/// A physical register, identified by a small index into the machine's
+/// register file description.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(pub u8);
+
+impl PhysReg {
+    /// Dense index of the register.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Register class of a physical register.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegClass {
+    /// General purpose data register (`R0`–`R15`).
+    Gpr,
+    /// Pointer/address register (`P0`–`P3`).
+    Ptr,
+    /// Special dedicated register (`SP`, `LR`).
+    Special,
+}
+
+/// Description of one physical register.
+#[derive(Clone, Debug)]
+pub struct RegInfo {
+    /// Assembly name, e.g. `"R0"`.
+    pub name: String,
+    /// Register class.
+    pub class: RegClass,
+}
+
+/// ABI calling convention of the machine.
+#[derive(Clone, Debug)]
+pub struct Abi {
+    /// Registers carrying scalar arguments, in order.
+    pub arg_regs: Vec<PhysReg>,
+    /// Registers carrying pointer arguments, in order.
+    pub ptr_arg_regs: Vec<PhysReg>,
+    /// Register carrying the (single) scalar return value.
+    pub ret_reg: PhysReg,
+    /// The dedicated stack pointer.
+    pub sp: PhysReg,
+}
+
+/// A machine description: register file plus ABI.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    regs: Vec<RegInfo>,
+    /// The machine's calling convention.
+    pub abi: Abi,
+}
+
+impl Machine {
+    /// The fictional `DSP32` machine used throughout this repository:
+    /// sixteen GPRs `R0..R15`, four pointer registers `P0..P3`, and the
+    /// dedicated registers `SP` and `LR`.
+    pub fn dsp32() -> Machine {
+        let mut regs = Vec::new();
+        for i in 0..16 {
+            regs.push(RegInfo { name: format!("R{i}"), class: RegClass::Gpr });
+        }
+        for i in 0..4 {
+            regs.push(RegInfo { name: format!("P{i}"), class: RegClass::Ptr });
+        }
+        regs.push(RegInfo { name: "SP".to_string(), class: RegClass::Special });
+        regs.push(RegInfo { name: "LR".to_string(), class: RegClass::Special });
+        let r = |i: u8| PhysReg(i);
+        let abi = Abi {
+            arg_regs: vec![r(0), r(1), r(2), r(3)],
+            ptr_arg_regs: vec![r(16), r(17)],
+            ret_reg: r(0),
+            sp: r(20),
+        };
+        Machine { regs, abi }
+    }
+
+    /// Number of physical registers.
+    pub fn num_regs(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Assembly name of a register.
+    ///
+    /// # Panics
+    /// Panics if `reg` is out of range for this machine.
+    pub fn reg_name(&self, reg: PhysReg) -> &str {
+        &self.regs[reg.index()].name
+    }
+
+    /// Register class of a register.
+    ///
+    /// # Panics
+    /// Panics if `reg` is out of range for this machine.
+    pub fn reg_class(&self, reg: PhysReg) -> RegClass {
+        self.regs[reg.index()].class
+    }
+
+    /// Looks a register up by assembly name (case-insensitive).
+    pub fn reg_by_name(&self, name: &str) -> Option<PhysReg> {
+        self.regs
+            .iter()
+            .position(|r| r.name.eq_ignore_ascii_case(name))
+            .map(|i| PhysReg(i as u8))
+    }
+
+    /// Iterates over all physical registers.
+    pub fn regs(&self) -> impl Iterator<Item = PhysReg> + use<> {
+        (0..self.regs.len()).map(|i| PhysReg(i as u8))
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::dsp32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsp32_register_file() {
+        let m = Machine::dsp32();
+        assert_eq!(m.num_regs(), 22);
+        assert_eq!(m.reg_name(PhysReg(0)), "R0");
+        assert_eq!(m.reg_name(PhysReg(16)), "P0");
+        assert_eq!(m.reg_name(m.abi.sp), "SP");
+        assert_eq!(m.reg_class(m.abi.sp), RegClass::Special);
+        assert_eq!(m.reg_class(PhysReg(17)), RegClass::Ptr);
+    }
+
+    #[test]
+    fn reg_lookup_by_name() {
+        let m = Machine::dsp32();
+        assert_eq!(m.reg_by_name("R3"), Some(PhysReg(3)));
+        assert_eq!(m.reg_by_name("sp"), Some(m.abi.sp));
+        assert_eq!(m.reg_by_name("Z9"), None);
+    }
+
+    #[test]
+    fn abi_registers_are_distinct() {
+        let m = Machine::dsp32();
+        let mut all = m.abi.arg_regs.clone();
+        all.extend(&m.abi.ptr_arg_regs);
+        all.push(m.abi.sp);
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n);
+        assert!(m.abi.arg_regs.contains(&m.abi.ret_reg));
+    }
+}

@@ -1,0 +1,378 @@
+//! SSA construction: Cytron et al. φ placement on iterated dominance
+//! frontiers, pruned by liveness (the paper uses pruned SSA \[4\]), followed
+//! by renaming along the dominator tree.
+
+use tossa_analysis::{DomFrontiers, DomTree, Liveness};
+use tossa_ir::cfg::Cfg;
+use tossa_ir::ids::{Block, EntityVec, Inst, Var};
+use tossa_ir::instr::{InstData, Operand};
+use tossa_ir::{Function, Opcode};
+
+/// Converts `f` (arbitrary multiple-assignment code) into pruned SSA form
+/// in place.
+///
+/// Every inserted φ and every renamed definition produces a fresh variable
+/// whose [`origin`](tossa_ir::function::VarData::origin) points at the
+/// pre-SSA variable — constraint collection later uses this to find the
+/// web of a dedicated register such as `SP`.
+///
+/// Uses reachable only along paths with no prior definition keep the
+/// original variable (executing them traps in the interpreter, as
+/// before).
+/// # Panics
+/// Panics if `f` already contains φ instructions: construction renames
+/// from scratch and does not merge with pre-existing φs.
+pub fn to_ssa(f: &mut Function) {
+    assert!(
+        !has_phis(f),
+        "to_ssa input must not contain φ instructions (function {})",
+        f.name
+    );
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+    let df = DomFrontiers::compute(f, &cfg, &dt);
+    let live = Liveness::compute(f, &cfg);
+    let num_orig = f.num_vars();
+
+    // Definition blocks per variable.
+    let mut def_blocks: EntityVec<Var, Vec<Block>> = EntityVec::filled(num_orig, Vec::new());
+    for (b, i) in f.all_insts().collect::<Vec<_>>() {
+        for d in f.inst(i).defs.clone() {
+            if !def_blocks[d.var].contains(&b) {
+                def_blocks[d.var].push(b);
+            }
+        }
+    }
+
+    // φ insertion on the pruned iterated dominance frontier.
+    let mut phi_orig: Vec<(Inst, Var)> = Vec::new();
+    for v in (0..num_orig).map(Var::new) {
+        if def_blocks[v].is_empty() {
+            continue;
+        }
+        let seeds: Vec<Block> =
+            def_blocks[v].iter().copied().filter(|&b| dt.is_reachable(b)).collect();
+        for join in df.iterated(seeds) {
+            // Pruned SSA: only where the variable is live-in.
+            if !live.live_in(join).contains(v) {
+                continue;
+            }
+            let mut preds: Vec<Block> = cfg.preds(join).to_vec();
+            preds.sort();
+            preds.dedup();
+            let inst = InstData::phi(v, preds.into_iter().map(|p| (p, v)).collect());
+            let id = f.insert_inst(join, 0, inst);
+            phi_orig.push((id, v));
+        }
+    }
+    let phi_orig_of = |i: Inst| phi_orig.iter().find(|&&(pi, _)| pi == i).map(|&(_, v)| v);
+
+    // Renaming along the dominator tree (iterative, enter/exit events).
+    let mut stacks: EntityVec<Var, Vec<Var>> = EntityVec::filled(num_orig, Vec::new());
+    enum Event {
+        Enter(Block),
+        Exit(Block),
+    }
+    let mut events = vec![Event::Enter(f.entry)];
+    // Track per-block how many pushes to undo at exit.
+    let mut pushed: Vec<Vec<Var>> = vec![Vec::new(); f.num_blocks()];
+
+    while let Some(ev) = events.pop() {
+        match ev {
+            Event::Enter(b) => {
+                events.push(Event::Exit(b));
+                let insts: Vec<Inst> = f.block_insts(b).collect();
+                for i in insts {
+                    let is_phi = f.inst(i).is_phi();
+                    if !is_phi {
+                        // Rewrite uses to the current version.
+                        let uses = f.inst(i).uses.clone();
+                        for (k, op) in uses.iter().enumerate() {
+                            if op.var.index() < num_orig {
+                                if let Some(&top) = stacks[op.var].last() {
+                                    f.inst_mut(i).uses[k].var = top;
+                                }
+                            }
+                        }
+                    }
+                    // Rewrite defs to fresh versions.
+                    let defs = f.inst(i).defs.clone();
+                    for (k, op) in defs.iter().enumerate() {
+                        if op.var.index() < num_orig {
+                            let new = f.new_var_version(op.var);
+                            stacks[op.var].push(new);
+                            pushed[b.index()].push(op.var);
+                            f.inst_mut(i).defs[k].var = new;
+                        }
+                    }
+                }
+                // Fill φ arguments of successors for the edge b -> s.
+                for s in f.succs(b).to_vec() {
+                    for phi in f.phis(s).collect::<Vec<_>>() {
+                        let Some(orig) = phi_orig_of(phi) else { continue };
+                        let Some(&top) = stacks[orig].last() else { continue };
+                        let slots: Vec<usize> = f
+                            .inst(phi)
+                            .phi_preds
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(k, &p)| (p == b).then_some(k))
+                            .collect();
+                        for k in slots {
+                            f.inst_mut(phi).uses[k].var = top;
+                        }
+                    }
+                }
+                // Recurse into dominator-tree children.
+                let mut kids = dt.children(b);
+                kids.sort_by_key(|&c| std::cmp::Reverse(dt.rpo_pos(c)));
+                for c in kids {
+                    events.push(Event::Enter(c));
+                }
+            }
+            Event::Exit(b) => {
+                for v in pushed[b.index()].drain(..) {
+                    stacks[v].pop();
+                }
+            }
+        }
+    }
+}
+
+/// Returns true if `f` contains at least one φ.
+pub fn has_phis(f: &Function) -> bool {
+    f.all_insts().any(|(_, i)| f.inst(i).is_phi())
+}
+
+/// Counts the φ instructions of `f`.
+pub fn count_phis(f: &Function) -> usize {
+    f.all_insts().filter(|&(_, i)| f.inst(i).is_phi()).count()
+}
+
+/// Counts φ argument slots (the naive copy count of a φ replacement).
+pub fn count_phi_args(f: &Function) -> usize {
+    f.all_insts()
+        .filter(|&(_, i)| f.inst(i).is_phi())
+        .map(|(_, i)| f.inst(i).uses.len())
+        .sum()
+}
+
+/// Removes unreachable blocks' instructions (keeps empty `ret` so the
+/// validator stays happy) — a cleanup used after CFG surgery in tests.
+pub fn trim_unreachable(f: &mut Function) {
+    let reach = tossa_ir::cfg::reachable(f);
+    for b in f.blocks().collect::<Vec<_>>() {
+        if !reach[b.index()] {
+            f.block_mut(b).insts.clear();
+            f.push_inst(b, InstData::new(Opcode::Ret).with_uses(Vec::<Operand>::new()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_ssa;
+    use tossa_ir::interp;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    fn ssa_of(text: &str) -> (Function, Function) {
+        let before = parse_function(text, &Machine::dsp32()).unwrap();
+        before.validate().unwrap();
+        let mut after = before.clone();
+        to_ssa(&mut after);
+        after.validate().unwrap_or_else(|e| panic!("{e}\n{after}"));
+        verify_ssa(&after).unwrap_or_else(|e| panic!("{e}\n{after}"));
+        (before, after)
+    }
+
+    #[test]
+    fn straightline_multiple_defs_get_versions() {
+        let (_, f) = ssa_of(
+            "func @s {
+entry:
+  %x = make 1
+  %x = addi %x, 2
+  %x = addi %x, 3
+  ret %x
+}",
+        );
+        assert_eq!(count_phis(&f), 0);
+        // Three defs -> three distinct versions.
+        let r = interp::run(&f, &[], 100).unwrap();
+        assert_eq!(r.outputs, vec![6]);
+    }
+
+    #[test]
+    fn diamond_gets_one_phi() {
+        let (before, f) = ssa_of(
+            "func @d {
+entry:
+  %c = input
+  %x = make 0
+  br %c, l, r
+l:
+  %x = make 1
+  jump m
+r:
+  %x = make 2
+  jump m
+m:
+  ret %x
+}",
+        );
+        assert_eq!(count_phis(&f), 1);
+        for c in [0, 1] {
+            assert_eq!(
+                interp::run(&before, &[c], 100).unwrap().outputs,
+                interp::run(&f, &[c], 100).unwrap().outputs
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_no_phi_for_dead_variable() {
+        let (_, f) = ssa_of(
+            "func @p {
+entry:
+  %c = input
+  %x = make 0
+  %y = make 9
+  br %c, l, r
+l:
+  %x = make 1
+  jump m
+r:
+  %x = make 2
+  jump m
+m:
+  ret %y
+}",
+        );
+        // x is dead at m: pruned SSA inserts no φ at all.
+        assert_eq!(count_phis(&f), 0);
+    }
+
+    #[test]
+    fn loop_phis_and_equivalence() {
+        let text = "
+func @sum {
+entry:
+  %n = input
+  %i = make 0
+  %acc = make 0
+  jump head
+head:
+  %c = cmplt %i, %n
+  br %c, body, exit
+body:
+  %acc = add %acc, %i
+  %i = addi %i, 1
+  jump head
+exit:
+  ret %acc
+}";
+        let (before, f) = ssa_of(text);
+        // φs for i and acc at head.
+        assert_eq!(count_phis(&f), 2);
+        for n in [0, 1, 5, 10] {
+            assert_eq!(
+                interp::run(&before, &[n], 10_000).unwrap().outputs,
+                interp::run(&f, &[n], 10_000).unwrap().outputs,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn phi_arg_counts() {
+        let (_, f) = ssa_of(
+            "func @c {
+entry:
+  %c = input
+  %x = make 0
+  br %c, l, r
+l:
+  %x = make 1
+  jump m
+r:
+  %x = make 2
+  jump m
+m:
+  ret %x
+}",
+        );
+        assert!(has_phis(&f));
+        assert_eq!(count_phis(&f), 1);
+        assert_eq!(count_phi_args(&f), 2);
+    }
+
+    #[test]
+    fn trim_unreachable_clears_dead_blocks() {
+        let mut f = parse_function(
+            "func @t {\nentry:\n  ret\ndead:\n  %x = make 1\n  ret %x\n}",
+            &Machine::dsp32(),
+        )
+        .unwrap();
+        trim_unreachable(&mut f);
+        f.validate().unwrap();
+        let dead = tossa_ir::ids::Block::new(1);
+        assert_eq!(f.block_insts(dead).count(), 1);
+    }
+
+    #[test]
+    fn versions_record_origin() {
+        let (_, f) = ssa_of(
+            "func @o {
+entry:
+  %x = make 1
+  %x = addi %x, 1
+  ret %x
+}",
+        );
+        let versions: Vec<Var> =
+            f.vars().filter(|&v| f.var(v).origin == Some(Var::new(0))).collect();
+        assert_eq!(versions.len(), 2);
+        for v in versions {
+            assert_eq!(f.var(v).name, "x");
+        }
+    }
+
+    #[test]
+    fn nested_loop_equivalence() {
+        let text = "
+func @nest {
+entry:
+  %n = input
+  %i = make 0
+  %s = make 0
+  jump oh
+oh:
+  %ci = cmplt %i, %n
+  br %ci, obody, exit
+obody:
+  %j = make 0
+  jump ih
+ih:
+  %cj = cmplt %j, %i
+  br %cj, ibody, olatch
+ibody:
+  %s = add %s, %j
+  %j = addi %j, 1
+  jump ih
+olatch:
+  %i = addi %i, 1
+  jump oh
+exit:
+  ret %s
+}";
+        let (before, f) = ssa_of(text);
+        for n in [0, 3, 6] {
+            assert_eq!(
+                interp::run(&before, &[n], 100_000).unwrap().outputs,
+                interp::run(&f, &[n], 100_000).unwrap().outputs
+            );
+        }
+    }
+}

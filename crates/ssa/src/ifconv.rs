@@ -1,0 +1,312 @@
+//! If-conversion to ψ-SSA (paper §5, \[13\]).
+//!
+//! The ST120 is fully predicated; the LAO represents predicated code with
+//! ψ instructions while in SSA form. This pass converts small, side-
+//! effect-free diamonds
+//!
+//! ```text
+//!   B:  br c, T, F        T: t1; …; jump J       F: f1; …; jump J
+//!   J:  x = φ(T: xt, F: xf); …
+//! ```
+//!
+//! into straight-line predicated code in `B`:
+//!
+//! ```text
+//!   B:  t1; …; f1; …; one = make 1
+//!       x = ψ(one ? xf, c ? xt)        ; last satisfied guard wins
+//!       jump J
+//! ```
+//!
+//! which later lowers to a two-operand-constrained `psel` chain
+//! ([`crate::psi`]) and flows through the ordinary out-of-SSA pipeline.
+
+use tossa_ir::cfg::Cfg;
+use tossa_ir::ids::{Block, Inst, Var};
+use tossa_ir::instr::{InstData, Operand};
+use tossa_ir::{Function, Opcode};
+
+/// Limits on what gets if-converted.
+#[derive(Clone, Copy, Debug)]
+pub struct IfConvOptions {
+    /// Maximum instructions hoisted from each arm.
+    pub max_arm_insts: usize,
+}
+
+impl Default for IfConvOptions {
+    fn default() -> Self {
+        IfConvOptions { max_arm_insts: 8 }
+    }
+}
+
+/// Converts every eligible diamond. `f` must be in SSA form. Returns the
+/// number of diamonds converted.
+pub fn if_convert(f: &mut Function, opts: &IfConvOptions) -> usize {
+    let mut converted = 0;
+    while let Some(d) = find_diamond(f, opts) {
+        convert(f, d);
+        converted += 1;
+    }
+    converted
+}
+
+struct Diamond {
+    branch: Block,
+    cond: Var,
+    then_arm: Block,
+    else_arm: Block,
+    join: Block,
+}
+
+/// An arm is hoistable when it is a straight block of side-effect-free,
+/// non-φ instructions ending in a jump.
+fn hoistable_arm(f: &Function, arm: Block, join: Block, cfg: &Cfg, max: usize) -> bool {
+    if cfg.preds(arm).len() != 1 {
+        return false;
+    }
+    let insts: Vec<Inst> = f.block_insts(arm).collect();
+    let Some((&last, body)) = insts.split_last() else { return false };
+    if f.inst(last).opcode != Opcode::Jump || f.inst(last).targets != [join] {
+        return false;
+    }
+    if body.len() > max {
+        return false;
+    }
+    body.iter().all(|&i| {
+        let inst = f.inst(i);
+        !inst.opcode.has_side_effects()
+            && !inst.is_phi()
+            && !inst.opcode.is_psi()
+            && inst.opcode != Opcode::Load // loads are safe here but kept
+                                           // out to mimic a real machine's
+                                           // speculation constraints
+    })
+}
+
+fn find_diamond(f: &Function, opts: &IfConvOptions) -> Option<Diamond> {
+    let cfg = Cfg::compute(f);
+    for b in f.blocks() {
+        let Some(term) = f.terminator(b) else { continue };
+        let inst = f.inst(term);
+        if inst.opcode != Opcode::Br {
+            continue;
+        }
+        let (t, e) = (inst.targets[0], inst.targets[1]);
+        if t == e || t == b || e == b {
+            continue;
+        }
+        // Both arms must join at the same block.
+        let (tj, ej) = (f.succs(t), f.succs(e));
+        if tj.len() != 1 || ej.len() != 1 || tj[0] != ej[0] {
+            continue;
+        }
+        let join = tj[0];
+        if join == b || join == t || join == e {
+            continue;
+        }
+        let preds: Vec<Block> = cfg.preds(join).to_vec();
+        if preds.len() != 2 {
+            continue;
+        }
+        if !hoistable_arm(f, t, join, &cfg, opts.max_arm_insts)
+            || !hoistable_arm(f, e, join, &cfg, opts.max_arm_insts)
+        {
+            continue;
+        }
+        return Some(Diamond {
+            branch: b,
+            cond: inst.uses[0].var,
+            then_arm: t,
+            else_arm: e,
+            join,
+        });
+    }
+    None
+}
+
+fn convert(f: &mut Function, d: Diamond) {
+    // Remove the branch; remember its position.
+    let term = f.terminator(d.branch).expect("br");
+    let at = f.block(d.branch).insts.len() - 1;
+    f.remove_inst(d.branch, term);
+
+    // Hoist both arms (all but their jumps) into the branch block.
+    let mut at = at;
+    for arm in [d.then_arm, d.else_arm] {
+        let insts: Vec<Inst> = f.block_insts(arm).collect();
+        for &i in &insts[..insts.len() - 1] {
+            f.remove_inst(arm, i);
+            f.block_mut(d.branch).insts.insert(at, i);
+            at += 1;
+        }
+    }
+
+    // Guard for the "else" side: always-true, so the chain reads
+    // ψ(one ? else_val, cond ? then_val) — last satisfied wins.
+    let one = f.new_var("ptrue");
+    f.insert_inst(
+        d.branch,
+        at,
+        InstData::new(Opcode::Make).with_defs(vec![one.into()]).with_imm(1),
+    );
+    at += 1;
+
+    // Replace the join's φs with ψs placed in the branch block.
+    for phi in f.phis(d.join).collect::<Vec<_>>() {
+        let inst = f.inst(phi).clone();
+        let dst = inst.defs[0].var;
+        let arg_for = |b: Block| inst.phi_arg_for(b).expect("diamond pred").var;
+        let (tv, ev) = (arg_for(d.then_arm), arg_for(d.else_arm));
+        f.remove_inst(d.join, phi);
+        let psi = InstData::new(Opcode::Psi).with_defs(vec![Operand::new(dst)]).with_uses(vec![
+            one.into(),
+            ev.into(),
+            d.cond.into(),
+            tv.into(),
+        ]);
+        f.insert_inst(d.branch, at, psi);
+        at += 1;
+    }
+
+    // Fall through to the join; the arms become unreachable shells.
+    f.push_inst(d.branch, InstData::new(Opcode::Jump).with_targets(vec![d.join]));
+    for arm in [d.then_arm, d.else_arm] {
+        f.block_mut(arm).insts.clear();
+        f.push_inst(arm, InstData::new(Opcode::Ret));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_ssa;
+    use tossa_ir::interp;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    fn parse(text: &str) -> Function {
+        let f = parse_function(text, &Machine::dsp32()).unwrap();
+        f.validate().unwrap();
+        verify_ssa(&f).unwrap();
+        f
+    }
+
+    const DIAMOND: &str = "
+func @absdiff {
+entry:
+  %a, %b = input
+  %c = cmplt %a, %b
+  br %c, l, r
+l:
+  %d1 = sub %b, %a
+  jump m
+r:
+  %d2 = sub %a, %b
+  jump m
+m:
+  %d = phi [l: %d1], [r: %d2]
+  ret %d
+}";
+
+    #[test]
+    fn converts_diamond_to_psi() {
+        let mut f = parse(DIAMOND);
+        let src = f.clone();
+        assert_eq!(if_convert(&mut f, &IfConvOptions::default()), 1);
+        f.validate().unwrap();
+        assert!(crate::psi::has_psis(&f));
+        assert_eq!(
+            f.all_insts().filter(|&(_, i)| f.inst(i).is_phi()).count(),
+            0,
+            "{f}"
+        );
+        for (a, b) in [(3, 9), (9, 3), (5, 5), (-4, 4)] {
+            assert_eq!(
+                interp::run(&src, &[a, b], 1000).unwrap().outputs,
+                interp::run(&f, &[a, b], 1000).unwrap().outputs,
+                "({a},{b})\n{f}"
+            );
+        }
+    }
+
+    #[test]
+    fn converted_code_lowers_and_translates() {
+        let mut f = parse(DIAMOND);
+        let src = f.clone();
+        if_convert(&mut f, &IfConvOptions::default());
+        crate::psi::lower_psis(&mut f);
+        verify_ssa(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
+        for (a, b) in [(3, 9), (9, 3)] {
+            assert_eq!(
+                interp::run(&src, &[a, b], 1000).unwrap().outputs,
+                interp::run(&f, &[a, b], 1000).unwrap().outputs
+            );
+        }
+    }
+
+    #[test]
+    fn refuses_side_effects() {
+        let mut f = parse(
+            "
+func @store_arm {
+entry:
+  %a, %b = input
+  %c = cmplt %a, %b
+  br %c, l, r
+l:
+  store %a, %b
+  jump m
+r:
+  jump m
+m:
+  ret %a
+}",
+        );
+        assert_eq!(if_convert(&mut f, &IfConvOptions::default()), 0);
+    }
+
+    #[test]
+    fn refuses_large_arms() {
+        let mut f = parse(DIAMOND);
+        assert_eq!(if_convert(&mut f, &IfConvOptions { max_arm_insts: 0 }), 0);
+    }
+
+    #[test]
+    fn converts_nested_diamonds_iteratively() {
+        let mut f = parse(
+            "
+func @nested {
+entry:
+  %a, %b = input
+  %c1 = cmplt %a, %b
+  br %c1, l1, r1
+l1:
+  %x1 = addi %a, 1
+  jump m1
+r1:
+  %x2 = addi %a, 2
+  jump m1
+m1:
+  %x = phi [l1: %x1], [r1: %x2]
+  %c2 = cmplt %x, %b
+  br %c2, l2, r2
+l2:
+  %y1 = addi %x, 10
+  jump m2
+r2:
+  %y2 = addi %x, 20
+  jump m2
+m2:
+  %y = phi [l2: %y1], [r2: %y2]
+  ret %y
+}",
+        );
+        let src = f.clone();
+        assert_eq!(if_convert(&mut f, &IfConvOptions::default()), 2);
+        for (a, b) in [(0, 5), (5, 0), (3, 3)] {
+            assert_eq!(
+                interp::run(&src, &[a, b], 1000).unwrap().outputs,
+                interp::run(&f, &[a, b], 1000).unwrap().outputs
+            );
+        }
+    }
+}

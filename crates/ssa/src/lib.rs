@@ -1,0 +1,22 @@
+//! # tossa-ssa — SSA construction, verification, and SSA-level passes
+//!
+//! * [`construct::to_ssa`] — pruned SSA construction (Cytron et al. \[4\]);
+//! * [`verify::verify_ssa`] — SSA invariant checker;
+//! * [`opt`] — copy propagation, DCE, and dominator-scoped value
+//!   numbering (the optimizations whose interaction with out-of-SSA the
+//!   paper studies);
+//! * [`ifconv`] — if-conversion of small diamonds to ψ instructions
+//!   (the predicated code the ST120's full predication produces);
+//! * [`psi`] — ψ-SSA lowering to two-operand-constrained predicated
+//!   moves (ψ-conventional form, paper §5).
+
+#![warn(missing_docs)]
+
+pub mod construct;
+pub mod ifconv;
+pub mod opt;
+pub mod psi;
+pub mod verify;
+
+pub use construct::to_ssa;
+pub use verify::verify_ssa;

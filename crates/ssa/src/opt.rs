@@ -1,0 +1,348 @@
+//! SSA-level optimizations: copy propagation, dead-code elimination, and
+//! dominator-scoped global value numbering.
+//!
+//! These are the transformations the paper's introduction warns about:
+//! "this replacement must be performed carefully whenever optimizations
+//! such as value numbering have been done while in SSA form" — they
+//! extend live ranges and merge values, creating the interferences the
+//! out-of-SSA coalescer must then negotiate.
+
+use tossa_analysis::DomTree;
+use tossa_ir::cfg::Cfg;
+use tossa_ir::ids::{Inst, Var};
+use tossa_ir::{Function, Opcode};
+use std::collections::HashMap;
+
+/// Replaces every use of a copy destination by the copy source
+/// (transitively) and leaves the now-dead `mov`s for [`dce`]. Returns the
+/// number of uses rewritten.
+pub fn copy_propagate(f: &mut Function) -> usize {
+    // d -> s for every `d = mov s`.
+    let mut alias: HashMap<Var, Var> = HashMap::new();
+    for (_, i) in f.all_insts().collect::<Vec<_>>() {
+        let inst = f.inst(i);
+        if inst.opcode.is_move() {
+            alias.insert(inst.defs[0].var, inst.uses[0].var);
+        }
+    }
+    fn resolve(alias: &HashMap<Var, Var>, mut v: Var) -> Var {
+        let mut hops = 0;
+        while let Some(&s) = alias.get(&v) {
+            v = s;
+            hops += 1;
+            if hops > alias.len() {
+                break; // defensive: cyclic moves cannot occur in SSA
+            }
+        }
+        v
+    }
+    let mut rewritten = 0;
+    for b in f.blocks().collect::<Vec<_>>() {
+        for i in f.block_insts(b).collect::<Vec<_>>() {
+            let n = f.inst(i).uses.len();
+            for k in 0..n {
+                let v = f.inst(i).uses[k].var;
+                let r = resolve(&alias, v);
+                if r != v {
+                    f.inst_mut(i).uses[k].var = r;
+                    rewritten += 1;
+                }
+            }
+        }
+    }
+    rewritten
+}
+
+/// Dead-code elimination: removes instructions without side effects whose
+/// definitions are never used (transitively). Returns the number of
+/// instructions removed.
+pub fn dce(f: &mut Function) -> usize {
+    // Mark pass: seed with side-effecting instructions.
+    let all: Vec<(tossa_ir::Block, Inst)> = f.all_insts().collect();
+    let mut live_insts: HashMap<Inst, bool> =
+        all.iter().map(|&(_, i)| (i, f.inst(i).opcode.has_side_effects())).collect();
+    let mut def_of: HashMap<Var, Inst> = HashMap::new();
+    for &(_, i) in &all {
+        for d in &f.inst(i).defs {
+            def_of.insert(d.var, i);
+        }
+    }
+    let mut work: Vec<Inst> =
+        all.iter().filter(|&&(_, i)| live_insts[&i]).map(|&(_, i)| i).collect();
+    while let Some(i) = work.pop() {
+        for u in f.inst(i).uses.clone() {
+            if let Some(&di) = def_of.get(&u.var) {
+                if let Some(flag) = live_insts.get_mut(&di) {
+                    if !*flag {
+                        *flag = true;
+                        work.push(di);
+                    }
+                }
+            }
+        }
+    }
+    // Sweep.
+    let mut removed = 0;
+    for (b, i) in all {
+        if !live_insts[&i] {
+            f.remove_inst(b, i);
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// Dominator-scoped value numbering: two pure instructions computing the
+/// same (opcode, operands, immediate) in a dominating position are merged.
+/// Returns the number of instructions eliminated.
+pub fn gvn(f: &mut Function) -> usize {
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct Key {
+        opcode: Opcode,
+        uses: Vec<Var>,
+        imm: i64,
+    }
+
+    fn pure(op: Opcode) -> bool {
+        matches!(
+            op,
+            Opcode::Make
+                | Opcode::More
+                | Opcode::Add
+                | Opcode::Sub
+                | Opcode::Mul
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::Shl
+                | Opcode::Shr
+                | Opcode::Neg
+                | Opcode::Not
+                | Opcode::AddImm
+                | Opcode::AutoAdd
+                | Opcode::CmpEq
+                | Opcode::CmpNe
+                | Opcode::CmpLt
+                | Opcode::CmpLe
+                | Opcode::Select
+                | Opcode::PSel
+        )
+    }
+
+    let mut replacement: HashMap<Var, Var> = HashMap::new();
+    let mut table: HashMap<Key, Var> = HashMap::new();
+    let mut scopes: Vec<Vec<Key>> = Vec::new();
+    let mut dead: Vec<(tossa_ir::Block, Inst)> = Vec::new();
+
+    enum Event {
+        Enter(tossa_ir::Block),
+        Exit,
+    }
+    let mut events = vec![Event::Enter(f.entry)];
+    while let Some(ev) = events.pop() {
+        match ev {
+            Event::Enter(b) => {
+                events.push(Event::Exit);
+                scopes.push(Vec::new());
+                for i in f.block_insts(b).collect::<Vec<_>>() {
+                    // Resolve uses through prior replacements first.
+                    let n = f.inst(i).uses.len();
+                    for k in 0..n {
+                        let v = f.inst(i).uses[k].var;
+                        if let Some(&r) = replacement.get(&v) {
+                            f.inst_mut(i).uses[k].var = r;
+                        }
+                    }
+                    let inst = f.inst(i);
+                    if !pure(inst.opcode) || inst.defs.len() != 1 {
+                        continue;
+                    }
+                    let mut uses: Vec<Var> = inst.uses.iter().map(|o| o.var).collect();
+                    // Commutative normalization.
+                    if matches!(
+                        inst.opcode,
+                        Opcode::Add | Opcode::Mul | Opcode::And | Opcode::Or | Opcode::Xor
+                    ) {
+                        uses.sort();
+                    }
+                    let key = Key { opcode: inst.opcode, uses, imm: inst.imm };
+                    match table.get(&key) {
+                        Some(&existing) => {
+                            replacement.insert(inst.defs[0].var, existing);
+                            dead.push((b, i));
+                        }
+                        None => {
+                            table.insert(key.clone(), inst.defs[0].var);
+                            scopes.last_mut().expect("scope").push(key);
+                        }
+                    }
+                }
+                let mut kids = dt.children(b);
+                kids.sort_by_key(|&c| std::cmp::Reverse(dt.rpo_pos(c)));
+                for c in kids {
+                    events.push(Event::Enter(c));
+                }
+            }
+            Event::Exit => {
+                for key in scopes.pop().expect("scope") {
+                    table.remove(&key);
+                }
+            }
+        }
+    }
+
+    // Apply replacements everywhere (φ args in not-yet-visited blocks).
+    if !replacement.is_empty() {
+        // rewrite_vars also remaps the defs of the replaced instructions
+        // themselves; harmless, they are removed below.
+        f.rewrite_vars(|v| {
+            let mut v = v;
+            while let Some(&r) = replacement.get(&v) {
+                v = r;
+            }
+            v
+        });
+    }
+    let removed = dead.len();
+    for (b, i) in dead {
+        f.remove_inst(b, i);
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_ssa;
+    use tossa_ir::interp;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    fn parse(text: &str) -> Function {
+        let f = parse_function(text, &Machine::dsp32()).unwrap();
+        f.validate().unwrap();
+        f
+    }
+
+    #[test]
+    fn copy_prop_then_dce_removes_moves() {
+        let mut f = parse(
+            "func @c {
+entry:
+  %a = make 1
+  %b = mov %a
+  %c = mov %b
+  %d = addi %c, 1
+  ret %d
+}",
+        );
+        let before = interp::run(&f, &[], 100).unwrap();
+        assert!(copy_propagate(&mut f) >= 1);
+        let removed = dce(&mut f);
+        assert_eq!(removed, 2);
+        assert_eq!(f.count_moves(), 0);
+        assert_eq!(interp::run(&f, &[], 100).unwrap().outputs, before.outputs);
+        verify_ssa(&f).unwrap();
+    }
+
+    #[test]
+    fn dce_keeps_side_effects() {
+        let mut f = parse(
+            "func @s {
+entry:
+  %p = input
+  %dead = make 7
+  store %p, %p
+  ret
+}",
+        );
+        let removed = dce(&mut f);
+        assert_eq!(removed, 1); // only %dead
+        assert_eq!(f.block_insts(f.entry).count(), 3);
+    }
+
+    #[test]
+    fn gvn_merges_redundant_computation() {
+        let mut f = parse(
+            "func @g {
+entry:
+  %a, %b = input
+  %x = add %a, %b
+  %y = add %b, %a
+  %z = mul %x, %y
+  ret %z
+}",
+        );
+        let before = interp::run(&f, &[3, 4], 100).unwrap();
+        let n = gvn(&mut f);
+        assert_eq!(n, 1); // commutative match
+        assert_eq!(interp::run(&f, &[3, 4], 100).unwrap().outputs, before.outputs);
+        verify_ssa(&f).unwrap();
+    }
+
+    #[test]
+    fn gvn_respects_dominance_scoping() {
+        // The same expression in two sibling branches must NOT be merged.
+        let mut f = parse(
+            "func @sib {
+entry:
+  %c, %a = input
+  br %c, l, r
+l:
+  %x = addi %a, 5
+  jump m
+r:
+  %y = addi %a, 5
+  jump m
+m:
+  %z = phi [l: %x], [r: %y]
+  ret %z
+}",
+        );
+        let n = gvn(&mut f);
+        assert_eq!(n, 0);
+        verify_ssa(&f).unwrap();
+    }
+
+    #[test]
+    fn gvn_merges_across_dominance() {
+        let mut f = parse(
+            "func @dom {
+entry:
+  %c, %a = input
+  %x = addi %a, 5
+  br %c, l, m
+l:
+  %y = addi %a, 5
+  jump m
+m:
+  ret %x
+}",
+        );
+        let before = interp::run(&f, &[1, 2], 100).unwrap();
+        let n = gvn(&mut f);
+        assert_eq!(n, 1);
+        dce(&mut f);
+        assert_eq!(interp::run(&f, &[1, 2], 100).unwrap().outputs, before.outputs);
+        verify_ssa(&f).unwrap();
+    }
+
+    #[test]
+    fn gvn_does_not_merge_loads() {
+        let mut f = parse(
+            "func @mem {
+entry:
+  %p = input
+  %v1 = load %p
+  store %p, %v1
+  %v2 = load %p
+  %s = add %v1, %v2
+  ret %s
+}",
+        );
+        assert_eq!(gvn(&mut f), 0);
+    }
+}

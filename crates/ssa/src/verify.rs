@@ -1,0 +1,207 @@
+//! SSA form verifier.
+
+use tossa_analysis::{DefMap, DomTree};
+use tossa_ir::cfg::Cfg;
+use tossa_ir::ids::{Block, Var};
+use tossa_ir::Function;
+use std::fmt;
+
+/// A violation of SSA invariants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SsaError {
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for SsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SsaError {}
+
+/// Checks that `f` is in valid SSA form:
+///
+/// * every variable has at most one definition;
+/// * every (reachable) non-φ use is dominated by its definition;
+/// * every φ argument's definition dominates the end of the corresponding
+///   predecessor block;
+/// * no use of a never-defined variable in reachable code.
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn verify_ssa(f: &Function) -> Result<(), SsaError> {
+    let err = |m: String| Err(SsaError { message: m });
+    // Single definitions.
+    let mut seen = vec![false; f.num_vars()];
+    for (_, i) in f.all_insts() {
+        for d in &f.inst(i).defs {
+            if seen[d.var.index()] {
+                return err(format!("{} has multiple definitions", d.var));
+            }
+            seen[d.var.index()] = true;
+        }
+    }
+
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+    let defs = DefMap::compute(f);
+
+    let def_dominates_point = |v: Var, b: Block, pos: usize| -> bool {
+        match defs.site(v) {
+            None => false,
+            Some(site) => {
+                if site.block == b {
+                    site.pos < pos
+                } else {
+                    dt.strictly_dominates(site.block, b)
+                }
+            }
+        }
+    };
+
+    for b in f.blocks() {
+        if !dt.is_reachable(b) {
+            continue;
+        }
+        for (pos, i) in f.block_insts(b).enumerate() {
+            let inst = f.inst(i);
+            if inst.is_phi() {
+                for (k, op) in inst.uses.iter().enumerate() {
+                    let pred = inst.phi_preds[k];
+                    if !dt.is_reachable(pred) {
+                        continue; // the edge can never execute
+                    }
+                    let Some(site) = defs.site(op.var) else {
+                        return err(format!(
+                            "phi arg {} (from {pred}) is never defined",
+                            op.var
+                        ));
+                    };
+                    // Must dominate the end of pred.
+                    if !dt.dominates(site.block, pred) {
+                        return err(format!(
+                            "phi arg {} def in {} does not dominate pred {pred} exit",
+                            op.var, site.block
+                        ));
+                    }
+                }
+            } else {
+                for op in &inst.uses {
+                    if defs.site(op.var).is_none() {
+                        return err(format!("{} used in {b} but never defined", op.var));
+                    }
+                    if !def_dominates_point(op.var, b, pos) {
+                        return err(format!(
+                            "use of {} at {b}:{pos} not dominated by its definition",
+                            op.var
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    fn parse(text: &str) -> Function {
+        parse_function(text, &Machine::dsp32()).unwrap()
+    }
+
+    #[test]
+    fn accepts_valid_ssa() {
+        let f = parse(
+            "func @v {
+entry:
+  %a = make 1
+  %b = addi %a, 2
+  ret %b
+}",
+        );
+        assert!(verify_ssa(&f).is_ok());
+    }
+
+    #[test]
+    fn rejects_double_definition() {
+        let f = parse(
+            "func @d {
+entry:
+  %a = make 1
+  %a = make 2
+  ret %a
+}",
+        );
+        let e = verify_ssa(&f).unwrap_err();
+        assert!(e.message.contains("multiple definitions"), "{e}");
+    }
+
+    #[test]
+    fn rejects_use_not_dominated() {
+        let f = parse(
+            "func @u {
+entry:
+  %c = input
+  br %c, l, m
+l:
+  %x = make 1
+  jump m
+m:
+  ret %x
+}",
+        );
+        let e = verify_ssa(&f).unwrap_err();
+        assert!(e.message.contains("not dominated"), "{e}");
+    }
+
+    #[test]
+    fn rejects_undefined_use() {
+        let f = parse("func @z {\nentry:\n  ret %ghost\n}");
+        let e = verify_ssa(&f).unwrap_err();
+        assert!(e.message.contains("never defined"), "{e}");
+    }
+
+    #[test]
+    fn phi_arg_must_dominate_pred_exit() {
+        // x defined only in r, but claimed to flow in from l.
+        let f = parse(
+            "func @p {
+entry:
+  %c = input
+  br %c, l, r
+l:
+  jump m
+r:
+  %x = make 2
+  jump m
+m:
+  %y = phi [l: %x], [r: %x]
+  ret %y
+}",
+        );
+        let e = verify_ssa(&f).unwrap_err();
+        assert!(e.message.contains("does not dominate pred"), "{e}");
+    }
+
+    #[test]
+    fn phi_def_dominates_same_block_uses() {
+        let f = parse(
+            "func @ok {
+entry:
+  %a = make 1
+  jump m
+m:
+  %x = phi [entry: %a]
+  %y = addi %x, 1
+  ret %y
+}",
+        );
+        assert!(verify_ssa(&f).is_ok());
+    }
+}

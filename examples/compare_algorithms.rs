@@ -1,0 +1,39 @@
+//! Runs every Table-1 experiment over the benchmark suites and prints a
+//! per-suite move-count comparison (a condensed form of the paper's
+//! Tables 2–4), verifying each translated function against the
+//! interpreter.
+//!
+//! ```bash
+//! cargo run --release --example compare_algorithms
+//! ```
+
+use tossa::bench::runner::run_suite;
+use tossa::bench::suites::all_suites;
+use tossa::core::Experiment;
+
+fn main() {
+    let suites = all_suites(10);
+    let experiments = Experiment::all();
+
+    print!("{:<12}", "suite");
+    for e in experiments {
+        print!(" {:>12}", format!("{e}"));
+    }
+    println!();
+    for suite in &suites {
+        print!("{:<12}", suite.name);
+        for &e in experiments {
+            let r = run_suite(suite, e, &Default::default(), true);
+            print!(" {:>12}", r.moves);
+        }
+        println!();
+    }
+    println!(
+        "\ncolumns: {} — all outputs verified against the interpreter",
+        experiments
+            .iter()
+            .map(|e| e.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

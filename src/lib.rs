@@ -1,0 +1,66 @@
+//! # tossa — Translation Out of SSA with renaming constraints
+//!
+//! A from-scratch reproduction of **“Optimizing Translation Out of SSA
+//! Using Renaming Constraints”** (F. Rastello, F. de Ferrière,
+//! C. Guillon — CGO 2004): a pinning-based register coalescing algorithm
+//! that runs *during* the out-of-SSA translation and is aware of
+//! machine-level renaming constraints (ABI parameter passing, dedicated
+//! registers, two-operand instructions).
+//!
+//! The workspace is organized as the paper's system plus every substrate
+//! it depends on:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`ir`] | machine-level linear IR, machine model, parser/printer, interpreter, parallel copies |
+//! | [`analysis`] | dominators, dominance frontiers, loops, liveness, interference |
+//! | [`ssa`] | pruned SSA construction, verifier, SSA optimizations, ψ-SSA lowering |
+//! | [`core`] | the paper's contribution: pinning, interference classes, affinity graph coalescing, Leung–George mark/reconstruct |
+//! | [`baselines`] | Briggs-style naive replacement, Sreedhar et al. Method III, Chaitin coalescing |
+//! | [`bench`](mod@bench) | the five benchmark suites and the harness regenerating Tables 1–5 |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tossa::ir::{machine::Machine, parse::parse_function, interp};
+//! use tossa::ssa::to_ssa;
+//! use tossa::core::{coalesce, reconstruct, collect};
+//!
+//! // A small accumulator loop, written as ordinary (pre-SSA) code.
+//! let text = "
+//! func @sum {
+//! entry:
+//!   %n = input
+//!   %acc = make 0
+//!   %i = make 0
+//!   jump head
+//! head:
+//!   %c = cmplt %i, %n
+//!   br %c, body, exit
+//! body:
+//!   %acc = add %acc, %i
+//!   %i = addi %i, 1
+//!   jump head
+//! exit:
+//!   ret %acc
+//! }";
+//! let mut f = parse_function(text, &Machine::dsp32())?;
+//! let reference = interp::run(&f, &[10], 10_000)?;
+//!
+//! to_ssa(&mut f);                                   // Cytron et al., pruned
+//! collect::pinning_sp(&mut f);                      // dedicated-register web
+//! collect::pinning_abi(&mut f);                     // ABI/ISA constraints
+//! coalesce::program_pinning(&mut f, &Default::default()); // the paper's coalescer
+//! let stats = reconstruct::out_of_pinned_ssa(&mut f);     // Leung–George
+//!
+//! assert_eq!(stats.phi_copies, 0); // both φ webs fully coalesced
+//! assert_eq!(interp::run(&f, &[10], 10_000)?.outputs, reference.outputs);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use tossa_analysis as analysis;
+pub use tossa_baselines as baselines;
+pub use tossa_bench as bench;
+pub use tossa_core as core;
+pub use tossa_ir as ir;
+pub use tossa_ssa as ssa;

@@ -1,0 +1,50 @@
+//! The master correctness property: every experiment pipeline of Table 1
+//! preserves the observable behaviour of every benchmark function on
+//! every sample input, and produces structurally valid non-SSA code.
+
+use tossa::bench::runner::{run_experiment, verify};
+use tossa::bench::suites::all_suites;
+use tossa::core::coalesce::CoalesceOptions;
+use tossa::core::interfere::InterferenceMode;
+use tossa::core::Experiment;
+
+fn check_all(opts: &CoalesceOptions) {
+    for suite in all_suites(12) {
+        for bf in &suite.functions {
+            for &exp in Experiment::all() {
+                let r = run_experiment(&bf.func, exp, opts);
+                r.func
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{exp} on {}: invalid: {e}", bf.func.name));
+                assert_eq!(
+                    r.func.all_insts().filter(|&(_, i)| r.func.inst(i).is_phi()).count(),
+                    0,
+                    "{exp} left φs in {}",
+                    bf.func.name
+                );
+                verify(&bf.func, &r.func, &bf.inputs)
+                    .unwrap_or_else(|e| panic!("{exp} broke {e}\n{}", r.func));
+            }
+        }
+    }
+}
+
+#[test]
+fn all_experiments_preserve_semantics_base() {
+    check_all(&CoalesceOptions::default());
+}
+
+#[test]
+fn all_experiments_preserve_semantics_depth_variant() {
+    check_all(&CoalesceOptions { depth_priority: true, ..Default::default() });
+}
+
+#[test]
+fn all_experiments_preserve_semantics_optimistic() {
+    check_all(&CoalesceOptions { mode: InterferenceMode::Optimistic, ..Default::default() });
+}
+
+#[test]
+fn all_experiments_preserve_semantics_pessimistic() {
+    check_all(&CoalesceOptions { mode: InterferenceMode::Pessimistic, ..Default::default() });
+}

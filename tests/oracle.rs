@@ -1,0 +1,88 @@
+//! Bounds the greedy coalescer against the exhaustive optimal-pinning
+//! oracle on small functions (the φ coalescing problem is NP-complete,
+//! so only small instances can be checked exactly).
+
+use tossa::bench::suites::synth::{generate_function, SynthConfig};
+use tossa::bench::suites::{kernels, paper_examples};
+use tossa::core::coalesce::program_pinning;
+use tossa::core::collect::{pinning_abi, pinning_sp};
+use tossa::core::exhaustive::exhaustive_phi_pinning;
+use tossa::core::reconstruct::out_of_pinned_ssa;
+use tossa::ir::Function;
+use tossa::ssa::to_ssa;
+
+fn prepared(src: &Function) -> Function {
+    let mut f = src.clone();
+    to_ssa(&mut f);
+    tossa::ssa::opt::copy_propagate(&mut f);
+    tossa::ssa::opt::dce(&mut f);
+    pinning_sp(&mut f);
+    pinning_abi(&mut f);
+    f
+}
+
+fn heuristic_moves(f: &Function) -> usize {
+    let mut g = f.clone();
+    program_pinning(&mut g, &Default::default());
+    let _ = out_of_pinned_ssa(&mut g);
+    g.count_moves()
+}
+
+/// Runs heuristic-vs-oracle over a population; returns
+/// `(checked, total_heuristic, total_optimal, worst_gap)`.
+fn sweep(functions: &[Function]) -> (usize, usize, usize, usize) {
+    let mut checked = 0;
+    let mut h_total = 0;
+    let mut o_total = 0;
+    let mut worst = 0;
+    for src in functions {
+        let f = prepared(src);
+        let Some(opt) = exhaustive_phi_pinning(&f) else { continue };
+        let h = heuristic_moves(&f);
+        assert!(
+            h + 100 >= opt.best_moves, // sanity: oracle can never be wildly above
+            "oracle exceeded heuristic absurdly on {}",
+            src.name
+        );
+        checked += 1;
+        h_total += h;
+        o_total += opt.best_moves;
+        worst = worst.max(h.saturating_sub(opt.best_moves));
+    }
+    (checked, h_total, o_total, worst)
+}
+
+#[test]
+fn heuristic_near_optimal_on_paper_examples() {
+    let funcs: Vec<Function> =
+        paper_examples::examples().into_iter().map(|b| b.func).collect();
+    let (checked, h, o, worst) = sweep(&funcs);
+    assert!(checked >= 6, "most examples are small enough: {checked}");
+    assert!(h <= o + 2, "heuristic {h} vs optimal {o} (worst gap {worst})");
+}
+
+#[test]
+fn heuristic_near_optimal_on_small_kernels() {
+    let funcs: Vec<Function> = kernels::valcc1().into_iter().map(|b| b.func).collect();
+    let (checked, h, o, worst) = sweep(&funcs);
+    assert!(checked >= 8, "checked {checked}");
+    // Aggregate within one move per checked function of optimal.
+    assert!(
+        h <= o + checked,
+        "heuristic {h} vs optimal {o} over {checked} kernels (worst gap {worst})"
+    );
+    assert!(worst <= 2, "single-function gap too large: {worst}");
+}
+
+#[test]
+fn heuristic_near_optimal_on_random_programs() {
+    let cfg = SynthConfig { functions: 1, pool: 5, max_depth: 2, body_len: 3 };
+    let funcs: Vec<Function> =
+        (100..160u64).map(|seed| generate_function(seed, &cfg).func).collect();
+    let (checked, h, o, worst) = sweep(&funcs);
+    assert!(checked >= 30, "checked {checked}");
+    assert!(
+        (h as f64) <= (o as f64) * 1.15 + checked as f64 * 0.5,
+        "heuristic {h} vs optimal {o} over {checked} functions (worst gap {worst})"
+    );
+}

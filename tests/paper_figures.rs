@@ -1,0 +1,459 @@
+//! Figure-exact expectations: each worked example of the paper is
+//! reproduced and the implementation's behaviour is pinned down.
+
+use tossa::analysis::{DefMap, DomTree, LiveAtDefs, Liveness};
+use tossa::baselines::sreedhar::to_cssa;
+use tossa::core::coalesce::{phi_gain, program_pinning};
+use tossa::core::collect::{pinning_abi, pinning_sp};
+use tossa::core::interfere::{InterferenceEnv, InterferenceMode};
+use tossa::core::pinning::check_pinning;
+use tossa::core::reconstruct::out_of_pinned_ssa;
+use tossa::ir::cfg::Cfg;
+use tossa::ir::{interp, machine::Machine, parse::parse_function, Function, Var};
+use tossa::ssa::to_ssa;
+
+fn parse(text: &str) -> Function {
+    let f = parse_function(text, &Machine::dsp32()).unwrap();
+    f.validate().unwrap();
+    f
+}
+
+fn var(f: &Function, name: &str) -> Var {
+    f.vars().find(|&v| f.var(v).name == name).unwrap_or_else(|| panic!("no var {name}"))
+}
+
+struct Env {
+    f: Function,
+    dt: DomTree,
+    live: Liveness,
+    defs: DefMap,
+    lad: LiveAtDefs,
+}
+
+impl Env {
+    fn new(f: Function) -> Env {
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let live = Liveness::compute(&f, &cfg);
+        let defs = DefMap::compute(&f);
+        let lad = LiveAtDefs::compute(&f, &live, &defs);
+        Env { f, dt, live, defs, lad }
+    }
+    fn env(&self) -> InterferenceEnv<'_> {
+        InterferenceEnv {
+            f: &self.f,
+            dt: &self.dt,
+            live: &self.live,
+            defs: &self.defs,
+            lad: &self.lad,
+            mode: InterferenceMode::Exact,
+        }
+    }
+}
+
+/// Fig. 1: the ST120-style constraints round-trip through parsing and
+/// the collect phase pins exactly what the figure pins.
+#[test]
+fn fig1_constraint_collection() {
+    let mut f = parse(
+        "
+func @fig1 {
+entry:
+  %c, %p = input
+  %a = load %p
+  %q = autoadd %p, 1
+  %b = load %q
+  %d = call f(%a, %b)
+  %e = add %c, %d
+  %l = make 0x00A1
+  %k = more %l, 0x2BFA
+  %fo = sub %e, %k
+  ret %fo
+}",
+    );
+    pinning_abi(&mut f);
+    // S0: inputs pinned to R0 and R1 (scalar order).
+    let r0 = f.resources.by_name("R0").unwrap();
+    assert_eq!(f.var(var(&f, "c")).pin, Some(r0));
+    // S1: autoadd def and use share one resource ("P and Q must use the
+    // same resource"); since p arrives in P0, the web chains onto P0.
+    let q = var(&f, "q");
+    let qpin = f.var(q).pin.unwrap();
+    assert_eq!(f.var(var(&f, "p")).pin, Some(qpin));
+    // S3: call result pinned to R0; arguments use-pinned to R0/R1.
+    assert_eq!(f.var(var(&f, "d")).pin, Some(r0));
+    // S6: more def tied to its use's resource.
+    let k = var(&f, "k");
+    let kpin = f.var(k).pin.unwrap();
+    let more = f
+        .all_insts()
+        .find(|&(_, i)| f.inst(i).opcode == tossa::ir::Opcode::More)
+        .map(|(_, i)| i)
+        .unwrap();
+    assert_eq!(f.inst(more).uses[0].pin, Some(kpin));
+    // S8: output use-pinned to R0.
+    let ret = f
+        .all_insts()
+        .find(|&(_, i)| f.inst(i).opcode == tossa::ir::Opcode::Ret)
+        .map(|(_, i)| i)
+        .unwrap();
+    assert_eq!(f.inst(ret).uses[0].pin, Some(r0));
+}
+
+/// Fig. 2: pinning both φs of the SP example to SP is rejected as an
+/// incorrect pinning (Case 6 / strong interference).
+#[test]
+fn fig2_incorrect_sp_pinning_detected() {
+    let env = Env::new(parse(
+        "
+func @fig2 {
+entry:
+  %c = input
+  %sp1!SP = make 1
+  %x1 = make 2
+  %y1 = make 3
+  br %c, l, r
+l:
+  %sp3!SP = phi [entry: %sp1]
+  ret %sp3
+r:
+  %sp4!SP = phi [entry: %x1]
+  ret %sp4
+}",
+    ));
+    let err = check_pinning(&env.f, &env.env()).unwrap_err();
+    assert!(err.message.contains("case 6"), "{err}");
+}
+
+/// Fig. 3: x's web is pinned to R0 through input/call/return; the call
+/// in the loop kills the φ value, which is repaired exactly once, and no
+/// redundant copy is inserted for the argument already in R0.
+#[test]
+fn fig3_repair_and_redundancy_avoidance() {
+    let mut f = parse(
+        "
+func @fig3 {
+entry:
+  %x0, %y0 = input
+  %k = make 40
+  jump head
+head:
+  %cond = cmplt %x0, %k
+  br %cond, body, exit
+body:
+  %x0 = addi %x0, 1
+  %y0 = add %y0, %k
+  %x0 = call g(%x0, %y0)
+  jump head
+exit:
+  ret %x0
+}",
+    );
+    let reference = interp::run(&f, &[38, 5], 100_000).unwrap();
+    to_ssa(&mut f);
+    pinning_sp(&mut f);
+    pinning_abi(&mut f);
+    program_pinning(&mut f, &Default::default());
+    let stats = out_of_pinned_ssa(&mut f);
+    // The φ web merges into R0 (x0 input, call result, return); the
+    // `addi` result is killed by the argument staging of `g` (R0 is
+    // rewritten by the first argument), requiring repair copies, but no
+    // φ copy remains.
+    assert_eq!(stats.phi_copies, 0, "{f}");
+    assert!(stats.repair_copies <= 2, "{stats:?}");
+    let after = interp::run(&f, &[38, 5], 100_000).unwrap();
+    assert_eq!(after.outputs, reference.outputs);
+}
+
+/// Fig. 5: with x1 interfering, pinning only x2 yields exactly one move
+/// (the figure's "better" solution (c)), not a repair pair (b).
+#[test]
+fn fig5_partial_phi_pinning() {
+    let mut f = parse(
+        "
+func @fig5 {
+entry:
+  %c = input
+  br %c, l, r
+l:
+  %x1 = make 1
+  jump m
+r:
+  %x2 = make 2
+  jump m
+m:
+  %x = phi [l: %x1], [r: %x2]
+  %s = add %x, %x1
+  ret %s
+}",
+    );
+    // NOTE: %x1 must dominate m for the use; rewrite: define x1 in entry.
+    // (Handled below by a fixed variant.)
+    let mut g = parse(
+        "
+func @fig5b {
+entry:
+  %c = input
+  %x1 = make 1
+  br %c, l, r
+l:
+  jump m
+r:
+  %x2 = make 2
+  jump m
+m:
+  %x = phi [l: %x1], [r: %x2]
+  %s = add %x, %x1
+  ret %s
+}",
+    );
+    let _ = &mut f;
+    program_pinning(&mut g, &Default::default());
+    assert_eq!(phi_gain(&g), 1);
+    let x = var(&g, "x");
+    assert_eq!(g.var(var(&g, "x2")).pin, g.var(x).pin);
+    assert_ne!(g.var(var(&g, "x1")).pin, g.var(x).pin);
+    let stats = out_of_pinned_ssa(&mut g);
+    assert_eq!(stats.phi_copies, 1, "one move, no repair\n{g}");
+    assert_eq!(stats.repair_copies, 0);
+}
+
+/// Fig. 7: the two-step worked example — both confluence points coalesce
+/// completely (resources A = {x1, X2, X1} and B = {x3, x2, X3} in the
+/// paper's naming), leaving zero φ copies.
+#[test]
+fn fig7_worked_example() {
+    let mut f = parse(
+        "
+func @fig7 {
+entry:
+  %c, %d = input
+  %x = make 1
+  jump l2test
+l2test:
+  br %c, l2body, l1
+l2body:
+  %x = addi %x, 1
+  jump l2
+l2:
+  %x = addi %x, 1
+  br %d, l2, l2exit
+l2exit:
+  jump l2test
+l1:
+  ret %x
+}",
+    );
+    // This CFG has a nested confluence (l2) and an outer one (l2test):
+    // the inner-to-outer traversal must process l2 first.
+    to_ssa(&mut f);
+    program_pinning(&mut f, &Default::default());
+    let stats = out_of_pinned_ssa(&mut f);
+    assert_eq!(stats.phi_copies, 0, "full coalescing\n{f}");
+}
+
+/// Fig. 8 [CC1]: partial coalescing — the φ for z joins the physical R0
+/// resource even though R0 already carries other definitions throughout
+/// the function; a Chaitin-style coalescer working on whole pre-SSA
+/// variables could not merge "z" with "R0" at all.
+#[test]
+fn fig8_partial_coalescing_into_r0() {
+    let mut f = parse(
+        "
+func @fig8 {
+entry:
+  %c = input
+  br %c, l, r
+l:
+  %z = call f1()
+  jump m
+r:
+  %w = call f2()
+  %z = mov %w
+  jump m
+m:
+  %u = call f3(%z)
+  ret %u
+}",
+    );
+    let src = f.clone();
+    to_ssa(&mut f);
+    tossa::ssa::opt::copy_propagate(&mut f);
+    tossa::ssa::opt::dce(&mut f);
+    pinning_abi(&mut f);
+    let stats = program_pinning(&mut f, &Default::default());
+    assert!(stats.merges >= 1, "{stats:?}\n{f}");
+    // The φ's value lives in R0: the subset {z-versions} of the pre-SSA
+    // variable is coalesced with the register.
+    let z = f
+        .vars()
+        .filter(|&v| f.var(v).name == "z")
+        .last()
+        .expect("a z version");
+    let r0 = f.resources.by_name("R0").unwrap();
+    assert_eq!(f.var(z).pin, Some(r0), "partial coalescing with R0\n{f}");
+    let recon = out_of_pinned_ssa(&mut f);
+    assert_eq!(recon.phi_copies, 0, "no copy: both branches leave z in R0\n{f}");
+    for c in [0, 1] {
+        assert_eq!(
+            interp::run(&src, &[c], 1000).unwrap().outputs,
+            interp::run(&f, &[c], 1000).unwrap().outputs
+        );
+    }
+}
+
+/// Fig. 9 [CS1]: treating a block's φs together beats Sreedhar's
+/// one-at-a-time processing on the figure's shape.
+#[test]
+fn fig9_joint_block_optimization() {
+    let src = parse(
+        "
+func @fig9 {
+entry:
+  %cc = input
+  br %cc, p1, p2
+p1:
+  %x = make 1
+  %y = make 2
+  jump m
+p2:
+  %z = make 3
+  %y2 = make 4
+  jump m
+m:
+  %bigx = phi [p1: %x], [p2: %z]
+  %bigy = phi [p1: %y], [p2: %y2]
+  %s = add %bigx, %bigy
+  ret %s
+}",
+    );
+    let mut ours = src.clone();
+    program_pinning(&mut ours, &Default::default());
+    let ours_stats = out_of_pinned_ssa(&mut ours);
+    // All four arguments are coalescible here: x,y interfere with each
+    // other but belong to different φs.
+    assert_eq!(ours_stats.phi_copies, 0, "{ours}");
+    for c in [0, 1] {
+        assert_eq!(
+            interp::run(&src, &[c], 1000).unwrap().outputs,
+            interp::run(&ours, &[c], 1000).unwrap().outputs
+        );
+    }
+}
+
+/// Fig. 10 [CS2]: parallel-copy placement solves the double-swap with
+/// three moves on the swapping edge.
+#[test]
+fn fig10_parallel_copies() {
+    let src = parse(
+        "
+func @fig10 {
+entry:
+  %x1, %y1, %n = input
+  %i = make 0
+  jump head
+head:
+  %x2 = phi [entry: %x1], [latch: %x3]
+  %y2 = phi [entry: %y1], [latch: %y3]
+  %i2 = phi [entry: %i], [latch: %i3]
+  %x3 = mov %y2
+  %y3 = mov %x2
+  %i3 = addi %i2, 1
+  %c = cmplt %i3, %n
+  br %c, latch, exit
+latch:
+  jump head
+exit:
+  %r = call f(%x3, %y3)
+  ret %r
+}",
+    );
+    let mut f = src.clone();
+    tossa::ssa::opt::copy_propagate(&mut f);
+    tossa::ssa::opt::dce(&mut f);
+    program_pinning(&mut f, &Default::default());
+    let stats = out_of_pinned_ssa(&mut f);
+    // The swap cycle on the latch edge costs at most 3 moves (2 + temp).
+    assert!(
+        stats.phi_copies + stats.temp_copies <= 3,
+        "swap must use parallel copies: {stats:?}\n{f}"
+    );
+    for n in [1, 2, 5] {
+        assert_eq!(
+            interp::run(&src, &[7, 9, n], 10_000).unwrap().outputs,
+            interp::run(&f, &[7, 9, n], 10_000).unwrap().outputs
+        );
+    }
+}
+
+/// Fig. 12 [LIM2]: the repair variable introduced by the reconstruction
+/// is not coalesced with later uses — the documented limitation.
+#[test]
+fn fig12_repair_variable_limitation() {
+    let mut f = parse(
+        "
+func @fig12 {
+entry:
+  %x0 = input
+  jump head
+head:
+  %x = phi [entry: %x0], [latch: %x1]
+  %x1 = addi %x, 1
+  %r = call f(%x!R0)
+  %c = cmplt %x1, %r
+  br %c, latch, exit
+latch:
+  jump head
+exit:
+  ret %x1
+}",
+    );
+    pinning_sp(&mut f);
+    pinning_abi(&mut f);
+    program_pinning(&mut f, &Default::default());
+    let stats = out_of_pinned_ssa(&mut f);
+    // x is killed (the call's R0 result overwrites the argument's home
+    // when they share R0) or a setup copy is needed: either way at least
+    // one move survives that an optimal solution would fold away.
+    assert!(
+        stats.total_copies() >= 1,
+        "the limitation costs at least one copy: {stats:?}\n{f}"
+    );
+    f.validate().unwrap();
+}
+
+/// The CSSA safety net: after Sreedhar conversion every φ congruence
+/// class is interference-free even on adversarial chained φs.
+#[test]
+fn sreedhar_classes_are_conventional() {
+    let mut f = parse(
+        "
+func @chain {
+entry:
+  %p, %q = input
+  jump head
+head:
+  %x = phi [entry: %p], [body: %y2]
+  %y = phi [entry: %q], [body: %x2]
+  %x2 = addi %x, 1
+  %y2 = addi %y, -1
+  %c = cmplt %x2, %y2
+  br %c, body, exit
+body:
+  jump head
+exit:
+  ret %x, %y
+}",
+    );
+    let src = f.clone();
+    to_cssa(&mut f);
+    // Conventional: merging every class into one name is semantics
+    // preserving; go all the way out of SSA and compare.
+    let mut g = src.clone();
+    tossa::baselines::sreedhar_out_of_ssa(&mut g);
+    g.validate().unwrap();
+    assert_eq!(
+        interp::run(&src, &[0, 10], 10_000).unwrap().outputs,
+        interp::run(&g, &[0, 10], 10_000).unwrap().outputs
+    );
+}

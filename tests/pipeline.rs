@@ -1,0 +1,145 @@
+//! Pipeline-level integration tests: ψ-SSA end-to-end, table shape
+//! assertions (the qualitative claims of the paper's §5), and metric
+//! consistency.
+
+use tossa::bench::metrics;
+use tossa::bench::runner::{run_experiment, run_suite};
+use tossa::bench::suites::{all_suites, Suite};
+use tossa::core::coalesce::CoalesceOptions;
+use tossa::core::interfere::InterferenceMode;
+use tossa::core::{collect, program_pinning, reconstruct, Experiment};
+use tossa::ir::{interp, machine::Machine, parse::parse_function};
+use tossa::ssa::psi;
+
+/// ψ-SSA: predicated code goes through ψ lowering, two-operand pinning of
+/// the psel chain, and the ordinary out-of-SSA translation — with zero
+/// copies for the chain.
+#[test]
+fn psi_conventional_pipeline() {
+    let text = "
+func @psi {
+entry:
+  %p1, %a1, %p2, %a2 = input
+  %x = psi %p1 ? %a1, %p2 ? %a2
+  %y = addi %x, 100
+  ret %y
+}";
+    let f = parse_function(text, &Machine::dsp32()).unwrap();
+    let mut g = f.clone();
+    psi::lower_psis(&mut g);
+    collect::pinning_sp(&mut g);
+    collect::pinning_abi(&mut g); // ties each psel to its else input
+    program_pinning(&mut g, &Default::default());
+    let stats = reconstruct::out_of_pinned_ssa(&mut g);
+    g.validate().unwrap();
+    // The psel chain shares one resource: no copies along it.
+    assert_eq!(stats.phi_copies, 0, "{g}");
+    for ins in [[1, 10, 1, 20], [1, 10, 0, 20], [0, 10, 0, 20]] {
+        assert_eq!(
+            interp::run(&f, &ins, 1000).unwrap().outputs,
+            interp::run(&g, &ins, 1000).unwrap().outputs,
+            "{ins:?}"
+        );
+    }
+}
+
+fn totals(suites: &[Suite], exp: Experiment) -> usize {
+    suites
+        .iter()
+        .map(|s| run_suite(s, exp, &CoalesceOptions::default(), false).moves)
+        .sum()
+}
+
+/// Table 2 shape: with no ABI constraints, our coalescer never loses to
+/// the naive-plus-Chaitin pipeline.
+#[test]
+fn table2_shape_ours_beats_naive() {
+    let suites = all_suites(10);
+    assert!(totals(&suites, Experiment::LphiC) <= totals(&suites, Experiment::CNoAbi));
+}
+
+/// Table 3 shape: with constraints, pinning-based ABI handling beats both
+/// the no-φ-coalescing variant and the NaiveABI variant.
+#[test]
+fn table3_shape_abi_pinning_wins() {
+    let suites = all_suites(10);
+    let ours = totals(&suites, Experiment::LphiAbiC) as f64;
+    // On SPECint-scale populations the post-Chaitin columns are near
+    // ties (the paper itself reports an inversion against Sreedhar on
+    // SPECint, Table 2, and discusses the cost approximation in [LIM1]);
+    // allow a 2% + 2 move tolerance while requiring the overall shape.
+    let labi = totals(&suites, Experiment::LabiC) as f64;
+    let cabi = totals(&suites, Experiment::CAbi) as f64;
+    assert!(ours <= labi * 1.02 + 2.0, "ours {ours} vs LABI+C {labi}");
+    assert!(ours <= cabi * 1.02 + 2.0, "ours {ours} vs C {cabi}");
+}
+
+/// Table 4 shape: the "order of magnitude" comparison — each one-sided
+/// pipeline leaves far more moves for a post-SSA coalescer.
+#[test]
+fn table4_shape_residual_moves() {
+    let suites = all_suites(10);
+    let ours = totals(&suites, Experiment::LphiAbi);
+    let sphi = totals(&suites, Experiment::Sphi);
+    let labi = totals(&suites, Experiment::Labi);
+    // Naive φ replacement leaves much more than our φ coalescing.
+    assert!(labi as f64 >= 2.0 * ours as f64, "LABI {labi} vs ours {ours}");
+    // The Sreedhar+NaiveABI pipeline leaves more than the pinning one.
+    assert!(sphi >= ours, "Sphi {sphi} vs ours {ours}");
+}
+
+/// Table 5 shape: the pessimistic interference variant is much worse;
+/// the optimistic one stays close to base (the paper's conclusion that
+/// optimistic interference "still provides good results").
+#[test]
+fn table5_shape_variants() {
+    let suites = all_suites(10);
+    let weighted = |opts: &CoalesceOptions| -> u64 {
+        suites.iter().map(|s| run_suite(s, Experiment::LphiAbi, opts, false).weighted).sum()
+    };
+    let base = weighted(&CoalesceOptions::default());
+    let opt = weighted(&CoalesceOptions {
+        mode: InterferenceMode::Optimistic,
+        ..Default::default()
+    });
+    let pess = weighted(&CoalesceOptions {
+        mode: InterferenceMode::Pessimistic,
+        ..Default::default()
+    });
+    let depth = weighted(&CoalesceOptions { depth_priority: true, ..Default::default() });
+    assert!(pess as f64 >= 1.5 * base as f64, "pess {pess} vs base {base}");
+    let drift = (opt as f64 - base as f64).abs() / base as f64;
+    assert!(drift <= 0.10, "optimistic drift {drift} too large ({opt} vs {base})");
+    let ddrift = (depth as f64 - base as f64).abs() / base as f64;
+    assert!(ddrift <= 0.10, "depth drift {ddrift} too large ({depth} vs {base})");
+}
+
+/// The runner's `moves` field agrees with the metrics module.
+#[test]
+fn metrics_consistency() {
+    for suite in all_suites(5) {
+        for bf in &suite.functions {
+            let r = run_experiment(&bf.func, Experiment::LphiAbiC, &Default::default());
+            assert_eq!(r.moves, metrics::move_count(&r.func));
+            assert_eq!(r.weighted, metrics::weighted_move_count(&r.func));
+            assert!(r.weighted >= r.moves as u64);
+        }
+    }
+}
+
+/// Compile-time claim ([CC3]): the number of moves the Chaitin pass has
+/// to look at is far smaller after SSA-level coalescing — its workload
+/// (and therefore its cost, which is proportional to the number of move
+/// instructions, §5) shrinks by a large factor.
+#[test]
+fn coalescing_workload_shrinks() {
+    let suites = all_suites(10);
+    let with_pinning = totals(&suites, Experiment::LphiAbi);
+    let naive_phi = totals(&suites, Experiment::Labi);
+    let naive_abi = totals(&suites, Experiment::Sphi);
+    let total_naive = naive_phi.max(naive_abi);
+    assert!(
+        total_naive as f64 / with_pinning as f64 >= 2.0,
+        "expected a large workload reduction: {with_pinning} vs {total_naive}"
+    );
+}

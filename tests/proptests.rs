@@ -1,0 +1,123 @@
+//! Property-based tests over randomly generated structured programs and
+//! random parallel copies.
+
+use proptest::prelude::*;
+use tossa::analysis::domtree::{naive_dominators, DomTree};
+use tossa::bench::runner::{run_experiment, verify};
+use tossa::bench::suites::synth::{generate_function, SynthConfig};
+use tossa::core::coalesce::CoalesceOptions;
+use tossa::core::interfere::InterferenceMode;
+use tossa::core::Experiment;
+use tossa::ir::cfg::Cfg;
+use tossa::ir::parallel_copy::{eval_sequential, sequentialize};
+use tossa::ir::Var;
+use tossa::ssa::{to_ssa, verify_ssa};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// SSA construction preserves semantics and produces valid SSA on
+    /// arbitrary generated programs.
+    #[test]
+    fn ssa_construction_sound(seed in 0u64..10_000) {
+        let bf = generate_function(seed, &SynthConfig { functions: 1, ..Default::default() });
+        let mut ssa = bf.func.clone();
+        to_ssa(&mut ssa);
+        ssa.validate().unwrap();
+        verify_ssa(&ssa).unwrap();
+        verify(&bf.func, &ssa, &bf.inputs).unwrap();
+    }
+
+    /// The full pinning pipeline (our algorithm, with ABI constraints and
+    /// Chaitin cleanup) is an observable no-op on arbitrary programs.
+    #[test]
+    fn pinning_pipeline_sound(seed in 0u64..10_000) {
+        let bf = generate_function(seed, &SynthConfig { functions: 1, ..Default::default() });
+        let r = run_experiment(&bf.func, Experiment::LphiAbiC, &CoalesceOptions::default());
+        r.func.validate().unwrap();
+        verify(&bf.func, &r.func, &bf.inputs).unwrap_or_else(|e| panic!("{e}\n{}", r.func));
+    }
+
+    /// The optimistic and pessimistic interference variants stay sound.
+    #[test]
+    fn interference_variants_sound(seed in 0u64..5_000) {
+        let bf = generate_function(seed, &SynthConfig { functions: 1, ..Default::default() });
+        for mode in [InterferenceMode::Optimistic, InterferenceMode::Pessimistic] {
+            let opts = CoalesceOptions { mode, ..Default::default() };
+            let r = run_experiment(&bf.func, Experiment::LphiAbi, &opts);
+            verify(&bf.func, &r.func, &bf.inputs)
+                .unwrap_or_else(|e| panic!("{mode:?}: {e}\n{}", r.func));
+        }
+    }
+
+    /// The Sreedhar baseline is an observable no-op on arbitrary programs.
+    #[test]
+    fn sreedhar_pipeline_sound(seed in 0u64..10_000) {
+        let bf = generate_function(seed, &SynthConfig { functions: 1, ..Default::default() });
+        let r = run_experiment(&bf.func, Experiment::SphiLabiC, &CoalesceOptions::default());
+        verify(&bf.func, &r.func, &bf.inputs).unwrap_or_else(|e| panic!("{e}\n{}", r.func));
+    }
+
+    /// Cooper–Harvey–Kennedy dominators agree with the naive O(n²)
+    /// dataflow on random CFGs.
+    #[test]
+    fn dominators_match_naive(seed in 0u64..10_000) {
+        let bf = generate_function(seed, &SynthConfig { functions: 1, ..Default::default() });
+        let f = &bf.func;
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute(f, &cfg);
+        let naive = naive_dominators(f, &cfg);
+        for a in f.blocks() {
+            for b in f.blocks() {
+                prop_assert_eq!(
+                    dt.dominates(a, b),
+                    naive[b].contains(a),
+                    "dominates({}, {})", a, b
+                );
+            }
+        }
+    }
+
+    /// Sequentializing a random parallel copy preserves its semantics.
+    #[test]
+    fn parallel_copy_semantics(
+        pairs in proptest::collection::vec((0usize..12, 0usize..12), 0..10)
+    ) {
+        // Make destinations unique, keeping the first occurrence.
+        let mut seen = std::collections::HashSet::new();
+        let moves: Vec<(Var, Var)> = pairs
+            .into_iter()
+            .filter(|&(d, _)| seen.insert(d))
+            .map(|(d, s)| (Var::new(d), Var::new(s)))
+            .collect();
+        let mut next = 100;
+        let seq = sequentialize(&moves, || {
+            next += 1;
+            Var::new(next)
+        });
+        let env = eval_sequential(&seq, |v| v.index() as i64);
+        for &(d, s) in &moves {
+            let got = env.get(&d).copied().unwrap_or(d.index() as i64);
+            prop_assert_eq!(got, s.index() as i64, "dst {} src {}", d, s);
+        }
+        // No more temps than cycles can exist (at most |moves| / 2).
+        prop_assert!(next - 100 <= (moves.len() / 2).max(1));
+    }
+}
+
+/// Deterministic regression corner: a seed sweep for the coalescer
+/// post-condition — no component of the pruned affinity graph may
+/// contain an interfering pair, observable as zero repair copies when no
+/// constraint pass ran.
+#[test]
+fn coalescer_creates_no_repairs_without_abi() {
+    for seed in 0..40u64 {
+        let bf = generate_function(seed, &SynthConfig { functions: 1, ..Default::default() });
+        let r = run_experiment(&bf.func, Experiment::LphiC, &CoalesceOptions::default());
+        assert_eq!(
+            r.recon.repair_copies, 0,
+            "seed {seed}: φ pinning must not create repairs\n{}",
+            r.func
+        );
+    }
+}

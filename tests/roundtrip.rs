@@ -1,0 +1,101 @@
+//! Whole-population round-trip tests: print → parse → behaviour must be
+//! unchanged at every pipeline stage, and the toolchain must be
+//! deterministic.
+
+use tossa::bench::runner::{front_end, run_experiment};
+use tossa::bench::suites::all_suites;
+use tossa::core::coalesce::CoalesceOptions;
+use tossa::core::Experiment;
+use tossa::ir::{interp, machine::Machine, parse::parse_function};
+
+#[test]
+fn source_print_parse_preserves_behaviour() {
+    let machine = Machine::dsp32();
+    for suite in all_suites(8) {
+        for bf in &suite.functions {
+            let printed = bf.func.to_string();
+            let reparsed = parse_function(&printed, &machine)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{printed}", bf.func.name));
+            reparsed.validate().unwrap();
+            for inputs in &bf.inputs {
+                assert_eq!(
+                    interp::run(&bf.func, inputs, 5_000_000).unwrap().outputs,
+                    interp::run(&reparsed, inputs, 5_000_000).unwrap().outputs,
+                    "{} on {inputs:?}",
+                    bf.func.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ssa_print_parse_preserves_behaviour_and_pins() {
+    let machine = Machine::dsp32();
+    for suite in all_suites(5) {
+        for bf in &suite.functions {
+            let mut ssa = front_end(&bf.func);
+            tossa::core::collect::pinning_sp(&mut ssa);
+            tossa::core::collect::pinning_abi(&mut ssa);
+            let printed = ssa.to_string();
+            let reparsed = parse_function(&printed, &machine)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{printed}", bf.func.name));
+            // Pins survive the round trip. Variable pinnings print at the
+            // definition, so only defined variables can round-trip (the
+            // incoming SP value has a pin but no definition).
+            let pins = |f: &tossa::ir::Function| {
+                let defined: std::collections::HashSet<_> = f
+                    .all_insts()
+                    .flat_map(|(_, i)| f.inst(i).defs.clone())
+                    .map(|d| d.var)
+                    .collect();
+                f.vars()
+                    .filter(|v| defined.contains(v) && f.var(*v).pin.is_some())
+                    .count()
+            };
+            assert_eq!(pins(&ssa), pins(&reparsed), "{printed}");
+            for inputs in &bf.inputs {
+                assert_eq!(
+                    interp::run(&ssa, inputs, 5_000_000).unwrap().outputs,
+                    interp::run(&reparsed, inputs, 5_000_000).unwrap().outputs,
+                    "{} on {inputs:?}",
+                    bf.func.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn final_code_print_parse_preserves_behaviour() {
+    let machine = Machine::dsp32();
+    for suite in all_suites(5) {
+        for bf in &suite.functions {
+            let r = run_experiment(&bf.func, Experiment::LphiAbiC, &CoalesceOptions::default());
+            let printed = r.func.to_string();
+            let reparsed = parse_function(&printed, &machine)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{printed}", bf.func.name));
+            for inputs in &bf.inputs {
+                assert_eq!(
+                    interp::run(&r.func, inputs, 5_000_000).unwrap().outputs,
+                    interp::run(&reparsed, inputs, 5_000_000).unwrap().outputs,
+                    "{} on {inputs:?}",
+                    bf.func.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    for suite in all_suites(5) {
+        for bf in &suite.functions {
+            let a = run_experiment(&bf.func, Experiment::LphiAbiC, &CoalesceOptions::default());
+            let b = run_experiment(&bf.func, Experiment::LphiAbiC, &CoalesceOptions::default());
+            assert_eq!(a.func.to_string(), b.func.to_string(), "{}", bf.func.name);
+            assert_eq!(a.moves, b.moves);
+            assert_eq!(a.recon, b.recon);
+        }
+    }
+}
