@@ -1,0 +1,286 @@
+//! The analysis manager: one [`AnalysisCache`] per function pipeline,
+//! lazily computing and memoizing every analysis for the current
+//! *revision* of the function, with explicit invalidation when a pass
+//! mutates code.
+//!
+//! # Architecture
+//!
+//! Passes never call `Liveness::compute` / `DomTree::compute` & co.
+//! directly; they ask the cache, which computes each analysis at most
+//! once per mutation epoch and hands out cheap [`Rc`] handles. Handles
+//! stay valid (and shareable) even while later passes request further
+//! analyses, so a pass can hold `DomTree`, `Liveness`, and `LiveAtDefs`
+//! simultaneously without borrow gymnastics.
+//!
+//! # Invalidation rules
+//!
+//! * Any structural mutation — adding/removing instructions or blocks,
+//!   rewriting operands, splitting edges — requires
+//!   [`AnalysisCache::invalidate`] before the next analysis request.
+//! * *Pinning* mutations (setting `var.pin`) change no analysis input:
+//!   liveness, dominance, and definition sites are oblivious to resource
+//!   assignment, so pinning passes keep the cache hot. This is the
+//!   paper's own observation for `Program_pinning`: analyses are computed
+//!   once and stay valid across all merges.
+//! * In debug builds every access fingerprints the function's structure
+//!   and panics on a mismatch with the epoch's first access, so a missing
+//!   `invalidate` is caught at the offending call site rather than as a
+//!   silently stale answer.
+
+use crate::liveness::{DefMap, LiveAtDefs, Liveness};
+use crate::loops::LoopInfo;
+use crate::DomTree;
+use std::rc::Rc;
+use tossa_ir::cfg::Cfg;
+use tossa_ir::Function;
+
+/// Lazily computed, memoized analyses for one revision of a function.
+#[derive(Default)]
+pub struct AnalysisCache {
+    revision: u64,
+    cfg: Option<Rc<Cfg>>,
+    domtree: Option<Rc<DomTree>>,
+    liveness: Option<Rc<Liveness>>,
+    defs: Option<Rc<DefMap>>,
+    lad: Option<Rc<LiveAtDefs>>,
+    loops: Option<Rc<LoopInfo>>,
+    /// Structural fingerprint of the function at the first access of this
+    /// epoch; used by debug builds to detect missing invalidation.
+    #[cfg(debug_assertions)]
+    fingerprint: Option<u64>,
+}
+
+impl AnalysisCache {
+    /// An empty cache at revision 0.
+    pub fn new() -> AnalysisCache {
+        AnalysisCache::default()
+    }
+
+    /// The current mutation epoch (bumped by [`AnalysisCache::invalidate`]).
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Drops the analyses that read instruction bodies (liveness,
+    /// definition sites, live-after-def) but keeps the CFG-shape
+    /// analyses (CFG, dominators, loops). Sound after mutations that
+    /// insert, remove, or rewrite non-branch instructions without
+    /// touching terminators or block structure — copy insertion, move
+    /// coalescing, dead code elimination.
+    pub fn invalidate_instructions(&mut self) {
+        self.revision += 1;
+        self.liveness = None;
+        self.defs = None;
+        self.lad = None;
+        #[cfg(debug_assertions)]
+        {
+            self.fingerprint = None;
+        }
+    }
+
+    /// Drops every memoized analysis and starts a new mutation epoch.
+    /// Call after any structural change to the function.
+    pub fn invalidate(&mut self) {
+        self.revision += 1;
+        self.cfg = None;
+        self.domtree = None;
+        self.liveness = None;
+        self.defs = None;
+        self.lad = None;
+        self.loops = None;
+        #[cfg(debug_assertions)]
+        {
+            self.fingerprint = None;
+        }
+    }
+
+    /// Debug-mode staleness check: the function's structure must match
+    /// the first access of this epoch.
+    #[cfg(debug_assertions)]
+    fn check_revision(&mut self, f: &Function) {
+        let fp = fingerprint(f);
+        match self.fingerprint {
+            None => self.fingerprint = Some(fp),
+            Some(expected) => assert!(
+                expected == fp,
+                "AnalysisCache: function mutated without invalidate() \
+                 (revision {}); call cache.invalidate() after structural \
+                 changes",
+                self.revision
+            ),
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn check_revision(&mut self, _f: &Function) {}
+
+    /// The control-flow graph (with its cached reverse postorder).
+    pub fn cfg(&mut self, f: &Function) -> Rc<Cfg> {
+        self.check_revision(f);
+        if self.cfg.is_none() {
+            self.cfg = Some(Rc::new(Cfg::compute(f)));
+        }
+        Rc::clone(self.cfg.as_ref().unwrap())
+    }
+
+    /// The dominator tree.
+    pub fn domtree(&mut self, f: &Function) -> Rc<DomTree> {
+        self.check_revision(f);
+        if self.domtree.is_none() {
+            let cfg = self.cfg(f);
+            self.domtree = Some(Rc::new(DomTree::compute(f, &cfg)));
+        }
+        Rc::clone(self.domtree.as_ref().unwrap())
+    }
+
+    /// Liveness with the paper's φ conventions.
+    pub fn liveness(&mut self, f: &Function) -> Rc<Liveness> {
+        self.check_revision(f);
+        if self.liveness.is_none() {
+            let cfg = self.cfg(f);
+            self.liveness = Some(Rc::new(Liveness::compute(f, &cfg)));
+        }
+        Rc::clone(self.liveness.as_ref().unwrap())
+    }
+
+    /// Definition sites.
+    pub fn defs(&mut self, f: &Function) -> Rc<DefMap> {
+        self.check_revision(f);
+        if self.defs.is_none() {
+            self.defs = Some(Rc::new(DefMap::compute(f)));
+        }
+        Rc::clone(self.defs.as_ref().unwrap())
+    }
+
+    /// The exact live-after-def interference oracle.
+    pub fn live_at_defs(&mut self, f: &Function) -> Rc<LiveAtDefs> {
+        self.check_revision(f);
+        if self.lad.is_none() {
+            let live = self.liveness(f);
+            let defs = self.defs(f);
+            self.lad = Some(Rc::new(LiveAtDefs::compute(f, &live, &defs)));
+        }
+        Rc::clone(self.lad.as_ref().unwrap())
+    }
+
+    /// Natural loops and nesting depths.
+    pub fn loops(&mut self, f: &Function) -> Rc<LoopInfo> {
+        self.check_revision(f);
+        if self.loops.is_none() {
+            let cfg = self.cfg(f);
+            let dt = self.domtree(f);
+            self.loops = Some(Rc::new(LoopInfo::compute(f, &cfg, &dt)));
+        }
+        Rc::clone(self.loops.as_ref().unwrap())
+    }
+}
+
+/// A cheap structural hash of everything the analyses read: block
+/// shapes, opcodes, operands, φ predecessor lists, and branch targets.
+/// Deliberately excludes `var.pin` — pinning is not an analysis input
+/// (see the module docs), so pinning passes don't trip the staleness
+/// check.
+#[cfg(debug_assertions)]
+fn fingerprint(f: &Function) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    f.num_blocks().hash(&mut h);
+    f.num_vars().hash(&mut h);
+    for b in f.blocks() {
+        0xB10C_u16.hash(&mut h);
+        for i in f.block_insts(b) {
+            let inst = f.inst(i);
+            (inst.opcode as u8).hash(&mut h);
+            for d in &inst.defs {
+                d.var.index().hash(&mut h);
+            }
+            for u in &inst.uses {
+                u.var.index().hash(&mut h);
+            }
+            for &t in &inst.targets {
+                t.index().hash(&mut h);
+            }
+            for &p in &inst.phi_preds {
+                p.index().hash(&mut h);
+            }
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    fn sample() -> Function {
+        parse_function(
+            "func @c {
+entry:
+  %n = input
+  %z = make 0
+  jump head
+head:
+  %i = phi [entry: %z], [body: %i2]
+  %c = cmplt %i, %n
+  br %c, body, exit
+body:
+  %i2 = addi %i, 1
+  jump head
+exit:
+  ret %i
+}",
+            &Machine::dsp32(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn analyses_are_memoized() {
+        let f = sample();
+        let mut cache = AnalysisCache::new();
+        let a = cache.liveness(&f);
+        let b = cache.liveness(&f);
+        assert!(Rc::ptr_eq(&a, &b), "second access must hit the memo");
+        let d1 = cache.domtree(&f);
+        let d2 = cache.domtree(&f);
+        assert!(Rc::ptr_eq(&d1, &d2));
+    }
+
+    #[test]
+    fn invalidate_starts_a_new_epoch() {
+        let mut f = sample();
+        let mut cache = AnalysisCache::new();
+        let before = cache.liveness(&f);
+        assert_eq!(cache.revision(), 0);
+        // Structural change + invalidation: fresh objects, same answers
+        // recomputed from the new code.
+        let exit = f.blocks().last().unwrap();
+        let v = f.new_var("t");
+        let at = f.block(exit).insts.len() - 1;
+        f.insert_inst(
+            exit,
+            at,
+            tossa_ir::InstData::new(tossa_ir::Opcode::Make)
+                .with_defs(vec![v.into()])
+                .with_imm(3),
+        );
+        cache.invalidate();
+        assert_eq!(cache.revision(), 1);
+        let after = cache.liveness(&f);
+        assert!(!Rc::ptr_eq(&before, &after));
+    }
+
+    #[test]
+    fn pinning_does_not_trip_the_staleness_check() {
+        let mut f = sample();
+        let mut cache = AnalysisCache::new();
+        let _ = cache.liveness(&f);
+        let i = f.vars().find(|&v| f.var(v).name == "i").unwrap();
+        tossa_ir::function::pin_var_to_reg(&mut f, i, tossa_ir::PhysReg(0));
+        // Pins are not analysis inputs; no invalidation required.
+        let _ = cache.domtree(&f);
+        let _ = cache.live_at_defs(&f);
+    }
+}

@@ -5,7 +5,7 @@
 //! dominates another (§3.2). Both are answered here.
 
 use crate::bitset::BitSet;
-use tossa_ir::cfg::{reverse_postorder, Cfg};
+use tossa_ir::cfg::Cfg;
 use tossa_ir::ids::{Block, EntityVec};
 use tossa_ir::Function;
 
@@ -28,7 +28,9 @@ impl DomTree {
     /// Computes the dominator tree of `f`.
     pub fn compute(f: &Function, cfg: &Cfg) -> DomTree {
         let n = f.num_blocks();
-        let rpo = reverse_postorder(f);
+        // The traversal is cached on the `Cfg` so dominators, liveness,
+        // and loop analysis share one DFS.
+        let rpo = cfg.rpo().to_vec();
         let mut rpo_pos: EntityVec<Block, usize> = EntityVec::filled(n, usize::MAX);
         for (i, &b) in rpo.iter().enumerate() {
             rpo_pos[b] = i;
@@ -76,7 +78,13 @@ impl DomTree {
                 depth[b] = depth[d] + 1;
             }
         }
-        DomTree { idom, depth, rpo, rpo_pos, entry: f.entry }
+        DomTree {
+            idom,
+            depth,
+            rpo,
+            rpo_pos,
+            entry: f.entry,
+        }
     }
 
     /// Immediate dominator of `b` (`None` for the entry and for
@@ -145,7 +153,7 @@ impl DomTree {
 /// O(n²) — used by tests to validate [`DomTree`].
 pub fn naive_dominators(f: &Function, cfg: &Cfg) -> EntityVec<Block, BitSet<Block>> {
     let n = f.num_blocks();
-    let rpo = reverse_postorder(f);
+    let rpo: Vec<Block> = cfg.rpo().to_vec();
     let mut dom: EntityVec<Block, BitSet<Block>> = EntityVec::filled(n, BitSet::new(n));
     let mut all = BitSet::new(n);
     for &b in &rpo {

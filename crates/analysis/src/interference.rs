@@ -3,11 +3,12 @@
 //! merge, as used by the aggressive "repeated coalescing" baseline
 //! (paper §5, `Coalescing`).
 
+use crate::bitset::BitSet;
 use crate::liveness::Liveness;
+use std::collections::HashSet;
 use tossa_ir::cfg::Cfg;
 use tossa_ir::ids::{Inst, Var};
 use tossa_ir::{Function, Opcode};
-use std::collections::HashSet;
 
 /// An undirected interference graph over variables.
 #[derive(Clone, Debug)]
@@ -21,7 +22,9 @@ impl InterferenceGraph {
     /// the destination of a `mov` does not interfere with its source *on
     /// account of that copy alone*.
     pub fn build(f: &Function, _cfg: &Cfg, live: &Liveness) -> InterferenceGraph {
-        let mut g = InterferenceGraph { adj: vec![HashSet::new(); f.num_vars()] };
+        let mut g = InterferenceGraph {
+            adj: vec![HashSet::new(); f.num_vars()],
+        };
         for b in f.blocks() {
             let insts: Vec<Inst> = f.block_insts(b).collect();
             let mut cursor = live.live_exit(f, b);
@@ -59,9 +62,72 @@ impl InterferenceGraph {
         g
     }
 
+    /// [`InterferenceGraph::build`] restricted to the variables in
+    /// `among`: only edges with **both** endpoints in `among` are
+    /// recorded (the edge set is exactly the full graph's restriction,
+    /// so queries between `among` members are exact). The live cursor is
+    /// kept intersected with `among`, and instructions defining no
+    /// tracked variable skip the edge loop entirely — this is what the
+    /// aggressive coalescer wants, since it only ever queries
+    /// move-operand pairs.
+    pub fn build_among(
+        f: &Function,
+        _cfg: &Cfg,
+        live: &Liveness,
+        among: &BitSet<Var>,
+    ) -> InterferenceGraph {
+        let mut g = InterferenceGraph::empty(f.num_vars());
+        for b in f.blocks() {
+            let insts: Vec<Inst> = f.block_insts(b).collect();
+            let mut cursor = live.live_exit(f, b);
+            cursor.intersect_with(among);
+            for &i in insts.iter().rev() {
+                let inst = f.inst(i);
+                if inst.is_phi() {
+                    continue;
+                }
+                if inst.defs.iter().any(|d| among.contains(d.var)) {
+                    let move_src = if inst.opcode == Opcode::Mov {
+                        Some(inst.uses[0].var)
+                    } else {
+                        None
+                    };
+                    for d in &inst.defs {
+                        if !among.contains(d.var) {
+                            continue;
+                        }
+                        for l in cursor.iter() {
+                            if l != d.var && Some(l) != move_src {
+                                g.add_edge(d.var, l);
+                            }
+                        }
+                    }
+                    for (k, d1) in inst.defs.iter().enumerate() {
+                        for d2 in &inst.defs[k + 1..] {
+                            if among.contains(d1.var) && among.contains(d2.var) {
+                                g.add_edge(d1.var, d2.var);
+                            }
+                        }
+                    }
+                }
+                for d in &inst.defs {
+                    cursor.remove(d.var);
+                }
+                for u in &inst.uses {
+                    if among.contains(u.var) {
+                        cursor.insert(u.var);
+                    }
+                }
+            }
+        }
+        g
+    }
+
     /// Creates an empty graph over `n` variables.
     pub fn empty(n: usize) -> InterferenceGraph {
-        InterferenceGraph { adj: vec![HashSet::new(); n] }
+        InterferenceGraph {
+            adj: vec![HashSet::new(); n],
+        }
     }
 
     /// Adds an interference edge.

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod cache;
 pub mod domfront;
 pub mod domtree;
 pub mod interference;
@@ -24,6 +25,7 @@ pub mod liveness;
 pub mod loops;
 
 pub use bitset::BitSet;
+pub use cache::AnalysisCache;
 pub use domfront::DomFrontiers;
 pub use domtree::DomTree;
 pub use interference::InterferenceGraph;

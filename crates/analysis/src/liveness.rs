@@ -23,8 +23,111 @@ pub struct Liveness {
 }
 
 impl Liveness {
-    /// Computes liveness by the usual backward fixpoint.
+    /// Computes liveness with a postorder-seeded worklist.
+    ///
+    /// Per block, three masks are precomputed once — upward-exposed uses,
+    /// non-φ defs, and the φ arguments read at the block's end — plus the
+    /// φ-def mask each successor subtracts. The fixpoint loop is then
+    /// pure word-level bitset arithmetic driven by `union_with_minus`'s
+    /// changed-bit: a block re-enters the worklist only when a successor's
+    /// live-in actually grew, instead of the whole-CFG round-robin sweeps
+    /// (with per-edge set clones and φ-def `remove`s) the reference
+    /// implementation does.
     pub fn compute(f: &Function, cfg: &Cfg) -> Liveness {
+        let nb = f.num_blocks();
+        let nv = f.num_vars();
+        let mut live_in: EntityVec<Block, BitSet<Var>> = EntityVec::filled(nb, BitSet::new(nv));
+        let mut live_out: EntityVec<Block, BitSet<Var>> = EntityVec::filled(nb, BitSet::new(nv));
+
+        // --- Precomputation (one pass over the instructions). ---
+        // φ defs of each block (subtracted from its live-in by preds).
+        let mut phi_defs: EntityVec<Block, BitSet<Var>> = EntityVec::filled(nb, BitSet::new(nv));
+        // φ arguments read at the *end* of each block by successor φs.
+        let mut phi_uses: EntityVec<Block, BitSet<Var>> = EntityVec::filled(nb, BitSet::new(nv));
+        // Non-φ defs and upward-exposed uses of each block.
+        let mut def_set: EntityVec<Block, BitSet<Var>> = EntityVec::filled(nb, BitSet::new(nv));
+        let mut use_set: EntityVec<Block, BitSet<Var>> = EntityVec::filled(nb, BitSet::new(nv));
+        for b in f.blocks() {
+            for i in f.block_insts(b) {
+                let inst = f.inst(i);
+                if inst.is_phi() {
+                    phi_defs[b].insert(inst.defs[0].var);
+                    for (k, u) in inst.uses.iter().enumerate() {
+                        phi_uses[inst.phi_preds[k]].insert(u.var);
+                    }
+                    continue;
+                }
+                // Uses read before defs are written: `%x = addi %x, 1`
+                // leaves `%x` upward-exposed.
+                for u in &inst.uses {
+                    if !def_set[b].contains(u.var) {
+                        use_set[b].insert(u.var);
+                    }
+                }
+                for d in &inst.defs {
+                    def_set[b].insert(d.var);
+                }
+            }
+        }
+
+        // Seed live-in with the block-local contribution:
+        // use(b) ∪ (φ-uses-at-end(b) \ def(b)).
+        for b in f.blocks() {
+            live_in[b].union_with(&use_set[b]);
+            live_in[b].union_with_minus(&phi_uses[b], &def_set[b]);
+        }
+
+        // --- Worklist on postorder (successors first for backward flow).
+        // Unreachable blocks are appended so the result matches the
+        // reference fixpoint set-for-set on every block.
+        let mut on_list = vec![false; nb];
+        let mut in_order = vec![false; nb];
+        let mut order: Vec<Block> = cfg.postorder().collect();
+        for &b in &order {
+            in_order[b.index()] = true;
+        }
+        for b in f.blocks() {
+            if !in_order[b.index()] {
+                order.push(b);
+            }
+        }
+        let mut work: std::collections::VecDeque<Block> = order.into_iter().collect();
+        for &b in &work {
+            on_list[b.index()] = true;
+        }
+        while let Some(b) = work.pop_front() {
+            on_list[b.index()] = false;
+            // live_out(b) |= live_in(s) \ phi_defs(s) for each successor.
+            // All sets grow monotonically, so in-place union reaches the
+            // same fixpoint as recomputation from scratch.
+            let mut out_grew = false;
+            for &s in cfg.succs(b) {
+                let (out_b, in_s) = (&mut live_out[b], &live_in[s]);
+                out_grew |= out_b.union_with_minus(in_s, &phi_defs[s]);
+            }
+            if !out_grew {
+                continue;
+            }
+            // live_in(b) |= live_out(b) \ def(b); the block-local part was
+            // seeded above and never changes.
+            let (in_b, out_b) = (&mut live_in[b], &live_out[b]);
+            if in_b.union_with_minus(out_b, &def_set[b]) {
+                for &p in cfg.preds(b) {
+                    if !on_list[p.index()] {
+                        on_list[p.index()] = true;
+                        work.push_back(p);
+                    }
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// The original round-robin backward fixpoint, kept verbatim as an
+    /// independent reference implementation for equivalence testing of
+    /// the worklist algorithm. Not for production use.
+    #[doc(hidden)]
+    pub fn compute_reference(f: &Function, cfg: &Cfg) -> Liveness {
         let nb = f.num_blocks();
         let nv = f.num_vars();
         let mut live_in: EntityVec<Block, BitSet<Var>> = EntityVec::filled(nb, BitSet::new(nv));
@@ -152,8 +255,12 @@ impl DefMap {
                 let inst = f.inst(i);
                 for d in &inst.defs {
                     if sites[d.var].is_none() {
-                        sites[d.var] =
-                            Some(DefSite { block: b, inst: i, pos, is_phi: inst.is_phi() });
+                        sites[d.var] = Some(DefSite {
+                            block: b,
+                            inst: i,
+                            pos,
+                            is_phi: inst.is_phi(),
+                        });
                     }
                 }
             }
@@ -251,7 +358,9 @@ mod tests {
     }
 
     fn var(f: &Function, name: &str) -> Var {
-        f.vars().find(|&v| f.var(v).name == name).unwrap_or_else(|| panic!("no var {name}"))
+        f.vars()
+            .find(|&v| f.var(v).name == name)
+            .unwrap_or_else(|| panic!("no var {name}"))
     }
 
     #[test]

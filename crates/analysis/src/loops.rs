@@ -172,7 +172,7 @@ exit:
         let order = li.blocks_inner_to_outer(&dt);
         assert_eq!(order[0], Block::new(2)); // inner first
         assert_eq!(*order.last().unwrap(), Block::new(4)); // exit last
-        // Depths never increase along the order.
+                                                           // Depths never increase along the order.
         for w in order.windows(2) {
             assert!(li.depth(w[0]) >= li.depth(w[1]));
         }

@@ -1,0 +1,91 @@
+//! Integration tests for the `AnalysisCache` invalidation contract:
+//! mutating a function without telling the cache is a bug that debug
+//! builds catch via the structural fingerprint, and after a proper
+//! `invalidate()` the cache must agree with a fresh computation.
+
+use tossa_analysis::{AnalysisCache, Liveness};
+use tossa_ir::cfg::Cfg;
+use tossa_ir::machine::Machine;
+use tossa_ir::parse::parse_function;
+use tossa_ir::Function;
+
+fn sample() -> Function {
+    let f = parse_function(
+        "func @s {
+entry:
+  %a, %b = input
+  %c = add %a, %b
+  br %c, l, r
+l:
+  %d = addi %a, 1
+  jump m
+r:
+  %d = add %b, %c
+  jump m
+m:
+  ret %d
+}",
+        &Machine::dsp32(),
+    )
+    .unwrap();
+    f.validate().unwrap();
+    f
+}
+
+/// Rewire the first non-φ instruction's first use to a different
+/// variable — a structural change that alters liveness.
+fn mutate(f: &mut Function) {
+    let (target, old) = f
+        .all_insts()
+        .find(|&(_, i)| !f.inst(i).uses.is_empty())
+        .map(|(_, i)| (i, f.inst(i).uses[0].var))
+        .unwrap();
+    let other = f.vars().find(|&v| v != old).unwrap();
+    f.inst_mut(target).uses[0].var = other;
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "AnalysisCache")]
+fn mutation_without_invalidation_panics_in_debug() {
+    let mut f = sample();
+    let mut cache = AnalysisCache::new();
+    let _ = cache.liveness(&f);
+    mutate(&mut f);
+    // Stale access: fingerprint no longer matches the epoch's first
+    // access, so the debug revision check must panic.
+    let _ = cache.liveness(&f);
+}
+
+#[test]
+fn invalidation_matches_fresh_computation() {
+    let mut f = sample();
+    let mut cache = AnalysisCache::new();
+    let before = cache.revision();
+    let _ = cache.liveness(&f);
+
+    mutate(&mut f);
+    cache.invalidate();
+    assert!(cache.revision() > before, "invalidate must bump revision");
+
+    let cached = cache.liveness(&f);
+    let fresh_cfg = Cfg::compute(&f);
+    let fresh = Liveness::compute(&f, &fresh_cfg);
+    for b in f.blocks() {
+        for v in f.vars() {
+            assert_eq!(
+                cached.live_in(b).contains(v),
+                fresh.live_in(b).contains(v),
+                "live_in({b}, {v}) stale after invalidate"
+            );
+            assert_eq!(
+                cached.live_out(b).contains(v),
+                fresh.live_out(b).contains(v),
+                "live_out({b}, {v}) stale after invalidate"
+            );
+        }
+    }
+    // Repeated access must hand back the same memoized Rc.
+    let again = cache.liveness(&f);
+    assert!(std::rc::Rc::ptr_eq(&cached, &again));
+}

@@ -4,15 +4,14 @@
 //! BFS over (block, position) program points, computed per variable —
 //! nothing shared with the fixpoint implementation.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
 use tossa_analysis::Liveness;
 use tossa_ir::cfg::Cfg;
 use tossa_ir::ids::{Block, Var};
 use tossa_ir::machine::Machine;
 use tossa_ir::parse::parse_function;
+use tossa_ir::rng::SplitMix64;
 use tossa_ir::Function;
-use std::collections::HashSet;
 
 /// Path-based liveness: is `v` live at the entry of `b` (before the
 /// block's first instruction)? Only valid for φ-free functions.
@@ -152,16 +151,22 @@ done:
 /// A tiny local generator of φ-free structured programs (independent of
 /// the bench crate) for randomized cross-checking.
 fn random_function(seed: u64) -> Function {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let pool = 5;
     let mut text = String::from("func @rand {\nentry:\n  %p0, %p1 = input\n");
     for i in 2..pool {
         text.push_str(&format!("  %p{i} = make {}\n", i * 7));
     }
     let mut label = 0;
-    let mut emit_body = |text: &mut String, rng: &mut StdRng, depth: usize| {
+    let mut emit_body = |text: &mut String, rng: &mut SplitMix64, depth: usize| {
         // Closure-free recursion via explicit stack of (depth, stage).
-        fn body(text: &mut String, rng: &mut StdRng, depth: usize, label: &mut usize, pool: usize) {
+        fn body(
+            text: &mut String,
+            rng: &mut SplitMix64,
+            depth: usize,
+            label: &mut usize,
+            pool: usize,
+        ) {
             for _ in 0..3 {
                 let choice = rng.random_range(0..10);
                 let d = rng.random_range(0..pool);
@@ -196,4 +201,38 @@ fn random_cfgs_match_reference() {
     for seed in 0..25 {
         check_function(&random_function(seed));
     }
+}
+
+/// Satellite check for the worklist rewrite: on random CFGs *with φs*
+/// (the path-based reference above can't model them), the worklist
+/// liveness must be set-for-set identical to the old round-robin
+/// fixpoint, which is kept as `Liveness::compute_reference`.
+#[test]
+fn worklist_matches_naive_fixpoint_on_random_ssa_cfgs() {
+    let mut total_phis = 0usize;
+    for seed in 0..40 {
+        let mut f = random_function(seed);
+        tossa_ssa::to_ssa(&mut f);
+        f.validate().unwrap();
+        total_phis += f.all_insts().filter(|&(_, i)| f.inst(i).is_phi()).count();
+        let cfg = Cfg::compute(&f);
+        let fast = Liveness::compute(&f, &cfg);
+        let naive = Liveness::compute_reference(&f, &cfg);
+        for b in f.blocks() {
+            for v in f.vars() {
+                assert_eq!(
+                    fast.live_in(b).contains(v),
+                    naive.live_in(b).contains(v),
+                    "live_in({b}, {v}) mismatch on seed {seed}"
+                );
+                assert_eq!(
+                    fast.live_out(b).contains(v),
+                    naive.live_out(b).contains(v),
+                    "live_out({b}, {v}) mismatch on seed {seed}"
+                );
+            }
+        }
+    }
+    // The generator must actually exercise the φ conventions.
+    assert!(total_phis > 0, "no φs generated across all seeds");
 }

@@ -9,11 +9,10 @@
 //! until a fixpoint, since coalescing shortens live ranges and can unlock
 //! further coalescing.
 
-use tossa_analysis::{InterferenceGraph, Liveness};
-use tossa_ir::cfg::Cfg;
+use std::collections::HashMap;
+use tossa_analysis::{AnalysisCache, BitSet, InterferenceGraph};
 use tossa_ir::ids::Var;
 use tossa_ir::Function;
-use std::collections::HashMap;
 
 /// Statistics of a coalescing run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -44,12 +43,35 @@ fn survivor(f: &Function, a: Var, b: Var) -> (Var, Var) {
 
 /// Runs repeated aggressive coalescing to a fixpoint. Returns statistics.
 pub fn aggressive_coalesce(f: &mut Function) -> CoalesceRunStats {
+    aggressive_coalesce_cached(f, &mut AnalysisCache::new())
+}
+
+/// [`aggressive_coalesce`] against a shared [`AnalysisCache`]. Mutating
+/// rounds invalidate the cache; the final (fixpoint) round leaves its
+/// liveness memoized for downstream consumers.
+pub fn aggressive_coalesce_cached(f: &mut Function, cache: &mut AnalysisCache) -> CoalesceRunStats {
     let mut stats = CoalesceRunStats::default();
     loop {
         stats.rounds += 1;
-        let cfg = Cfg::compute(f);
-        let live = Liveness::compute(f, &cfg);
-        let mut graph = InterferenceGraph::build(f, &cfg, &live);
+        // Collect the move sites first: a function without moves needs
+        // neither liveness nor an interference graph.
+        let moves: Vec<(tossa_ir::ids::Block, tossa_ir::ids::Inst)> = f
+            .all_insts()
+            .filter(|&(_, i)| f.inst(i).opcode.is_move())
+            .collect();
+        if moves.is_empty() {
+            break;
+        }
+        let cfg = cache.cfg(f);
+        let live = cache.liveness(f);
+        // The coalescer only ever queries (and merges) move-operand
+        // pairs, so build the graph restricted to those variables.
+        let mut movevars: BitSet<Var> = BitSet::new(f.num_vars());
+        for &(_, i) in &moves {
+            movevars.insert(f.inst(i).defs[0].var);
+            movevars.insert(f.inst(i).uses[0].var);
+        }
+        let mut graph = InterferenceGraph::build_among(f, &cfg, &live, &movevars);
         // Alias map for merges performed this round.
         let mut alias: HashMap<Var, Var> = HashMap::new();
         fn resolve(alias: &HashMap<Var, Var>, mut v: Var) -> Var {
@@ -59,31 +81,32 @@ pub fn aggressive_coalesce(f: &mut Function) -> CoalesceRunStats {
             v
         }
         let mut merged_this_round = 0;
-        for b in f.blocks().collect::<Vec<_>>() {
-            for i in f.block_insts(b).collect::<Vec<_>>() {
-                let inst = f.inst(i);
-                if !inst.opcode.is_move() {
-                    continue;
-                }
-                let d = resolve(&alias, inst.defs[0].var);
-                let s = resolve(&alias, inst.uses[0].var);
-                if d == s {
-                    continue; // becomes a self-move; cleanup deletes it
-                }
-                if graph.interferes(d, s) || !mergeable(f, d, s) {
-                    continue;
-                }
-                let (keep, gone) = survivor(f, d, s);
-                graph.merge(keep, gone);
-                alias.insert(gone, keep);
-                merged_this_round += 1;
+        let mut blocked_by_interference = 0;
+        for &(_, i) in &moves {
+            let inst = f.inst(i);
+            let d = resolve(&alias, inst.defs[0].var);
+            let s = resolve(&alias, inst.uses[0].var);
+            if d == s {
+                continue; // becomes a self-move; cleanup deletes it
             }
+            if !mergeable(f, d, s) {
+                continue;
+            }
+            if graph.interferes(d, s) {
+                blocked_by_interference += 1;
+                continue;
+            }
+            let (keep, gone) = survivor(f, d, s);
+            graph.merge(keep, gone);
+            alias.insert(gone, keep);
+            merged_this_round += 1;
         }
         if merged_this_round == 0 {
             break;
         }
         stats.coalesced += merged_this_round;
         f.rewrite_vars(|v| resolve(&alias, v));
+        cache.invalidate_instructions();
         // Delete the now-trivial self-moves.
         for b in f.blocks().collect::<Vec<_>>() {
             for i in f.block_insts(b).collect::<Vec<_>>() {
@@ -91,6 +114,13 @@ pub fn aggressive_coalesce(f: &mut Function) -> CoalesceRunStats {
                     f.remove_inst(b, i);
                 }
             }
+        }
+        // Early fixpoint: merging only ever *shortens* live ranges, so a
+        // later round can only unlock moves this round rejected for
+        // interference. If none were, the next round is guaranteed empty —
+        // skip its liveness + graph rebuild.
+        if blocked_by_interference == 0 {
+            break;
         }
     }
     stats

@@ -3,18 +3,23 @@
 //! naive out-of-SSA translation (§5, Table 4 discussion); this is the
 //! dead-code part.
 
-use tossa_analysis::Liveness;
-use tossa_ir::cfg::Cfg;
+use tossa_analysis::AnalysisCache;
 use tossa_ir::ids::Inst;
 use tossa_ir::Function;
 
 /// Removes instructions without side effects whose definitions are all
 /// dead, iterating to a fixpoint. Returns the number removed.
 pub fn dead_code_elim(f: &mut Function) -> usize {
+    dead_code_elim_cached(f, &mut AnalysisCache::new())
+}
+
+/// [`dead_code_elim`] against a shared [`AnalysisCache`]. Rounds that
+/// remove code invalidate the cache; the final round's liveness stays
+/// memoized.
+pub fn dead_code_elim_cached(f: &mut Function, cache: &mut AnalysisCache) -> usize {
     let mut removed = 0;
     loop {
-        let cfg = Cfg::compute(f);
-        let live = Liveness::compute(f, &cfg);
+        let live = cache.liveness(f);
         let mut removed_this_round = 0;
         for b in f.blocks().collect::<Vec<_>>() {
             let insts: Vec<Inst> = f.block_insts(b).collect();
@@ -46,6 +51,7 @@ pub fn dead_code_elim(f: &mut Function) -> usize {
         if removed_this_round == 0 {
             break;
         }
+        cache.invalidate_instructions();
         removed += removed_this_round;
     }
     removed

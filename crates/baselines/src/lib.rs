@@ -14,7 +14,7 @@ pub mod cleanup;
 pub mod naive;
 pub mod sreedhar;
 
-pub use chaitin::aggressive_coalesce;
-pub use cleanup::dead_code_elim;
+pub use chaitin::{aggressive_coalesce, aggressive_coalesce_cached};
+pub use cleanup::{dead_code_elim, dead_code_elim_cached};
 pub use naive::naive_out_of_ssa;
-pub use sreedhar::{sreedhar_out_of_ssa, to_cssa};
+pub use sreedhar::{sreedhar_out_of_ssa, sreedhar_out_of_ssa_cached, to_cssa, to_cssa_cached};

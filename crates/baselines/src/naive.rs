@@ -34,7 +34,9 @@ pub fn naive_out_of_ssa(f: &mut Function) -> NaiveStats {
         for &s in f.succs(b).to_vec().iter() {
             for phi in f.phis(s).collect::<Vec<_>>() {
                 let inst = f.inst(phi);
-                let Some(arg) = inst.phi_arg_for(b) else { continue };
+                let Some(arg) = inst.phi_arg_for(b) else {
+                    continue;
+                };
                 group.push((inst.defs[0].var, arg.var));
             }
         }

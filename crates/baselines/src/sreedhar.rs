@@ -17,12 +17,12 @@
 //! interference the heuristic left behind, so the output is always
 //! genuinely conventional.
 
-use tossa_analysis::{DefMap, LiveAtDefs, Liveness};
-use tossa_ir::cfg::Cfg;
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+use tossa_analysis::{AnalysisCache, DefMap, LiveAtDefs, Liveness};
 use tossa_ir::ids::{Block, Inst, Var};
 use tossa_ir::instr::InstData;
 use tossa_ir::Function;
-use std::collections::{BTreeSet, HashMap};
 
 /// Statistics of a CSSA conversion.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -43,17 +43,19 @@ impl CssaStats {
 }
 
 struct Analyses {
-    live: Liveness,
-    defs: DefMap,
-    lad: LiveAtDefs,
+    live: Rc<Liveness>,
+    defs: Rc<DefMap>,
+    lad: Rc<LiveAtDefs>,
 }
 
-fn analyze(f: &Function) -> Analyses {
-    let cfg = Cfg::compute(f);
-    let live = Liveness::compute(f, &cfg);
-    let defs = DefMap::compute(f);
-    let lad = LiveAtDefs::compute(f, &live, &defs);
-    Analyses { live, defs, lad }
+/// Pulls the analyses from the cache; φs that need no copies leave the
+/// memo hot, so the common non-interfering case pays for liveness once.
+fn analyze(f: &Function, cache: &mut AnalysisCache) -> Analyses {
+    Analyses {
+        live: cache.liveness(f),
+        defs: cache.defs(f),
+        lad: cache.live_at_defs(f),
+    }
 }
 
 /// Exact pairwise live-range interference (dominance + live-after-def).
@@ -81,7 +83,10 @@ struct Classes {
 
 impl Classes {
     fn new(n: usize) -> Classes {
-        Classes { parent: (0..n).collect(), members: HashMap::new() }
+        Classes {
+            parent: (0..n).collect(),
+            members: HashMap::new(),
+        }
     }
     fn grow(&mut self, n: usize) {
         while self.parent.len() < n {
@@ -110,8 +115,14 @@ impl Classes {
         if ra == rb {
             return;
         }
-        let ma = self.members.remove(&ra).unwrap_or_else(|| vec![Var::new(ra)]);
-        let mut mb = self.members.remove(&rb).unwrap_or_else(|| vec![Var::new(rb)]);
+        let ma = self
+            .members
+            .remove(&ra)
+            .unwrap_or_else(|| vec![Var::new(ra)]);
+        let mut mb = self
+            .members
+            .remove(&rb)
+            .unwrap_or_else(|| vec![Var::new(rb)]);
         mb.extend(ma);
         self.parent[ra] = rb;
         self.members.insert(rb, mb);
@@ -130,17 +141,23 @@ fn avoid_split(f: &Function, v: Var) -> bool {
 
 /// Converts `f` to conventional SSA by Method-III-style copy insertion.
 pub fn to_cssa(f: &mut Function) -> CssaStats {
+    to_cssa_cached(f, &mut AnalysisCache::new())
+}
+
+/// [`to_cssa`] against a shared [`AnalysisCache`]. Analyses are only
+/// recomputed after a φ actually inserts copies; φs whose resources do
+/// not interfere reuse the memoized liveness.
+pub fn to_cssa_cached(f: &mut Function, cache: &mut AnalysisCache) -> CssaStats {
     let mut stats = CssaStats::default();
     let mut classes = Classes::new(f.num_vars());
 
-    // Process φs block by block. Analyses are recomputed after each φ's
+    // Process φs block by block. Analyses are invalidated after each φ's
     // copies are inserted (simple and robust; incremental updates are the
     // production optimization the paper's authors describe).
-    let phi_list: Vec<(Block, Inst)> =
-        f.all_insts().filter(|&(_, i)| f.inst(i).is_phi()).collect();
+    let phi_list: Vec<(Block, Inst)> = f.all_insts().filter(|&(_, i)| f.inst(i).is_phi()).collect();
 
     for (block, phi) in phi_list {
-        let analyses = analyze(f);
+        let analyses = analyze(f, cache);
         let inst = f.inst(phi).clone();
         // Resources of this φ: (var, block where its value crosses).
         let mut resources: Vec<(Var, Block, Option<usize>)> = Vec::new();
@@ -168,10 +185,8 @@ pub fn to_cssa(f: &mut Function) -> CssaStats {
                     continue;
                 }
                 // The four cases of Method III.
-                let ci_live_out_lj =
-                    ci.iter().any(|&a| analyses.live.live_out(lj).contains(a));
-                let cj_live_out_li =
-                    cj.iter().any(|&a| analyses.live.live_out(li).contains(a));
+                let ci_live_out_lj = ci.iter().any(|&a| analyses.live.live_out(lj).contains(a));
+                let cj_live_out_li = cj.iter().any(|&a| analyses.live.live_out(li).contains(a));
                 match (ci_live_out_lj, cj_live_out_li) {
                     (true, false) => {
                         candidates.insert(i);
@@ -216,6 +231,9 @@ pub fn to_cssa(f: &mut Function) -> CssaStats {
         let final_candidates: Vec<usize> = candidates.iter().copied().collect();
 
         // Insert the copies.
+        if !final_candidates.is_empty() {
+            cache.invalidate_instructions();
+        }
         for idx in final_candidates {
             let (x, l, arg_slot) = resources[idx];
             match arg_slot {
@@ -248,7 +266,7 @@ pub fn to_cssa(f: &mut Function) -> CssaStats {
         }
     }
 
-    stats.safety_copies = safety_pass(f);
+    stats.safety_copies = safety_pass(f, cache);
     stats
 }
 
@@ -257,12 +275,15 @@ pub fn to_cssa(f: &mut Function) -> CssaStats {
 /// φ-congruence class is interference-free. Conversion back out of SSA is
 /// only correct on genuinely conventional code, so this pass guarantees
 /// the post-condition rather than trusting the heuristic.
-fn safety_pass(f: &mut Function) -> usize {
+fn safety_pass(f: &mut Function, cache: &mut AnalysisCache) -> usize {
     let mut inserted = 0;
     loop {
-        let analyses = analyze(f);
-        let phis: Vec<Inst> =
-            f.all_insts().filter(|&(_, i)| f.inst(i).is_phi()).map(|(_, i)| i).collect();
+        let analyses = analyze(f, cache);
+        let phis: Vec<Inst> = f
+            .all_insts()
+            .filter(|&(_, i)| f.inst(i).is_phi())
+            .map(|(_, i)| i)
+            .collect();
         // Webs from all φ unions.
         let mut all = Classes::new(f.num_vars());
         for &i in &phis {
@@ -300,9 +321,10 @@ fn safety_pass(f: &mut Function) -> usize {
             }
             for i in 0..webs.len() {
                 for j in i + 1..webs.len() {
-                    let conflict = webs[i].1.iter().any(|&a| {
-                        webs[j].1.iter().any(|&b| interferes(&analyses, a, b))
-                    });
+                    let conflict = webs[i]
+                        .1
+                        .iter()
+                        .any(|&a| webs[j].1.iter().any(|&b| interferes(&analyses, a, b)));
                     if conflict {
                         // Prefer splitting an argument over the def, and a
                         // splittable resource over a dedicated-register web.
@@ -324,6 +346,7 @@ fn safety_pass(f: &mut Function) -> usize {
             }
         }
         let Some((p, k)) = fix else { break };
+        cache.invalidate_instructions();
         let inst = f.inst(p).clone();
         let u = inst.uses[k].var;
         let l = inst.phi_preds[k];
@@ -339,7 +362,13 @@ fn safety_pass(f: &mut Function) -> usize {
 /// Full Sreedhar-style out-of-SSA: convert to CSSA, rename every
 /// φ-congruence class to a single representative, and delete the φs.
 pub fn sreedhar_out_of_ssa(f: &mut Function) -> CssaStats {
-    let stats = to_cssa(f);
+    sreedhar_out_of_ssa_cached(f, &mut AnalysisCache::new())
+}
+
+/// [`sreedhar_out_of_ssa`] against a shared [`AnalysisCache`]. The cache
+/// is invalidated at the end (renaming and φ deletion are structural).
+pub fn sreedhar_out_of_ssa_cached(f: &mut Function, cache: &mut AnalysisCache) -> CssaStats {
+    let stats = to_cssa_cached(f, cache);
     let mut classes = Classes::new(f.num_vars());
     for (_, i) in f.all_insts().collect::<Vec<_>>() {
         let inst = f.inst(i);
@@ -371,6 +400,7 @@ pub fn sreedhar_out_of_ssa(f: &mut Function) -> CssaStats {
             f.remove_inst(b, phi);
         }
     }
+    cache.invalidate_instructions();
     stats
 }
 
@@ -390,7 +420,7 @@ mod tests {
 
     fn cssa_is_conventional(f: &Function) {
         // No two members of any φ-congruence class interfere.
-        let analyses = analyze(f);
+        let analyses = analyze(f, &mut AnalysisCache::new());
         let mut classes = Classes::new(f.num_vars());
         for (_, i) in f.all_insts() {
             let inst = f.inst(i);

@@ -1,0 +1,87 @@
+//! Emits the machine-readable perf trajectory (`BENCH_pr<N>.json`): the
+//! full suite × experiment matrix with move counts, weighted counts,
+//! per-stage pipeline timings, and end-to-end wall clocks.
+//!
+//! Usage: `perf [--out FILE] [--serial] [--compare] [--no-verify] [--spec N]`
+//!
+//! * `--serial`   — run on one thread (the JSON records the mode);
+//! * `--compare`  — run serial then parallel, print the speedup, and
+//!   write the parallel trajectory;
+//! * `--no-verify` — skip the interpreter equivalence check (timings
+//!   then measure translation alone);
+//! * `--spec N`   — scale of the SPECint-like synthetic population.
+
+use tossa_bench::suites::all_suites;
+use tossa_bench::trajectory::{measure, Trajectory};
+
+fn unix_time() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+fn summarize(t: &Trajectory) {
+    eprintln!(
+        "{} mode, {} threads: full matrix in {:.3} s",
+        t.mode,
+        t.threads,
+        t.end_to_end_wall_ns as f64 / 1e9
+    );
+    for (name, nfns, ninsts) in &t.suite_shapes {
+        let suite_ns: u64 = t
+            .cells
+            .iter()
+            .filter(|c| &c.suite == name)
+            .map(|c| c.wall_ns)
+            .sum();
+        eprintln!(
+            "  {name:<12} {nfns:>4} fns {ninsts:>7} insts  {:>9.3} ms over {} experiments",
+            suite_ns as f64 / 1e6,
+            t.cells.iter().filter(|c| &c.suite == name).count()
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|p| args.get(p + 1))
+            .cloned()
+    };
+    let out = value("--out").unwrap_or_else(|| "BENCH_pr1.json".into());
+    let verify = !flag("--no-verify");
+    let spec_scale = value("--spec").and_then(|v| v.parse().ok()).unwrap_or(40);
+
+    let suites = all_suites(spec_scale);
+    let trajectory = if flag("--compare") {
+        let serial = measure(&suites, verify, true);
+        summarize(&serial);
+        let parallel = measure(&suites, verify, false);
+        summarize(&parallel);
+        let focus = ["VALcc1", "VALcc2", "LAI Large"];
+        let s = serial.wall_ns_for(&focus) as f64;
+        let p = parallel.wall_ns_for(&focus) as f64;
+        eprintln!(
+            "speedup (kernels + vocoder suites): {:.2}x  (serial {:.3} ms -> parallel {:.3} ms)",
+            s / p,
+            s / 1e6,
+            p / 1e6
+        );
+        eprintln!(
+            "speedup (end to end, all suites):   {:.2}x",
+            serial.end_to_end_wall_ns as f64 / parallel.end_to_end_wall_ns as f64
+        );
+        parallel
+    } else {
+        let t = measure(&suites, verify, flag("--serial"));
+        summarize(&t);
+        t
+    };
+
+    let json = trajectory.to_json(unix_time());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+}

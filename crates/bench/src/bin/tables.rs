@@ -7,7 +7,11 @@ use tossa_bench::tables;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
     let verify = !args.iter().any(|a| a == "--no-verify");
     let spec_scale = args
         .iter()
@@ -21,7 +25,12 @@ fn main() {
         "suites: {}",
         suites
             .iter()
-            .map(|s| format!("{} ({} fns, {} insts)", s.name, s.functions.len(), s.num_insts()))
+            .map(|s| format!(
+                "{} ({} fns, {} insts)",
+                s.name,
+                s.functions.len(),
+                s.num_insts()
+            ))
             .collect::<Vec<_>>()
             .join(", ")
     );

@@ -6,14 +6,22 @@
 //!   `VALcc1`/`VALcc2`/`example1-8`/`LAI Large`/`SPECint`; see
 //!   DESIGN.md §3);
 //! * [`metrics`] — move counts and the `5^depth` weighted counts;
-//! * [`runner`] — the Table-1 pipeline executor with end-to-end
-//!   interpreter verification;
-//! * [`tables`] — renderers for Tables 1–5.
+//! * [`runner`] — the Table-1 pipeline executor (parallel over suites)
+//!   with end-to-end interpreter verification and per-stage timings;
+//! * [`tables`] — renderers for Tables 1–5;
+//! * [`trajectory`] — the machine-readable `BENCH_pr<N>.json` perf
+//!   trajectory emitter.
 //!
 //! Regenerate every table with:
 //!
 //! ```bash
 //! cargo run -p tossa-bench --release --bin tables -- all
+//! ```
+//!
+//! Emit the perf trajectory with:
+//!
+//! ```bash
+//! cargo run -p tossa-bench --release --bin perf -- --out BENCH_pr1.json
 //! ```
 
 #![warn(missing_docs)]
@@ -22,3 +30,4 @@ pub mod metrics;
 pub mod runner;
 pub mod suites;
 pub mod tables;
+pub mod trajectory;

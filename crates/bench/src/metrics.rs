@@ -1,7 +1,6 @@
 //! Move-count metrics: the quantities the paper's tables report.
 
-use tossa_analysis::{DomTree, LoopInfo};
-use tossa_ir::cfg::Cfg;
+use tossa_analysis::AnalysisCache;
 use tossa_ir::Function;
 
 /// Static `mov` count (Tables 2–4), ignoring self-moves.
@@ -12,9 +11,13 @@ pub fn move_count(f: &Function) -> usize {
 /// Weighted move count (Table 5): each `mov` weighs `5^depth`, "a static
 /// approximation where each loop would contain 5 iterations".
 pub fn weighted_move_count(f: &Function) -> u64 {
-    let cfg = Cfg::compute(f);
-    let dt = DomTree::compute(f, &cfg);
-    let loops = LoopInfo::compute(f, &cfg, &dt);
+    weighted_move_count_cached(f, &mut AnalysisCache::new())
+}
+
+/// [`weighted_move_count`] against a shared [`AnalysisCache`] (reuses the
+/// pipeline's loop forest when it is still valid).
+pub fn weighted_move_count_cached(f: &Function, cache: &mut AnalysisCache) -> u64 {
+    let loops = cache.loops(f);
     let mut total: u64 = 0;
     for b in f.blocks() {
         let weight = 5u64.saturating_pow(loops.depth(b));

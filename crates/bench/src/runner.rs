@@ -1,15 +1,65 @@
 //! Experiment runner: executes one Table-1 pipeline over a function or a
 //! suite, with optional end-to-end interpreter verification.
+//!
+//! One [`AnalysisCache`] is threaded through the whole pipeline of
+//! [`run_experiment`]: pin-only passes (`pinningSP`, `pinningCSSA`,
+//! `Program_pinning`) keep every analysis memoized, and structural passes
+//! invalidate exactly once. Suites run on a scoped thread pool
+//! ([`run_suite_each`]) with results collected in deterministic suite
+//! order.
 
 use crate::metrics;
 use crate::suites::{BenchFunction, Suite};
-use tossa_baselines::{aggressive_coalesce, dead_code_elim, to_cssa};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+use tossa_analysis::AnalysisCache;
+use tossa_baselines::{aggressive_coalesce_cached, dead_code_elim_cached, to_cssa_cached};
 use tossa_core::coalesce::CoalesceOptions;
 use tossa_core::collect::{naive_abi, pinning_abi, pinning_cssa, pinning_sp};
 use tossa_core::reconstruct::out_of_pinned_ssa;
-use tossa_core::{program_pinning, Experiment, ReconstructStats};
+use tossa_core::{program_pinning_cached, Experiment, ReconstructStats};
 use tossa_ir::{interp, Function};
 use tossa_ssa::{ifconv, opt, psi, to_ssa};
+
+/// Wall-clock nanoseconds of each pipeline stage of one
+/// [`run_experiment`] call. Stages an experiment does not enable read 0.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// SSA construction, if-conversion, ψ lowering, SSA optimizations.
+    pub front_end_ns: u64,
+    /// Sreedhar SSA→CSSA conversion.
+    pub cssa_ns: u64,
+    /// Constraint collection + `Program_pinning` (all pinning passes).
+    pub pinning_ns: u64,
+    /// Leung–George mark/reconstruct (plus `NaiveABI` when enabled).
+    pub reconstruct_ns: u64,
+    /// Dead code elimination and aggressive coalescing.
+    pub cleanup_ns: u64,
+    /// Move-count metrics.
+    pub metrics_ns: u64,
+    /// End-to-end, including everything above.
+    pub total_ns: u64,
+}
+
+impl StageTimings {
+    /// Accumulates `other` into `self` (suite-level aggregation).
+    pub fn add_assign(&mut self, other: &StageTimings) {
+        self.front_end_ns += other.front_end_ns;
+        self.cssa_ns += other.cssa_ns;
+        self.pinning_ns += other.pinning_ns;
+        self.reconstruct_ns += other.reconstruct_ns;
+        self.cleanup_ns += other.cleanup_ns;
+        self.metrics_ns += other.metrics_ns;
+        self.total_ns += other.total_ns;
+    }
+}
+
+fn clocked<T>(slot: &mut u64, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    *slot += start.elapsed().as_nanos() as u64;
+    out
+}
 
 /// Result of running one pipeline on one function.
 #[derive(Clone, Debug)]
@@ -24,6 +74,8 @@ pub struct RunResult {
     pub recon: ReconstructStats,
     /// Moves removed by the Chaitin pass, when enabled.
     pub coalesced: usize,
+    /// Per-stage wall clock of this run.
+    pub timings: StageTimings,
 }
 
 /// Verification failure: the translated function diverged from the
@@ -40,7 +92,11 @@ pub struct VerifyError {
 
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} on {:?}: {}", self.function, self.inputs, self.message)
+        write!(
+            f,
+            "{} on {:?}: {}",
+            self.function, self.inputs, self.message
+        )
     }
 }
 
@@ -66,37 +122,92 @@ pub fn front_end(src: &Function) -> Function {
 
 /// Runs one experiment pipeline on a pre-SSA function.
 pub fn run_experiment(src: &Function, exp: Experiment, opts: &CoalesceOptions) -> RunResult {
+    let mut t = StageTimings::default();
+    let start = Instant::now();
+    let f = clocked(&mut t.front_end_ns, || front_end(src));
+    run_pipeline(f, exp, opts, t, start)
+}
+
+/// Runs one experiment pipeline on an already-SSA-converted function (a
+/// [`front_end`] output). The front end is experiment-independent, so a
+/// suite × experiment matrix computes it once per function and shares it
+/// across all experiments; `front_end_ns` then reads 0 here.
+pub fn run_experiment_prepared(
+    ssa: &Function,
+    exp: Experiment,
+    opts: &CoalesceOptions,
+) -> RunResult {
+    run_pipeline(
+        ssa.clone(),
+        exp,
+        opts,
+        StageTimings::default(),
+        Instant::now(),
+    )
+}
+
+fn run_pipeline(
+    mut f: Function,
+    exp: Experiment,
+    opts: &CoalesceOptions,
+    mut t: StageTimings,
+    start: Instant,
+) -> RunResult {
     let passes = exp.passes();
-    let mut f = front_end(src);
+    // One analysis manager for the rest of the pipeline. Structural
+    // passes invalidate; pin-only passes reuse the memoized analyses.
+    let mut cache = AnalysisCache::new();
     if passes.sreedhar {
-        to_cssa(&mut f);
+        clocked(&mut t.cssa_ns, || to_cssa_cached(&mut f, &mut cache));
     }
-    if passes.pinning_cssa {
-        pinning_cssa(&mut f);
-    }
-    if passes.pinning_sp {
-        pinning_sp(&mut f);
-    }
-    if passes.pinning_abi {
-        pinning_abi(&mut f);
-    }
-    if passes.pinning_phi {
-        program_pinning(&mut f, opts);
-    }
+    clocked(&mut t.pinning_ns, || {
+        if passes.pinning_cssa {
+            pinning_cssa(&mut f); // pin-only: cache stays hot
+        }
+        if passes.pinning_sp {
+            pinning_sp(&mut f); // pin-only: cache stays hot
+        }
+        if passes.pinning_abi {
+            pinning_abi(&mut f); // inserts save/restore moves (CFG unchanged)
+            cache.invalidate_instructions();
+        }
+        if passes.pinning_phi {
+            program_pinning_cached(&mut f, opts, &mut cache); // pin-only
+        }
+    });
     debug_assert!(passes.out_of_pinned_ssa);
-    let recon = out_of_pinned_ssa(&mut f);
-    if passes.naive_abi {
-        naive_abi(&mut f);
-    }
-    dead_code_elim(&mut f);
+    let recon = clocked(&mut t.reconstruct_ns, || {
+        let recon = out_of_pinned_ssa(&mut f);
+        cache.invalidate();
+        if passes.naive_abi {
+            naive_abi(&mut f); // inserts plain moves (CFG unchanged)
+            cache.invalidate_instructions();
+        }
+        recon
+    });
     let mut coalesced = 0;
-    if passes.coalescing {
-        coalesced = aggressive_coalesce(&mut f).coalesced;
-        dead_code_elim(&mut f);
+    clocked(&mut t.cleanup_ns, || {
+        dead_code_elim_cached(&mut f, &mut cache);
+        if passes.coalescing {
+            coalesced = aggressive_coalesce_cached(&mut f, &mut cache).coalesced;
+            dead_code_elim_cached(&mut f, &mut cache);
+        }
+    });
+    let (moves, weighted) = clocked(&mut t.metrics_ns, || {
+        (
+            metrics::move_count(&f),
+            metrics::weighted_move_count_cached(&f, &mut cache),
+        )
+    });
+    t.total_ns = start.elapsed().as_nanos() as u64;
+    RunResult {
+        func: f,
+        moves,
+        weighted,
+        recon,
+        coalesced,
+        timings: t,
     }
-    let moves = metrics::move_count(&f);
-    let weighted = metrics::weighted_move_count(&f);
-    RunResult { func: f, moves, weighted, recon, coalesced }
 }
 
 /// Checks that `result` computes the same outputs as `src` on every
@@ -142,10 +253,154 @@ pub struct SuiteResult {
     pub repair_copies: usize,
     /// Total moves removed by Chaitin coalescing.
     pub coalesced: usize,
+    /// Summed per-stage wall clock across the suite (CPU-side; with the
+    /// parallel runner this exceeds elapsed wall clock).
+    pub timings: StageTimings,
 }
 
-/// Runs one experiment over a suite, verifying every function unless
-/// `verify_each` is false.
+impl SuiteResult {
+    fn fold(results: &[RunResult]) -> SuiteResult {
+        let mut total = SuiteResult::default();
+        for r in results {
+            total.moves += r.moves;
+            total.weighted += r.weighted;
+            total.phi_copies += r.recon.phi_copies;
+            total.abi_copies += r.recon.abi_copies;
+            total.repair_copies += r.recon.repair_copies;
+            total.coalesced += r.coalesced;
+            total.timings.add_assign(&r.timings);
+        }
+        total
+    }
+}
+
+/// Maps `f` over `0..n` on a scoped worker pool (one thread per
+/// available core). Results land in index order, so the output is
+/// deterministic regardless of scheduling; a worker panic (e.g. a
+/// verification failure) propagates to the caller.
+pub fn par_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(n, || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                s.spawn(move || {
+                    let mut out: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= n {
+                            break;
+                        }
+                        out.push((k, f(k)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            // Re-raise worker panics here.
+            for (k, r) in h.join().expect("bench worker panicked") {
+                slots[k] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index assigned"))
+        .collect()
+}
+
+fn check(bf: &BenchFunction, exp: Experiment, r: &RunResult, verify_each: bool) {
+    if verify_each {
+        if let Err(e) = verify(&bf.func, &r.func, &bf.inputs) {
+            panic!("experiment {exp} broke {e}\n{}", r.func);
+        }
+    }
+}
+
+/// Runs the shared [`front_end`] over every function of a suite, in
+/// parallel. The result feeds [`run_suite_matrix`] /
+/// [`run_experiment_prepared`] so an N-experiment matrix pays for SSA
+/// construction once instead of N times.
+pub fn prepare_suite(suite: &Suite) -> Vec<Function> {
+    par_map(suite.functions.len(), |k| {
+        front_end(&suite.functions[k].func)
+    })
+}
+
+/// Per-function results of one experiment over a suite, in suite order,
+/// executed on a scoped worker pool (one [`AnalysisCache`] per
+/// pipeline).
+///
+/// # Panics
+/// Panics on a verification failure (propagated from any worker).
+pub fn run_suite_each(
+    suite: &Suite,
+    exp: Experiment,
+    opts: &CoalesceOptions,
+    verify_each: bool,
+) -> Vec<RunResult> {
+    par_map(suite.functions.len(), |k| {
+        let bf = &suite.functions[k];
+        let r = run_experiment(&bf.func, exp, opts);
+        check(bf, exp, &r, verify_each);
+        r
+    })
+}
+
+/// Serial version of [`run_suite_each`], used by the bench binary's
+/// `--serial` mode to measure the parallel runner's speedup.
+pub fn run_suite_each_serial(
+    suite: &Suite,
+    exp: Experiment,
+    opts: &CoalesceOptions,
+    verify_each: bool,
+) -> Vec<RunResult> {
+    suite
+        .functions
+        .iter()
+        .map(|bf| {
+            let r = run_experiment(&bf.func, exp, opts);
+            check(bf, exp, &r, verify_each);
+            r
+        })
+        .collect()
+}
+
+/// Per-function results of one experiment over a pre-converted suite
+/// (see [`prepare_suite`]); `parallel: false` runs on one thread.
+pub fn run_suite_each_prepared(
+    suite: &Suite,
+    prepared: &[Function],
+    exp: Experiment,
+    opts: &CoalesceOptions,
+    verify_each: bool,
+    parallel: bool,
+) -> Vec<RunResult> {
+    let one = |k: usize| {
+        let bf = &suite.functions[k];
+        let r = run_experiment_prepared(&prepared[k], exp, opts);
+        check(bf, exp, &r, verify_each);
+        r
+    };
+    if parallel {
+        par_map(suite.functions.len(), one)
+    } else {
+        (0..suite.functions.len()).map(one).collect()
+    }
+}
+
+/// Runs one experiment over a suite (in parallel), verifying every
+/// function unless `verify_each` is false.
 ///
 /// # Panics
 /// Panics on a verification failure — a translation that changes program
@@ -156,22 +411,32 @@ pub fn run_suite(
     opts: &CoalesceOptions,
     verify_each: bool,
 ) -> SuiteResult {
-    let mut total = SuiteResult::default();
-    for bf in &suite.functions {
-        let r = run_experiment(&bf.func, exp, opts);
-        if verify_each {
-            if let Err(e) = verify(&bf.func, &r.func, &bf.inputs) {
-                panic!("experiment {exp} broke {e}\n{}", r.func);
-            }
-        }
-        total.moves += r.moves;
-        total.weighted += r.weighted;
-        total.phi_copies += r.recon.phi_copies;
-        total.abi_copies += r.recon.abi_copies;
-        total.repair_copies += r.recon.repair_copies;
-        total.coalesced += r.coalesced;
-    }
-    total
+    SuiteResult::fold(&run_suite_each(suite, exp, opts, verify_each))
+}
+
+/// Runs several experiments over a suite, converting to SSA once and
+/// sharing the prepared functions across all experiments. Returns one
+/// [`SuiteResult`] per experiment, in order.
+pub fn run_suite_matrix(
+    suite: &Suite,
+    experiments: &[Experiment],
+    opts: &CoalesceOptions,
+    verify_each: bool,
+) -> Vec<SuiteResult> {
+    let prepared = prepare_suite(suite);
+    experiments
+        .iter()
+        .map(|&exp| {
+            SuiteResult::fold(&run_suite_each_prepared(
+                suite,
+                &prepared,
+                exp,
+                opts,
+                verify_each,
+                true,
+            ))
+        })
+        .collect()
 }
 
 /// Runs a [`BenchFunction`] through an experiment and verifies it.
@@ -206,7 +471,10 @@ mod tests {
 
     #[test]
     fn our_algorithm_beats_naive_on_kernels() {
-        let suite = suites::Suite { name: "VALcc1", functions: suites::kernels::valcc1() };
+        let suite = suites::Suite {
+            name: "VALcc1",
+            functions: suites::kernels::valcc1(),
+        };
         let opts = CoalesceOptions::default();
         let ours = run_suite(&suite, Experiment::LphiC, &opts, true);
         let naive = run_suite(&suite, Experiment::CNoAbi, &opts, true);
@@ -220,7 +488,10 @@ mod tests {
 
     #[test]
     fn abi_pinning_beats_naive_abi() {
-        let suite = suites::Suite { name: "VALcc1", functions: suites::kernels::valcc1() };
+        let suite = suites::Suite {
+            name: "VALcc1",
+            functions: suites::kernels::valcc1(),
+        };
         let opts = CoalesceOptions::default();
         let pinned = run_suite(&suite, Experiment::LphiAbiC, &opts, true);
         let naive = run_suite(&suite, Experiment::CAbi, &opts, true);
@@ -229,6 +500,44 @@ mod tests {
             "Lphi,ABI+C {} > C(abi) {}",
             pinned.moves,
             naive.moves
+        );
+    }
+
+    #[test]
+    fn parallel_suite_matches_serial() {
+        let suite = suites::Suite {
+            name: "VALcc1",
+            functions: suites::kernels::valcc1(),
+        };
+        let opts = CoalesceOptions::default();
+        let par = run_suite_each(&suite, Experiment::LphiAbiC, &opts, false);
+        let ser = run_suite_each_serial(&suite, Experiment::LphiAbiC, &opts, false);
+        assert_eq!(par.len(), ser.len());
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.moves, s.moves);
+            assert_eq!(p.weighted, s.weighted);
+            assert_eq!(p.recon, s.recon);
+        }
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let ex = suites::paper_examples::examples();
+        let r = run_experiment(
+            &ex[0].func,
+            Experiment::LphiAbiC,
+            &CoalesceOptions::default(),
+        );
+        assert!(r.timings.total_ns > 0);
+        assert!(r.timings.front_end_ns > 0);
+        assert!(
+            r.timings.total_ns
+                >= r.timings.front_end_ns
+                    + r.timings.cssa_ns
+                    + r.timings.pinning_ns
+                    + r.timings.reconstruct_ns
+                    + r.timings.cleanup_ns
+                    + r.timings.metrics_ns
         );
     }
 }

@@ -786,7 +786,8 @@ pub fn temp_heavy(f: &Function) -> Function {
 fn parse(text: &str) -> Function {
     let f = parse_function(text, &Machine::dsp32())
         .unwrap_or_else(|e| panic!("kernel parse error: {e}\n{text}"));
-    f.validate().unwrap_or_else(|e| panic!("kernel invalid: {e}\n{text}"));
+    f.validate()
+        .unwrap_or_else(|e| panic!("kernel invalid: {e}\n{text}"));
     f
 }
 
@@ -822,9 +823,8 @@ mod tests {
     fn all_kernels_parse_validate_and_run() {
         for bf in valcc1() {
             for inputs in &bf.inputs {
-                let r = interp::run(&bf.func, inputs, 1_000_000).unwrap_or_else(|e| {
-                    panic!("kernel {} traps on {inputs:?}: {e}", bf.func.name)
-                });
+                let r = interp::run(&bf.func, inputs, 1_000_000)
+                    .unwrap_or_else(|e| panic!("kernel {} traps on {inputs:?}: {e}", bf.func.name));
                 assert!(!r.outputs.is_empty(), "{}", bf.func.name);
             }
         }
@@ -853,15 +853,24 @@ mod tests {
     fn fib_is_fib() {
         let suite = valcc1();
         let fib = suite.iter().find(|b| b.func.name == "fib").unwrap();
-        assert_eq!(interp::run(&fib.func, &[10], 10_000).unwrap().outputs, vec![55]);
+        assert_eq!(
+            interp::run(&fib.func, &[10], 10_000).unwrap().outputs,
+            vec![55]
+        );
     }
 
     #[test]
     fn gcd_is_gcd() {
         let suite = valcc1();
         let gcd = suite.iter().find(|b| b.func.name == "gcd").unwrap();
-        assert_eq!(interp::run(&gcd.func, &[12, 18], 10_000).unwrap().outputs, vec![6]);
-        assert_eq!(interp::run(&gcd.func, &[35, 14], 10_000).unwrap().outputs, vec![7]);
+        assert_eq!(
+            interp::run(&gcd.func, &[12, 18], 10_000).unwrap().outputs,
+            vec![6]
+        );
+        assert_eq!(
+            interp::run(&gcd.func, &[35, 14], 10_000).unwrap().outputs,
+            vec![7]
+        );
     }
 
     #[test]

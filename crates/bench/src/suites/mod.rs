@@ -31,7 +31,10 @@ pub struct Suite {
 impl Suite {
     /// Total instruction count (for scale reporting).
     pub fn num_insts(&self) -> usize {
-        self.functions.iter().map(|b| b.func.all_insts().count()).sum()
+        self.functions
+            .iter()
+            .map(|b| b.func.all_insts().count())
+            .sum()
     }
 }
 
@@ -40,10 +43,22 @@ impl Suite {
 /// smaller scale).
 pub fn all_suites(spec_scale: usize) -> Vec<Suite> {
     vec![
-        Suite { name: "VALcc1", functions: kernels::valcc1() },
-        Suite { name: "VALcc2", functions: kernels::valcc2() },
-        Suite { name: "example1-8", functions: paper_examples::examples() },
-        Suite { name: "LAI Large", functions: vocoder::lai_large() },
+        Suite {
+            name: "VALcc1",
+            functions: kernels::valcc1(),
+        },
+        Suite {
+            name: "VALcc2",
+            functions: kernels::valcc2(),
+        },
+        Suite {
+            name: "example1-8",
+            functions: paper_examples::examples(),
+        },
+        Suite {
+            name: "LAI Large",
+            functions: vocoder::lai_large(),
+        },
         Suite {
             name: "SPECint",
             functions: synth::specint_like(&synth::SynthConfig {
@@ -62,7 +77,10 @@ mod tests {
     fn five_suites() {
         let suites = all_suites(5);
         let names: Vec<&str> = suites.iter().map(|s| s.name).collect();
-        assert_eq!(names, vec!["VALcc1", "VALcc2", "example1-8", "LAI Large", "SPECint"]);
+        assert_eq!(
+            names,
+            vec!["VALcc1", "VALcc2", "example1-8", "LAI Large", "SPECint"]
+        );
         for s in &suites {
             assert!(!s.functions.is_empty(), "{}", s.name);
             assert!(s.num_insts() > 0);

@@ -197,7 +197,8 @@ pub fn examples() -> Vec<BenchFunction> {
         .map(|e| {
             let func = parse_function(e.text, &Machine::dsp32())
                 .unwrap_or_else(|err| panic!("example parse: {err}\n{}", e.text));
-            func.validate().unwrap_or_else(|err| panic!("example invalid: {err}"));
+            func.validate()
+                .unwrap_or_else(|err| panic!("example invalid: {err}"));
             BenchFunction {
                 func,
                 inputs: e.inputs.iter().map(|i| i.to_vec()).collect(),
@@ -217,9 +218,8 @@ mod tests {
         assert_eq!(ex.len(), 8);
         for bf in &ex {
             for inputs in &bf.inputs {
-                interp::run(&bf.func, inputs, 1_000_000).unwrap_or_else(|e| {
-                    panic!("{} traps on {inputs:?}: {e}", bf.func.name)
-                });
+                interp::run(&bf.func, inputs, 1_000_000)
+                    .unwrap_or_else(|e| panic!("{} traps on {inputs:?}: {e}", bf.func.name));
             }
         }
     }

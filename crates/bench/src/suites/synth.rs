@@ -11,11 +11,10 @@
 //! definition-complete.
 
 use crate::suites::BenchFunction;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::fmt::Write as _;
 use tossa_ir::machine::Machine;
 use tossa_ir::parse::parse_function;
+use tossa_ir::rng::SplitMix64;
 
 /// Tuning of the generator.
 #[derive(Clone, Copy, Debug)]
@@ -32,12 +31,17 @@ pub struct SynthConfig {
 
 impl Default for SynthConfig {
     fn default() -> Self {
-        SynthConfig { functions: 40, pool: 8, max_depth: 3, body_len: 5 }
+        SynthConfig {
+            functions: 40,
+            pool: 8,
+            max_depth: 3,
+            body_len: 5,
+        }
     }
 }
 
 struct Gen {
-    rng: StdRng,
+    rng: SplitMix64,
     text: String,
     pool: usize,
     next_label: usize,
@@ -72,8 +76,7 @@ impl Gen {
         match choice {
             0..=29 => {
                 let (a, b) = (self.var(), self.var());
-                let op = ["add", "sub", "mul", "xor", "and", "or"]
-                    [self.rng.random_range(0..6)];
+                let op = ["add", "sub", "mul", "xor", "and", "or"][self.rng.random_range(0..6)];
                 self.line(&format!("{dst} = {op} {a}, {b}"));
             }
             30..=44 => {
@@ -116,8 +119,8 @@ impl Gen {
             }
             75..=82 => {
                 let (a, b) = (self.var(), self.var());
-                let callee = ["helper", "lookup", "hashstep", "update"]
-                    [self.rng.random_range(0..4)];
+                let callee =
+                    ["helper", "lookup", "hashstep", "update"][self.rng.random_range(0..4)];
                 self.line(&format!("{dst} = call {callee}({a}, {b})"));
             }
             83..=89 => {
@@ -193,7 +196,7 @@ impl Gen {
 /// Generates one function deterministically from `seed`.
 pub fn generate_function(seed: u64, cfg: &SynthConfig) -> BenchFunction {
     let mut g = Gen {
-        rng: StdRng::seed_from_u64(seed),
+        rng: SplitMix64::seed_from_u64(seed),
         text: String::new(),
         pool: cfg.pool,
         next_label: 0,
@@ -219,18 +222,25 @@ pub fn generate_function(seed: u64, cfg: &SynthConfig) -> BenchFunction {
 
     let func = parse_function(&g.text, &Machine::dsp32())
         .unwrap_or_else(|e| panic!("synth parse: {e}\n{}", g.text));
-    func.validate().unwrap_or_else(|e| panic!("synth invalid: {e}\n{}", g.text));
+    func.validate()
+        .unwrap_or_else(|e| panic!("synth invalid: {e}\n{}", g.text));
 
-    let mut irng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let mut irng = SplitMix64::seed_from_u64(seed ^ 0xDEAD_BEEF);
     let inputs: Vec<Vec<i64>> = (0..3)
-        .map(|_| (0..ninputs).map(|_| irng.random_range(-100..100)).collect())
+        .map(|_| {
+            (0..ninputs)
+                .map(|_| irng.random_range(-100i64..100))
+                .collect()
+        })
         .collect();
     BenchFunction { func, inputs }
 }
 
 /// The `SPECint`-like suite.
 pub fn specint_like(cfg: &SynthConfig) -> Vec<BenchFunction> {
-    (0..cfg.functions as u64).map(|seed| generate_function(seed + 1, cfg)).collect()
+    (0..cfg.functions as u64)
+        .map(|seed| generate_function(seed + 1, cfg))
+        .collect()
 }
 
 #[cfg(test)]
@@ -252,7 +262,10 @@ mod tests {
 
     #[test]
     fn all_generated_functions_run() {
-        let cfg = SynthConfig { functions: 12, ..Default::default() };
+        let cfg = SynthConfig {
+            functions: 12,
+            ..Default::default()
+        };
         for bf in specint_like(&cfg) {
             for inputs in &bf.inputs {
                 interp::run(&bf.func, inputs, 5_000_000).unwrap_or_else(|e| {
@@ -267,15 +280,14 @@ mod tests {
         let cfg = SynthConfig::default();
         let mut saw_loop = false;
         let mut saw_branch = false;
-        for bf in specint_like(&SynthConfig { functions: 10, ..cfg }) {
+        for bf in specint_like(&SynthConfig {
+            functions: 10,
+            ..cfg
+        }) {
             if bf.func.num_blocks() > 4 {
                 saw_branch = true;
             }
-            if bf
-                .func
-                .to_string()
-                .contains("%loop")
-            {
+            if bf.func.to_string().contains("%loop") {
                 saw_loop = true;
             }
         }

@@ -12,7 +12,8 @@ use tossa_ir::parse::parse_function;
 fn build(text: String, inputs: Vec<Vec<i64>>) -> BenchFunction {
     let func = parse_function(&text, &Machine::dsp32())
         .unwrap_or_else(|e| panic!("vocoder parse: {e}\n{text}"));
-    func.validate().unwrap_or_else(|e| panic!("vocoder invalid: {e}"));
+    func.validate()
+        .unwrap_or_else(|e| panic!("vocoder invalid: {e}"));
     BenchFunction { func, inputs }
 }
 
@@ -59,7 +60,11 @@ exit:
     );
     build(
         t,
-        vec![vec![1000, 2000, 3000, 0], vec![1000, 2000, 3000, 8], vec![1000, 2000, 3000, 16]],
+        vec![
+            vec![1000, 2000, 3000, 0],
+            vec![1000, 2000, 3000, 8],
+            vec![1000, 2000, 3000, 16],
+        ],
     )
 }
 
@@ -306,7 +311,11 @@ send:
         "
 "
     };
-    let name = if depth3 { "vc_residual3" } else { "vc_residual2" };
+    let name = if depth3 {
+        "vc_residual3"
+    } else {
+        "vc_residual2"
+    };
     let t = format!(
         "func @{name} {{
 entry:
@@ -370,9 +379,8 @@ mod tests {
         assert_eq!(suite.len(), 8);
         for bf in &suite {
             for inputs in &bf.inputs {
-                interp::run(&bf.func, inputs, 5_000_000).unwrap_or_else(|e| {
-                    panic!("{} traps on {inputs:?}: {e}", bf.func.name)
-                });
+                interp::run(&bf.func, inputs, 5_000_000)
+                    .unwrap_or_else(|e| panic!("{} traps on {inputs:?}: {e}", bf.func.name));
             }
         }
     }
@@ -380,10 +388,7 @@ mod tests {
     #[test]
     fn functions_are_larger_than_kernels() {
         let suite = lai_large();
-        let total: usize = suite
-            .iter()
-            .map(|b| b.func.all_insts().count())
-            .sum();
+        let total: usize = suite.iter().map(|b| b.func.all_insts().count()).sum();
         assert!(total > 250, "LAI Large should be big, got {total} insts");
     }
 }

@@ -4,12 +4,12 @@
 //! renders rows in the paper's format: the first experiment column is an
 //! absolute count, subsequent columns are signed deltas relative to it.
 
-use crate::runner::{run_suite, SuiteResult};
+use crate::runner::{run_suite, run_suite_matrix, SuiteResult};
 use crate::suites::Suite;
+use std::fmt::Write as _;
 use tossa_core::coalesce::CoalesceOptions;
 use tossa_core::interfere::InterferenceMode;
 use tossa_core::Experiment;
-use std::fmt::Write as _;
 
 fn delta(base: i64, value: i64) -> String {
     let d = value - base;
@@ -66,11 +66,10 @@ fn run_columns(
     suites
         .iter()
         .map(|s| {
-            let row = experiments
-                .iter()
-                .map(|&e| run_suite(s, e, &opts, verify))
-                .collect();
-            (s.name.to_string(), row)
+            (
+                s.name.to_string(),
+                run_suite_matrix(s, experiments, &opts, verify),
+            )
         })
         .collect()
 }
@@ -143,19 +142,34 @@ pub fn table5(suites: &[Suite], verify: bool) -> String {
         ("base", CoalesceOptions::default()),
         (
             "depth",
-            CoalesceOptions { depth_priority: true, ..Default::default() },
+            CoalesceOptions {
+                depth_priority: true,
+                ..Default::default()
+            },
         ),
         (
             "opt",
-            CoalesceOptions { mode: InterferenceMode::Optimistic, ..Default::default() },
+            CoalesceOptions {
+                mode: InterferenceMode::Optimistic,
+                ..Default::default()
+            },
         ),
         (
             "pess",
-            CoalesceOptions { mode: InterferenceMode::Pessimistic, ..Default::default() },
+            CoalesceOptions {
+                mode: InterferenceMode::Pessimistic,
+                ..Default::default()
+            },
         ),
         // Ablation of this implementation's gain refinement: the paper's
         // literal gain definition counts already-killed arguments too.
-        ("paper-gain", CoalesceOptions { refine_gain: false, ..Default::default() }),
+        (
+            "paper-gain",
+            CoalesceOptions {
+                refine_gain: false,
+                ..Default::default()
+            },
+        ),
     ];
     let mut out = String::new();
     let _ = writeln!(

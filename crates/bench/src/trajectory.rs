@@ -1,0 +1,235 @@
+//! Machine-readable perf trajectory: `BENCH_pr<N>.json` emission.
+//!
+//! Each record is one (suite × experiment) cell of the paper's tables,
+//! annotated with the end-to-end wall clock of the suite run and the
+//! summed per-stage pipeline timings, so successive PRs can be compared
+//! number-for-number by scripts (no terminal scraping).
+//!
+//! The JSON is hand-rolled — the offline container has no serde — but
+//! the shape is stable and append-friendly:
+//!
+//! ```json
+//! {
+//!   "schema": "tossa-bench-trajectory/1",
+//!   "unix_time": 1722800000,
+//!   "threads": 8,
+//!   "mode": "parallel",
+//!   "suites": [
+//!     { "suite": "VALcc1", "functions": 18, "insts": 1234, "front_end_ns": ...,
+//!       "experiments": [
+//!         { "experiment": "LphiC", "label": "Lphi+C",
+//!           "wall_ns": 1234567, "moves": 42, "weighted": 130,
+//!           "stages": { "front_end_ns": ..., "cssa_ns": ...,
+//!                       "pinning_ns": ..., "reconstruct_ns": ...,
+//!                       "cleanup_ns": ..., "metrics_ns": ...,
+//!                       "total_ns": ... } } ] } ],
+//!   "end_to_end_wall_ns": 987654321
+//! }
+//! ```
+
+use crate::runner::{prepare_suite, run_suite_each_prepared, RunResult, StageTimings};
+use crate::suites::Suite;
+use std::fmt::Write as _;
+use std::time::Instant;
+use tossa_core::coalesce::CoalesceOptions;
+use tossa_core::Experiment;
+
+/// One (suite × experiment) measurement.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Suite name.
+    pub suite: String,
+    /// Stable experiment key (the enum variant name).
+    pub experiment: String,
+    /// Paper-table label (not unique: two experiments print as `C`).
+    pub label: String,
+    /// End-to-end wall clock of the suite run for this experiment.
+    pub wall_ns: u64,
+    /// Total static move count.
+    pub moves: usize,
+    /// Total `5^depth`-weighted move count.
+    pub weighted: u64,
+    /// Summed per-stage pipeline timings across the suite.
+    pub stages: StageTimings,
+}
+
+/// A full trajectory: every suite crossed with every Table-1 experiment.
+#[derive(Clone, Debug, Default)]
+pub struct Trajectory {
+    /// Worker threads the parallel runner used (1 when serial).
+    pub threads: usize,
+    /// `"parallel"` or `"serial"`.
+    pub mode: String,
+    /// The cells, in (suite, experiment) order.
+    pub cells: Vec<Cell>,
+    /// Per-suite function/instruction counts, in suite order.
+    pub suite_shapes: Vec<(String, usize, usize)>,
+    /// Per-suite wall clock of the shared front end (SSA construction is
+    /// experiment-independent, so it runs once per suite), in suite
+    /// order.
+    pub front_end_ns: Vec<u64>,
+    /// Wall clock of the whole matrix.
+    pub end_to_end_wall_ns: u64,
+}
+
+fn fold(results: &[RunResult]) -> (usize, u64, StageTimings) {
+    let mut moves = 0;
+    let mut weighted = 0;
+    let mut stages = StageTimings::default();
+    for r in results {
+        moves += r.moves;
+        weighted += r.weighted;
+        stages.add_assign(&r.timings);
+    }
+    (moves, weighted, stages)
+}
+
+/// Runs the full experiment matrix over `suites` and collects the
+/// trajectory. `serial` switches the runner to one thread (for speedup
+/// comparisons); `verify` re-runs the interpreter equivalence check.
+pub fn measure(suites: &[Suite], verify: bool, serial: bool) -> Trajectory {
+    let opts = CoalesceOptions::default();
+    let threads = if serial {
+        1
+    } else {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    };
+    let mut t = Trajectory {
+        threads,
+        mode: if serial {
+            "serial".into()
+        } else {
+            "parallel".into()
+        },
+        ..Trajectory::default()
+    };
+    let start = Instant::now();
+    for suite in suites {
+        t.suite_shapes.push((
+            suite.name.to_string(),
+            suite.functions.len(),
+            suite.num_insts(),
+        ));
+        let begin = Instant::now();
+        let prepared = prepare_suite(suite);
+        t.front_end_ns.push(begin.elapsed().as_nanos() as u64);
+        for &exp in Experiment::all() {
+            let begin = Instant::now();
+            let results = run_suite_each_prepared(suite, &prepared, exp, &opts, verify, !serial);
+            let wall_ns = begin.elapsed().as_nanos() as u64;
+            let (moves, weighted, stages) = fold(&results);
+            t.cells.push(Cell {
+                suite: suite.name.to_string(),
+                experiment: format!("{exp:?}"),
+                label: exp.label().to_string(),
+                wall_ns,
+                moves,
+                weighted,
+                stages,
+            });
+        }
+    }
+    t.end_to_end_wall_ns = start.elapsed().as_nanos() as u64;
+    t
+}
+
+impl Trajectory {
+    /// Sum of suite wall clocks (including the shared front end)
+    /// restricted to the named suites — the speedup figure reported for
+    /// kernels + vocoder.
+    pub fn wall_ns_for(&self, suite_names: &[&str]) -> u64 {
+        let cells: u64 = self
+            .cells
+            .iter()
+            .filter(|c| suite_names.contains(&c.suite.as_str()))
+            .map(|c| c.wall_ns)
+            .sum();
+        let fe: u64 = self
+            .suite_shapes
+            .iter()
+            .zip(&self.front_end_ns)
+            .filter(|((name, _, _), _)| suite_names.contains(&name.as_str()))
+            .map(|(_, &ns)| ns)
+            .sum();
+        cells + fe
+    }
+
+    /// Renders the trajectory as the `BENCH_pr<N>.json` document.
+    pub fn to_json(&self, unix_time: u64) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"tossa-bench-trajectory/1\",");
+        let _ = writeln!(out, "  \"unix_time\": {unix_time},");
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"mode\": \"{}\",", self.mode);
+        out.push_str("  \"suites\": [\n");
+        for (si, (name, nfns, ninsts)) in self.suite_shapes.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{ \"suite\": \"{name}\", \"functions\": {nfns}, \"insts\": {ninsts}, \"front_end_ns\": {},",
+                self.front_end_ns.get(si).copied().unwrap_or(0)
+            );
+            out.push_str("      \"experiments\": [\n");
+            let cells: Vec<&Cell> = self.cells.iter().filter(|c| &c.suite == name).collect();
+            for (ci, c) in cells.iter().enumerate() {
+                let s = &c.stages;
+                let _ = write!(
+                    out,
+                    "        {{ \"experiment\": \"{}\", \"label\": \"{}\", \
+                     \"wall_ns\": {}, \"moves\": {}, \"weighted\": {},\n          \
+                     \"stages\": {{ \"front_end_ns\": {}, \"cssa_ns\": {}, \
+                     \"pinning_ns\": {}, \"reconstruct_ns\": {}, \"cleanup_ns\": {}, \
+                     \"metrics_ns\": {}, \"total_ns\": {} }} }}",
+                    c.experiment,
+                    c.label,
+                    c.wall_ns,
+                    c.moves,
+                    c.weighted,
+                    s.front_end_ns,
+                    s.cssa_ns,
+                    s.pinning_ns,
+                    s.reconstruct_ns,
+                    s.cleanup_ns,
+                    s.metrics_ns,
+                    s.total_ns
+                );
+                out.push_str(if ci + 1 < cells.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("      ] }");
+            out.push_str(if si + 1 < self.suite_shapes.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        let _ = writeln!(out, "  \"end_to_end_wall_ns\": {}", self.end_to_end_wall_ns);
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites;
+
+    #[test]
+    fn trajectory_covers_the_matrix() {
+        let suites = vec![suites::Suite {
+            name: "example1-8",
+            functions: suites::paper_examples::examples(),
+        }];
+        let t = measure(&suites, true, true);
+        assert_eq!(t.cells.len(), Experiment::all().len());
+        assert!(t.cells.iter().all(|c| c.wall_ns > 0));
+        let json = t.to_json(0);
+        // Shape sanity: parsable keys present once per cell.
+        assert_eq!(json.matches("\"wall_ns\"").count(), t.cells.len());
+        assert!(json.contains("\"schema\": \"tossa-bench-trajectory/1\""));
+        assert!(json.contains("\"end_to_end_wall_ns\""));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

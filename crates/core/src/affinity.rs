@@ -8,10 +8,10 @@
 //! pruning problem is NP-complete, so a greedy weighted heuristic deletes
 //! edges until no two vertices of a connected component interfere.
 
-use crate::interfere::{resource_interfere, InterferenceEnv, ResourceSet};
+use crate::interfere::{resource_interfere_with, InterferenceEnv, ResourceSet};
+use std::collections::HashMap;
 use tossa_ir::ids::{Block, Resource, Var};
 use tossa_ir::Function;
-use std::collections::HashMap;
 
 /// A vertex of the affinity graph: an already-pinned resource or an
 /// unpinned variable (its own resource).
@@ -76,7 +76,9 @@ impl AffinityGraph {
 
     /// Iterates over `(a, b, multiplicity)`.
     pub fn edges(&self) -> impl Iterator<Item = (RVertex, RVertex, u32)> + '_ {
-        self.edges.iter().map(move |(&(a, b), &m)| (self.verts[a], self.verts[b], m))
+        self.edges
+            .iter()
+            .map(move |(&(a, b), &m)| (self.verts[a], self.verts[b], m))
     }
 }
 
@@ -127,6 +129,9 @@ pub struct VertexInterference<'a> {
     env: &'a InterferenceEnv<'a>,
     members: &'a HashMap<Resource, Vec<Var>>,
     cache: HashMap<(RVertex, RVertex), bool>,
+    /// Per-vertex resource set and its `killed_within`, computed once per
+    /// oracle lifetime (membership is frozen while a block is pruned).
+    per_vertex: HashMap<RVertex, (ResourceSet, Vec<Var>)>,
 }
 
 impl<'a> VertexInterference<'a> {
@@ -135,7 +140,12 @@ impl<'a> VertexInterference<'a> {
         env: &'a InterferenceEnv<'a>,
         members: &'a HashMap<Resource, Vec<Var>>,
     ) -> VertexInterference<'a> {
-        VertexInterference { env, members, cache: HashMap::new() }
+        VertexInterference {
+            env,
+            members,
+            cache: HashMap::new(),
+            per_vertex: HashMap::new(),
+        }
     }
 
     /// The variable set denoted by a vertex.
@@ -154,6 +164,15 @@ impl<'a> VertexInterference<'a> {
         self.members.get(&r).map_or(0, |m| m.len())
     }
 
+    /// Memoizes the vertex's resource set and killed-within list.
+    fn ensure_vertex(&mut self, v: RVertex) {
+        if !self.per_vertex.contains_key(&v) {
+            let s = self.set_of(v);
+            let k = s.killed_within(self.env);
+            self.per_vertex.insert(v, (s, k));
+        }
+    }
+
     /// Whether two vertices' resources interfere (`Resource_interfere`).
     pub fn interfere(&mut self, a: RVertex, b: RVertex) -> bool {
         if a == b {
@@ -163,9 +182,11 @@ impl<'a> VertexInterference<'a> {
         if let Some(&v) = self.cache.get(&key) {
             return v;
         }
-        let sa = self.set_of(a);
-        let sb = self.set_of(b);
-        let r = resource_interfere(self.env, &sa, &sb);
+        self.ensure_vertex(a);
+        self.ensure_vertex(b);
+        let (sa, ka) = &self.per_vertex[&a];
+        let (sb, kb) = &self.per_vertex[&b];
+        let r = resource_interfere_with(self.env, sa, sb, ka, kb);
         self.cache.insert(key, r);
         r
     }
@@ -183,7 +204,8 @@ fn vkey(v: RVertex) -> (u8, usize) {
 pub fn initial_pruning(g: &mut AffinityGraph, oracle: &mut VertexInterference<'_>) -> usize {
     let verts = g.verts.clone();
     let before = g.edges.len();
-    g.edges.retain(|&(a, b), _| !oracle.interfere(verts[a], verts[b]));
+    g.edges
+        .retain(|&(a, b), _| !oracle.interfere(verts[a], verts[b]));
     before - g.edges.len()
 }
 
@@ -227,11 +249,12 @@ pub fn bipartite_pruning(g: &mut AffinityGraph, oracle: &mut VertexInterference<
             k.sort();
             k
         };
-        let mut weight: HashMap<(usize, usize), i64> =
-            keys.iter().map(|&k| (k, 0)).collect();
+        let mut weight: HashMap<(usize, usize), i64> = keys.iter().map(|&k| (k, 0)).collect();
         for (i, &e1) in keys.iter().enumerate() {
             for &e2 in &keys[i + 1..] {
-                let Some((ka, far_a, kb, far_b)) = share_vertex(e1, e2) else { continue };
+                let Some((ka, far_a, kb, far_b)) = share_vertex(e1, e2) else {
+                    continue;
+                };
                 if oracle.interfere(verts[far_a], verts[far_b]) {
                     let ma = g.edges[&ka] as i64;
                     let mb = g.edges[&kb] as i64;
@@ -356,41 +379,27 @@ pub fn components(g: &AffinityGraph) -> Vec<Vec<RVertex>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::interfere::EnvHandles;
     use crate::interfere::InterferenceMode;
-    use tossa_analysis::{DefMap, DomTree, LiveAtDefs, Liveness};
-    use tossa_ir::cfg::Cfg;
+    use tossa_analysis::AnalysisCache;
     use tossa_ir::machine::Machine;
     use tossa_ir::parse::parse_function;
 
     struct Setup {
         f: Function,
-        dt: DomTree,
-        live: Liveness,
-        defs: DefMap,
-        lad: LiveAtDefs,
+        handles: EnvHandles,
     }
 
     fn setup(text: &str) -> Setup {
         let f = parse_function(text, &Machine::dsp32()).unwrap();
         f.validate().unwrap();
-        let cfg = Cfg::compute(&f);
-        let dt = DomTree::compute(&f, &cfg);
-        let live = Liveness::compute(&f, &cfg);
-        let defs = DefMap::compute(&f);
-        let lad = LiveAtDefs::compute(&f, &live, &defs);
-        Setup { f, dt, live, defs, lad }
+        let handles = EnvHandles::from_cache(&f, &mut AnalysisCache::new());
+        Setup { f, handles }
     }
 
     impl Setup {
         fn env(&self) -> InterferenceEnv<'_> {
-            InterferenceEnv {
-                f: &self.f,
-                dt: &self.dt,
-                live: &self.live,
-                defs: &self.defs,
-                lad: &self.lad,
-                mode: InterferenceMode::Exact,
-            }
+            self.handles.env(&self.f, InterferenceMode::Exact)
         }
         fn var(&self, name: &str) -> Var {
             self.f.vars().find(|&v| self.f.var(v).name == name).unwrap()
@@ -520,7 +529,10 @@ exit:
         for comp in components(&g) {
             for (i, &va) in comp.iter().enumerate() {
                 for &vb in &comp[i + 1..] {
-                    assert!(!oracle.interfere(va, vb), "{va:?} vs {vb:?} in one component");
+                    assert!(
+                        !oracle.interfere(va, vb),
+                        "{va:?} vs {vb:?} in one component"
+                    );
                 }
             }
         }

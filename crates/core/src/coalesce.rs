@@ -13,11 +13,10 @@ use crate::affinity::{
 };
 use crate::interfere::{InterferenceEnv, InterferenceMode};
 use crate::pinning::resource_members;
-use tossa_analysis::{DefMap, DomTree, LiveAtDefs, Liveness, LoopInfo};
-use tossa_ir::cfg::Cfg;
+use std::collections::HashMap;
+use tossa_analysis::{AnalysisCache, DefMap};
 use tossa_ir::ids::{Block, Resource, Var};
 use tossa_ir::Function;
-use std::collections::HashMap;
 
 /// Tuning knobs of the coalescer (the paper's Table 5 variants plus one
 /// ablation of this implementation).
@@ -62,17 +61,29 @@ pub struct CoalesceStats {
     pub pinned_vars: usize,
 }
 
+/// Runs the coalescer over the whole function with a private
+/// [`AnalysisCache`]. Prefer [`program_pinning_cached`] inside a
+/// pipeline that already owns a cache.
+pub fn program_pinning(f: &mut Function, opts: &CoalesceOptions) -> CoalesceStats {
+    program_pinning_cached(f, opts, &mut AnalysisCache::new())
+}
+
 /// Runs the coalescer over the whole function.
 ///
 /// Pinning never changes liveness, dominance, or definition sites, so
-/// the analyses are computed once and remain valid across all merges.
-pub fn program_pinning(f: &mut Function, opts: &CoalesceOptions) -> CoalesceStats {
-    let cfg = Cfg::compute(f);
-    let dt = DomTree::compute(f, &cfg);
-    let live = Liveness::compute(f, &cfg);
-    let defs = DefMap::compute(f);
-    let lad = LiveAtDefs::compute(f, &live, &defs);
-    let loops = LoopInfo::compute(f, &cfg, &dt);
+/// the analyses are computed once (or reused from `cache` if an earlier
+/// pass left them hot) and remain valid across all merges — and for
+/// whatever pass runs next.
+pub fn program_pinning_cached(
+    f: &mut Function,
+    opts: &CoalesceOptions,
+    cache: &mut AnalysisCache,
+) -> CoalesceStats {
+    let dt = cache.domtree(f);
+    let live = cache.liveness(f);
+    let defs = cache.defs(f);
+    let lad = cache.live_at_defs(f);
+    let loops = cache.loops(f);
     let order: Vec<Block> = loops
         .blocks_inner_to_outer(&dt)
         .into_iter()
@@ -86,9 +97,8 @@ pub fn program_pinning(f: &mut Function, opts: &CoalesceOptions) -> CoalesceStat
     // can be performed only once, just before the mark phase").
     let mut alias: HashMap<Resource, Resource> = HashMap::new();
 
-    let depth_of_def = |defs: &DefMap, v: Var| -> u32 {
-        defs.site(v).map(|s| loops.depth(s.block)).unwrap_or(0)
-    };
+    let depth_of_def =
+        |defs: &DefMap, v: Var| -> u32 { defs.site(v).map(|s| loops.depth(s.block)).unwrap_or(0) };
 
     let depths: Vec<Option<u32>> = if opts.depth_priority {
         let mut ds: Vec<u32> = (0..=loops.max_depth()).collect();
@@ -118,16 +128,23 @@ pub fn program_pinning(f: &mut Function, opts: &CoalesceOptions) -> CoalesceStat
                     depth.map(|d| (&depth_fn as &dyn Fn(Var) -> u32, d));
                 // An argument already killed within its own resource keeps
                 // its copy no matter what (it is restored from a repair
-                // variable), so it offers no gain.
+                // variable), so it offers no gain. The killed set of a
+                // resource is memoized for the block (several φ arguments
+                // often share one resource).
+                let killed_memo: std::cell::RefCell<HashMap<Resource, Vec<Var>>> =
+                    std::cell::RefCell::new(HashMap::new());
                 let avoidable = |v: Var| {
                     if !opts.refine_gain {
                         return true;
                     }
                     match f.var(v).pin {
-                        Some(r) => {
-                            let set = crate::pinning::resource_set(f, &members, r);
-                            !set.killed_within(&env).contains(&v)
-                        }
+                        Some(r) => !killed_memo
+                            .borrow_mut()
+                            .entry(r)
+                            .or_insert_with(|| {
+                                crate::pinning::resource_set(f, &members, r).killed_within(&env)
+                            })
+                            .contains(&v),
                         None => !env.variable_kills(v, v),
                     }
                 };
@@ -236,7 +253,9 @@ pub fn phi_gain(f: &Function) -> usize {
         if !inst.is_phi() {
             continue;
         }
-        let Some(rx) = f.var(inst.defs[0].var).pin else { continue };
+        let Some(rx) = f.var(inst.defs[0].var).pin else {
+            continue;
+        };
         for u in &inst.uses {
             if f.var(u.var).pin == Some(rx) || u.var == inst.defs[0].var {
                 gain += 1;
@@ -430,7 +449,10 @@ exit:
         );
         let stats = program_pinning(
             &mut f,
-            &CoalesceOptions { depth_priority: true, ..Default::default() },
+            &CoalesceOptions {
+                depth_priority: true,
+                ..Default::default()
+            },
         );
         assert!(stats.pinned_vars >= 2);
         assert_eq!(phi_gain(&f), 2);

@@ -3,11 +3,11 @@
 //! fallback that materializes constraints with local moves when pinning
 //! is disabled.
 
+use std::collections::HashMap;
 use tossa_ir::ids::{Resource, Var};
 use tossa_ir::instr::InstData;
 use tossa_ir::machine::PhysReg;
 use tossa_ir::{Function, Opcode};
-use std::collections::HashMap;
 
 fn phys_resource(f: &mut Function, reg: PhysReg) -> Resource {
     let name = f.machine.reg_name(reg).to_string();
@@ -33,8 +33,8 @@ pub fn pin_register_web(f: &mut Function, reg: PhysReg) -> usize {
     let mut n = 0;
     for v in f.vars().collect::<Vec<_>>() {
         let data = f.var(v);
-        let in_web = data.reg == Some(reg)
-            || data.origin.is_some_and(|o| f.var(o).reg == Some(reg));
+        let in_web =
+            data.reg == Some(reg) || data.origin.is_some_and(|o| f.var(o).reg == Some(reg));
         if in_web && data.pin.is_none() {
             f.var_mut(v).pin = Some(r);
             n += 1;
@@ -66,8 +66,7 @@ pub fn pinning_abi(f: &mut Function) -> usize {
         match opcode {
             Opcode::Input => {
                 // Scalar args take R0..R3, then pointer regs P0..P1.
-                let order: Vec<PhysReg> =
-                    arg_regs.iter().chain(ptr_regs.iter()).copied().collect();
+                let order: Vec<PhysReg> = arg_regs.iter().chain(ptr_regs.iter()).copied().collect();
                 let ndefs = f.inst(i).defs.len();
                 for k in 0..ndefs {
                     let Some(&reg) = order.get(k) else { break };
@@ -219,7 +218,9 @@ pub fn pinning_cssa(f: &mut Function) -> usize {
         }
         let members: Vec<Var> = {
             let inst = f.inst(i);
-            std::iter::once(inst.defs[0].var).chain(inst.uses.iter().map(|u| u.var)).collect()
+            std::iter::once(inst.defs[0].var)
+                .chain(inst.uses.iter().map(|u| u.var))
+                .collect()
         };
         let root = find(&mut parent, members[0].index());
         // Reuse any existing pin of the class (e.g. SP), else fresh.
@@ -452,7 +453,10 @@ entry:
         // (no prior pin on either side).
         let k = f.vars().find(|&v| f.var(v).name == "k").unwrap();
         let kpin = f.var(k).pin.expect("def pinned");
-        assert!(f.resources.as_phys(kpin).is_none(), "fresh virtual resource");
+        assert!(
+            f.resources.as_phys(kpin).is_none(),
+            "fresh virtual resource"
+        );
     }
 
     #[test]
@@ -472,8 +476,7 @@ entry:
         // but no def — it keeps its identity).
         assert!(n >= 2, "pinned {n}");
         let spres = f.resources.by_name("SP").unwrap();
-        let pinned: Vec<Var> =
-            f.vars().filter(|&v| f.var(v).pin == Some(spres)).collect();
+        let pinned: Vec<Var> = f.vars().filter(|&v| f.var(v).pin == Some(spres)).collect();
         assert_eq!(pinned.len(), n);
     }
 
@@ -522,7 +525,10 @@ entry:
         let reference = interp::run(&f, &[3, 4], 1000).unwrap();
         naive_abi(&mut f);
         f.validate().unwrap();
-        assert_eq!(interp::run(&f, &[3, 4], 1000).unwrap().outputs, reference.outputs);
+        assert_eq!(
+            interp::run(&f, &[3, 4], 1000).unwrap().outputs,
+            reference.outputs
+        );
     }
 
     #[test]
@@ -543,7 +549,10 @@ entry:
         let reference = interp::run(&f, &[3, 4], 1000).unwrap();
         naive_abi(&mut f);
         f.validate().unwrap();
-        assert_eq!(interp::run(&f, &[3, 4], 1000).unwrap().outputs, reference.outputs);
+        assert_eq!(
+            interp::run(&f, &[3, 4], 1000).unwrap().outputs,
+            reference.outputs
+        );
     }
 
     #[test]
@@ -587,7 +596,10 @@ entry:
         // input: 2, call args: 2, call ret: 1, ret: 1, autoadd: 1.
         assert_eq!(moves, 7);
         f.validate().unwrap();
-        assert_eq!(interp::run(&f, &[3, 4], 100).unwrap().outputs, reference.outputs);
+        assert_eq!(
+            interp::run(&f, &[3, 4], 100).unwrap().outputs,
+            reference.outputs
+        );
         assert_eq!(f.count_moves(), moves);
     }
 }

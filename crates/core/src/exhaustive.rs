@@ -10,11 +10,10 @@
 
 use crate::interfere::{InterferenceEnv, InterferenceMode};
 use crate::reconstruct::out_of_pinned_ssa;
-use tossa_analysis::{DefMap, DomTree, LiveAtDefs, Liveness};
-use tossa_ir::cfg::Cfg;
+use std::collections::HashMap;
+use tossa_analysis::AnalysisCache;
 use tossa_ir::ids::{Resource, Var};
 use tossa_ir::Function;
-use std::collections::HashMap;
 
 /// Result of the exhaustive search.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -61,11 +60,11 @@ pub fn exhaustive_phi_pinning(f: &Function) -> Option<ExhaustiveResult> {
         return None;
     }
 
-    let cfg = Cfg::compute(f);
-    let dt = DomTree::compute(f, &cfg);
-    let live = Liveness::compute(f, &cfg);
-    let defs = DefMap::compute(f);
-    let lad = LiveAtDefs::compute(f, &live, &defs);
+    let mut cache = AnalysisCache::new();
+    let dt = cache.domtree(f);
+    let live = cache.liveness(f);
+    let defs = cache.defs(f);
+    let lad = cache.live_at_defs(f);
     let env = InterferenceEnv {
         f,
         dt: &dt,
@@ -78,9 +77,15 @@ pub fn exhaustive_phi_pinning(f: &Function) -> Option<ExhaustiveResult> {
     let mut best: Option<usize> = None;
     let mut evaluated = 0;
     for mask in 0u32..(1 << edges.len()) {
-        let chosen: Vec<(Var, Var)> =
-            edges.iter().enumerate().filter(|&(k, _)| mask & (1 << k) != 0).map(|(_, &e)| e).collect();
-        let Some(groups) = build_groups(f, &chosen) else { continue };
+        let chosen: Vec<(Var, Var)> = edges
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| mask & (1 << k) != 0)
+            .map(|(_, &e)| e)
+            .collect();
+        let Some(groups) = build_groups(f, &chosen) else {
+            continue;
+        };
         if !legal(f, &env, &groups) {
             continue;
         }
@@ -117,7 +122,10 @@ fn build_groups(f: &Function, chosen: &[(Var, Var)]) -> Option<Vec<Vec<Var>>> {
         if let Some(r) = f.var(v).pin {
             match by_res.get(&r) {
                 Some(&head) => {
-                    let (a, b) = (find(&mut parent, head.index()), find(&mut parent, v.index()));
+                    let (a, b) = (
+                        find(&mut parent, head.index()),
+                        find(&mut parent, v.index()),
+                    );
                     if a != b {
                         parent[a] = b;
                     }
@@ -173,9 +181,9 @@ fn legal(_f: &Function, env: &InterferenceEnv<'_>, groups: &[Vec<Var>]) -> bool 
 fn apply_groups(f: &mut Function, groups: &[Vec<Var>]) {
     for g in groups {
         // Reuse the group's physical or existing resource, else fresh.
-        let existing = g.iter().find_map(|&v| {
-            f.var(v).pin.filter(|&r| f.resources.as_phys(r).is_some())
-        });
+        let existing = g
+            .iter()
+            .find_map(|&v| f.var(v).pin.filter(|&r| f.resources.as_phys(r).is_some()));
         let any = g.iter().find_map(|&v| f.var(v).pin);
         let r = existing.or(any).unwrap_or_else(|| {
             let name = f.var(g[0]).name.clone();
@@ -285,7 +293,11 @@ m:
         );
         let opt = exhaustive_phi_pinning(&f).expect("small");
         let h = heuristic_moves(&f);
-        assert!(h <= opt.best_moves + 1, "heuristic {h} vs optimal {}", opt.best_moves);
+        assert!(
+            h <= opt.best_moves + 1,
+            "heuristic {h} vs optimal {}",
+            opt.best_moves
+        );
     }
 
     #[test]
@@ -299,7 +311,11 @@ m:
         for k in 0..14 {
             text.push_str(&format!(
                 "m{k}:\n  %p{k} = phi [{}: %v{k}]\n  jump m{}\n",
-                if k == 0 { "entry".to_string() } else { format!("m{}", k - 1) },
+                if k == 0 {
+                    "entry".to_string()
+                } else {
+                    format!("m{}", k - 1)
+                },
                 k + 1
             ));
         }

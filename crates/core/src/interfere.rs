@@ -3,7 +3,8 @@
 //! optimistic/pessimistic variants of Algorithm 4 (Table 5's `opt` and
 //! `pess` rows).
 
-use tossa_analysis::{DefMap, DomTree, LiveAtDefs, Liveness};
+use std::rc::Rc;
+use tossa_analysis::{AnalysisCache, DefMap, DomTree, LiveAtDefs, Liveness};
 use tossa_ir::ids::Var;
 use tossa_ir::Function;
 
@@ -69,10 +70,7 @@ impl<'a> InterferenceEnv<'a> {
         // Case 1.
         if a != b && self.def_dominates(b, a) {
             let killed = match self.mode {
-                InterferenceMode::Exact => self
-                    .lad
-                    .after_def(a)
-                    .is_some_and(|set| set.contains(b)),
+                InterferenceMode::Exact => self.lad.after_def(a).is_some_and(|set| set.contains(b)),
                 InterferenceMode::Optimistic => {
                     let na = self.defs.site(a).expect("def").block;
                     self.live.live_out(na).contains(b)
@@ -138,6 +136,41 @@ impl<'a> InterferenceEnv<'a> {
     }
 }
 
+/// Owning bundle of analysis handles from which an [`InterferenceEnv`]
+/// borrows. Keeps the `Rc` handles from an [`AnalysisCache`] alive so
+/// the env's plain references stay valid while the cache serves other
+/// passes.
+pub struct EnvHandles {
+    dt: Rc<DomTree>,
+    live: Rc<Liveness>,
+    defs: Rc<DefMap>,
+    lad: Rc<LiveAtDefs>,
+}
+
+impl EnvHandles {
+    /// Pulls (and memoizes) everything the interference procedures need.
+    pub fn from_cache(f: &Function, cache: &mut AnalysisCache) -> EnvHandles {
+        EnvHandles {
+            dt: cache.domtree(f),
+            live: cache.liveness(f),
+            defs: cache.defs(f),
+            lad: cache.live_at_defs(f),
+        }
+    }
+
+    /// Builds a borrowing [`InterferenceEnv`] over these handles.
+    pub fn env<'a>(&'a self, f: &'a Function, mode: InterferenceMode) -> InterferenceEnv<'a> {
+        InterferenceEnv {
+            f,
+            dt: &self.dt,
+            live: &self.live,
+            defs: &self.defs,
+            lad: &self.lad,
+            mode,
+        }
+    }
+}
+
 /// A resource viewed as the set of variables pinned to it
 /// (§3.3: "we identify the notion of resource with the set of variables
 /// pinned to it").
@@ -152,7 +185,10 @@ pub struct ResourceSet {
 impl ResourceSet {
     /// A singleton set for an unpinned variable.
     pub fn singleton(v: Var) -> ResourceSet {
-        ResourceSet { members: vec![v], is_phys: false }
+        ResourceSet {
+            members: vec![v],
+            is_phys: false,
+        }
     }
 
     /// The paper's `Resource_killed`: members already killed by another
@@ -171,12 +207,25 @@ impl ResourceSet {
 /// variable) or any strong interference. Two distinct physical resources
 /// always interfere.
 pub fn resource_interfere(env: &InterferenceEnv<'_>, a: &ResourceSet, b: &ResourceSet) -> bool {
+    let killed_a = a.killed_within(env);
+    let killed_b = b.killed_within(env);
+    resource_interfere_with(env, a, b, &killed_a, &killed_b)
+}
+
+/// [`resource_interfere`] with the two `killed_within` sets supplied by
+/// the caller — lets an oracle that queries many pairs compute each
+/// vertex's killed set once instead of once per pair.
+pub fn resource_interfere_with(
+    env: &InterferenceEnv<'_>,
+    a: &ResourceSet,
+    b: &ResourceSet,
+    killed_a: &[Var],
+    killed_b: &[Var],
+) -> bool {
     if a.is_phys && b.is_phys {
         // Distinct physical registers (callers never ask about A == A).
         return true;
     }
-    let killed_a = a.killed_within(env);
-    let killed_b = b.killed_within(env);
     for &x in &a.members {
         for &y in &b.members {
             if !killed_a.contains(&x) && env.variable_kills(y, x) {
@@ -196,38 +245,29 @@ pub fn resource_interfere(env: &InterferenceEnv<'_>, a: &ResourceSet, b: &Resour
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tossa_analysis::{DefMap, DomTree, LiveAtDefs, Liveness};
-    use tossa_ir::cfg::Cfg;
     use tossa_ir::machine::Machine;
     use tossa_ir::parse::parse_function;
 
     struct Setup {
         f: Function,
-        dt: DomTree,
-        live: Liveness,
-        defs: DefMap,
-        lad: LiveAtDefs,
+        handles: EnvHandles,
     }
 
     fn setup(text: &str) -> Setup {
         let f = parse_function(text, &Machine::dsp32()).unwrap();
         f.validate().unwrap();
-        let cfg = Cfg::compute(&f);
-        let dt = DomTree::compute(&f, &cfg);
-        let live = Liveness::compute(&f, &cfg);
-        let defs = DefMap::compute(&f);
-        let lad = LiveAtDefs::compute(&f, &live, &defs);
-        Setup { f, dt, live, defs, lad }
+        let handles = EnvHandles::from_cache(&f, &mut AnalysisCache::new());
+        Setup { f, handles }
     }
 
     impl Setup {
         fn env(&self, mode: InterferenceMode) -> InterferenceEnv<'_> {
             InterferenceEnv {
                 f: &self.f,
-                dt: &self.dt,
-                live: &self.live,
-                defs: &self.defs,
-                lad: &self.lad,
+                dt: &self.handles.dt,
+                live: &self.handles.live,
+                defs: &self.handles.defs,
+                lad: &self.handles.lad,
                 mode,
             }
         }
@@ -255,7 +295,10 @@ entry:
         let env = s.env(InterferenceMode::Exact);
         let (x, y) = (s.var("x"), s.var("y"));
         assert!(env.variable_kills(y, x), "y kills x");
-        assert!(!env.variable_kills(x, y), "x defined before y: x cannot kill y");
+        assert!(
+            !env.variable_kills(x, y),
+            "x defined before y: x cannot kill y"
+        );
     }
 
     #[test]
@@ -295,7 +338,10 @@ m:
         );
         let env = s.env(InterferenceMode::Exact);
         let (x, y, z) = (s.var("x"), s.var("y"), s.var("z"));
-        assert!(env.variable_kills(y, x), "parallel copy at end of entry kills x");
+        assert!(
+            env.variable_kills(y, x),
+            "parallel copy at end of entry kills x"
+        );
         assert!(!env.variable_kills(y, z), "z is the argument itself");
     }
 
@@ -362,8 +408,14 @@ entry:
     fn resource_interfere_phys_pair() {
         let s = setup("func @p {\nentry:\n  ret\n}");
         let env = s.env(InterferenceMode::Exact);
-        let a = ResourceSet { members: vec![], is_phys: true };
-        let b = ResourceSet { members: vec![], is_phys: true };
+        let a = ResourceSet {
+            members: vec![],
+            is_phys: true,
+        };
+        let b = ResourceSet {
+            members: vec![],
+            is_phys: true,
+        };
         assert!(resource_interfere(&env, &a, &b));
     }
 
@@ -388,8 +440,14 @@ entry:
         // y kills x; z kills x (x live to the end).
         assert!(env.variable_kills(y, x));
         assert!(env.variable_kills(z, x));
-        let a = ResourceSet { members: vec![x, y], is_phys: false };
-        let b = ResourceSet { members: vec![z], is_phys: false };
+        let a = ResourceSet {
+            members: vec![x, y],
+            is_phys: false,
+        };
+        let b = ResourceSet {
+            members: vec![z],
+            is_phys: false,
+        };
         // x is already killed within {x, y}; z also kills x but that is
         // not NEW (and y is live across z's def? y's last use is at s,
         // before z's def, so no y/z kill either).
@@ -416,7 +474,10 @@ entry:
         let opt = s.env(InterferenceMode::Optimistic);
         let (a, b) = (s.var("a"), s.var("b"));
         assert!(exact.variable_kills(a, b));
-        assert!(!opt.variable_kills(a, b), "b not live-out: optimistic misses it");
+        assert!(
+            !opt.variable_kills(a, b),
+            "b not live-out: optimistic misses it"
+        );
     }
 
     #[test]
@@ -436,6 +497,9 @@ entry:
         let pess = s.env(InterferenceMode::Pessimistic);
         let (a, b) = (s.var("a"), s.var("b"));
         assert!(!exact.variable_kills(a, b));
-        assert!(pess.variable_kills(a, b), "same-block rule over-approximates");
+        assert!(
+            pess.variable_kills(a, b),
+            "same-block rule over-approximates"
+        );
     }
 }

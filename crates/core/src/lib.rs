@@ -66,7 +66,7 @@ pub mod pinning;
 pub mod pipeline;
 pub mod reconstruct;
 
-pub use coalesce::{program_pinning, CoalesceOptions, CoalesceStats};
+pub use coalesce::{program_pinning, program_pinning_cached, CoalesceOptions, CoalesceStats};
 pub use interfere::InterferenceMode;
 pub use pipeline::Experiment;
 pub use reconstruct::{out_of_pinned_ssa, ReconstructStats};

@@ -2,10 +2,10 @@
 //! Fig. 4).
 
 use crate::interfere::{InterferenceEnv, ResourceSet};
-use tossa_ir::ids::{Resource, Var};
-use tossa_ir::Function;
 use std::collections::HashMap;
 use std::fmt;
+use tossa_ir::ids::{Resource, Var};
+use tossa_ir::Function;
 
 /// An incorrect pinning (one of Fig. 4's forbidden cases).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -157,41 +157,27 @@ pub fn check_pinning(f: &Function, env: &InterferenceEnv<'_>) -> Result<(), PinE
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::interfere::EnvHandles;
     use crate::interfere::InterferenceMode;
-    use tossa_analysis::{DefMap, DomTree, LiveAtDefs, Liveness};
-    use tossa_ir::cfg::Cfg;
+    use tossa_analysis::AnalysisCache;
     use tossa_ir::machine::Machine;
     use tossa_ir::parse::parse_function;
 
     struct Setup {
         f: Function,
-        dt: DomTree,
-        live: Liveness,
-        defs: DefMap,
-        lad: LiveAtDefs,
+        handles: EnvHandles,
     }
 
     fn setup(text: &str) -> Setup {
         let f = parse_function(text, &Machine::dsp32()).unwrap();
         f.validate().unwrap();
-        let cfg = Cfg::compute(&f);
-        let dt = DomTree::compute(&f, &cfg);
-        let live = Liveness::compute(&f, &cfg);
-        let defs = DefMap::compute(&f);
-        let lad = LiveAtDefs::compute(&f, &live, &defs);
-        Setup { f, dt, live, defs, lad }
+        let handles = EnvHandles::from_cache(&f, &mut AnalysisCache::new());
+        Setup { f, handles }
     }
 
     impl Setup {
         fn env(&self) -> InterferenceEnv<'_> {
-            InterferenceEnv {
-                f: &self.f,
-                dt: &self.dt,
-                live: &self.live,
-                defs: &self.defs,
-                lad: &self.lad,
-                mode: InterferenceMode::Exact,
-            }
+            self.handles.env(&self.f, InterferenceMode::Exact)
         }
     }
 

@@ -56,7 +56,9 @@ impl Experiment {
     /// All experiments, in table order.
     pub fn all() -> &'static [Experiment] {
         use Experiment::*;
-        &[LphiC, CNoAbi, SphiC, LphiAbiC, SphiLabiC, LabiC, CAbi, LphiAbi, Sphi, Labi]
+        &[
+            LphiC, CNoAbi, SphiC, LphiAbiC, SphiLabiC, LabiC, CAbi, LphiAbi, Sphi, Labi,
+        ]
     }
 
     /// The pass set of this experiment (the bullet row of Table 1).

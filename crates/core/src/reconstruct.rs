@@ -25,11 +25,11 @@
 //! variable and all φs and pins are erased: the result is ordinary
 //! (non-SSA) machine code.
 
+use std::collections::{BTreeSet, HashMap};
 use tossa_ir::ids::{Block, EntityVec, Inst, Resource, Var};
 use tossa_ir::instr::InstData;
 use tossa_ir::parallel_copy::sequentialize;
 use tossa_ir::{Function, Opcode};
-use std::collections::{BTreeSet, HashMap};
 
 /// Copy counts produced by one translation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -142,7 +142,11 @@ impl Engine {
             }
         }
         let nslots = slot_index.len();
-        Engine { slot_index, nslots, home }
+        Engine {
+            slot_index,
+            nslots,
+            home,
+        }
     }
 
     /// Home slot of `v` (`None` for plain, never-clobbered variables and
@@ -192,29 +196,43 @@ impl Engine {
         }
     }
 
-    /// Computes the in-state of every reachable block by forward fixpoint.
+    /// Computes the in-state of every reachable block by forward
+    /// worklist fixpoint over reverse postorder. Meets are monotone
+    /// (⊥ → value → ⊤), so reprocessing only the blocks whose input
+    /// actually changed reaches the same fixpoint as the naive
+    /// all-blocks iteration, without its per-round clones.
     fn in_states(&self, f: &Function, rpo: &[Block]) -> EntityVec<Block, Vec<u32>> {
         let nb = f.num_blocks();
         let mut ins: EntityVec<Block, Vec<u32>> = EntityVec::filled(nb, vec![BOT; self.nslots]);
         ins[f.entry] = vec![TOP; self.nslots];
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for &b in rpo {
-                let mut state = ins[b].clone();
-                for i in f.block_insts(b) {
-                    self.transfer_inst(f, i, &mut state);
-                }
-                for &s in f.succs(b) {
-                    let mut edge = state.clone();
-                    self.transfer_edge(f, s, &mut edge);
-                    for (slot, &v) in edge.iter().enumerate() {
-                        let m = meet(ins[s][slot], v);
-                        if m != ins[s][slot] {
-                            ins[s][slot] = m;
-                            changed = true;
-                        }
+        let mut on_list = vec![false; nb];
+        let mut worklist: std::collections::VecDeque<Block> = rpo.iter().copied().collect();
+        for &b in rpo {
+            on_list[b.index()] = true;
+        }
+        let mut state = vec![BOT; self.nslots];
+        let mut edge = vec![BOT; self.nslots];
+        while let Some(b) = worklist.pop_front() {
+            on_list[b.index()] = false;
+            state.clone_from(&ins[b]);
+            for i in f.block_insts(b) {
+                self.transfer_inst(f, i, &mut state);
+            }
+            for &s in f.succs(b) {
+                edge.clone_from(&state);
+                self.transfer_edge(f, s, &mut edge);
+                let mut changed = false;
+                let tgt = &mut ins[s];
+                for (slot, &v) in edge.iter().enumerate() {
+                    let m = meet(tgt[slot], v);
+                    if m != tgt[slot] {
+                        tgt[slot] = m;
+                        changed = true;
                     }
+                }
+                if changed && !on_list[s.index()] {
+                    on_list[s.index()] = true;
+                    worklist.push_back(s);
                 }
             }
         }
@@ -250,8 +268,10 @@ impl Engine {
 /// (see [`crate::pinning::check_pinning`]). The function's CFG is edited
 /// (edge splitting); all φs and pins are gone afterwards.
 pub fn out_of_pinned_ssa(f: &mut Function) -> ReconstructStats {
-    let mut stats =
-        ReconstructStats { edges_split: split_edges_for_phis(f), ..Default::default() };
+    let mut stats = ReconstructStats {
+        edges_split: split_edges_for_phis(f),
+        ..Default::default()
+    };
 
     let engine = Engine::new(f);
     let rpo = tossa_ir::cfg::reverse_postorder(f);
@@ -293,11 +313,8 @@ pub fn out_of_pinned_ssa(f: &mut Function) -> ReconstructStats {
                     }
                     None => {
                         if let Some(slot) = engine.home(u.var) {
-                            let clobbered =
-                                group.get(&slot).is_some_and(|&w| w != val(u.var));
-                            if has_def[u.var.index()]
-                                && (cur[slot] != val(u.var) || clobbered)
-                            {
+                            let clobbered = group.get(&slot).is_some_and(|&w| w != val(u.var));
+                            if has_def[u.var.index()] && (cur[slot] != val(u.var) || clobbered) {
                                 needs_repair.insert(u.var);
                             }
                         }
@@ -310,7 +327,9 @@ pub fn out_of_pinned_ssa(f: &mut Function) -> ReconstructStats {
                 for &s in f.succs(b) {
                     for phi in f.phis(s) {
                         let pinst = f.inst(phi);
-                        let Some(arg) = pinst.phi_arg_for(b) else { continue };
+                        let Some(arg) = pinst.phi_arg_for(b) else {
+                            continue;
+                        };
                         let x = pinst.defs[0].var;
                         if let Some(ds) = engine.home(x) {
                             if cur[ds] == val(arg.var) {
@@ -353,10 +372,12 @@ pub fn out_of_pinned_ssa(f: &mut Function) -> ReconstructStats {
     // The final variable currently holding the value of `y`.
     let read_loc = |f: &Function, cur: &[u32], y: Var| -> Var {
         match engine.home(y) {
-            Some(slot) if cur[slot] != val(y) && y.index() < has_def.len()
-                && has_def[y.index()] =>
+            Some(slot)
+                if cur[slot] != val(y) && y.index() < has_def.len() && has_def[y.index()] =>
             {
-                *repair_var.get(&y).expect("killed value was marked for repair")
+                *repair_var
+                    .get(&y)
+                    .expect("killed value was marked for repair")
             }
             _ => out_var(f, y),
         }
@@ -367,6 +388,8 @@ pub fn out_of_pinned_ssa(f: &mut Function) -> ReconstructStats {
     // processed: predecessors must still see their successors' φs.
     let mut new_lists: Vec<(Block, Vec<Inst>)> = Vec::with_capacity(rpo.len());
     let mut temp_counter = 0;
+    let mut renamed_uses: Vec<Var> = Vec::new();
+    let mut renamed_defs: Vec<Var> = Vec::new();
     for &b in &rpo {
         let mut cur = ins[b].clone();
         let insts: Vec<Inst> = f.block_insts(b).collect();
@@ -396,7 +419,8 @@ pub fn out_of_pinned_ssa(f: &mut Function) -> ReconstructStats {
 
             // Build the parallel copy group preceding this instruction.
             let mut group: Vec<(Var, Var)> = Vec::new();
-            for u in &f.inst(i).uses.clone() {
+            for k in 0..f.inst(i).uses.len() {
+                let u = f.inst(i).uses[k];
                 if let Some(s) = u.pin {
                     if cur[engine.res_slot(s)] == val(u.var) {
                         continue; // redundant move avoided
@@ -414,58 +438,66 @@ pub fn out_of_pinned_ssa(f: &mut Function) -> ReconstructStats {
                 group.extend(edge);
             }
             stats.abi_copies += n_abi;
-            let seq = sequentialize(&group, || {
-                temp_counter += 1;
-                stats.temp_copies += 1;
-                f.new_var(format!("pcopy{temp_counter}"))
-            });
-            for (d, s) in seq {
-                let mov = f.alloc_inst(InstData::mov(d, s));
-                new_list.push(mov);
-            }
-
-            // Rewrite the instruction's operands.
-            let mut data = f.inst(i).clone();
-            for u in data.uses.iter_mut() {
-                match u.pin {
-                    Some(s) => {
-                        u.var = res_var[&s];
-                        u.pin = None;
-                    }
-                    None => {
-                        if let Some(slot) = engine.home(u.var) {
-                            let clobbered =
-                                group_slots.get(&slot).is_some_and(|&w| w != val(u.var));
-                            let killed = has_def[u.var.index()]
-                                && (cur[slot] != val(u.var) || clobbered);
-                            if killed {
-                                u.var = repair_var[&u.var];
-                            } else {
-                                u.var = out_var(f, u.var);
-                            }
-                        }
-                    }
+            if !group.is_empty() {
+                let seq = sequentialize(&group, || {
+                    temp_counter += 1;
+                    stats.temp_copies += 1;
+                    f.new_var(format!("pcopy{temp_counter}"))
+                });
+                for (d, s) in seq {
+                    let mov = f.alloc_inst(InstData::mov(d, s));
+                    new_list.push(mov);
                 }
             }
-            // Advance the state, then rename defs and emit def repairs.
-            for (&slot, &w) in &group_slots {
-                cur[slot] = w;
-            }
-            engine.transfer_inst(f, i, &mut cur);
-            let def_repairs: Vec<(Var, Var)> = data
+
+            // Compute the renamed operands before mutating (the state
+            // advance below must still read the original pins), then
+            // rewrite the instruction *in place*: the original id is
+            // reused, avoiding a clone + arena grow per instruction.
+            let inst = f.inst(i);
+            renamed_uses.clear();
+            renamed_uses.extend(inst.uses.iter().map(|u| match u.pin {
+                Some(s) => res_var[&s],
+                None => {
+                    if let Some(slot) = engine.home(u.var) {
+                        let clobbered = group_slots.get(&slot).is_some_and(|&w| w != val(u.var));
+                        let killed =
+                            has_def[u.var.index()] && (cur[slot] != val(u.var) || clobbered);
+                        if killed {
+                            repair_var[&u.var]
+                        } else {
+                            out_var(f, u.var)
+                        }
+                    } else {
+                        u.var
+                    }
+                }
+            }));
+            let def_repairs: Vec<(Var, Var)> = inst
                 .defs
                 .iter()
                 .filter(|d| needs_repair.contains(&d.var))
                 .map(|d| (repair_var[&d.var], out_var(f, d.var)))
                 .collect();
-            for d in data.defs.iter_mut() {
-                d.var = out_var(f, d.var);
+            renamed_defs.clear();
+            renamed_defs.extend(inst.defs.iter().map(|d| out_var(f, d.var)));
+            // Advance the state while the instruction is still original.
+            for (&slot, &w) in &group_slots {
+                cur[slot] = w;
+            }
+            engine.transfer_inst(f, i, &mut cur);
+            let data = f.inst_mut(i);
+            for (u, &v) in data.uses.iter_mut().zip(&renamed_uses) {
+                u.var = v;
+                u.pin = None;
+            }
+            for (d, &v) in data.defs.iter_mut().zip(&renamed_defs) {
+                d.var = v;
                 d.pin = None;
             }
             let is_self_move = data.opcode.is_move() && data.defs[0].var == data.uses[0].var;
             if !is_self_move {
-                let id = f.alloc_inst(data);
-                new_list.push(id);
+                new_list.push(i);
             }
             for (rv, src) in def_repairs {
                 let mov = f.alloc_inst(InstData::mov(rv, src));
@@ -511,7 +543,9 @@ fn edge_copy_group(
     for &s in f.succs(b) {
         for phi in f.phis(s) {
             let inst = f.inst(phi);
-            let Some(arg) = inst.phi_arg_for(b) else { continue };
+            let Some(arg) = inst.phi_arg_for(b) else {
+                continue;
+            };
             let x = inst.defs[0].var;
             if let Some(ds) = engine.home(x) {
                 if cur[ds] == val(arg.var) {
@@ -807,8 +841,7 @@ entry:
             .find(|&(_, i)| f.inst(i).opcode == Opcode::Ret)
             .map(|(_, i)| i)
             .unwrap();
-        let regs: Vec<_> =
-            f.inst(ret).uses.iter().map(|u| f.var(u.var).reg).collect();
+        let regs: Vec<_> = f.inst(ret).uses.iter().map(|u| f.var(u.var).reg).collect();
         assert!(regs.iter().all(|r| r.is_some()), "{f}");
     }
 

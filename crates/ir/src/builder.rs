@@ -81,14 +81,20 @@ impl FunctionBuilder {
 
     fn unary(&mut self, op: Opcode, name: &str, a: Var) -> Var {
         let d = self.func.new_var(name);
-        self.emit(InstData::new(op).with_defs(vec![d.into()]).with_uses(vec![a.into()]));
+        self.emit(
+            InstData::new(op)
+                .with_defs(vec![d.into()])
+                .with_uses(vec![a.into()]),
+        );
         d
     }
 
     fn binary(&mut self, op: Opcode, name: &str, a: Var, b: Var) -> Var {
         let d = self.func.new_var(name);
         self.emit(
-            InstData::new(op).with_defs(vec![d.into()]).with_uses(vec![a.into(), b.into()]),
+            InstData::new(op)
+                .with_defs(vec![d.into()])
+                .with_uses(vec![a.into(), b.into()]),
         );
         d
     }
@@ -105,7 +111,11 @@ impl FunctionBuilder {
     /// `name = make imm`.
     pub fn make(&mut self, name: &str, imm: i64) -> Var {
         let d = self.func.new_var(name);
-        self.emit(InstData::new(Opcode::Make).with_defs(vec![d.into()]).with_imm(imm));
+        self.emit(
+            InstData::new(Opcode::Make)
+                .with_defs(vec![d.into()])
+                .with_imm(imm),
+        );
         d
     }
 
@@ -278,9 +288,7 @@ impl FunctionBuilder {
 
     /// `ret values...`.
     pub fn ret(&mut self, values: &[Var]) {
-        self.emit(
-            InstData::new(Opcode::Ret).with_uses(values.iter().map(|&v| v.into()).collect()),
-        );
+        self.emit(InstData::new(Opcode::Ret).with_uses(values.iter().map(|&v| v.into()).collect()));
     }
 
     /// `name = φ(args...)`; args pair incoming blocks with values.
@@ -301,7 +309,11 @@ impl FunctionBuilder {
             uses.push(p.into());
             uses.push(a.into());
         }
-        self.emit(InstData::new(Opcode::Psi).with_defs(vec![d.into()]).with_uses(uses));
+        self.emit(
+            InstData::new(Opcode::Psi)
+                .with_defs(vec![d.into()])
+                .with_uses(uses),
+        );
         d
     }
 }
@@ -333,7 +345,8 @@ mod tests {
         fb.switch_to(head);
         let entry = fb.func().entry;
         let iphi = fb.phi("i", &[(entry, zero), (body, i2)]);
-        fb.func_mut().rewrite_vars(|v| if v == i { iphi } else { v });
+        fb.func_mut()
+            .rewrite_vars(|v| if v == i { iphi } else { v });
 
         fb.switch_to(exit);
         fb.ret(&[iphi]);

@@ -13,6 +13,7 @@ use crate::opcode::Opcode;
 pub struct Cfg {
     succs: EntityVec<Block, Vec<Block>>,
     preds: EntityVec<Block, Vec<Block>>,
+    rpo: Vec<Block>,
 }
 
 impl Cfg {
@@ -27,7 +28,21 @@ impl Cfg {
                 preds[s].push(b);
             }
         }
-        Cfg { succs, preds }
+        let rpo = reverse_postorder(f);
+        Cfg { succs, preds, rpo }
+    }
+
+    /// Blocks in reverse postorder, cached at construction so every
+    /// consumer (dominators, worklist dataflow) shares one traversal.
+    /// Unreachable blocks are omitted.
+    pub fn rpo(&self) -> &[Block] {
+        &self.rpo
+    }
+
+    /// Blocks in postorder (reverse of [`Cfg::rpo`]), the natural
+    /// iteration order for backward dataflow problems.
+    pub fn postorder(&self) -> impl DoubleEndedIterator<Item = Block> + '_ {
+        self.rpo.iter().rev().copied()
     }
 
     /// Successors of `b` in terminator order (then/else for `br`).
@@ -115,7 +130,9 @@ pub fn split_critical_edges(f: &mut Function) -> usize {
             // Critical edge b -> s: insert a middle block.
             let mid = f.add_block(format!("split{split}"));
             f.push_inst(mid, InstData::new(Opcode::Jump).with_targets(vec![s]));
-            let term = f.terminator(b).expect("block with successors has terminator");
+            let term = f
+                .terminator(b)
+                .expect("block with successors has terminator");
             f.inst_mut(term).targets[slot] = mid;
             // Retarget φs of s: the value now flows in from mid.
             for phi in f.phis(s).collect::<Vec<_>>() {
@@ -148,11 +165,31 @@ mod tests {
         let r = f.add_block("r");
         let exit = f.add_block("exit");
         let e = f.entry;
-        f.push_inst(e, InstData::new(Opcode::Make).with_defs(vec![c.into()]).with_imm(1));
-        f.push_inst(e, InstData::new(Opcode::Br).with_uses(vec![c.into()]).with_targets(vec![l, r]));
-        f.push_inst(l, InstData::new(Opcode::Make).with_defs(vec![a.into()]).with_imm(2));
+        f.push_inst(
+            e,
+            InstData::new(Opcode::Make)
+                .with_defs(vec![c.into()])
+                .with_imm(1),
+        );
+        f.push_inst(
+            e,
+            InstData::new(Opcode::Br)
+                .with_uses(vec![c.into()])
+                .with_targets(vec![l, r]),
+        );
+        f.push_inst(
+            l,
+            InstData::new(Opcode::Make)
+                .with_defs(vec![a.into()])
+                .with_imm(2),
+        );
         f.push_inst(l, InstData::new(Opcode::Jump).with_targets(vec![exit]));
-        f.push_inst(r, InstData::new(Opcode::Make).with_defs(vec![b.into()]).with_imm(3));
+        f.push_inst(
+            r,
+            InstData::new(Opcode::Make)
+                .with_defs(vec![b.into()])
+                .with_imm(3),
+        );
         f.push_inst(r, InstData::new(Opcode::Jump).with_targets(vec![exit]));
         f.push_inst(exit, InstData::phi(x, vec![(l, a), (r, b)]));
         f.push_inst(exit, InstData::new(Opcode::Ret).with_uses(vec![x.into()]));
@@ -205,15 +242,29 @@ mod tests {
         let body = f.add_block("body");
         let exit = f.add_block("exit");
         let e = f.entry;
-        f.push_inst(e, InstData::new(Opcode::Make).with_defs(vec![c.into()]).with_imm(1));
-        f.push_inst(e, InstData::new(Opcode::Make).with_defs(vec![a.into()]).with_imm(7));
         f.push_inst(
             e,
-            InstData::new(Opcode::Br).with_uses(vec![c.into()]).with_targets(vec![body, exit]),
+            InstData::new(Opcode::Make)
+                .with_defs(vec![c.into()])
+                .with_imm(1),
+        );
+        f.push_inst(
+            e,
+            InstData::new(Opcode::Make)
+                .with_defs(vec![a.into()])
+                .with_imm(7),
+        );
+        f.push_inst(
+            e,
+            InstData::new(Opcode::Br)
+                .with_uses(vec![c.into()])
+                .with_targets(vec![body, exit]),
         );
         f.push_inst(
             body,
-            InstData::new(Opcode::Br).with_uses(vec![c.into()]).with_targets(vec![body, exit]),
+            InstData::new(Opcode::Br)
+                .with_uses(vec![c.into()])
+                .with_targets(vec![body, exit]),
         );
         f.push_inst(exit, InstData::phi(x, vec![(e, a), (body, a)]));
         f.push_inst(exit, InstData::new(Opcode::Ret).with_uses(vec![x.into()]));

@@ -75,7 +75,10 @@ impl Function {
     /// Creates an empty function with a single empty entry block.
     pub fn new(name: impl Into<String>, machine: Machine) -> Function {
         let mut blocks = EntityVec::new();
-        let entry = blocks.push(BlockData { name: "entry".to_string(), insts: Vec::new() });
+        let entry = blocks.push(BlockData {
+            name: "entry".to_string(),
+            insts: Vec::new(),
+        });
         Function {
             name: name.into(),
             entry,
@@ -91,7 +94,12 @@ impl Function {
 
     /// Creates a fresh variable with the given display name.
     pub fn new_var(&mut self, name: impl Into<String>) -> Var {
-        self.vars.push(VarData { name: name.into(), pin: None, reg: None, origin: None })
+        self.vars.push(VarData {
+            name: name.into(),
+            pin: None,
+            reg: None,
+            origin: None,
+        })
     }
 
     /// Creates a fresh variable that is an SSA version of `origin`
@@ -99,7 +107,12 @@ impl Function {
     pub fn new_var_version(&mut self, origin: Var) -> Var {
         let name = self.vars[origin].name.clone();
         let root = self.vars[origin].origin.unwrap_or(origin);
-        self.vars.push(VarData { name, pin: None, reg: None, origin: Some(root) })
+        self.vars.push(VarData {
+            name,
+            pin: None,
+            reg: None,
+            origin: Some(root),
+        })
     }
 
     /// Number of variables ever created.
@@ -127,7 +140,10 @@ impl Function {
 
     /// Creates a new empty block.
     pub fn add_block(&mut self, name: impl Into<String>) -> Block {
-        self.blocks.push(BlockData { name: name.into(), insts: Vec::new() })
+        self.blocks.push(BlockData {
+            name: name.into(),
+            insts: Vec::new(),
+        })
     }
 
     /// Number of blocks.
@@ -193,7 +209,8 @@ impl Function {
     /// Iterates over `(block, inst)` for the whole function, in block
     /// creation order and intra-block order.
     pub fn all_insts(&self) -> impl Iterator<Item = (Block, Inst)> + '_ {
-        self.blocks().flat_map(move |b| self.block_insts(b).map(move |i| (b, i)))
+        self.blocks()
+            .flat_map(move |b| self.block_insts(b).map(move |i| (b, i)))
     }
 
     /// The φ instructions at the head of `b`.
@@ -203,7 +220,11 @@ impl Function {
 
     /// Index of the first non-φ instruction of `b` (== number of φs).
     pub fn first_non_phi(&self, b: Block) -> usize {
-        self.blocks[b].insts.iter().take_while(|&&i| self.insts[i].is_phi()).count()
+        self.blocks[b]
+            .insts
+            .iter()
+            .take_while(|&&i| self.insts[i].is_phi())
+            .count()
     }
 
     /// The terminator of `b`, if the block is non-empty and properly
@@ -351,7 +372,10 @@ impl Function {
         let (defs, uses) = (inst.defs.len(), inst.uses.len());
         let bad = |what: &str| {
             Err(ValidateError {
-                message: format!("{} {i} in {b}: bad {what} arity ({defs} defs, {uses} uses)", inst.opcode),
+                message: format!(
+                    "{} {i} in {b}: bad {what} arity ({defs} defs, {uses} uses)",
+                    inst.opcode
+                ),
             })
         };
         match inst.opcode {
@@ -360,8 +384,13 @@ impl Function {
                     return bad("use");
                 }
             }
-            Opcode::Mov | Opcode::More | Opcode::AddImm | Opcode::AutoAdd | Opcode::Load
-            | Opcode::Neg | Opcode::Not => {
+            Opcode::Mov
+            | Opcode::More
+            | Opcode::AddImm
+            | Opcode::AutoAdd
+            | Opcode::Load
+            | Opcode::Neg
+            | Opcode::Not => {
                 if defs != 1 || uses != 1 {
                     return bad("def/use");
                 }
@@ -371,8 +400,17 @@ impl Function {
                     return bad("def/use");
                 }
             }
-            Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::And | Opcode::Or | Opcode::Xor
-            | Opcode::Shl | Opcode::Shr | Opcode::CmpEq | Opcode::CmpNe | Opcode::CmpLt
+            Opcode::Add
+            | Opcode::Sub
+            | Opcode::Mul
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Shl
+            | Opcode::Shr
+            | Opcode::CmpEq
+            | Opcode::CmpNe
+            | Opcode::CmpLt
             | Opcode::CmpLe => {
                 if defs != 1 || uses != 2 {
                     return bad("def/use");
@@ -393,7 +431,9 @@ impl Function {
                     return bad("def");
                 }
                 if inst.callee.is_none() {
-                    return Err(ValidateError { message: format!("call {i} has no callee") });
+                    return Err(ValidateError {
+                        message: format!("call {i} has no callee"),
+                    });
                 }
             }
             Opcode::Br => {
@@ -469,9 +509,17 @@ mod tests {
         let mut f = Function::new("t", Machine::dsp32());
         let a = f.new_var("a");
         let b = f.new_var("b");
-        f.push_inst(f.entry, InstData::new(Opcode::Make).with_defs(vec![a.into()]).with_imm(1));
+        f.push_inst(
+            f.entry,
+            InstData::new(Opcode::Make)
+                .with_defs(vec![a.into()])
+                .with_imm(1),
+        );
         f.push_inst(f.entry, InstData::mov(b, a));
-        f.push_inst(f.entry, InstData::new(Opcode::Ret).with_uses(vec![b.into()]));
+        f.push_inst(
+            f.entry,
+            InstData::new(Opcode::Ret).with_uses(vec![b.into()]),
+        );
         f
     }
 
@@ -496,7 +544,10 @@ mod tests {
     fn validate_rejects_missing_terminator() {
         let mut f = Function::new("t", Machine::dsp32());
         let a = f.new_var("a");
-        f.push_inst(f.entry, InstData::new(Opcode::Make).with_defs(vec![a.into()]));
+        f.push_inst(
+            f.entry,
+            InstData::new(Opcode::Make).with_defs(vec![a.into()]),
+        );
         let e = f.validate().unwrap_err();
         assert!(e.message.contains("terminator"), "{e}");
     }
@@ -516,7 +567,9 @@ mod tests {
         let a = f.new_var("a");
         f.push_inst(
             f.entry,
-            InstData::new(Opcode::Add).with_defs(vec![a.into()]).with_uses(vec![a.into()]),
+            InstData::new(Opcode::Add)
+                .with_defs(vec![a.into()])
+                .with_uses(vec![a.into()]),
         );
         f.push_inst(f.entry, InstData::new(Opcode::Ret));
         assert!(f.validate().is_err());
@@ -528,8 +581,16 @@ mod tests {
         let a = f.new_var("a");
         let x = f.new_var("x");
         let merge = f.add_block("merge");
-        f.push_inst(f.entry, InstData::new(Opcode::Make).with_defs(vec![a.into()]).with_imm(3));
-        f.push_inst(f.entry, InstData::new(Opcode::Jump).with_targets(vec![merge]));
+        f.push_inst(
+            f.entry,
+            InstData::new(Opcode::Make)
+                .with_defs(vec![a.into()])
+                .with_imm(3),
+        );
+        f.push_inst(
+            f.entry,
+            InstData::new(Opcode::Jump).with_targets(vec![merge]),
+        );
         // φ claims a pred that is not an actual predecessor.
         let bogus = f.add_block("bogus");
         f.push_inst(bogus, InstData::new(Opcode::Ret));

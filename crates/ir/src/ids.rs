@@ -97,7 +97,10 @@ pub struct EntityVec<K: EntityId, V> {
 impl<K: EntityId, V> EntityVec<K, V> {
     /// Creates an empty map.
     pub fn new() -> Self {
-        Self { items: Vec::new(), _marker: PhantomData }
+        Self {
+            items: Vec::new(),
+            _marker: PhantomData,
+        }
     }
 
     /// Creates a map pre-filled with `len` clones of `value`.
@@ -105,7 +108,10 @@ impl<K: EntityId, V> EntityVec<K, V> {
     where
         V: Clone,
     {
-        Self { items: vec![value; len], _marker: PhantomData }
+        Self {
+            items: vec![value; len],
+            _marker: PhantomData,
+        }
     }
 
     /// Appends a value and returns its id.
@@ -127,7 +133,10 @@ impl<K: EntityId, V> EntityVec<K, V> {
 
     /// Iterates over `(id, &value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
-        self.items.iter().enumerate().map(|(i, v)| (K::from_index(i), v))
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (K::from_index(i), v))
     }
 
     /// Iterates over all ids.

@@ -21,7 +21,10 @@ impl Operand {
 
     /// An operand pinned to `res`.
     pub fn pinned(var: Var, res: Resource) -> Operand {
-        Operand { var, pin: Some(res) }
+        Operand {
+            var,
+            pin: Some(res),
+        }
     }
 }
 
@@ -141,7 +144,10 @@ impl InstData {
     /// For a φ, returns the argument flowing in from `pred`, if any.
     pub fn phi_arg_for(&self, pred: Block) -> Option<Operand> {
         debug_assert!(self.is_phi());
-        self.phi_preds.iter().position(|&b| b == pred).map(|i| self.uses[i])
+        self.phi_preds
+            .iter()
+            .position(|&b| b == pred)
+            .map(|i| self.uses[i])
     }
 }
 

@@ -92,7 +92,9 @@ pub fn run(f: &Function, inputs: &[i64], fuel: u64) -> Result<ExecResult, Trap> 
     }
 
     let read = |env: &HashMap<Var, i64>, v: Var| -> Result<i64, Trap> {
-        env.get(&v).copied().ok_or_else(|| Trap::UndefinedVar(v, f.var(v).name.clone()))
+        env.get(&v)
+            .copied()
+            .ok_or_else(|| Trap::UndefinedVar(v, f.var(v).name.clone()))
     };
 
     loop {
@@ -226,7 +228,11 @@ pub fn run(f: &Function, inputs: &[i64], fuel: u64) -> Result<ExecResult, Trap> 
                 }
                 Opcode::Br => {
                     let c = u(0)?;
-                    next = Some(if c != 0 { inst.targets[0] } else { inst.targets[1] });
+                    next = Some(if c != 0 {
+                        inst.targets[0]
+                    } else {
+                        inst.targets[1]
+                    });
                 }
                 Opcode::Jump => {
                     next = Some(inst.targets[0]);

@@ -49,6 +49,7 @@ pub mod parallel_copy;
 pub mod parse;
 pub mod print;
 pub mod resources;
+pub mod rng;
 
 pub use function::Function;
 pub use ids::{Block, Inst, Resource, Var};

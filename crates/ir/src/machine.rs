@@ -87,13 +87,25 @@ impl Machine {
     pub fn dsp32() -> Machine {
         let mut regs = Vec::new();
         for i in 0..16 {
-            regs.push(RegInfo { name: format!("R{i}"), class: RegClass::Gpr });
+            regs.push(RegInfo {
+                name: format!("R{i}"),
+                class: RegClass::Gpr,
+            });
         }
         for i in 0..4 {
-            regs.push(RegInfo { name: format!("P{i}"), class: RegClass::Ptr });
+            regs.push(RegInfo {
+                name: format!("P{i}"),
+                class: RegClass::Ptr,
+            });
         }
-        regs.push(RegInfo { name: "SP".to_string(), class: RegClass::Special });
-        regs.push(RegInfo { name: "LR".to_string(), class: RegClass::Special });
+        regs.push(RegInfo {
+            name: "SP".to_string(),
+            class: RegClass::Special,
+        });
+        regs.push(RegInfo {
+            name: "LR".to_string(),
+            class: RegClass::Special,
+        });
         let r = |i: u8| PhysReg(i);
         let abi = Abi {
             arg_regs: vec![r(0), r(1), r(2), r(3)],

@@ -22,10 +22,7 @@ use crate::ids::Var;
 ///
 /// # Panics
 /// Panics (in debug builds) if two moves share a destination.
-pub fn sequentialize(
-    moves: &[(Var, Var)],
-    mut fresh_temp: impl FnMut() -> Var,
-) -> Vec<(Var, Var)> {
+pub fn sequentialize(moves: &[(Var, Var)], mut fresh_temp: impl FnMut() -> Var) -> Vec<(Var, Var)> {
     #[cfg(debug_assertions)]
     {
         let mut dsts: Vec<Var> = moves.iter().map(|&(d, _)| d).collect();
@@ -35,8 +32,7 @@ pub fn sequentialize(
         debug_assert_eq!(dsts.len(), n, "parallel copy with duplicate destination");
     }
 
-    let mut pending: Vec<(Var, Var)> =
-        moves.iter().copied().filter(|&(d, s)| d != s).collect();
+    let mut pending: Vec<(Var, Var)> = moves.iter().copied().filter(|&(d, s)| d != s).collect();
     let mut out = Vec::with_capacity(pending.len());
 
     while !pending.is_empty() {
@@ -46,7 +42,10 @@ pub fn sequentialize(
         let mut i = 0;
         while i < pending.len() {
             let (d, _) = pending[i];
-            let blocked = pending.iter().enumerate().any(|(j, &(_, s))| j != i && s == d);
+            let blocked = pending
+                .iter()
+                .enumerate()
+                .any(|(j, &(_, s))| j != i && s == d);
             if blocked {
                 i += 1;
             } else {
@@ -98,8 +97,10 @@ mod tests {
     use super::*;
 
     fn check(moves: &[(usize, usize)]) {
-        let moves: Vec<(Var, Var)> =
-            moves.iter().map(|&(d, s)| (Var::new(d), Var::new(s))).collect();
+        let moves: Vec<(Var, Var)> = moves
+            .iter()
+            .map(|&(d, s)| (Var::new(d), Var::new(s)))
+            .collect();
         let mut next = 1000;
         let seq = sequentialize(&moves, || {
             next += 1;
@@ -126,7 +127,10 @@ mod tests {
         check(&[(1, 2), (2, 3)]);
         let moves = [(Var::new(1), Var::new(2)), (Var::new(2), Var::new(3))];
         let seq = sequentialize(&moves, || unreachable!("no cycle"));
-        assert_eq!(seq, vec![(Var::new(1), Var::new(2)), (Var::new(2), Var::new(3))]);
+        assert_eq!(
+            seq,
+            vec![(Var::new(1), Var::new(2)), (Var::new(2), Var::new(3))]
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { line: self.line, message: message.into() })
+        Err(ParseError {
+            line: self.line,
+            message: message.into(),
+        })
     }
 
     fn var_for(&mut self, token: &str) -> Var {
@@ -303,7 +306,10 @@ pub fn parse_function(text: &str, machine: &Machine) -> Result<Function, ParseEr
             }
         }
     }
-    let name = name.ok_or(ParseError { line: 1, message: "missing `func @name {`".into() })?;
+    let name = name.ok_or(ParseError {
+        line: 1,
+        message: "missing `func @name {`".into(),
+    })?;
 
     let mut p = Parser {
         func: Function::new(name, machine.clone()),
@@ -322,11 +328,17 @@ pub fn parse_function(text: &str, machine: &Machine) -> Result<Function, ParseEr
             p.func.add_block(label.clone())
         };
         if p.blocks.insert(label.clone(), b).is_some() {
-            return Err(ParseError { line: 1, message: format!("duplicate label `{label}`") });
+            return Err(ParseError {
+                line: 1,
+                message: format!("duplicate label `{label}`"),
+            });
         }
     }
     if labels.is_empty() {
-        return Err(ParseError { line: 1, message: "function has no blocks".into() });
+        return Err(ParseError {
+            line: 1,
+            message: "function has no blocks".into(),
+        });
     }
 
     // Pass 2: instructions.

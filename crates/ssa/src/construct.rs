@@ -50,8 +50,11 @@ pub fn to_ssa(f: &mut Function) {
         if def_blocks[v].is_empty() {
             continue;
         }
-        let seeds: Vec<Block> =
-            def_blocks[v].iter().copied().filter(|&b| dt.is_reachable(b)).collect();
+        let seeds: Vec<Block> = def_blocks[v]
+            .iter()
+            .copied()
+            .filter(|&b| dt.is_reachable(b))
+            .collect();
         for join in df.iterated(seeds) {
             // Pruned SSA: only where the variable is live-in.
             if !live.live_in(join).contains(v) {
@@ -109,8 +112,12 @@ pub fn to_ssa(f: &mut Function) {
                 // Fill φ arguments of successors for the edge b -> s.
                 for s in f.succs(b).to_vec() {
                     for phi in f.phis(s).collect::<Vec<_>>() {
-                        let Some(orig) = phi_orig_of(phi) else { continue };
-                        let Some(&top) = stacks[orig].last() else { continue };
+                        let Some(orig) = phi_orig_of(phi) else {
+                            continue;
+                        };
+                        let Some(&top) = stacks[orig].last() else {
+                            continue;
+                        };
                         let slots: Vec<usize> = f
                             .inst(phi)
                             .phi_preds
@@ -164,7 +171,10 @@ pub fn trim_unreachable(f: &mut Function) {
     for b in f.blocks().collect::<Vec<_>>() {
         if !reach[b.index()] {
             f.block_mut(b).insts.clear();
-            f.push_inst(b, InstData::new(Opcode::Ret).with_uses(Vec::<Operand>::new()));
+            f.push_inst(
+                b,
+                InstData::new(Opcode::Ret).with_uses(Vec::<Operand>::new()),
+            );
         }
     }
 }
@@ -331,8 +341,10 @@ entry:
   ret %x
 }",
         );
-        let versions: Vec<Var> =
-            f.vars().filter(|&v| f.var(v).origin == Some(Var::new(0))).collect();
+        let versions: Vec<Var> = f
+            .vars()
+            .filter(|&v| f.var(v).origin == Some(Var::new(0)))
+            .collect();
         assert_eq!(versions.len(), 2);
         for v in versions {
             assert_eq!(f.var(v).name, "x");

@@ -64,7 +64,9 @@ fn hoistable_arm(f: &Function, arm: Block, join: Block, cfg: &Cfg, max: usize) -
         return false;
     }
     let insts: Vec<Inst> = f.block_insts(arm).collect();
-    let Some((&last, body)) = insts.split_last() else { return false };
+    let Some((&last, body)) = insts.split_last() else {
+        return false;
+    };
     if f.inst(last).opcode != Opcode::Jump || f.inst(last).targets != [join] {
         return false;
     }
@@ -85,7 +87,9 @@ fn hoistable_arm(f: &Function, arm: Block, join: Block, cfg: &Cfg, max: usize) -
 fn find_diamond(f: &Function, opts: &IfConvOptions) -> Option<Diamond> {
     let cfg = Cfg::compute(f);
     for b in f.blocks() {
-        let Some(term) = f.terminator(b) else { continue };
+        let Some(term) = f.terminator(b) else {
+            continue;
+        };
         let inst = f.inst(term);
         if inst.opcode != Opcode::Br {
             continue;
@@ -146,7 +150,9 @@ fn convert(f: &mut Function, d: Diamond) {
     f.insert_inst(
         d.branch,
         at,
-        InstData::new(Opcode::Make).with_defs(vec![one.into()]).with_imm(1),
+        InstData::new(Opcode::Make)
+            .with_defs(vec![one.into()])
+            .with_imm(1),
     );
     at += 1;
 
@@ -157,18 +163,18 @@ fn convert(f: &mut Function, d: Diamond) {
         let arg_for = |b: Block| inst.phi_arg_for(b).expect("diamond pred").var;
         let (tv, ev) = (arg_for(d.then_arm), arg_for(d.else_arm));
         f.remove_inst(d.join, phi);
-        let psi = InstData::new(Opcode::Psi).with_defs(vec![Operand::new(dst)]).with_uses(vec![
-            one.into(),
-            ev.into(),
-            d.cond.into(),
-            tv.into(),
-        ]);
+        let psi = InstData::new(Opcode::Psi)
+            .with_defs(vec![Operand::new(dst)])
+            .with_uses(vec![one.into(), ev.into(), d.cond.into(), tv.into()]);
         f.insert_inst(d.branch, at, psi);
         at += 1;
     }
 
     // Fall through to the join; the arms become unreachable shells.
-    f.push_inst(d.branch, InstData::new(Opcode::Jump).with_targets(vec![d.join]));
+    f.push_inst(
+        d.branch,
+        InstData::new(Opcode::Jump).with_targets(vec![d.join]),
+    );
     for arm in [d.then_arm, d.else_arm] {
         f.block_mut(arm).insts.clear();
         f.push_inst(arm, InstData::new(Opcode::Ret));

@@ -7,11 +7,11 @@
 //! extend live ranges and merge values, creating the interferences the
 //! out-of-SSA coalescer must then negotiate.
 
+use std::collections::HashMap;
 use tossa_analysis::DomTree;
 use tossa_ir::cfg::Cfg;
 use tossa_ir::ids::{Inst, Var};
 use tossa_ir::{Function, Opcode};
-use std::collections::HashMap;
 
 /// Replaces every use of a copy destination by the copy source
 /// (transitively) and leaves the now-dead `mov`s for [`dce`]. Returns the
@@ -59,16 +59,21 @@ pub fn copy_propagate(f: &mut Function) -> usize {
 pub fn dce(f: &mut Function) -> usize {
     // Mark pass: seed with side-effecting instructions.
     let all: Vec<(tossa_ir::Block, Inst)> = f.all_insts().collect();
-    let mut live_insts: HashMap<Inst, bool> =
-        all.iter().map(|&(_, i)| (i, f.inst(i).opcode.has_side_effects())).collect();
+    let mut live_insts: HashMap<Inst, bool> = all
+        .iter()
+        .map(|&(_, i)| (i, f.inst(i).opcode.has_side_effects()))
+        .collect();
     let mut def_of: HashMap<Var, Inst> = HashMap::new();
     for &(_, i) in &all {
         for d in &f.inst(i).defs {
             def_of.insert(d.var, i);
         }
     }
-    let mut work: Vec<Inst> =
-        all.iter().filter(|&&(_, i)| live_insts[&i]).map(|&(_, i)| i).collect();
+    let mut work: Vec<Inst> = all
+        .iter()
+        .filter(|&&(_, i)| live_insts[&i])
+        .map(|&(_, i)| i)
+        .collect();
     while let Some(i) = work.pop() {
         for u in f.inst(i).uses.clone() {
             if let Some(&di) = def_of.get(&u.var) {
@@ -168,7 +173,11 @@ pub fn gvn(f: &mut Function) -> usize {
                     ) {
                         uses.sort();
                     }
-                    let key = Key { opcode: inst.opcode, uses, imm: inst.imm };
+                    let key = Key {
+                        opcode: inst.opcode,
+                        uses,
+                        imm: inst.imm,
+                    };
                     match table.get(&key) {
                         Some(&existing) => {
                             replacement.insert(inst.defs[0].var, existing);
@@ -279,7 +288,10 @@ entry:
         let before = interp::run(&f, &[3, 4], 100).unwrap();
         let n = gvn(&mut f);
         assert_eq!(n, 1); // commutative match
-        assert_eq!(interp::run(&f, &[3, 4], 100).unwrap().outputs, before.outputs);
+        assert_eq!(
+            interp::run(&f, &[3, 4], 100).unwrap().outputs,
+            before.outputs
+        );
         verify_ssa(&f).unwrap();
     }
 
@@ -326,7 +338,10 @@ m:
         let n = gvn(&mut f);
         assert_eq!(n, 1);
         dce(&mut f);
-        assert_eq!(interp::run(&f, &[1, 2], 100).unwrap().outputs, before.outputs);
+        assert_eq!(
+            interp::run(&f, &[1, 2], 100).unwrap().outputs,
+            before.outputs
+        );
         verify_ssa(&f).unwrap();
     }
 

@@ -34,22 +34,33 @@ pub fn lower_psis(f: &mut Function) -> usize {
 }
 
 fn find_psi(f: &Function, b: Block) -> Option<(usize, Inst)> {
-    f.block_insts(b).enumerate().find(|&(_, i)| f.inst(i).opcode.is_psi())
+    f.block_insts(b)
+        .enumerate()
+        .find(|&(_, i)| f.inst(i).opcode.is_psi())
 }
 
 fn lower_one(f: &mut Function, b: Block, pos: usize, psi: Inst) {
     let inst = f.inst(psi).clone();
     let def = inst.defs[0].var;
-    let pairs: Vec<(Operand, Operand)> =
-        inst.uses.chunks(2).map(|c| (c[0], c[1])).collect();
+    let pairs: Vec<(Operand, Operand)> = inst.uses.chunks(2).map(|c| (c[0], c[1])).collect();
     f.remove_inst(b, psi);
     // t0 = make 0 (the "no guard satisfied" value).
     let mut cur = f.new_var("psi0");
     let mut at = pos;
-    f.insert_inst(b, at, InstData::new(Opcode::Make).with_defs(vec![cur.into()]).with_imm(0));
+    f.insert_inst(
+        b,
+        at,
+        InstData::new(Opcode::Make)
+            .with_defs(vec![cur.into()])
+            .with_imm(0),
+    );
     at += 1;
     for (k, (p, a)) in pairs.iter().enumerate() {
-        let dst = if k + 1 == pairs.len() { def } else { f.new_var(format!("psi{}", k + 1)) };
+        let dst = if k + 1 == pairs.len() {
+            def
+        } else {
+            f.new_var(format!("psi{}", k + 1))
+        };
         f.insert_inst(
             b,
             at,
@@ -90,7 +101,12 @@ entry:
         assert!(!has_psis(&g));
         g.validate().unwrap();
         verify_ssa(&g).unwrap();
-        for ins in [[1, 10, 1, 20], [1, 10, 0, 20], [0, 10, 1, 20], [0, 10, 0, 20]] {
+        for ins in [
+            [1, 10, 1, 20],
+            [1, 10, 0, 20],
+            [0, 10, 1, 20],
+            [0, 10, 0, 20],
+        ] {
             assert_eq!(
                 interp::run(&f, &ins, 100).unwrap().outputs,
                 interp::run(&g, &ins, 100).unwrap().outputs,

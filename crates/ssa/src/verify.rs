@@ -1,10 +1,10 @@
 //! SSA form verifier.
 
+use std::fmt;
 use tossa_analysis::{DefMap, DomTree};
 use tossa_ir::cfg::Cfg;
 use tossa_ir::ids::{Block, Var};
 use tossa_ir::Function;
-use std::fmt;
 
 /// A violation of SSA invariants.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -74,10 +74,7 @@ pub fn verify_ssa(f: &Function) -> Result<(), SsaError> {
                         continue; // the edge can never execute
                     }
                     let Some(site) = defs.site(op.var) else {
-                        return err(format!(
-                            "phi arg {} (from {pred}) is never defined",
-                            op.var
-                        ));
+                        return err(format!("phi arg {} (from {pred}) is never defined", op.var));
                     };
                     // Must dominate the end of pred.
                     if !dt.dominates(site.block, pred) {

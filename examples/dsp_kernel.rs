@@ -43,7 +43,11 @@ exit:
 fn checked(f: &Function, reference: &[i64], label: &str) {
     let got = interp::run(f, &[1000, 2000, 6], 100_000).expect(label);
     assert_eq!(got.outputs, reference, "{label} changed behaviour");
-    println!("{label:30} -> {:3} moves (outputs {:?})", f.count_moves(), got.outputs);
+    println!(
+        "{label:30} -> {:3} moves (outputs {:?})",
+        f.count_moves(),
+        got.outputs
+    );
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -39,7 +39,9 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--experiment" => {
-                experiment = it.next().unwrap_or_else(|| fail("--experiment needs a value"));
+                experiment = it
+                    .next()
+                    .unwrap_or_else(|| fail("--experiment needs a value"));
             }
             "--mode" => match it.next().as_deref() {
                 Some("exact") => mode = InterferenceMode::Exact,
@@ -52,8 +54,11 @@ fn main() {
             "--stats" => stats = true,
             "--run" => {
                 let vals = it.next().unwrap_or_else(|| fail("--run needs v1,v2,..."));
-                let parsed: Result<Vec<i64>, _> =
-                    vals.split(',').filter(|s| !s.is_empty()).map(str::parse).collect();
+                let parsed: Result<Vec<i64>, _> = vals
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::parse)
+                    .collect();
                 run_inputs =
                     Some(parsed.unwrap_or_else(|_| fail("bad --run values (need integers)")));
             }
@@ -83,7 +88,8 @@ fn main() {
 
     let machine = Machine::dsp32();
     let src = parse_function(&text, &machine).unwrap_or_else(|e| fail(&format!("parse: {e}")));
-    src.validate().unwrap_or_else(|e| fail(&format!("invalid input: {e}")));
+    src.validate()
+        .unwrap_or_else(|e| fail(&format!("invalid input: {e}")));
 
     let exp = Experiment::all()
         .iter()
@@ -92,10 +98,18 @@ fn main() {
         .unwrap_or_else(|| {
             fail(&format!(
                 "unknown experiment `{experiment}`; choose from: {}",
-                Experiment::all().iter().map(|e| e.label()).collect::<Vec<_>>().join(", ")
+                Experiment::all()
+                    .iter()
+                    .map(|e| e.label())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ))
         });
-    let opts = CoalesceOptions { mode, depth_priority: depth, ..Default::default() };
+    let opts = CoalesceOptions {
+        mode,
+        depth_priority: depth,
+        ..Default::default()
+    };
 
     if print_ssa {
         let mut ssa = front_end(&src);

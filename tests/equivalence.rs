@@ -17,7 +17,10 @@ fn check_all(opts: &CoalesceOptions) {
                     .validate()
                     .unwrap_or_else(|e| panic!("{exp} on {}: invalid: {e}", bf.func.name));
                 assert_eq!(
-                    r.func.all_insts().filter(|&(_, i)| r.func.inst(i).is_phi()).count(),
+                    r.func
+                        .all_insts()
+                        .filter(|&(_, i)| r.func.inst(i).is_phi())
+                        .count(),
                     0,
                     "{exp} left φs in {}",
                     bf.func.name
@@ -36,15 +39,24 @@ fn all_experiments_preserve_semantics_base() {
 
 #[test]
 fn all_experiments_preserve_semantics_depth_variant() {
-    check_all(&CoalesceOptions { depth_priority: true, ..Default::default() });
+    check_all(&CoalesceOptions {
+        depth_priority: true,
+        ..Default::default()
+    });
 }
 
 #[test]
 fn all_experiments_preserve_semantics_optimistic() {
-    check_all(&CoalesceOptions { mode: InterferenceMode::Optimistic, ..Default::default() });
+    check_all(&CoalesceOptions {
+        mode: InterferenceMode::Optimistic,
+        ..Default::default()
+    });
 }
 
 #[test]
 fn all_experiments_preserve_semantics_pessimistic() {
-    check_all(&CoalesceOptions { mode: InterferenceMode::Pessimistic, ..Default::default() });
+    check_all(&CoalesceOptions {
+        mode: InterferenceMode::Pessimistic,
+        ..Default::default()
+    });
 }

@@ -37,7 +37,9 @@ fn sweep(functions: &[Function]) -> (usize, usize, usize, usize) {
     let mut worst = 0;
     for src in functions {
         let f = prepared(src);
-        let Some(opt) = exhaustive_phi_pinning(&f) else { continue };
+        let Some(opt) = exhaustive_phi_pinning(&f) else {
+            continue;
+        };
         let h = heuristic_moves(&f);
         assert!(
             h + 100 >= opt.best_moves, // sanity: oracle can never be wildly above
@@ -54,11 +56,16 @@ fn sweep(functions: &[Function]) -> (usize, usize, usize, usize) {
 
 #[test]
 fn heuristic_near_optimal_on_paper_examples() {
-    let funcs: Vec<Function> =
-        paper_examples::examples().into_iter().map(|b| b.func).collect();
+    let funcs: Vec<Function> = paper_examples::examples()
+        .into_iter()
+        .map(|b| b.func)
+        .collect();
     let (checked, h, o, worst) = sweep(&funcs);
     assert!(checked >= 6, "most examples are small enough: {checked}");
-    assert!(h <= o + 2, "heuristic {h} vs optimal {o} (worst gap {worst})");
+    assert!(
+        h <= o + 2,
+        "heuristic {h} vs optimal {o} (worst gap {worst})"
+    );
 }
 
 #[test]
@@ -76,9 +83,15 @@ fn heuristic_near_optimal_on_small_kernels() {
 
 #[test]
 fn heuristic_near_optimal_on_random_programs() {
-    let cfg = SynthConfig { functions: 1, pool: 5, max_depth: 2, body_len: 3 };
-    let funcs: Vec<Function> =
-        (100..160u64).map(|seed| generate_function(seed, &cfg).func).collect();
+    let cfg = SynthConfig {
+        functions: 1,
+        pool: 5,
+        max_depth: 2,
+        body_len: 3,
+    };
+    let funcs: Vec<Function> = (100..160u64)
+        .map(|seed| generate_function(seed, &cfg).func)
+        .collect();
     let (checked, h, o, worst) = sweep(&funcs);
     assert!(checked >= 30, "checked {checked}");
     assert!(

@@ -19,7 +19,9 @@ fn parse(text: &str) -> Function {
 }
 
 fn var(f: &Function, name: &str) -> Var {
-    f.vars().find(|&v| f.var(v).name == name).unwrap_or_else(|| panic!("no var {name}"))
+    f.vars()
+        .find(|&v| f.var(v).name == name)
+        .unwrap_or_else(|| panic!("no var {name}"))
 }
 
 struct Env {
@@ -37,7 +39,13 @@ impl Env {
         let live = Liveness::compute(&f, &cfg);
         let defs = DefMap::compute(&f);
         let lad = LiveAtDefs::compute(&f, &live, &defs);
-        Env { f, dt, live, defs, lad }
+        Env {
+            f,
+            dt,
+            live,
+            defs,
+            lad,
+        }
     }
     fn env(&self) -> InterferenceEnv<'_> {
         InterferenceEnv {
@@ -293,7 +301,10 @@ m:
     let r0 = f.resources.by_name("R0").unwrap();
     assert_eq!(f.var(z).pin, Some(r0), "partial coalescing with R0\n{f}");
     let recon = out_of_pinned_ssa(&mut f);
-    assert_eq!(recon.phi_copies, 0, "no copy: both branches leave z in R0\n{f}");
+    assert_eq!(
+        recon.phi_copies, 0,
+        "no copy: both branches leave z in R0\n{f}"
+    );
     for c in [0, 1] {
         assert_eq!(
             interp::run(&src, &[c], 1000).unwrap().outputs,
