@@ -30,9 +30,37 @@
 use crate::liveness::{DefMap, LiveAtDefs, Liveness};
 use crate::loops::LoopInfo;
 use crate::DomTree;
+use std::fmt;
 use std::rc::Rc;
 use tossa_ir::cfg::Cfg;
 use tossa_ir::Function;
+
+/// A stale-analysis diagnostic: the function's structure changed since
+/// the epoch's first access without an intervening
+/// [`AnalysisCache::invalidate`]. Produced instead of a panic when the
+/// cache runs in *deferred staleness* mode (checked pipelines), so the
+/// violation can be reported per-function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaleAnalysis {
+    /// The mutation epoch during which the mismatch was observed.
+    pub revision: u64,
+    /// Names of the analyses that were memoized — and therefore stale —
+    /// at detection time.
+    pub stale: Vec<&'static str>,
+}
+
+impl fmt::Display for StaleAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stale analyses {:?} at mutation epoch {}: function mutated \
+             without invalidate()",
+            self.stale, self.revision
+        )
+    }
+}
+
+impl std::error::Error for StaleAnalysis {}
 
 /// Lazily computed, memoized analyses for one revision of a function.
 #[derive(Default)]
@@ -45,9 +73,13 @@ pub struct AnalysisCache {
     lad: Option<Rc<LiveAtDefs>>,
     loops: Option<Rc<LoopInfo>>,
     /// Structural fingerprint of the function at the first access of this
-    /// epoch; used by debug builds to detect missing invalidation.
-    #[cfg(debug_assertions)]
+    /// epoch; compared on every access in debug builds and in deferred
+    /// staleness mode.
     fingerprint: Option<u64>,
+    /// Deferred staleness mode: record [`StaleAnalysis`] and self-heal
+    /// instead of panicking (and keep checking in release builds).
+    deferred: bool,
+    stale: Option<StaleAnalysis>,
 }
 
 impl AnalysisCache {
@@ -72,10 +104,7 @@ impl AnalysisCache {
         self.liveness = None;
         self.defs = None;
         self.lad = None;
-        #[cfg(debug_assertions)]
-        {
-            self.fingerprint = None;
-        }
+        self.fingerprint = None;
     }
 
     /// Drops every memoized analysis and starts a new mutation epoch.
@@ -88,21 +117,71 @@ impl AnalysisCache {
         self.defs = None;
         self.lad = None;
         self.loops = None;
-        #[cfg(debug_assertions)]
-        {
-            self.fingerprint = None;
-        }
+        self.fingerprint = None;
     }
 
-    /// Debug-mode staleness check: the function's structure must match
-    /// the first access of this epoch.
-    #[cfg(debug_assertions)]
+    /// Switches deferred staleness mode on or off. When on, a fingerprint
+    /// mismatch records a [`StaleAnalysis`] diagnostic (retrievable with
+    /// [`AnalysisCache::take_stale`]) and self-heals by invalidating, so
+    /// the returned analyses are always fresh; the check also runs in
+    /// release builds. When off (the default), a mismatch panics in debug
+    /// builds and is not checked in release builds.
+    pub fn set_deferred_staleness(&mut self, on: bool) {
+        self.deferred = on;
+    }
+
+    /// Takes the recorded stale-analysis diagnostic, if a mismatch was
+    /// observed in deferred mode since the last call.
+    pub fn take_stale(&mut self) -> Option<StaleAnalysis> {
+        self.stale.take()
+    }
+
+    /// The names of the currently memoized analyses.
+    fn memoized(&self) -> Vec<&'static str> {
+        let mut names = Vec::new();
+        if self.cfg.is_some() {
+            names.push("cfg");
+        }
+        if self.domtree.is_some() {
+            names.push("domtree");
+        }
+        if self.liveness.is_some() {
+            names.push("liveness");
+        }
+        if self.defs.is_some() {
+            names.push("defs");
+        }
+        if self.lad.is_some() {
+            names.push("live_at_defs");
+        }
+        if self.loops.is_some() {
+            names.push("loops");
+        }
+        names
+    }
+
+    /// Staleness check: the function's structure must match the first
+    /// access of this epoch. Runs in debug builds always and in release
+    /// builds when deferred mode is on.
     fn check_revision(&mut self, f: &Function) {
+        if !self.deferred && !cfg!(debug_assertions) {
+            return;
+        }
         let fp = fingerprint(f);
         match self.fingerprint {
             None => self.fingerprint = Some(fp),
-            Some(expected) => assert!(
-                expected == fp,
+            Some(expected) if expected == fp => {}
+            Some(_) if self.deferred => {
+                if self.stale.is_none() {
+                    self.stale = Some(StaleAnalysis {
+                        revision: self.revision,
+                        stale: self.memoized(),
+                    });
+                }
+                self.invalidate();
+                self.fingerprint = Some(fp);
+            }
+            Some(_) => panic!(
                 "AnalysisCache: function mutated without invalidate() \
                  (revision {}); call cache.invalidate() after structural \
                  changes",
@@ -110,9 +189,6 @@ impl AnalysisCache {
             ),
         }
     }
-
-    #[cfg(not(debug_assertions))]
-    fn check_revision(&mut self, _f: &Function) {}
 
     /// The control-flow graph (with its cached reverse postorder).
     pub fn cfg(&mut self, f: &Function) -> Rc<Cfg> {
@@ -180,7 +256,6 @@ impl AnalysisCache {
 /// Deliberately excludes `var.pin` — pinning is not an analysis input
 /// (see the module docs), so pinning passes don't trip the staleness
 /// check.
-#[cfg(debug_assertions)]
 fn fingerprint(f: &Function) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -270,6 +345,49 @@ exit:
         assert_eq!(cache.revision(), 1);
         let after = cache.liveness(&f);
         assert!(!Rc::ptr_eq(&before, &after));
+    }
+
+    fn mutate(f: &mut Function) {
+        let exit = f.blocks().last().unwrap();
+        let v = f.new_var("t");
+        let at = f.block(exit).insts.len() - 1;
+        f.insert_inst(
+            exit,
+            at,
+            tossa_ir::InstData::new(tossa_ir::Opcode::Make)
+                .with_defs(vec![v.into()])
+                .with_imm(3),
+        );
+    }
+
+    #[test]
+    fn deferred_mode_records_stale_and_self_heals() {
+        let mut f = sample();
+        let mut cache = AnalysisCache::new();
+        cache.set_deferred_staleness(true);
+        let before = cache.liveness(&f);
+        let _ = cache.domtree(&f);
+        mutate(&mut f); // no invalidate(): a pass forgot to tell the cache
+        let after = cache.liveness(&f);
+        let diag = cache.take_stale().expect("mismatch must be recorded");
+        assert_eq!(diag.revision, 0);
+        assert!(diag.stale.contains(&"liveness"), "{diag}");
+        assert!(diag.stale.contains(&"domtree"), "{diag}");
+        // Self-healed: the answer is fresh, not the stale memo.
+        assert!(!Rc::ptr_eq(&before, &after));
+        assert!(cache.take_stale().is_none(), "diagnostic is taken once");
+    }
+
+    #[test]
+    fn deferred_mode_quiet_when_invalidation_is_correct() {
+        let mut f = sample();
+        let mut cache = AnalysisCache::new();
+        cache.set_deferred_staleness(true);
+        let _ = cache.liveness(&f);
+        mutate(&mut f);
+        cache.invalidate();
+        let _ = cache.liveness(&f);
+        assert!(cache.take_stale().is_none());
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod liveness;
 pub mod loops;
 
 pub use bitset::BitSet;
-pub use cache::AnalysisCache;
+pub use cache::{AnalysisCache, StaleAnalysis};
 pub use domfront::DomFrontiers;
 pub use domtree::DomTree;
 pub use interference::InterferenceGraph;

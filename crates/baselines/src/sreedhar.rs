@@ -419,7 +419,9 @@ mod tests {
     }
 
     fn cssa_is_conventional(f: &Function) {
-        // No two members of any φ-congruence class interfere.
+        // The public checker must agree...
+        tossa_ssa::verify_cssa(f).unwrap_or_else(|e| panic!("{e}\n{f}"));
+        // ...with this independent class-by-class assertion.
         let analyses = analyze(f, &mut AnalysisCache::new());
         let mut classes = Classes::new(f.num_vars());
         for (_, i) in f.all_insts() {

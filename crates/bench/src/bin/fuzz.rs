@@ -1,0 +1,153 @@
+//! Differential fuzzer for the checked pipeline.
+//!
+//! Generates a seeded random population, runs every (or one) experiment
+//! in checked mode — per-pass structural verification plus differential
+//! execution against the source — and prints the per-function error
+//! report. Failing cases are shrunk with the delta-debugging reducer
+//! before printing.
+//!
+//! Usage: `fuzz [--functions N] [--seed S] [--experiment NAME] [--chaos CLASS] [--fuel F] [--no-reduce]`
+//!
+//! * `--functions N` — population size (default 200);
+//! * `--seed S`      — base seed (default 1; equal seeds, equal runs);
+//! * `--experiment NAME` — one experiment (default: all ten);
+//! * `--chaos CLASS` — inject a corruption class (`drop-phi-arg`,
+//!   `double-def`, `undefined-use`, `merge-webs`, `reorder-copy`) to
+//!   validate the safety net: the run then *expects* degradations and
+//!   fails if the fallback misbehaves;
+//! * `--fuel F`      — interpreter step budget (default 5,000,000);
+//! * `--no-reduce`   — print failing cases unreduced.
+//!
+//! Exit status: 0 when expectations hold (clean without `--chaos`,
+//! gracefully degraded with it), 1 otherwise.
+
+use tossa_bench::checked::{fuzz_suite, run_checked, run_suite_checked, CheckedOptions};
+use tossa_bench::reduce::reduce;
+use tossa_bench::suites::BenchFunction;
+use tossa_core::chaos::{Catcher, Corruption};
+use tossa_core::coalesce::CoalesceOptions;
+use tossa_core::Experiment;
+
+fn parse_chaos(s: &str) -> Option<Corruption> {
+    match s {
+        "drop-phi-arg" => Some(Corruption::DropPhiArg),
+        "double-def" => Some(Corruption::DoubleDef),
+        "undefined-use" => Some(Corruption::UndefinedUse),
+        "merge-webs" => Some(Corruption::MergeInterferingWebs),
+        "reorder-copy" => Some(Corruption::ReorderParallelCopy),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|p| args.get(p + 1))
+            .cloned()
+    };
+    let functions = value("--functions")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let seed = value("--seed").and_then(|v| v.parse().ok()).unwrap_or(1u64);
+    let fuel = value("--fuel")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5_000_000);
+    let chaos = value("--chaos").map(|v| {
+        parse_chaos(&v).unwrap_or_else(|| {
+            eprintln!("unknown chaos class {v:?}");
+            std::process::exit(2);
+        })
+    });
+    let experiments: Vec<Experiment> = match value("--experiment") {
+        None => Experiment::all().to_vec(),
+        Some(name) => {
+            let Some(&e) = Experiment::all().iter().find(|e| e.to_string() == name) else {
+                eprintln!(
+                    "unknown experiment {name:?}; known: {}",
+                    Experiment::all()
+                        .iter()
+                        .map(|e| e.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(2);
+            };
+            vec![e]
+        }
+    };
+
+    let suite = fuzz_suite(functions, seed);
+    let opts = CoalesceOptions::default();
+    let copts = CheckedOptions {
+        fuel,
+        chaos,
+        chaos_seed: seed,
+    };
+
+    let mut ok = true;
+    for &exp in &experiments {
+        let report = run_suite_checked(&suite, exp, &opts, &copts);
+        print!("{report}");
+        match chaos {
+            None => {
+                // A degradation without injected faults is a real bug:
+                // shrink and print each failing case.
+                if !report.is_clean() {
+                    ok = false;
+                    for r in &report.failures {
+                        let bf = suite
+                            .functions
+                            .iter()
+                            .find(|bf| bf.func.name == r.function)
+                            .expect("report names a suite function");
+                        if flag("--no-reduce") {
+                            println!("--- failing case {} ---\n{}", r.function, bf.func);
+                            continue;
+                        }
+                        let failing = |f: &tossa_ir::Function| {
+                            let cand = BenchFunction {
+                                func: f.clone(),
+                                inputs: bf.inputs.clone(),
+                            };
+                            run_checked(&cand, exp, &opts, &copts).error.is_some()
+                        };
+                        let (small, stats) = reduce(&bf.func, &failing);
+                        println!(
+                            "--- failing case {} reduced {} -> {} insts ---\n{small}",
+                            r.function, stats.initial_size, stats.final_size
+                        );
+                    }
+                }
+            }
+            Some(c) => {
+                // With injected faults the expectation inverts: every
+                // verifier-caught class that actually landed must degrade
+                // its function, and every fallback must be semantically
+                // correct. (The differential class may be neutral on the
+                // sampled inputs, so a clean injection is not a miss.)
+                if report.injected == 0 {
+                    eprintln!("{exp}: {c:?} found no injection site in this population");
+                } else if c.caught_by() != Catcher::Differential
+                    && report.failures.len() < report.injected
+                {
+                    eprintln!(
+                        "{exp}: {c:?} injected into {} functions but only {} caught",
+                        report.injected,
+                        report.failures.len()
+                    );
+                    ok = false;
+                }
+                for r in &report.failures {
+                    if let Some(e) = &r.fallback_error {
+                        eprintln!("{exp}: {c:?} broke the fallback on {}: {e}", r.function);
+                        ok = false;
+                    }
+                }
+            }
+        }
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,512 @@
+//! Checked pipeline mode: per-pass verification, graceful fallback, and
+//! the per-function error report.
+//!
+//! [`run_checked`] executes one Table-1 experiment pipeline with a
+//! [`PassGuard`] after every pass: structural verifiers (CFG, SSA/CSSA,
+//! pin consistency) plus differential execution against the source
+//! function on the benchmark's input vectors. Any violation becomes a
+//! structured [`TossaError`] instead of a panic, and the function
+//! **degrades to the naive out-of-SSA translation** so a suite run
+//! completes with a [`SuiteReport`] naming every failed function instead
+//! of aborting.
+//!
+//! Fault injection ([`CheckedOptions::chaos`]) corrupts the pipeline at
+//! the point matching the corruption class, which lets tests prove the
+//! safety net trips: the corrupted run must produce a structured error
+//! *and* a semantically-correct fallback.
+
+use crate::runner::{front_end, par_map};
+use crate::suites::{BenchFunction, Suite};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use tossa_analysis::AnalysisCache;
+use tossa_baselines::{naive_out_of_ssa, to_cssa_cached};
+use tossa_core::chaos::{self, Catcher, Corruption};
+use tossa_core::checked::{check_form, IrForm, PassGuard};
+use tossa_core::coalesce::CoalesceOptions;
+use tossa_core::collect::{naive_abi, pinning_abi, pinning_cssa, pinning_sp};
+use tossa_core::error::{CoalesceError, TossaError, VerifyError};
+use tossa_core::reconstruct::out_of_pinned_ssa_checked;
+use tossa_core::{program_pinning_cached, Experiment};
+use tossa_ir::rng::SplitMix64;
+use tossa_ir::Function;
+use tossa_ssa::verify_cssa;
+
+/// Tuning of a checked run.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckedOptions {
+    /// Interpreter step budget per differential execution.
+    pub fuel: u64,
+    /// Inject this corruption class (for safety-net validation).
+    pub chaos: Option<Corruption>,
+    /// Seed for the corruption site choice.
+    pub chaos_seed: u64,
+}
+
+impl Default for CheckedOptions {
+    fn default() -> Self {
+        CheckedOptions {
+            fuel: 5_000_000,
+            chaos: None,
+            chaos_seed: 0,
+        }
+    }
+}
+
+/// Outcome of one checked run on one function.
+#[derive(Clone, Debug)]
+pub struct CheckedOutcome {
+    /// The final non-SSA function (checked pipeline output, or the naive
+    /// fallback after a failure).
+    pub func: Function,
+    /// Static move count of `func`.
+    pub moves: usize,
+    /// The failure that triggered the fallback (`None` = clean run).
+    pub error: Option<TossaError>,
+    /// Whether `func` is the naive fallback translation.
+    pub fell_back: bool,
+    /// Set when even the fallback failed verification (this indicates a
+    /// corrupted *input*, not a pass bug).
+    pub fallback_error: Option<TossaError>,
+    /// Whether a [`CheckedOptions::chaos`] corruption actually found an
+    /// injection site in this function.
+    pub injected: bool,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn verify_err(pass: &'static str) -> impl Fn(VerifyError) -> TossaError {
+    move |error| TossaError::Verify { pass, error }
+}
+
+/// Returns the first recorded stale-analysis diagnostic as an error.
+fn stale_check(cache: &mut AnalysisCache, pass: &'static str) -> Result<(), TossaError> {
+    match cache.take_stale() {
+        Some(s) => Err(TossaError::Verify {
+            pass,
+            error: VerifyError::StaleAnalysis(s),
+        }),
+        None => Ok(()),
+    }
+}
+
+/// The guarded pipeline proper: every pass is followed by structural
+/// verification and differential execution against the pre-front-end
+/// source (each earlier guarded pass has already been proven
+/// semantics-preserving, so a divergence is attributed to the pass it
+/// first appears after).
+fn guarded_pipeline(
+    ssa: &Function,
+    exp: Experiment,
+    opts: &CoalesceOptions,
+    guard: &PassGuard,
+    copts: &CheckedOptions,
+    injected: &std::cell::Cell<bool>,
+) -> Result<Function, TossaError> {
+    let passes = exp.passes();
+    let mut f = ssa.clone();
+    let mut rng = SplitMix64::seed_from_u64(copts.chaos_seed);
+    let chaos_at = |point: Catcher| copts.chaos.filter(|c| c.caught_by() == point);
+
+    // SSA-corrupting chaos classes model a buggy front end.
+    if let Some(c) = copts
+        .chaos
+        .filter(|c| matches!(c.caught_by(), Catcher::Structural | Catcher::Ssa))
+    {
+        injected.set(chaos::inject(&mut f, c, &mut rng) || injected.get());
+    }
+    guard
+        .check(&f, IrForm::Ssa)
+        .map_err(verify_err("front_end"))?;
+
+    let mut cache = AnalysisCache::new();
+    cache.set_deferred_staleness(true);
+
+    if passes.sreedhar {
+        to_cssa_cached(&mut f, &mut cache);
+        stale_check(&mut cache, "sreedhar")?;
+        guard
+            .check(&f, IrForm::Ssa)
+            .map_err(verify_err("sreedhar"))?;
+        verify_cssa(&f).map_err(|e| verify_err("sreedhar")(VerifyError::Ssa(e)))?;
+    }
+    if passes.pinning_cssa {
+        pinning_cssa(&mut f);
+        guard
+            .check(&f, IrForm::PinnedSsa)
+            .map_err(verify_err("pinning_cssa"))?;
+    }
+    if passes.pinning_sp {
+        pinning_sp(&mut f);
+        guard
+            .check(&f, IrForm::PinnedSsa)
+            .map_err(verify_err("pinning_sp"))?;
+    }
+    if passes.pinning_abi {
+        pinning_abi(&mut f);
+        cache.invalidate_instructions();
+        guard
+            .check(&f, IrForm::PinnedSsa)
+            .map_err(verify_err("pinning_abi"))?;
+    }
+    if passes.pinning_phi {
+        program_pinning_cached(&mut f, opts, &mut cache);
+        stale_check(&mut cache, "pinning_phi")?;
+    }
+    // Pin-corrupting chaos models a buggy coalescer.
+    if let Some(c) = chaos_at(Catcher::Pin) {
+        injected.set(chaos::inject(&mut f, c, &mut rng) || injected.get());
+    }
+    // A pin violation here is the coalescer's fault (the collect passes
+    // were individually verified above).
+    match guard.check(&f, IrForm::PinnedSsa) {
+        Ok(()) => {}
+        Err(VerifyError::Pin(p)) => {
+            return Err(TossaError::Coalesce(CoalesceError::InvalidPinning(p)));
+        }
+        Err(e) => return Err(verify_err("pinning_phi")(e)),
+    }
+
+    out_of_pinned_ssa_checked(&mut f).map_err(TossaError::Reconstruct)?;
+    cache.invalidate();
+    if passes.naive_abi {
+        naive_abi(&mut f);
+        cache.invalidate_instructions();
+    }
+    // Copy-reordering chaos models a buggy sequentializer.
+    if let Some(c) = chaos_at(Catcher::Differential) {
+        injected.set(chaos::inject(&mut f, c, &mut rng) || injected.get());
+    }
+    guard
+        .check(&f, IrForm::NonSsa)
+        .map_err(verify_err("reconstruct"))?;
+
+    tossa_baselines::dead_code_elim_cached(&mut f, &mut cache);
+    if passes.coalescing {
+        tossa_baselines::aggressive_coalesce_cached(&mut f, &mut cache);
+        tossa_baselines::dead_code_elim_cached(&mut f, &mut cache);
+    }
+    stale_check(&mut cache, "cleanup")?;
+    guard
+        .check(&f, IrForm::NonSsa)
+        .map_err(verify_err("cleanup"))?;
+    Ok(f)
+}
+
+/// Runs one experiment pipeline on one function in checked mode.
+///
+/// On any verification failure (or pass panic) the run degrades: the
+/// returned function is the naive out-of-SSA translation of the
+/// front-end output, itself verified against the source, and the
+/// triggering error is recorded in the outcome.
+pub fn run_checked(
+    bf: &BenchFunction,
+    exp: Experiment,
+    opts: &CoalesceOptions,
+    copts: &CheckedOptions,
+) -> CheckedOutcome {
+    let guard = PassGuard::before(&bf.func, &bf.inputs, copts.fuel);
+    let ssa = front_end(&bf.func);
+    let injected = std::cell::Cell::new(false);
+    let piped = catch_unwind(AssertUnwindSafe(|| {
+        guarded_pipeline(&ssa, exp, opts, &guard, copts, &injected)
+    }))
+    .unwrap_or_else(|p| {
+        Err(TossaError::Panic {
+            pass: "pipeline",
+            message: panic_message(p),
+        })
+    });
+    let injected = injected.get();
+    match piped {
+        Ok(func) => CheckedOutcome {
+            moves: crate::metrics::move_count(&func),
+            func,
+            error: None,
+            fell_back: false,
+            fallback_error: None,
+            injected,
+        },
+        Err(error) => {
+            let (func, fallback_error) = naive_fallback(&ssa, exp, &guard);
+            CheckedOutcome {
+                moves: crate::metrics::move_count(&func),
+                func,
+                error: Some(error),
+                fell_back: true,
+                fallback_error,
+                injected,
+            }
+        }
+    }
+}
+
+/// The degraded path: naive φ replacement (plus naive ABI moves when the
+/// experiment requires ABI conformance), verified against the source.
+fn naive_fallback(
+    ssa: &Function,
+    exp: Experiment,
+    guard: &PassGuard,
+) -> (Function, Option<TossaError>) {
+    let built = catch_unwind(AssertUnwindSafe(|| {
+        let mut g = ssa.clone();
+        naive_out_of_ssa(&mut g);
+        if exp.enforces_abi() {
+            naive_abi(&mut g);
+        }
+        g
+    }));
+    match built {
+        Ok(g) => {
+            let err = guard
+                .check(&g, IrForm::NonSsa)
+                .err()
+                .map(verify_err("naive_fallback"));
+            (g, err)
+        }
+        Err(p) => (
+            ssa.clone(),
+            Some(TossaError::Panic {
+                pass: "naive_fallback",
+                message: panic_message(p),
+            }),
+        ),
+    }
+}
+
+/// One entry of the per-function error report.
+#[derive(Clone, Debug)]
+pub struct FunctionReport {
+    /// Function name.
+    pub function: String,
+    /// The failure that triggered the fallback.
+    pub error: TossaError,
+    /// Whether even the naive fallback failed verification.
+    pub fallback_error: Option<TossaError>,
+}
+
+/// Aggregate of one checked experiment over a suite.
+#[derive(Clone, Debug)]
+pub struct SuiteReport {
+    /// The experiment run.
+    pub experiment: Experiment,
+    /// Functions processed.
+    pub total: usize,
+    /// Functions that completed the full pipeline cleanly.
+    pub clean: usize,
+    /// Functions a chaos corruption actually landed in (0 without
+    /// [`CheckedOptions::chaos`], or when no function offered a site).
+    pub injected: usize,
+    /// Functions that degraded to the naive translation, with their
+    /// diagnostics (empty on a fully clean run).
+    pub failures: Vec<FunctionReport>,
+}
+
+impl SuiteReport {
+    /// Whether every function completed without degradation.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl std::fmt::Display for SuiteReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "checked {}: {}/{} clean, {} degraded",
+            self.experiment,
+            self.clean,
+            self.total,
+            self.failures.len()
+        )?;
+        if self.injected > 0 {
+            write!(f, " ({} injected)", self.injected)?;
+        }
+        writeln!(f)?;
+        for r in &self.failures {
+            writeln!(f, "  {}: {}", r.function, r.error)?;
+            if let Some(e) = &r.fallback_error {
+                writeln!(f, "  {}: FALLBACK ALSO FAILED: {e}", r.function)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs one experiment over a suite in checked mode, in parallel. Never
+/// panics on a pass failure: failing functions degrade to the naive
+/// translation and are listed in the report.
+pub fn run_suite_checked(
+    suite: &Suite,
+    exp: Experiment,
+    opts: &CoalesceOptions,
+    copts: &CheckedOptions,
+) -> SuiteReport {
+    let outcomes = par_map(suite.functions.len(), |k| {
+        run_checked(&suite.functions[k], exp, opts, copts)
+    });
+    let mut report = SuiteReport {
+        experiment: exp,
+        total: outcomes.len(),
+        clean: 0,
+        injected: 0,
+        failures: Vec::new(),
+    };
+    for (bf, o) in suite.functions.iter().zip(outcomes) {
+        if o.injected {
+            report.injected += 1;
+        }
+        match o.error {
+            None => report.clean += 1,
+            Some(error) => report.failures.push(FunctionReport {
+                function: bf.func.name.clone(),
+                error,
+                fallback_error: o.fallback_error,
+            }),
+        }
+    }
+    report
+}
+
+/// A deterministic fuzz population: `n` seeded random functions (the
+/// SPECint-like generator) with the input set widened from the
+/// generator's 3 vectors to 8, so differential execution probes more
+/// paths. Equal `(n, seed_base)` yield byte-identical suites.
+pub fn fuzz_suite(n: usize, seed_base: u64) -> Suite {
+    // Slightly smaller than the SPECint-like default: the checked mode
+    // re-verifies and re-executes after every pass, so per-function cost
+    // is ~10× a plain run and the population is large.
+    let cfg = crate::suites::synth::SynthConfig {
+        max_depth: 2,
+        body_len: 4,
+        ..Default::default()
+    };
+    let functions = (0..n as u64)
+        .map(|k| {
+            let seed = seed_base.wrapping_add(k);
+            let mut bf = crate::suites::synth::generate_function(seed, &cfg);
+            let ninputs = bf.inputs[0].len();
+            let mut rng = SplitMix64::seed_from_u64(seed ^ 0xF022_55AA);
+            while bf.inputs.len() < 8 {
+                bf.inputs.push(
+                    (0..ninputs)
+                        .map(|_| rng.random_range(-100i64..100))
+                        .collect(),
+                );
+            }
+            bf
+        })
+        .collect();
+    Suite {
+        name: "fuzz",
+        functions,
+    }
+}
+
+/// Convenience check used by tests and the fuzz binary: a clean checked
+/// run must end in valid non-SSA code.
+pub fn assert_outcome_valid(o: &CheckedOutcome) -> Result<(), TossaError> {
+    check_form(&o.func, IrForm::NonSsa).map_err(|e| TossaError::Verify {
+        pass: "final",
+        error: e,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites;
+
+    fn small_suite() -> Suite {
+        Suite {
+            name: "examples",
+            functions: suites::paper_examples::examples(),
+        }
+    }
+
+    #[test]
+    fn checked_mode_is_clean_on_examples() {
+        let opts = CoalesceOptions::default();
+        let copts = CheckedOptions::default();
+        for &exp in Experiment::all() {
+            let report = run_suite_checked(&small_suite(), exp, &opts, &copts);
+            assert!(report.is_clean(), "{report}");
+            assert_eq!(report.clean, report.total);
+        }
+    }
+
+    #[test]
+    fn chaos_degrades_to_naive_and_reports() {
+        let opts = CoalesceOptions::default();
+        let suite = small_suite();
+        for (k, &c) in Corruption::all().iter().enumerate() {
+            let copts = CheckedOptions {
+                chaos: Some(c),
+                chaos_seed: 11 + k as u64,
+                ..Default::default()
+            };
+            let report = run_suite_checked(&suite, Experiment::LphiC, &opts, &copts);
+            // At least one function must offer a corruption site, be
+            // caught, and degrade; every degraded function's fallback
+            // must verify.
+            assert!(
+                !report.is_clean(),
+                "{c:?} was never injected or never caught"
+            );
+            for r in &report.failures {
+                assert!(
+                    r.fallback_error.is_none(),
+                    "{c:?} fallback broken on {}: {:?}",
+                    r.function,
+                    r.fallback_error
+                );
+            }
+            // The report formats with function names and error text.
+            let text = report.to_string();
+            assert!(text.contains("degraded"), "{text}");
+        }
+    }
+
+    #[test]
+    fn chaos_errors_match_their_class() {
+        let opts = CoalesceOptions::default();
+        let suite = small_suite();
+        let copts = CheckedOptions {
+            chaos: Some(Corruption::MergeInterferingWebs),
+            chaos_seed: 3,
+            ..Default::default()
+        };
+        let report = run_suite_checked(&suite, Experiment::LphiC, &opts, &copts);
+        assert!(!report.is_clean());
+        for r in &report.failures {
+            assert!(
+                matches!(r.error, TossaError::Coalesce(_)),
+                "expected coalesce error, got {} on {}",
+                r.error,
+                r.function
+            );
+        }
+    }
+
+    #[test]
+    fn fallback_output_is_usable() {
+        let opts = CoalesceOptions::default();
+        let copts = CheckedOptions {
+            chaos: Some(Corruption::DoubleDef),
+            chaos_seed: 1,
+            ..Default::default()
+        };
+        let bf = &suites::paper_examples::examples()[0];
+        let o = run_checked(bf, Experiment::LphiC, &opts, &copts);
+        assert!(o.fell_back);
+        assert!(o.error.is_some());
+        assert_outcome_valid(&o).unwrap();
+    }
+}

@@ -8,6 +8,10 @@
 //! * [`metrics`] — move counts and the `5^depth` weighted counts;
 //! * [`runner`] — the Table-1 pipeline executor (parallel over suites)
 //!   with end-to-end interpreter verification and per-stage timings;
+//! * [`checked`] — the checked pipeline mode: per-pass invariant
+//!   verification plus differential execution, graceful degradation to
+//!   the naive translation, and the per-function error report;
+//! * [`reduce`] — delta-debugging reducer for failing fuzz cases;
 //! * [`tables`] — renderers for Tables 1–5;
 //! * [`trajectory`] — the machine-readable `BENCH_pr<N>.json` perf
 //!   trajectory emitter.
@@ -26,7 +30,9 @@
 
 #![warn(missing_docs)]
 
+pub mod checked;
 pub mod metrics;
+pub mod reduce;
 pub mod runner;
 pub mod suites;
 pub mod tables;

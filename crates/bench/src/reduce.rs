@@ -1,0 +1,240 @@
+//! Delta-debugging reducer for failing fuzz cases.
+//!
+//! [`reduce`] shrinks a function while preserving a caller-supplied
+//! failure predicate (typically "the checked pipeline reports an error
+//! on this input"), by greedily applying size-decreasing edits to a
+//! fixpoint:
+//!
+//! * delete one non-terminator instruction;
+//! * delete one argument (and its predecessor entry) of a multi-argument
+//!   φ;
+//! * replace a conditional branch by an unconditional jump to either
+//!   target (which usually strands whole blocks, letting instruction
+//!   deletion finish the job).
+//!
+//! Every candidate is tried on a clone, so the predicate sees a complete
+//! function and the reduction never passes through a non-failing state.
+//! The predicate must tolerate arbitrary (even structurally invalid)
+//! candidates and simply return `false` for the ones it cannot process —
+//! the checked runner already does, since structural breakage is a
+//! structured error, not a panic.
+
+use tossa_ir::ids::Block;
+use tossa_ir::instr::InstData;
+use tossa_ir::{Function, Opcode};
+
+/// One candidate shrinking edit.
+#[derive(Clone, Copy, Debug)]
+enum Edit {
+    /// Remove the instruction at `block.insts[pos]` (never a terminator).
+    DropInst { block: Block, pos: usize },
+    /// Remove argument `k` of the φ at `block.insts[pos]`.
+    DropPhiArg { block: Block, pos: usize, k: usize },
+    /// Replace the `br` terminating `block` by `jump targets[k]`.
+    BranchToJump { block: Block, k: usize },
+}
+
+fn candidates(f: &Function) -> Vec<Edit> {
+    let mut out = Vec::new();
+    for b in f.blocks() {
+        for (pos, i) in f.block_insts(b).enumerate() {
+            let inst = f.inst(i);
+            if inst.is_terminator() {
+                if inst.opcode == Opcode::Br {
+                    out.push(Edit::BranchToJump { block: b, k: 0 });
+                    out.push(Edit::BranchToJump { block: b, k: 1 });
+                }
+                continue;
+            }
+            out.push(Edit::DropInst { block: b, pos });
+            if inst.is_phi() && inst.uses.len() >= 2 {
+                for k in 0..inst.uses.len() {
+                    out.push(Edit::DropPhiArg { block: b, pos, k });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn apply(f: &mut Function, e: Edit) {
+    match e {
+        Edit::DropInst { block, pos } => {
+            let i = f.block(block).insts[pos];
+            f.remove_inst(block, i);
+        }
+        Edit::DropPhiArg { block, pos, k } => {
+            let i = f.block(block).insts[pos];
+            let inst = f.inst_mut(i);
+            inst.uses.remove(k);
+            inst.phi_preds.remove(k);
+        }
+        Edit::BranchToJump { block, k } => {
+            let i = f.terminator(block).expect("candidate site had a br");
+            let target = f.inst(i).targets[k];
+            *f.inst_mut(i) = InstData::new(Opcode::Jump).with_targets(vec![target]);
+        }
+    }
+}
+
+/// Instruction count, the size metric the reducer minimizes.
+pub fn size(f: &Function) -> usize {
+    f.all_insts().count()
+}
+
+/// Statistics of one reduction.
+#[derive(Clone, Copy, Debug)]
+pub struct ReduceStats {
+    /// Instruction count before reduction.
+    pub initial_size: usize,
+    /// Instruction count of the reduced function.
+    pub final_size: usize,
+    /// Edits accepted.
+    pub accepted: usize,
+    /// Candidate edits tried (accepted + rejected).
+    pub tried: usize,
+}
+
+/// Greedily shrinks `f` while `failing` stays true, to a fixpoint.
+///
+/// `failing(&f)` must be true on entry (debug-asserted); the returned
+/// function still satisfies it. Candidates are applied to clones, and
+/// each accepted edit strictly removes an instruction, a φ argument, or
+/// a branch edge, so the loop terminates.
+pub fn reduce(f: &Function, failing: &dyn Fn(&Function) -> bool) -> (Function, ReduceStats) {
+    debug_assert!(failing(f), "reduce() needs a failing input");
+    let mut cur = f.clone();
+    let mut stats = ReduceStats {
+        initial_size: size(f),
+        final_size: 0,
+        accepted: 0,
+        tried: 0,
+    };
+    loop {
+        let mut progressed = false;
+        for e in candidates(&cur) {
+            let mut cand = cur.clone();
+            apply(&mut cand, e);
+            stats.tried += 1;
+            if failing(&cand) {
+                cur = cand;
+                stats.accepted += 1;
+                progressed = true;
+                break; // positions shifted; re-enumerate
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    stats.final_size = size(&cur);
+    (cur, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    fn parse(text: &str) -> Function {
+        parse_function(text, &Machine::dsp32()).unwrap()
+    }
+
+    #[test]
+    fn strips_everything_irrelevant_to_the_predicate() {
+        // The predicate only cares that some `mul` instruction survives;
+        // the reducer must strip the rest of the body around it.
+        let f = parse(
+            "func @r {
+entry:
+  %a, %b = input
+  %c = make 4
+  %d = add %a, %b
+  %e = mul %d, %c
+  %g = sub %e, %a
+  %h = add %g, %g
+  ret %h
+}",
+        );
+        let failing = |f: &Function| f.all_insts().any(|(_, i)| f.inst(i).opcode == Opcode::Mul);
+        let (red, stats) = reduce(&f, &failing);
+        assert!(failing(&red));
+        assert!(stats.final_size < stats.initial_size, "{stats:?}");
+        // Only the mul and possibly its block scaffolding remain.
+        let muls = red
+            .all_insts()
+            .filter(|&(_, i)| red.inst(i).opcode == Opcode::Mul)
+            .count();
+        assert_eq!(muls, 1);
+        assert!(stats.final_size <= 2, "{red}");
+    }
+
+    #[test]
+    fn branch_collapses_to_jump() {
+        let f = parse(
+            "func @b {
+entry:
+  %c = input
+  br %c, l, r
+l:
+  %x = make 1
+  jump m
+r:
+  %y = make 2
+  jump m
+m:
+  %z = phi [l: %x], [r: %y]
+  ret %z
+}",
+        );
+        // Failure = "a make 1 exists" — reachable via the left arm only.
+        let failing = |f: &Function| {
+            f.all_insts()
+                .any(|(_, i)| f.inst(i).opcode == Opcode::Make && f.inst(i).imm == 1)
+        };
+        let (red, stats) = reduce(&f, &failing);
+        assert!(failing(&red));
+        assert!(
+            red.all_insts()
+                .all(|(_, i)| red.inst(i).opcode != Opcode::Br),
+            "{red}"
+        );
+        assert!(stats.accepted > 0);
+    }
+
+    #[test]
+    fn fixpoint_keeps_the_failure() {
+        // Predicate: function still has a φ with two arguments. The
+        // reducer may not drop below it.
+        let f = parse(
+            "func @p {
+entry:
+  %c = input
+  br %c, l, r
+l:
+  %x = make 1
+  jump m
+r:
+  %y = make 2
+  jump m
+m:
+  %z = phi [l: %x], [r: %y]
+  %w = add %z, %z
+  ret %w
+}",
+        );
+        let failing = |f: &Function| {
+            f.all_insts()
+                .any(|(_, i)| f.inst(i).is_phi() && f.inst(i).uses.len() >= 2)
+        };
+        let (red, _) = reduce(&f, &failing);
+        assert!(failing(&red));
+        // The add and ret payloads are droppable.
+        assert!(
+            red.all_insts()
+                .all(|(_, i)| red.inst(i).opcode != Opcode::Add),
+            "{red}"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Tier-1 differential-fuzz smoke: 200 seeded random functions through
+//! every experiment in checked mode (per-pass structural verification
+//! plus differential execution on 8 input vectors per function), with
+//! zero semantic mismatches and zero panics; injected faults must
+//! degrade to the naive translation and surface in the report.
+//!
+//! Fixed seeds keep the run byte-for-byte reproducible; the heavier
+//! exploratory runs live in the `fuzz` binary.
+
+use tossa_bench::checked::{fuzz_suite, run_checked, run_suite_checked, CheckedOptions};
+use tossa_bench::reduce::reduce;
+use tossa_bench::suites::{synth, BenchFunction};
+use tossa_core::chaos::Corruption;
+use tossa_core::coalesce::CoalesceOptions;
+use tossa_core::Experiment;
+
+#[test]
+fn all_experiments_clean_on_200_seeded_functions() {
+    let suite = fuzz_suite(200, 0x5EED);
+    assert_eq!(suite.functions.len(), 200);
+    for bf in &suite.functions {
+        assert_eq!(bf.inputs.len(), 8);
+    }
+    let opts = CoalesceOptions::default();
+    let copts = CheckedOptions::default();
+    for &exp in Experiment::all() {
+        let report = run_suite_checked(&suite, exp, &opts, &copts);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.clean, 200);
+    }
+}
+
+#[test]
+fn injected_faults_degrade_gracefully_on_fuzz_population() {
+    // A smaller population keeps this in tier-1 budget; every corruption
+    // class must be injected somewhere, caught by a structured error,
+    // and every degraded function's naive fallback must still verify.
+    // The paper examples ride along because their swap/lost-copy loops
+    // guarantee a site for the copy-reordering class, which needs a
+    // dependent parallel-copy pair after reconstruction.
+    let mut suite = fuzz_suite(20, 0xC4A05);
+    suite
+        .functions
+        .extend(tossa_bench::suites::paper_examples::examples());
+    let opts = CoalesceOptions::default();
+    for (k, &c) in Corruption::all().iter().enumerate() {
+        let copts = CheckedOptions {
+            chaos: Some(c),
+            chaos_seed: 77 + k as u64,
+            ..Default::default()
+        };
+        let report = run_suite_checked(&suite, Experiment::LphiC, &opts, &copts);
+        assert!(
+            !report.is_clean(),
+            "{c:?} was never injected or never caught"
+        );
+        for r in &report.failures {
+            assert!(
+                r.fallback_error.is_none(),
+                "{c:?} broke the fallback on {}: {:?}",
+                r.function,
+                r.fallback_error
+            );
+        }
+    }
+}
+
+#[test]
+fn reducer_shrinks_a_failing_fuzz_case() {
+    // Small generator settings so the reduction loop (one checked run
+    // per candidate edit) stays cheap.
+    let cfg = synth::SynthConfig {
+        functions: 1,
+        pool: 4,
+        max_depth: 1,
+        body_len: 3,
+    };
+    let bf = synth::generate_function(0xBAD5EED, &cfg);
+    let opts = CoalesceOptions::default();
+    let copts = CheckedOptions {
+        chaos: Some(Corruption::DoubleDef),
+        chaos_seed: 9,
+        ..Default::default()
+    };
+    let failing = |f: &tossa_ir::Function| {
+        let cand = BenchFunction {
+            func: f.clone(),
+            inputs: bf.inputs.clone(),
+        };
+        run_checked(&cand, Experiment::LphiC, &opts, &copts)
+            .error
+            .is_some()
+    };
+    assert!(failing(&bf.func), "chaos found no site on the seed case");
+    let (small, stats) = reduce(&bf.func, &failing);
+    assert!(failing(&small), "reduction lost the failure");
+    assert!(
+        stats.final_size < stats.initial_size,
+        "nothing reduced: {stats:?}"
+    );
+}

@@ -1,0 +1,334 @@
+//! Fault injection: deliberate IR/pinning corruptions for verifier
+//! validation.
+//!
+//! Each [`Corruption`] class models a realistic compiler bug — a pass
+//! dropping a φ argument, a coalescer merging interfering webs, a copy
+//! sequentializer emitting moves in the wrong order — and each class is
+//! paired (see [`Corruption::caught_by`]) with the verifier that must
+//! catch it. Tests inject every class and assert the corresponding
+//! structured [`VerifyError`](crate::error::VerifyError) is produced,
+//! proving the checked pipeline's safety net actually trips.
+
+use crate::interfere::{EnvHandles, InterferenceMode};
+use tossa_analysis::AnalysisCache;
+use tossa_ir::ids::Var;
+use tossa_ir::instr::InstData;
+use tossa_ir::rng::SplitMix64;
+use tossa_ir::{Function, Opcode};
+
+/// A class of deliberate corruption.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Corruption {
+    /// Remove one argument (and its predecessor entry) from a φ with at
+    /// least two arguments — a broken SSA-repair or edge-split pass.
+    DropPhiArg,
+    /// Add a second definition of an already-defined variable — a pass
+    /// that forgot to rename.
+    DoubleDef,
+    /// Replace one instruction use with a fresh, never-defined variable —
+    /// a dangling reference after aggressive rewriting.
+    UndefinedUse,
+    /// Pin two strongly-interfering variables to one fresh resource — a
+    /// coalescer merging webs it must keep apart (Fig. 2 / Fig. 4 case 6).
+    MergeInterferingWebs,
+    /// Swap two adjacent moves where the first reads the variable the
+    /// second overwrites — a sequentializer ignoring the lost-copy
+    /// read-before-overwrite ordering.
+    ReorderParallelCopy,
+}
+
+/// Which verifier must catch a corruption class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Catcher {
+    /// [`tossa_ir::Function::validate`].
+    Structural,
+    /// [`tossa_ssa::verify_ssa`].
+    Ssa,
+    /// [`crate::pinning::check_pinning`].
+    Pin,
+    /// Differential execution against the pre-corruption function.
+    Differential,
+}
+
+impl Corruption {
+    /// All corruption classes.
+    pub fn all() -> &'static [Corruption] {
+        use Corruption::*;
+        &[
+            DropPhiArg,
+            DoubleDef,
+            UndefinedUse,
+            MergeInterferingWebs,
+            ReorderParallelCopy,
+        ]
+    }
+
+    /// The verifier responsible for catching this class.
+    pub fn caught_by(self) -> Catcher {
+        match self {
+            Corruption::DropPhiArg => Catcher::Structural,
+            Corruption::DoubleDef | Corruption::UndefinedUse => Catcher::Ssa,
+            Corruption::MergeInterferingWebs => Catcher::Pin,
+            Corruption::ReorderParallelCopy => Catcher::Differential,
+        }
+    }
+}
+
+/// Injects corruption `c` into `f`, choosing among eligible sites with
+/// `rng`. Returns `false` when the function offers no site for this
+/// class (e.g. no multi-argument φ), leaving `f` untouched.
+pub fn inject(f: &mut Function, c: Corruption, rng: &mut SplitMix64) -> bool {
+    match c {
+        Corruption::DropPhiArg => drop_phi_arg(f, rng),
+        Corruption::DoubleDef => double_def(f, rng),
+        Corruption::UndefinedUse => undefined_use(f, rng),
+        Corruption::MergeInterferingWebs => merge_interfering_webs(f, rng),
+        Corruption::ReorderParallelCopy => reorder_parallel_copy(f, rng),
+    }
+}
+
+fn pick<T: Copy>(rng: &mut SplitMix64, items: &[T]) -> Option<T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(items[rng.random_range(0..items.len())])
+    }
+}
+
+fn drop_phi_arg(f: &mut Function, rng: &mut SplitMix64) -> bool {
+    let sites: Vec<_> = f
+        .all_insts()
+        .filter(|&(_, i)| f.inst(i).is_phi() && f.inst(i).uses.len() >= 2)
+        .map(|(_, i)| i)
+        .collect();
+    let Some(i) = pick(rng, &sites) else {
+        return false;
+    };
+    let k = rng.random_range(0..f.inst(i).uses.len());
+    let data = f.inst_mut(i);
+    data.uses.remove(k);
+    data.phi_preds.remove(k);
+    true
+}
+
+fn double_def(f: &mut Function, rng: &mut SplitMix64) -> bool {
+    let defined: Vec<Var> = f
+        .all_insts()
+        .flat_map(|(_, i)| f.inst(i).defs.clone())
+        .map(|d| d.var)
+        .collect();
+    let Some(v) = pick(rng, &defined) else {
+        return false;
+    };
+    let blocks: Vec<_> = f.blocks().collect();
+    let b = pick(rng, &blocks).expect("function has blocks");
+    // Before the terminator, after any φs.
+    let at = f
+        .block(b)
+        .insts
+        .len()
+        .saturating_sub(1)
+        .max(f.first_non_phi(b));
+    f.insert_inst(
+        b,
+        at,
+        InstData::new(Opcode::Make)
+            .with_defs(vec![v.into()])
+            .with_imm(0),
+    );
+    true
+}
+
+fn undefined_use(f: &mut Function, rng: &mut SplitMix64) -> bool {
+    let sites: Vec<_> = f
+        .all_insts()
+        .filter(|&(_, i)| !f.inst(i).is_phi() && !f.inst(i).uses.is_empty())
+        .map(|(_, i)| i)
+        .collect();
+    let Some(i) = pick(rng, &sites) else {
+        return false;
+    };
+    let ghost = f.new_var("chaos_ghost");
+    let k = rng.random_range(0..f.inst(i).uses.len());
+    f.inst_mut(i).uses[k].var = ghost;
+    true
+}
+
+fn merge_interfering_webs(f: &mut Function, rng: &mut SplitMix64) -> bool {
+    let pairs: Vec<(Var, Var)> = {
+        let mut cache = AnalysisCache::new();
+        let handles = EnvHandles::from_cache(f, &mut cache);
+        let env = handles.env(f, InterferenceMode::Exact);
+        let unpinned: Vec<Var> = f.vars().filter(|&v| f.var(v).pin.is_none()).collect();
+        let mut pairs = Vec::new();
+        for (k, &x) in unpinned.iter().enumerate() {
+            for &y in &unpinned[k + 1..] {
+                if env.strongly_interfere(x, y) {
+                    pairs.push((x, y));
+                }
+            }
+        }
+        pairs
+    };
+    let Some((x, y)) = pick(rng, &pairs) else {
+        return false;
+    };
+    let r = f.resources.new_virt("chaos_web");
+    f.var_mut(x).pin = Some(r);
+    f.var_mut(y).pin = Some(r);
+    true
+}
+
+fn reorder_parallel_copy(f: &mut Function, rng: &mut SplitMix64) -> bool {
+    // Adjacent move pairs where the first reads the variable the second
+    // overwrites: correct sequentialization ordered the read before the
+    // overwrite, so swapping makes the first move read the new value.
+    let mut sites = Vec::new();
+    for b in f.blocks() {
+        let insts: Vec<_> = f.block_insts(b).collect();
+        for w in insts.windows(2) {
+            let (a, c) = (f.inst(w[0]), f.inst(w[1]));
+            if a.opcode.is_move()
+                && c.opcode.is_move()
+                && a.uses[0].var == c.defs[0].var
+                && a.defs[0].var != c.defs[0].var
+            {
+                sites.push((b, w[0], w[1]));
+            }
+        }
+    }
+    let Some((b, i, j)) = pick(rng, &sites) else {
+        return false;
+    };
+    let list = &mut f.block_mut(b).insts;
+    let pi = list.iter().position(|&x| x == i).expect("site in block");
+    let pj = list.iter().position(|&x| x == j).expect("site in block");
+    list.swap(pi, pj);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checked::{check_form, IrForm, PassGuard};
+    use crate::error::VerifyError;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    fn parse(text: &str) -> Function {
+        parse_function(text, &Machine::dsp32()).unwrap()
+    }
+
+    /// A function with a multi-argument φ, interfering values, and (after
+    /// reconstruction) a dependent copy chain — a site for every class.
+    fn specimen() -> Function {
+        parse(
+            "func @chaos {
+entry:
+  %a, %b, %n = input
+  %z = make 0
+  jump head
+head:
+  %x = phi [entry: %a], [latch: %y]
+  %y = phi [entry: %b], [latch: %x]
+  %i = phi [entry: %z], [latch: %i2]
+  %i2 = addi %i, 1
+  %c = cmplt %i2, %n
+  br %c, latch, exit
+latch:
+  jump head
+exit:
+  ret %x, %y
+}",
+        )
+    }
+
+    #[test]
+    fn every_class_has_a_site_on_the_specimen() {
+        for (k, &c) in Corruption::all().iter().enumerate() {
+            let mut f = specimen();
+            if c == Corruption::ReorderParallelCopy {
+                crate::reconstruct::out_of_pinned_ssa(&mut f);
+            }
+            let mut rng = SplitMix64::seed_from_u64(k as u64);
+            assert!(inject(&mut f, c, &mut rng), "{c:?} found no site");
+        }
+    }
+
+    #[test]
+    fn drop_phi_arg_caught_by_validate() {
+        let mut f = specimen();
+        let mut rng = SplitMix64::seed_from_u64(1);
+        assert!(inject(&mut f, Corruption::DropPhiArg, &mut rng));
+        let e = check_form(&f, IrForm::Ssa).unwrap_err();
+        assert!(matches!(e, VerifyError::Structural(_)), "{e}");
+    }
+
+    #[test]
+    fn double_def_caught_by_verify_ssa() {
+        let mut f = specimen();
+        let mut rng = SplitMix64::seed_from_u64(2);
+        assert!(inject(&mut f, Corruption::DoubleDef, &mut rng));
+        let e = check_form(&f, IrForm::Ssa).unwrap_err();
+        assert!(matches!(e, VerifyError::Ssa(_)), "{e}");
+    }
+
+    #[test]
+    fn undefined_use_caught_by_verify_ssa() {
+        let mut f = specimen();
+        let mut rng = SplitMix64::seed_from_u64(3);
+        assert!(inject(&mut f, Corruption::UndefinedUse, &mut rng));
+        let e = check_form(&f, IrForm::Ssa).unwrap_err();
+        assert!(matches!(e, VerifyError::Ssa(_)), "{e}");
+    }
+
+    #[test]
+    fn merged_webs_caught_by_check_pinning() {
+        let mut f = specimen();
+        let mut rng = SplitMix64::seed_from_u64(4);
+        assert!(inject(&mut f, Corruption::MergeInterferingWebs, &mut rng));
+        let e = check_form(&f, IrForm::PinnedSsa).unwrap_err();
+        assert!(matches!(e, VerifyError::Pin(_)), "{e}");
+    }
+
+    #[test]
+    fn reordered_copies_caught_by_differential_execution() {
+        // The swap loop's latch copies form a dependency chain after
+        // sequentialization; reordering them changes the outputs.
+        let mut f = specimen();
+        crate::reconstruct::out_of_pinned_ssa(&mut f);
+        let inputs: Vec<Vec<i64>> = vec![vec![7, 9, 1], vec![7, 9, 2], vec![7, 9, 5]];
+        let guard = PassGuard::before(&f, &inputs, 100_000);
+        let mut rng = SplitMix64::seed_from_u64(5);
+        assert!(inject(&mut f, Corruption::ReorderParallelCopy, &mut rng));
+        let e = guard.check(&f, IrForm::NonSsa).unwrap_err();
+        assert!(
+            matches!(e, VerifyError::Divergence { .. }),
+            "expected divergence, got {e}"
+        );
+    }
+
+    #[test]
+    fn no_site_leaves_the_function_untouched() {
+        let f0 = parse("func @tiny {\nentry:\n  %a = input\n  ret %a\n}");
+        for (k, &c) in [Corruption::DropPhiArg, Corruption::ReorderParallelCopy]
+            .iter()
+            .enumerate()
+        {
+            let mut f = f0.clone();
+            let mut rng = SplitMix64::seed_from_u64(k as u64);
+            assert!(!inject(&mut f, c, &mut rng), "{c:?}");
+            assert_eq!(f.to_string(), f0.to_string());
+        }
+    }
+
+    #[test]
+    fn catcher_map_covers_all_classes() {
+        use std::collections::HashSet;
+        let catchers: HashSet<_> = Corruption::all()
+            .iter()
+            .map(|c| format!("{:?}", c.caught_by()))
+            .collect();
+        assert_eq!(catchers.len(), 4, "all four verifiers exercised");
+    }
+}

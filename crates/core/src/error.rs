@@ -1,0 +1,288 @@
+//! The checked-mode error taxonomy.
+//!
+//! Checked pipeline mode (see [`crate::checked`]) converts invariant
+//! violations that would otherwise panic — or worse, silently miscompile
+//! — into structured values that a suite runner can collect per function.
+//! The taxonomy wraps the leaf error types each crate already defines
+//! (`ParseError`, `ValidateError`, `SsaError`, `PinError`,
+//! `ParallelCopyError`, `StaleAnalysis`, `Trap`) so a diagnostic always
+//! names the pass that failed and the invariant it violated.
+
+use crate::pinning::PinError;
+use std::fmt;
+use tossa_analysis::StaleAnalysis;
+use tossa_ir::function::ValidateError;
+use tossa_ir::ids::Block;
+use tossa_ir::interp::Trap;
+use tossa_ir::parallel_copy::ParallelCopyError;
+use tossa_ir::parse::ParseError;
+use tossa_ssa::verify::SsaError;
+
+/// A post-pass verification failure: the function left by a pass violates
+/// a structural invariant or diverges from the pre-pass semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// CFG well-formedness violation ([`tossa_ir::Function::validate`]).
+    Structural(ValidateError),
+    /// SSA invariant violation ([`tossa_ssa::verify_ssa`]).
+    Ssa(SsaError),
+    /// Pin-consistency violation ([`crate::pinning::check_pinning`]).
+    Pin(PinError),
+    /// The [`tossa_analysis::AnalysisCache`] served (and refreshed) a
+    /// memoized analysis after a mutation that never invalidated it.
+    StaleAnalysis(StaleAnalysis),
+    /// A φ survived translation to non-SSA form.
+    ResidualPhi {
+        /// The block still holding a φ.
+        block: Block,
+    },
+    /// Differential execution: the post-pass function trapped where the
+    /// pre-pass function ran to completion.
+    Trap {
+        /// The input vector that exposed the trap.
+        inputs: Vec<i64>,
+        /// The trap raised by the post-pass function.
+        trap: Trap,
+    },
+    /// Differential execution: the post-pass outputs differ from the
+    /// pre-pass outputs on some input vector.
+    Divergence {
+        /// The input vector that exposed the divergence.
+        inputs: Vec<i64>,
+        /// Outputs of the pre-pass function.
+        expected: Vec<i64>,
+        /// Outputs of the post-pass function.
+        got: Vec<i64>,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Structural(e) => write!(f, "structural: {e}"),
+            VerifyError::Ssa(e) => write!(f, "ssa: {e}"),
+            VerifyError::Pin(e) => write!(f, "pinning: {e}"),
+            VerifyError::StaleAnalysis(e) => write!(f, "analysis cache: {e}"),
+            VerifyError::ResidualPhi { block } => {
+                write!(f, "block {block} still holds a φ after out-of-SSA")
+            }
+            VerifyError::Trap { inputs, trap } => {
+                write!(f, "traps on {inputs:?}: {trap}")
+            }
+            VerifyError::Divergence {
+                inputs,
+                expected,
+                got,
+            } => write!(f, "on {inputs:?}: outputs {got:?} != expected {expected:?}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VerifyError::Structural(e) => Some(e),
+            VerifyError::Ssa(e) => Some(e),
+            VerifyError::Pin(e) => Some(e),
+            VerifyError::StaleAnalysis(e) => Some(e),
+            VerifyError::Trap { trap, .. } => Some(trap),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidateError> for VerifyError {
+    fn from(e: ValidateError) -> VerifyError {
+        VerifyError::Structural(e)
+    }
+}
+
+impl From<SsaError> for VerifyError {
+    fn from(e: SsaError) -> VerifyError {
+        VerifyError::Ssa(e)
+    }
+}
+
+impl From<PinError> for VerifyError {
+    fn from(e: PinError) -> VerifyError {
+        VerifyError::Pin(e)
+    }
+}
+
+impl From<StaleAnalysis> for VerifyError {
+    fn from(e: StaleAnalysis) -> VerifyError {
+        VerifyError::StaleAnalysis(e)
+    }
+}
+
+/// A coalescing/pinning pass produced a pinning the Fig. 4 checker
+/// rejects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoalesceError {
+    /// The pinning after coalescing violates a Fig. 4 rule.
+    InvalidPinning(PinError),
+}
+
+impl fmt::Display for CoalesceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoalesceError::InvalidPinning(e) => write!(f, "coalescer produced {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoalesceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoalesceError::InvalidPinning(e) => Some(e),
+        }
+    }
+}
+
+/// The out-of-pinned-SSA translation hit an ill-formed intermediate.
+///
+/// On `Err` the function may be partially rewritten and must be
+/// discarded (checked mode re-clones from the pre-pass snapshot).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReconstructError {
+    /// A per-edge or per-instruction parallel copy group was ill-formed
+    /// (two writes to one destination from different sources — the
+    /// symptom of an incorrect pinning upstream).
+    ParallelCopy(ParallelCopyError),
+}
+
+impl fmt::Display for ReconstructError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconstructError::ParallelCopy(e) => write!(f, "reconstruct: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReconstructError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReconstructError::ParallelCopy(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParallelCopyError> for ReconstructError {
+    fn from(e: ParallelCopyError) -> ReconstructError {
+        ReconstructError::ParallelCopy(e)
+    }
+}
+
+/// Top-level error of one checked pipeline run on one function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TossaError {
+    /// The input did not parse.
+    Parse(ParseError),
+    /// A pass left the function in a state a verifier rejects, or its
+    /// output diverged from the pre-pass semantics.
+    Verify {
+        /// Name of the pass whose output failed verification.
+        pass: &'static str,
+        /// The verification failure.
+        error: VerifyError,
+    },
+    /// A coalescing pass produced an incorrect pinning.
+    Coalesce(CoalesceError),
+    /// Out-of-pinned-SSA translation failed.
+    Reconstruct(ReconstructError),
+    /// A pass panicked (caught at the pipeline boundary); the panic
+    /// payload is preserved as a message.
+    Panic {
+        /// Name of the pass (or stage) that panicked.
+        pass: &'static str,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl fmt::Display for TossaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TossaError::Parse(e) => write!(f, "parse: {e}"),
+            TossaError::Verify { pass, error } => write!(f, "after {pass}: {error}"),
+            TossaError::Coalesce(e) => write!(f, "{e}"),
+            TossaError::Reconstruct(e) => write!(f, "{e}"),
+            TossaError::Panic { pass, message } => write!(f, "panic in {pass}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TossaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TossaError::Parse(e) => Some(e),
+            TossaError::Verify { error, .. } => Some(error),
+            TossaError::Coalesce(e) => Some(e),
+            TossaError::Reconstruct(e) => Some(e),
+            TossaError::Panic { .. } => None,
+        }
+    }
+}
+
+impl From<ParseError> for TossaError {
+    fn from(e: ParseError) -> TossaError {
+        TossaError::Parse(e)
+    }
+}
+
+impl From<CoalesceError> for TossaError {
+    fn from(e: CoalesceError) -> TossaError {
+        TossaError::Coalesce(e)
+    }
+}
+
+impl From<ReconstructError> for TossaError {
+    fn from(e: ReconstructError) -> TossaError {
+        TossaError::Reconstruct(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_pass() {
+        let e = TossaError::Verify {
+            pass: "pinning_phi",
+            error: VerifyError::Pin(PinError {
+                message: "case 6: v1 and v2 pinned to $r strongly interfere".into(),
+            }),
+        };
+        let s = e.to_string();
+        assert!(s.contains("pinning_phi"), "{s}");
+        assert!(s.contains("case 6"), "{s}");
+    }
+
+    #[test]
+    fn sources_chain_to_the_leaf() {
+        use std::error::Error;
+        let e = TossaError::Verify {
+            pass: "reconstruct",
+            error: VerifyError::Ssa(SsaError {
+                message: "v3 has multiple definitions".into(),
+            }),
+        };
+        let leaf = e.source().unwrap().source().unwrap();
+        assert!(leaf.to_string().contains("multiple definitions"));
+    }
+
+    #[test]
+    fn divergence_display_shows_both_sides() {
+        let e = VerifyError::Divergence {
+            inputs: vec![1, 2],
+            expected: vec![3],
+            got: vec![4],
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("[1, 2]") && s.contains("[3]") && s.contains("[4]"),
+            "{s}"
+        );
+    }
+}

@@ -18,6 +18,10 @@
 //!   (out-of-pinned-SSA) with repair copies, redundant-move avoidance and
 //!   per-edge parallel copies;
 //! * [`pipeline`] — the paper's Table 1 experiment matrix;
+//! * [`error`] / [`checked`] / [`chaos`] — the checked-mode safety net:
+//!   the structured error taxonomy, per-pass invariant + differential
+//!   verification ([`PassGuard`]), and the fault-injection classes that
+//!   validate the verifiers;
 //! * [`exhaustive`] — a brute-force optimal-pinning oracle for small
 //!   functions (the problem is NP-complete, \[LIM3\]), used to bound the
 //!   heuristic's suboptimality in tests.
@@ -58,15 +62,20 @@
 #![warn(missing_docs)]
 
 pub mod affinity;
+pub mod chaos;
+pub mod checked;
 pub mod coalesce;
 pub mod collect;
+pub mod error;
 pub mod exhaustive;
 pub mod interfere;
 pub mod pinning;
 pub mod pipeline;
 pub mod reconstruct;
 
+pub use checked::{check_form, IrForm, PassGuard};
 pub use coalesce::{program_pinning, program_pinning_cached, CoalesceOptions, CoalesceStats};
+pub use error::{CoalesceError, ReconstructError, TossaError, VerifyError};
 pub use interfere::InterferenceMode;
 pub use pipeline::Experiment;
-pub use reconstruct::{out_of_pinned_ssa, ReconstructStats};
+pub use reconstruct::{out_of_pinned_ssa, out_of_pinned_ssa_checked, ReconstructStats};

@@ -25,10 +25,11 @@
 //! variable and all φs and pins are erased: the result is ordinary
 //! (non-SSA) machine code.
 
+use crate::error::ReconstructError;
 use std::collections::{BTreeSet, HashMap};
 use tossa_ir::ids::{Block, EntityVec, Inst, Resource, Var};
 use tossa_ir::instr::InstData;
-use tossa_ir::parallel_copy::sequentialize;
+use tossa_ir::parallel_copy::{sequentialize, sequentialize_checked};
 use tossa_ir::{Function, Opcode};
 
 /// Copy counts produced by one translation.
@@ -268,6 +269,24 @@ impl Engine {
 /// (see [`crate::pinning::check_pinning`]). The function's CFG is edited
 /// (edge splitting); all φs and pins are gone afterwards.
 pub fn out_of_pinned_ssa(f: &mut Function) -> ReconstructStats {
+    match translate(f, false) {
+        Ok(stats) => stats,
+        Err(e) => unreachable!("unchecked translation cannot fail: {e}"),
+    }
+}
+
+/// [`out_of_pinned_ssa`] for untrusted pinnings: an ill-formed parallel
+/// copy group (the symptom of an incorrect pinning upstream) is reported
+/// instead of asserted.
+///
+/// # Errors
+/// Returns [`ReconstructError::ParallelCopy`] on a duplicate-destination
+/// copy group; `f` is then partially rewritten and must be discarded.
+pub fn out_of_pinned_ssa_checked(f: &mut Function) -> Result<ReconstructStats, ReconstructError> {
+    translate(f, true)
+}
+
+fn translate(f: &mut Function, checked: bool) -> Result<ReconstructStats, ReconstructError> {
     let mut stats = ReconstructStats {
         edges_split: split_edges_for_phis(f),
         ..Default::default()
@@ -439,11 +458,20 @@ pub fn out_of_pinned_ssa(f: &mut Function) -> ReconstructStats {
             }
             stats.abi_copies += n_abi;
             if !group.is_empty() {
-                let seq = sequentialize(&group, || {
-                    temp_counter += 1;
-                    stats.temp_copies += 1;
-                    f.new_var(format!("pcopy{temp_counter}"))
-                });
+                let seq = if checked {
+                    sequentialize_checked(&group, || {
+                        temp_counter += 1;
+                        stats.temp_copies += 1;
+                        f.new_var(format!("pcopy{temp_counter}"))
+                    })
+                    .map_err(ReconstructError::ParallelCopy)?
+                } else {
+                    sequentialize(&group, || {
+                        temp_counter += 1;
+                        stats.temp_copies += 1;
+                        f.new_var(format!("pcopy{temp_counter}"))
+                    })
+                };
                 for (d, s) in seq {
                     let mov = f.alloc_inst(InstData::mov(d, s));
                     new_list.push(mov);
@@ -525,7 +553,7 @@ pub fn out_of_pinned_ssa(f: &mut Function) -> ReconstructStats {
     for v in f.vars().collect::<Vec<_>>() {
         f.var_mut(v).pin = None;
     }
-    stats
+    Ok(stats)
 }
 
 /// Builds the parallel copy group materializing the φs of `b`'s
@@ -921,6 +949,36 @@ entry:
             psels.iter().map(|&i| f.inst(i).defs[0].var).collect();
         assert_eq!(names.len(), 1, "whole chain in one resource\n{f}");
         check_equiv(&orig, &f, &[&[1, 10, 1, 20], &[0, 10, 0, 20]]);
+    }
+
+    #[test]
+    fn checked_reconstruct_reports_ill_formed_copy_group() {
+        // Two φs of one block forced into one resource with different
+        // arguments: the per-edge parallel copy writes the resource
+        // twice. The unchecked path would assert; the checked path
+        // reports a structured error.
+        let mut f = parse(
+            "func @ill {
+entry:
+  %a = make 1
+  %b = make 2
+  jump m
+m:
+  %x = phi [entry: %a]
+  %y = phi [entry: %b]
+  ret %x, %y
+}",
+        );
+        let r = f.resources.new_virt("bad");
+        for name in ["x", "y"] {
+            let v = f.vars().find(|&v| f.var(v).name == name).unwrap();
+            f.var_mut(v).pin = Some(r);
+        }
+        let e = out_of_pinned_ssa_checked(&mut f).unwrap_err();
+        assert!(
+            matches!(e, ReconstructError::ParallelCopy(_)),
+            "expected parallel copy error, got {e}"
+        );
     }
 
     #[test]

@@ -9,6 +9,39 @@
 //! breaking cycles with a temporary.
 
 use crate::ids::Var;
+use std::fmt;
+
+/// An ill-formed parallel copy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParallelCopyError {
+    /// Two moves write one destination from different sources; the
+    /// parallel semantics would be ambiguous.
+    DuplicateDestination {
+        /// The destination written twice.
+        dst: Var,
+        /// Source of the first conflicting move.
+        first_src: Var,
+        /// Source of the second conflicting move.
+        second_src: Var,
+    },
+}
+
+impl fmt::Display for ParallelCopyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParallelCopyError::DuplicateDestination {
+                dst,
+                first_src,
+                second_src,
+            } => write!(
+                f,
+                "parallel copy writes {dst} from both {first_src} and {second_src}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParallelCopyError {}
 
 /// Sequentializes the parallel copy `moves` (pairs `(dst, src)`, all
 /// `dst` distinct) into an equivalent ordered list of copies.
@@ -21,18 +54,64 @@ use crate::ids::Var;
 /// holds the value `src` had before the first move.
 ///
 /// # Panics
-/// Panics (in debug builds) if two moves share a destination.
+/// Panics (in debug builds) if two moves share a destination with
+/// different sources; in release builds the later conflicting move is
+/// dropped. Untrusted inputs should go through
+/// [`sequentialize_checked`], which reports the conflict instead.
 pub fn sequentialize(moves: &[(Var, Var)], mut fresh_temp: impl FnMut() -> Var) -> Vec<(Var, Var)> {
-    #[cfg(debug_assertions)]
-    {
-        let mut dsts: Vec<Var> = moves.iter().map(|&(d, _)| d).collect();
-        dsts.sort();
-        let n = dsts.len();
-        dsts.dedup();
-        debug_assert_eq!(dsts.len(), n, "parallel copy with duplicate destination");
+    match sequentialize_checked(moves, &mut fresh_temp) {
+        Ok(seq) => seq,
+        Err(e) => {
+            debug_assert!(false, "{e}");
+            // First-conflicting-move-wins keeps release behaviour
+            // deterministic without a panic path.
+            let mut seen: Vec<Var> = Vec::new();
+            let deduped: Vec<(Var, Var)> = moves
+                .iter()
+                .copied()
+                .filter(|&(d, _)| {
+                    if seen.contains(&d) {
+                        false
+                    } else {
+                        seen.push(d);
+                        true
+                    }
+                })
+                .collect();
+            sequentialize_checked(&deduped, fresh_temp).unwrap_or_default()
+        }
+    }
+}
+
+/// [`sequentialize`] for untrusted inputs: reports an ill-formed
+/// parallel copy instead of asserting.
+///
+/// Exact duplicate moves (same destination *and* source) are merged;
+/// self-copies are dropped.
+///
+/// # Errors
+/// Returns [`ParallelCopyError::DuplicateDestination`] when two moves
+/// write one destination from different sources.
+pub fn sequentialize_checked(
+    moves: &[(Var, Var)],
+    mut fresh_temp: impl FnMut() -> Var,
+) -> Result<Vec<(Var, Var)>, ParallelCopyError> {
+    let mut unique: Vec<(Var, Var)> = Vec::with_capacity(moves.len());
+    for &(d, s) in moves {
+        match unique.iter().find(|&&(ud, _)| ud == d) {
+            Some(&(_, us)) if us != s => {
+                return Err(ParallelCopyError::DuplicateDestination {
+                    dst: d,
+                    first_src: us,
+                    second_src: s,
+                });
+            }
+            Some(_) => {} // exact duplicate: merge
+            None => unique.push((d, s)),
+        }
     }
 
-    let mut pending: Vec<(Var, Var)> = moves.iter().copied().filter(|&(d, s)| d != s).collect();
+    let mut pending: Vec<(Var, Var)> = unique.into_iter().filter(|&(d, s)| d != s).collect();
     let mut out = Vec::with_capacity(pending.len());
 
     while !pending.is_empty() {
@@ -70,7 +149,7 @@ pub fn sequentialize(moves: &[(Var, Var)], mut fresh_temp: impl FnMut() -> Var) 
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Applies a list of sequential copies to an environment lookup, returning
@@ -184,5 +263,85 @@ mod tests {
     fn cycle_plus_chain() {
         // chain into a cycle: 5 <- 1, and cycle 1 <-> 2.
         check(&[(5, 1), (1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn checked_rejects_conflicting_duplicate_destination() {
+        let moves = [(Var::new(1), Var::new(2)), (Var::new(1), Var::new(3))];
+        let e = sequentialize_checked(&moves, || unreachable!()).unwrap_err();
+        assert_eq!(
+            e,
+            ParallelCopyError::DuplicateDestination {
+                dst: Var::new(1),
+                first_src: Var::new(2),
+                second_src: Var::new(3),
+            }
+        );
+        assert!(e.to_string().contains("v1"), "{e}");
+    }
+
+    #[test]
+    fn checked_merges_exact_duplicates_and_self_copies() {
+        // The same move twice is not a conflict, and self-copies vanish
+        // even when duplicated.
+        let moves = [
+            (Var::new(1), Var::new(2)),
+            (Var::new(1), Var::new(2)),
+            (Var::new(3), Var::new(3)),
+            (Var::new(3), Var::new(3)),
+        ];
+        let seq = sequentialize_checked(&moves, || unreachable!()).unwrap();
+        assert_eq!(seq, vec![(Var::new(1), Var::new(2))]);
+    }
+
+    #[test]
+    fn checked_swap_cycle_and_lost_copy() {
+        // Swap: exactly one temp.
+        let mut temps = 0;
+        let seq = sequentialize_checked(
+            &[(Var::new(1), Var::new(2)), (Var::new(2), Var::new(1))],
+            || {
+                temps += 1;
+                Var::new(90 + temps)
+            },
+        )
+        .unwrap();
+        assert_eq!(temps, 1);
+        let env = eval_sequential(&seq, |v| v.index() as i64);
+        assert_eq!(env[&Var::new(1)], 2);
+        assert_eq!(env[&Var::new(2)], 1);
+        // Three-cycle.
+        let seq = sequentialize_checked(
+            &[
+                (Var::new(1), Var::new(2)),
+                (Var::new(2), Var::new(3)),
+                (Var::new(3), Var::new(1)),
+            ],
+            || Var::new(99),
+        )
+        .unwrap();
+        let env = eval_sequential(&seq, |v| v.index() as i64);
+        assert_eq!(env[&Var::new(3)], 1);
+        // Lost-copy shape: the chain out of the cycle reads the old value.
+        let seq = sequentialize_checked(
+            &[(Var::new(5), Var::new(1)), (Var::new(1), Var::new(2))],
+            || unreachable!("no cycle"),
+        )
+        .unwrap();
+        assert_eq!(
+            seq,
+            vec![(Var::new(5), Var::new(1)), (Var::new(1), Var::new(2))]
+        );
+    }
+
+    #[test]
+    fn unchecked_release_fallback_is_first_wins() {
+        // In release builds `sequentialize` must not panic on a duplicate
+        // destination; debug builds assert instead.
+        if cfg!(not(debug_assertions)) {
+            let moves = [(Var::new(1), Var::new(2)), (Var::new(1), Var::new(3))];
+            let seq = sequentialize(&moves, || unreachable!());
+            assert_eq!(seq, vec![(Var::new(1), Var::new(2))]);
+        }
     }
 }

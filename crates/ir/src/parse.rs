@@ -23,18 +23,39 @@ use crate::opcode::Opcode;
 use std::collections::HashMap;
 use std::fmt;
 
-/// A parse failure, with a 1-based line number.
+/// A parse failure, with a 1-based line number, the column of the
+/// offending token (0 when unknown), and the token text itself.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     /// Line on which the error was detected.
     pub line: usize,
+    /// 1-based column of the offending token within the line; 0 when the
+    /// error is not attributable to a single token.
+    pub col: usize,
+    /// The offending token, when one exists.
+    pub token: String,
     /// Description of the problem.
     pub message: String,
 }
 
+impl ParseError {
+    fn at(line: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            col: 0,
+            token: String::new(),
+            message: message.into(),
+        }
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.col > 0 {
+            write!(f, "line {}:{}: {}", self.line, self.col, self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -47,12 +68,25 @@ struct Parser<'a> {
     virt_res: HashMap<String, Resource>,
     machine: &'a Machine,
     line: usize,
+    line_text: String,
 }
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError::at(self.line, message))
+    }
+
+    /// An error attributed to `token`, with its column located in the
+    /// current source line.
+    fn err_tok<T>(&self, token: &str, message: impl Into<String>) -> Result<T, ParseError> {
         Err(ParseError {
             line: self.line,
+            col: if token.is_empty() {
+                0
+            } else {
+                self.line_text.find(token).map_or(0, |p| p + 1)
+            },
+            token: token.to_string(),
             message: message.into(),
         })
     }
@@ -93,7 +127,7 @@ impl<'a> Parser<'a> {
             let name = self.machine.reg_name(reg).to_string();
             Ok(self.func.resources.phys(reg, &name))
         } else {
-            self.err(format!("unknown resource `{token}`"))
+            self.err_tok(token, format!("unknown resource `{token}`"))
         }
     }
 
@@ -120,7 +154,7 @@ impl<'a> Parser<'a> {
             };
             v
         } else {
-            return self.err(format!("expected operand, found `{base}`"));
+            return self.err_tok(base, format!("expected operand, found `{base}`"));
         };
         let pin = match pin {
             Some(p) => Some(self.resource_for(p)?),
@@ -132,7 +166,7 @@ impl<'a> Parser<'a> {
     fn block_ref(&mut self, token: &str) -> Result<Block, ParseError> {
         match self.blocks.get(token) {
             Some(&b) => Ok(b),
-            None => self.err(format!("unknown block label `{token}`")),
+            None => self.err_tok(token, format!("unknown block label `{token}`")),
         }
     }
 
@@ -149,7 +183,7 @@ impl<'a> Parser<'a> {
         };
         match v {
             Ok(v) => Ok(if neg { -v } else { v }),
-            Err(_) => self.err(format!("bad immediate `{token}`")),
+            Err(_) => self.err_tok(token, format!("bad immediate `{token}`")),
         }
     }
 
@@ -165,7 +199,7 @@ impl<'a> Parser<'a> {
         };
         let opcode = match Opcode::from_mnemonic(mnemonic) {
             Some(op) => op,
-            None => return self.err(format!("unknown mnemonic `{mnemonic}`")),
+            None => return self.err_tok(mnemonic, format!("unknown mnemonic `{mnemonic}`")),
         };
         let mut inst = InstData::new(opcode);
 
@@ -185,16 +219,13 @@ impl<'a> Parser<'a> {
                 // [bb: %v], [bb: %v] ...
                 for part in split_commas(tail) {
                     let part = part.trim();
-                    let inner = part
-                        .strip_prefix('[')
-                        .and_then(|p| p.strip_suffix(']'))
-                        .ok_or_else(|| ParseError {
-                            line: self.line,
-                            message: format!("bad phi arg `{part}`"),
-                        })?;
+                    let Some(inner) = part.strip_prefix('[').and_then(|p| p.strip_suffix(']'))
+                    else {
+                        return self.err_tok(part, format!("bad phi arg `{part}`"));
+                    };
                     let (label, val) = match inner.split_once(':') {
                         Some((l, v)) => (l.trim(), v.trim()),
-                        None => return self.err(format!("bad phi arg `{part}`")),
+                        None => return self.err_tok(part, format!("bad phi arg `{part}`")),
                     };
                     let b = self.block_ref(label)?;
                     let op = self.operand(val)?;
@@ -206,7 +237,7 @@ impl<'a> Parser<'a> {
                 for part in split_commas(tail) {
                     let (p, a) = match part.split_once('?') {
                         Some((p, a)) => (p.trim(), a.trim()),
-                        None => return self.err(format!("bad psi arg `{part}`")),
+                        None => return self.err_tok(&part, format!("bad psi arg `{part}`")),
                     };
                     let p = self.operand(p)?;
                     let a = self.operand(a)?;
@@ -217,7 +248,7 @@ impl<'a> Parser<'a> {
             Opcode::Call => {
                 let (callee, args) = match tail.split_once('(') {
                     Some((c, a)) => (c.trim(), a.trim().strip_suffix(')').unwrap_or(a.trim())),
-                    None => return self.err(format!("bad call syntax `{tail}`")),
+                    None => return self.err_tok(tail, format!("bad call syntax `{tail}`")),
                 };
                 inst.callee = Some(callee.to_string());
                 for tok in split_commas(args) {
@@ -231,7 +262,13 @@ impl<'a> Parser<'a> {
             Opcode::Br => {
                 let parts: Vec<String> = split_commas(tail);
                 if parts.len() != 3 {
-                    return self.err("br needs `cond, then, else`");
+                    return self.err_tok(
+                        mnemonic,
+                        format!(
+                            "br needs `cond, then, else`, found {} operands",
+                            parts.len()
+                        ),
+                    );
                 }
                 inst.uses.push(self.operand(&parts[0])?);
                 let t0 = self.block_ref(&parts[1])?;
@@ -247,7 +284,13 @@ impl<'a> Parser<'a> {
             Opcode::More | Opcode::AddImm | Opcode::AutoAdd => {
                 let parts: Vec<String> = split_commas(tail);
                 if parts.len() != 2 {
-                    return self.err(format!("{mnemonic} needs `use, imm`"));
+                    return self.err_tok(
+                        mnemonic,
+                        format!(
+                            "{mnemonic} needs `use, imm`, found {} operands",
+                            parts.len()
+                        ),
+                    );
                 }
                 inst.uses.push(self.operand(&parts[0])?);
                 inst.imm = self.imm(&parts[1])?;
@@ -306,10 +349,7 @@ pub fn parse_function(text: &str, machine: &Machine) -> Result<Function, ParseEr
             }
         }
     }
-    let name = name.ok_or(ParseError {
-        line: 1,
-        message: "missing `func @name {`".into(),
-    })?;
+    let name = name.ok_or_else(|| ParseError::at(1, "missing `func @name {`"))?;
 
     let mut p = Parser {
         func: Function::new(name, machine.clone()),
@@ -318,6 +358,7 @@ pub fn parse_function(text: &str, machine: &Machine) -> Result<Function, ParseEr
         virt_res: HashMap::new(),
         machine,
         line: 0,
+        line_text: String::new(),
     };
     // Map labels to blocks; first label is the entry.
     for (i, label) in labels.iter().enumerate() {
@@ -328,17 +369,11 @@ pub fn parse_function(text: &str, machine: &Machine) -> Result<Function, ParseEr
             p.func.add_block(label.clone())
         };
         if p.blocks.insert(label.clone(), b).is_some() {
-            return Err(ParseError {
-                line: 1,
-                message: format!("duplicate label `{label}`"),
-            });
+            return Err(ParseError::at(1, format!("duplicate label `{label}`")));
         }
     }
     if labels.is_empty() {
-        return Err(ParseError {
-            line: 1,
-            message: "function has no blocks".into(),
-        });
+        return Err(ParseError::at(1, "function has no blocks"));
     }
 
     // Pass 2: instructions.
@@ -346,6 +381,7 @@ pub fn parse_function(text: &str, machine: &Machine) -> Result<Function, ParseEr
     for (lineno, raw) in text.lines().enumerate() {
         p.line = lineno + 1;
         let line = strip_comment(raw).trim();
+        p.line_text = raw.to_string();
         if line.is_empty() || line == "}" || line.starts_with("func") {
             continue;
         }
@@ -486,6 +522,58 @@ merge:
         assert!(e.message.contains("frob"), "{e}");
         let e2 = parse_function("func @e {\nentry:\n  jump nowhere\n}", &dsp()).unwrap_err();
         assert!(e2.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn unknown_opcode_names_the_token_and_column() {
+        let e =
+            parse_function("func @e {\nentry:\n  %a = frobnicate %b, %c\n}", &dsp()).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.token, "frobnicate");
+        assert_eq!(e.col, 8, "{e}");
+        assert!(e.to_string().contains("3:8"), "{e}");
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_parse_error() {
+        // br with two operands instead of `cond, then, else`.
+        let e = parse_function("func @e {\nentry:\n  %c = input\n  br %c, entry\n}", &dsp())
+            .unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("cond, then, else"), "{e}");
+        assert!(e.message.contains("2 operands"), "{e}");
+        // addi with a missing immediate.
+        let e2 = parse_function(
+            "func @e {\nentry:\n  %a = input\n  %b = addi %a\n  ret\n}",
+            &dsp(),
+        )
+        .unwrap_err();
+        assert_eq!(e2.line, 4);
+        assert!(e2.message.contains("use, imm"), "{e2}");
+    }
+
+    #[test]
+    fn undefined_label_names_the_token() {
+        let e = parse_function(
+            "func @e {\nentry:\n  %c = input\n  br %c, entry, missing\n}",
+            &dsp(),
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 4);
+        assert_eq!(e.token, "missing");
+        assert!(e.col > 0, "{e}");
+        assert!(e.message.contains("unknown block label"), "{e}");
+    }
+
+    #[test]
+    fn bad_immediate_and_operand_tokens_attributed() {
+        let e =
+            parse_function("func @e {\nentry:\n  %a = make 0xZZ\n  ret\n}", &dsp()).unwrap_err();
+        assert_eq!(e.token, "0xZZ");
+        let e2 =
+            parse_function("func @e {\nentry:\n  %a = add ???, %b\n  ret\n}", &dsp()).unwrap_err();
+        assert_eq!(e2.token, "???");
+        assert!(e2.message.contains("expected operand"), "{e2}");
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! # tossa-ssa — SSA construction, verification, and SSA-level passes
 //!
 //! * [`construct::to_ssa`] — pruned SSA construction (Cytron et al. \[4\]);
-//! * [`verify::verify_ssa`] — SSA invariant checker;
+//! * [`verify::verify_ssa`] / [`verify::verify_cssa`] — SSA and
+//!   conventional-SSA (interference-free φ-congruence class) checkers;
 //! * [`opt`] — copy propagation, DCE, and dominator-scoped value
 //!   numbering (the optimizations whose interaction with out-of-SSA the
 //!   paper studies);
@@ -19,4 +20,4 @@ pub mod psi;
 pub mod verify;
 
 pub use construct::to_ssa;
-pub use verify::verify_ssa;
+pub use verify::{verify_cssa, verify_ssa};

@@ -1,9 +1,10 @@
-//! SSA form verifier.
+//! SSA and CSSA form verifiers.
 
 use std::fmt;
-use tossa_analysis::{DefMap, DomTree};
+use tossa_analysis::{DefMap, DomTree, LiveAtDefs, Liveness};
 use tossa_ir::cfg::Cfg;
 use tossa_ir::ids::{Block, Var};
+use tossa_ir::machine::RegClass;
 use tossa_ir::Function;
 
 /// A violation of SSA invariants.
@@ -29,6 +30,11 @@ impl std::error::Error for SsaError {}
 ///   predecessor block;
 /// * no use of a never-defined variable in reachable code.
 ///
+/// Variables carrying a dedicated (special-class) register identity, such
+/// as `SP`, are live-in at function entry with a well-defined incoming
+/// value (mirroring the interpreter), so an undefined use of one is
+/// legal: it reads the incoming register value.
+///
 /// # Errors
 /// Returns the first violation found.
 pub fn verify_ssa(f: &Function) -> Result<(), SsaError> {
@@ -47,6 +53,14 @@ pub fn verify_ssa(f: &Function) -> Result<(), SsaError> {
     let cfg = Cfg::compute(f);
     let dt = DomTree::compute(f, &cfg);
     let defs = DefMap::compute(f);
+
+    // Dedicated registers (SP, LR) hold a well-defined value on entry, so
+    // a use with no def site reads the incoming register value.
+    let entry_live = |v: Var| -> bool {
+        f.var(v)
+            .reg
+            .is_some_and(|r| f.machine.reg_class(r) == RegClass::Special)
+    };
 
     let def_dominates_point = |v: Var, b: Block, pos: usize| -> bool {
         match defs.site(v) {
@@ -74,6 +88,9 @@ pub fn verify_ssa(f: &Function) -> Result<(), SsaError> {
                         continue; // the edge can never execute
                     }
                     let Some(site) = defs.site(op.var) else {
+                        if entry_live(op.var) {
+                            continue;
+                        }
                         return err(format!("phi arg {} (from {pred}) is never defined", op.var));
                     };
                     // Must dominate the end of pred.
@@ -87,6 +104,9 @@ pub fn verify_ssa(f: &Function) -> Result<(), SsaError> {
             } else {
                 for op in &inst.uses {
                     if defs.site(op.var).is_none() {
+                        if entry_live(op.var) {
+                            continue;
+                        }
                         return err(format!("{} used in {b} but never defined", op.var));
                     }
                     if !def_dominates_point(op.var, b, pos) {
@@ -95,6 +115,80 @@ pub fn verify_ssa(f: &Function) -> Result<(), SsaError> {
                             op.var
                         ));
                     }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `f` is in *conventional* SSA (CSSA): valid SSA whose
+/// φ-congruence classes (the transitive closure of {φ def} ∪ {φ args}
+/// across all φs) are interference-free — the invariant Sreedhar et
+/// al.'s conversion establishes and the pinning-based coalescer relies
+/// on when replacing a whole class by one name.
+///
+/// Interference is exact live-range interference: two variables
+/// interfere when one is live after the other's definition, when they
+/// are defined by one instruction, or when both are φ definitions of one
+/// block (parallel φ semantics).
+///
+/// # Errors
+/// Returns the SSA violation or the first interfering class pair.
+pub fn verify_cssa(f: &Function) -> Result<(), SsaError> {
+    verify_ssa(f)?;
+
+    // φ-congruence classes by union-find.
+    let n = f.num_vars();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut v: usize) -> usize {
+        while parent[v] != v {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        v
+    }
+    for (_, i) in f.all_insts() {
+        let inst = f.inst(i);
+        if inst.is_phi() {
+            let d = find(&mut parent, inst.defs[0].var.index());
+            for u in &inst.uses {
+                let a = find(&mut parent, u.var.index());
+                parent[a] = d;
+            }
+        }
+    }
+    let mut classes: std::collections::HashMap<usize, Vec<Var>> = std::collections::HashMap::new();
+    for v in f.vars() {
+        let r = find(&mut parent, v.index());
+        classes.entry(r).or_default().push(v);
+    }
+    classes.retain(|_, members| members.len() >= 2);
+
+    let cfg = Cfg::compute(f);
+    let live = Liveness::compute(f, &cfg);
+    let defs = DefMap::compute(f);
+    let lad = LiveAtDefs::compute(f, &live, &defs);
+    let interferes = |x: Var, y: Var| -> bool {
+        let (Some(sx), Some(sy)) = (defs.site(x), defs.site(y)) else {
+            return false;
+        };
+        if sx.inst == sy.inst {
+            return true;
+        }
+        lad.after_def(y).is_some_and(|s| s.contains(x))
+            || lad.after_def(x).is_some_and(|s| s.contains(y))
+            || (sx.block == sy.block && sx.is_phi && sy.is_phi)
+    };
+    for members in classes.values() {
+        for (k, &x) in members.iter().enumerate() {
+            for &y in &members[k + 1..] {
+                if interferes(x, y) {
+                    return Err(SsaError {
+                        message: format!(
+                            "not CSSA: φ-congruence class members {x} and {y} interfere"
+                        ),
+                    });
                 }
             }
         }
@@ -184,6 +278,82 @@ m:
         );
         let e = verify_ssa(&f).unwrap_err();
         assert!(e.message.contains("does not dominate pred"), "{e}");
+    }
+
+    #[test]
+    fn cssa_accepts_disjoint_phi_webs() {
+        // The classic diamond: a and b die into the φ; the class
+        // {x, a, b} is interference-free.
+        let f = parse(
+            "func @c {
+entry:
+  %c = input
+  br %c, l, r
+l:
+  %a = make 1
+  jump m
+r:
+  %b = make 2
+  jump m
+m:
+  %x = phi [l: %a], [r: %b]
+  ret %x
+}",
+        );
+        verify_cssa(&f).unwrap();
+    }
+
+    #[test]
+    fn cssa_rejects_interfering_class() {
+        // a stays live past the φ (returned alongside x), so {x, a, b}
+        // is not interference-free: valid SSA but not CSSA.
+        let f = parse(
+            "func @t {
+entry:
+  %a = make 1
+  %b = make 2
+  %c = input
+  br %c, l, r
+l:
+  jump m
+r:
+  jump m
+m:
+  %x = phi [l: %a], [r: %b]
+  ret %x, %a
+}",
+        );
+        verify_ssa(&f).unwrap();
+        let e = verify_cssa(&f).unwrap_err();
+        assert!(e.message.contains("not CSSA"), "{e}");
+    }
+
+    #[test]
+    fn cssa_rejects_swap_phis() {
+        // Two φs of one block exchanging values: their args are live out
+        // of the latch simultaneously, and the lost-copy/swap web
+        // {x, y, a, b} collapses into one class that self-interferes.
+        let f = parse(
+            "func @s {
+entry:
+  %a, %b, %n = input
+  %z = make 0
+  jump head
+head:
+  %x = phi [entry: %a], [latch: %y]
+  %y = phi [entry: %b], [latch: %x]
+  %i = phi [entry: %z], [latch: %i2]
+  %i2 = addi %i, 1
+  %c = cmplt %i2, %n
+  br %c, latch, exit
+latch:
+  jump head
+exit:
+  ret %x, %y
+}",
+        );
+        let e = verify_cssa(&f).unwrap_err();
+        assert!(e.message.contains("not CSSA"), "{e}");
     }
 
     #[test]
