@@ -82,6 +82,16 @@ pub struct AnalysisCache {
     stale: Option<StaleAnalysis>,
 }
 
+/// Records one cache-accessor outcome on the trace sink (no-op when
+/// tracing is disabled).
+fn trace_access(hit: bool) {
+    if hit {
+        tossa_trace::count(tossa_trace::Counter::AnalysisCacheHits, 1);
+    } else {
+        tossa_trace::count(tossa_trace::Counter::AnalysisCacheMisses, 1);
+    }
+}
+
 impl AnalysisCache {
     /// An empty cache at revision 0.
     pub fn new() -> AnalysisCache {
@@ -193,6 +203,7 @@ impl AnalysisCache {
     /// The control-flow graph (with its cached reverse postorder).
     pub fn cfg(&mut self, f: &Function) -> Rc<Cfg> {
         self.check_revision(f);
+        trace_access(self.cfg.is_some());
         if self.cfg.is_none() {
             self.cfg = Some(Rc::new(Cfg::compute(f)));
         }
@@ -202,6 +213,7 @@ impl AnalysisCache {
     /// The dominator tree.
     pub fn domtree(&mut self, f: &Function) -> Rc<DomTree> {
         self.check_revision(f);
+        trace_access(self.domtree.is_some());
         if self.domtree.is_none() {
             let cfg = self.cfg(f);
             self.domtree = Some(Rc::new(DomTree::compute(f, &cfg)));
@@ -212,6 +224,7 @@ impl AnalysisCache {
     /// Liveness with the paper's φ conventions.
     pub fn liveness(&mut self, f: &Function) -> Rc<Liveness> {
         self.check_revision(f);
+        trace_access(self.liveness.is_some());
         if self.liveness.is_none() {
             let cfg = self.cfg(f);
             self.liveness = Some(Rc::new(Liveness::compute(f, &cfg)));
@@ -222,6 +235,7 @@ impl AnalysisCache {
     /// Definition sites.
     pub fn defs(&mut self, f: &Function) -> Rc<DefMap> {
         self.check_revision(f);
+        trace_access(self.defs.is_some());
         if self.defs.is_none() {
             self.defs = Some(Rc::new(DefMap::compute(f)));
         }
@@ -231,6 +245,7 @@ impl AnalysisCache {
     /// The exact live-after-def interference oracle.
     pub fn live_at_defs(&mut self, f: &Function) -> Rc<LiveAtDefs> {
         self.check_revision(f);
+        trace_access(self.lad.is_some());
         if self.lad.is_none() {
             let live = self.liveness(f);
             let defs = self.defs(f);
@@ -242,6 +257,7 @@ impl AnalysisCache {
     /// Natural loops and nesting depths.
     pub fn loops(&mut self, f: &Function) -> Rc<LoopInfo> {
         self.check_revision(f);
+        trace_access(self.loops.is_some());
         if self.loops.is_none() {
             let cfg = self.cfg(f);
             let dt = self.domtree(f);

@@ -95,7 +95,9 @@ impl Liveness {
         for &b in &work {
             on_list[b.index()] = true;
         }
+        let mut pops: u64 = 0;
         while let Some(b) = work.pop_front() {
+            pops += 1;
             on_list[b.index()] = false;
             // live_out(b) |= live_in(s) \ phi_defs(s) for each successor.
             // All sets grow monotonically, so in-place union reaches the
@@ -120,6 +122,7 @@ impl Liveness {
                 }
             }
         }
+        tossa_trace::count(tossa_trace::Counter::LivenessIterations, pops);
         Liveness { live_in, live_out }
     }
 

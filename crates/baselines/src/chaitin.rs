@@ -50,6 +50,17 @@ pub fn aggressive_coalesce(f: &mut Function) -> CoalesceRunStats {
 /// rounds invalidate the cache; the final (fixpoint) round leaves its
 /// liveness memoized for downstream consumers.
 pub fn aggressive_coalesce_cached(f: &mut Function, cache: &mut AnalysisCache) -> CoalesceRunStats {
+    tossa_trace::span("chaitin_coalesce", || {
+        let stats = aggressive_coalesce_inner(f, cache);
+        tossa_trace::count(
+            tossa_trace::Counter::CopiesCoalesced,
+            stats.coalesced as u64,
+        );
+        stats
+    })
+}
+
+fn aggressive_coalesce_inner(f: &mut Function, cache: &mut AnalysisCache) -> CoalesceRunStats {
     let mut stats = CoalesceRunStats::default();
     loop {
         stats.rounds += 1;

@@ -24,6 +24,17 @@ pub struct NaiveStats {
 
 /// Replaces every φ with per-edge copies; no coalescing at all.
 pub fn naive_out_of_ssa(f: &mut Function) -> NaiveStats {
+    tossa_trace::span("naive_out_of_ssa", || {
+        let stats = naive_out_of_ssa_inner(f);
+        use tossa_trace::{count, Counter};
+        count(Counter::CopiesPhi, stats.phi_copies as u64);
+        count(Counter::CopiesTemp, stats.temp_copies as u64);
+        count(Counter::PhisRemoved, stats.phis_removed as u64);
+        stats
+    })
+}
+
+fn naive_out_of_ssa_inner(f: &mut Function) -> NaiveStats {
     let mut stats = NaiveStats::default();
     split_edges_for_phis(f);
 

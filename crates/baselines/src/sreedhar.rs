@@ -148,6 +148,14 @@ pub fn to_cssa(f: &mut Function) -> CssaStats {
 /// recomputed after a φ actually inserts copies; φs whose resources do
 /// not interfere reuse the memoized liveness.
 pub fn to_cssa_cached(f: &mut Function, cache: &mut AnalysisCache) -> CssaStats {
+    tossa_trace::span("to_cssa", || {
+        let stats = to_cssa_inner(f, cache);
+        tossa_trace::count(tossa_trace::Counter::CopiesPhi, stats.total() as u64);
+        stats
+    })
+}
+
+fn to_cssa_inner(f: &mut Function, cache: &mut AnalysisCache) -> CssaStats {
     let mut stats = CssaStats::default();
     let mut classes = Classes::new(f.num_vars());
 

@@ -16,12 +16,19 @@
 //!   validate the safety net: the run then *expects* degradations and
 //!   fails if the fallback misbehaves;
 //! * `--fuel F`      — interpreter step budget (default 5,000,000);
-//! * `--no-reduce`   — print failing cases unreduced.
+//! * `--no-reduce`   — print failing cases unreduced;
+//! * `--trace [DIR]` — capture per-function traces (verifier spans,
+//!   chaos/fallback events, counters) and write `DIR/fuzz_trace.jsonl`
+//!   (`tossa-trace/1` lines) plus `DIR/fuzz_trace_chrome.json` (Chrome
+//!   `trace_event`); prints the aggregated counter summary. `DIR`
+//!   defaults to the current directory.
 //!
 //! Exit status: 0 when expectations hold (clean without `--chaos`,
 //! gracefully degraded with it), 1 otherwise.
 
-use tossa_bench::checked::{fuzz_suite, run_checked, run_suite_checked, CheckedOptions};
+use tossa_bench::checked::{
+    fuzz_suite, run_checked, run_suite_checked, run_suite_checked_traced, CheckedOptions,
+};
 use tossa_bench::reduce::reduce;
 use tossa_bench::suites::BenchFunction;
 use tossa_core::chaos::{Catcher, Corruption};
@@ -87,9 +94,29 @@ fn main() {
         chaos_seed: seed,
     };
 
+    let tracing = flag("--trace");
+    let trace_dir = value("--trace")
+        .filter(|v| !v.starts_with("--"))
+        .unwrap_or_else(|| ".".into());
+    let mut jsonl = String::new();
+    let mut labelled: Vec<(String, tossa_trace::TraceData)> = Vec::new();
+    let mut trace_total = tossa_trace::TraceData::default();
+
     let mut ok = true;
     for &exp in &experiments {
-        let report = run_suite_checked(&suite, exp, &opts, &copts);
+        let report = if tracing {
+            let (report, traces) = run_suite_checked_traced(&suite, exp, &opts, &copts);
+            for (bf, trace) in suite.functions.iter().zip(traces) {
+                let func = &bf.func.name;
+                jsonl.push_str(&tossa_trace::jsonl_record(func, &exp.to_string(), &trace));
+                jsonl.push('\n');
+                trace_total.merge(&trace);
+                labelled.push((format!("{func}@{exp}"), trace));
+            }
+            report
+        } else {
+            run_suite_checked(&suite, exp, &opts, &copts)
+        };
         print!("{report}");
         match chaos {
             None => {
@@ -148,6 +175,18 @@ fn main() {
                 }
             }
         }
+    }
+    if tracing {
+        let jsonl_path = format!("{trace_dir}/fuzz_trace.jsonl");
+        std::fs::write(&jsonl_path, &jsonl).unwrap_or_else(|e| panic!("writing {jsonl_path}: {e}"));
+        let chrome_path = format!("{trace_dir}/fuzz_trace_chrome.json");
+        let chrome = tossa_trace::chrome_trace(&labelled);
+        tossa_trace::validate_json(&chrome).expect("chrome trace is well-formed JSON");
+        std::fs::write(&chrome_path, &chrome)
+            .unwrap_or_else(|e| panic!("writing {chrome_path}: {e}"));
+        eprintln!("trace summary ({} experiments):", experiments.len());
+        eprint!("{}", tossa_trace::summary_table(&trace_total));
+        eprintln!("wrote {jsonl_path} and {chrome_path}");
     }
     std::process::exit(if ok { 0 } else { 1 });
 }

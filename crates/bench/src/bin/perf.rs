@@ -1,18 +1,35 @@
 //! Emits the machine-readable perf trajectory (`BENCH_pr<N>.json`): the
 //! full suite × experiment matrix with move counts, weighted counts,
-//! per-stage pipeline timings, and end-to-end wall clocks.
+//! per-stage pipeline timings, per-cell trace counters, and end-to-end
+//! wall clocks.
 //!
-//! Usage: `perf [--out FILE] [--serial] [--compare] [--no-verify] [--spec N]`
+//! Usage: `perf [--out FILE] [--serial] [--compare] [--no-verify]
+//! [--no-counters] [--spec N] [--trace [DIR]]`
 //!
 //! * `--serial`   — run on one thread (the JSON records the mode);
 //! * `--compare`  — run serial then parallel, print the speedup, and
 //!   write the parallel trajectory;
 //! * `--no-verify` — skip the interpreter equivalence check (timings
 //!   then measure translation alone);
-//! * `--spec N`   — scale of the SPECint-like synthetic population.
+//! * `--no-counters` — skip the traced counter pass (cells then carry
+//!   no `"counters"` object);
+//! * `--spec N`   — scale of the SPECint-like synthetic population;
+//! * `--trace [DIR]` — additionally run the focus suites (kernels +
+//!   vocoder) under per-function trace capture and write
+//!   `DIR/trace.jsonl` (one `tossa-trace/1` line per function ×
+//!   experiment), `DIR/trace_chrome.json` (Chrome `trace_event`, open
+//!   in `about:tracing`/Perfetto), and print the counter summary.
+//!   `DIR` defaults to the current directory. Timing cells are always
+//!   measured untraced.
 
+use tossa_bench::runner::run_suite_each_traced;
 use tossa_bench::suites::all_suites;
 use tossa_bench::trajectory::{measure, Trajectory};
+use tossa_core::coalesce::CoalesceOptions;
+use tossa_core::Experiment;
+use tossa_trace::{chrome_trace, jsonl_record, summary_table, TraceData};
+
+const FOCUS_SUITES: [&str; 3] = ["VALcc1", "VALcc2", "LAI Large"];
 
 fn unix_time() -> u64 {
     std::time::SystemTime::now()
@@ -42,6 +59,39 @@ fn summarize(t: &Trajectory) {
     }
 }
 
+/// Runs the focus suites under per-function trace capture and writes
+/// the JSONL stream plus the Chrome trace into `dir`.
+fn run_traced(dir: &str, spec_scale: usize, verify: bool) {
+    let opts = CoalesceOptions::default();
+    let suites = all_suites(spec_scale);
+    let mut labelled: Vec<(String, TraceData)> = Vec::new();
+    let mut jsonl = String::new();
+    let mut total = TraceData::default();
+    for suite in suites.iter().filter(|s| FOCUS_SUITES.contains(&s.name)) {
+        for &exp in Experiment::all() {
+            for (k, (_, trace)) in run_suite_each_traced(suite, exp, &opts, verify)
+                .into_iter()
+                .enumerate()
+            {
+                let func = &suite.functions[k].func.name;
+                jsonl.push_str(&jsonl_record(func, &exp.to_string(), &trace));
+                jsonl.push('\n');
+                total.merge(&trace);
+                labelled.push((format!("{func}@{exp}"), trace));
+            }
+        }
+    }
+    let jsonl_path = format!("{dir}/trace.jsonl");
+    std::fs::write(&jsonl_path, &jsonl).unwrap_or_else(|e| panic!("writing {jsonl_path}: {e}"));
+    let chrome_path = format!("{dir}/trace_chrome.json");
+    let chrome = chrome_trace(&labelled);
+    tossa_trace::validate_json(&chrome).expect("chrome trace is well-formed JSON");
+    std::fs::write(&chrome_path, &chrome).unwrap_or_else(|e| panic!("writing {chrome_path}: {e}"));
+    eprintln!("trace summary (focus suites, all experiments):");
+    eprint!("{}", summary_table(&total));
+    eprintln!("wrote {jsonl_path} and {chrome_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| args.iter().any(|a| a == name);
@@ -51,19 +101,19 @@ fn main() {
             .and_then(|p| args.get(p + 1))
             .cloned()
     };
-    let out = value("--out").unwrap_or_else(|| "BENCH_pr1.json".into());
+    let out = value("--out").unwrap_or_else(|| "BENCH_pr3.json".into());
     let verify = !flag("--no-verify");
+    let counters = !flag("--no-counters");
     let spec_scale = value("--spec").and_then(|v| v.parse().ok()).unwrap_or(40);
 
     let suites = all_suites(spec_scale);
     let trajectory = if flag("--compare") {
-        let serial = measure(&suites, verify, true);
+        let serial = measure(&suites, verify, true, false);
         summarize(&serial);
-        let parallel = measure(&suites, verify, false);
+        let parallel = measure(&suites, verify, false, counters);
         summarize(&parallel);
-        let focus = ["VALcc1", "VALcc2", "LAI Large"];
-        let s = serial.wall_ns_for(&focus) as f64;
-        let p = parallel.wall_ns_for(&focus) as f64;
+        let s = serial.wall_ns_for(&FOCUS_SUITES) as f64;
+        let p = parallel.wall_ns_for(&FOCUS_SUITES) as f64;
         eprintln!(
             "speedup (kernels + vocoder suites): {:.2}x  (serial {:.3} ms -> parallel {:.3} ms)",
             s / p,
@@ -76,7 +126,7 @@ fn main() {
         );
         parallel
     } else {
-        let t = measure(&suites, verify, flag("--serial"));
+        let t = measure(&suites, verify, flag("--serial"), counters);
         summarize(&t);
         t
     };
@@ -84,4 +134,13 @@ fn main() {
     let json = trajectory.to_json(unix_time());
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("wrote {out}");
+
+    if flag("--trace") {
+        // `--trace` may carry an output directory; any other flag (or
+        // nothing) after it means the current directory.
+        let dir = value("--trace")
+            .filter(|v| !v.starts_with("--"))
+            .unwrap_or_else(|| ".".into());
+        run_traced(&dir, spec_scale, verify);
+    }
 }

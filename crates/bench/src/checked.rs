@@ -97,6 +97,16 @@ fn stale_check(cache: &mut AnalysisCache, pass: &'static str) -> Result<(), Toss
     }
 }
 
+/// Publishes a landed chaos injection on the trace sink and returns
+/// whether it landed.
+fn note_injection(hit: bool, c: Corruption) -> bool {
+    if hit {
+        tossa_trace::count(tossa_trace::Counter::ChaosInjected, 1);
+        tossa_trace::event("chaos", || format!("{c:?}"));
+    }
+    hit
+}
+
 /// The guarded pipeline proper: every pass is followed by structural
 /// verification and differential execution against the pre-front-end
 /// source (each earlier guarded pass has already been proven
@@ -120,7 +130,7 @@ fn guarded_pipeline(
         .chaos
         .filter(|c| matches!(c.caught_by(), Catcher::Structural | Catcher::Ssa))
     {
-        injected.set(chaos::inject(&mut f, c, &mut rng) || injected.get());
+        injected.set(note_injection(chaos::inject(&mut f, c, &mut rng), c) || injected.get());
     }
     guard
         .check(&f, IrForm::Ssa)
@@ -162,7 +172,7 @@ fn guarded_pipeline(
     }
     // Pin-corrupting chaos models a buggy coalescer.
     if let Some(c) = chaos_at(Catcher::Pin) {
-        injected.set(chaos::inject(&mut f, c, &mut rng) || injected.get());
+        injected.set(note_injection(chaos::inject(&mut f, c, &mut rng), c) || injected.get());
     }
     // A pin violation here is the coalescer's fault (the collect passes
     // were individually verified above).
@@ -182,7 +192,7 @@ fn guarded_pipeline(
     }
     // Copy-reordering chaos models a buggy sequentializer.
     if let Some(c) = chaos_at(Catcher::Differential) {
-        injected.set(chaos::inject(&mut f, c, &mut rng) || injected.get());
+        injected.set(note_injection(chaos::inject(&mut f, c, &mut rng), c) || injected.get());
     }
     guard
         .check(&f, IrForm::NonSsa)
@@ -235,6 +245,8 @@ pub fn run_checked(
             injected,
         },
         Err(error) => {
+            tossa_trace::count(tossa_trace::Counter::FallbacksTaken, 1);
+            tossa_trace::event("fallback", || format!("{}: {error}", bf.func.name));
             let (func, fallback_error) = naive_fallback(&ssa, exp, &guard);
             CheckedOutcome {
                 moves: crate::metrics::move_count(&func),
@@ -352,6 +364,27 @@ pub fn run_suite_checked(
     let outcomes = par_map(suite.functions.len(), |k| {
         run_checked(&suite.functions[k], exp, opts, copts)
     });
+    collect_report(suite, exp, outcomes)
+}
+
+/// [`run_suite_checked`] with per-function trace capture: each worker
+/// installs a collector, so verifier spans, chaos injections, and
+/// fallback events are all recorded. Trace `k` belongs to
+/// `suite.functions[k]`.
+pub fn run_suite_checked_traced(
+    suite: &Suite,
+    exp: Experiment,
+    opts: &CoalesceOptions,
+    copts: &CheckedOptions,
+) -> (SuiteReport, Vec<tossa_trace::TraceData>) {
+    let pairs = par_map(suite.functions.len(), |k| {
+        tossa_trace::capture(|| run_checked(&suite.functions[k], exp, opts, copts))
+    });
+    let (outcomes, traces): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+    (collect_report(suite, exp, outcomes), traces)
+}
+
+fn collect_report(suite: &Suite, exp: Experiment, outcomes: Vec<CheckedOutcome>) -> SuiteReport {
     let mut report = SuiteReport {
         experiment: exp,
         total: outcomes.len(),

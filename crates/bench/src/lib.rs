@@ -22,10 +22,11 @@
 //! cargo run -p tossa-bench --release --bin tables -- all
 //! ```
 //!
-//! Emit the perf trajectory with:
+//! Emit the perf trajectory (and, with `--trace DIR`, the JSONL +
+//! Chrome-trace observability artifacts) with:
 //!
 //! ```bash
-//! cargo run -p tossa-bench --release --bin perf -- --out BENCH_pr1.json
+//! cargo run -p tossa-bench --release --bin perf -- --out BENCH_pr3.json --trace traces/
 //! ```
 
 #![warn(missing_docs)]

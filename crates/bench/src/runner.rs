@@ -54,9 +54,9 @@ impl StageTimings {
     }
 }
 
-fn clocked<T>(slot: &mut u64, f: impl FnOnce() -> T) -> T {
+fn clocked<T>(slot: &mut u64, name: &'static str, f: impl FnOnce() -> T) -> T {
     let start = Instant::now();
-    let out = f();
+    let out = tossa_trace::span(name, f);
     *slot += start.elapsed().as_nanos() as u64;
     out
 }
@@ -124,7 +124,7 @@ pub fn front_end(src: &Function) -> Function {
 pub fn run_experiment(src: &Function, exp: Experiment, opts: &CoalesceOptions) -> RunResult {
     let mut t = StageTimings::default();
     let start = Instant::now();
-    let f = clocked(&mut t.front_end_ns, || front_end(src));
+    let f = clocked(&mut t.front_end_ns, "front_end", || front_end(src));
     run_pipeline(f, exp, opts, t, start)
 }
 
@@ -158,9 +158,11 @@ fn run_pipeline(
     // passes invalidate; pin-only passes reuse the memoized analyses.
     let mut cache = AnalysisCache::new();
     if passes.sreedhar {
-        clocked(&mut t.cssa_ns, || to_cssa_cached(&mut f, &mut cache));
+        clocked(&mut t.cssa_ns, "cssa", || {
+            to_cssa_cached(&mut f, &mut cache)
+        });
     }
-    clocked(&mut t.pinning_ns, || {
+    clocked(&mut t.pinning_ns, "pinning", || {
         if passes.pinning_cssa {
             pinning_cssa(&mut f); // pin-only: cache stays hot
         }
@@ -176,7 +178,7 @@ fn run_pipeline(
         }
     });
     debug_assert!(passes.out_of_pinned_ssa);
-    let recon = clocked(&mut t.reconstruct_ns, || {
+    let recon = clocked(&mut t.reconstruct_ns, "reconstruct_stage", || {
         let recon = out_of_pinned_ssa(&mut f);
         cache.invalidate();
         if passes.naive_abi {
@@ -186,14 +188,14 @@ fn run_pipeline(
         recon
     });
     let mut coalesced = 0;
-    clocked(&mut t.cleanup_ns, || {
+    clocked(&mut t.cleanup_ns, "cleanup", || {
         dead_code_elim_cached(&mut f, &mut cache);
         if passes.coalescing {
             coalesced = aggressive_coalesce_cached(&mut f, &mut cache).coalesced;
             dead_code_elim_cached(&mut f, &mut cache);
         }
     });
-    let (moves, weighted) = clocked(&mut t.metrics_ns, || {
+    let (moves, weighted) = clocked(&mut t.metrics_ns, "metrics", || {
         (
             metrics::move_count(&f),
             metrics::weighted_move_count_cached(&f, &mut cache),
@@ -216,6 +218,10 @@ fn run_pipeline(
 /// # Errors
 /// Returns the first diverging input.
 pub fn verify(src: &Function, result: &Function, inputs: &[Vec<i64>]) -> Result<(), VerifyError> {
+    tossa_trace::span("interp_verify", || verify_inner(src, result, inputs))
+}
+
+fn verify_inner(src: &Function, result: &Function, inputs: &[Vec<i64>]) -> Result<(), VerifyError> {
     for ins in inputs {
         let want = interp::run(src, ins, FUEL).map_err(|e| VerifyError {
             function: src.name.clone(),
@@ -259,7 +265,9 @@ pub struct SuiteResult {
 }
 
 impl SuiteResult {
-    fn fold(results: &[RunResult]) -> SuiteResult {
+    /// Sums per-function results into the suite aggregate. The single
+    /// counting path shared by the tables and the trajectory emitter.
+    pub fn fold(results: &[RunResult]) -> SuiteResult {
         let mut total = SuiteResult::default();
         for r in results {
             total.moves += r.moves;
@@ -397,6 +405,29 @@ pub fn run_suite_each_prepared(
     } else {
         (0..suite.functions.len()).map(one).collect()
     }
+}
+
+/// Per-function results of one experiment over a suite, each run under
+/// its own trace capture (workers install per-thread collectors, so the
+/// parallel runner records every function's counters and spans). Pair
+/// `k` of the output is `(result, trace)` for `suite.functions[k]`.
+///
+/// # Panics
+/// Panics on a verification failure (propagated from any worker).
+pub fn run_suite_each_traced(
+    suite: &Suite,
+    exp: Experiment,
+    opts: &CoalesceOptions,
+    verify_each: bool,
+) -> Vec<(RunResult, tossa_trace::TraceData)> {
+    par_map(suite.functions.len(), |k| {
+        let bf = &suite.functions[k];
+        tossa_trace::capture(|| {
+            let r = run_experiment(&bf.func, exp, opts);
+            check(bf, exp, &r, verify_each);
+            r
+        })
+    })
 }
 
 /// Runs one experiment over a suite (in parallel), verifying every

@@ -10,7 +10,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "tossa-bench-trajectory/1",
+//!   "schema": "tossa-bench-trajectory/2",
 //!   "unix_time": 1722800000,
 //!   "threads": 8,
 //!   "mode": "parallel",
@@ -22,17 +22,21 @@
 //!           "stages": { "front_end_ns": ..., "cssa_ns": ...,
 //!                       "pinning_ns": ..., "reconstruct_ns": ...,
 //!                       "cleanup_ns": ..., "metrics_ns": ...,
-//!                       "total_ns": ... } } ] } ],
+//!                       "total_ns": ... },
+//!           "counters": { "congruence_classes": ..., "copies_phi": ..., "...": 0 } } ] } ],
 //!   "end_to_end_wall_ns": 987654321
 //! }
 //! ```
 
-use crate::runner::{prepare_suite, run_suite_each_prepared, RunResult, StageTimings};
+use crate::runner::{
+    prepare_suite, run_suite_each_prepared, run_suite_each_traced, StageTimings, SuiteResult,
+};
 use crate::suites::Suite;
 use std::fmt::Write as _;
 use std::time::Instant;
 use tossa_core::coalesce::CoalesceOptions;
 use tossa_core::Experiment;
+use tossa_trace::{CounterSet, TraceData};
 
 /// One (suite × experiment) measurement.
 #[derive(Clone, Debug)]
@@ -51,6 +55,9 @@ pub struct Cell {
     pub weighted: u64,
     /// Summed per-stage pipeline timings across the suite.
     pub stages: StageTimings,
+    /// Aggregated trace counters across the suite, from a separate
+    /// traced (untimed) pass; `None` when counter collection was off.
+    pub counters: Option<CounterSet>,
 }
 
 /// A full trajectory: every suite crossed with every Table-1 experiment.
@@ -72,22 +79,13 @@ pub struct Trajectory {
     pub end_to_end_wall_ns: u64,
 }
 
-fn fold(results: &[RunResult]) -> (usize, u64, StageTimings) {
-    let mut moves = 0;
-    let mut weighted = 0;
-    let mut stages = StageTimings::default();
-    for r in results {
-        moves += r.moves;
-        weighted += r.weighted;
-        stages.add_assign(&r.timings);
-    }
-    (moves, weighted, stages)
-}
-
 /// Runs the full experiment matrix over `suites` and collects the
 /// trajectory. `serial` switches the runner to one thread (for speedup
-/// comparisons); `verify` re-runs the interpreter equivalence check.
-pub fn measure(suites: &[Suite], verify: bool, serial: bool) -> Trajectory {
+/// comparisons); `verify` re-runs the interpreter equivalence check;
+/// `counters` adds a second, traced (untimed) pass per cell whose
+/// aggregated trace counters land in [`Cell::counters`] — the timing
+/// numbers always come from the untraced pass.
+pub fn measure(suites: &[Suite], verify: bool, serial: bool, counters: bool) -> Trajectory {
     let opts = CoalesceOptions::default();
     let threads = if serial {
         1
@@ -117,15 +115,23 @@ pub fn measure(suites: &[Suite], verify: bool, serial: bool) -> Trajectory {
             let begin = Instant::now();
             let results = run_suite_each_prepared(suite, &prepared, exp, &opts, verify, !serial);
             let wall_ns = begin.elapsed().as_nanos() as u64;
-            let (moves, weighted, stages) = fold(&results);
+            let folded = SuiteResult::fold(&results);
+            let cell_counters = counters.then(|| {
+                let mut total = TraceData::default();
+                for (_, trace) in run_suite_each_traced(suite, exp, &opts, false) {
+                    total.merge(&trace);
+                }
+                total.counters
+            });
             t.cells.push(Cell {
                 suite: suite.name.to_string(),
                 experiment: format!("{exp:?}"),
                 label: exp.label().to_string(),
                 wall_ns,
-                moves,
-                weighted,
-                stages,
+                moves: folded.moves,
+                weighted: folded.weighted,
+                stages: folded.timings,
+                counters: cell_counters,
             });
         }
     }
@@ -158,7 +164,7 @@ impl Trajectory {
     pub fn to_json(&self, unix_time: u64) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"schema\": \"tossa-bench-trajectory/1\",");
+        let _ = writeln!(out, "  \"schema\": \"tossa-bench-trajectory/2\",");
         let _ = writeln!(out, "  \"unix_time\": {unix_time},");
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let _ = writeln!(out, "  \"mode\": \"{}\",", self.mode);
@@ -179,7 +185,7 @@ impl Trajectory {
                      \"wall_ns\": {}, \"moves\": {}, \"weighted\": {},\n          \
                      \"stages\": {{ \"front_end_ns\": {}, \"cssa_ns\": {}, \
                      \"pinning_ns\": {}, \"reconstruct_ns\": {}, \"cleanup_ns\": {}, \
-                     \"metrics_ns\": {}, \"total_ns\": {} }} }}",
+                     \"metrics_ns\": {}, \"total_ns\": {} }}",
                     c.experiment,
                     c.label,
                     c.wall_ns,
@@ -193,6 +199,10 @@ impl Trajectory {
                     s.metrics_ns,
                     s.total_ns
                 );
+                if let Some(counters) = &c.counters {
+                    let _ = write!(out, ",\n          \"counters\": {}", counters.to_json());
+                }
+                out.push_str(" }");
                 out.push_str(if ci + 1 < cells.len() { ",\n" } else { "\n" });
             }
             out.push_str("      ] }");
@@ -220,13 +230,13 @@ mod tests {
             name: "example1-8",
             functions: suites::paper_examples::examples(),
         }];
-        let t = measure(&suites, true, true);
+        let t = measure(&suites, true, true, true);
         assert_eq!(t.cells.len(), Experiment::all().len());
         assert!(t.cells.iter().all(|c| c.wall_ns > 0));
         let json = t.to_json(0);
         // Shape sanity: parsable keys present once per cell.
         assert_eq!(json.matches("\"wall_ns\"").count(), t.cells.len());
-        assert!(json.contains("\"schema\": \"tossa-bench-trajectory/1\""));
+        assert!(json.contains("\"schema\": \"tossa-bench-trajectory/2\""));
         assert!(json.contains("\"end_to_end_wall_ns\""));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -132,6 +132,17 @@ pub struct VertexInterference<'a> {
     /// Per-vertex resource set and its `killed_within`, computed once per
     /// oracle lifetime (membership is frozen while a block is pruned).
     per_vertex: HashMap<RVertex, (ResourceSet, Vec<Var>)>,
+    /// Query/hit tallies, kept as plain integers on the hot path and
+    /// flushed to the trace sink once, when the oracle is dropped.
+    queries: u64,
+    hits: u64,
+}
+
+impl Drop for VertexInterference<'_> {
+    fn drop(&mut self) {
+        tossa_trace::count(tossa_trace::Counter::OracleQueries, self.queries);
+        tossa_trace::count(tossa_trace::Counter::OracleCacheHits, self.hits);
+    }
 }
 
 impl<'a> VertexInterference<'a> {
@@ -145,6 +156,8 @@ impl<'a> VertexInterference<'a> {
             members,
             cache: HashMap::new(),
             per_vertex: HashMap::new(),
+            queries: 0,
+            hits: 0,
         }
     }
 
@@ -178,8 +191,10 @@ impl<'a> VertexInterference<'a> {
         if a == b {
             return false;
         }
+        self.queries += 1;
         let key = if vkey(a) < vkey(b) { (a, b) } else { (b, a) };
         if let Some(&v) = self.cache.get(&key) {
+            self.hits += 1;
             return v;
         }
         self.ensure_vertex(a);

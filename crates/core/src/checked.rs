@@ -113,7 +113,11 @@ impl PassGuard {
     /// # Errors
     /// Returns the first violated invariant or diverging input.
     pub fn check(&self, f: &Function, form: IrForm) -> Result<(), VerifyError> {
-        check_form(f, form)?;
+        tossa_trace::span("verify_structural", || check_form(f, form))?;
+        tossa_trace::span("verify_differential", || self.check_differential(f))
+    }
+
+    fn check_differential(&self, f: &Function) -> Result<(), VerifyError> {
         for (ins, want) in self.inputs.iter().zip(&self.expected) {
             let got = run_outputs(f, ins, self.fuel);
             match (want, got) {

@@ -61,6 +61,23 @@ pub struct CoalesceStats {
     pub pinned_vars: usize,
 }
 
+impl CoalesceStats {
+    /// Publishes the run's totals on the trace sink (no-op when tracing
+    /// is disabled).
+    fn flush_trace(&self) {
+        use tossa_trace::{count, Counter};
+        count(Counter::CongruenceClasses, self.merges as u64);
+        count(Counter::CoalesceMerges, self.pinned_vars as u64);
+        count(Counter::AffinityEdges, self.initial_edges as u64);
+        count(Counter::AffinityPrunedInitial, self.pruned_initial as u64);
+        count(
+            Counter::AffinityPrunedBipartite,
+            self.pruned_bipartite as u64,
+        );
+        count(Counter::PinsPhi, self.pinned_vars as u64);
+    }
+}
+
 /// Runs the coalescer over the whole function with a private
 /// [`AnalysisCache`]. Prefer [`program_pinning_cached`] inside a
 /// pipeline that already owns a cache.
@@ -79,6 +96,14 @@ pub fn program_pinning_cached(
     opts: &CoalesceOptions,
     cache: &mut AnalysisCache,
 ) -> CoalesceStats {
+    tossa_trace::span("coalesce", || program_pinning_inner(f, opts, cache))
+}
+
+fn program_pinning_inner(
+    f: &mut Function,
+    opts: &CoalesceOptions,
+    cache: &mut AnalysisCache,
+) -> CoalesceStats {
     let dt = cache.domtree(f);
     let live = cache.liveness(f);
     let defs = cache.defs(f);
@@ -91,6 +116,10 @@ pub fn program_pinning_cached(
         .collect();
 
     let mut members = resource_members(f);
+    tossa_trace::count(
+        tossa_trace::Counter::PinnedVars,
+        members.values().map(|m| m.len() as u64).sum(),
+    );
     let mut stats = CoalesceStats::default();
     // Merged (virtual) resources become aliases of the reference; operand
     // pins are rewritten once at the end (§3.5: "the update of pinning
@@ -148,7 +177,9 @@ pub fn program_pinning_cached(
                         None => !env.variable_kills(v, v),
                     }
                 };
-                let mut g = create_affinity_graph(f, b, filter, &avoidable);
+                let mut g = tossa_trace::span("affinity_build", || {
+                    create_affinity_graph(f, b, filter, &avoidable)
+                });
                 stats.initial_edges += g.num_edges();
                 stats.pruned_initial += initial_pruning(&mut g, &mut oracle);
                 stats.pruned_bipartite += bipartite_pruning(&mut g, &mut oracle);
@@ -184,6 +215,7 @@ pub fn program_pinning_cached(
             }
         }
     }
+    stats.flush_trace();
     stats
 }
 

@@ -22,8 +22,12 @@ fn phys_resource(f: &mut Function, reg: PhysReg) -> Resource {
 /// origin carried that register identity, or when it carries it directly
 /// (non-SSA input).
 pub fn pinning_sp(f: &mut Function) -> usize {
-    let sp = f.machine.abi.sp;
-    pin_register_web(f, sp)
+    tossa_trace::span("pinning_sp", || {
+        let sp = f.machine.abi.sp;
+        let n = pin_register_web(f, sp);
+        tossa_trace::count(tossa_trace::Counter::PinsSp, n as u64);
+        n
+    })
 }
 
 /// Pins the SSA web of one dedicated register. Returns the number of
@@ -57,6 +61,25 @@ pub fn pin_register_web(f: &mut Function, reg: PhysReg) -> usize {
 ///
 /// Returns the number of operands pinned.
 pub fn pinning_abi(f: &mut Function) -> usize {
+    tossa_trace::span("pinning_abi", || {
+        // Hard-def conflicts materialize as moves; count them as ABI
+        // copies so `copies_inserted` covers every mov the pipeline adds.
+        let before = if tossa_trace::enabled() {
+            f.all_insts().count()
+        } else {
+            0
+        };
+        let n = pinning_abi_inner(f);
+        tossa_trace::count(tossa_trace::Counter::PinsAbi, n as u64);
+        if tossa_trace::enabled() {
+            let inserted = f.all_insts().count() - before;
+            tossa_trace::count(tossa_trace::Counter::CopiesAbi, inserted as u64);
+        }
+        n
+    })
+}
+
+fn pinning_abi_inner(f: &mut Function) -> usize {
     let arg_regs: Vec<PhysReg> = f.machine.abi.arg_regs.clone();
     let ptr_regs: Vec<PhysReg> = f.machine.abi.ptr_arg_regs.clone();
     let ret_reg = f.machine.abi.ret_reg;
@@ -180,6 +203,14 @@ fn pin_two_operand(f: &mut Function, i: tossa_ir::Inst) -> usize {
 ///
 /// Returns the number of variables pinned.
 pub fn pinning_cssa(f: &mut Function) -> usize {
+    tossa_trace::span("pinning_cssa", || {
+        let n = pinning_cssa_inner(f);
+        tossa_trace::count(tossa_trace::Counter::PinsPhi, n as u64);
+        n
+    })
+}
+
+fn pinning_cssa_inner(f: &mut Function) -> usize {
     // Union-find over variables.
     let n = f.num_vars();
     let mut parent: Vec<usize> = (0..n).collect();
@@ -256,6 +287,14 @@ pub fn pinning_cssa(f: &mut Function) -> usize {
 /// of one copy may be the source of another, e.g. when a previous call's
 /// result feeds the next call's second argument.
 pub fn naive_abi(f: &mut Function) -> usize {
+    tossa_trace::span("naive_abi", || {
+        let moves = naive_abi_inner(f);
+        tossa_trace::count(tossa_trace::Counter::CopiesAbi, moves as u64);
+        moves
+    })
+}
+
+fn naive_abi_inner(f: &mut Function) -> usize {
     let arg_regs: Vec<PhysReg> = f.machine.abi.arg_regs.clone();
     let ptr_regs: Vec<PhysReg> = f.machine.abi.ptr_arg_regs.clone();
     let ret_reg = f.machine.abi.ret_reg;

@@ -82,6 +82,7 @@ impl<'a> InterferenceEnv<'a> {
                 }
             };
             if killed {
+                tossa_trace::count(tossa_trace::Counter::InterfereClass1, 1);
                 return true;
             }
         }
@@ -92,6 +93,7 @@ impl<'a> InterferenceEnv<'a> {
                 for (k, op) in inst.uses.iter().enumerate() {
                     let bi = inst.phi_preds[k];
                     if b != op.var && self.live.live_out(bi).contains(b) {
+                        tossa_trace::count(tossa_trace::Counter::InterfereClass2, 1);
                         return true;
                     }
                 }
@@ -115,10 +117,12 @@ impl<'a> InterferenceEnv<'a> {
             return false;
         };
         if sa.inst == sb.inst {
+            tossa_trace::count(tossa_trace::Counter::InterfereSameInst, 1);
             return true; // same instruction
         }
         if sa.is_phi && sb.is_phi {
             if sa.block == sb.block {
+                tossa_trace::count(tossa_trace::Counter::InterfereClass4, 1);
                 return true; // Class 4 (and same-block φ parallelism)
             }
             // Class 3: arguments disagree in a shared predecessor.
@@ -127,6 +131,7 @@ impl<'a> InterferenceEnv<'a> {
             for (k, &ba) in ia.phi_preds.iter().enumerate() {
                 for (j, &bb) in ib.phi_preds.iter().enumerate() {
                     if ba == bb && ia.uses[k].var != ib.uses[j].var {
+                        tossa_trace::count(tossa_trace::Counter::InterfereClass3, 1);
                         return true;
                     }
                 }

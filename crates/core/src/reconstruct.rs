@@ -50,6 +50,18 @@ pub struct ReconstructStats {
 }
 
 impl ReconstructStats {
+    /// Publishes the run's totals on the trace sink (no-op when tracing
+    /// is disabled).
+    fn flush_trace(&self) {
+        use tossa_trace::{count, Counter};
+        count(Counter::CopiesPhi, self.phi_copies as u64);
+        count(Counter::CopiesAbi, self.abi_copies as u64);
+        count(Counter::CopiesRepair, self.repair_copies as u64);
+        count(Counter::CopiesTemp, self.temp_copies as u64);
+        count(Counter::PhisRemoved, self.phis_removed as u64);
+        count(Counter::EdgesSplit, self.edges_split as u64);
+    }
+
     /// Total `mov` instructions inserted.
     pub fn total_copies(&self) -> usize {
         self.phi_copies + self.abi_copies + self.repair_copies + self.temp_copies
@@ -287,6 +299,14 @@ pub fn out_of_pinned_ssa_checked(f: &mut Function) -> Result<ReconstructStats, R
 }
 
 fn translate(f: &mut Function, checked: bool) -> Result<ReconstructStats, ReconstructError> {
+    let out = tossa_trace::span("reconstruct", || translate_inner(f, checked));
+    if let Ok(stats) = &out {
+        stats.flush_trace();
+    }
+    out
+}
+
+fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, ReconstructError> {
     let mut stats = ReconstructStats {
         edges_split: split_edges_for_phis(f),
         ..Default::default()
@@ -458,20 +478,22 @@ fn translate(f: &mut Function, checked: bool) -> Result<ReconstructStats, Recons
             }
             stats.abi_copies += n_abi;
             if !group.is_empty() {
-                let seq = if checked {
-                    sequentialize_checked(&group, || {
-                        temp_counter += 1;
-                        stats.temp_copies += 1;
-                        f.new_var(format!("pcopy{temp_counter}"))
-                    })
-                    .map_err(ReconstructError::ParallelCopy)?
-                } else {
-                    sequentialize(&group, || {
-                        temp_counter += 1;
-                        stats.temp_copies += 1;
-                        f.new_var(format!("pcopy{temp_counter}"))
-                    })
-                };
+                let seq = tossa_trace::span("parallel_copy_seq", || {
+                    if checked {
+                        sequentialize_checked(&group, || {
+                            temp_counter += 1;
+                            stats.temp_copies += 1;
+                            f.new_var(format!("pcopy{temp_counter}"))
+                        })
+                        .map_err(ReconstructError::ParallelCopy)
+                    } else {
+                        Ok(sequentialize(&group, || {
+                            temp_counter += 1;
+                            stats.temp_copies += 1;
+                            f.new_var(format!("pcopy{temp_counter}"))
+                        }))
+                    }
+                })?;
                 for (d, s) in seq {
                     let mov = f.alloc_inst(InstData::mov(d, s));
                     new_list.push(mov);

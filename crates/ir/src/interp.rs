@@ -109,6 +109,7 @@ pub fn run(f: &Function, inputs: &[i64], fuel: u64) -> Result<ExecResult, Trap> 
             }
             steps += 1;
             if steps > fuel {
+                tossa_trace::count(tossa_trace::Counter::InterpSteps, steps);
                 return Err(Trap::OutOfFuel);
             }
             let u = |idx: usize| read(&env, inst.uses[idx].var);
@@ -242,6 +243,7 @@ pub fn run(f: &Function, inputs: &[i64], fuel: u64) -> Result<ExecResult, Trap> 
                     for k in 0..inst.uses.len() {
                         outputs.push(u(k)?);
                     }
+                    tossa_trace::count(tossa_trace::Counter::InterpSteps, steps);
                     return Ok(ExecResult { outputs, steps });
                 }
                 Opcode::Phi => unreachable!("phis skipped above"),
@@ -262,6 +264,7 @@ pub fn run(f: &Function, inputs: &[i64], fuel: u64) -> Result<ExecResult, Trap> 
                 updates.push((inst.defs[0].var, read(&env, arg.var)?));
                 steps += 1;
                 if steps > fuel {
+                    tossa_trace::count(tossa_trace::Counter::InterpSteps, steps);
                     return Err(Trap::OutOfFuel);
                 }
             }

@@ -113,6 +113,9 @@ pub fn sequentialize_checked(
 
     let mut pending: Vec<(Var, Var)> = unique.into_iter().filter(|&(d, s)| d != s).collect();
     let mut out = Vec::with_capacity(pending.len());
+    if !pending.is_empty() {
+        tossa_trace::count(tossa_trace::Counter::ParallelCopyGroups, 1);
+    }
 
     while !pending.is_empty() {
         // Emit every move whose destination is not needed as a source by
@@ -141,6 +144,7 @@ pub fn sequentialize_checked(
             // destination's old value in a temp.
             let (d, _) = pending[0];
             let temp = fresh_temp();
+            tossa_trace::count(tossa_trace::Counter::ParallelCopyCycles, 1);
             out.push((temp, d));
             for (_, s) in pending.iter_mut() {
                 if *s == d {

@@ -18,6 +18,7 @@
 //! | [`core`] | the paper's contribution: pinning, interference classes, affinity graph coalescing, Leung–George mark/reconstruct |
 //! | [`baselines`] | Briggs-style naive replacement, Sreedhar et al. Method III, Chaitin coalescing |
 //! | [`bench`](mod@bench) | the five benchmark suites and the harness regenerating Tables 1–5 |
+//! | [`trace`] | zero-cost-when-disabled pass tracing: spans, counters, JSONL/Chrome-trace export |
 //!
 //! ## Quickstart
 //!
@@ -64,3 +65,4 @@ pub use tossa_bench as bench;
 pub use tossa_core as core;
 pub use tossa_ir as ir;
 pub use tossa_ssa as ssa;
+pub use tossa_trace as trace;

@@ -11,6 +11,7 @@ use tossa::core::reconstruct::out_of_pinned_ssa;
 use tossa::ir::cfg::Cfg;
 use tossa::ir::{interp, machine::Machine, parse::parse_function, Function, Var};
 use tossa::ssa::to_ssa;
+use tossa::trace::{capture, Counter, CounterSet};
 
 fn parse(text: &str) -> Function {
     let f = parse_function(text, &Machine::dsp32()).unwrap();
@@ -23,6 +24,203 @@ fn var(f: &Function, name: &str) -> Var {
         .find(|&v| f.var(v).name == name)
         .unwrap_or_else(|| panic!("no var {name}"))
 }
+
+const FIG1: &str = "
+func @fig1 {
+entry:
+  %c, %p = input
+  %a = load %p
+  %q = autoadd %p, 1
+  %b = load %q
+  %d = call f(%a, %b)
+  %e = add %c, %d
+  %l = make 0x00A1
+  %k = more %l, 0x2BFA
+  %fo = sub %e, %k
+  ret %fo
+}";
+
+const FIG2: &str = "
+func @fig2 {
+entry:
+  %c = input
+  %sp1!SP = make 1
+  %x1 = make 2
+  %y1 = make 3
+  br %c, l, r
+l:
+  %sp3!SP = phi [entry: %sp1]
+  ret %sp3
+r:
+  %sp4!SP = phi [entry: %x1]
+  ret %sp4
+}";
+
+const FIG3: &str = "
+func @fig3 {
+entry:
+  %x0, %y0 = input
+  %k = make 40
+  jump head
+head:
+  %cond = cmplt %x0, %k
+  br %cond, body, exit
+body:
+  %x0 = addi %x0, 1
+  %y0 = add %y0, %k
+  %x0 = call g(%x0, %y0)
+  jump head
+exit:
+  ret %x0
+}";
+
+const FIG5: &str = "
+func @fig5 {
+entry:
+  %c = input
+  br %c, l, r
+l:
+  %x1 = make 1
+  jump m
+r:
+  %x2 = make 2
+  jump m
+m:
+  %x = phi [l: %x1], [r: %x2]
+  %s = add %x, %x1
+  ret %s
+}";
+
+const FIG5B: &str = "
+func @fig5b {
+entry:
+  %c = input
+  %x1 = make 1
+  br %c, l, r
+l:
+  jump m
+r:
+  %x2 = make 2
+  jump m
+m:
+  %x = phi [l: %x1], [r: %x2]
+  %s = add %x, %x1
+  ret %s
+}";
+
+const FIG7: &str = "
+func @fig7 {
+entry:
+  %c, %d = input
+  %x = make 1
+  jump l2test
+l2test:
+  br %c, l2body, l1
+l2body:
+  %x = addi %x, 1
+  jump l2
+l2:
+  %x = addi %x, 1
+  br %d, l2, l2exit
+l2exit:
+  jump l2test
+l1:
+  ret %x
+}";
+
+const FIG8: &str = "
+func @fig8 {
+entry:
+  %c = input
+  br %c, l, r
+l:
+  %z = call f1()
+  jump m
+r:
+  %w = call f2()
+  %z = mov %w
+  jump m
+m:
+  %u = call f3(%z)
+  ret %u
+}";
+
+const FIG9: &str = "
+func @fig9 {
+entry:
+  %cc = input
+  br %cc, p1, p2
+p1:
+  %x = make 1
+  %y = make 2
+  jump m
+p2:
+  %z = make 3
+  %y2 = make 4
+  jump m
+m:
+  %bigx = phi [p1: %x], [p2: %z]
+  %bigy = phi [p1: %y], [p2: %y2]
+  %s = add %bigx, %bigy
+  ret %s
+}";
+
+const FIG10: &str = "
+func @fig10 {
+entry:
+  %x1, %y1, %n = input
+  %i = make 0
+  jump head
+head:
+  %x2 = phi [entry: %x1], [latch: %x3]
+  %y2 = phi [entry: %y1], [latch: %y3]
+  %i2 = phi [entry: %i], [latch: %i3]
+  %x3 = mov %y2
+  %y3 = mov %x2
+  %i3 = addi %i2, 1
+  %c = cmplt %i3, %n
+  br %c, latch, exit
+latch:
+  jump head
+exit:
+  %r = call f(%x3, %y3)
+  ret %r
+}";
+
+const FIG12: &str = "
+func @fig12 {
+entry:
+  %x0 = input
+  jump head
+head:
+  %x = phi [entry: %x0], [latch: %x1]
+  %x1 = addi %x, 1
+  %r = call f(%x!R0)
+  %c = cmplt %x1, %r
+  br %c, latch, exit
+latch:
+  jump head
+exit:
+  ret %x1
+}";
+
+const CHAIN: &str = "
+func @chain {
+entry:
+  %p, %q = input
+  jump head
+head:
+  %x = phi [entry: %p], [body: %y2]
+  %y = phi [entry: %q], [body: %x2]
+  %x2 = addi %x, 1
+  %y2 = addi %y, -1
+  %c = cmplt %x2, %y2
+  br %c, body, exit
+body:
+  jump head
+exit:
+  ret %x, %y
+}";
 
 struct Env {
     f: Function,
@@ -63,22 +261,7 @@ impl Env {
 /// the collect phase pins exactly what the figure pins.
 #[test]
 fn fig1_constraint_collection() {
-    let mut f = parse(
-        "
-func @fig1 {
-entry:
-  %c, %p = input
-  %a = load %p
-  %q = autoadd %p, 1
-  %b = load %q
-  %d = call f(%a, %b)
-  %e = add %c, %d
-  %l = make 0x00A1
-  %k = more %l, 0x2BFA
-  %fo = sub %e, %k
-  ret %fo
-}",
-    );
+    let mut f = parse(FIG1);
     pinning_abi(&mut f);
     // S0: inputs pinned to R0 and R1 (scalar order).
     let r0 = f.resources.by_name("R0").unwrap();
@@ -112,23 +295,7 @@ entry:
 /// incorrect pinning (Case 6 / strong interference).
 #[test]
 fn fig2_incorrect_sp_pinning_detected() {
-    let env = Env::new(parse(
-        "
-func @fig2 {
-entry:
-  %c = input
-  %sp1!SP = make 1
-  %x1 = make 2
-  %y1 = make 3
-  br %c, l, r
-l:
-  %sp3!SP = phi [entry: %sp1]
-  ret %sp3
-r:
-  %sp4!SP = phi [entry: %x1]
-  ret %sp4
-}",
-    ));
+    let env = Env::new(parse(FIG2));
     let err = check_pinning(&env.f, &env.env()).unwrap_err();
     assert!(err.message.contains("case 6"), "{err}");
 }
@@ -138,25 +305,7 @@ r:
 /// redundant copy is inserted for the argument already in R0.
 #[test]
 fn fig3_repair_and_redundancy_avoidance() {
-    let mut f = parse(
-        "
-func @fig3 {
-entry:
-  %x0, %y0 = input
-  %k = make 40
-  jump head
-head:
-  %cond = cmplt %x0, %k
-  br %cond, body, exit
-body:
-  %x0 = addi %x0, 1
-  %y0 = add %y0, %k
-  %x0 = call g(%x0, %y0)
-  jump head
-exit:
-  ret %x0
-}",
-    );
+    let mut f = parse(FIG3);
     let reference = interp::run(&f, &[38, 5], 100_000).unwrap();
     to_ssa(&mut f);
     pinning_sp(&mut f);
@@ -177,44 +326,10 @@ exit:
 /// (the figure's "better" solution (c)), not a repair pair (b).
 #[test]
 fn fig5_partial_phi_pinning() {
-    let mut f = parse(
-        "
-func @fig5 {
-entry:
-  %c = input
-  br %c, l, r
-l:
-  %x1 = make 1
-  jump m
-r:
-  %x2 = make 2
-  jump m
-m:
-  %x = phi [l: %x1], [r: %x2]
-  %s = add %x, %x1
-  ret %s
-}",
-    );
+    let mut f = parse(FIG5);
     // NOTE: %x1 must dominate m for the use; rewrite: define x1 in entry.
     // (Handled below by a fixed variant.)
-    let mut g = parse(
-        "
-func @fig5b {
-entry:
-  %c = input
-  %x1 = make 1
-  br %c, l, r
-l:
-  jump m
-r:
-  %x2 = make 2
-  jump m
-m:
-  %x = phi [l: %x1], [r: %x2]
-  %s = add %x, %x1
-  ret %s
-}",
-    );
+    let mut g = parse(FIG5B);
     let _ = &mut f;
     program_pinning(&mut g, &Default::default());
     assert_eq!(phi_gain(&g), 1);
@@ -231,27 +346,7 @@ m:
 /// paper's naming), leaving zero φ copies.
 #[test]
 fn fig7_worked_example() {
-    let mut f = parse(
-        "
-func @fig7 {
-entry:
-  %c, %d = input
-  %x = make 1
-  jump l2test
-l2test:
-  br %c, l2body, l1
-l2body:
-  %x = addi %x, 1
-  jump l2
-l2:
-  %x = addi %x, 1
-  br %d, l2, l2exit
-l2exit:
-  jump l2test
-l1:
-  ret %x
-}",
-    );
+    let mut f = parse(FIG7);
     // This CFG has a nested confluence (l2) and an outer one (l2test):
     // the inner-to-outer traversal must process l2 first.
     to_ssa(&mut f);
@@ -266,24 +361,7 @@ l1:
 /// variables could not merge "z" with "R0" at all.
 #[test]
 fn fig8_partial_coalescing_into_r0() {
-    let mut f = parse(
-        "
-func @fig8 {
-entry:
-  %c = input
-  br %c, l, r
-l:
-  %z = call f1()
-  jump m
-r:
-  %w = call f2()
-  %z = mov %w
-  jump m
-m:
-  %u = call f3(%z)
-  ret %u
-}",
-    );
+    let mut f = parse(FIG8);
     let src = f.clone();
     to_ssa(&mut f);
     tossa::ssa::opt::copy_propagate(&mut f);
@@ -317,27 +395,7 @@ m:
 /// one-at-a-time processing on the figure's shape.
 #[test]
 fn fig9_joint_block_optimization() {
-    let src = parse(
-        "
-func @fig9 {
-entry:
-  %cc = input
-  br %cc, p1, p2
-p1:
-  %x = make 1
-  %y = make 2
-  jump m
-p2:
-  %z = make 3
-  %y2 = make 4
-  jump m
-m:
-  %bigx = phi [p1: %x], [p2: %z]
-  %bigy = phi [p1: %y], [p2: %y2]
-  %s = add %bigx, %bigy
-  ret %s
-}",
-    );
+    let src = parse(FIG9);
     let mut ours = src.clone();
     program_pinning(&mut ours, &Default::default());
     let ours_stats = out_of_pinned_ssa(&mut ours);
@@ -356,29 +414,7 @@ m:
 /// three moves on the swapping edge.
 #[test]
 fn fig10_parallel_copies() {
-    let src = parse(
-        "
-func @fig10 {
-entry:
-  %x1, %y1, %n = input
-  %i = make 0
-  jump head
-head:
-  %x2 = phi [entry: %x1], [latch: %x3]
-  %y2 = phi [entry: %y1], [latch: %y3]
-  %i2 = phi [entry: %i], [latch: %i3]
-  %x3 = mov %y2
-  %y3 = mov %x2
-  %i3 = addi %i2, 1
-  %c = cmplt %i3, %n
-  br %c, latch, exit
-latch:
-  jump head
-exit:
-  %r = call f(%x3, %y3)
-  ret %r
-}",
-    );
+    let src = parse(FIG10);
     let mut f = src.clone();
     tossa::ssa::opt::copy_propagate(&mut f);
     tossa::ssa::opt::dce(&mut f);
@@ -401,24 +437,7 @@ exit:
 /// is not coalesced with later uses — the documented limitation.
 #[test]
 fn fig12_repair_variable_limitation() {
-    let mut f = parse(
-        "
-func @fig12 {
-entry:
-  %x0 = input
-  jump head
-head:
-  %x = phi [entry: %x0], [latch: %x1]
-  %x1 = addi %x, 1
-  %r = call f(%x!R0)
-  %c = cmplt %x1, %r
-  br %c, latch, exit
-latch:
-  jump head
-exit:
-  ret %x1
-}",
-    );
+    let mut f = parse(FIG12);
     pinning_sp(&mut f);
     pinning_abi(&mut f);
     program_pinning(&mut f, &Default::default());
@@ -437,25 +456,7 @@ exit:
 /// class is interference-free even on adversarial chained φs.
 #[test]
 fn sreedhar_classes_are_conventional() {
-    let mut f = parse(
-        "
-func @chain {
-entry:
-  %p, %q = input
-  jump head
-head:
-  %x = phi [entry: %p], [body: %y2]
-  %y = phi [entry: %q], [body: %x2]
-  %x2 = addi %x, 1
-  %y2 = addi %y, -1
-  %c = cmplt %x2, %y2
-  br %c, body, exit
-body:
-  jump head
-exit:
-  ret %x, %y
-}",
-    );
+    let mut f = parse(CHAIN);
     let src = f.clone();
     to_cssa(&mut f);
     // Conventional: merging every class into one name is semantics
@@ -466,5 +467,285 @@ exit:
     assert_eq!(
         interp::run(&src, &[0, 10], 10_000).unwrap().outputs,
         interp::run(&g, &[0, 10], 10_000).unwrap().outputs
+    );
+}
+
+// ── Golden counters ──────────────────────────────────────────────────
+//
+// Each figure's pipeline runs once under trace capture and the full
+// counter set is pinned exactly (every counter not listed must be 0).
+// When a counter drifts the failure message prints the actual values as
+// ready-to-paste `(Counter, value)` pairs, so an intended change is a
+// one-line snapshot update.
+
+fn golden(label: &str, actual: &CounterSet, expected: &[(Counter, u64)]) {
+    use std::fmt::Write as _;
+    let mut diffs = String::new();
+    for &c in Counter::ALL.iter() {
+        let want = expected
+            .iter()
+            .find(|&&(k, _)| k == c)
+            .map_or(0, |&(_, v)| v);
+        if actual.get(c) != want {
+            let _ = writeln!(diffs, "    (Counter::{c:?}, {}),", actual.get(c));
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "{label}: counter snapshot drifted; differing counters at their actual values:\n{diffs}"
+    );
+}
+
+#[test]
+fn fig1_golden_counters() {
+    let mut f = parse(FIG1);
+    let ((), data) = capture(|| {
+        pinning_abi(&mut f);
+    });
+    golden("fig1", &data.counters, &[(Counter::PinsAbi, 10)]);
+}
+
+#[test]
+fn fig2_golden_counters() {
+    let ((), data) = capture(|| {
+        let env = Env::new(parse(FIG2));
+        check_pinning(&env.f, &env.env()).unwrap_err();
+    });
+    golden(
+        "fig2",
+        &data.counters,
+        &[
+            (Counter::InterfereClass3, 1),
+            (Counter::LivenessIterations, 3),
+        ],
+    );
+}
+
+#[test]
+fn fig3_golden_counters() {
+    let mut f = parse(FIG3);
+    let ((), data) = capture(|| {
+        to_ssa(&mut f);
+        pinning_sp(&mut f);
+        pinning_abi(&mut f);
+        program_pinning(&mut f, &Default::default());
+        out_of_pinned_ssa(&mut f);
+    });
+    golden(
+        "fig3",
+        &data.counters,
+        &[
+            (Counter::CongruenceClasses, 2),
+            (Counter::CoalesceMerges, 3),
+            (Counter::PinnedVars, 3),
+            (Counter::AffinityEdges, 3),
+            (Counter::OracleQueries, 7),
+            (Counter::OracleCacheHits, 3),
+            (Counter::CopiesAbi, 1),
+            (Counter::PhisRemoved, 2),
+            (Counter::LivenessIterations, 10),
+            (Counter::AnalysisCacheHits, 5),
+            (Counter::AnalysisCacheMisses, 6),
+            (Counter::ParallelCopyGroups, 1),
+            (Counter::PinsAbi, 6),
+            (Counter::PinsPhi, 3),
+        ],
+    );
+}
+
+#[test]
+fn fig5_golden_counters() {
+    let mut f = parse(FIG5B);
+    let ((), data) = capture(|| {
+        program_pinning(&mut f, &Default::default());
+        out_of_pinned_ssa(&mut f);
+    });
+    golden(
+        "fig5",
+        &data.counters,
+        &[
+            (Counter::CongruenceClasses, 1),
+            (Counter::CoalesceMerges, 2),
+            (Counter::AffinityEdges, 2),
+            (Counter::AffinityPrunedInitial, 1),
+            (Counter::InterfereClass1, 1),
+            (Counter::OracleQueries, 3),
+            (Counter::OracleCacheHits, 1),
+            (Counter::CopiesPhi, 1),
+            (Counter::PhisRemoved, 1),
+            (Counter::LivenessIterations, 4),
+            (Counter::AnalysisCacheHits, 5),
+            (Counter::AnalysisCacheMisses, 6),
+            (Counter::ParallelCopyGroups, 1),
+            (Counter::PinsPhi, 2),
+        ],
+    );
+}
+
+#[test]
+fn fig7_golden_counters() {
+    let mut f = parse(FIG7);
+    let ((), data) = capture(|| {
+        to_ssa(&mut f);
+        program_pinning(&mut f, &Default::default());
+        out_of_pinned_ssa(&mut f);
+    });
+    golden(
+        "fig7",
+        &data.counters,
+        &[
+            (Counter::CongruenceClasses, 2),
+            (Counter::CoalesceMerges, 5),
+            (Counter::AffinityEdges, 4),
+            (Counter::OracleQueries, 10),
+            (Counter::OracleCacheHits, 4),
+            (Counter::PhisRemoved, 2),
+            (Counter::EdgesSplit, 1),
+            (Counter::LivenessIterations, 18),
+            (Counter::AnalysisCacheHits, 5),
+            (Counter::AnalysisCacheMisses, 6),
+            (Counter::PinsPhi, 5),
+        ],
+    );
+}
+
+#[test]
+fn fig8_golden_counters() {
+    let mut f = parse(FIG8);
+    let ((), data) = capture(|| {
+        to_ssa(&mut f);
+        tossa::ssa::opt::copy_propagate(&mut f);
+        tossa::ssa::opt::dce(&mut f);
+        pinning_abi(&mut f);
+        program_pinning(&mut f, &Default::default());
+        out_of_pinned_ssa(&mut f);
+    });
+    golden(
+        "fig8",
+        &data.counters,
+        &[
+            (Counter::CongruenceClasses, 1),
+            (Counter::CoalesceMerges, 1),
+            (Counter::PinnedVars, 4),
+            (Counter::AffinityEdges, 1),
+            (Counter::OracleQueries, 2),
+            (Counter::OracleCacheHits, 1),
+            (Counter::PhisRemoved, 1),
+            (Counter::LivenessIterations, 8),
+            (Counter::AnalysisCacheHits, 5),
+            (Counter::AnalysisCacheMisses, 6),
+            (Counter::PinsAbi, 6),
+            (Counter::PinsPhi, 1),
+        ],
+    );
+}
+
+#[test]
+fn fig9_golden_counters() {
+    let mut f = parse(FIG9);
+    let ((), data) = capture(|| {
+        program_pinning(&mut f, &Default::default());
+        out_of_pinned_ssa(&mut f);
+    });
+    golden(
+        "fig9",
+        &data.counters,
+        &[
+            (Counter::CongruenceClasses, 2),
+            (Counter::CoalesceMerges, 6),
+            (Counter::AffinityEdges, 4),
+            (Counter::OracleQueries, 10),
+            (Counter::OracleCacheHits, 4),
+            (Counter::PhisRemoved, 2),
+            (Counter::LivenessIterations, 4),
+            (Counter::AnalysisCacheHits, 5),
+            (Counter::AnalysisCacheMisses, 6),
+            (Counter::PinsPhi, 6),
+        ],
+    );
+}
+
+#[test]
+fn fig10_golden_counters() {
+    let mut f = parse(FIG10);
+    let ((), data) = capture(|| {
+        tossa::ssa::opt::copy_propagate(&mut f);
+        tossa::ssa::opt::dce(&mut f);
+        program_pinning(&mut f, &Default::default());
+        out_of_pinned_ssa(&mut f);
+    });
+    golden(
+        "fig10",
+        &data.counters,
+        &[
+            (Counter::CongruenceClasses, 3),
+            (Counter::CoalesceMerges, 7),
+            (Counter::AffinityEdges, 5),
+            (Counter::AffinityPrunedInitial, 1),
+            (Counter::InterfereClass4, 1),
+            (Counter::OracleQueries, 10),
+            (Counter::OracleCacheHits, 4),
+            (Counter::CopiesPhi, 2),
+            (Counter::CopiesTemp, 1),
+            (Counter::PhisRemoved, 3),
+            (Counter::LivenessIterations, 5),
+            (Counter::AnalysisCacheHits, 5),
+            (Counter::AnalysisCacheMisses, 6),
+            (Counter::ParallelCopyGroups, 1),
+            (Counter::ParallelCopyCycles, 1),
+            (Counter::PinsPhi, 7),
+        ],
+    );
+}
+
+#[test]
+fn fig12_golden_counters() {
+    let mut f = parse(FIG12);
+    let ((), data) = capture(|| {
+        pinning_sp(&mut f);
+        pinning_abi(&mut f);
+        program_pinning(&mut f, &Default::default());
+        out_of_pinned_ssa(&mut f);
+    });
+    golden(
+        "fig12",
+        &data.counters,
+        &[
+            (Counter::CongruenceClasses, 1),
+            (Counter::CoalesceMerges, 1),
+            (Counter::PinnedVars, 2),
+            (Counter::AffinityEdges, 2),
+            (Counter::AffinityPrunedInitial, 1),
+            (Counter::InterfereClass1, 1),
+            (Counter::OracleQueries, 3),
+            (Counter::OracleCacheHits, 1),
+            (Counter::CopiesPhi, 1),
+            (Counter::CopiesAbi, 1),
+            (Counter::PhisRemoved, 1),
+            (Counter::LivenessIterations, 4),
+            (Counter::AnalysisCacheHits, 5),
+            (Counter::AnalysisCacheMisses, 6),
+            (Counter::ParallelCopyGroups, 2),
+            (Counter::PinsAbi, 4),
+            (Counter::PinsPhi, 1),
+        ],
+    );
+}
+
+#[test]
+fn sreedhar_golden_counters() {
+    let mut f = parse(CHAIN);
+    let ((), data) = capture(|| {
+        to_cssa(&mut f);
+    });
+    golden(
+        "sreedhar_chain",
+        &data.counters,
+        &[
+            (Counter::CopiesPhi, 2),
+            (Counter::LivenessIterations, 12),
+            (Counter::AnalysisCacheHits, 8),
+            (Counter::AnalysisCacheMisses, 10),
+        ],
     );
 }

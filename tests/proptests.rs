@@ -184,3 +184,125 @@ fn coalescer_creates_no_repairs_without_abi() {
         );
     }
 }
+
+/// Trace counters are internally consistent on arbitrary programs:
+/// inserted-vs-coalesced copy accounting never goes negative, every
+/// coalescing decision is backed by an affinity edge, the oracle's memo
+/// arithmetic holds, and the reconstruction stats agree with the trace.
+#[test]
+fn trace_counter_invariants() {
+    use tossa::trace::{capture, Counter};
+    for seed in seeds(8) {
+        let bf = generate_function(
+            seed,
+            &SynthConfig {
+                functions: 1,
+                ..Default::default()
+            },
+        );
+        let opts = CoalesceOptions::default();
+        let (r, data) = capture(|| run_experiment(&bf.func, Experiment::LphiAbiC, &opts));
+        let c = &data.counters;
+        // The cleanup cannot delete more copies than the pipeline put in.
+        assert!(
+            c.copies_inserted() >= c.get(Counter::CopiesCoalesced),
+            "seed {seed}: inserted {} < coalesced {}",
+            c.copies_inserted(),
+            c.get(Counter::CopiesCoalesced)
+        );
+        // Every coalesce event traces back to a pin or an affinity edge.
+        if c.get(Counter::CongruenceClasses) > 0 {
+            assert!(c.get(Counter::AffinityEdges) > 0, "seed {seed}");
+        }
+        assert!(
+            c.get(Counter::CongruenceClasses) <= c.get(Counter::AffinityEdges),
+            "seed {seed}: each congruence class needs at least one affinity edge"
+        );
+        assert!(
+            c.get(Counter::CoalesceMerges) <= c.get(Counter::PinsPhi),
+            "seed {seed}: merges pin the variables they merge"
+        );
+        assert!(
+            c.get(Counter::AffinityPrunedInitial) + c.get(Counter::AffinityPrunedBipartite)
+                <= c.get(Counter::AffinityEdges),
+            "seed {seed}: cannot prune more edges than were built"
+        );
+        assert!(
+            c.get(Counter::OracleCacheHits) <= c.get(Counter::OracleQueries),
+            "seed {seed}"
+        );
+        assert!(
+            c.get(Counter::ParallelCopyCycles) <= c.get(Counter::ParallelCopyGroups),
+            "seed {seed}"
+        );
+        // The runner's own stats and the trace must tell one story.
+        assert_eq!(
+            c.get(Counter::CopiesPhi),
+            r.recon.phi_copies as u64,
+            "seed {seed}"
+        );
+        assert_eq!(
+            c.get(Counter::CopiesRepair),
+            r.recon.repair_copies as u64,
+            "seed {seed}"
+        );
+        assert_eq!(
+            c.get(Counter::CopiesTemp),
+            r.recon.temp_copies as u64,
+            "seed {seed}"
+        );
+        assert_eq!(
+            c.get(Counter::PhisRemoved),
+            r.recon.phis_removed as u64,
+            "seed {seed}"
+        );
+        assert_eq!(
+            c.get(Counter::EdgesSplit),
+            r.recon.edges_split as u64,
+            "seed {seed}"
+        );
+        assert_eq!(
+            c.get(Counter::CopiesCoalesced),
+            r.coalesced as u64,
+            "seed {seed}"
+        );
+    }
+}
+
+/// The span tree of a traced run is well nested, and two runs of the
+/// same pipeline on the same input record identical counters.
+#[test]
+fn trace_spans_nest_and_counters_replay() {
+    use tossa::trace::capture;
+    for seed in seeds(9) {
+        let bf = generate_function(
+            seed,
+            &SynthConfig {
+                functions: 1,
+                ..Default::default()
+            },
+        );
+        let opts = CoalesceOptions::default();
+        let (_, first) = capture(|| run_experiment(&bf.func, Experiment::LphiAbiC, &opts));
+        first
+            .check_well_nested()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(
+            !first.spans.is_empty(),
+            "seed {seed}: pipeline recorded no spans"
+        );
+        let (_, second) = capture(|| run_experiment(&bf.func, Experiment::LphiAbiC, &opts));
+        assert_eq!(
+            first.counters, second.counters,
+            "seed {seed}: counters must be deterministic across identical runs"
+        );
+        // The span *structure* replays too: same names in the same order.
+        let names = |d: &tossa::trace::TraceData| {
+            d.spans
+                .iter()
+                .map(|s| (s.name, s.depth))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(names(&first), names(&second), "seed {seed}");
+    }
+}

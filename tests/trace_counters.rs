@@ -1,0 +1,105 @@
+//! Differential counter validation: for the pipeline and for each
+//! baseline, the copy counts reported on the trace sink must match an
+//! independent recount of the `mov` instructions actually present in
+//! the output IR.
+//!
+//! The recount exploits the arena discipline of [`Function`]: every
+//! pass adds instructions with `alloc_inst`/`insert_inst`, which append
+//! to the instruction arena, so an instruction id at or above the
+//! pre-pass watermark was inserted by the pass under test.
+
+use tossa::baselines::naive::naive_out_of_ssa;
+use tossa::baselines::sreedhar::to_cssa;
+use tossa::bench::suites::synth::{generate_function, SynthConfig};
+use tossa::core::coalesce::program_pinning;
+use tossa::core::collect::{pinning_abi, pinning_sp};
+use tossa::core::reconstruct::out_of_pinned_ssa;
+use tossa::ir::{Function, Opcode};
+use tossa::ssa::to_ssa;
+use tossa::trace::{capture, Counter};
+
+/// Seeded fuzz population shared by all three differential checks.
+fn population() -> Vec<Function> {
+    (0..16u64)
+        .map(|seed| {
+            let bf = generate_function(
+                seed,
+                &SynthConfig {
+                    functions: 1,
+                    ..Default::default()
+                },
+            );
+            let mut f = bf.func;
+            to_ssa(&mut f);
+            f
+        })
+        .collect()
+}
+
+/// First instruction id a pass running now could allocate.
+fn watermark(f: &Function) -> usize {
+    f.all_insts()
+        .map(|(_, i)| i.index())
+        .max()
+        .map_or(0, |m| m + 1)
+}
+
+/// Counts the `mov`s in `f` inserted at or after `first_new`.
+fn inserted_movs(f: &Function, first_new: usize) -> u64 {
+    f.all_insts()
+        .filter(|&(_, i)| i.index() >= first_new && f.inst(i).opcode == Opcode::Mov)
+        .count() as u64
+}
+
+/// Pipeline: every copy the trace claims was inserted (φ + ABI + repair
+/// + cycle temps) is a `mov` in the output, and vice versa.
+#[test]
+fn pipeline_copy_counters_match_recount() {
+    for (k, mut f) in population().into_iter().enumerate() {
+        let mark = watermark(&f);
+        let ((), data) = capture(|| {
+            pinning_sp(&mut f);
+            pinning_abi(&mut f);
+            program_pinning(&mut f, &Default::default());
+            out_of_pinned_ssa(&mut f);
+        });
+        let recount = inserted_movs(&f, mark);
+        assert_eq!(
+            data.counters.copies_inserted(),
+            recount,
+            "seed {k}: trace says {} copies, the output IR holds {recount}\n{f}",
+            data.counters.copies_inserted()
+        );
+    }
+}
+
+/// Naive baseline: φ copies + cycle temps equal the inserted `mov`s.
+#[test]
+fn naive_copy_counters_match_recount() {
+    for (k, mut f) in population().into_iter().enumerate() {
+        let mark = watermark(&f);
+        let (stats, data) = capture(|| naive_out_of_ssa(&mut f));
+        let traced = data.counters.get(Counter::CopiesPhi) + data.counters.get(Counter::CopiesTemp);
+        let recount = inserted_movs(&f, mark);
+        assert_eq!(
+            traced, recount,
+            "seed {k}: trace says {traced}, the output IR holds {recount} ({stats:?})\n{f}"
+        );
+    }
+}
+
+/// Sreedhar CSSA conversion: the traced φ-copy total equals the
+/// inserted `mov`s.
+#[test]
+fn sreedhar_copy_counters_match_recount() {
+    for (k, mut f) in population().into_iter().enumerate() {
+        let mark = watermark(&f);
+        let (stats, data) = capture(|| to_cssa(&mut f));
+        let traced = data.counters.get(Counter::CopiesPhi);
+        let recount = inserted_movs(&f, mark);
+        assert_eq!(
+            traced, recount,
+            "seed {k}: trace says {traced}, the output IR holds {recount} ({stats:?})\n{f}"
+        );
+    }
+}

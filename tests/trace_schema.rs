@@ -1,0 +1,92 @@
+//! Schema checks for the trace exporters: every JSONL record and the
+//! Chrome trace document must be well-formed JSON with the advertised
+//! keys, validated with the crate's own recursive-descent checker (the
+//! build has no serde). CI runs these alongside the `trace-smoke` step
+//! that produces the real artifacts.
+
+use tossa::bench::runner::run_suite_each_traced;
+use tossa::bench::suites::{paper_examples, Suite};
+use tossa::core::coalesce::CoalesceOptions;
+use tossa::core::Experiment;
+use tossa::trace::{chrome_trace, jsonl_record, validate_json, Counter, TraceData};
+
+fn traced_suite() -> Vec<(String, TraceData)> {
+    let suite = Suite {
+        name: "example1-8",
+        functions: paper_examples::examples(),
+    };
+    run_suite_each_traced(
+        &suite,
+        Experiment::LphiAbiC,
+        &CoalesceOptions::default(),
+        false,
+    )
+    .into_iter()
+    .enumerate()
+    .map(|(k, (_, trace))| (suite.functions[k].func.name.clone(), trace))
+    .collect()
+}
+
+#[test]
+fn jsonl_records_are_valid_and_complete() {
+    let traces = traced_suite();
+    assert!(!traces.is_empty());
+    for (func, trace) in &traces {
+        let line = jsonl_record(func, "LphiAbiC", trace);
+        assert!(!line.contains('\n'), "one record per line: {line}");
+        validate_json(&line).unwrap_or_else(|e| panic!("{func}: {e}\n{line}"));
+        assert!(
+            line.contains("\"schema\": \"tossa-trace/1\""),
+            "{func}: missing schema tag\n{line}"
+        );
+        for key in [
+            "\"function\"",
+            "\"experiment\"",
+            "\"counters\"",
+            "\"spans\"",
+        ] {
+            assert!(line.contains(key), "{func}: missing {key}\n{line}");
+        }
+        // The counter object is total: every counter key appears even
+        // when zero, so downstream columnar readers never see holes.
+        for c in Counter::ALL.iter() {
+            assert!(
+                line.contains(&format!("\"{}\":", c.name())),
+                "{func}: missing counter key {}\n{line}",
+                c.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn chrome_trace_is_valid_trace_event_json() {
+    let doc = chrome_trace(&traced_suite());
+    validate_json(&doc).unwrap_or_else(|e| panic!("{e}"));
+    assert!(doc.contains("\"traceEvents\""));
+    // Complete events carry phase, timestamp, duration, pid and tid.
+    for key in [
+        "\"ph\": \"X\"",
+        "\"ts\":",
+        "\"dur\":",
+        "\"pid\":",
+        "\"tid\":",
+    ] {
+        assert!(doc.contains(key), "missing {key}");
+    }
+}
+
+#[test]
+fn validator_rejects_malformed_documents() {
+    for bad in [
+        "",
+        "{",
+        "{\"a\": }",
+        "[1, 2,]",
+        "{\"a\": 1} trailing",
+        "{\"a\": \"unterminated}",
+        "nul",
+    ] {
+        assert!(validate_json(bad).is_err(), "accepted malformed: {bad:?}");
+    }
+}
