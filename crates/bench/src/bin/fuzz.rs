@@ -6,15 +6,18 @@
 //! report. Failing cases are shrunk with the delta-debugging reducer
 //! before printing.
 //!
-//! Usage: `fuzz [--functions N] [--seed S] [--experiment NAME] [--chaos CLASS] [--fuel F] [--no-reduce]`
+//! Usage: `fuzz [--functions N] [--seed S] [--experiment NAME] [--chaos CLASS] [--fuel F] [--alloc] [--no-reduce]`
 //!
 //! * `--functions N` — population size (default 200);
 //! * `--seed S`      — base seed (default 1; equal seeds, equal runs);
 //! * `--experiment NAME` — one experiment (default: all ten);
 //! * `--chaos CLASS` — inject a corruption class (`drop-phi-arg`,
-//!   `double-def`, `undefined-use`, `merge-webs`, `reorder-copy`) to
-//!   validate the safety net: the run then *expects* degradations and
-//!   fails if the fallback misbehaves;
+//!   `double-def`, `undefined-use`, `merge-webs`, `reorder-copy`, or the
+//!   allocation classes `assign-overlap`, `clobber-pin`, `drop-reload`,
+//!   which imply `--alloc`) to validate the safety net: the run then
+//!   *expects* degradations and fails if the fallback misbehaves;
+//! * `--alloc`       — run the checked register-allocation stage after
+//!   the pipeline (allocation verifier + post-allocation differential);
 //! * `--fuel F`      — interpreter step budget (default 5,000,000);
 //! * `--no-reduce`   — print failing cases unreduced;
 //! * `--trace [DIR]` — capture per-function traces (verifier spans,
@@ -31,17 +34,30 @@ use tossa_bench::checked::{
 };
 use tossa_bench::reduce::reduce;
 use tossa_bench::suites::BenchFunction;
-use tossa_core::chaos::{Catcher, Corruption};
+use tossa_core::chaos::{AllocCorruption, Catcher, Corruption};
 use tossa_core::coalesce::CoalesceOptions;
 use tossa_core::Experiment;
 
-fn parse_chaos(s: &str) -> Option<Corruption> {
+/// A fuzzable corruption class: a pipeline-pass fault or an
+/// allocation fault (the latter implies the allocation stage).
+#[derive(Clone, Copy, Debug)]
+enum ChaosClass {
+    Pass(Corruption),
+    Alloc(AllocCorruption),
+}
+
+fn parse_chaos(s: &str) -> Option<ChaosClass> {
     match s {
-        "drop-phi-arg" => Some(Corruption::DropPhiArg),
-        "double-def" => Some(Corruption::DoubleDef),
-        "undefined-use" => Some(Corruption::UndefinedUse),
-        "merge-webs" => Some(Corruption::MergeInterferingWebs),
-        "reorder-copy" => Some(Corruption::ReorderParallelCopy),
+        "drop-phi-arg" => Some(ChaosClass::Pass(Corruption::DropPhiArg)),
+        "double-def" => Some(ChaosClass::Pass(Corruption::DoubleDef)),
+        "undefined-use" => Some(ChaosClass::Pass(Corruption::UndefinedUse)),
+        "merge-webs" => Some(ChaosClass::Pass(Corruption::MergeInterferingWebs)),
+        "reorder-copy" => Some(ChaosClass::Pass(Corruption::ReorderParallelCopy)),
+        "assign-overlap" => Some(ChaosClass::Alloc(
+            AllocCorruption::AssignOverlappingInterval,
+        )),
+        "clobber-pin" => Some(ChaosClass::Alloc(AllocCorruption::ClobberPinnedResource)),
+        "drop-reload" => Some(ChaosClass::Alloc(AllocCorruption::DropReload)),
         _ => None,
     }
 }
@@ -62,12 +78,17 @@ fn main() {
     let fuel = value("--fuel")
         .and_then(|v| v.parse().ok())
         .unwrap_or(5_000_000);
-    let chaos = value("--chaos").map(|v| {
+    let chaos_class = value("--chaos").map(|v| {
         parse_chaos(&v).unwrap_or_else(|| {
             eprintln!("unknown chaos class {v:?}");
             std::process::exit(2);
         })
     });
+    let (chaos, alloc_chaos) = match chaos_class {
+        None => (None, None),
+        Some(ChaosClass::Pass(c)) => (Some(c), None),
+        Some(ChaosClass::Alloc(c)) => (None, Some(c)),
+    };
     let experiments: Vec<Experiment> = match value("--experiment") {
         None => Experiment::all().to_vec(),
         Some(name) => {
@@ -92,6 +113,8 @@ fn main() {
         fuel,
         chaos,
         chaos_seed: seed,
+        alloc: flag("--alloc") || alloc_chaos.is_some(),
+        alloc_chaos,
     };
 
     let tracing = flag("--trace");
@@ -118,7 +141,7 @@ fn main() {
             run_suite_checked(&suite, exp, &opts, &copts)
         };
         print!("{report}");
-        match chaos {
+        match chaos_class {
             None => {
                 // A degradation without injected faults is a real bug:
                 // shrink and print each failing case.
@@ -154,12 +177,15 @@ fn main() {
                 // verifier-caught class that actually landed must degrade
                 // its function, and every fallback must be semantically
                 // correct. (The differential class may be neutral on the
-                // sampled inputs, so a clean injection is not a miss.)
+                // sampled inputs, so a clean injection is not a miss; the
+                // allocation classes are all verifier-caught.)
+                let verifier_caught = match c {
+                    ChaosClass::Pass(p) => p.caught_by() != Catcher::Differential,
+                    ChaosClass::Alloc(_) => true,
+                };
                 if report.injected == 0 {
                     eprintln!("{exp}: {c:?} found no injection site in this population");
-                } else if c.caught_by() != Catcher::Differential
-                    && report.failures.len() < report.injected
-                {
+                } else if verifier_caught && report.failures.len() < report.injected {
                     eprintln!(
                         "{exp}: {c:?} injected into {} functions but only {} caught",
                         report.injected,

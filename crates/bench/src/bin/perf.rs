@@ -4,7 +4,7 @@
 //! wall clocks.
 //!
 //! Usage: `perf [--out FILE] [--serial] [--compare] [--no-verify]
-//! [--no-counters] [--spec N] [--trace [DIR]]`
+//! [--no-counters] [--no-alloc] [--spec N] [--trace [DIR]]`
 //!
 //! * `--serial`   — run on one thread (the JSON records the mode);
 //! * `--compare`  — run serial then parallel, print the speedup, and
@@ -13,6 +13,8 @@
 //!   then measure translation alone);
 //! * `--no-counters` — skip the traced counter pass (cells then carry
 //!   no `"counters"` object);
+//! * `--no-alloc` — skip the register-allocation post-pass (cells then
+//!   carry no `"alloc"` object and `alloc_ns` stays 0);
 //! * `--spec N`   — scale of the SPECint-like synthetic population;
 //! * `--trace [DIR]` — additionally run the focus suites (kernels +
 //!   vocoder) under per-function trace capture and write
@@ -101,16 +103,17 @@ fn main() {
             .and_then(|p| args.get(p + 1))
             .cloned()
     };
-    let out = value("--out").unwrap_or_else(|| "BENCH_pr3.json".into());
+    let out = value("--out").unwrap_or_else(|| "BENCH_pr4.json".into());
     let verify = !flag("--no-verify");
     let counters = !flag("--no-counters");
+    let alloc = !flag("--no-alloc");
     let spec_scale = value("--spec").and_then(|v| v.parse().ok()).unwrap_or(40);
 
     let suites = all_suites(spec_scale);
     let trajectory = if flag("--compare") {
-        let serial = measure(&suites, verify, true, false);
+        let serial = measure(&suites, verify, true, false, alloc);
         summarize(&serial);
-        let parallel = measure(&suites, verify, false, counters);
+        let parallel = measure(&suites, verify, false, counters, alloc);
         summarize(&parallel);
         let s = serial.wall_ns_for(&FOCUS_SUITES) as f64;
         let p = parallel.wall_ns_for(&FOCUS_SUITES) as f64;
@@ -126,7 +129,7 @@ fn main() {
         );
         parallel
     } else {
-        let t = measure(&suites, verify, flag("--serial"), counters);
+        let t = measure(&suites, verify, flag("--serial"), counters, alloc);
         summarize(&t);
         t
     };

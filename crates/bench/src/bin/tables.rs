@@ -1,6 +1,6 @@
 //! Regenerates the paper's tables.
 //!
-//! Usage: `tables [table1|table2|table3|table4|table5|all] [--no-verify] [--spec N]`
+//! Usage: `tables [table1|table2|table3|table4|table5|table6|all] [--no-verify] [--spec N]`
 
 use tossa_bench::suites::all_suites;
 use tossa_bench::tables;
@@ -40,15 +40,17 @@ fn main() {
         "table3" => print!("{}", tables::table3(&suites, verify)),
         "table4" => print!("{}", tables::table4(&suites, verify)),
         "table5" => print!("{}", tables::table5(&suites, verify)),
+        "table6" => print!("{}", tables::table6(&suites, verify)),
         "all" => {
             println!("{}", tables::table1());
             println!("{}", tables::table2(&suites, verify));
             println!("{}", tables::table3(&suites, verify));
             println!("{}", tables::table4(&suites, verify));
             println!("{}", tables::table5(&suites, verify));
+            println!("{}", tables::table6(&suites, verify));
         }
         other => {
-            eprintln!("unknown table `{other}`; use table1..table5 or all");
+            eprintln!("unknown table `{other}`; use table1..table6 or all");
             std::process::exit(2);
         }
     }

@@ -20,7 +20,7 @@ use crate::suites::{BenchFunction, Suite};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use tossa_analysis::AnalysisCache;
 use tossa_baselines::{naive_out_of_ssa, to_cssa_cached};
-use tossa_core::chaos::{self, Catcher, Corruption};
+use tossa_core::chaos::{self, AllocCorruption, Catcher, Corruption};
 use tossa_core::checked::{check_form, IrForm, PassGuard};
 use tossa_core::coalesce::CoalesceOptions;
 use tossa_core::collect::{naive_abi, pinning_abi, pinning_cssa, pinning_sp};
@@ -29,6 +29,7 @@ use tossa_core::reconstruct::out_of_pinned_ssa_checked;
 use tossa_core::{program_pinning_cached, Experiment};
 use tossa_ir::rng::SplitMix64;
 use tossa_ir::Function;
+use tossa_regalloc::{AllocOptions, AllocStats};
 use tossa_ssa::verify_cssa;
 
 /// Tuning of a checked run.
@@ -40,6 +41,12 @@ pub struct CheckedOptions {
     pub chaos: Option<Corruption>,
     /// Seed for the corruption site choice.
     pub chaos_seed: u64,
+    /// Run register allocation after the pipeline, with the allocation
+    /// verifier and a post-allocation differential check.
+    pub alloc: bool,
+    /// Inject this allocation corruption between assignment and the
+    /// allocation verifier (implies the allocation stage).
+    pub alloc_chaos: Option<AllocCorruption>,
 }
 
 impl Default for CheckedOptions {
@@ -48,6 +55,8 @@ impl Default for CheckedOptions {
             fuel: 5_000_000,
             chaos: None,
             chaos_seed: 0,
+            alloc: false,
+            alloc_chaos: None,
         }
     }
 }
@@ -70,6 +79,8 @@ pub struct CheckedOutcome {
     /// Whether a [`CheckedOptions::chaos`] corruption actually found an
     /// injection site in this function.
     pub injected: bool,
+    /// Allocation statistics (when the allocation stage ran cleanly).
+    pub alloc: Option<AllocStats>,
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -236,14 +247,41 @@ pub fn run_checked(
     });
     let injected = injected.get();
     match piped {
-        Ok(func) => CheckedOutcome {
-            moves: crate::metrics::move_count(&func),
-            func,
-            error: None,
-            fell_back: false,
-            fallback_error: None,
-            injected,
-        },
+        Ok(func) => {
+            let mut outcome = CheckedOutcome {
+                moves: crate::metrics::move_count(&func),
+                func,
+                error: None,
+                fell_back: false,
+                fallback_error: None,
+                injected,
+                alloc: None,
+            };
+            if copts.alloc || copts.alloc_chaos.is_some() {
+                let hit = std::cell::Cell::new(false);
+                let alloced = catch_unwind(AssertUnwindSafe(|| {
+                    alloc_checked(&outcome.func, &guard, copts, &hit)
+                }))
+                .unwrap_or_else(|p| {
+                    Err(TossaError::Panic {
+                        pass: "alloc",
+                        message: panic_message(p),
+                    })
+                });
+                outcome.injected |= hit.get();
+                match alloced {
+                    Ok((af, stats)) => {
+                        outcome.moves = crate::metrics::move_count(&af);
+                        outcome.func = af;
+                        outcome.alloc = Some(stats);
+                    }
+                    // The unallocated pipeline output stays usable; the
+                    // allocation failure is the reported diagnostic.
+                    Err(e) => outcome.error = Some(e),
+                }
+            }
+            outcome
+        }
         Err(error) => {
             tossa_trace::count(tossa_trace::Counter::FallbacksTaken, 1);
             tossa_trace::event("fallback", || format!("{}: {error}", bf.func.name));
@@ -255,9 +293,40 @@ pub fn run_checked(
                 fell_back: true,
                 fallback_error,
                 injected,
+                alloc: None,
             }
         }
     }
+}
+
+/// The checked allocation stage: assignment + spill code, optional fault
+/// injection, the independent allocation verifier, the physical rewrite,
+/// then differential execution of the *allocated* code against the
+/// pre-pipeline source.
+fn alloc_checked(
+    func: &Function,
+    guard: &PassGuard,
+    copts: &CheckedOptions,
+    injected: &std::cell::Cell<bool>,
+) -> Result<(Function, AllocStats), TossaError> {
+    let mut f = func.clone();
+    let mut prep =
+        tossa_regalloc::prepare(&mut f, &AllocOptions::default()).map_err(TossaError::Alloc)?;
+    if let Some(c) = copts.alloc_chaos {
+        let mut rng = SplitMix64::seed_from_u64(copts.chaos_seed ^ 0xA110_C0DE);
+        let hit = chaos::inject_alloc(&mut f, &mut prep.assignment, c, &mut rng);
+        if hit {
+            tossa_trace::count(tossa_trace::Counter::ChaosInjected, 1);
+            tossa_trace::event("chaos", || format!("{c:?}"));
+        }
+        injected.set(hit || injected.get());
+    }
+    tossa_regalloc::verify_allocation(&f, &prep.assignment).map_err(TossaError::Alloc)?;
+    let stats = tossa_regalloc::finish(&mut f, prep);
+    guard
+        .check(&f, IrForm::NonSsa)
+        .map_err(verify_err("alloc"))?;
+    Ok((f, stats))
 }
 
 /// The degraded path: naive φ replacement (plus naive ABI moves when the
@@ -472,6 +541,41 @@ mod tests {
             let report = run_suite_checked(&small_suite(), exp, &opts, &copts);
             assert!(report.is_clean(), "{report}");
             assert_eq!(report.clean, report.total);
+        }
+    }
+
+    #[test]
+    fn checked_alloc_is_clean_on_examples_and_reports_stats() {
+        let opts = CoalesceOptions::default();
+        let copts = CheckedOptions {
+            alloc: true,
+            ..Default::default()
+        };
+        for &exp in Experiment::all() {
+            let suite = small_suite();
+            for bf in &suite.functions {
+                let o = run_checked(bf, exp, &opts, &copts);
+                assert!(o.error.is_none(), "{exp} {}: {:?}", bf.func.name, o.error);
+                let stats = o.alloc.expect("alloc stage ran");
+                assert!(stats.regs_used > 0, "{exp} {}", bf.func.name);
+            }
+        }
+    }
+
+    #[test]
+    fn alloc_chaos_is_caught_as_structured_alloc_errors() {
+        let opts = CoalesceOptions::default();
+        let suite = small_suite();
+        let copts = CheckedOptions {
+            alloc_chaos: Some(AllocCorruption::AssignOverlappingInterval),
+            chaos_seed: 5,
+            ..Default::default()
+        };
+        let report = run_suite_checked(&suite, Experiment::LphiC, &opts, &copts);
+        assert!(report.injected > 0, "corruption never landed");
+        assert!(!report.is_clean(), "corruption landed but was not caught");
+        for r in &report.failures {
+            assert!(matches!(r.error, TossaError::Alloc(_)), "{}", r.error);
         }
     }
 

@@ -19,6 +19,7 @@ use tossa_core::collect::{naive_abi, pinning_abi, pinning_cssa, pinning_sp};
 use tossa_core::reconstruct::out_of_pinned_ssa;
 use tossa_core::{program_pinning_cached, Experiment, ReconstructStats};
 use tossa_ir::{interp, Function};
+use tossa_regalloc::{allocate, AllocOptions, AllocStats};
 use tossa_ssa::{ifconv, opt, psi, to_ssa};
 
 /// Wall-clock nanoseconds of each pipeline stage of one
@@ -37,6 +38,8 @@ pub struct StageTimings {
     pub cleanup_ns: u64,
     /// Move-count metrics.
     pub metrics_ns: u64,
+    /// Register allocation (0 unless the allocation post-pass ran).
+    pub alloc_ns: u64,
     /// End-to-end, including everything above.
     pub total_ns: u64,
 }
@@ -50,6 +53,7 @@ impl StageTimings {
         self.reconstruct_ns += other.reconstruct_ns;
         self.cleanup_ns += other.cleanup_ns;
         self.metrics_ns += other.metrics_ns;
+        self.alloc_ns += other.alloc_ns;
         self.total_ns += other.total_ns;
     }
 }
@@ -76,6 +80,9 @@ pub struct RunResult {
     pub coalesced: usize,
     /// Per-stage wall clock of this run.
     pub timings: StageTimings,
+    /// Register-allocation statistics (the allocation post-pass ran and
+    /// [`RunResult::func`] is in physical form).
+    pub alloc: Option<AllocStats>,
 }
 
 /// Verification failure: the translated function diverged from the
@@ -209,7 +216,28 @@ fn run_pipeline(
         recon,
         coalesced,
         timings: t,
+        alloc: None,
     }
+}
+
+/// Runs the register-allocation post-pass on a pipeline result, in
+/// place: [`RunResult::func`] is rewritten to physical form (registers +
+/// stack slots), the stage is clocked into [`StageTimings::alloc_ns`]
+/// and traced like every other stage, and the statistics land in
+/// [`RunResult::alloc`]. [`RunResult::moves`] keeps the *pre-allocation*
+/// count (the paper's tables metric); the post-allocation survivor count
+/// is [`AllocStats::moves_after`].
+///
+/// # Panics
+/// Panics when allocation fails — like a verification failure, an
+/// unallocatable function invalidates the whole table.
+pub fn apply_alloc(r: &mut RunResult) {
+    let stats = clocked(&mut r.timings.alloc_ns, "alloc_stage", || {
+        allocate(&mut r.func, &AllocOptions::default())
+            .unwrap_or_else(|e| panic!("allocation failed on {}: {e}\n{}", r.func.name, r.func))
+    });
+    r.timings.total_ns += r.timings.alloc_ns;
+    r.alloc = Some(stats);
 }
 
 /// Checks that `result` computes the same outputs as `src` on every
@@ -262,6 +290,9 @@ pub struct SuiteResult {
     /// Summed per-stage wall clock across the suite (CPU-side; with the
     /// parallel runner this exceeds elapsed wall clock).
     pub timings: StageTimings,
+    /// Aggregated allocation statistics (`None` when the allocation
+    /// post-pass did not run).
+    pub alloc: Option<AllocStats>,
 }
 
 impl SuiteResult {
@@ -277,6 +308,12 @@ impl SuiteResult {
             total.repair_copies += r.recon.repair_copies;
             total.coalesced += r.coalesced;
             total.timings.add_assign(&r.timings);
+            if let Some(a) = &r.alloc {
+                total
+                    .alloc
+                    .get_or_insert_with(AllocStats::default)
+                    .add_assign(a);
+            }
         }
         total
     }
@@ -385,7 +422,9 @@ pub fn run_suite_each_serial(
 }
 
 /// Per-function results of one experiment over a pre-converted suite
-/// (see [`prepare_suite`]); `parallel: false` runs on one thread.
+/// (see [`prepare_suite`]); `parallel: false` runs on one thread; `alloc`
+/// appends the register-allocation post-pass ([`apply_alloc`]), in which
+/// case verification runs on the *allocated* code.
 pub fn run_suite_each_prepared(
     suite: &Suite,
     prepared: &[Function],
@@ -393,10 +432,14 @@ pub fn run_suite_each_prepared(
     opts: &CoalesceOptions,
     verify_each: bool,
     parallel: bool,
+    alloc: bool,
 ) -> Vec<RunResult> {
     let one = |k: usize| {
         let bf = &suite.functions[k];
-        let r = run_experiment_prepared(&prepared[k], exp, opts);
+        let mut r = run_experiment_prepared(&prepared[k], exp, opts);
+        if alloc {
+            apply_alloc(&mut r);
+        }
         check(bf, exp, &r, verify_each);
         r
     };
@@ -405,6 +448,39 @@ pub fn run_suite_each_prepared(
     } else {
         (0..suite.functions.len()).map(one).collect()
     }
+}
+
+/// Per-function results of one experiment with the allocation post-pass:
+/// the full pipeline, then [`apply_alloc`], then (when `verify_each`)
+/// differential execution of the *allocated* code against the pre-SSA
+/// source.
+///
+/// # Panics
+/// Panics on an allocation or verification failure (propagated from any
+/// worker).
+pub fn run_suite_each_allocated(
+    suite: &Suite,
+    exp: Experiment,
+    opts: &CoalesceOptions,
+    verify_each: bool,
+) -> Vec<RunResult> {
+    par_map(suite.functions.len(), |k| {
+        let bf = &suite.functions[k];
+        let mut r = run_experiment(&bf.func, exp, opts);
+        apply_alloc(&mut r);
+        check(bf, exp, &r, verify_each);
+        r
+    })
+}
+
+/// [`run_suite_each_allocated`] folded to the suite aggregate.
+pub fn run_suite_allocated(
+    suite: &Suite,
+    exp: Experiment,
+    opts: &CoalesceOptions,
+    verify_each: bool,
+) -> SuiteResult {
+    SuiteResult::fold(&run_suite_each_allocated(suite, exp, opts, verify_each))
 }
 
 /// Per-function results of one experiment over a suite, each run under
@@ -446,13 +522,15 @@ pub fn run_suite(
 }
 
 /// Runs several experiments over a suite, converting to SSA once and
-/// sharing the prepared functions across all experiments. Returns one
+/// sharing the prepared functions across all experiments; `alloc`
+/// appends the register-allocation post-pass to every run. Returns one
 /// [`SuiteResult`] per experiment, in order.
 pub fn run_suite_matrix(
     suite: &Suite,
     experiments: &[Experiment],
     opts: &CoalesceOptions,
     verify_each: bool,
+    alloc: bool,
 ) -> Vec<SuiteResult> {
     let prepared = prepare_suite(suite);
     experiments
@@ -465,6 +543,7 @@ pub fn run_suite_matrix(
                 opts,
                 verify_each,
                 true,
+                alloc,
             ))
         })
         .collect()

@@ -1,4 +1,5 @@
-//! Regeneration of the paper's Tables 2–5 (plus the Table 1 header).
+//! Regeneration of the paper's Tables 2–5 (plus the Table 1 header) and
+//! a post-allocation Table 6 this reproduction adds.
 //!
 //! Each table function runs the required experiments over the suites and
 //! renders rows in the paper's format: the first experiment column is an
@@ -61,6 +62,7 @@ fn run_columns(
     suites: &[Suite],
     experiments: &[Experiment],
     verify: bool,
+    alloc: bool,
 ) -> Vec<(String, Vec<SuiteResult>)> {
     let opts = CoalesceOptions::default();
     suites
@@ -68,7 +70,7 @@ fn run_columns(
         .map(|s| {
             (
                 s.name.to_string(),
-                run_suite_matrix(s, experiments, &opts, verify),
+                run_suite_matrix(s, experiments, &opts, verify, alloc),
             )
         })
         .collect()
@@ -80,7 +82,7 @@ fn render_move_table(
     experiments: &[Experiment],
     verify: bool,
 ) -> String {
-    let rows = run_columns(suites, experiments, verify);
+    let rows = run_columns(suites, experiments, verify, false);
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
     let mut header = format!("{:<12}", "benchmark");
@@ -133,6 +135,45 @@ pub fn table4(suites: &[Suite], verify: bool) -> String {
         &[Experiment::LphiAbi, Experiment::Sphi, Experiment::Labi],
         verify,
     )
+}
+
+/// Table 6 (this reproduction's addition): end-to-end spill+move cost
+/// after register allocation on the DSP32 model. Per experiment column,
+/// the value is `stores + reloads + moves_after` — the instructions the
+/// allocated code actually pays for φ/ABI copies plus register pressure.
+/// First column absolute, subsequent columns signed deltas, as in the
+/// paper's tables.
+pub fn table6(suites: &[Suite], verify: bool) -> String {
+    let experiments = &[
+        Experiment::LphiAbiC,
+        Experiment::SphiLabiC,
+        Experiment::LabiC,
+        Experiment::CAbi,
+    ];
+    let rows = run_columns(suites, experiments, verify, true);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 6. Post-allocation spill+move count (stores + reloads + surviving moves)."
+    );
+    let mut header = format!("{:<12}", "benchmark");
+    for e in experiments {
+        let _ = write!(header, " {:>12}", e.label());
+    }
+    let _ = writeln!(out, "{header}");
+    for (name, results) in rows {
+        let totals: Vec<i64> = results
+            .iter()
+            .map(|r| r.alloc.as_ref().map_or(0, |a| a.spill_move_total()) as i64)
+            .collect();
+        let base = totals[0];
+        let mut line = format!("{name:<12} {base:>12}");
+        for &t in &totals[1..] {
+            let _ = write!(line, " {:>12}", delta(base, t));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
 }
 
 /// Table 5: weighted (`5^depth`) move counts for the coalescer variants
@@ -223,6 +264,13 @@ mod tests {
         assert!(t.contains("Lphi+C"), "{t}");
         // Delta columns carry a sign.
         assert!(t.contains('+') || t.contains('-'), "{t}");
+    }
+
+    #[test]
+    fn table6_reports_post_allocation_totals() {
+        let t = table6(&small_suites(), true);
+        assert!(t.contains("example1-8"), "{t}");
+        assert!(t.contains("spill+move"), "{t}");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "tossa-bench-trajectory/2",
+//!   "schema": "tossa-bench-trajectory/3",
 //!   "unix_time": 1722800000,
 //!   "threads": 8,
 //!   "mode": "parallel",
@@ -22,7 +22,9 @@
 //!           "stages": { "front_end_ns": ..., "cssa_ns": ...,
 //!                       "pinning_ns": ..., "reconstruct_ns": ...,
 //!                       "cleanup_ns": ..., "metrics_ns": ...,
-//!                       "total_ns": ... },
+//!                       "alloc_ns": ..., "total_ns": ... },
+//!           "alloc": { "regs_used": ..., "spilled_vars": ..., "reloads": ...,
+//!                      "stores": ..., "moves_after": ..., "spill_move_total": ... },
 //!           "counters": { "congruence_classes": ..., "copies_phi": ..., "...": 0 } } ] } ],
 //!   "end_to_end_wall_ns": 987654321
 //! }
@@ -36,6 +38,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 use tossa_core::coalesce::CoalesceOptions;
 use tossa_core::Experiment;
+use tossa_regalloc::AllocStats;
 use tossa_trace::{CounterSet, TraceData};
 
 /// One (suite × experiment) measurement.
@@ -55,6 +58,9 @@ pub struct Cell {
     pub weighted: u64,
     /// Summed per-stage pipeline timings across the suite.
     pub stages: StageTimings,
+    /// Aggregated register-allocation statistics across the suite;
+    /// `None` when the allocation post-pass was off.
+    pub alloc: Option<AllocStats>,
     /// Aggregated trace counters across the suite, from a separate
     /// traced (untimed) pass; `None` when counter collection was off.
     pub counters: Option<CounterSet>,
@@ -84,8 +90,16 @@ pub struct Trajectory {
 /// comparisons); `verify` re-runs the interpreter equivalence check;
 /// `counters` adds a second, traced (untimed) pass per cell whose
 /// aggregated trace counters land in [`Cell::counters`] — the timing
-/// numbers always come from the untraced pass.
-pub fn measure(suites: &[Suite], verify: bool, serial: bool, counters: bool) -> Trajectory {
+/// numbers always come from the untraced pass. `alloc` appends the
+/// register-allocation post-pass to every cell (verification then covers
+/// the allocated code) and fills [`Cell::alloc`].
+pub fn measure(
+    suites: &[Suite],
+    verify: bool,
+    serial: bool,
+    counters: bool,
+    alloc: bool,
+) -> Trajectory {
     let opts = CoalesceOptions::default();
     let threads = if serial {
         1
@@ -113,7 +127,8 @@ pub fn measure(suites: &[Suite], verify: bool, serial: bool, counters: bool) -> 
         t.front_end_ns.push(begin.elapsed().as_nanos() as u64);
         for &exp in Experiment::all() {
             let begin = Instant::now();
-            let results = run_suite_each_prepared(suite, &prepared, exp, &opts, verify, !serial);
+            let results =
+                run_suite_each_prepared(suite, &prepared, exp, &opts, verify, !serial, alloc);
             let wall_ns = begin.elapsed().as_nanos() as u64;
             let folded = SuiteResult::fold(&results);
             let cell_counters = counters.then(|| {
@@ -131,6 +146,7 @@ pub fn measure(suites: &[Suite], verify: bool, serial: bool, counters: bool) -> 
                 moves: folded.moves,
                 weighted: folded.weighted,
                 stages: folded.timings,
+                alloc: folded.alloc,
                 counters: cell_counters,
             });
         }
@@ -164,7 +180,7 @@ impl Trajectory {
     pub fn to_json(&self, unix_time: u64) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"schema\": \"tossa-bench-trajectory/2\",");
+        let _ = writeln!(out, "  \"schema\": \"tossa-bench-trajectory/3\",");
         let _ = writeln!(out, "  \"unix_time\": {unix_time},");
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let _ = writeln!(out, "  \"mode\": \"{}\",", self.mode);
@@ -185,7 +201,7 @@ impl Trajectory {
                      \"wall_ns\": {}, \"moves\": {}, \"weighted\": {},\n          \
                      \"stages\": {{ \"front_end_ns\": {}, \"cssa_ns\": {}, \
                      \"pinning_ns\": {}, \"reconstruct_ns\": {}, \"cleanup_ns\": {}, \
-                     \"metrics_ns\": {}, \"total_ns\": {} }}",
+                     \"metrics_ns\": {}, \"alloc_ns\": {}, \"total_ns\": {} }}",
                     c.experiment,
                     c.label,
                     c.wall_ns,
@@ -197,8 +213,23 @@ impl Trajectory {
                     s.reconstruct_ns,
                     s.cleanup_ns,
                     s.metrics_ns,
+                    s.alloc_ns,
                     s.total_ns
                 );
+                if let Some(a) = &c.alloc {
+                    let _ = write!(
+                        out,
+                        ",\n          \"alloc\": {{ \"regs_used\": {}, \"spilled_vars\": {}, \
+                         \"reloads\": {}, \"stores\": {}, \"moves_after\": {}, \
+                         \"spill_move_total\": {} }}",
+                        a.regs_used,
+                        a.spilled_vars,
+                        a.reloads,
+                        a.stores,
+                        a.moves_after,
+                        a.spill_move_total()
+                    );
+                }
                 if let Some(counters) = &c.counters {
                     let _ = write!(out, ",\n          \"counters\": {}", counters.to_json());
                 }
@@ -230,13 +261,16 @@ mod tests {
             name: "example1-8",
             functions: suites::paper_examples::examples(),
         }];
-        let t = measure(&suites, true, true, true);
+        let t = measure(&suites, true, true, true, true);
         assert_eq!(t.cells.len(), Experiment::all().len());
         assert!(t.cells.iter().all(|c| c.wall_ns > 0));
         let json = t.to_json(0);
         // Shape sanity: parsable keys present once per cell.
         assert_eq!(json.matches("\"wall_ns\"").count(), t.cells.len());
-        assert!(json.contains("\"schema\": \"tossa-bench-trajectory/2\""));
+        assert!(json.contains("\"schema\": \"tossa-bench-trajectory/3\""));
+        // The allocation post-pass ran: every cell carries its stats.
+        assert_eq!(json.matches("\"alloc\"").count(), t.cells.len());
+        assert!(t.cells.iter().all(|c| c.alloc.is_some()));
         assert!(json.contains("\"end_to_end_wall_ns\""));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());

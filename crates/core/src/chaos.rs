@@ -179,6 +179,121 @@ fn merge_interfering_webs(f: &mut Function, rng: &mut SplitMix64) -> bool {
     true
 }
 
+/// A class of deliberate register-allocation corruption.
+///
+/// These model allocator bugs rather than pass bugs, so they live in a
+/// separate enum with a separate injection point: between
+/// [`tossa_regalloc::prepare`] and [`tossa_regalloc::verify_allocation`],
+/// mutating the [`Assignment`](tossa_regalloc::Assignment) (or the spill
+/// code) the verifier is about to check. Each class is caught by a
+/// specific structured [`AllocError`](tossa_regalloc::AllocError).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocCorruption {
+    /// Force two simultaneously-live variables onto one register — a
+    /// scan that mis-sorted intervals. Caught as
+    /// [`AllocError::RegisterOverlap`](tossa_regalloc::AllocError::RegisterOverlap).
+    AssignOverlappingInterval,
+    /// Move a precolored variable off its pinned register — an allocator
+    /// ignoring the out-of-SSA pinning. Caught as
+    /// [`AllocError::PinClobbered`](tossa_regalloc::AllocError::PinClobbered).
+    ClobberPinnedResource,
+    /// Delete a `spillld`, leaving its reload temporary undefined — a
+    /// spiller losing an insertion. Caught as
+    /// [`AllocError::UndefinedUse`](tossa_regalloc::AllocError::UndefinedUse).
+    DropReload,
+}
+
+impl AllocCorruption {
+    /// All allocation corruption classes.
+    pub fn all() -> &'static [AllocCorruption] {
+        use AllocCorruption::*;
+        &[AssignOverlappingInterval, ClobberPinnedResource, DropReload]
+    }
+}
+
+/// Injects allocation corruption `c` into the prepared state: the
+/// function `f` (already spill-rewritten) and the assignment `asg` about
+/// to be verified. Returns `false` when there is no site (e.g. no
+/// precolored variable, no spill code), leaving both untouched.
+pub fn inject_alloc(
+    f: &mut Function,
+    asg: &mut tossa_regalloc::Assignment,
+    c: AllocCorruption,
+    rng: &mut SplitMix64,
+) -> bool {
+    match c {
+        AllocCorruption::AssignOverlappingInterval => assign_overlapping(f, asg, rng),
+        AllocCorruption::ClobberPinnedResource => clobber_pinned(f, asg, rng),
+        AllocCorruption::DropReload => drop_reload(f, rng),
+    }
+}
+
+fn assign_overlapping(
+    f: &Function,
+    asg: &mut tossa_regalloc::Assignment,
+    rng: &mut SplitMix64,
+) -> bool {
+    // Two distinct unpinned variables used by one instruction are
+    // simultaneously live at its use point; give the first the second's
+    // register.
+    let mut sites: Vec<(Var, Var)> = Vec::new();
+    for (_, i) in f.all_insts() {
+        let uses = &f.inst(i).uses;
+        for (k, a) in uses.iter().enumerate() {
+            for b in &uses[k + 1..] {
+                if a.var != b.var
+                    && f.var(a.var).reg.is_none()
+                    && f.var(b.var).reg.is_none()
+                    && asg.get(a.var) != asg.get(b.var)
+                    && asg.get(b.var).is_some()
+                {
+                    sites.push((a.var, b.var));
+                }
+            }
+        }
+    }
+    let Some((a, b)) = pick(rng, &sites) else {
+        return false;
+    };
+    asg.set(a, asg.get(b).expect("site has assignment"));
+    true
+}
+
+fn clobber_pinned(
+    f: &Function,
+    asg: &mut tossa_regalloc::Assignment,
+    rng: &mut SplitMix64,
+) -> bool {
+    let pinned: Vec<Var> = {
+        let mut seen = std::collections::HashSet::new();
+        f.all_insts()
+            .flat_map(|(_, i)| f.inst(i).operands().map(|o| o.var).collect::<Vec<_>>())
+            .filter(|&v| seen.insert(v) && f.var(v).reg.is_some())
+            .collect()
+    };
+    let Some(v) = pick(rng, &pinned) else {
+        return false;
+    };
+    let have = f.var(v).reg.expect("site is precolored");
+    let Some(other) = f.machine.regs().find(|&r| r != have) else {
+        return false;
+    };
+    asg.set(v, other);
+    true
+}
+
+fn drop_reload(f: &mut Function, rng: &mut SplitMix64) -> bool {
+    let sites: Vec<_> = f
+        .all_insts()
+        .filter(|&(_, i)| f.inst(i).opcode == Opcode::SpillLoad)
+        .collect();
+    let Some((b, i)) = pick(rng, &sites) else {
+        return false;
+    };
+    f.remove_inst(b, i);
+    true
+}
+
 fn reorder_parallel_copy(f: &mut Function, rng: &mut SplitMix64) -> bool {
     // Adjacent move pairs where the first reads the variable the second
     // overwrites: correct sequentialization ordered the read before the
@@ -320,6 +435,104 @@ exit:
             assert!(!inject(&mut f, c, &mut rng), "{c:?}");
             assert_eq!(f.to_string(), f0.to_string());
         }
+    }
+
+    /// Prepares a function for allocation-fault injection: parse,
+    /// allocate up to the assignment (spill code in place), assignment
+    /// ready to corrupt.
+    fn prepared_for_alloc(text: &str) -> (Function, tossa_regalloc::Assignment) {
+        let mut f = parse(text);
+        let prep = tossa_regalloc::prepare(&mut f, &tossa_regalloc::AllocOptions::default())
+            .expect("allocation prepares");
+        (f, prep.assignment)
+    }
+
+    /// High register pressure: forces spill code so [`AllocCorruption::DropReload`]
+    /// has a site.
+    fn pressure_specimen_text() -> String {
+        let mut text = String::from("func @hp {\nentry:\n  %i = input\n");
+        for k in 0..24 {
+            text.push_str(&format!("  %v{k} = addi %i, {k}\n"));
+        }
+        text.push_str("  %s = make 0\n");
+        for k in 0..24 {
+            text.push_str(&format!("  %s = add %s, %v{k}\n"));
+        }
+        text.push_str("  ret %s\n}\n");
+        text
+    }
+
+    #[test]
+    fn assign_overlapping_interval_caught_as_register_overlap() {
+        let (mut f, mut asg) = prepared_for_alloc(
+            "func @a {\nentry:\n  %a, %b = input\n  %c = add %a, %b\n  ret %c\n}",
+        );
+        let mut rng = SplitMix64::seed_from_u64(7);
+        assert!(inject_alloc(
+            &mut f,
+            &mut asg,
+            AllocCorruption::AssignOverlappingInterval,
+            &mut rng
+        ));
+        let e = tossa_regalloc::verify_allocation(&f, &asg).unwrap_err();
+        assert!(
+            matches!(e, tossa_regalloc::AllocError::RegisterOverlap { .. }),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn clobber_pinned_resource_caught_as_pin_clobbered() {
+        let (mut f, mut asg) = prepared_for_alloc(
+            "func @p {\nentry:\n  R0, %b = input\n  %c = add R0, %b\n  ret %c\n}",
+        );
+        let mut rng = SplitMix64::seed_from_u64(8);
+        assert!(inject_alloc(
+            &mut f,
+            &mut asg,
+            AllocCorruption::ClobberPinnedResource,
+            &mut rng
+        ));
+        let e = tossa_regalloc::verify_allocation(&f, &asg).unwrap_err();
+        assert!(
+            matches!(e, tossa_regalloc::AllocError::PinClobbered { .. }),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn drop_reload_caught_as_undefined_use() {
+        let (mut f, mut asg) = prepared_for_alloc(&pressure_specimen_text());
+        let mut rng = SplitMix64::seed_from_u64(9);
+        assert!(inject_alloc(
+            &mut f,
+            &mut asg,
+            AllocCorruption::DropReload,
+            &mut rng
+        ));
+        let e = tossa_regalloc::verify_allocation(&f, &asg).unwrap_err();
+        assert!(
+            matches!(e, tossa_regalloc::AllocError::UndefinedUse { .. }),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn alloc_classes_without_sites_leave_state_untouched() {
+        // No pinned variables and no spill code: two of the three
+        // classes have no site.
+        let (mut f, mut asg) = prepared_for_alloc("func @n {\nentry:\n  %a = input\n  ret %a\n}");
+        let before = f.to_string();
+        let asg0 = asg.clone();
+        let mut rng = SplitMix64::seed_from_u64(10);
+        for c in [
+            AllocCorruption::ClobberPinnedResource,
+            AllocCorruption::DropReload,
+        ] {
+            assert!(!inject_alloc(&mut f, &mut asg, c, &mut rng), "{c:?}");
+        }
+        assert_eq!(f.to_string(), before);
+        assert_eq!(asg, asg0);
     }
 
     #[test]

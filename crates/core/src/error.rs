@@ -16,6 +16,7 @@ use tossa_ir::ids::Block;
 use tossa_ir::interp::Trap;
 use tossa_ir::parallel_copy::ParallelCopyError;
 use tossa_ir::parse::ParseError;
+use tossa_regalloc::AllocError;
 use tossa_ssa::verify::SsaError;
 
 /// A post-pass verification failure: the function left by a pass violates
@@ -190,6 +191,9 @@ pub enum TossaError {
     Coalesce(CoalesceError),
     /// Out-of-pinned-SSA translation failed.
     Reconstruct(ReconstructError),
+    /// Register allocation failed, or the allocation verifier rejected
+    /// an assignment.
+    Alloc(AllocError),
     /// A pass panicked (caught at the pipeline boundary); the panic
     /// payload is preserved as a message.
     Panic {
@@ -207,6 +211,7 @@ impl fmt::Display for TossaError {
             TossaError::Verify { pass, error } => write!(f, "after {pass}: {error}"),
             TossaError::Coalesce(e) => write!(f, "{e}"),
             TossaError::Reconstruct(e) => write!(f, "{e}"),
+            TossaError::Alloc(e) => write!(f, "alloc: {e}"),
             TossaError::Panic { pass, message } => write!(f, "panic in {pass}: {message}"),
         }
     }
@@ -219,6 +224,7 @@ impl std::error::Error for TossaError {
             TossaError::Verify { error, .. } => Some(error),
             TossaError::Coalesce(e) => Some(e),
             TossaError::Reconstruct(e) => Some(e),
+            TossaError::Alloc(e) => Some(e),
             TossaError::Panic { .. } => None,
         }
     }
@@ -239,6 +245,12 @@ impl From<CoalesceError> for TossaError {
 impl From<ReconstructError> for TossaError {
     fn from(e: ReconstructError) -> TossaError {
         TossaError::Reconstruct(e)
+    }
+}
+
+impl From<AllocError> for TossaError {
+    fn from(e: AllocError) -> TossaError {
+        TossaError::Alloc(e)
     }
 }
 

@@ -426,6 +426,16 @@ impl Function {
                     return bad("def/use");
                 }
             }
+            Opcode::SpillStore => {
+                if defs != 0 || uses != 1 {
+                    return bad("def/use");
+                }
+            }
+            Opcode::SpillLoad => {
+                if defs != 1 || uses != 0 {
+                    return bad("def/use");
+                }
+            }
             Opcode::Call => {
                 if defs > 1 {
                     return bad("def");

@@ -30,6 +30,9 @@ pub enum Trap {
     MissingTerminator(Block),
     /// `input` requested more values than were supplied.
     NotEnoughInputs,
+    /// A `spillld` read a stack slot no `spillst` has written (a
+    /// register allocator dropped or misplaced a reload's store).
+    UnwrittenSlot(i64),
 }
 
 impl std::fmt::Display for Trap {
@@ -39,6 +42,7 @@ impl std::fmt::Display for Trap {
             Trap::UndefinedVar(v, name) => write!(f, "read of undefined {v} (`{name}`)"),
             Trap::MissingTerminator(b) => write!(f, "block {b} has no terminator"),
             Trap::NotEnoughInputs => write!(f, "not enough input values"),
+            Trap::UnwrittenSlot(s) => write!(f, "spill reload of unwritten stack slot {s}"),
         }
     }
 }
@@ -76,6 +80,10 @@ pub fn call_model(callee: &str, args: &[i64]) -> i64 {
 pub fn run(f: &Function, inputs: &[i64], fuel: u64) -> Result<ExecResult, Trap> {
     let mut env: HashMap<Var, i64> = HashMap::new();
     let mut mem: HashMap<i64, i64> = HashMap::new();
+    // The spill frame is separate from `mem`: slots are indices, not
+    // addresses, and reading an unwritten slot is a trap rather than a
+    // `default_mem` value.
+    let mut frame: HashMap<i64, i64> = HashMap::new();
     let mut steps: u64 = 0;
     let mut block = f.entry;
 
@@ -186,6 +194,14 @@ pub fn run(f: &Function, inputs: &[i64], fuel: u64) -> Result<ExecResult, Trap> 
                     let addr = u(0)?;
                     let v = u(1)?;
                     mem.insert(addr, v);
+                }
+                Opcode::SpillStore => {
+                    let v = u(0)?;
+                    frame.insert(inst.imm, v);
+                }
+                Opcode::SpillLoad => {
+                    let v = *frame.get(&inst.imm).ok_or(Trap::UnwrittenSlot(inst.imm))?;
+                    env.insert(inst.defs[0].var, v);
                 }
                 Opcode::CmpEq => {
                     let v = (u(0)? == u(1)?) as i64;
@@ -408,6 +424,24 @@ exit:
             Err(Trap::UndefinedVar(_, name)) => assert_eq!(name, "x"),
             other => panic!("expected undefined var, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn spill_slots_roundtrip_and_trap_when_unwritten() {
+        let text = "
+func @sp {
+entry:
+  %a = input
+  spillst %a, 3
+  %b = spillld 3
+  ret %b
+}";
+        let f = crate::parse::parse_function(text, &Machine::dsp32()).unwrap();
+        assert!(f.validate().is_ok(), "{:?}", f.validate());
+        assert_eq!(run(&f, &[42], 50).unwrap().outputs, vec![42]);
+        let bad = "func @sp {\nentry:\n  %b = spillld 7\n  ret %b\n}";
+        let f2 = crate::parse::parse_function(bad, &Machine::dsp32()).unwrap();
+        assert_eq!(run(&f2, &[], 50), Err(Trap::UnwrittenSlot(7)));
     }
 
     #[test]

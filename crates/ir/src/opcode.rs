@@ -67,6 +67,14 @@ pub enum Opcode {
     /// the resource of `use2` (the "else" value): the hardware form is
     /// `def = use2; if (use0) def = use1` (paper §5, ψ-conventional SSA).
     PSel,
+    /// Spill store: `stack[imm] = use0`. Written by the register
+    /// allocator when a value's live range is evicted to the function's
+    /// spill frame; `imm` is the stack-slot index.
+    SpillStore,
+    /// Spill reload: `def = stack[imm]`. The counterpart of
+    /// [`Opcode::SpillStore`]; reading a slot no store has written is a
+    /// trap ([`crate::interp::Trap::UnwrittenSlot`]).
+    SpillLoad,
     /// Function call: `defs = callee(uses)`. Operands are pinned to ABI
     /// registers by the collect phase.
     Call,
@@ -118,7 +126,13 @@ impl Opcode {
     pub fn has_side_effects(self) -> bool {
         matches!(
             self,
-            Opcode::Store | Opcode::Call | Opcode::Ret | Opcode::Br | Opcode::Jump | Opcode::Input
+            Opcode::Store
+                | Opcode::SpillStore
+                | Opcode::Call
+                | Opcode::Ret
+                | Opcode::Br
+                | Opcode::Jump
+                | Opcode::Input
         )
     }
 
@@ -166,6 +180,8 @@ impl Opcode {
             Opcode::CmpLe => "cmple",
             Opcode::Select => "select",
             Opcode::PSel => "psel",
+            Opcode::SpillStore => "spillst",
+            Opcode::SpillLoad => "spillld",
             Opcode::Call => "call",
             Opcode::Br => "br",
             Opcode::Jump => "jump",
@@ -202,6 +218,8 @@ impl Opcode {
             "cmple" => Opcode::CmpLe,
             "select" => Opcode::Select,
             "psel" => Opcode::PSel,
+            "spillst" => Opcode::SpillStore,
+            "spillld" => Opcode::SpillLoad,
             "call" => Opcode::Call,
             "br" => Opcode::Br,
             "jump" => Opcode::Jump,
@@ -239,6 +257,8 @@ impl Opcode {
             Opcode::CmpLe,
             Opcode::Select,
             Opcode::PSel,
+            Opcode::SpillStore,
+            Opcode::SpillLoad,
             Opcode::Call,
             Opcode::Br,
             Opcode::Jump,
@@ -279,6 +299,9 @@ mod tests {
         assert!(!Opcode::AddImm.is_two_operand());
         assert!(Opcode::Store.has_side_effects());
         assert!(!Opcode::Load.has_side_effects());
+        assert!(Opcode::SpillStore.has_side_effects());
+        assert!(!Opcode::SpillLoad.has_side_effects());
+        assert!(!Opcode::SpillStore.is_two_operand());
         assert!(Opcode::Phi.is_phi() && !Opcode::Phi.is_terminator());
     }
 }

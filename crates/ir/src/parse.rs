@@ -278,10 +278,10 @@ impl<'a> Parser<'a> {
             Opcode::Jump => {
                 inst.targets = vec![self.block_ref(tail.trim())?];
             }
-            Opcode::Make => {
+            Opcode::Make | Opcode::SpillLoad => {
                 inst.imm = self.imm(tail)?;
             }
-            Opcode::More | Opcode::AddImm | Opcode::AutoAdd => {
+            Opcode::More | Opcode::AddImm | Opcode::AutoAdd | Opcode::SpillStore => {
                 let parts: Vec<String> = split_commas(tail);
                 if parts.len() != 2 {
                     return self.err_tok(

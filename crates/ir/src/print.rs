@@ -127,7 +127,12 @@ pub fn inst_str(f: &Function, i: Inst) -> String {
         _ => {
             let mut parts: Vec<String> = inst.uses.iter().map(use_str).collect();
             match inst.opcode {
-                Opcode::Make | Opcode::More | Opcode::AddImm | Opcode::AutoAdd => {
+                Opcode::Make
+                | Opcode::More
+                | Opcode::AddImm
+                | Opcode::AutoAdd
+                | Opcode::SpillStore
+                | Opcode::SpillLoad => {
                     parts.push(format!("{}", inst.imm));
                 }
                 _ => {}

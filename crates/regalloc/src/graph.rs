@@ -1,0 +1,121 @@
+//! Interference-graph greedy-coloring fallback.
+//!
+//! Builds an interference graph by a sorted sweep over the hull
+//! intervals (two variables interfere when their intervals overlap),
+//! fixes precolored nodes first, and greedily colors the rest in
+//! decreasing-degree order. Uncolorable spillable nodes are returned as
+//! an eviction set, so the driver's spill loop works identically for
+//! both engines.
+
+use std::collections::HashSet;
+use tossa_ir::ids::Var;
+use tossa_ir::machine::{PhysReg, RegClass};
+use tossa_ir::Function;
+
+use crate::intervals::Intervals;
+use crate::scan::{Blocked, ScanFail};
+use crate::{pools, AllocError, Assignment};
+
+/// One greedy-coloring round.
+///
+/// # Errors
+/// [`ScanFail::Spill`] with the uncolorable spillable set, or
+/// [`ScanFail::Hard`] on pin conflicts / unspillable pressure.
+pub fn color(f: &Function, ivs: &Intervals, temps: &HashSet<Var>) -> Result<Assignment, ScanFail> {
+    // Pin-conflict detection shared with the scan engine.
+    let _ = Blocked::collect(ivs).map_err(ScanFail::Hard)?;
+
+    let n = ivs.items.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Sorted sweep: items are ordered by start, so each item only needs
+    // to look back at still-active predecessors.
+    let mut active: Vec<usize> = Vec::new();
+    for (idx, iv) in ivs.items.iter().enumerate() {
+        active.retain(|&a| ivs.items[a].end >= iv.start);
+        for &a in &active {
+            adj[idx].push(a);
+            adj[a].push(idx);
+        }
+        active.push(idx);
+    }
+
+    let mut asg = Assignment::new(f.num_vars());
+    let mut color_of: Vec<Option<PhysReg>> = vec![None; n];
+    for (idx, iv) in ivs.items.iter().enumerate() {
+        if let Some(r) = iv.pre {
+            color_of[idx] = Some(r);
+            asg.set(iv.var, r);
+        }
+    }
+    let mut order: Vec<usize> = (0..n).filter(|&i| ivs.items[i].pre.is_none()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(adj[i].len()));
+
+    let mut spills: Vec<Var> = Vec::new();
+    for idx in order {
+        let iv = &ivs.items[idx];
+        let neighbor_regs: HashSet<u8> = adj[idx]
+            .iter()
+            .filter_map(|&a| color_of[a].map(|r| r.0))
+            .collect();
+        let mut candidates: Vec<PhysReg> = Vec::new();
+        if let Some(h) = iv.hint {
+            if let Some(r) = asg.get(h) {
+                if f.machine.reg_class(r) != RegClass::Special {
+                    candidates.push(r);
+                }
+            }
+        }
+        candidates.extend(pools(f, iv.ptr_pref));
+        match candidates
+            .iter()
+            .copied()
+            .find(|r| !neighbor_regs.contains(&r.0))
+        {
+            Some(r) => {
+                color_of[idx] = Some(r);
+                asg.set(iv.var, r);
+            }
+            None if !temps.contains(&iv.var) => spills.push(iv.var),
+            None => return Err(ScanFail::Hard(AllocError::OutOfRegisters { var: iv.var })),
+        }
+    }
+    if spills.is_empty() {
+        Ok(asg)
+    } else {
+        spills.sort_unstable_by_key(|v| v.index());
+        spills.dedup();
+        Err(ScanFail::Spill(spills))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervals;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    #[test]
+    fn coloring_gives_interfering_vars_distinct_registers() {
+        let f = parse_function(
+            "func @c {\nentry:\n  %a, %b = input\n  %c = add %a, %b\n  %d = mul %c, %a\n  ret %d\n}",
+            &Machine::dsp32(),
+        )
+        .unwrap();
+        let ivs = intervals::build(&f);
+        let asg = color(&f, &ivs, &HashSet::new()).unwrap();
+        for (i, x) in ivs.items.iter().enumerate() {
+            for y in &ivs.items[i + 1..] {
+                if x.overlaps(y) {
+                    assert_ne!(
+                        asg.get(x.var),
+                        asg.get(y.var),
+                        "{:?} and {:?} share a register",
+                        f.var(x.var).name,
+                        f.var(y.var).name
+                    );
+                }
+            }
+        }
+    }
+}

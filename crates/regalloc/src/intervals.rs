@@ -1,0 +1,207 @@
+//! Hull live intervals over a linearized block order.
+//!
+//! Blocks are laid out in reverse postorder (unreachable blocks
+//! appended); instruction `k` of a block with base position `p` reads
+//! its uses at `p + 2k` and writes its defs at `p + 2k + 1`. A def
+//! therefore never overlaps a use that dies at the same instruction —
+//! which is exactly what lets `mov` destinations and two-operand tied
+//! defs share the register of their dying source. Each variable gets a
+//! single *hull* interval `[min, max]` over all the positions where it
+//! is live: coarser than per-range liveness, but safe, and cheap to
+//! sweep.
+
+use std::collections::HashMap;
+use tossa_analysis::Liveness;
+use tossa_ir::cfg::Cfg;
+use tossa_ir::ids::{Block, Var};
+use tossa_ir::machine::{PhysReg, RegClass};
+use tossa_ir::{Function, Opcode};
+
+/// One variable's hull interval plus its allocation preferences.
+#[derive(Clone, Copy, Debug)]
+pub struct Interval {
+    /// The variable.
+    pub var: Var,
+    /// First position (inclusive) where the variable is live.
+    pub start: u32,
+    /// Last position (inclusive) where the variable is live.
+    pub end: u32,
+    /// Pre-existing register identity (out-of-SSA pinning); kept
+    /// verbatim and never spilled.
+    pub pre: Option<PhysReg>,
+    /// Prefer the pointer register pool (the variable is used as an
+    /// address).
+    pub ptr_pref: bool,
+    /// Prefer the register of this variable (`mov` source or tied use),
+    /// so the copy becomes a self-move.
+    pub hint: Option<Var>,
+}
+
+impl Interval {
+    /// Inclusive-interval overlap.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+}
+
+/// All intervals of a function, sorted by start position.
+#[derive(Clone, Debug, Default)]
+pub struct Intervals {
+    /// Intervals sorted by `(start, var)`.
+    pub items: Vec<Interval>,
+}
+
+/// Reverse postorder with unreachable blocks appended, so every
+/// instruction gets a position.
+pub(crate) fn linear_order(f: &Function, cfg: &Cfg) -> Vec<Block> {
+    let mut order: Vec<Block> = cfg.rpo().to_vec();
+    let mut seen = vec![false; f.num_blocks()];
+    for &b in &order {
+        seen[b.index()] = true;
+    }
+    for b in f.blocks() {
+        if !seen[b.index()] {
+            order.push(b);
+        }
+    }
+    order
+}
+
+/// Builds hull intervals from the worklist liveness.
+pub fn build(f: &Function) -> Intervals {
+    let cfg = Cfg::compute(f);
+    let live = Liveness::compute(f, &cfg);
+    let order = linear_order(f, &cfg);
+
+    let mut ranges: HashMap<Var, (u32, u32)> = HashMap::new();
+    let mut touch = |v: Var, p: u32| {
+        let e = ranges.entry(v).or_insert((p, p));
+        e.0 = e.0.min(p);
+        e.1 = e.1.max(p);
+    };
+    let mut ptr_pref: HashMap<Var, bool> = HashMap::new();
+    let mut hint: HashMap<Var, Var> = HashMap::new();
+
+    let mut base: u32 = 0;
+    for &b in &order {
+        for v in live.live_in(b).iter() {
+            touch(v, base);
+        }
+        let mut k: u32 = 0;
+        for i in f.block_insts(b) {
+            let inst = f.inst(i);
+            for (pos, o) in inst.uses.iter().enumerate() {
+                touch(o.var, base + 2 * k);
+                if matches!(inst.opcode, Opcode::Load | Opcode::Store | Opcode::AutoAdd) && pos == 0
+                {
+                    ptr_pref.insert(o.var, true);
+                }
+            }
+            for o in &inst.defs {
+                touch(o.var, base + 2 * k + 1);
+                if inst.opcode == Opcode::AutoAdd {
+                    ptr_pref.insert(o.var, true);
+                }
+            }
+            if !inst.defs.is_empty() {
+                let tied = match inst.opcode {
+                    Opcode::Mov => Some(0),
+                    op => op.tied_use(),
+                };
+                if let Some(u) = tied {
+                    if let Some(src) = inst.uses.get(u) {
+                        hint.insert(inst.defs[0].var, src.var);
+                    }
+                }
+            }
+            k += 1;
+        }
+        let end_pos = base + 2 * k;
+        for v in live.live_exit(f, b).iter() {
+            touch(v, end_pos);
+        }
+        base = end_pos + 2;
+    }
+
+    let mut items: Vec<Interval> = ranges
+        .into_iter()
+        .map(|(var, (start, end))| Interval {
+            var,
+            start,
+            end,
+            pre: f.var(var).reg,
+            ptr_pref: ptr_pref.get(&var).copied().unwrap_or(false)
+                || f.var(var)
+                    .reg
+                    .map(|r| f.machine.reg_class(r) == RegClass::Ptr)
+                    .unwrap_or(false),
+            hint: hint.get(&var).copied(),
+        })
+        .collect();
+    items.sort_by_key(|iv| (iv.start, iv.var.index()));
+    Intervals { items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    #[test]
+    fn def_position_clears_dying_use() {
+        let f = parse_function(
+            "func @t {\nentry:\n  %a = input\n  %b = mov %a\n  ret %b\n}",
+            &Machine::dsp32(),
+        )
+        .unwrap();
+        let ivs = build(&f);
+        let by_name = |n: &str| {
+            ivs.items
+                .iter()
+                .find(|iv| f.var(iv.var).name == n)
+                .copied()
+                .unwrap()
+        };
+        let a = by_name("a");
+        let b = by_name("b");
+        // %a dies at the mov's use point; %b starts one past it.
+        assert!(a.end < b.start, "a={a:?} b={b:?}");
+        assert_eq!(b.hint.map(|v| f.var(v).name.clone()), Some("a".to_string()));
+    }
+
+    #[test]
+    fn loop_carried_var_spans_the_loop() {
+        let f = parse_function(
+            "
+func @l {
+entry:
+  %n = input
+  %z = make 0
+  jump head
+head:
+  %c = cmplt %z, %n
+  br %c, body, exit
+body:
+  %z = addi %z, 1
+  jump head
+exit:
+  ret %z
+}",
+            &Machine::dsp32(),
+        )
+        .unwrap();
+        let ivs = build(&f);
+        let z = ivs
+            .items
+            .iter()
+            .find(|iv| f.var(iv.var).name == "z")
+            .unwrap();
+        let n = ivs
+            .items
+            .iter()
+            .find(|iv| f.var(iv.var).name == "n")
+            .unwrap();
+        assert!(z.overlaps(n), "loop-carried z must interfere with n");
+    }
+}

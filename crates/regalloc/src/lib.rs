@@ -1,0 +1,540 @@
+//! # tossa-regalloc — register allocation on the DSP32 model
+//!
+//! The paper's whole argument for pinning-based coalescing is that fewer
+//! φ-repair moves and constraint-aware pinning produce better code
+//! *after* register allocation. This crate closes that loop: it maps
+//! every variable of an out-of-SSA function onto a physical DSP32
+//! resource (`R0`–`R15`, `P0`–`P3`, `SP`/`LR` only by precoloring),
+//! spilling through the stack-slot opcodes
+//! ([`tossa_ir::Opcode::SpillStore`] / [`tossa_ir::Opcode::SpillLoad`])
+//! when the register file is exhausted.
+//!
+//! Pipeline:
+//!
+//! 1. [`prepare`] — hull live intervals from the worklist liveness, then
+//!    liveness-driven linear scan ([`Strategy::LinearScan`]) with
+//!    iterative spill-everywhere rewriting; when scan cannot converge,
+//!    an interference-graph greedy-coloring fallback
+//!    ([`Strategy::Graph`]) takes over. Pre-existing register identities
+//!    (`VarData::reg`, the out-of-SSA pinning results: ABI argument and
+//!    return registers, `SP`, predicate/pointer webs) are preserved
+//!    verbatim as precolored intervals.
+//! 2. [`verify_allocation`] — independent recheck: no two
+//!    simultaneously-live variables share a register, precolored
+//!    variables kept their register, spill slots are written before they
+//!    are read, every used variable has a definition. Violations are
+//!    structured [`AllocError`]s (the checked-mode contract).
+//! 3. [`finish`] — rewrites every variable to the canonical
+//!    register-identity variable of its assigned register, producing a
+//!    function the interpreter executes directly (wrong assignments
+//!    surface as differential divergences, because distinct values
+//!    merged onto one register clobber each other).
+//!
+//! [`allocate`] runs all three. Per-function [`AllocStats`] report
+//! registers used, spills, reloads, and the moves surviving allocation —
+//! the end-to-end quantity the paper's §5 move counts proxy for.
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod intervals;
+pub mod scan;
+pub mod spill;
+pub mod verify;
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use tossa_ir::ids::{Block, Var};
+use tossa_ir::machine::{PhysReg, RegClass};
+use tossa_ir::Function;
+use tossa_trace::Counter;
+
+pub use verify::verify_allocation;
+
+/// Which assignment engine produced (or should produce) the allocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Strategy {
+    /// Linear scan first; fall back to graph coloring when scan fails to
+    /// converge within [`AllocOptions::max_rounds`].
+    #[default]
+    Auto,
+    /// Linear scan only; error when it cannot converge.
+    LinearScan,
+    /// Interference-graph greedy coloring only.
+    Graph,
+}
+
+/// Allocator configuration.
+#[derive(Clone, Debug)]
+pub struct AllocOptions {
+    /// Assignment engine selection.
+    pub strategy: Strategy,
+    /// Spill-and-retry rounds each engine may take before giving up.
+    pub max_rounds: usize,
+    /// Run [`verify_allocation`] before rewriting to physical form.
+    pub verify: bool,
+}
+
+impl Default for AllocOptions {
+    fn default() -> Self {
+        AllocOptions {
+            strategy: Strategy::Auto,
+            max_rounds: 8,
+            verify: true,
+        }
+    }
+}
+
+/// Per-function allocation statistics (the end-to-end table columns).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Distinct physical registers used by the final assignment.
+    pub regs_used: usize,
+    /// Variables evicted to the spill frame (== stack slots allocated).
+    pub spilled_vars: usize,
+    /// `spillld` instructions inserted.
+    pub reloads: usize,
+    /// `spillst` instructions inserted.
+    pub stores: usize,
+    /// `mov`s surviving allocation (self-moves under the assignment
+    /// vanish and are not counted).
+    pub moves_after: usize,
+    /// Whether the interference-graph fallback produced the assignment.
+    pub fallback: bool,
+    /// Spill-and-retry rounds taken.
+    pub rounds: usize,
+}
+
+impl AllocStats {
+    /// Spills plus reloads plus surviving moves: the scalar the
+    /// end-to-end comparison tables rank experiments by.
+    pub fn spill_move_total(&self) -> usize {
+        self.stores + self.reloads + self.moves_after
+    }
+
+    /// Accumulates `other` (suite-level folding).
+    pub fn add_assign(&mut self, other: &AllocStats) {
+        self.regs_used = self.regs_used.max(other.regs_used);
+        self.spilled_vars += other.spilled_vars;
+        self.reloads += other.reloads;
+        self.stores += other.stores;
+        self.moves_after += other.moves_after;
+        self.fallback |= other.fallback;
+        self.rounds = self.rounds.max(other.rounds);
+    }
+}
+
+/// A structured allocation failure (checked-mode contract: misallocations
+/// become errors, never silent miscompiles).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// The input still holds a φ; allocation runs after out-of-SSA only.
+    ResidualPhi {
+        /// The block holding the φ.
+        block: Block,
+    },
+    /// Two precolored variables with overlapping intervals carry the
+    /// same register — an upstream pinning bug the allocator cannot fix.
+    PinConflict {
+        /// The register both variables are precolored to.
+        reg: PhysReg,
+        /// First variable.
+        a: Var,
+        /// Second variable.
+        b: Var,
+    },
+    /// Neither engine could assign `var` within the round budget.
+    OutOfRegisters {
+        /// The unassignable variable.
+        var: Var,
+    },
+    /// A variable appears in the code but received no register.
+    Unassigned {
+        /// The unassigned variable.
+        var: Var,
+    },
+    /// A precolored variable was moved off its pinned register.
+    PinClobbered {
+        /// The variable.
+        var: Var,
+        /// The register it is pinned to.
+        pinned: PhysReg,
+        /// The register the assignment gave it.
+        got: PhysReg,
+    },
+    /// Two simultaneously-live variables share one register.
+    RegisterOverlap {
+        /// The shared register.
+        reg: PhysReg,
+        /// First variable.
+        a: Var,
+        /// Second variable.
+        b: Var,
+    },
+    /// A `spillld` can read a slot before any `spillst` wrote it.
+    UnpairedSlot {
+        /// The stack-slot index.
+        slot: i64,
+    },
+    /// A variable is used but never defined (e.g. a dropped reload).
+    UndefinedUse {
+        /// The variable.
+        var: Var,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::ResidualPhi { block } => {
+                write!(
+                    f,
+                    "block {block} still holds a φ; allocate after out-of-SSA"
+                )
+            }
+            AllocError::PinConflict { reg, a, b } => {
+                write!(
+                    f,
+                    "{a} and {b} are both precolored to register {reg:?} and overlap"
+                )
+            }
+            AllocError::OutOfRegisters { var } => {
+                write!(f, "no register assignable to {var} within the round budget")
+            }
+            AllocError::Unassigned { var } => write!(f, "{var} received no register"),
+            AllocError::PinClobbered { var, pinned, got } => {
+                write!(f, "{var} is pinned to {pinned:?} but was assigned {got:?}")
+            }
+            AllocError::RegisterOverlap { reg, a, b } => {
+                write!(f, "{a} and {b} are simultaneously live in register {reg:?}")
+            }
+            AllocError::UnpairedSlot { slot } => {
+                write!(f, "spill slot {slot} can be reloaded before any store")
+            }
+            AllocError::UndefinedUse { var } => {
+                write!(f, "{var} is used but never defined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// The register map produced by an assignment engine, indexed by [`Var`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assignment {
+    regs: Vec<Option<PhysReg>>,
+}
+
+impl Assignment {
+    /// An empty assignment sized for `num_vars` variables.
+    pub fn new(num_vars: usize) -> Assignment {
+        Assignment {
+            regs: vec![None; num_vars],
+        }
+    }
+
+    /// The register assigned to `v`, if any.
+    pub fn get(&self, v: Var) -> Option<PhysReg> {
+        self.regs.get(v.index()).copied().flatten()
+    }
+
+    /// Sets (or, for fault injection, overrides) the register of `v`.
+    pub fn set(&mut self, v: Var, r: PhysReg) {
+        if self.regs.len() <= v.index() {
+            self.regs.resize(v.index() + 1, None);
+        }
+        self.regs[v.index()] = Some(r);
+    }
+
+    /// Distinct registers in use.
+    pub fn regs_used(&self) -> usize {
+        let mut seen: Vec<PhysReg> = self.regs.iter().copied().flatten().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+}
+
+/// The state between assignment and the physical rewrite: the
+/// fault-injection point of checked mode.
+#[derive(Clone, Debug)]
+pub struct Prepared {
+    /// The register map (complete over every variable that appears).
+    pub assignment: Assignment,
+    /// Statistics so far (spills, rounds, engine used).
+    pub stats: AllocStats,
+}
+
+/// Runs assignment and spill insertion, mutating `f` with spill code but
+/// leaving it in virtual-register form.
+///
+/// # Errors
+/// [`AllocError::ResidualPhi`] on φ-bearing input, [`AllocError::PinConflict`]
+/// on contradictory precoloring, [`AllocError::OutOfRegisters`] when the
+/// round budget is exhausted.
+pub fn prepare(f: &mut Function, opts: &AllocOptions) -> Result<Prepared, AllocError> {
+    for (b, i) in f.all_insts() {
+        if f.inst(i).is_phi() {
+            return Err(AllocError::ResidualPhi { block: b });
+        }
+    }
+    let mut stats = AllocStats::default();
+    let mut next_slot: i64 = 0;
+    let mut temps: HashSet<Var> = HashSet::new();
+    let engines: &[(Strategy, bool)] = match opts.strategy {
+        Strategy::Auto => &[(Strategy::LinearScan, false), (Strategy::Graph, true)],
+        Strategy::LinearScan => &[(Strategy::LinearScan, false)],
+        Strategy::Graph => &[(Strategy::Graph, false)],
+    };
+    let mut last_err = None;
+    for &(engine, is_fallback) in engines {
+        for _ in 0..opts.max_rounds.max(1) {
+            stats.rounds += 1;
+            let ivs = intervals::build(f);
+            let outcome = match engine {
+                Strategy::Graph => graph::color(f, &ivs, &temps),
+                _ => scan::scan(f, &ivs, &temps),
+            };
+            match outcome {
+                Ok(assignment) => {
+                    stats.fallback = is_fallback;
+                    if is_fallback {
+                        tossa_trace::count(Counter::AllocFallbacks, 1);
+                    }
+                    return Ok(Prepared { assignment, stats });
+                }
+                Err(scan::ScanFail::Spill(vars)) => {
+                    let (st, rl) = spill::rewrite_spills(f, &vars, &mut next_slot, &mut temps);
+                    stats.spilled_vars += vars.len();
+                    stats.stores += st;
+                    stats.reloads += rl;
+                    tossa_trace::count(Counter::AllocSpilledVars, vars.len() as u64);
+                    tossa_trace::count(Counter::AllocStores, st as u64);
+                    tossa_trace::count(Counter::AllocReloads, rl as u64);
+                }
+                Err(scan::ScanFail::Hard(e)) => {
+                    if matches!(e, AllocError::PinConflict { .. }) {
+                        return Err(e);
+                    }
+                    last_err = Some(e);
+                    break;
+                }
+            }
+        }
+    }
+    Err(last_err.unwrap_or(AllocError::OutOfRegisters { var: Var::new(0) }))
+}
+
+/// Rewrites `f` into physical form: every variable becomes the canonical
+/// register-identity variable of its assigned register. Returns the
+/// completed statistics.
+pub fn finish(f: &mut Function, prep: Prepared) -> AllocStats {
+    let mut stats = prep.stats;
+    let asg = &prep.assignment;
+    // Canonical variable per register: prefer an existing reg-identity
+    // variable assigned to its own register, so SP/LR keep their
+    // interpreter-visible identity.
+    let mut canon: HashMap<u8, Var> = HashMap::new();
+    for v in f.vars() {
+        if let (Some(r), Some(have)) = (asg.get(v), f.var(v).reg) {
+            if r == have {
+                canon.entry(r.0).or_insert(v);
+            }
+        }
+    }
+    let mut used: Vec<PhysReg> = Vec::new();
+    for (_, i) in f.all_insts().collect::<Vec<_>>() {
+        let vars: Vec<Var> = f.inst(i).operands().map(|o| o.var).collect();
+        for v in vars {
+            if let Some(r) = asg.get(v) {
+                used.push(r);
+            }
+        }
+    }
+    used.sort_unstable();
+    used.dedup();
+    stats.regs_used = used.len();
+    for r in used {
+        if let std::collections::hash_map::Entry::Vacant(e) = canon.entry(r.0) {
+            let name = f.machine.reg_name(r).to_string();
+            let v = f.new_var(name);
+            f.var_mut(v).reg = Some(r);
+            e.insert(v);
+        }
+    }
+    f.rewrite_vars(|v| match asg.get(v) {
+        Some(r) => canon[&r.0],
+        None => v,
+    });
+    stats.moves_after = f.count_moves();
+    tossa_trace::count(Counter::AllocMovesAfter, stats.moves_after as u64);
+    stats
+}
+
+/// Full allocation: [`prepare`], optional [`verify_allocation`],
+/// [`finish`].
+///
+/// # Errors
+/// Propagates every [`AllocError`] of the two phases.
+pub fn allocate(f: &mut Function, opts: &AllocOptions) -> Result<AllocStats, AllocError> {
+    tossa_trace::span("alloc", || {
+        let prep = prepare(f, opts)?;
+        if opts.verify {
+            verify_allocation(f, &prep.assignment)?;
+        }
+        Ok(finish(f, prep))
+    })
+}
+
+/// Registers an unpinned variable may be assigned to, in preference
+/// order: `Special`-class registers are reserved for precoloring.
+pub(crate) fn pools(f: &Function, ptr_first: bool) -> Vec<PhysReg> {
+    let mut gpr = Vec::new();
+    let mut ptr = Vec::new();
+    for r in f.machine.regs() {
+        match f.machine.reg_class(r) {
+            RegClass::Gpr => gpr.push(r),
+            RegClass::Ptr => ptr.push(r),
+            RegClass::Special => {}
+        }
+    }
+    if ptr_first {
+        ptr.extend(gpr);
+        ptr
+    } else {
+        gpr.extend(ptr);
+        gpr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tossa_ir::interp;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    fn alloc_text(text: &str, opts: &AllocOptions) -> (Function, AllocStats) {
+        let mut f = parse_function(text, &Machine::dsp32()).unwrap();
+        f.validate().unwrap();
+        let stats = allocate(&mut f, opts).unwrap();
+        f.validate().unwrap();
+        (f, stats)
+    }
+
+    #[test]
+    fn straightline_allocates_without_spills() {
+        let (f, stats) = alloc_text(
+            "func @s {\nentry:\n  %a, %b = input\n  %c = add %a, %b\n  ret %c\n}",
+            &AllocOptions::default(),
+        );
+        assert_eq!(stats.spilled_vars, 0);
+        assert!(stats.regs_used >= 2, "{stats:?}\n{f}");
+        assert_eq!(interp::run(&f, &[3, 4], 100).unwrap().outputs, vec![7]);
+    }
+
+    #[test]
+    fn precolored_identities_survive() {
+        let text = "func @p {\nentry:\n  R0, %b = input\n  %c = add R0, %b\n  ret %c\n}";
+        let (f, _) = alloc_text(text, &AllocOptions::default());
+        // The R0 variable still prints as R0.
+        assert!(f.to_string().contains("R0"), "{f}");
+        assert_eq!(interp::run(&f, &[5, 6], 100).unwrap().outputs, vec![11]);
+    }
+
+    #[test]
+    fn mov_hints_erase_copies() {
+        let (f, stats) = alloc_text(
+            "func @m {\nentry:\n  %a = input\n  %b = mov %a\n  ret %b\n}",
+            &AllocOptions::default(),
+        );
+        assert_eq!(stats.moves_after, 0, "{f}");
+        assert_eq!(interp::run(&f, &[9], 100).unwrap().outputs, vec![9]);
+    }
+
+    #[test]
+    fn graph_strategy_matches_scan_semantics() {
+        let text = "
+func @g {
+entry:
+  %n = input
+  %z = make 0
+  jump head
+head:
+  %c = cmplt %z, %n
+  br %c, body, exit
+body:
+  %z = addi %z, 1
+  jump head
+exit:
+  ret %z
+}";
+        for strategy in [Strategy::LinearScan, Strategy::Graph] {
+            let opts = AllocOptions {
+                strategy,
+                ..Default::default()
+            };
+            let (f, _) = alloc_text(text, &opts);
+            assert_eq!(
+                interp::run(&f, &[4], 1000).unwrap().outputs,
+                vec![4],
+                "{strategy:?}\n{f}"
+            );
+        }
+    }
+
+    #[test]
+    fn residual_phi_is_an_error() {
+        let text = "
+func @r {
+entry:
+  %a = make 1
+  jump m
+m:
+  %x = phi [entry: %a]
+  ret %x
+}";
+        let mut f = parse_function(text, &Machine::dsp32()).unwrap();
+        let e = allocate(&mut f, &AllocOptions::default()).unwrap_err();
+        assert!(matches!(e, AllocError::ResidualPhi { .. }), "{e}");
+    }
+
+    #[test]
+    fn high_pressure_spills_and_stays_correct() {
+        // 24 simultaneously-live values exceed the 20 allocatable
+        // registers, forcing spills; the sum must still be exact.
+        let mut text = String::from("func @hp {\nentry:\n  %i = input\n");
+        for k in 0..24 {
+            text.push_str(&format!("  %v{k} = addi %i, {k}\n"));
+        }
+        text.push_str("  %s = make 0\n");
+        for k in 0..24 {
+            text.push_str(&format!("  %s = add %s, %v{k}\n"));
+        }
+        text.push_str("  ret %s\n}\n");
+        let (f, stats) = alloc_text(&text, &AllocOptions::default());
+        assert!(stats.spilled_vars > 0, "{stats:?}");
+        assert!(stats.stores > 0 && stats.reloads > 0);
+        let expected: i64 = (0..24).map(|k| 10 + k).sum();
+        assert_eq!(
+            interp::run(&f, &[10], 10_000).unwrap().outputs,
+            vec![expected],
+            "{f}"
+        );
+    }
+
+    #[test]
+    fn allocated_form_roundtrips_through_text() {
+        let (f, _) = alloc_text(
+            "func @rt {\nentry:\n  %a, %b = input\n  %c = add %a, %b\n  %d = mul %c, %a\n  ret %d\n}",
+            &AllocOptions::default(),
+        );
+        let printed = f.to_string();
+        let f2 = parse_function(&printed, &Machine::dsp32()).unwrap();
+        assert_eq!(
+            interp::run(&f, &[2, 5], 100).unwrap().outputs,
+            interp::run(&f2, &[2, 5], 100).unwrap().outputs,
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Liveness-driven linear scan over hull intervals.
+//!
+//! Precolored intervals (out-of-SSA pinnings) are fixed: their register
+//! is reserved for their whole interval, and an unpinned candidate may
+//! only take a register whose precolored reservations it does not
+//! overlap. When no register is free the furthest-ending spillable
+//! interval (possibly the current one) is evicted; the caller rewrites
+//! the evicted variables through spill slots and re-runs the scan.
+//! Spill-reload temporaries are unspillable, which bounds the iteration:
+//! each round strictly shrinks the set of long intervals.
+
+use std::collections::{HashMap, HashSet};
+use tossa_ir::ids::Var;
+use tossa_ir::machine::{PhysReg, RegClass};
+use tossa_ir::Function;
+
+use crate::intervals::Intervals;
+use crate::{pools, AllocError, Assignment};
+
+/// Why a scan round did not produce an assignment.
+#[derive(Clone, Debug)]
+pub enum ScanFail {
+    /// These variables must be rewritten through spill slots, then the
+    /// scan re-run.
+    Spill(Vec<Var>),
+    /// Unrecoverable failure (pin conflict, out of registers).
+    Hard(AllocError),
+}
+
+/// Per-register reservations made by precolored intervals.
+pub(crate) struct Blocked {
+    ranges: HashMap<u8, Vec<(u32, u32)>>,
+}
+
+impl Blocked {
+    /// Collects precolored reservations; errors when two precolored
+    /// intervals on one register overlap.
+    pub(crate) fn collect(ivs: &Intervals) -> Result<Blocked, AllocError> {
+        let mut ranges: HashMap<u8, Vec<(u32, u32, Var)>> = HashMap::new();
+        for iv in &ivs.items {
+            if let Some(r) = iv.pre {
+                ranges
+                    .entry(r.0)
+                    .or_default()
+                    .push((iv.start, iv.end, iv.var));
+            }
+        }
+        let mut out: HashMap<u8, Vec<(u32, u32)>> = HashMap::new();
+        for (reg, mut v) in ranges {
+            v.sort_unstable();
+            for w in v.windows(2) {
+                if w[1].0 <= w[0].1 {
+                    return Err(AllocError::PinConflict {
+                        reg: PhysReg(reg),
+                        a: w[0].2,
+                        b: w[1].2,
+                    });
+                }
+            }
+            out.insert(reg, v.into_iter().map(|(s, e, _)| (s, e)).collect());
+        }
+        Ok(Blocked { ranges: out })
+    }
+
+    /// Does register `r` carry a precolored reservation overlapping
+    /// `[start, end]`?
+    pub(crate) fn conflicts(&self, r: PhysReg, start: u32, end: u32) -> bool {
+        self.ranges
+            .get(&r.0)
+            .map(|v| v.iter().any(|&(s, e)| s <= end && start <= e))
+            .unwrap_or(false)
+    }
+}
+
+/// One linear-scan round.
+///
+/// # Errors
+/// [`ScanFail::Spill`] with the eviction set, or [`ScanFail::Hard`] on
+/// pin conflicts / unspillable pressure.
+pub fn scan(f: &Function, ivs: &Intervals, temps: &HashSet<Var>) -> Result<Assignment, ScanFail> {
+    let blocked = Blocked::collect(ivs).map_err(ScanFail::Hard)?;
+    let mut asg = Assignment::new(f.num_vars());
+    // (end, reg, var, spillable)
+    let mut active: Vec<(u32, PhysReg, Var, bool)> = Vec::new();
+    let mut spills: Vec<Var> = Vec::new();
+
+    for iv in &ivs.items {
+        active.retain(|&(end, _, _, _)| end >= iv.start);
+        if let Some(r) = iv.pre {
+            asg.set(iv.var, r);
+            active.push((iv.end, r, iv.var, false));
+            continue;
+        }
+        let spillable = !temps.contains(&iv.var);
+        let mut candidates: Vec<PhysReg> = Vec::new();
+        if let Some(h) = iv.hint {
+            if let Some(r) = asg.get(h) {
+                if f.machine.reg_class(r) != RegClass::Special {
+                    candidates.push(r);
+                }
+            }
+        }
+        candidates.extend(pools(f, iv.ptr_pref));
+        let usable = |r: PhysReg| !blocked.conflicts(r, iv.start, iv.end);
+        let taken: HashSet<u8> = active.iter().map(|&(_, r, _, _)| r.0).collect();
+        let chosen = candidates
+            .iter()
+            .copied()
+            .find(|&r| usable(r) && !taken.contains(&r.0));
+        if let Some(r) = chosen {
+            asg.set(iv.var, r);
+            active.push((iv.end, r, iv.var, true));
+            continue;
+        }
+        // No free register: evict the furthest-ending spillable holder of
+        // a register this interval could use — or the interval itself.
+        let victim = active
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, r, _, sp))| sp && usable(r))
+            .max_by_key(|(_, &(end, _, _, _))| end)
+            .map(|(idx, &(end, r, v, _))| (idx, end, r, v));
+        match victim {
+            Some((idx, end, r, v)) if !spillable || end > iv.end => {
+                active.remove(idx);
+                spills.push(v);
+                asg.set(iv.var, r);
+                active.push((iv.end, r, iv.var, spillable));
+            }
+            _ if spillable => {
+                spills.push(iv.var);
+            }
+            _ => return Err(ScanFail::Hard(AllocError::OutOfRegisters { var: iv.var })),
+        }
+    }
+    if spills.is_empty() {
+        Ok(asg)
+    } else {
+        spills.sort_unstable_by_key(|v| v.index());
+        spills.dedup();
+        Err(ScanFail::Spill(spills))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervals;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    #[test]
+    fn overlapping_precolored_pair_is_a_pin_conflict() {
+        // Two variables precolored to R5 with overlapping lifetimes.
+        let mut f = parse_function(
+            "func @pc {\nentry:\n  %a = input\n  %b = mov %a\n  %c = add %a, %b\n  ret %c\n}",
+            &Machine::dsp32(),
+        )
+        .unwrap();
+        let r5 = Machine::dsp32().reg_by_name("R5").unwrap();
+        let (va, vb) = {
+            let mut it = f.vars().filter(|&v| {
+                let n = &f.var(v).name;
+                n == "a" || n == "b"
+            });
+            (it.next().unwrap(), it.next().unwrap())
+        };
+        f.var_mut(va).reg = Some(r5);
+        f.var_mut(vb).reg = Some(r5);
+        let ivs = intervals::build(&f);
+        let err = scan(&f, &ivs, &HashSet::new()).unwrap_err();
+        assert!(
+            matches!(err, ScanFail::Hard(AllocError::PinConflict { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn disjoint_precolored_pair_on_one_register_is_fine() {
+        // %a dies at the mov; %b reuses R5 afterwards.
+        let mut f = parse_function(
+            "func @dp {\nentry:\n  %a = input\n  %b = mov %a\n  ret %b\n}",
+            &Machine::dsp32(),
+        )
+        .unwrap();
+        let r5 = Machine::dsp32().reg_by_name("R5").unwrap();
+        let vars: Vec<_> = f.vars().collect();
+        for v in vars {
+            if f.var(v).name == "a" || f.var(v).name == "b" {
+                f.var_mut(v).reg = Some(r5);
+            }
+        }
+        let ivs = intervals::build(&f);
+        let asg = scan(&f, &ivs, &HashSet::new()).unwrap();
+        for iv in &ivs.items {
+            if iv.pre.is_some() {
+                assert_eq!(asg.get(iv.var), Some(r5));
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Spill-everywhere rewriting through the stack-slot model.
+//!
+//! Each evicted variable gets one stack slot for the whole function.
+//! Every instruction that reads it gets a fresh reload temporary
+//! (`tmp = spillld slot`) inserted just before it; every instruction
+//! that writes it gets a fresh store temporary followed by
+//! `spillst tmp, slot`. Temporaries live for exactly one instruction,
+//! are recorded as unspillable, and shrink register pressure at every
+//! original program point — which is what makes the driver's
+//! spill-and-rescan loop terminate.
+
+use std::collections::{HashMap, HashSet};
+use tossa_ir::ids::Var;
+use tossa_ir::instr::{InstData, Operand};
+use tossa_ir::{Function, Opcode};
+
+/// Rewrites `vars` through spill slots. Returns `(stores, reloads)`
+/// inserted. `next_slot` persists across rounds so slots never collide;
+/// the fresh temporaries are added to `temps`.
+pub fn rewrite_spills(
+    f: &mut Function,
+    vars: &[Var],
+    next_slot: &mut i64,
+    temps: &mut HashSet<Var>,
+) -> (usize, usize) {
+    let mut slot_of: HashMap<Var, i64> = HashMap::new();
+    for &v in vars {
+        slot_of.insert(v, *next_slot);
+        *next_slot += 1;
+    }
+    let mut stores = 0usize;
+    let mut reloads = 0usize;
+
+    let blocks: Vec<_> = f.blocks().collect();
+    for b in blocks {
+        let old: Vec<_> = f.block_insts(b).collect();
+        let mut new_list = Vec::with_capacity(old.len());
+        for i in old {
+            // One reload temp per distinct spilled variable used here.
+            let used: Vec<Var> = {
+                let mut seen = Vec::new();
+                for o in &f.inst(i).uses {
+                    if slot_of.contains_key(&o.var) && !seen.contains(&o.var) {
+                        seen.push(o.var);
+                    }
+                }
+                seen
+            };
+            let mut reload_tmp: HashMap<Var, Var> = HashMap::new();
+            for v in used {
+                let slot = slot_of[&v];
+                let name = format!("{}.r", f.var(v).name);
+                let tmp = f.new_var(name);
+                temps.insert(tmp);
+                let ld = InstData::new(Opcode::SpillLoad)
+                    .with_defs(vec![Operand::new(tmp)])
+                    .with_imm(slot);
+                new_list.push(f.alloc_inst(ld));
+                reload_tmp.insert(v, tmp);
+                reloads += 1;
+            }
+            let mut store_after: Vec<(Var, i64)> = Vec::new();
+            {
+                let inst = f.inst_mut(i);
+                for o in inst.uses.iter_mut() {
+                    if let Some(&tmp) = reload_tmp.get(&o.var) {
+                        o.var = tmp;
+                    }
+                }
+                for o in inst.defs.iter_mut() {
+                    if let Some(&slot) = slot_of.get(&o.var) {
+                        store_after.push((o.var, slot));
+                    }
+                }
+            }
+            // Fresh store temp per spilled def (defs are distinct vars
+            // within one instruction after validation).
+            let mut def_tmp: HashMap<Var, Var> = HashMap::new();
+            for &(v, _) in &store_after {
+                let name = format!("{}.w", f.var(v).name);
+                let tmp = f.new_var(name);
+                temps.insert(tmp);
+                def_tmp.insert(v, tmp);
+            }
+            {
+                let inst = f.inst_mut(i);
+                for o in inst.defs.iter_mut() {
+                    if let Some(&tmp) = def_tmp.get(&o.var) {
+                        o.var = tmp;
+                    }
+                }
+            }
+            new_list.push(i);
+            for (v, slot) in store_after {
+                let st = InstData::new(Opcode::SpillStore)
+                    .with_uses(vec![Operand::new(def_tmp[&v])])
+                    .with_imm(slot);
+                new_list.push(f.alloc_inst(st));
+                stores += 1;
+            }
+        }
+        f.block_mut(b).insts = new_list;
+    }
+    (stores, reloads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tossa_ir::interp;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    #[test]
+    fn spilling_a_loop_var_preserves_semantics() {
+        let text = "
+func @s {
+entry:
+  %n = input
+  %z = make 0
+  jump head
+head:
+  %c = cmplt %z, %n
+  br %c, body, exit
+body:
+  %z = addi %z, 1
+  jump head
+exit:
+  ret %z
+}";
+        let mut f = parse_function(text, &Machine::dsp32()).unwrap();
+        let before = interp::run(&f, &[6], 10_000).unwrap().outputs;
+        let z = f.vars().find(|&v| f.var(v).name == "z").unwrap();
+        let mut next_slot = 0;
+        let mut temps = HashSet::new();
+        let (st, rl) = rewrite_spills(&mut f, &[z], &mut next_slot, &mut temps);
+        f.validate().unwrap();
+        assert!(st >= 2 && rl >= 2, "stores={st} reloads={rl}\n{f}");
+        assert_eq!(next_slot, 1);
+        assert!(!temps.is_empty());
+        assert_eq!(
+            interp::run(&f, &[6], 10_000).unwrap().outputs,
+            before,
+            "{f}"
+        );
+        // The spilled variable no longer appears as an operand.
+        for (_, i) in f.all_insts() {
+            for o in f.inst(i).operands() {
+                assert_ne!(o.var, z, "{f}");
+            }
+        }
+    }
+}

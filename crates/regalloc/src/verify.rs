@@ -1,0 +1,317 @@
+//! Independent allocation verifier.
+//!
+//! Rechecks an [`Assignment`](crate::Assignment) against the function it
+//! was computed for, using nothing from the assignment engines except
+//! the liveness analysis:
+//!
+//! - every operand variable has a register ([`AllocError::Unassigned`]);
+//! - precolored variables keep their register
+//!   ([`AllocError::PinClobbered`]);
+//! - no two simultaneously-live variables share a register, including
+//!   dead defs clobbering live-through values
+//!   ([`AllocError::RegisterOverlap`]) — checked by a per-block backward
+//!   scan from `live_exit` that tracks which variable currently owns
+//!   each register;
+//! - every `spillld` reads a slot that a `spillst` must have written on
+//!   all paths ([`AllocError::UnpairedSlot`]) — a forward must-written
+//!   dataflow over slots;
+//! - every used variable has a definition
+//!   ([`AllocError::UndefinedUse`]), catching dropped reloads.
+//!
+//! This is the checked-mode contract: chaos-injected allocation faults
+//! must surface here as structured errors, never as miscompiles.
+
+use std::collections::{HashMap, HashSet};
+use tossa_analysis::Liveness;
+use tossa_ir::cfg::Cfg;
+use tossa_ir::ids::Var;
+use tossa_ir::machine::RegClass;
+use tossa_ir::{Function, Opcode};
+
+use crate::{AllocError, Assignment};
+
+/// Verifies `asg` against `f` (still in virtual-register form, possibly
+/// with spill code).
+///
+/// # Errors
+/// The first violated invariant, as an [`AllocError`].
+pub fn verify_allocation(f: &Function, asg: &Assignment) -> Result<(), AllocError> {
+    let mut def_count: HashMap<Var, usize> = HashMap::new();
+    let mut used: HashSet<Var> = HashSet::new();
+    for (_, i) in f.all_insts() {
+        let inst = f.inst(i);
+        for o in &inst.defs {
+            *def_count.entry(o.var).or_insert(0) += 1;
+        }
+        for o in &inst.uses {
+            used.insert(o.var);
+        }
+    }
+
+    // Assignment completeness, pin preservation, definedness.
+    for (_, i) in f.all_insts() {
+        for o in f.inst(i).operands() {
+            let v = o.var;
+            let r = asg.get(v).ok_or(AllocError::Unassigned { var: v })?;
+            if let Some(pinned) = f.var(v).reg {
+                if pinned != r {
+                    return Err(AllocError::PinClobbered {
+                        var: v,
+                        pinned,
+                        got: r,
+                    });
+                }
+            }
+        }
+    }
+    for &v in &used {
+        if def_count.get(&v).copied().unwrap_or(0) == 0 {
+            let special = f
+                .var(v)
+                .reg
+                .map(|r| f.machine.reg_class(r) == RegClass::Special)
+                .unwrap_or(false);
+            if !special {
+                return Err(AllocError::UndefinedUse { var: v });
+            }
+        }
+    }
+
+    let cfg = Cfg::compute(f);
+    let live = Liveness::compute(f, &cfg);
+
+    // Register-overlap check: backward per-block scan tracking the
+    // variable owning each register.
+    for b in f.blocks() {
+        let mut owner: HashMap<u8, Var> = HashMap::new();
+        let claim = |owner: &mut HashMap<u8, Var>, v: Var| -> Result<(), AllocError> {
+            let r = asg.get(v).ok_or(AllocError::Unassigned { var: v })?;
+            match owner.get(&r.0) {
+                Some(&w) if w != v => Err(AllocError::RegisterOverlap { reg: r, a: v, b: w }),
+                _ => {
+                    owner.insert(r.0, v);
+                    Ok(())
+                }
+            }
+        };
+        for v in live.live_exit(f, b).iter() {
+            claim(&mut owner, v)?;
+        }
+        let insts: Vec<_> = f.block_insts(b).collect();
+        for &i in insts.iter().rev() {
+            let inst = f.inst(i);
+            // A def clobbers whatever holds its register, so the holder
+            // must be the defined variable itself (or nothing). Dead
+            // defs clobber too.
+            let mut def_regs: HashMap<u8, Var> = HashMap::new();
+            for o in &inst.defs {
+                let v = o.var;
+                let r = asg.get(v).ok_or(AllocError::Unassigned { var: v })?;
+                if let Some(&w) = def_regs.get(&r.0) {
+                    return Err(AllocError::RegisterOverlap { reg: r, a: v, b: w });
+                }
+                def_regs.insert(r.0, v);
+                if let Some(&w) = owner.get(&r.0) {
+                    if w != v {
+                        return Err(AllocError::RegisterOverlap { reg: r, a: v, b: w });
+                    }
+                }
+            }
+            for o in &inst.defs {
+                let r = asg.get(o.var).unwrap();
+                if owner.get(&r.0) == Some(&o.var) {
+                    owner.remove(&r.0);
+                }
+            }
+            for o in &inst.uses {
+                claim(&mut owner, o.var)?;
+            }
+        }
+    }
+
+    verify_slots(f, &cfg)
+}
+
+/// Must-written forward dataflow over spill slots: a `spillld` of a slot
+/// not written on every path to it is an [`AllocError::UnpairedSlot`].
+fn verify_slots(f: &Function, cfg: &Cfg) -> Result<(), AllocError> {
+    let mut slots: HashSet<i64> = HashSet::new();
+    for (_, i) in f.all_insts() {
+        let inst = f.inst(i);
+        if matches!(inst.opcode, Opcode::SpillStore | Opcode::SpillLoad) {
+            slots.insert(inst.imm);
+        }
+    }
+    if slots.is_empty() {
+        return Ok(());
+    }
+    let all: HashSet<i64> = slots;
+    // in[entry] = ∅, in[b] = ∩ preds out; out[b] = in[b] ∪ stores(b).
+    let mut written_in: Vec<HashSet<i64>> = vec![all.clone(); f.num_blocks()];
+    written_in[f.entry.index()] = HashSet::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in cfg.rpo() {
+            let inb = if b == f.entry || cfg.preds(b).is_empty() {
+                HashSet::new()
+            } else {
+                let preds = cfg.preds(b);
+                let mut acc = out_of(f, &written_in, preds[0]);
+                for &p in &preds[1..] {
+                    let po = out_of(f, &written_in, p);
+                    acc.retain(|s| po.contains(s));
+                }
+                acc
+            };
+            if inb != written_in[b.index()] {
+                written_in[b.index()] = inb;
+                changed = true;
+            }
+        }
+    }
+    for b in f.blocks() {
+        let mut cur = written_in[b.index()].clone();
+        for i in f.block_insts(b) {
+            let inst = f.inst(i);
+            match inst.opcode {
+                Opcode::SpillLoad if !cur.contains(&inst.imm) => {
+                    return Err(AllocError::UnpairedSlot { slot: inst.imm });
+                }
+                Opcode::SpillStore => {
+                    cur.insert(inst.imm);
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+fn out_of(f: &Function, written_in: &[HashSet<i64>], b: tossa_ir::ids::Block) -> HashSet<i64> {
+    let mut out = written_in[b.index()].clone();
+    for i in f.block_insts(b) {
+        let inst = f.inst(i);
+        if inst.opcode == Opcode::SpillStore {
+            out.insert(inst.imm);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{intervals, scan, AllocOptions, Strategy};
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    fn prepared(text: &str) -> (Function, Assignment) {
+        let mut f = parse_function(text, &Machine::dsp32()).unwrap();
+        let prep = crate::prepare(&mut f, &AllocOptions::default()).unwrap();
+        (f, prep.assignment)
+    }
+
+    #[test]
+    fn clean_allocation_verifies() {
+        let (f, asg) =
+            prepared("func @v {\nentry:\n  %a, %b = input\n  %c = add %a, %b\n  ret %c\n}");
+        verify_allocation(&f, &asg).unwrap();
+    }
+
+    #[test]
+    fn forced_overlap_is_reported() {
+        let (f, mut asg) =
+            prepared("func @o {\nentry:\n  %a, %b = input\n  %c = add %a, %b\n  ret %c\n}");
+        // Force %a and %b onto one register: both live at the add.
+        let a = f.vars().find(|&v| f.var(v).name == "a").unwrap();
+        let b = f.vars().find(|&v| f.var(v).name == "b").unwrap();
+        asg.set(a, asg.get(b).unwrap());
+        let e = verify_allocation(&f, &asg).unwrap_err();
+        assert!(matches!(e, AllocError::RegisterOverlap { .. }), "{e}");
+    }
+
+    #[test]
+    fn dead_def_clobber_is_reported() {
+        let (f, mut asg) = prepared(
+            "func @d {\nentry:\n  %a = input\n  %dead = make 7\n  %s = addi %a, 1\n  ret %s\n}",
+        );
+        // %dead's def clobbers %a, which is live across it.
+        let a = f.vars().find(|&v| f.var(v).name == "a").unwrap();
+        let dead = f.vars().find(|&v| f.var(v).name == "dead").unwrap();
+        asg.set(dead, asg.get(a).unwrap());
+        let e = verify_allocation(&f, &asg).unwrap_err();
+        assert!(matches!(e, AllocError::RegisterOverlap { .. }), "{e}");
+    }
+
+    #[test]
+    fn clobbered_pin_is_reported() {
+        let (f, mut asg) =
+            prepared("func @p {\nentry:\n  R0, %b = input\n  %c = add R0, %b\n  ret %c\n}");
+        let pinned = f.vars().find(|&v| f.var(v).reg.is_some()).unwrap();
+        let other = Machine::dsp32().reg_by_name("R9").unwrap();
+        asg.set(pinned, other);
+        let e = verify_allocation(&f, &asg).unwrap_err();
+        assert!(matches!(e, AllocError::PinClobbered { .. }), "{e}");
+    }
+
+    #[test]
+    fn load_before_store_is_an_unpaired_slot() {
+        let f = parse_function(
+            "func @u {\nentry:\n  %x = spillld 0\n  spillst %x, 0\n  ret %x\n}",
+            &Machine::dsp32(),
+        )
+        .unwrap();
+        let ivs = intervals::build(&f);
+        let asg = match scan::scan(&f, &ivs, &std::collections::HashSet::new()) {
+            Ok(a) => a,
+            Err(e) => panic!("{e:?}"),
+        };
+        let e = verify_allocation(&f, &asg).unwrap_err();
+        assert!(matches!(e, AllocError::UnpairedSlot { slot: 0 }), "{e}");
+    }
+
+    #[test]
+    fn undefined_use_is_reported() {
+        let f = parse_function(
+            "func @uu {\nentry:\n  %g = input\n  %h = add %g, %never\n  ret %h\n}",
+            &Machine::dsp32(),
+        )
+        .unwrap();
+        let ivs = intervals::build(&f);
+        let asg = scan::scan(&f, &ivs, &std::collections::HashSet::new()).unwrap();
+        let e = verify_allocation(&f, &asg).unwrap_err();
+        assert!(matches!(e, AllocError::UndefinedUse { .. }), "{e}");
+    }
+
+    #[test]
+    fn graph_and_scan_both_verify_on_branchy_code() {
+        let text = "
+func @g {
+entry:
+  %a, %b = input
+  %c = cmplt %a, %b
+  br %c, t, e
+t:
+  %r = sub %b, %a
+  jump done
+e:
+  %r = sub %a, %b
+  jump done
+done:
+  ret %r
+}";
+        for strategy in [Strategy::LinearScan, Strategy::Graph] {
+            let mut f = parse_function(text, &Machine::dsp32()).unwrap();
+            let prep = crate::prepare(
+                &mut f,
+                &AllocOptions {
+                    strategy,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            verify_allocation(&f, &prep.assignment).unwrap();
+        }
+    }
+}

@@ -103,11 +103,23 @@ pub enum Counter {
     ChaosInjected,
     /// Graceful degradations to the naive fallback (checked mode).
     FallbacksTaken,
+    /// Variables the register allocator evicted to the spill frame.
+    AllocSpilledVars,
+    /// Spill reloads (`spillld`) the allocator inserted.
+    AllocReloads,
+    /// Spill stores (`spillst`) the allocator inserted.
+    AllocStores,
+    /// Functions where linear scan failed and the interference-graph
+    /// coloring fallback produced the assignment.
+    AllocFallbacks,
+    /// `mov`s still present after register allocation (self-moves under
+    /// the assignment excluded).
+    AllocMovesAfter,
 }
 
 impl Counter {
     /// Number of counters (the [`CounterSet`] array length).
-    pub const COUNT: usize = 31;
+    pub const COUNT: usize = 36;
 
     /// Every counter, in declaration (= export) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -142,6 +154,11 @@ impl Counter {
         Counter::PinsPhi,
         Counter::ChaosInjected,
         Counter::FallbacksTaken,
+        Counter::AllocSpilledVars,
+        Counter::AllocReloads,
+        Counter::AllocStores,
+        Counter::AllocFallbacks,
+        Counter::AllocMovesAfter,
     ];
 
     /// Stable snake_case key used in JSON exports and tables.
@@ -178,6 +195,11 @@ impl Counter {
             Counter::PinsPhi => "pins_phi",
             Counter::ChaosInjected => "chaos_injected",
             Counter::FallbacksTaken => "fallbacks_taken",
+            Counter::AllocSpilledVars => "alloc_spilled_vars",
+            Counter::AllocReloads => "alloc_reloads",
+            Counter::AllocStores => "alloc_stores",
+            Counter::AllocFallbacks => "alloc_fallbacks",
+            Counter::AllocMovesAfter => "alloc_moves_after",
         }
     }
 }

@@ -64,5 +64,6 @@ pub use tossa_baselines as baselines;
 pub use tossa_bench as bench;
 pub use tossa_core as core;
 pub use tossa_ir as ir;
+pub use tossa_regalloc as regalloc;
 pub use tossa_ssa as ssa;
 pub use tossa_trace as trace;

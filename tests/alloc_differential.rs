@@ -1,0 +1,88 @@
+//! Differential-execution test layer for the register allocator.
+//!
+//! For every function of every bench suite, across all ten experiments
+//! of the paper's matrix, the fully allocated code (physical DSP32
+//! registers plus spill slots) must produce bit-identical outputs to the
+//! pre-SSA source on the suite's input vectors. The suite runner's
+//! `check` panics on the first divergence or trap, naming the function
+//! and inputs.
+
+use tossa::bench::runner::run_suite_each_allocated;
+use tossa::bench::suites::all_suites;
+use tossa::core::coalesce::CoalesceOptions;
+use tossa::core::Experiment;
+
+/// Small synthetic-population scale: keeps the full 10-experiment matrix
+/// affordable in CI; the perf trajectory run covers the full scale.
+const SPEC_SCALE: usize = 6;
+
+#[test]
+fn allocated_code_matches_source_on_every_suite_and_experiment() {
+    let opts = CoalesceOptions::default();
+    let mut cells = 0usize;
+    let mut functions = 0usize;
+    for suite in all_suites(SPEC_SCALE) {
+        let machine_regs = suite.functions[0].func.machine.regs().count();
+        for &exp in Experiment::all() {
+            // Panics on any output divergence between the allocated code
+            // and the pre-SSA source.
+            let results = run_suite_each_allocated(&suite, exp, &opts, true);
+            for r in &results {
+                let stats = r.alloc.as_ref().expect("allocation post-pass ran");
+                assert!(
+                    stats.regs_used > 0 && stats.regs_used <= machine_regs,
+                    "{} / {exp:?} / {}: implausible register usage {}",
+                    suite.name,
+                    r.func.name,
+                    stats.regs_used
+                );
+                assert!(
+                    r.timings.alloc_ns > 0,
+                    "{} / {exp:?}: allocation stage was not clocked",
+                    suite.name
+                );
+            }
+            functions += results.len();
+            cells += 1;
+        }
+    }
+    assert_eq!(
+        cells,
+        all_suites(SPEC_SCALE).len() * Experiment::all().len(),
+        "the matrix must cover every suite × experiment cell"
+    );
+    assert!(functions > 0);
+}
+
+/// The allocated form is genuinely physical: every operand variable of
+/// every allocated function names a machine register, and the printed
+/// form survives a parse round trip.
+#[test]
+fn allocated_form_is_physical_and_reparses() {
+    use tossa::ir::parse::parse_function;
+    let opts = CoalesceOptions::default();
+    for suite in all_suites(2) {
+        for r in run_suite_each_allocated(&suite, Experiment::LphiAbiC, &opts, false) {
+            for v in r.func.vars() {
+                let data = r.func.var(v);
+                let used = r
+                    .func
+                    .all_insts()
+                    .any(|(_, i)| r.func.inst(i).operands().any(|o| o.var == v));
+                if used {
+                    assert!(
+                        data.reg.is_some(),
+                        "{}: operand variable {} has no physical register",
+                        r.func.name,
+                        data.name
+                    );
+                }
+            }
+            let text = r.func.to_string();
+            let back = parse_function(&text, &r.func.machine).unwrap_or_else(|e| {
+                panic!("{}: allocated form does not reparse: {e}", r.func.name)
+            });
+            back.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Property-style tests for the register allocator over randomly
+//! generated structured programs, using the same deterministic seed
+//! scheme as `proptests.rs` (no proptest crate offline; every failure
+//! message names the seed for direct replay).
+//!
+//! The invariants checked here are *independent* re-derivations — they
+//! recompute liveness and walk the blocks themselves rather than calling
+//! into the allocator's own verifier, so a bug shared by the assignment
+//! engines and `verify_allocation` still gets caught.
+
+use std::collections::HashMap;
+use tossa::analysis::Liveness;
+use tossa::bench::runner::{run_experiment, verify};
+use tossa::bench::suites::synth::{generate_function, SynthConfig};
+use tossa::bench::suites::BenchFunction;
+use tossa::core::coalesce::CoalesceOptions;
+use tossa::core::Experiment;
+use tossa::ir::cfg::Cfg;
+use tossa::ir::rng::SplitMix64;
+use tossa::ir::{Function, Opcode};
+use tossa::regalloc::{allocate, prepare, AllocOptions, Assignment};
+
+const CASES: usize = 24;
+
+/// Deterministic seed sample, mirroring `proptests.rs`.
+fn seeds(stream: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::seed_from_u64(0x70_55A ^ stream);
+    (0..CASES).map(|_| rng.random_range(0u64..10_000)).collect()
+}
+
+/// Runs the paper's full pipeline on a generated program, returning the
+/// source (for inputs) and the translated non-SSA function the allocator
+/// consumes.
+fn pipelined(seed: u64, cfg: &SynthConfig, exp: Experiment) -> (BenchFunction, Function) {
+    let bf = generate_function(seed, cfg);
+    let r = run_experiment(&bf.func, exp, &CoalesceOptions::default());
+    (bf, r.func)
+}
+
+/// High register pressure: enough simultaneously-live values that the
+/// 20 allocatable DSP32 registers run out and spill code is forced on a
+/// healthy fraction of seeds.
+fn pressure_config() -> SynthConfig {
+    SynthConfig {
+        functions: 1,
+        pool: 40,
+        max_depth: 2,
+        body_len: 24,
+    }
+}
+
+/// Walks every block backwards from `live_exit`, maintaining the live
+/// set by hand, and asserts that no two simultaneously-live variables
+/// hold the same register.
+fn assert_no_live_overlap(f: &Function, asg: &Assignment, seed: u64) {
+    let cfg = Cfg::compute(f);
+    let live = Liveness::compute(f, &cfg);
+    for b in f.blocks() {
+        let mut live_now: Vec<_> = live.live_exit(f, b).iter().collect();
+        let check = |live_now: &[tossa::ir::Var], at: &str| {
+            let mut by_reg: HashMap<u8, tossa::ir::Var> = HashMap::new();
+            for &v in live_now {
+                let r = asg
+                    .get(v)
+                    .unwrap_or_else(|| panic!("seed {seed}: {} unassigned", f.var(v).name));
+                if let Some(&w) = by_reg.get(&r.0) {
+                    panic!(
+                        "seed {seed}: {} and {} both live {at} in {}",
+                        f.var(v).name,
+                        f.var(w).name,
+                        f.machine.reg_name(r)
+                    );
+                }
+                by_reg.insert(r.0, v);
+            }
+        };
+        check(&live_now, "at block exit");
+        let insts: Vec<_> = f.block_insts(b).collect();
+        for &i in insts.iter().rev() {
+            let inst = f.inst(i);
+            live_now.retain(|v| !inst.defs.iter().any(|o| o.var == *v));
+            for o in &inst.uses {
+                if !live_now.contains(&o.var) {
+                    live_now.push(o.var);
+                }
+            }
+            check(&live_now, "before an instruction");
+        }
+    }
+}
+
+/// No two simultaneously-live values ever share a register, re-derived
+/// from scratch on the allocator's raw assignment.
+#[test]
+fn live_values_never_share_a_register() {
+    for seed in seeds(10) {
+        let (_, mut f) = pipelined(
+            seed,
+            &SynthConfig {
+                functions: 1,
+                ..Default::default()
+            },
+            Experiment::LphiAbiC,
+        );
+        let prep = prepare(&mut f, &AllocOptions::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_no_live_overlap(&f, &prep.assignment, seed);
+    }
+}
+
+/// The same holds under forced spilling: the rewritten function (with
+/// its reload/store temporaries) still has an overlap-free assignment.
+#[test]
+fn spilled_programs_keep_the_overlap_invariant() {
+    let mut spilled_seeds = 0usize;
+    for seed in seeds(11) {
+        let (_, mut f) = pipelined(seed, &pressure_config(), Experiment::LphiAbiC);
+        let prep = prepare(&mut f, &AllocOptions::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        if prep.stats.spilled_vars > 0 {
+            spilled_seeds += 1;
+        }
+        assert_no_live_overlap(&f, &prep.assignment, seed);
+    }
+    assert!(
+        spilled_seeds > 0,
+        "the pressure population never spilled — the test lost its teeth"
+    );
+}
+
+/// Precolored variables (ABI argument/return pins, SP, predicate pins)
+/// keep their register verbatim through allocation.
+#[test]
+fn pins_survive_allocation_verbatim() {
+    for seed in seeds(12) {
+        let (_, mut f) = pipelined(
+            seed,
+            &SynthConfig {
+                functions: 1,
+                ..Default::default()
+            },
+            Experiment::CAbi,
+        );
+        let pinned: Vec<_> = f
+            .vars()
+            .filter_map(|v| f.var(v).reg.map(|r| (v, r)))
+            .collect();
+        let prep = prepare(&mut f, &AllocOptions::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        for (v, r) in pinned {
+            // A pinned variable that appears in the code must hold its
+            // register; prepare never rewrites pinned operands.
+            let used = f
+                .all_insts()
+                .any(|(_, i)| f.inst(i).operands().any(|o| o.var == v));
+            if used {
+                assert_eq!(
+                    prep.assignment.get(v),
+                    Some(r),
+                    "seed {seed}: pin {} moved",
+                    f.var(v).name
+                );
+            }
+        }
+    }
+}
+
+/// Spill slots are well-paired: every loaded slot is also stored, slot
+/// numbers are dense from zero, and reload/store counts in the stats
+/// match the spill code actually present in the function.
+#[test]
+fn spill_slots_are_well_paired_and_counted() {
+    let mut total_spilled = 0usize;
+    for seed in seeds(13) {
+        let (_, mut f) = pipelined(seed, &pressure_config(), Experiment::LphiAbiC);
+        let prep = prepare(&mut f, &AllocOptions::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let mut stored = std::collections::HashSet::new();
+        let mut loaded = std::collections::HashSet::new();
+        let (mut stores, mut reloads) = (0usize, 0usize);
+        for (_, i) in f.all_insts() {
+            let inst = f.inst(i);
+            match inst.opcode {
+                Opcode::SpillStore => {
+                    stored.insert(inst.imm);
+                    stores += 1;
+                }
+                Opcode::SpillLoad => {
+                    loaded.insert(inst.imm);
+                    reloads += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            loaded.is_subset(&stored),
+            "seed {seed}: slots {:?} loaded but never stored",
+            loaded.difference(&stored).collect::<Vec<_>>()
+        );
+        let mut slots: Vec<i64> = stored.iter().copied().collect();
+        slots.sort_unstable();
+        assert_eq!(
+            slots,
+            (0..slots.len() as i64).collect::<Vec<_>>(),
+            "seed {seed}: slot numbering must be dense from 0"
+        );
+        assert_eq!(slots.len(), prep.stats.spilled_vars, "seed {seed}");
+        assert_eq!(stores, prep.stats.stores, "seed {seed}");
+        assert_eq!(reloads, prep.stats.reloads, "seed {seed}");
+        total_spilled += prep.stats.spilled_vars;
+    }
+    assert!(
+        total_spilled > 0,
+        "the pressure population never spilled — the test lost its teeth"
+    );
+}
+
+/// End to end: full allocation (including the physical rewrite) is an
+/// observable no-op on arbitrary programs, spills or not.
+#[test]
+fn allocated_random_programs_execute_identically() {
+    for (stream, cfg) in [
+        (
+            14,
+            SynthConfig {
+                functions: 1,
+                ..Default::default()
+            },
+        ),
+        (15, pressure_config()),
+    ] {
+        for seed in seeds(stream) {
+            let (bf, mut f) = pipelined(seed, &cfg, Experiment::LphiAbiC);
+            allocate(&mut f, &AllocOptions::default())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            verify(&bf.func, &f, &bf.inputs).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{f}"));
+        }
+    }
+}
