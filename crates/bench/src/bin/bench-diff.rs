@@ -1,0 +1,277 @@
+//! Statistical regression gate over `BENCH_*.json` trajectories.
+//!
+//! Usage: `bench-diff OLD.json[,OLD2.json,...] NEW.json[,NEW2.json,...]`
+//! `       [--threshold PCT] [--resamples N] [--seed S] [--warn-only]`
+//!
+//! Timing cells are noisy, so they get a statistical treatment:
+//! comma-separated repeat files are reduced per cell by min-of-N (the
+//! minimum is the least-noise estimator for wall clocks), then the
+//! per-cell log-ratios `ln(new/old)` are bootstrap-resampled
+//! (`--resamples`, default 1000, seeded SplitMix64, `--seed` default 42)
+//! into a percentile confidence interval on the mean log-ratio. A
+//! *confident* timing regression — the whole 95% interval above
+//! `--threshold` percent (default 10) — exits 1, unless `--warn-only`
+//! downgrades it to a warning (CI uses this: timing noise across runner
+//! machines should annotate, not block).
+//!
+//! Counter, move-count, and allocation cells are deterministic, so they
+//! are compared exactly: any drift is reported cell by cell and exits 2
+//! even under `--warn-only` — a changed counter means the *translation*
+//! changed, which a perf-neutral PR must not do silently. Missing or
+//! extra (suite × experiment) cells are structural drift, also exit 2.
+//!
+//! Exit status: 0 clean, 1 confident timing regression, 2 counter or
+//! structural drift (2 wins when both).
+
+use std::collections::BTreeMap;
+use tossa_ir::rng::SplitMix64;
+use tossa_trace::json::{parse_json, Json};
+
+/// One (suite × experiment) cell reduced to the comparable parts.
+#[derive(Clone, Debug, Default)]
+struct Cell {
+    wall_ns: f64,
+    /// Deterministic scalars: moves, weighted, alloc stats, counters —
+    /// all compared exactly, keyed by field name.
+    exact: BTreeMap<String, u64>,
+}
+
+type Cells = BTreeMap<(String, String), Cell>;
+
+fn load(path: &str) -> Cells {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("reading {path}: {e}");
+        std::process::exit(3);
+    });
+    let doc = parse_json(&text).unwrap_or_else(|e| {
+        eprintln!("parsing {path}: {e}");
+        std::process::exit(3);
+    });
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if !schema.starts_with("tossa-bench-trajectory/") {
+        eprintln!("{path}: not a tossa-bench-trajectory document (schema {schema:?})");
+        std::process::exit(3);
+    }
+    let mut cells = Cells::new();
+    for s in doc.get("suites").and_then(Json::as_arr).unwrap_or_default() {
+        let suite = s.get("suite").and_then(Json::as_str).unwrap_or("?");
+        for e in s
+            .get("experiments")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+        {
+            let exp = e.get("experiment").and_then(Json::as_str).unwrap_or("?");
+            let mut cell = Cell {
+                wall_ns: e.get("wall_ns").and_then(Json::as_f64).unwrap_or(0.0),
+                exact: BTreeMap::new(),
+            };
+            for key in ["moves", "weighted"] {
+                if let Some(v) = e.get(key).and_then(Json::as_u64) {
+                    cell.exact.insert(key.to_string(), v);
+                }
+            }
+            for (group, prefix) in [("alloc", "alloc."), ("counters", "counter.")] {
+                if let Some(obj) = e.get(group).and_then(Json::as_obj) {
+                    for (k, v) in obj {
+                        if let Some(v) = v.as_u64() {
+                            cell.exact.insert(format!("{prefix}{k}"), v);
+                        }
+                    }
+                }
+            }
+            cells.insert((suite.to_string(), exp.to_string()), cell);
+        }
+    }
+    cells
+}
+
+/// Loads the comma-separated repeat files of one side and reduces them:
+/// min-of-N on timings, exact-equality check on deterministic fields
+/// (drift *between repeats of one side* means the benchmark itself is
+/// not deterministic — reported and treated as drift).
+fn load_side(spec: &str, drift: &mut Vec<String>) -> Cells {
+    let mut merged: Option<Cells> = None;
+    for path in spec.split(',') {
+        let cells = load(path);
+        match &mut merged {
+            None => merged = Some(cells),
+            Some(m) => {
+                for (key, cell) in cells {
+                    match m.get_mut(&key) {
+                        Some(prev) => {
+                            prev.wall_ns = prev.wall_ns.min(cell.wall_ns);
+                            if prev.exact != cell.exact {
+                                drift.push(format!(
+                                    "{}/{}: repeats of {spec} disagree on deterministic fields",
+                                    key.0, key.1
+                                ));
+                            }
+                        }
+                        None => drift.push(format!(
+                            "{}/{}: cell present in {path} but not in earlier repeats",
+                            key.0, key.1
+                        )),
+                    }
+                }
+            }
+        }
+    }
+    merged.unwrap_or_default()
+}
+
+/// Percentile of a sorted slice (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|p| args.get(p + 1))
+            .cloned()
+    };
+    let positional: Vec<&String> = {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for (i, a) in args.iter().enumerate() {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a == "--threshold" || a == "--resamples" || a == "--seed" {
+                skip = true;
+                continue;
+            }
+            if a.starts_with("--") {
+                continue;
+            }
+            let _ = i;
+            out.push(a);
+        }
+        out
+    };
+    let [old_spec, new_spec] = positional.as_slice() else {
+        eprintln!("usage: bench-diff OLD.json[,OLD2,...] NEW.json[,NEW2,...] [--threshold PCT] [--resamples N] [--seed S] [--warn-only]");
+        std::process::exit(3);
+    };
+    let threshold: f64 = value("--threshold")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+    let resamples: usize = value("--resamples")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let seed: u64 = value("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let warn_only = flag("--warn-only");
+
+    let mut drift: Vec<String> = Vec::new();
+    let old = load_side(old_spec, &mut drift);
+    let new = load_side(new_spec, &mut drift);
+
+    // ---- structural + exact comparison ---------------------------------
+    let mut ratios: Vec<(f64, String)> = Vec::new();
+    for (key, o) in &old {
+        let Some(n) = new.get(key) else {
+            drift.push(format!("{}/{}: cell missing in {new_spec}", key.0, key.1));
+            continue;
+        };
+        let label = format!("{}/{}", key.0, key.1);
+        for (field, &ov) in &o.exact {
+            match n.exact.get(field) {
+                Some(&nv) if nv == ov => {}
+                Some(&nv) => drift.push(format!("{label}: {field} {ov} -> {nv}")),
+                None => drift.push(format!("{label}: {field} dropped ({ov} before)")),
+            }
+        }
+        for field in n.exact.keys() {
+            if !o.exact.contains_key(field) {
+                drift.push(format!(
+                    "{label}: {field} appeared ({} now)",
+                    n.exact[field]
+                ));
+            }
+        }
+        if o.wall_ns > 0.0 && n.wall_ns > 0.0 {
+            ratios.push(((n.wall_ns / o.wall_ns).ln(), label));
+        }
+    }
+    for key in new.keys() {
+        if !old.contains_key(key) {
+            drift.push(format!(
+                "{}/{}: new cell absent in {old_spec}",
+                key.0, key.1
+            ));
+        }
+    }
+
+    // ---- bootstrap CI on the mean timing log-ratio ---------------------
+    let mut timing_regression = false;
+    if ratios.is_empty() {
+        println!("no comparable timing cells");
+    } else {
+        let logs: Vec<f64> = ratios.iter().map(|(l, _)| *l).collect();
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let mut means: Vec<f64> = (0..resamples.max(1))
+            .map(|_| {
+                let mut acc = 0.0;
+                for _ in 0..logs.len() {
+                    acc += logs[rng.random_range(0usize..logs.len())];
+                }
+                acc / logs.len() as f64
+            })
+            .collect();
+        means.sort_by(|a, b| a.total_cmp(b));
+        let lo = percentile(&means, 2.5);
+        let hi = percentile(&means, 97.5);
+        let pct = |l: f64| (l.exp() - 1.0) * 100.0;
+        println!(
+            "timing: {} cells, mean ratio {:+.2}% (95% CI [{:+.2}%, {:+.2}%], {} resamples, min-of-N per side)",
+            logs.len(),
+            pct(mean),
+            pct(lo),
+            pct(hi),
+            resamples
+        );
+        let mut worst: Vec<&(f64, String)> = ratios.iter().collect();
+        worst.sort_by(|a, b| b.0.total_cmp(&a.0));
+        for (l, label) in worst.iter().take(3) {
+            println!("  slowest shift: {label} {:+.2}%", pct(*l));
+        }
+        let bound = (1.0 + threshold / 100.0).ln();
+        if lo > bound {
+            timing_regression = true;
+            println!(
+                "CONFIDENT timing regression: whole CI above +{threshold}% ({})",
+                if warn_only {
+                    "warn-only: not failing"
+                } else {
+                    "failing"
+                }
+            );
+        } else if hi < -bound {
+            println!("confident timing improvement: whole CI below -{threshold}%");
+        } else {
+            println!("timing within noise of +-{threshold}% at 95% confidence");
+        }
+    }
+
+    // ---- verdict --------------------------------------------------------
+    if drift.is_empty() {
+        println!("deterministic cells: identical");
+    } else {
+        println!("deterministic drift ({} fields):", drift.len());
+        for d in &drift {
+            println!("  {d}");
+        }
+    }
+    if !drift.is_empty() {
+        std::process::exit(2);
+    }
+    if timing_regression && !warn_only {
+        std::process::exit(1);
+    }
+}

@@ -7,7 +7,9 @@
 //! Fixed seeds keep the run byte-for-byte reproducible; the heavier
 //! exploratory runs live in the `fuzz` binary.
 
-use tossa_bench::checked::{fuzz_suite, run_checked, run_suite_checked, CheckedOptions};
+use tossa_bench::checked::{
+    fuzz_suite, run_checked, run_suite_checked, run_suite_checked_traced, CheckedOptions,
+};
 use tossa_bench::reduce::reduce;
 use tossa_bench::suites::{synth, BenchFunction};
 use tossa_core::chaos::Corruption;
@@ -61,6 +63,42 @@ fn injected_faults_degrade_gracefully_on_fuzz_population() {
                 r.function,
                 r.fallback_error
             );
+        }
+    }
+}
+
+#[test]
+fn chaos_with_tracing_keeps_every_capture_well_scoped() {
+    // Regression: a chaos-induced panic unwinding through open spans
+    // used to leave the thread-local capture unbalanced, corrupting the
+    // traces of later functions sharing the worker thread. Every
+    // per-function trace must now be well-nested, and each function's
+    // records must be independent (ids restart at 0 per capture).
+    let mut suite = fuzz_suite(20, 0xC4A05);
+    suite
+        .functions
+        .extend(tossa_bench::suites::paper_examples::examples());
+    let opts = CoalesceOptions::default();
+    for (k, &c) in Corruption::all().iter().enumerate() {
+        let copts = CheckedOptions {
+            chaos: Some(c),
+            chaos_seed: 77 + k as u64,
+            ..Default::default()
+        };
+        let (report, traces) = run_suite_checked_traced(&suite, Experiment::LphiC, &opts, &copts);
+        assert!(!report.is_clean(), "{c:?} was never injected");
+        assert_eq!(traces.len(), suite.functions.len());
+        for (bf, trace) in suite.functions.iter().zip(&traces) {
+            trace
+                .check_well_nested()
+                .unwrap_or_else(|e| panic!("{c:?} on {}: {e}", bf.func.name));
+            for (i, r) in trace.records.iter().enumerate() {
+                assert_eq!(
+                    r.id as usize, i,
+                    "{c:?} on {}: provenance ids leaked across captures",
+                    bf.func.name
+                );
+            }
         }
     }
 }

@@ -8,7 +8,7 @@
 //! pruning problem is NP-complete, so a greedy weighted heuristic deletes
 //! edges until no two vertices of a connected component interfere.
 
-use crate::interfere::{resource_interfere_with, InterferenceEnv, ResourceSet};
+use crate::interfere::{resource_interfere_reason, InterfereReason, InterferenceEnv, ResourceSet};
 use std::collections::HashMap;
 use tossa_ir::ids::{Block, Resource, Var};
 use tossa_ir::Function;
@@ -128,7 +128,7 @@ pub fn create_affinity_graph(
 pub struct VertexInterference<'a> {
     env: &'a InterferenceEnv<'a>,
     members: &'a HashMap<Resource, Vec<Var>>,
-    cache: HashMap<(RVertex, RVertex), bool>,
+    cache: HashMap<(RVertex, RVertex), Option<InterfereReason>>,
     /// Per-vertex resource set and its `killed_within`, computed once per
     /// oracle lifetime (membership is frozen while a block is pruned).
     per_vertex: HashMap<RVertex, (ResourceSet, Vec<Var>)>,
@@ -188,8 +188,15 @@ impl<'a> VertexInterference<'a> {
 
     /// Whether two vertices' resources interfere (`Resource_interfere`).
     pub fn interfere(&mut self, a: RVertex, b: RVertex) -> bool {
+        self.interfere_reason(a, b).is_some()
+    }
+
+    /// [`Self::interfere`], reporting which rule fired and its witness
+    /// pair. The reason is memoized alongside the verdict, so asking for
+    /// it costs no extra interference work.
+    pub fn interfere_reason(&mut self, a: RVertex, b: RVertex) -> Option<InterfereReason> {
         if a == b {
-            return false;
+            return None;
         }
         self.queries += 1;
         let key = if vkey(a) < vkey(b) { (a, b) } else { (b, a) };
@@ -201,27 +208,67 @@ impl<'a> VertexInterference<'a> {
         self.ensure_vertex(b);
         let (sa, ka) = &self.per_vertex[&a];
         let (sb, kb) = &self.per_vertex[&b];
-        let r = resource_interfere_with(self.env, sa, sb, ka, kb);
+        let r = resource_interfere_reason(self.env, sa, sb, ka, kb);
         self.cache.insert(key, r);
         r
     }
 }
 
-fn vkey(v: RVertex) -> (u8, usize) {
+pub(crate) fn vkey(v: RVertex) -> (u8, usize) {
     match v {
         RVertex::Res(r) => (0, r.index()),
         RVertex::Bare(v) => (1, v.index()),
     }
 }
 
+/// One affinity edge discarded by pruning, with the interference that
+/// justified the deletion — the raw material of a provenance
+/// [`Edge`](tossa_trace::provenance::Kind::Edge) record.
+#[derive(Clone, Copy, Debug)]
+pub struct PrunedEdge {
+    /// First endpoint of the deleted edge.
+    pub a: RVertex,
+    /// Second endpoint.
+    pub b: RVertex,
+    /// Its affinity multiplicity.
+    pub weight: u32,
+    /// The vertex pair whose interference killed the edge: the edge's
+    /// own endpoints under initial pruning; under bipartite pruning, the
+    /// interfering pair the deletion separates (possibly elsewhere in
+    /// the component).
+    pub offenders: (RVertex, RVertex),
+    /// Which rule the offenders tripped, with its variable witness.
+    pub reason: InterfereReason,
+}
+
 /// `Graph_InitialPruning` (Algorithm 2): drops every affinity edge whose
-/// endpoints interfere. Returns the number of edges dropped.
-pub fn initial_pruning(g: &mut AffinityGraph, oracle: &mut VertexInterference<'_>) -> usize {
+/// endpoints interfere. Returns the dropped edges with their
+/// interference reasons, in deterministic (vertex-index) order.
+pub fn initial_pruning(
+    g: &mut AffinityGraph,
+    oracle: &mut VertexInterference<'_>,
+) -> Vec<PrunedEdge> {
     let verts = g.verts.clone();
-    let before = g.edges.len();
-    g.edges
-        .retain(|&(a, b), _| !oracle.interfere(verts[a], verts[b]));
-    before - g.edges.len()
+    let keys: Vec<(usize, usize)> = {
+        let mut k: Vec<_> = g.edges.keys().copied().collect();
+        k.sort_unstable();
+        k
+    };
+    let mut pruned = Vec::new();
+    for key in keys {
+        let (a, b) = (verts[key.0], verts[key.1]);
+        if let Some(reason) = oracle.interfere_reason(a, b) {
+            let weight = g.edges.remove(&key).expect("edge present");
+            pruned.push(PrunedEdge {
+                a,
+                b,
+                weight,
+                offenders: (a, b),
+                reason,
+            });
+        }
+    }
+    pruned
 }
 
 /// `BipartiteGraph_pruning` (Algorithm 2): repeatedly deletes the
@@ -236,45 +283,56 @@ pub fn initial_pruning(g: &mut AffinityGraph, oracle: &mut VertexInterference<'_
 /// stated goal is Condition 2, this implementation recomputes true
 /// weights every round and, when all weights are zero but a component
 /// still contains an interfering pair, deletes the lightest edge on a
-/// path between the offenders. Returns the number of edges deleted.
-pub fn bipartite_pruning(g: &mut AffinityGraph, oracle: &mut VertexInterference<'_>) -> usize {
+/// path between the offenders. Returns the deleted edges with the
+/// interfering pair each deletion separates.
+pub fn bipartite_pruning(
+    g: &mut AffinityGraph,
+    oracle: &mut VertexInterference<'_>,
+) -> Vec<PrunedEdge> {
     let verts = g.verts.clone();
-    let mut deleted = 0;
+    let mut deleted = Vec::new();
     loop {
         // Find an interfering pair inside one connected component.
         let comps = components(g);
-        let mut offender: Option<(usize, usize)> = None;
+        let mut offender: Option<(usize, usize, InterfereReason)> = None;
         'find: for comp in &comps {
             for (i, &a) in comp.iter().enumerate() {
                 for &b in &comp[i + 1..] {
-                    if oracle.interfere(a, b) {
+                    if let Some(reason) = oracle.interfere_reason(a, b) {
                         let ia = verts.iter().position(|&v| v == a).expect("vertex");
                         let ib = verts.iter().position(|&v| v == b).expect("vertex");
-                        offender = Some((ia, ib));
+                        offender = Some((ia, ib, reason));
                         break 'find;
                     }
                 }
             }
         }
-        let Some((u, v)) = offender else { break };
+        let Some((u, v, offender_reason)) = offender else {
+            break;
+        };
 
-        // True weights of all current edges.
+        // True weights of all current edges. Each edge's first
+        // interfering far-pair is kept as its provenance witness (found
+        // during the same oracle pass — no extra queries).
         let keys: Vec<(usize, usize)> = {
             let mut k: Vec<_> = g.edges.keys().copied().collect();
             k.sort();
             k
         };
         let mut weight: HashMap<(usize, usize), i64> = keys.iter().map(|&k| (k, 0)).collect();
+        let mut culprit: HashMap<(usize, usize), (usize, usize, InterfereReason)> = HashMap::new();
         for (i, &e1) in keys.iter().enumerate() {
             for &e2 in &keys[i + 1..] {
                 let Some((ka, far_a, kb, far_b)) = share_vertex(e1, e2) else {
                     continue;
                 };
-                if oracle.interfere(verts[far_a], verts[far_b]) {
+                if let Some(reason) = oracle.interfere_reason(verts[far_a], verts[far_b]) {
                     let ma = g.edges[&ka] as i64;
                     let mb = g.edges[&kb] as i64;
                     *weight.get_mut(&ka).expect("edge") += mb;
                     *weight.get_mut(&kb).expect("edge") += ma;
+                    culprit.entry(ka).or_insert((far_a, far_b, reason));
+                    culprit.entry(kb).or_insert((far_a, far_b, reason));
                 }
             }
         }
@@ -282,19 +340,28 @@ pub fn bipartite_pruning(g: &mut AffinityGraph, oracle: &mut VertexInterference<
             .iter()
             .max_by_key(|&(k, &w)| (w, std::cmp::Reverse(*k)))
             .expect("component with an interfering pair has edges");
-        if w > 0 {
-            g.edges.remove(&best);
+        let cut = if w > 0 {
+            let (fa, fb, reason) = culprit[&best];
+            (best, verts[fa], verts[fb], reason)
         } else {
             // The offenders interfere at distance > 2: cut the lightest
             // edge on a path between them.
             let path = edge_path(g, u, v).expect("same component");
-            let cut = path
+            let key = path
                 .into_iter()
                 .min_by_key(|k| (g.edges[k], *k))
                 .expect("non-empty path");
-            g.edges.remove(&cut);
-        }
-        deleted += 1;
+            (key, verts[u], verts[v], offender_reason)
+        };
+        let (key, off_a, off_b, reason) = cut;
+        let weight = g.edges.remove(&key).expect("edge present");
+        deleted.push(PrunedEdge {
+            a: verts[key.0],
+            b: verts[key.1],
+            weight,
+            offenders: (off_a, off_b),
+            reason,
+        });
     }
     deleted
 }
@@ -459,8 +526,8 @@ m:
         let members = crate::pinning::resource_members(&s.f);
         let mut oracle = VertexInterference::new(&env, &members);
         let mut g = create_affinity_graph(&s.f, s.merge_block(), None, &|_| true);
-        assert_eq!(initial_pruning(&mut g, &mut oracle), 0);
-        assert_eq!(bipartite_pruning(&mut g, &mut oracle), 0);
+        assert!(initial_pruning(&mut g, &mut oracle).is_empty());
+        assert!(bipartite_pruning(&mut g, &mut oracle).is_empty());
         let comps = components(&g);
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0].len(), 3);
@@ -495,7 +562,16 @@ m:
         let mut g = create_affinity_graph(&s.f, s.merge_block(), None, &|_| true);
         assert_eq!(g.num_edges(), 2);
         let dropped = initial_pruning(&mut g, &mut oracle);
-        assert_eq!(dropped, 1);
+        assert_eq!(dropped.len(), 1);
+        // The pruned edge carries its own endpoints as offenders and a
+        // witness: x's def clobbers the still-live a (Class 1 fires
+        // before the φ-kill case).
+        let p = &dropped[0];
+        assert_eq!((p.a, p.b), p.offenders);
+        assert_eq!(p.reason.class, crate::interfere::InterfereClass::Class1);
+        let (wa, wb) = p.reason.witness.expect("variable witness");
+        assert_eq!(s.f.var(wa).name, "x");
+        assert_eq!(s.f.var(wb).name, "a");
         // The surviving component coalesces x with b only.
         let comps = components(&g);
         assert_eq!(comps.len(), 1);

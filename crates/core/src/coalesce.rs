@@ -8,7 +8,7 @@
 //! no φ copy for any argument sharing its φ's resource.
 
 use crate::affinity::{
-    bipartite_pruning, components, create_affinity_graph, initial_pruning, RVertex,
+    bipartite_pruning, components, create_affinity_graph, initial_pruning, PrunedEdge, RVertex,
     VertexInterference,
 };
 use crate::interfere::{InterferenceEnv, InterferenceMode};
@@ -16,7 +16,27 @@ use crate::pinning::resource_members;
 use std::collections::HashMap;
 use tossa_analysis::{AnalysisCache, DefMap};
 use tossa_ir::ids::{Block, Resource, Var};
+use tossa_ir::print::{res_str, var_str};
 use tossa_ir::Function;
+use tossa_trace::provenance;
+
+/// Display form of an affinity-graph vertex for provenance records.
+fn vert_str(f: &Function, v: RVertex) -> String {
+    match v {
+        RVertex::Res(r) => res_str(f, r),
+        RVertex::Bare(x) => var_str(f, x),
+    }
+}
+
+/// The witness pair of a pruned edge as display strings: the reason's
+/// variable pair when it has one, else the offending vertices
+/// themselves (the physical-pair rule).
+fn witness_strs(f: &Function, p: &PrunedEdge) -> (String, String) {
+    match p.reason.witness {
+        Some((a, b)) => (var_str(f, a), var_str(f, b)),
+        None => (vert_str(f, p.offenders.0), vert_str(f, p.offenders.1)),
+    }
+}
 
 /// Tuning knobs of the coalescer (the paper's Table 5 variants plus one
 /// ablation of this implementation).
@@ -181,13 +201,74 @@ fn program_pinning_inner(
                     create_affinity_graph(f, b, filter, &avoidable)
                 });
                 stats.initial_edges += g.num_edges();
-                stats.pruned_initial += initial_pruning(&mut g, &mut oracle);
-                stats.pruned_bipartite += bipartite_pruning(&mut g, &mut oracle);
-                components(&g)
+                let pruned_i = initial_pruning(&mut g, &mut oracle);
+                let pruned_b = bipartite_pruning(&mut g, &mut oracle);
+                stats.pruned_initial += pruned_i.len();
+                stats.pruned_bipartite += pruned_b.len();
+                // Survivors, in deterministic order, so their coalesced
+                // verdicts can be recorded once the merge fixes the
+                // reference resource.
+                let survivors: Vec<(RVertex, RVertex, u32)> = if tossa_trace::enabled() {
+                    let mut s: Vec<_> = g.edges().collect();
+                    s.sort_by_key(|&(a, b, _)| {
+                        (crate::affinity::vkey(a), crate::affinity::vkey(b))
+                    });
+                    s
+                } else {
+                    Vec::new()
+                };
+                (components(&g), pruned_i, pruned_b, survivors)
             };
+            let (comps, pruned_i, pruned_b, survivors) = comps;
+            for (p, bipartite) in pruned_i
+                .iter()
+                .map(|p| (p, false))
+                .chain(pruned_b.iter().map(|p| (p, true)))
+            {
+                provenance::record(|| {
+                    let class = p.reason.class.provenance();
+                    let witness = witness_strs(f, p);
+                    provenance::Kind::Edge {
+                        block: f.block(b).name.clone(),
+                        a: vert_str(f, p.a),
+                        b: vert_str(f, p.b),
+                        weight: p.weight,
+                        verdict: if bipartite {
+                            provenance::Verdict::PrunedBipartite { class, witness }
+                        } else {
+                            provenance::Verdict::PrunedInitial { class, witness }
+                        },
+                    }
+                });
+            }
             for comp in comps {
                 stats.merges += 1;
                 stats.pinned_vars += merge_component(f, &mut members, &mut alias, &comp);
+            }
+            // Every surviving edge's endpoints now share a reference
+            // resource: record the coalesced verdicts.
+            for (va, vb, w) in survivors {
+                provenance::record(|| {
+                    let into = match va {
+                        RVertex::Bare(x) => f.var(x).pin,
+                        RVertex::Res(r) => {
+                            let mut r = r;
+                            while let Some(&n) = alias.get(&r) {
+                                r = n;
+                            }
+                            Some(r)
+                        }
+                    };
+                    provenance::Kind::Edge {
+                        block: f.block(b).name.clone(),
+                        a: vert_str(f, va),
+                        b: vert_str(f, vb),
+                        weight: w,
+                        verdict: provenance::Verdict::Coalesced {
+                            into: into.map_or_else(|| "?".to_string(), |r| res_str(f, r)),
+                        },
+                    }
+                });
             }
         }
     }
@@ -258,6 +339,11 @@ fn merge_component(
                 if let Some(vars) = members.remove(&r) {
                     for x in vars {
                         f.var_mut(x).pin = Some(reference);
+                        provenance::record(|| provenance::Kind::Pin {
+                            var: var_str(f, x),
+                            resource: res_str(f, reference),
+                            cause: "coalesce".into(),
+                        });
                         new_members.push(x);
                     }
                 }
@@ -265,6 +351,11 @@ fn merge_component(
             }
             RVertex::Bare(x) => {
                 f.var_mut(x).pin = Some(reference);
+                provenance::record(|| provenance::Kind::Pin {
+                    var: var_str(f, x),
+                    resource: res_str(f, reference),
+                    cause: "coalesce".into(),
+                });
                 new_members.push(x);
                 pinned += 1;
             }

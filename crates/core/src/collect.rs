@@ -7,11 +7,23 @@ use std::collections::HashMap;
 use tossa_ir::ids::{Resource, Var};
 use tossa_ir::instr::InstData;
 use tossa_ir::machine::PhysReg;
+use tossa_ir::print::{res_str, var_str};
 use tossa_ir::{Function, Opcode};
+use tossa_trace::provenance;
 
 fn phys_resource(f: &mut Function, reg: PhysReg) -> Resource {
     let name = f.machine.reg_name(reg).to_string();
     f.resources.phys(reg, &name)
+}
+
+/// Records one pin decision on the provenance stream (no-op when
+/// tracing is disabled).
+fn record_pin(f: &Function, v: Var, r: Resource, cause: &'static str) {
+    provenance::record(|| provenance::Kind::Pin {
+        var: var_str(f, v),
+        resource: res_str(f, r),
+        cause: cause.into(),
+    });
 }
 
 /// `pinningSP`: pins every SSA version of a dedicated register (`SP` by
@@ -41,6 +53,7 @@ pub fn pin_register_web(f: &mut Function, reg: PhysReg) -> usize {
             data.reg == Some(reg) || data.origin.is_some_and(|o| f.var(o).reg == Some(reg));
         if in_web && data.pin.is_none() {
             f.var_mut(v).pin = Some(r);
+            record_pin(f, v, r, "sp");
             n += 1;
         }
     }
@@ -93,27 +106,29 @@ fn pinning_abi_inner(f: &mut Function) -> usize {
                 let ndefs = f.inst(i).defs.len();
                 for k in 0..ndefs {
                     let Some(&reg) = order.get(k) else { break };
-                    n += pin_hard_def(f, b, i, k, reg);
+                    n += pin_hard_def(f, b, i, k, reg, "abi:input");
                 }
             }
             Opcode::Call => {
                 let uses = f.inst(i).uses.clone();
-                for (k, _) in uses.iter().enumerate() {
+                for (k, u) in uses.iter().enumerate() {
                     let Some(&reg) = arg_regs.get(k) else { break };
                     let r = phys_resource(f, reg);
                     f.inst_mut(i).uses[k].pin = Some(r);
+                    record_pin(f, u.var, r, "abi:call-arg");
                     n += 1;
                 }
                 if !f.inst(i).defs.is_empty() {
-                    n += pin_hard_def(f, b, i, 0, ret_reg);
+                    n += pin_hard_def(f, b, i, 0, ret_reg, "abi:call");
                 }
             }
             Opcode::Ret => {
                 let uses = f.inst(i).uses.clone();
-                for (k, _) in uses.iter().enumerate() {
+                for (k, u) in uses.iter().enumerate() {
                     let Some(&reg) = arg_regs.get(k) else { break };
                     let r = phys_resource(f, reg);
                     f.inst_mut(i).uses[k].pin = Some(r);
+                    record_pin(f, u.var, r, "abi:ret");
                     n += 1;
                 }
             }
@@ -139,12 +154,14 @@ fn pin_hard_def(
     i: tossa_ir::Inst,
     k: usize,
     reg: PhysReg,
+    site: &'static str,
 ) -> usize {
     let r = phys_resource(f, reg);
     let d = f.inst(i).defs[k].var;
     match f.var(d).pin {
         None => {
             f.var_mut(d).pin = Some(r);
+            record_pin(f, d, r, site);
             1
         }
         Some(existing) if existing == r => 0,
@@ -152,11 +169,17 @@ fn pin_hard_def(
             let fresh = f.new_var(format!("{}_abi", f.var(d).name));
             f.var_mut(fresh).pin = Some(r);
             f.inst_mut(i).defs[k].var = fresh;
+            record_pin(f, fresh, r, site);
             let pos = f
                 .block_insts(b)
                 .position(|x| x == i)
                 .expect("instruction in block");
             f.insert_inst(b, pos + 1, InstData::mov(d, fresh));
+            provenance::record(|| provenance::Kind::Copy {
+                dst: var_str(f, d),
+                src: var_str(f, fresh),
+                cause: format!("pin-split:{site}:{}", res_str(f, r)),
+            });
             1
         }
     }
@@ -187,6 +210,7 @@ fn pin_two_operand(f: &mut Function, i: tossa_ir::Inst) -> usize {
     let mut n = 0;
     if f.var(def_var).pin != Some(r) {
         f.var_mut(def_var).pin = Some(r);
+        record_pin(f, def_var, r, "abi:two-operand");
         n += 1;
     }
     if f.inst(i).uses[tied].pin != Some(r) {
@@ -270,6 +294,7 @@ fn pinning_cssa_inner(f: &mut Function) -> usize {
         for &v in &members {
             if f.var(v).pin.is_none() {
                 f.var_mut(v).pin = Some(r);
+                record_pin(f, v, r, "cssa");
                 pinned += 1;
             }
         }

@@ -24,6 +24,53 @@ pub enum InterferenceMode {
     Pessimistic,
 }
 
+/// Which interference rule fired. `Class1`–`Class4` are the paper's §4
+/// classes; `SameInst` and `Phys` are the implementation's extra
+/// structural rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InterfereClass {
+    /// Dominance with overlapping live ranges (`Variable_kills` Case 1).
+    Class1,
+    /// φ parallel-copy kill (`Variable_kills` Case 2).
+    Class2,
+    /// φ arguments disagree in a shared predecessor.
+    Class3,
+    /// φ definitions in the same block.
+    Class4,
+    /// Both variables defined by the same instruction.
+    SameInst,
+    /// Two distinct physical resources.
+    Phys,
+}
+
+impl InterfereClass {
+    /// The provenance-layer tag for this class.
+    pub fn provenance(self) -> tossa_trace::provenance::Class {
+        use tossa_trace::provenance::Class;
+        match self {
+            InterfereClass::Class1 => Class::Class1,
+            InterfereClass::Class2 => Class::Class2,
+            InterfereClass::Class3 => Class::Class3,
+            InterfereClass::Class4 => Class::Class4,
+            InterfereClass::SameInst => Class::SameInst,
+            InterfereClass::Phys => Class::Phys,
+        }
+    }
+}
+
+/// Why two resources interfere: the class that fired plus the concrete
+/// variable pair witnessing it. For kill classes (1 and 2) the witness
+/// is `(killer, killed)`; for the structural classes it is the
+/// offending definition pair. `Phys` carries no witness (the resources
+/// themselves are the proof).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InterfereReason {
+    /// The rule that fired.
+    pub class: InterfereClass,
+    /// The variable pair proving it, when one exists.
+    pub witness: Option<(Var, Var)>,
+}
+
 /// Read-only bundle of the analyses the interference procedures need.
 pub struct InterferenceEnv<'a> {
     /// The SSA function under translation.
@@ -67,6 +114,13 @@ impl<'a> InterferenceEnv<'a> {
     ///   `Bi` with `b ≠ ai` — the parallel copy at the end of `Bi`
     ///   clobbers `b`. (`a` may equal `b`: the lost-copy self-kill.)
     pub fn variable_kills(&self, a: Var, b: Var) -> bool {
+        self.variable_kills_class(a, b).is_some()
+    }
+
+    /// [`Self::variable_kills`], reporting *which* case fired
+    /// ([`InterfereClass::Class1`] or [`InterfereClass::Class2`]) for
+    /// the provenance layer.
+    pub fn variable_kills_class(&self, a: Var, b: Var) -> Option<InterfereClass> {
         // Case 1.
         if a != b && self.def_dominates(b, a) {
             let killed = match self.mode {
@@ -83,7 +137,7 @@ impl<'a> InterferenceEnv<'a> {
             };
             if killed {
                 tossa_trace::count(tossa_trace::Counter::InterfereClass1, 1);
-                return true;
+                return Some(InterfereClass::Class1);
             }
         }
         // Case 2.
@@ -94,12 +148,12 @@ impl<'a> InterferenceEnv<'a> {
                     let bi = inst.phi_preds[k];
                     if b != op.var && self.live.live_out(bi).contains(b) {
                         tossa_trace::count(tossa_trace::Counter::InterfereClass2, 1);
-                        return true;
+                        return Some(InterfereClass::Class2);
                     }
                 }
             }
         }
-        false
+        None
     }
 
     /// The paper's `stronglyInterfere(a, b)`: pinning the definitions of
@@ -110,20 +164,28 @@ impl<'a> InterferenceEnv<'a> {
     ///   arguments disagree in a common predecessor;
     /// * two variables defined by the same instruction (Fig. 4 Case 1).
     pub fn strongly_interfere(&self, a: Var, b: Var) -> bool {
+        self.strongly_interfere_class(a, b).is_some()
+    }
+
+    /// [`Self::strongly_interfere`], reporting *which* rule fired
+    /// ([`InterfereClass::Class3`], [`InterfereClass::Class4`], or
+    /// [`InterfereClass::SameInst`]) for the provenance layer.
+    pub fn strongly_interfere_class(&self, a: Var, b: Var) -> Option<InterfereClass> {
         if a == b {
-            return false;
+            return None;
         }
         let (Some(sa), Some(sb)) = (self.defs.site(a), self.defs.site(b)) else {
-            return false;
+            return None;
         };
         if sa.inst == sb.inst {
             tossa_trace::count(tossa_trace::Counter::InterfereSameInst, 1);
-            return true; // same instruction
+            return Some(InterfereClass::SameInst); // same instruction
         }
         if sa.is_phi && sb.is_phi {
             if sa.block == sb.block {
                 tossa_trace::count(tossa_trace::Counter::InterfereClass4, 1);
-                return true; // Class 4 (and same-block φ parallelism)
+                // Class 4 (and same-block φ parallelism).
+                return Some(InterfereClass::Class4);
             }
             // Class 3: arguments disagree in a shared predecessor.
             let ia = self.f.inst(sa.inst);
@@ -132,12 +194,12 @@ impl<'a> InterferenceEnv<'a> {
                 for (j, &bb) in ib.phi_preds.iter().enumerate() {
                     if ba == bb && ia.uses[k].var != ib.uses[j].var {
                         tossa_trace::count(tossa_trace::Counter::InterfereClass3, 1);
-                        return true;
+                        return Some(InterfereClass::Class3);
                     }
                 }
             }
         }
-        false
+        None
     }
 }
 
@@ -227,24 +289,53 @@ pub fn resource_interfere_with(
     killed_a: &[Var],
     killed_b: &[Var],
 ) -> bool {
+    resource_interfere_reason(env, a, b, killed_a, killed_b).is_some()
+}
+
+/// [`resource_interfere_with`], reporting the first rule that fired and
+/// its witness pair — the provenance the coalescer attaches to every
+/// pruned affinity edge.
+pub fn resource_interfere_reason(
+    env: &InterferenceEnv<'_>,
+    a: &ResourceSet,
+    b: &ResourceSet,
+    killed_a: &[Var],
+    killed_b: &[Var],
+) -> Option<InterfereReason> {
     if a.is_phys && b.is_phys {
         // Distinct physical registers (callers never ask about A == A).
-        return true;
+        return Some(InterfereReason {
+            class: InterfereClass::Phys,
+            witness: None,
+        });
     }
     for &x in &a.members {
         for &y in &b.members {
-            if !killed_a.contains(&x) && env.variable_kills(y, x) {
-                return true;
+            if !killed_a.contains(&x) {
+                if let Some(class) = env.variable_kills_class(y, x) {
+                    return Some(InterfereReason {
+                        class,
+                        witness: Some((y, x)),
+                    });
+                }
             }
-            if !killed_b.contains(&y) && env.variable_kills(x, y) {
-                return true;
+            if !killed_b.contains(&y) {
+                if let Some(class) = env.variable_kills_class(x, y) {
+                    return Some(InterfereReason {
+                        class,
+                        witness: Some((x, y)),
+                    });
+                }
             }
-            if env.strongly_interfere(x, y) {
-                return true;
+            if let Some(class) = env.strongly_interfere_class(x, y) {
+                return Some(InterfereReason {
+                    class,
+                    witness: Some((x, y)),
+                });
             }
         }
     }
-    false
+    None
 }
 
 #[cfg(test)]

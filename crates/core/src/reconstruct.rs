@@ -30,7 +30,9 @@ use std::collections::{BTreeSet, HashMap};
 use tossa_ir::ids::{Block, EntityVec, Inst, Resource, Var};
 use tossa_ir::instr::InstData;
 use tossa_ir::parallel_copy::{sequentialize, sequentialize_checked};
+use tossa_ir::print::{res_str, var_str};
 use tossa_ir::{Function, Opcode};
+use tossa_trace::provenance;
 
 /// Copy counts produced by one translation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -443,6 +445,11 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
             stats.phis_removed += 1;
             if needs_repair.contains(&x) {
                 let src = out_var(f, x);
+                provenance::record(|| provenance::Kind::Copy {
+                    dst: var_str(f, repair_var[&x]),
+                    src: var_str(f, src),
+                    cause: format!("repair:{}", var_str(f, x)),
+                });
                 let mov = f.alloc_inst(InstData::mov(repair_var[&x], src));
                 new_list.push(mov);
                 stats.repair_copies += 1;
@@ -457,7 +464,11 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
             let group_slots = engine.group_writes(f, b, i, is_term);
 
             // Build the parallel copy group preceding this instruction.
+            // `copy_cause` attributes each destination to the constraint
+            // that demanded the copy (keyed by destination: a well-formed
+            // parallel copy writes each destination once).
             let mut group: Vec<(Var, Var)> = Vec::new();
+            let mut copy_cause: HashMap<Var, String> = HashMap::new();
             for k in 0..f.inst(i).uses.len() {
                 let u = f.inst(i).uses[k];
                 if let Some(s) = u.pin {
@@ -466,6 +477,9 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
                     }
                     let src = read_loc(f, &cur, u.var);
                     group.push((res_var[&s], src));
+                    if tossa_trace::enabled() {
+                        copy_cause.insert(res_var[&s], format!("abi:{}", res_str(f, s)));
+                    }
                 }
             }
             group.sort();
@@ -474,10 +488,19 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
             if is_term {
                 let edge = edge_copy_group(f, &engine, b, &cur, &res_var, &read_loc);
                 stats.phi_copies += edge.len();
-                group.extend(edge);
+                if tossa_trace::enabled() {
+                    for &(dst, _, succ) in &edge {
+                        copy_cause.insert(
+                            dst,
+                            format!("phi-edge:{}->{}", f.block(b).name, f.block(succ).name),
+                        );
+                    }
+                }
+                group.extend(edge.into_iter().map(|(dst, src, _)| (dst, src)));
             }
             stats.abi_copies += n_abi;
             if !group.is_empty() {
+                let first_temp = f.num_vars();
                 let seq = tossa_trace::span("parallel_copy_seq", || {
                     if checked {
                         sequentialize_checked(&group, || {
@@ -495,6 +518,24 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
                     }
                 })?;
                 for (d, s) in seq {
+                    if tossa_trace::enabled() {
+                        // A destination created by the sequentializer is a
+                        // cycle-breaking temporary; anything else keeps the
+                        // cause of the group member it realizes.
+                        let cause = if d.index() >= first_temp {
+                            "cycle".to_string()
+                        } else {
+                            copy_cause
+                                .get(&d)
+                                .cloned()
+                                .unwrap_or_else(|| "parallel-copy".to_string())
+                        };
+                        provenance::record(|| provenance::Kind::Copy {
+                            dst: var_str(f, d),
+                            src: var_str(f, s),
+                            cause,
+                        });
+                    }
                     let mov = f.alloc_inst(InstData::mov(d, s));
                     new_list.push(mov);
                 }
@@ -523,11 +564,11 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
                     }
                 }
             }));
-            let def_repairs: Vec<(Var, Var)> = inst
+            let def_repairs: Vec<(Var, Var, Var)> = inst
                 .defs
                 .iter()
                 .filter(|d| needs_repair.contains(&d.var))
-                .map(|d| (repair_var[&d.var], out_var(f, d.var)))
+                .map(|d| (repair_var[&d.var], out_var(f, d.var), d.var))
                 .collect();
             renamed_defs.clear();
             renamed_defs.extend(inst.defs.iter().map(|d| out_var(f, d.var)));
@@ -549,7 +590,12 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
             if !is_self_move {
                 new_list.push(i);
             }
-            for (rv, src) in def_repairs {
+            for (rv, src, orig) in def_repairs {
+                provenance::record(|| provenance::Kind::Copy {
+                    dst: var_str(f, rv),
+                    src: var_str(f, src),
+                    cause: format!("repair:{}", var_str(f, orig)),
+                });
                 let mov = f.alloc_inst(InstData::mov(rv, src));
                 new_list.push(mov);
                 stats.repair_copies += 1;
@@ -580,7 +626,8 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
 
 /// Builds the parallel copy group materializing the φs of `b`'s
 /// successors, in final variable names, and applies the skip rule for
-/// arguments already occupying the φ's slot.
+/// arguments already occupying the φ's slot. Each move carries the
+/// successor block it materializes a φ of, for provenance.
 fn edge_copy_group(
     f: &Function,
     engine: &Engine,
@@ -588,7 +635,7 @@ fn edge_copy_group(
     cur: &[u32],
     res_var: &HashMap<Resource, Var>,
     read_loc: &dyn Fn(&Function, &[u32], Var) -> Var,
-) -> Vec<(Var, Var)> {
+) -> Vec<(Var, Var, Block)> {
     let mut moves = Vec::new();
     for &s in f.succs(b) {
         for phi in f.phis(s) {
@@ -608,7 +655,7 @@ fn edge_copy_group(
             };
             let src = read_loc(f, cur, arg.var);
             if dst != src {
-                moves.push((dst, src));
+                moves.push((dst, src, s));
             }
         }
     }

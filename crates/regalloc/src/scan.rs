@@ -12,7 +12,9 @@
 use std::collections::{HashMap, HashSet};
 use tossa_ir::ids::Var;
 use tossa_ir::machine::{PhysReg, RegClass};
+use tossa_ir::print::var_str;
 use tossa_ir::Function;
+use tossa_trace::provenance;
 
 use crate::intervals::Intervals;
 use crate::{pools, AllocError, Assignment};
@@ -124,11 +126,41 @@ pub fn scan(f: &Function, ivs: &Intervals, temps: &HashSet<Var>) -> Result<Assig
             Some((idx, end, r, v)) if !spillable || end > iv.end => {
                 active.remove(idx);
                 spills.push(v);
+                provenance::record(|| {
+                    let (vs, ve) = ivs
+                        .items
+                        .iter()
+                        .find(|x| x.var == v)
+                        .map(|x| (x.start, x.end))
+                        .unwrap_or((0, end));
+                    provenance::Kind::Spill {
+                        var: var_str(f, v),
+                        start: vs,
+                        end: ve,
+                        cause: format!(
+                            "evicted-by:{}@{}",
+                            var_str(f, iv.var),
+                            f.machine.reg_name(r)
+                        ),
+                    }
+                });
                 asg.set(iv.var, r);
                 active.push((iv.end, r, iv.var, spillable));
             }
             _ if spillable => {
                 spills.push(iv.var);
+                provenance::record(|| {
+                    let hint = iv.hint.and_then(|h| asg.get(h));
+                    provenance::Kind::Spill {
+                        var: var_str(f, iv.var),
+                        start: iv.start,
+                        end: iv.end,
+                        cause: match hint {
+                            Some(r) => format!("no-register:hint-failed={}", f.machine.reg_name(r)),
+                            None => "no-register".to_string(),
+                        },
+                    }
+                });
             }
             _ => return Err(ScanFail::Hard(AllocError::OutOfRegisters { var: iv.var })),
         }

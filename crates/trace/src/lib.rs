@@ -25,6 +25,9 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod provenance;
+
 use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -319,14 +322,25 @@ pub struct TraceData {
     pub spans: Vec<Span>,
     /// Point events, in record order.
     pub events: Vec<Event>,
+    /// Decision-provenance records, in record order (IDs are dense
+    /// per-capture sequence numbers; see [`provenance`]).
+    pub records: Vec<provenance::Record>,
 }
 
 impl TraceData {
     /// Accumulates `other` into `self` (suite-level aggregation).
+    /// Provenance IDs are re-numbered so they stay dense and unique in
+    /// the merged stream.
     pub fn merge(&mut self, other: &TraceData) {
         self.counters.merge(&other.counters);
         self.spans.extend(other.spans.iter().cloned());
         self.events.extend(other.events.iter().cloned());
+        let base = self.records.len() as u32;
+        self.records
+            .extend(other.records.iter().map(|r| provenance::Record {
+                id: base + r.id,
+                kind: r.kind.clone(),
+            }));
     }
 
     /// Checks the span set is well-nested: reconstructing the open/close
@@ -441,6 +455,11 @@ pub fn event(kind: &'static str, detail: impl FnOnce() -> String) {
 
 /// Runs `f` inside a named wall-time span. When tracing is disabled
 /// this is exactly `f()` — no clock reads.
+///
+/// The span is closed by a drop guard, so a panic unwinding out of `f`
+/// (checked mode catches chaos-induced panics with `catch_unwind`)
+/// still balances the open-span stack and records the span — later
+/// spans in the same capture keep their true depth.
 pub fn span<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
     let opened = COLLECTOR.with(|c| {
         let mut b = c.borrow_mut();
@@ -456,40 +475,73 @@ pub fn span<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
     let Some((depth, start_ns)) = opened else {
         return f();
     };
-    let out = f();
-    let dur_ns = now_ns().saturating_sub(start_ns);
-    COLLECTOR.with(|c| {
-        if let Some(col) = c.borrow_mut().as_mut() {
-            col.open -= 1;
-            col.data.spans.push(Span {
-                name,
-                depth,
-                start_ns,
-                dur_ns,
-                tid: tid(),
+    struct Close {
+        name: &'static str,
+        depth: u32,
+        start_ns: u64,
+    }
+    impl Drop for Close {
+        fn drop(&mut self) {
+            let dur_ns = now_ns().saturating_sub(self.start_ns);
+            COLLECTOR.with(|c| {
+                if let Some(col) = c.borrow_mut().as_mut() {
+                    col.open = col.open.saturating_sub(1);
+                    col.data.spans.push(Span {
+                        name: self.name,
+                        depth: self.depth,
+                        start_ns: self.start_ns,
+                        dur_ns,
+                        tid: tid(),
+                    });
+                }
             });
         }
-    });
-    out
+    }
+    let _close = Close {
+        name,
+        depth,
+        start_ns,
+    };
+    f()
 }
 
 /// Installs a fresh collector on this thread, runs `f`, and returns its
 /// result together with everything recorded. Nests: an enclosing
 /// capture is suspended (it records nothing from inside `f`) and
 /// restored afterwards.
+///
+/// The scope is explicit and unwind-safe: if `f` panics, the collector
+/// installed for it is discarded and the enclosing capture (if any) is
+/// restored before the panic propagates, so one function's aborted run
+/// can never leak partial state into a sibling's capture on the same
+/// thread.
 pub fn capture<T>(f: impl FnOnce() -> T) -> (T, TraceData) {
+    struct Restore {
+        prev: Option<Collector>,
+        armed: bool,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            if self.armed {
+                let prev = self.prev.take();
+                COLLECTOR.with(|c| *c.borrow_mut() = prev);
+            }
+        }
+    }
     let prev = COLLECTOR.with(|c| {
         c.borrow_mut().replace(Collector {
             data: TraceData::default(),
             open: 0,
         })
     });
+    let mut guard = Restore { prev, armed: true };
     let out = f();
     let data = COLLECTOR.with(|c| {
         let col = c.borrow_mut().take().expect("collector still installed");
         col.data
     });
-    COLLECTOR.with(|c| *c.borrow_mut() = prev);
+    COLLECTOR.with(|c| *c.borrow_mut() = guard.prev.take());
+    guard.armed = false;
     (out, data)
 }
 
@@ -552,7 +604,9 @@ pub fn jsonl_record(function: &str, experiment: &str, data: &TraceData) -> Strin
             e.tid
         );
     }
-    out.push_str("]}");
+    out.push_str("], \"records\": ");
+    out.push_str(&provenance::records_json(&data.records));
+    out.push('}');
     out
 }
 
@@ -929,6 +983,49 @@ mod tests {
         for (i, c) in Counter::ALL.iter().enumerate() {
             assert_eq!(*c as usize, i, "ALL order must match discriminants");
         }
+    }
+
+    #[test]
+    fn panic_inside_span_keeps_the_stack_balanced() {
+        let (res, data) = capture(|| {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                span("outer", || {
+                    span("inner", || panic!("chaos"));
+                })
+            }));
+            assert!(caught.is_err());
+            // A later span in the same capture must sit at depth 0
+            // again, not under the unwound ones.
+            span("after", || 7)
+        });
+        assert_eq!(res, 7);
+        assert_eq!(data.spans.len(), 3);
+        let after = data.spans.iter().find(|s| s.name == "after").unwrap();
+        assert_eq!(after.depth, 0);
+        data.check_well_nested().unwrap();
+    }
+
+    #[test]
+    fn panicking_capture_restores_the_enclosing_scope() {
+        // An inner capture that panics must not leak its collector: the
+        // outer capture resumes recording and stays well-nested.
+        let ((), outer) = capture(|| {
+            count(Counter::EdgesSplit, 1);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                capture(|| {
+                    count(Counter::EdgesSplit, 100);
+                    panic!("chaos mid-capture");
+                })
+            }));
+            assert!(caught.is_err());
+            // Still scoped to the outer capture, not the dead inner one.
+            assert!(enabled());
+            count(Counter::EdgesSplit, 2);
+            span("after", || {});
+        });
+        assert_eq!(outer.counters.get(Counter::EdgesSplit), 3);
+        assert_eq!(outer.spans.len(), 1);
+        outer.check_well_nested().unwrap();
     }
 
     #[test]
