@@ -1,13 +1,32 @@
-//! A compact fixed-capacity bit set over entity ids.
+//! A compact fixed-capacity bit set over entity ids, with a thread-local
+//! buffer pool so hot analyses reuse scratch rows instead of hitting the
+//! allocator once per block or per definition.
 
+use std::cell::RefCell;
 use std::marker::PhantomData;
 use tossa_ir::ids::EntityId;
 
 /// A dense bit set indexed by a typed entity id.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(PartialEq, Eq)]
 pub struct BitSet<K: EntityId> {
     words: Vec<u64>,
     _marker: PhantomData<K>,
+}
+
+impl<K: EntityId> Clone for BitSet<K> {
+    fn clone(&self) -> Self {
+        BitSet {
+            words: self.words.clone(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Reuses `self`'s existing buffer when its capacity suffices, so
+    /// `clone_from` in a loop (the live cursor of a backward scan)
+    /// allocates at most once.
+    fn clone_from(&mut self, source: &Self) {
+        self.words.clone_from(&source.words);
+    }
 }
 
 impl<K: EntityId> BitSet<K> {
@@ -125,6 +144,65 @@ impl<K: EntityId> BitSet<K> {
     }
 }
 
+/// A freelist of word buffers backing [`BitSet`]s. One pool per thread;
+/// draw sets with [`pooled`], return them with [`recycle`]. The analysis
+/// result types ([`crate::liveness::Liveness`],
+/// [`crate::liveness::LiveAtDefs`]) recycle their rows on drop, so each
+/// cache invalidate/recompute cycle reuses the previous epoch's buffers.
+#[derive(Default)]
+struct BitsetPool {
+    free: Vec<Vec<u64>>,
+}
+
+/// Upper bound on retained buffers, so a one-off huge run doesn't pin
+/// its scratch memory for the rest of the thread's life.
+const POOL_CAP: usize = 4096;
+
+impl BitsetPool {
+    fn acquire(&mut self, words: usize) -> Vec<u64> {
+        match self.free.pop() {
+            Some(mut w) => {
+                w.clear();
+                w.resize(words, 0);
+                w
+            }
+            None => vec![0; words],
+        }
+    }
+
+    fn release(&mut self, w: Vec<u64>) {
+        if self.free.len() < POOL_CAP && w.capacity() > 0 {
+            self.free.push(w);
+        }
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<BitsetPool> = RefCell::new(BitsetPool::default());
+}
+
+/// An empty set with capacity for `len` entities, drawing its backing
+/// buffer from the thread-local pool. Identical observable behavior to
+/// [`BitSet::new`].
+pub fn pooled<K: EntityId>(len: usize) -> BitSet<K> {
+    let words = len.div_ceil(64);
+    POOL.with(|p| BitSet {
+        words: p.borrow_mut().acquire(words),
+        _marker: PhantomData,
+    })
+}
+
+/// Returns a set's buffer to the thread-local pool for later reuse.
+pub fn recycle<K: EntityId>(s: BitSet<K>) {
+    POOL.with(|p| p.borrow_mut().release(s.words));
+}
+
+/// Number of buffers currently retained by this thread's pool (for
+/// diagnostics and tests).
+pub fn pool_len() -> usize {
+    POOL.with(|p| p.borrow().free.len())
+}
+
 impl<K: EntityId> std::fmt::Debug for BitSet<K>
 where
     K: std::fmt::Debug,
@@ -190,5 +268,31 @@ mod tests {
     fn out_of_range_contains_is_false() {
         let s: BitSet<Var> = BitSet::new(10);
         assert!(!s.contains(Var::new(1000)));
+    }
+
+    #[test]
+    fn pooled_sets_start_empty_and_buffers_round_trip() {
+        let mut a: BitSet<Var> = pooled(100);
+        assert!(a.is_empty());
+        a.insert(Var::new(42));
+        let before = pool_len();
+        recycle(a);
+        assert_eq!(pool_len(), before + 1);
+        // A recycled buffer comes back zeroed even at a different size.
+        let b: BitSet<Var> = pooled(500);
+        assert_eq!(pool_len(), before);
+        assert!(b.is_empty());
+        assert!(!b.contains(Var::new(42)));
+        recycle(b);
+    }
+
+    #[test]
+    fn clone_from_reuses_capacity() {
+        let mut dst: BitSet<Var> = BitSet::new(200);
+        let mut src: BitSet<Var> = BitSet::new(200);
+        src.insert(Var::new(7));
+        src.insert(Var::new(130));
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
     }
 }

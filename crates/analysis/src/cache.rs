@@ -205,7 +205,9 @@ impl AnalysisCache {
         self.check_revision(f);
         trace_access(self.cfg.is_some());
         if self.cfg.is_none() {
-            self.cfg = Some(Rc::new(Cfg::compute(f)));
+            self.cfg = Some(tossa_trace::span("compute_cfg", || {
+                Rc::new(Cfg::compute(f))
+            }));
         }
         Rc::clone(self.cfg.as_ref().unwrap())
     }
@@ -216,7 +218,9 @@ impl AnalysisCache {
         trace_access(self.domtree.is_some());
         if self.domtree.is_none() {
             let cfg = self.cfg(f);
-            self.domtree = Some(Rc::new(DomTree::compute(f, &cfg)));
+            self.domtree = Some(tossa_trace::span("compute_domtree", || {
+                Rc::new(DomTree::compute(f, &cfg))
+            }));
         }
         Rc::clone(self.domtree.as_ref().unwrap())
     }
@@ -227,7 +231,9 @@ impl AnalysisCache {
         trace_access(self.liveness.is_some());
         if self.liveness.is_none() {
             let cfg = self.cfg(f);
-            self.liveness = Some(Rc::new(Liveness::compute(f, &cfg)));
+            self.liveness = Some(tossa_trace::span("compute_liveness", || {
+                Rc::new(Liveness::compute(f, &cfg))
+            }));
         }
         Rc::clone(self.liveness.as_ref().unwrap())
     }
@@ -237,7 +243,9 @@ impl AnalysisCache {
         self.check_revision(f);
         trace_access(self.defs.is_some());
         if self.defs.is_none() {
-            self.defs = Some(Rc::new(DefMap::compute(f)));
+            self.defs = Some(tossa_trace::span("compute_defs", || {
+                Rc::new(DefMap::compute(f))
+            }));
         }
         Rc::clone(self.defs.as_ref().unwrap())
     }
@@ -249,7 +257,9 @@ impl AnalysisCache {
         if self.lad.is_none() {
             let live = self.liveness(f);
             let defs = self.defs(f);
-            self.lad = Some(Rc::new(LiveAtDefs::compute(f, &live, &defs)));
+            self.lad = Some(tossa_trace::span("compute_live_at_defs", || {
+                Rc::new(LiveAtDefs::compute(f, &live, &defs))
+            }));
         }
         Rc::clone(self.lad.as_ref().unwrap())
     }
@@ -261,7 +271,9 @@ impl AnalysisCache {
         if self.loops.is_none() {
             let cfg = self.cfg(f);
             let dt = self.domtree(f);
-            self.loops = Some(Rc::new(LoopInfo::compute(f, &cfg, &dt)));
+            self.loops = Some(tossa_trace::span("compute_loops", || {
+                Rc::new(LoopInfo::compute(f, &cfg, &dt))
+            }));
         }
         Rc::clone(self.loops.as_ref().unwrap())
     }
@@ -282,16 +294,16 @@ fn fingerprint(f: &Function) -> u64 {
         for i in f.block_insts(b) {
             let inst = f.inst(i);
             (inst.opcode as u8).hash(&mut h);
-            for d in &inst.defs {
+            for d in inst.defs {
                 d.var.index().hash(&mut h);
             }
-            for u in &inst.uses {
+            for u in inst.uses {
                 u.var.index().hash(&mut h);
             }
-            for &t in &inst.targets {
+            for &t in inst.targets {
                 t.index().hash(&mut h);
             }
-            for &p in &inst.phi_preds {
+            for &p in inst.phi_preds {
                 p.index().hash(&mut h);
             }
         }

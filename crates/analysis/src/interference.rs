@@ -3,11 +3,11 @@
 //! merge, as used by the aggressive "repeated coalescing" baseline
 //! (paper §5, `Coalescing`).
 
-use crate::bitset::BitSet;
+use crate::bitset::{pooled, recycle, BitSet};
 use crate::liveness::Liveness;
 use std::collections::HashSet;
 use tossa_ir::cfg::Cfg;
-use tossa_ir::ids::{Inst, Var};
+use tossa_ir::ids::Var;
 use tossa_ir::{Function, Opcode};
 
 /// An undirected interference graph over variables.
@@ -25,10 +25,10 @@ impl InterferenceGraph {
         let mut g = InterferenceGraph {
             adj: vec![HashSet::new(); f.num_vars()],
         };
+        let mut cursor: BitSet<Var> = pooled(f.num_vars());
         for b in f.blocks() {
-            let insts: Vec<Inst> = f.block_insts(b).collect();
-            let mut cursor = live.live_exit(f, b);
-            for &i in insts.iter().rev() {
+            live.live_exit_into(f, b, &mut cursor);
+            for &i in f.block(b).insts.iter().rev() {
                 let inst = f.inst(i);
                 if inst.is_phi() {
                     continue;
@@ -38,7 +38,7 @@ impl InterferenceGraph {
                 } else {
                     None
                 };
-                for d in &inst.defs {
+                for d in inst.defs {
                     for l in cursor.iter() {
                         if l != d.var && Some(l) != move_src {
                             g.add_edge(d.var, l);
@@ -51,14 +51,15 @@ impl InterferenceGraph {
                         g.add_edge(d1.var, d2.var);
                     }
                 }
-                for d in &inst.defs {
+                for d in inst.defs {
                     cursor.remove(d.var);
                 }
-                for u in &inst.uses {
+                for u in inst.uses {
                     cursor.insert(u.var);
                 }
             }
         }
+        recycle(cursor);
         g
     }
 
@@ -77,11 +78,11 @@ impl InterferenceGraph {
         among: &BitSet<Var>,
     ) -> InterferenceGraph {
         let mut g = InterferenceGraph::empty(f.num_vars());
+        let mut cursor: BitSet<Var> = pooled(f.num_vars());
         for b in f.blocks() {
-            let insts: Vec<Inst> = f.block_insts(b).collect();
-            let mut cursor = live.live_exit(f, b);
+            live.live_exit_into(f, b, &mut cursor);
             cursor.intersect_with(among);
-            for &i in insts.iter().rev() {
+            for &i in f.block(b).insts.iter().rev() {
                 let inst = f.inst(i);
                 if inst.is_phi() {
                     continue;
@@ -92,7 +93,7 @@ impl InterferenceGraph {
                     } else {
                         None
                     };
-                    for d in &inst.defs {
+                    for d in inst.defs {
                         if !among.contains(d.var) {
                             continue;
                         }
@@ -110,16 +111,17 @@ impl InterferenceGraph {
                         }
                     }
                 }
-                for d in &inst.defs {
+                for d in inst.defs {
                     cursor.remove(d.var);
                 }
-                for u in &inst.uses {
+                for u in inst.uses {
                     if among.contains(u.var) {
                         cursor.insert(u.var);
                     }
                 }
             }
         }
+        recycle(cursor);
         g
     }
 

@@ -10,16 +10,47 @@
 //! The same dataflow works for non-SSA code (no φs, multiple defs per
 //! variable), which the Chaitin-style coalescing baseline relies on.
 
-use crate::bitset::BitSet;
+use crate::bitset::{pooled, recycle, BitSet};
 use tossa_ir::cfg::Cfg;
 use tossa_ir::ids::{Block, EntityVec, Inst, Var};
 use tossa_ir::Function;
 
 /// Per-block live-in/live-out sets.
+///
+/// Rows are drawn from the thread-local bitset pool and recycled on
+/// drop, so each invalidate/recompute cycle of the analysis cache
+/// reuses the previous epoch's buffers instead of reallocating one
+/// `Vec<u64>` per block.
 #[derive(Clone, Debug)]
 pub struct Liveness {
     live_in: EntityVec<Block, BitSet<Var>>,
     live_out: EntityVec<Block, BitSet<Var>>,
+}
+
+impl Drop for Liveness {
+    fn drop(&mut self) {
+        for s in std::mem::take(&mut self.live_in).into_values() {
+            recycle(s);
+        }
+        for s in std::mem::take(&mut self.live_out).into_values() {
+            recycle(s);
+        }
+    }
+}
+
+/// `nb` pooled empty rows of capacity `nv`.
+fn pooled_rows(nb: usize, nv: usize) -> EntityVec<Block, BitSet<Var>> {
+    let mut rows = EntityVec::new();
+    for _ in 0..nb {
+        rows.push(pooled(nv));
+    }
+    rows
+}
+
+fn recycle_rows(rows: EntityVec<Block, BitSet<Var>>) {
+    for s in rows.into_values() {
+        recycle(s);
+    }
 }
 
 impl Liveness {
@@ -36,17 +67,18 @@ impl Liveness {
     pub fn compute(f: &Function, cfg: &Cfg) -> Liveness {
         let nb = f.num_blocks();
         let nv = f.num_vars();
-        let mut live_in: EntityVec<Block, BitSet<Var>> = EntityVec::filled(nb, BitSet::new(nv));
-        let mut live_out: EntityVec<Block, BitSet<Var>> = EntityVec::filled(nb, BitSet::new(nv));
+        let mut live_in = pooled_rows(nb, nv);
+        let mut live_out = pooled_rows(nb, nv);
 
         // --- Precomputation (one pass over the instructions). ---
+        // All four masks are pooled scratch, recycled before returning.
         // φ defs of each block (subtracted from its live-in by preds).
-        let mut phi_defs: EntityVec<Block, BitSet<Var>> = EntityVec::filled(nb, BitSet::new(nv));
+        let mut phi_defs = pooled_rows(nb, nv);
         // φ arguments read at the *end* of each block by successor φs.
-        let mut phi_uses: EntityVec<Block, BitSet<Var>> = EntityVec::filled(nb, BitSet::new(nv));
+        let mut phi_uses = pooled_rows(nb, nv);
         // Non-φ defs and upward-exposed uses of each block.
-        let mut def_set: EntityVec<Block, BitSet<Var>> = EntityVec::filled(nb, BitSet::new(nv));
-        let mut use_set: EntityVec<Block, BitSet<Var>> = EntityVec::filled(nb, BitSet::new(nv));
+        let mut def_set = pooled_rows(nb, nv);
+        let mut use_set = pooled_rows(nb, nv);
         for b in f.blocks() {
             for i in f.block_insts(b) {
                 let inst = f.inst(i);
@@ -59,12 +91,12 @@ impl Liveness {
                 }
                 // Uses read before defs are written: `%x = addi %x, 1`
                 // leaves `%x` upward-exposed.
-                for u in &inst.uses {
+                for u in inst.uses {
                     if !def_set[b].contains(u.var) {
                         use_set[b].insert(u.var);
                     }
                 }
-                for d in &inst.defs {
+                for d in inst.defs {
                     def_set[b].insert(d.var);
                 }
             }
@@ -123,6 +155,10 @@ impl Liveness {
             }
         }
         tossa_trace::count(tossa_trace::Counter::LivenessIterations, pops);
+        recycle_rows(phi_defs);
+        recycle_rows(phi_uses);
+        recycle_rows(def_set);
+        recycle_rows(use_set);
         Liveness { live_in, live_out }
     }
 
@@ -192,6 +228,20 @@ impl Liveness {
         }
         s
     }
+
+    /// [`Liveness::live_exit`] into a caller-owned cursor, reusing its
+    /// buffer. Lets per-block backward scans (interference construction,
+    /// live-at-defs) run a whole function on one allocation.
+    pub fn live_exit_into(&self, f: &Function, b: Block, cursor: &mut BitSet<Var>) {
+        cursor.clone_from(&self.live_out[b]);
+        for &s in f.succs(b) {
+            for phi in f.phis(s) {
+                if let Some(op) = f.inst(phi).phi_arg_for(b) {
+                    cursor.insert(op.var);
+                }
+            }
+        }
+    }
 }
 
 /// Applies the backward in-block transfer to `cursor` (which enters as
@@ -199,16 +249,15 @@ impl Liveness {
 /// skipped: their defs happen at the end of predecessors and their uses
 /// at the end of predecessors too.
 fn transfer_block(f: &Function, b: Block, cursor: &mut BitSet<Var>) {
-    let insts: Vec<Inst> = f.block_insts(b).collect();
-    for &i in insts.iter().rev() {
+    for &i in f.block(b).insts.iter().rev() {
         let inst = f.inst(i);
         if inst.is_phi() {
             continue;
         }
-        for d in &inst.defs {
+        for d in inst.defs {
             cursor.remove(d.var);
         }
-        for u in &inst.uses {
+        for u in inst.uses {
             cursor.insert(u.var);
         }
     }
@@ -256,7 +305,7 @@ impl DefMap {
         for b in f.blocks() {
             for (pos, i) in f.block_insts(b).enumerate() {
                 let inst = f.inst(i);
-                for d in &inst.defs {
+                for d in inst.defs {
                     if sites[d.var].is_none() {
                         sites[d.var] = Some(DefSite {
                             block: b,
@@ -290,30 +339,45 @@ pub struct LiveAtDefs {
     after: EntityVec<Var, Option<BitSet<Var>>>,
 }
 
+impl Drop for LiveAtDefs {
+    fn drop(&mut self) {
+        for s in std::mem::take(&mut self.after).into_values().flatten() {
+            recycle(s);
+        }
+    }
+}
+
 impl LiveAtDefs {
     /// Computes the live-after-def set of every defined variable with one
-    /// backward scan per block.
+    /// backward scan per block. The per-def snapshots and the scan cursor
+    /// come from the bitset pool; snapshots go back to it when the result
+    /// is dropped.
     pub fn compute(f: &Function, live: &Liveness, defs: &DefMap) -> LiveAtDefs {
         let nv = f.num_vars();
         let mut after: EntityVec<Var, Option<BitSet<Var>>> = EntityVec::filled(nv, None);
+        let mut cursor: BitSet<Var> = pooled(nv);
+        let snapshot = |src: &BitSet<Var>| {
+            let mut s = pooled(nv);
+            s.clone_from(src);
+            s
+        };
         for b in f.blocks() {
-            let insts: Vec<Inst> = f.block_insts(b).collect();
-            let mut cursor = live.live_exit(f, b);
-            for (pos, &i) in insts.iter().enumerate().rev() {
+            live.live_exit_into(f, b, &mut cursor);
+            for (pos, &i) in f.block(b).insts.iter().enumerate().rev() {
                 let inst = f.inst(i);
                 if inst.is_phi() {
                     continue;
                 }
                 // `cursor` is currently the live set after inst i.
-                for d in &inst.defs {
+                for d in inst.defs {
                     if defs.site(d.var).map(|s| (s.inst, s.pos)) == Some((i, pos)) {
-                        after[d.var] = Some(cursor.clone());
+                        after[d.var] = Some(snapshot(&cursor));
                     }
                 }
-                for d in &inst.defs {
+                for d in inst.defs {
                     cursor.remove(d.var);
                 }
-                for u in &inst.uses {
+                for u in inst.uses {
                     cursor.insert(u.var);
                 }
             }
@@ -321,10 +385,11 @@ impl LiveAtDefs {
             for phi in f.phis(b) {
                 let v = f.inst(phi).defs[0].var;
                 if defs.site(v).map(|s| s.inst) == Some(phi) {
-                    after[v] = Some(live.live_in(b).clone());
+                    after[v] = Some(snapshot(live.live_in(b)));
                 }
             }
         }
+        recycle(cursor);
         LiveAtDefs { after }
     }
 

@@ -36,10 +36,10 @@ pub fn dead_code_elim_cached(f: &mut Function, cache: &mut AnalysisCache) -> usi
                     dead.push(i);
                     continue; // its uses do not keep anything alive
                 }
-                for d in &inst.defs {
+                for d in inst.defs {
                     cursor.remove(d.var);
                 }
-                for u in &inst.uses {
+                for u in inst.uses {
                     cursor.insert(u.var);
                 }
             }

@@ -166,7 +166,7 @@ fn to_cssa_inner(f: &mut Function, cache: &mut AnalysisCache) -> CssaStats {
 
     for (block, phi) in phi_list {
         let analyses = analyze(f, cache);
-        let inst = f.inst(phi).clone();
+        let inst = f.inst(phi);
         // Resources of this φ: (var, block where its value crosses).
         let mut resources: Vec<(Var, Block, Option<usize>)> = Vec::new();
         resources.push((inst.defs[0].var, block, None));
@@ -267,9 +267,9 @@ fn to_cssa_inner(f: &mut Function, cache: &mut AnalysisCache) -> CssaStats {
         }
 
         // Merge the (possibly renamed) φ resources into one class.
-        let inst = f.inst(phi).clone();
+        let inst = f.inst(phi);
         let d = inst.defs[0].var;
-        for u in &inst.uses {
+        for u in inst.uses {
             classes.union(d, u.var);
         }
     }
@@ -297,16 +297,36 @@ fn safety_pass(f: &mut Function, cache: &mut AnalysisCache) -> usize {
         for &i in &phis {
             let inst = f.inst(i);
             let d = inst.defs[0].var;
-            for u in &inst.uses {
+            for u in inst.uses {
                 all.union(d, u.var);
             }
         }
         // Find one φ whose direct resources' webs conflict pairwise.
+        // Pre-filter: any conflict between two sub-webs of a φ is an
+        // interfering pair inside the φ's *whole* web (sub-webs are
+        // subsets of it), so a φ whose whole web is interference-free
+        // can be skipped without building its per-resource sub-webs.
+        // The check is cached per union-find root; in the common case —
+        // the Method III heuristic left nothing behind — no web
+        // interferes and the loop below never materializes a `without`.
+        let mut web_conflict: HashMap<usize, bool> = HashMap::new();
         let mut fix: Option<(Inst, usize)> = None; // (phi, arg slot to split)
         'outer: for &p in &phis {
-            let inst = f.inst(p).clone();
+            let inst = f.inst(p);
             let d = inst.defs[0].var;
-            if all.members_of(d).len() < 2 {
+            let root = all.find(d);
+            let whole_web = all.members_of(d);
+            if whole_web.len() < 2 {
+                continue;
+            }
+            let conflicts = *web_conflict.entry(root).or_insert_with(|| {
+                whole_web.iter().enumerate().any(|(i, &a)| {
+                    whole_web[i + 1..]
+                        .iter()
+                        .any(|&b| interferes(&analyses, a, b))
+                })
+            });
+            if !conflicts {
                 continue;
             }
             // Sub-web of each direct resource: its class built from all
@@ -318,7 +338,7 @@ fn safety_pass(f: &mut Function, cache: &mut AnalysisCache) -> usize {
                 }
                 let oi = f.inst(i);
                 let od = oi.defs[0].var;
-                for u in &oi.uses {
+                for u in oi.uses {
                     without.union(od, u.var);
                 }
             }
@@ -355,7 +375,7 @@ fn safety_pass(f: &mut Function, cache: &mut AnalysisCache) -> usize {
         }
         let Some((p, k)) = fix else { break };
         cache.invalidate_instructions();
-        let inst = f.inst(p).clone();
+        let inst = f.inst(p);
         let u = inst.uses[k].var;
         let l = inst.phi_preds[k];
         let nv = f.new_var(format!("{}_s", f.var(u).name));
@@ -384,7 +404,7 @@ pub fn sreedhar_out_of_ssa_cached(f: &mut Function, cache: &mut AnalysisCache) -
             continue;
         }
         let d = inst.defs[0].var;
-        for u in inst.uses.clone() {
+        for u in inst.uses {
             classes.union(d, u.var);
         }
     }
@@ -436,7 +456,7 @@ mod tests {
             let inst = f.inst(i);
             if inst.is_phi() {
                 let d = inst.defs[0].var;
-                for u in &inst.uses {
+                for u in inst.uses {
                     classes.union(d, u.var);
                 }
             }

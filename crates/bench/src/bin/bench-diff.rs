@@ -14,11 +14,26 @@
 //! downgrades it to a warning (CI uses this: timing noise across runner
 //! machines should annotate, not block).
 //!
+//! Per-stage wall clocks (`stages.*_ns`) are timing-class too: each
+//! stage's median log-ratio across all comparable cells is printed as an
+//! attribution aid — when the end-to-end wall moves, the report names
+//! the stage that moved it. Stage ratios are advisory and never flip the
+//! exit status by themselves.
+//!
 //! Counter, move-count, and allocation cells are deterministic, so they
 //! are compared exactly: any drift is reported cell by cell and exits 2
 //! even under `--warn-only` — a changed counter means the *translation*
 //! changed, which a perf-neutral PR must not do silently. Missing or
 //! extra (suite × experiment) cells are structural drift, also exit 2.
+//!
+//! Two counters are exempt from the exact gate:
+//! `analysis_cache_hits` and `analysis_cache_misses` measure the
+//! memoization layer (how often an analysis memo was reused vs
+//! recomputed), not the translation — a caching-policy change such as
+//! the instructions-only invalidation fast path legitimately shifts
+//! them while every move count, spill count, and output program stays
+//! byte-identical. They are compared and *reported* as advisory shifts,
+//! but never affect the exit status.
 //!
 //! Exit status: 0 clean, 1 confident timing regression, 2 counter or
 //! structural drift (2 wins when both).
@@ -31,10 +46,23 @@ use tossa_trace::json::{parse_json, Json};
 #[derive(Clone, Debug, Default)]
 struct Cell {
     wall_ns: f64,
+    /// Per-stage wall clocks (`stages.*_ns`), keyed by stage name.
+    /// Timing-class like `wall_ns`: min-of-N reduced, ratio-compared.
+    stages: BTreeMap<String, f64>,
     /// Deterministic scalars: moves, weighted, alloc stats, counters —
     /// all compared exactly, keyed by field name.
     exact: BTreeMap<String, u64>,
+    /// Cache-policy counters (see module docs): compared and reported,
+    /// but shifts never affect the exit status.
+    advisory: BTreeMap<String, u64>,
 }
+
+/// Counters that measure the analysis memoization layer rather than the
+/// translation; their drift is advisory (see module docs).
+const ADVISORY_COUNTERS: [&str; 2] = [
+    "counter.analysis_cache_hits",
+    "counter.analysis_cache_misses",
+];
 
 type Cells = BTreeMap<(String, String), Cell>;
 
@@ -63,8 +91,15 @@ fn load(path: &str) -> Cells {
             let exp = e.get("experiment").and_then(Json::as_str).unwrap_or("?");
             let mut cell = Cell {
                 wall_ns: e.get("wall_ns").and_then(Json::as_f64).unwrap_or(0.0),
-                exact: BTreeMap::new(),
+                ..Cell::default()
             };
+            if let Some(obj) = e.get("stages").and_then(Json::as_obj) {
+                for (k, v) in obj {
+                    if let Some(v) = v.as_f64() {
+                        cell.stages.insert(k.clone(), v);
+                    }
+                }
+            }
             for key in ["moves", "weighted"] {
                 if let Some(v) = e.get(key).and_then(Json::as_u64) {
                     cell.exact.insert(key.to_string(), v);
@@ -74,7 +109,12 @@ fn load(path: &str) -> Cells {
                 if let Some(obj) = e.get(group).and_then(Json::as_obj) {
                     for (k, v) in obj {
                         if let Some(v) = v.as_u64() {
-                            cell.exact.insert(format!("{prefix}{k}"), v);
+                            let field = format!("{prefix}{k}");
+                            if ADVISORY_COUNTERS.contains(&field.as_str()) {
+                                cell.advisory.insert(field, v);
+                            } else {
+                                cell.exact.insert(field, v);
+                            }
                         }
                     }
                 }
@@ -100,7 +140,13 @@ fn load_side(spec: &str, drift: &mut Vec<String>) -> Cells {
                     match m.get_mut(&key) {
                         Some(prev) => {
                             prev.wall_ns = prev.wall_ns.min(cell.wall_ns);
-                            if prev.exact != cell.exact {
+                            for (stage, v) in &cell.stages {
+                                prev.stages
+                                    .entry(stage.clone())
+                                    .and_modify(|p| *p = p.min(*v))
+                                    .or_insert(*v);
+                            }
+                            if prev.exact != cell.exact || prev.advisory != cell.advisory {
                                 drift.push(format!(
                                     "{}/{}: repeats of {spec} disagree on deterministic fields",
                                     key.0, key.1
@@ -168,11 +214,13 @@ fn main() {
     let warn_only = flag("--warn-only");
 
     let mut drift: Vec<String> = Vec::new();
+    let mut advisory: Vec<String> = Vec::new();
     let old = load_side(old_spec, &mut drift);
     let new = load_side(new_spec, &mut drift);
 
     // ---- structural + exact comparison ---------------------------------
     let mut ratios: Vec<(f64, String)> = Vec::new();
+    let mut stage_ratios: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     for (key, o) in &old {
         let Some(n) = new.get(key) else {
             drift.push(format!("{}/{}: cell missing in {new_spec}", key.0, key.1));
@@ -194,8 +242,25 @@ fn main() {
                 ));
             }
         }
+        for (field, &ov) in &o.advisory {
+            if let Some(&nv) = n.advisory.get(field) {
+                if nv != ov {
+                    advisory.push(format!("{label}: {field} {ov} -> {nv}"));
+                }
+            }
+        }
         if o.wall_ns > 0.0 && n.wall_ns > 0.0 {
             ratios.push(((n.wall_ns / o.wall_ns).ln(), label));
+        }
+        for (stage, &ov) in &o.stages {
+            if let Some(&nv) = n.stages.get(stage) {
+                if ov > 0.0 && nv > 0.0 {
+                    stage_ratios
+                        .entry(stage.clone())
+                        .or_default()
+                        .push((nv / ov).ln());
+                }
+            }
         }
     }
     for key in new.keys() {
@@ -259,7 +324,35 @@ fn main() {
         }
     }
 
+    // ---- per-stage attribution -----------------------------------------
+    // Advisory: names which pipeline stage moved when the end-to-end wall
+    // shifts. Median log-ratio per stage across all comparable cells —
+    // the median resists the tiny-denominator noise of microsecond
+    // stages better than the mean. Never affects the exit status on its
+    // own; the end-to-end CI above is the gate.
+    if !stage_ratios.is_empty() {
+        println!("per-stage timing ratios (median across cells):");
+        for (stage, mut logs) in stage_ratios {
+            logs.sort_by(|a, b| a.total_cmp(b));
+            let median = logs[logs.len() / 2];
+            println!(
+                "  {stage}: {:+.2}% ({} cells)",
+                (median.exp() - 1.0) * 100.0,
+                logs.len()
+            );
+        }
+    }
+
     // ---- verdict --------------------------------------------------------
+    if !advisory.is_empty() {
+        println!(
+            "advisory cache-policy counter shifts ({} fields, never gating):",
+            advisory.len()
+        );
+        for a in &advisory {
+            println!("  {a}");
+        }
+    }
     if drift.is_empty() {
         println!("deterministic cells: identical");
     } else {

@@ -195,8 +195,14 @@ fn guarded_pipeline(
         Err(e) => return Err(verify_err("pinning_phi")(e)),
     }
 
-    out_of_pinned_ssa_checked(&mut f).map_err(TossaError::Reconstruct)?;
-    cache.invalidate();
+    let recon = out_of_pinned_ssa_checked(&mut f).map_err(TossaError::Reconstruct)?;
+    // Same fast path as the unchecked pipeline: no split edges means the
+    // CFG-shape analyses survive reconstruction.
+    if recon.edges_split == 0 {
+        cache.invalidate_instructions();
+    } else {
+        cache.invalidate();
+    }
     if passes.naive_abi {
         naive_abi(&mut f);
         cache.invalidate_instructions();

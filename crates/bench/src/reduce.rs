@@ -65,14 +65,12 @@ fn apply(f: &mut Function, e: Edit) {
         }
         Edit::DropPhiArg { block, pos, k } => {
             let i = f.block(block).insts[pos];
-            let inst = f.inst_mut(i);
-            inst.uses.remove(k);
-            inst.phi_preds.remove(k);
+            f.phi_remove_arg(i, k);
         }
         Edit::BranchToJump { block, k } => {
             let i = f.terminator(block).expect("candidate site had a br");
             let target = f.inst(i).targets[k];
-            *f.inst_mut(i) = InstData::new(Opcode::Jump).with_targets(vec![target]);
+            f.replace_inst(i, InstData::new(Opcode::Jump).with_targets(vec![target]));
         }
     }
 }

@@ -187,7 +187,14 @@ fn run_pipeline(
     debug_assert!(passes.out_of_pinned_ssa);
     let recon = clocked(&mut t.reconstruct_ns, "reconstruct_stage", || {
         let recon = out_of_pinned_ssa(&mut f);
-        cache.invalidate();
+        // Reconstruction only changes block structure when it splits
+        // edges; otherwise the CFG-shape analyses stay valid and the
+        // cleanup stage's first liveness is the only recompute.
+        if recon.edges_split == 0 {
+            cache.invalidate_instructions();
+        } else {
+            cache.invalidate();
+        }
         if passes.naive_abi {
             naive_abi(&mut f); // inserts plain moves (CFG unchanged)
             cache.invalidate_instructions();
@@ -382,6 +389,25 @@ pub fn prepare_suite(suite: &Suite) -> Vec<Function> {
     })
 }
 
+/// [`prepare_suite`] that also records the front end's trace counters
+/// (SSA construction runs liveness fixpoints, which count worklist
+/// pops). The front end is experiment-independent, so a matrix runs it
+/// once per suite and adds the returned set to every cell's pipeline
+/// counters — reproducing exactly what a full from-source traced run of
+/// each cell would have counted.
+pub fn prepare_suite_counted(suite: &Suite) -> (Vec<Function>, tossa_trace::CounterSet) {
+    let pairs = par_map(suite.functions.len(), |k| {
+        tossa_trace::capture_counters(|| front_end(&suite.functions[k].func))
+    });
+    let mut total = tossa_trace::CounterSet::default();
+    let mut fns = Vec::with_capacity(pairs.len());
+    for (f, set) in pairs {
+        total.merge(&set);
+        fns.push(f);
+    }
+    (fns, total)
+}
+
 /// Per-function results of one experiment over a suite, in suite order,
 /// executed on a scoped worker pool (one [`AnalysisCache`] per
 /// pipeline).
@@ -450,6 +476,47 @@ pub fn run_suite_each_prepared(
     }
 }
 
+/// [`run_suite_each_prepared`] with a counters-only capture around the
+/// *pipeline* portion of each run: the returned [`CounterSet`] covers
+/// exactly the translation pipeline — the allocation post-pass and
+/// verification run outside the capture — so the counters match a
+/// pipeline-only traced pass byte for byte, while the wall clock still
+/// covers the allocated end-to-end run. One pass serves both timing and
+/// counting; the counters-only capture skips span clocks and provenance
+/// strings, so its overhead over an untraced run is a handful of local
+/// integer increments in the analysis fixpoints.
+///
+/// [`CounterSet`]: tossa_trace::CounterSet
+///
+/// # Panics
+/// Panics on an allocation or verification failure (propagated from any
+/// worker).
+pub fn run_suite_each_prepared_counted(
+    suite: &Suite,
+    prepared: &[Function],
+    exp: Experiment,
+    opts: &CoalesceOptions,
+    verify_each: bool,
+    parallel: bool,
+    alloc: bool,
+) -> Vec<(RunResult, tossa_trace::CounterSet)> {
+    let one = |k: usize| {
+        let bf = &suite.functions[k];
+        let (mut r, set) =
+            tossa_trace::capture_counters(|| run_experiment_prepared(&prepared[k], exp, opts));
+        if alloc {
+            apply_alloc(&mut r);
+        }
+        check(bf, exp, &r, verify_each);
+        (r, set)
+    };
+    if parallel {
+        par_map(suite.functions.len(), one)
+    } else {
+        (0..suite.functions.len()).map(one).collect()
+    }
+}
+
 /// Per-function results of one experiment with the allocation post-pass:
 /// the full pipeline, then [`apply_alloc`], then (when `verify_each`)
 /// differential execution of the *allocated* code against the pre-SSA
@@ -500,6 +567,35 @@ pub fn run_suite_each_traced(
         let bf = &suite.functions[k];
         tossa_trace::capture(|| {
             let r = run_experiment(&bf.func, exp, opts);
+            check(bf, exp, &r, verify_each);
+            r
+        })
+    })
+}
+
+/// [`run_suite_each_traced`] over a pre-converted suite (see
+/// [`prepare_suite`]), collecting *counters only*: each function's
+/// pipeline runs under a counters-only capture, starting from the
+/// shared front-end output instead of re-running SSA construction per
+/// cell. The front end lives in `tossa-ssa`, which records no counters
+/// or spans, so the counter totals are identical to a full traced
+/// from-source run — but the pass skips span clocks and provenance
+/// string building entirely, which is what makes the trajectory's
+/// per-cell counter pass affordable.
+///
+/// # Panics
+/// Panics on a verification failure (propagated from any worker).
+pub fn run_suite_each_traced_prepared(
+    suite: &Suite,
+    prepared: &[Function],
+    exp: Experiment,
+    opts: &CoalesceOptions,
+    verify_each: bool,
+) -> Vec<(RunResult, tossa_trace::CounterSet)> {
+    par_map(suite.functions.len(), |k| {
+        let bf = &suite.functions[k];
+        tossa_trace::capture_counters(|| {
+            let r = run_experiment_prepared(&prepared[k], exp, opts);
             check(bf, exp, &r, verify_each);
             r
         })

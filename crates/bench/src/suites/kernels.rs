@@ -746,7 +746,7 @@ pub fn temp_heavy(f: &Function) -> Function {
                 }
             }
             // Route every operand through a redundant `addi t, x, 0`.
-            let uses = g.inst(i).uses.clone();
+            let uses = g.inst(i).uses.to_vec();
             for (k, u) in uses.iter().enumerate() {
                 let t = g.new_var(format!("t{}", k));
                 g.insert_inst(

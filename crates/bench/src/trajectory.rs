@@ -31,7 +31,7 @@
 //! ```
 
 use crate::runner::{
-    prepare_suite, run_suite_each_prepared, run_suite_each_traced, StageTimings, SuiteResult,
+    prepare_suite_counted, run_suite_each_prepared_counted, StageTimings, SuiteResult,
 };
 use crate::suites::Suite;
 use std::fmt::Write as _;
@@ -39,7 +39,7 @@ use std::time::Instant;
 use tossa_core::coalesce::CoalesceOptions;
 use tossa_core::Experiment;
 use tossa_regalloc::AllocStats;
-use tossa_trace::{CounterSet, TraceData};
+use tossa_trace::CounterSet;
 
 /// One (suite × experiment) measurement.
 #[derive(Clone, Debug)]
@@ -61,8 +61,11 @@ pub struct Cell {
     /// Aggregated register-allocation statistics across the suite;
     /// `None` when the allocation post-pass was off.
     pub alloc: Option<AllocStats>,
-    /// Aggregated trace counters across the suite, from a separate
-    /// traced (untimed) pass; `None` when counter collection was off.
+    /// Aggregated trace counters across the suite: the pipeline portion
+    /// of the timed run executes under a counters-only capture (spans
+    /// and provenance skipped, allocation and verification outside the
+    /// capture), plus the suite's once-computed front-end counters.
+    /// `None` when counter collection was off.
     pub counters: Option<CounterSet>,
 }
 
@@ -88,9 +91,12 @@ pub struct Trajectory {
 /// Runs the full experiment matrix over `suites` and collects the
 /// trajectory. `serial` switches the runner to one thread (for speedup
 /// comparisons); `verify` re-runs the interpreter equivalence check;
-/// `counters` adds a second, traced (untimed) pass per cell whose
-/// aggregated trace counters land in [`Cell::counters`] — the timing
-/// numbers always come from the untraced pass. `alloc` appends the
+/// `counters` fills [`Cell::counters`] from the timed run itself: the
+/// pipeline executes under a counters-only capture (span clocks and
+/// provenance are skipped entirely, and the allocation/verification
+/// post-passes stay outside the capture), so one pass serves both the
+/// timing and the counter columns and the counter totals are identical
+/// to the old separate traced pass. `alloc` appends the
 /// register-allocation post-pass to every cell (verification then covers
 /// the allocated code) and fills [`Cell::alloc`].
 pub fn measure(
@@ -123,20 +129,25 @@ pub fn measure(
             suite.num_insts(),
         ));
         let begin = Instant::now();
-        let prepared = prepare_suite(suite);
+        let (prepared, fe_counters) = prepare_suite_counted(suite);
         t.front_end_ns.push(begin.elapsed().as_nanos() as u64);
         for &exp in Experiment::all() {
             let begin = Instant::now();
-            let results =
-                run_suite_each_prepared(suite, &prepared, exp, &opts, verify, !serial, alloc);
+            let pairs = run_suite_each_prepared_counted(
+                suite, &prepared, exp, &opts, verify, !serial, alloc,
+            );
             let wall_ns = begin.elapsed().as_nanos() as u64;
+            let (results, sets): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
             let folded = SuiteResult::fold(&results);
             let cell_counters = counters.then(|| {
-                let mut total = TraceData::default();
-                for (_, trace) in run_suite_each_traced(suite, exp, &opts, false) {
-                    total.merge(&trace);
+                // Front-end counters are experiment-independent; adding
+                // the once-per-suite set reproduces exactly what a full
+                // from-source traced run of this cell would count.
+                let mut total = fe_counters;
+                for set in &sets {
+                    total.merge(set);
                 }
-                total.counters
+                total
             });
             t.cells.push(Cell {
                 suite: suite.name.to_string(),

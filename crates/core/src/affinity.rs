@@ -32,12 +32,22 @@ pub fn resource_def(f: &Function, v: Var) -> RVertex {
 }
 
 /// The affinity multigraph of one basic block.
+///
+/// Edges live in a sorted vec keyed by ordered vertex index pairs.
+/// [`AffinityGraph::add_edge`] only buffers; the batch is sorted and
+/// merged into the map by the next mutable operation (or an explicit
+/// [`AffinityGraph::flush`]). Construction therefore does one sort per
+/// graph instead of one hash insert per φ argument, iteration is
+/// deterministic by key with no per-round sorting, and the pruning
+/// loops' key scans walk a contiguous vec.
 #[derive(Clone, Debug, Default)]
 pub struct AffinityGraph {
     verts: Vec<RVertex>,
     index: HashMap<RVertex, usize>,
-    /// Edge multiplicities, keyed by ordered vertex index pairs.
-    edges: HashMap<(usize, usize), u32>,
+    /// Edge multiplicities, sorted by ordered vertex index pair.
+    edges: Vec<(EdgeKey, u32)>,
+    /// Buffered insertions, merged into `edges` on flush.
+    pending: Vec<(EdgeKey, u32)>,
 }
 
 impl AffinityGraph {
@@ -59,14 +69,97 @@ impl AffinityGraph {
         }
     }
 
+    /// Buffers one affinity edge of multiplicity `m` between the
+    /// vertices for `a` and `b` (self-loops are dropped). Cheap: the
+    /// sorted map is only rebuilt on the next flush.
+    pub fn add_edge(&mut self, a: RVertex, b: RVertex, m: u32) {
+        let ia = self.vertex(a);
+        let ib = self.vertex(b);
+        if ia == ib {
+            return;
+        }
+        self.pending.push((Self::key(ia, ib), m));
+    }
+
+    /// Merges buffered insertions into the sorted edge map.
+    pub fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.pending);
+        batch.sort_unstable_by_key(|&(k, _)| k);
+        // Merge-join the sorted batch with the sorted map, summing
+        // multiplicities of equal keys.
+        let old = std::mem::take(&mut self.edges);
+        let mut merged: Vec<(EdgeKey, u32)> = Vec::with_capacity(old.len() + batch.len());
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() || j < batch.len() {
+            let next = match (old.get(i), batch.get(j)) {
+                (Some(&(ka, ma)), Some(&(kb, _))) if ka < kb => {
+                    i += 1;
+                    (ka, ma)
+                }
+                (Some(&(ka, ma)), Some(&(kb, mb))) if ka == kb => {
+                    i += 1;
+                    j += 1;
+                    (ka, ma + mb)
+                }
+                (_, Some(&(kb, mb))) => {
+                    j += 1;
+                    (kb, mb)
+                }
+                (Some(&(ka, ma)), None) => {
+                    i += 1;
+                    (ka, ma)
+                }
+                (None, None) => unreachable!(),
+            };
+            match merged.last_mut() {
+                Some(last) if last.0 == next.0 => last.1 += next.1,
+                _ => merged.push(next),
+            }
+        }
+        self.edges = merged;
+    }
+
+    fn assert_flushed(&self) {
+        debug_assert!(self.pending.is_empty(), "AffinityGraph read before flush()");
+    }
+
+    /// The sorted edge keys (allocated snapshot, for removal loops).
+    fn edge_keys(&self) -> Vec<EdgeKey> {
+        self.assert_flushed();
+        self.edges.iter().map(|&(k, _)| k).collect()
+    }
+
+    /// Multiplicity of the edge with `key`, if present.
+    fn weight_of(&self, key: EdgeKey) -> Option<u32> {
+        self.assert_flushed();
+        self.edges
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .ok()
+            .map(|i| self.edges[i].1)
+    }
+
+    /// Removes the edge with `key`, returning its multiplicity.
+    fn remove_edge(&mut self, key: EdgeKey) -> Option<u32> {
+        self.flush();
+        self.edges
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .ok()
+            .map(|i| self.edges.remove(i).1)
+    }
+
     /// Number of edges (ignoring multiplicity).
     pub fn num_edges(&self) -> usize {
+        self.assert_flushed();
         self.edges.len()
     }
 
     /// Sum of multiplicities (the total φ-copy gain at stake).
     pub fn total_multiplicity(&self) -> u32 {
-        self.edges.values().sum()
+        self.assert_flushed();
+        self.edges.iter().map(|&(_, m)| m).sum()
     }
 
     /// The vertices.
@@ -74,11 +167,12 @@ impl AffinityGraph {
         &self.verts
     }
 
-    /// Iterates over `(a, b, multiplicity)`.
+    /// Iterates over `(a, b, multiplicity)` in key order.
     pub fn edges(&self) -> impl Iterator<Item = (RVertex, RVertex, u32)> + '_ {
+        self.assert_flushed();
         self.edges
             .iter()
-            .map(move |(&(a, b), &m)| (self.verts[a], self.verts[b], m))
+            .map(move |&((a, b), m)| (self.verts[a], self.verts[b], m))
     }
 }
 
@@ -102,8 +196,8 @@ pub fn create_affinity_graph(
     for phi in f.phis(block) {
         let inst = f.inst(phi);
         let x_res = resource_def(f, inst.defs[0].var);
-        let vx = g.vertex(x_res);
-        for u in &inst.uses {
+        g.vertex(x_res);
+        for u in inst.uses {
             if let Some((depth_of, want)) = depth_filter {
                 if depth_of(u.var) != want {
                     continue;
@@ -113,13 +207,12 @@ pub fn create_affinity_graph(
                 continue;
             }
             let arg_res = resource_def(f, u.var);
-            let vi = g.vertex(arg_res);
-            if vi == vx {
-                continue; // already coalesced: the gain is secured
-            }
-            *g.edges.entry(AffinityGraph::key(vx, vi)).or_insert(0) += 1;
+            // A self-edge means the argument is already coalesced with
+            // the φ result: the gain is secured, add_edge drops it.
+            g.add_edge(x_res, arg_res, 1);
         }
     }
+    g.flush();
     g
 }
 
@@ -248,17 +341,14 @@ pub fn initial_pruning(
     g: &mut AffinityGraph,
     oracle: &mut VertexInterference<'_>,
 ) -> Vec<PrunedEdge> {
+    g.flush();
     let verts = g.verts.clone();
-    let keys: Vec<(usize, usize)> = {
-        let mut k: Vec<_> = g.edges.keys().copied().collect();
-        k.sort_unstable();
-        k
-    };
+    let keys = g.edge_keys();
     let mut pruned = Vec::new();
     for key in keys {
         let (a, b) = (verts[key.0], verts[key.1]);
         if let Some(reason) = oracle.interfere_reason(a, b) {
-            let weight = g.edges.remove(&key).expect("edge present");
+            let weight = g.remove_edge(key).expect("edge present");
             pruned.push(PrunedEdge {
                 a,
                 b,
@@ -289,6 +379,7 @@ pub fn bipartite_pruning(
     g: &mut AffinityGraph,
     oracle: &mut VertexInterference<'_>,
 ) -> Vec<PrunedEdge> {
+    g.flush();
     let verts = g.verts.clone();
     let mut deleted = Vec::new();
     loop {
@@ -314,21 +405,17 @@ pub fn bipartite_pruning(
         // True weights of all current edges. Each edge's first
         // interfering far-pair is kept as its provenance witness (found
         // during the same oracle pass — no extra queries).
-        let keys: Vec<(usize, usize)> = {
-            let mut k: Vec<_> = g.edges.keys().copied().collect();
-            k.sort();
-            k
-        };
-        let mut weight: HashMap<(usize, usize), i64> = keys.iter().map(|&k| (k, 0)).collect();
-        let mut culprit: HashMap<(usize, usize), (usize, usize, InterfereReason)> = HashMap::new();
+        let keys = g.edge_keys();
+        let mut weight: HashMap<EdgeKey, i64> = keys.iter().map(|&k| (k, 0)).collect();
+        let mut culprit: HashMap<EdgeKey, (usize, usize, InterfereReason)> = HashMap::new();
         for (i, &e1) in keys.iter().enumerate() {
             for &e2 in &keys[i + 1..] {
                 let Some((ka, far_a, kb, far_b)) = share_vertex(e1, e2) else {
                     continue;
                 };
                 if let Some(reason) = oracle.interfere_reason(verts[far_a], verts[far_b]) {
-                    let ma = g.edges[&ka] as i64;
-                    let mb = g.edges[&kb] as i64;
+                    let ma = g.weight_of(ka).expect("edge") as i64;
+                    let mb = g.weight_of(kb).expect("edge") as i64;
                     *weight.get_mut(&ka).expect("edge") += mb;
                     *weight.get_mut(&kb).expect("edge") += ma;
                     culprit.entry(ka).or_insert((far_a, far_b, reason));
@@ -349,12 +436,12 @@ pub fn bipartite_pruning(
             let path = edge_path(g, u, v).expect("same component");
             let key = path
                 .into_iter()
-                .min_by_key(|k| (g.edges[k], *k))
+                .min_by_key(|&k| (g.weight_of(k).expect("edge"), k))
                 .expect("non-empty path");
             (key, verts[u], verts[v], offender_reason)
         };
         let (key, off_a, off_b, reason) = cut;
-        let weight = g.edges.remove(&key).expect("edge present");
+        let weight = g.remove_edge(key).expect("edge present");
         deleted.push(PrunedEdge {
             a: verts[key.0],
             b: verts[key.1],
@@ -388,7 +475,7 @@ fn edge_path(g: &AffinityGraph, from: usize, to: usize) -> Option<Vec<EdgeKey>> 
             return Some(path);
         }
         let mut nexts: Vec<(usize, EdgeKey)> = Vec::new();
-        for &(a, b) in g.edges.keys() {
+        for &((a, b), _) in &g.edges {
             if a == x && !visited[b] {
                 nexts.push((b, (a, b)));
             } else if b == x && !visited[a] {
@@ -442,7 +529,7 @@ pub fn components(g: &AffinityGraph) -> Vec<Vec<RVertex>> {
         }
         r
     }
-    for &(a, b) in g.edges.keys() {
+    for &((a, b), _) in &g.edges {
         let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
         if ra != rb {
             parent[ra] = rb;
@@ -610,9 +697,7 @@ exit:
         for b in s.f.blocks().collect::<Vec<_>>() {
             let part = create_affinity_graph(&s.f, b, None, &|_| true);
             for (va, vb, m) in part.edges() {
-                let ia = g.vertex(va);
-                let ib = g.vertex(vb);
-                *g.edges.entry(AffinityGraph::key(ia, ib)).or_insert(0) += m;
+                g.add_edge(va, vb, m);
             }
         }
         initial_pruning(&mut g, &mut oracle);

@@ -105,16 +105,14 @@ fn drop_phi_arg(f: &mut Function, rng: &mut SplitMix64) -> bool {
         return false;
     };
     let k = rng.random_range(0..f.inst(i).uses.len());
-    let data = f.inst_mut(i);
-    data.uses.remove(k);
-    data.phi_preds.remove(k);
+    f.phi_remove_arg(i, k);
     true
 }
 
 fn double_def(f: &mut Function, rng: &mut SplitMix64) -> bool {
     let defined: Vec<Var> = f
         .all_insts()
-        .flat_map(|(_, i)| f.inst(i).defs.clone())
+        .flat_map(|(_, i)| f.inst(i).defs.to_vec())
         .map(|d| d.var)
         .collect();
     let Some(v) = pick(rng, &defined) else {

@@ -176,7 +176,7 @@ mod tests {
             .all_insts()
             .find(|&(_, i)| g.inst(i).opcode == Opcode::AddImm)
             .unwrap();
-        g.inst_mut(i).imm = 2;
+        *g.inst_mut(i).imm = 2;
         let e = guard.check(&g, IrForm::Ssa).unwrap_err();
         match e {
             VerifyError::Divergence {

@@ -208,7 +208,7 @@ fn program_pinning_inner(
                 // Survivors, in deterministic order, so their coalesced
                 // verdicts can be recorded once the merge fixes the
                 // reference resource.
-                let survivors: Vec<(RVertex, RVertex, u32)> = if tossa_trace::enabled() {
+                let survivors: Vec<(RVertex, RVertex, u32)> = if tossa_trace::verbose() {
                     let mut s: Vec<_> = g.edges().collect();
                     s.sort_by_key(|&(a, b, _)| {
                         (crate::affinity::vkey(a), crate::affinity::vkey(b))
@@ -379,7 +379,7 @@ pub fn phi_gain(f: &Function) -> usize {
         let Some(rx) = f.var(inst.defs[0].var).pin else {
             continue;
         };
-        for u in &inst.uses {
+        for u in inst.uses {
             if f.var(u.var).pin == Some(rx) || u.var == inst.defs[0].var {
                 gain += 1;
             }

@@ -110,7 +110,7 @@ fn pinning_abi_inner(f: &mut Function) -> usize {
                 }
             }
             Opcode::Call => {
-                let uses = f.inst(i).uses.clone();
+                let uses = f.inst(i).uses.to_vec();
                 for (k, u) in uses.iter().enumerate() {
                     let Some(&reg) = arg_regs.get(k) else { break };
                     let r = phys_resource(f, reg);
@@ -123,7 +123,7 @@ fn pinning_abi_inner(f: &mut Function) -> usize {
                 }
             }
             Opcode::Ret => {
-                let uses = f.inst(i).uses.clone();
+                let uses = f.inst(i).uses.to_vec();
                 for (k, u) in uses.iter().enumerate() {
                     let Some(&reg) = arg_regs.get(k) else { break };
                     let r = phys_resource(f, reg);
@@ -257,7 +257,7 @@ fn pinning_cssa_inner(f: &mut Function) -> usize {
             continue;
         }
         let d = inst.defs[0].var.index();
-        for u in &inst.uses {
+        for u in inst.uses {
             let (a, b) = (find(&mut parent, d), find(&mut parent, u.var.index()));
             if a != b {
                 parent[a] = b;
@@ -339,7 +339,7 @@ fn naive_abi_inner(f: &mut Function) -> usize {
                 Opcode::Input => {
                     let order: Vec<PhysReg> =
                         arg_regs.iter().chain(ptr_regs.iter()).copied().collect();
-                    let defs = f.inst(i).defs.clone();
+                    let defs = f.inst(i).defs.to_vec();
                     for (k, d) in defs.iter().enumerate() {
                         let Some(&reg) = order.get(k) else { break };
                         let rv = reg_var(f, &mut reg_vars, reg);
@@ -354,7 +354,7 @@ fn naive_abi_inner(f: &mut Function) -> usize {
                 }
                 Opcode::Call => {
                     // Stage the arguments as one parallel copy.
-                    let uses = f.inst(i).uses.clone();
+                    let uses = f.inst(i).uses.to_vec();
                     let mut group: Vec<(Var, Var)> = Vec::new();
                     for (k, u) in uses.iter().enumerate() {
                         let Some(&reg) = arg_regs.get(k) else { break };
@@ -365,7 +365,7 @@ fn naive_abi_inner(f: &mut Function) -> usize {
                         f.inst_mut(i).uses[k].var = rv;
                     }
                     pos += insert_parallel(f, b, pos, &group, &mut moves);
-                    let defs = f.inst(i).defs.clone();
+                    let defs = f.inst(i).defs.to_vec();
                     if let Some(d) = defs.first() {
                         let rv = reg_var(f, &mut reg_vars, ret_reg);
                         if rv != d.var {
@@ -377,7 +377,7 @@ fn naive_abi_inner(f: &mut Function) -> usize {
                     }
                 }
                 Opcode::Ret => {
-                    let uses = f.inst(i).uses.clone();
+                    let uses = f.inst(i).uses.to_vec();
                     let mut group: Vec<(Var, Var)> = Vec::new();
                     for (k, u) in uses.iter().enumerate() {
                         let Some(&reg) = arg_regs.get(k) else { break };

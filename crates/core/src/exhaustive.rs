@@ -43,7 +43,7 @@ pub fn exhaustive_phi_pinning(f: &Function) -> Option<ExhaustiveResult> {
             continue;
         }
         let x = inst.defs[0].var;
-        for u in &inst.uses {
+        for u in inst.uses {
             if u.var == x {
                 continue;
             }

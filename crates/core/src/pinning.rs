@@ -106,7 +106,7 @@ pub fn check_pinning(f: &Function, env: &InterferenceEnv<'_>) -> Result<(), PinE
         // Case 5: φ argument pinned elsewhere than the φ result.
         if inst.is_phi() {
             let def_pin = f.var(inst.defs[0].var).pin;
-            for u in &inst.uses {
+            for u in inst.uses {
                 if let Some(s) = u.pin {
                     if Some(s) != def_pin {
                         return err(format!(

@@ -125,8 +125,11 @@ enum Slot {
 
 /// Owns the slot numbering and per-variable home slots; does not borrow
 /// the function (which is mutated during rewriting).
+///
+/// Slot numbering: resources take slots `0..nres` in index order (so a
+/// resource's slot is just its index), unpinned φ definitions take the
+/// slots after.
 struct Engine {
-    slot_index: HashMap<Slot, usize>,
     nslots: usize,
     home: EntityVec<Var, Option<usize>>,
 }
@@ -136,6 +139,7 @@ impl Engine {
         let mut slot_index: HashMap<Slot, usize> = HashMap::new();
         for r in f.resources.iter() {
             let n = slot_index.len();
+            debug_assert_eq!(n, r.index());
             slot_index.insert(Slot::Res(r), n);
         }
         for (_, i) in f.all_insts() {
@@ -151,17 +155,13 @@ impl Engine {
         let mut home: EntityVec<Var, Option<usize>> = EntityVec::filled(f.num_vars(), None);
         for v in f.vars() {
             if let Some(r) = f.var(v).pin {
-                home[v] = Some(slot_index[&Slot::Res(r)]);
+                home[v] = Some(r.index());
             } else if let Some(&s) = slot_index.get(&Slot::PhiVar(v)) {
                 home[v] = Some(s);
             }
         }
         let nslots = slot_index.len();
-        Engine {
-            slot_index,
-            nslots,
-            home,
-        }
+        Engine { nslots, home }
     }
 
     /// Home slot of `v` (`None` for plain, never-clobbered variables and
@@ -171,7 +171,7 @@ impl Engine {
     }
 
     fn res_slot(&self, r: Resource) -> usize {
-        self.slot_index[&Slot::Res(r)]
+        r.index()
     }
 
     /// Whether the value of `y` is readable from its home slot.
@@ -189,12 +189,12 @@ impl Engine {
         if inst.is_phi() {
             return;
         }
-        for u in &inst.uses {
+        for u in inst.uses {
             if let Some(s) = u.pin {
                 state[self.res_slot(s)] = val(u.var);
             }
         }
-        for d in &inst.defs {
+        for d in inst.defs {
             if let Some(slot) = self.home(d.var) {
                 state[slot] = val(d.var);
             }
@@ -255,12 +255,29 @@ impl Engine {
     }
 
     /// Slots written (in parallel) just before instruction `i` executes:
-    /// its use-pin copies and, for a terminator, the edge copies.
-    fn group_writes(&self, f: &Function, b: Block, i: Inst, is_term: bool) -> HashMap<usize, u32> {
-        let mut out = HashMap::new();
-        for u in &f.inst(i).uses {
+    /// its use-pin copies and, for a terminator, the edge copies. Fills
+    /// the caller's reusable buffer; slots are unique (last write wins,
+    /// matching map-insert semantics), so a linear [`gw_get`] lookup is
+    /// exact. Groups are tiny — a few pinned uses plus a few φs.
+    fn group_writes_into(
+        &self,
+        f: &Function,
+        b: Block,
+        i: Inst,
+        is_term: bool,
+        out: &mut Vec<(usize, u32)>,
+    ) {
+        out.clear();
+        let put = |out: &mut Vec<(usize, u32)>, slot: usize, v: u32| match out
+            .iter_mut()
+            .find(|e| e.0 == slot)
+        {
+            Some(e) => e.1 = v,
+            None => out.push((slot, v)),
+        };
+        for u in f.inst(i).uses {
             if let Some(s) = u.pin {
-                out.insert(self.res_slot(s), val(u.var));
+                put(out, self.res_slot(s), val(u.var));
             }
         }
         if is_term {
@@ -268,13 +285,17 @@ impl Engine {
                 for phi in f.phis(s) {
                     let x = f.inst(phi).defs[0].var;
                     if let Some(slot) = self.home(x) {
-                        out.insert(slot, val(x));
+                        put(out, slot, val(x));
                     }
                 }
             }
         }
-        out
     }
+}
+
+/// Lookup into a [`Engine::group_writes_into`] buffer.
+fn gw_get(group: &[(usize, u32)], slot: usize) -> Option<u32> {
+    group.iter().find(|e| e.0 == slot).map(|e| e.1)
 }
 
 /// Translates pinned SSA code out of SSA form in place.
@@ -323,24 +344,29 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
     // content of their resource and needs no repair.
     let mut has_def = vec![false; f.num_vars()];
     for (_, i) in f.all_insts() {
-        for d in &f.inst(i).defs {
+        for d in f.inst(i).defs {
             has_def[d.var.index()] = true;
         }
     }
 
     // ---- mark phase: find killed variables ------------------------------
     let mut needs_repair: BTreeSet<Var> = BTreeSet::new();
+    let mut cur: Vec<u32> = Vec::new();
+    let mut insts: Vec<Inst> = Vec::new();
+    let mut group: Vec<(usize, u32)> = Vec::new();
     for &b in &rpo {
-        let mut cur = ins[b].clone();
-        let insts: Vec<Inst> = f.block_insts(b).collect();
-        for (pos, &i) in insts.iter().enumerate() {
+        cur.clone_from(&ins[b]);
+        insts.clear();
+        insts.extend(f.block_insts(b));
+        for pos in 0..insts.len() {
+            let i = insts[pos];
             let inst = f.inst(i);
             if inst.is_phi() {
                 continue;
             }
             let is_term = pos + 1 == insts.len() && inst.is_terminator();
-            let group = engine.group_writes(f, b, i, is_term);
-            for u in &inst.uses {
+            engine.group_writes_into(f, b, i, is_term, &mut group);
+            for u in inst.uses {
                 match u.pin {
                     Some(s) => {
                         // A copy `S = cur(u)` is emitted unless S already
@@ -354,7 +380,7 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
                     }
                     None => {
                         if let Some(slot) = engine.home(u.var) {
-                            let clobbered = group.get(&slot).is_some_and(|&w| w != val(u.var));
+                            let clobbered = gw_get(&group, slot).is_some_and(|w| w != val(u.var));
                             if has_def[u.var.index()] && (cur[slot] != val(u.var) || clobbered) {
                                 needs_repair.insert(u.var);
                             }
@@ -388,25 +414,27 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
     }
 
     // ---- final names -----------------------------------------------------
-    let mut res_var: HashMap<Resource, Var> = HashMap::new();
-    for r in f.resources.iter().collect::<Vec<_>>() {
+    // Dense: resource `r`'s final variable at index `r.index()`, and a
+    // killed variable's repair at its own index (None elsewhere).
+    let mut res_var: Vec<Var> = Vec::with_capacity(f.resources.len());
+    for r in f.resources.iter() {
         let name = f.resources.name(r).to_string();
         let v = f.new_var(name);
         if let Some(reg) = f.resources.as_phys(r) {
             f.var_mut(v).reg = Some(reg);
         }
-        res_var.insert(r, v);
+        res_var.push(v);
     }
-    let mut repair_var: HashMap<Var, Var> = HashMap::new();
+    let mut repair_var: Vec<Option<Var>> = vec![None; f.num_vars()];
     for &v in &needs_repair {
         let name = format!("{}_rep", f.var(v).name);
         let rv = f.new_var(name);
-        repair_var.insert(v, rv);
+        repair_var[v.index()] = Some(rv);
     }
     // The final name of a variable: its resource's variable, or itself.
     let out_var = |f: &Function, v: Var| -> Var {
         match f.var(v).pin {
-            Some(r) => res_var[&r],
+            Some(r) => res_var[r.index()],
             None => v,
         }
     };
@@ -416,9 +444,7 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
             Some(slot)
                 if cur[slot] != val(y) && y.index() < has_def.len() && has_def[y.index()] =>
             {
-                *repair_var
-                    .get(&y)
-                    .expect("killed value was marked for repair")
+                repair_var[y.index()].expect("killed value was marked for repair")
             }
             _ => out_var(f, y),
         }
@@ -431,9 +457,11 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
     let mut temp_counter = 0;
     let mut renamed_uses: Vec<Var> = Vec::new();
     let mut renamed_defs: Vec<Var> = Vec::new();
+    let mut group_slots: Vec<(usize, u32)> = Vec::new();
     for &b in &rpo {
-        let mut cur = ins[b].clone();
-        let insts: Vec<Inst> = f.block_insts(b).collect();
+        cur.clone_from(&ins[b]);
+        insts.clear();
+        insts.extend(f.block_insts(b));
         let mut new_list: Vec<Inst> = Vec::with_capacity(insts.len());
 
         // Repairs of this block's φ definitions come first.
@@ -443,25 +471,26 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
             }
             let x = f.inst(i).defs[0].var;
             stats.phis_removed += 1;
-            if needs_repair.contains(&x) {
+            if let Some(rv) = repair_var[x.index()] {
                 let src = out_var(f, x);
                 provenance::record(|| provenance::Kind::Copy {
-                    dst: var_str(f, repair_var[&x]),
+                    dst: var_str(f, rv),
                     src: var_str(f, src),
                     cause: format!("repair:{}", var_str(f, x)),
                 });
-                let mov = f.alloc_inst(InstData::mov(repair_var[&x], src));
+                let mov = f.alloc_inst(InstData::mov(rv, src));
                 new_list.push(mov);
                 stats.repair_copies += 1;
             }
         }
 
-        for (pos, &i) in insts.iter().enumerate() {
+        for pos in 0..insts.len() {
+            let i = insts[pos];
             if f.inst(i).is_phi() {
                 continue;
             }
             let is_term = pos + 1 == insts.len() && f.inst(i).is_terminator();
-            let group_slots = engine.group_writes(f, b, i, is_term);
+            engine.group_writes_into(f, b, i, is_term, &mut group_slots);
 
             // Build the parallel copy group preceding this instruction.
             // `copy_cause` attributes each destination to the constraint
@@ -476,9 +505,9 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
                         continue; // redundant move avoided
                     }
                     let src = read_loc(f, &cur, u.var);
-                    group.push((res_var[&s], src));
-                    if tossa_trace::enabled() {
-                        copy_cause.insert(res_var[&s], format!("abi:{}", res_str(f, s)));
+                    group.push((res_var[s.index()], src));
+                    if tossa_trace::verbose() {
+                        copy_cause.insert(res_var[s.index()], format!("abi:{}", res_str(f, s)));
                     }
                 }
             }
@@ -488,7 +517,7 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
             if is_term {
                 let edge = edge_copy_group(f, &engine, b, &cur, &res_var, &read_loc);
                 stats.phi_copies += edge.len();
-                if tossa_trace::enabled() {
+                if tossa_trace::verbose() {
                     for &(dst, _, succ) in &edge {
                         copy_cause.insert(
                             dst,
@@ -518,7 +547,7 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
                     }
                 })?;
                 for (d, s) in seq {
-                    if tossa_trace::enabled() {
+                    if tossa_trace::verbose() {
                         // A destination created by the sequentializer is a
                         // cycle-breaking temporary; anything else keeps the
                         // cause of the group member it realizes.
@@ -548,14 +577,14 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
             let inst = f.inst(i);
             renamed_uses.clear();
             renamed_uses.extend(inst.uses.iter().map(|u| match u.pin {
-                Some(s) => res_var[&s],
+                Some(s) => res_var[s.index()],
                 None => {
                     if let Some(slot) = engine.home(u.var) {
-                        let clobbered = group_slots.get(&slot).is_some_and(|&w| w != val(u.var));
+                        let clobbered = gw_get(&group_slots, slot).is_some_and(|w| w != val(u.var));
                         let killed =
                             has_def[u.var.index()] && (cur[slot] != val(u.var) || clobbered);
                         if killed {
-                            repair_var[&u.var]
+                            repair_var[u.var.index()].expect("killed use was marked")
                         } else {
                             out_var(f, u.var)
                         }
@@ -567,13 +596,12 @@ fn translate_inner(f: &mut Function, checked: bool) -> Result<ReconstructStats, 
             let def_repairs: Vec<(Var, Var, Var)> = inst
                 .defs
                 .iter()
-                .filter(|d| needs_repair.contains(&d.var))
-                .map(|d| (repair_var[&d.var], out_var(f, d.var), d.var))
+                .filter_map(|d| repair_var[d.var.index()].map(|rv| (rv, out_var(f, d.var), d.var)))
                 .collect();
             renamed_defs.clear();
             renamed_defs.extend(inst.defs.iter().map(|d| out_var(f, d.var)));
             // Advance the state while the instruction is still original.
-            for (&slot, &w) in &group_slots {
+            for &(slot, w) in &group_slots {
                 cur[slot] = w;
             }
             engine.transfer_inst(f, i, &mut cur);
@@ -633,7 +661,7 @@ fn edge_copy_group(
     engine: &Engine,
     b: Block,
     cur: &[u32],
-    res_var: &HashMap<Resource, Var>,
+    res_var: &[Var],
     read_loc: &dyn Fn(&Function, &[u32], Var) -> Var,
 ) -> Vec<(Var, Var, Block)> {
     let mut moves = Vec::new();
@@ -650,7 +678,7 @@ fn edge_copy_group(
                 }
             }
             let dst = match f.var(x).pin {
-                Some(r) => res_var[&r],
+                Some(r) => res_var[r.index()],
                 None => x,
             };
             let src = read_loc(f, cur, arg.var);

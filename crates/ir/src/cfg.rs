@@ -277,7 +277,7 @@ mod tests {
         assert!(f.validate().is_ok(), "{:?}", f.validate());
         // After splitting, exit's φ preds are the two new middle blocks.
         let phi = f.phis(exit).next().unwrap();
-        for &p in &f.inst(phi).phi_preds {
+        for &p in f.inst(phi).phi_preds {
             assert_ne!(p, e);
             assert_ne!(p, body);
         }

@@ -1,8 +1,16 @@
-//! The function container: blocks, instruction arena, variables,
+//! The function container: blocks, flat instruction arena, variables,
 //! resources.
+//!
+//! Instruction payloads are stored SoA-style: one dense [`InstSlot`] per
+//! instruction (opcode, immediate, interned callee, pool ranges) plus two
+//! shared pools — one of [`Operand`]s (defs then uses, contiguous per
+//! instruction) and one of [`Block`] references (branch targets, or φ
+//! predecessors). An instruction costs one 32-byte slot and zero
+//! dedicated heap allocations; pool growth is amortized across the whole
+//! function.
 
 use crate::ids::{Block, EntityVec, Inst, Resource, Var};
-use crate::instr::{InstData, Operand};
+use crate::instr::{InstData, InstMut, InstRef, Operand, PoolRange};
 use crate::machine::{Machine, PhysReg};
 use crate::opcode::Opcode;
 use crate::resources::ResourceTable;
@@ -51,11 +59,31 @@ impl fmt::Display for ValidateError {
 
 impl std::error::Error for ValidateError {}
 
+/// Sentinel for "no callee" in [`InstSlot::callee`].
+const NO_CALLEE: u32 = u32::MAX;
+
+/// The flat per-instruction slot. Operands live in the function's
+/// operand pool at `ops` (the first `ndefs` entries are defs, the rest
+/// uses); branch targets or φ predecessors live in the block pool at
+/// `blocks` (which of the two they are is determined by the opcode).
+#[derive(Clone, Copy, Debug)]
+struct InstSlot {
+    opcode: Opcode,
+    ndefs: u16,
+    /// Index into the interned callee-name table, or [`NO_CALLEE`].
+    callee: u32,
+    imm: i64,
+    ops: PoolRange,
+    blocks: PoolRange,
+}
+
 /// A function of the linear IR.
 ///
-/// Instructions live in an arena ([`Inst`] ids); each block holds an
-/// ordered list of instruction ids. Removing an instruction from a block
-/// leaves its arena slot in place (ids are never reused).
+/// Instructions live in a flat arena ([`Inst`] ids index dense slots);
+/// each block holds an ordered list of instruction ids. Removing an
+/// instruction from a block leaves its arena slot in place (ids are never
+/// reused); replacing an instruction's payload appends fresh pool ranges
+/// and abandons the old ones.
 #[derive(Clone, Debug)]
 pub struct Function {
     /// Function name.
@@ -67,8 +95,14 @@ pub struct Function {
     /// Renaming resources of this function.
     pub resources: ResourceTable,
     blocks: EntityVec<Block, BlockData>,
-    insts: EntityVec<Inst, InstData>,
+    insts: EntityVec<Inst, InstSlot>,
     vars: EntityVec<Var, VarData>,
+    /// Shared operand pool: per instruction, defs then uses, contiguous.
+    op_pool: Vec<Operand>,
+    /// Shared block-reference pool: branch targets or φ predecessors.
+    block_pool: Vec<Block>,
+    /// Interned callee names (few distinct callees per function).
+    callees: Vec<String>,
 }
 
 impl Function {
@@ -87,6 +121,9 @@ impl Function {
             blocks,
             insts: EntityVec::new(),
             vars: EntityVec::new(),
+            op_pool: Vec::new(),
+            block_pool: Vec::new(),
+            callees: Vec::new(),
         }
     }
 
@@ -169,9 +206,52 @@ impl Function {
 
     // ---- instructions ---------------------------------------------------
 
+    /// Flattens a build-time [`InstData`] into the pools.
+    fn flatten(&mut self, data: InstData) -> InstSlot {
+        debug_assert!(
+            data.targets.is_empty() || data.phi_preds.is_empty(),
+            "no opcode carries both branch targets and phi preds"
+        );
+        let ops = PoolRange {
+            start: u32::try_from(self.op_pool.len()).expect("operand pool overflow"),
+            len: (data.defs.len() + data.uses.len()) as u32,
+        };
+        self.op_pool.extend_from_slice(&data.defs);
+        self.op_pool.extend_from_slice(&data.uses);
+        let blocks = PoolRange {
+            start: u32::try_from(self.block_pool.len()).expect("block pool overflow"),
+            len: (data.targets.len() + data.phi_preds.len()) as u32,
+        };
+        self.block_pool.extend_from_slice(&data.targets);
+        self.block_pool.extend_from_slice(&data.phi_preds);
+        let callee = match data.callee {
+            None => NO_CALLEE,
+            Some(name) => self.intern_callee(name),
+        };
+        InstSlot {
+            opcode: data.opcode,
+            ndefs: data.defs.len() as u16,
+            callee,
+            imm: data.imm,
+            ops,
+            blocks,
+        }
+    }
+
+    fn intern_callee(&mut self, name: String) -> u32 {
+        match self.callees.iter().position(|c| *c == name) {
+            Some(i) => i as u32,
+            None => {
+                self.callees.push(name);
+                (self.callees.len() - 1) as u32
+            }
+        }
+    }
+
     /// Appends an instruction to a block and returns its id.
     pub fn push_inst(&mut self, block: Block, data: InstData) -> Inst {
-        let id = self.insts.push(data);
+        let slot = self.flatten(data);
+        let id = self.insts.push(slot);
         self.blocks[block].insts.push(id);
         id
     }
@@ -181,24 +261,113 @@ impl Function {
     /// # Panics
     /// Panics if `index > block.insts.len()`.
     pub fn insert_inst(&mut self, block: Block, index: usize, data: InstData) -> Inst {
-        let id = self.insts.push(data);
+        let slot = self.flatten(data);
+        let id = self.insts.push(slot);
         self.blocks[block].insts.insert(index, id);
         id
     }
 
     /// Allocates an instruction in the arena without placing it in a block.
     pub fn alloc_inst(&mut self, data: InstData) -> Inst {
-        self.insts.push(data)
+        let slot = self.flatten(data);
+        self.insts.push(slot)
     }
 
-    /// Instruction payload.
-    pub fn inst(&self, i: Inst) -> &InstData {
-        &self.insts[i]
+    /// Replaces the payload of `i` in place (fresh pool ranges are
+    /// appended; the old ones are abandoned).
+    pub fn replace_inst(&mut self, i: Inst, data: InstData) {
+        let slot = self.flatten(data);
+        self.insts[i] = slot;
     }
 
-    /// Mutable instruction payload.
-    pub fn inst_mut(&mut self, i: Inst) -> &mut InstData {
-        &mut self.insts[i]
+    /// A read-only view of the instruction's payload.
+    #[inline]
+    pub fn inst(&self, i: Inst) -> InstRef<'_> {
+        let s = &self.insts[i];
+        let ops = &self.op_pool[s.ops.range()];
+        let (defs, uses) = ops.split_at(s.ndefs as usize);
+        let blocks = &self.block_pool[s.blocks.range()];
+        let (targets, phi_preds) = if s.opcode.is_phi() {
+            (&[][..], blocks)
+        } else {
+            (blocks, &[][..])
+        };
+        InstRef {
+            opcode: s.opcode,
+            imm: s.imm,
+            callee: if s.callee == NO_CALLEE {
+                None
+            } else {
+                Some(self.callees[s.callee as usize].as_str())
+            },
+            defs,
+            uses,
+            targets,
+            phi_preds,
+        }
+    }
+
+    /// A mutable view for in-place payload edits.
+    #[inline]
+    pub fn inst_mut(&mut self, i: Inst) -> InstMut<'_> {
+        let s = &mut self.insts[i];
+        let ops = &mut self.op_pool[s.ops.range()];
+        let (defs, uses) = ops.split_at_mut(s.ndefs as usize);
+        let blocks = &mut self.block_pool[s.blocks.range()];
+        let (targets, phi_preds) = if s.opcode.is_phi() {
+            (&mut [][..], blocks)
+        } else {
+            (blocks, &mut [][..])
+        };
+        InstMut {
+            opcode: s.opcode,
+            imm: &mut s.imm,
+            defs,
+            uses,
+            targets,
+            phi_preds,
+        }
+    }
+
+    /// The opcode of `i` (cheaper than materializing a full view).
+    #[inline]
+    pub fn opcode(&self, i: Inst) -> Opcode {
+        self.insts[i].opcode
+    }
+
+    /// The defined operands of `i`.
+    #[inline]
+    pub fn defs(&self, i: Inst) -> &[Operand] {
+        let s = &self.insts[i];
+        &self.op_pool[s.ops.start as usize..s.ops.start as usize + s.ndefs as usize]
+    }
+
+    /// The used operands of `i`.
+    #[inline]
+    pub fn uses(&self, i: Inst) -> &[Operand] {
+        let s = &self.insts[i];
+        &self.op_pool[s.ops.start as usize + s.ndefs as usize..s.ops.range().end]
+    }
+
+    /// Removes φ argument `k` (use and predecessor) of the φ `i`,
+    /// shrinking in place.
+    ///
+    /// # Panics
+    /// Panics if `i` is not a φ or `k` is out of range.
+    pub fn phi_remove_arg(&mut self, i: Inst, k: usize) {
+        let s = &mut self.insts[i];
+        assert!(s.opcode.is_phi(), "phi_remove_arg on non-phi");
+        let nuses = s.ops.len as usize - s.ndefs as usize;
+        assert!(k < nuses, "phi arg index out of range");
+        let use_start = s.ops.start as usize + s.ndefs as usize;
+        self.op_pool
+            .copy_within(use_start + k + 1..use_start + nuses, use_start + k);
+        s.ops.len -= 1;
+        let pred_start = s.blocks.start as usize;
+        let npreds = s.blocks.len as usize;
+        self.block_pool
+            .copy_within(pred_start + k + 1..pred_start + npreds, pred_start + k);
+        s.blocks.len -= 1;
     }
 
     /// Iterates over the instruction ids of a block.
@@ -215,7 +384,8 @@ impl Function {
 
     /// The φ instructions at the head of `b`.
     pub fn phis(&self, b: Block) -> impl Iterator<Item = Inst> + '_ {
-        self.block_insts(b).take_while(|&i| self.insts[i].is_phi())
+        self.block_insts(b)
+            .take_while(|&i| self.insts[i].opcode.is_phi())
     }
 
     /// Index of the first non-φ instruction of `b` (== number of φs).
@@ -223,7 +393,7 @@ impl Function {
         self.blocks[b]
             .insts
             .iter()
-            .take_while(|&&i| self.insts[i].is_phi())
+            .take_while(|&&i| self.insts[i].opcode.is_phi())
             .count()
     }
 
@@ -231,14 +401,14 @@ impl Function {
     /// terminated.
     pub fn terminator(&self, b: Block) -> Option<Inst> {
         let last = *self.blocks[b].insts.last()?;
-        self.insts[last].is_terminator().then_some(last)
+        self.insts[last].opcode.is_terminator().then_some(last)
     }
 
     /// Successor blocks of `b` according to its terminator. Empty for
     /// `ret` or unterminated blocks.
     pub fn succs(&self, b: Block) -> &[Block] {
         match self.terminator(b) {
-            Some(t) => &self.insts[t].targets,
+            Some(t) => &self.block_pool[self.insts[t].blocks.range()],
             None => &[],
         }
     }
@@ -260,11 +430,11 @@ impl Function {
 
     /// Rewrites every operand variable through `map`.
     pub fn rewrite_vars(&mut self, mut map: impl FnMut(Var) -> Var) {
-        let block_ids: Vec<Block> = self.blocks().collect();
-        for b in block_ids {
-            let insts = self.blocks[b].insts.clone();
-            for i in insts {
-                for op in self.insts[i].operands_mut() {
+        for b in 0..self.blocks.len() {
+            for k in 0..self.blocks[Block::new(b)].insts.len() {
+                let i = self.blocks[Block::new(b)].insts[k];
+                let r = self.insts[i].ops.range();
+                for op in &mut self.op_pool[r] {
                     op.var = map(op.var);
                 }
             }
@@ -277,7 +447,7 @@ impl Function {
         let mut defs: EntityVec<Var, Vec<(Block, Inst)>> =
             EntityVec::filled(self.vars.len(), Vec::new());
         for (b, i) in self.all_insts() {
-            for d in &self.insts[i].defs {
+            for d in self.defs(i) {
                 defs[d.var].push((b, i));
             }
         }
@@ -289,8 +459,11 @@ impl Function {
     pub fn count_moves(&self) -> usize {
         self.all_insts()
             .filter(|&(_, i)| {
-                let d = &self.insts[i];
-                d.opcode.is_move() && !d.is_self_move()
+                let s = &self.insts[i];
+                s.opcode.is_move() && {
+                    let ops = &self.op_pool[s.ops.range()];
+                    ops[0].var != ops[1].var
+                }
             })
             .count()
     }
@@ -312,12 +485,12 @@ impl Function {
                 return err(format!("block {b} is empty"));
             }
             let last = *data.insts.last().expect("non-empty");
-            if !self.insts[last].is_terminator() {
+            if !self.insts[last].opcode.is_terminator() {
                 return err(format!("block {b} does not end in a terminator"));
             }
             let mut seen_non_phi = false;
             for (pos, &i) in data.insts.iter().enumerate() {
-                let inst = &self.insts[i];
+                let inst = self.inst(i);
                 if inst.is_terminator() && pos + 1 != data.insts.len() {
                     return err(format!("terminator {i} of {b} is not last"));
                 }
@@ -328,7 +501,7 @@ impl Function {
                 } else {
                     seen_non_phi = true;
                 }
-                for t in &inst.targets {
+                for t in inst.targets {
                     if t.index() >= self.blocks.len() {
                         return err(format!("{i} targets out-of-range block {t}"));
                     }
@@ -351,8 +524,8 @@ impl Function {
         }
         for b in self.blocks() {
             for i in self.phis(b) {
-                let inst = &self.insts[i];
-                let mut got: Vec<Block> = inst.phi_preds.clone();
+                let inst = self.inst(i);
+                let mut got: Vec<Block> = inst.phi_preds.to_vec();
                 let mut want = preds[b].clone();
                 got.sort();
                 want.sort();
@@ -368,7 +541,7 @@ impl Function {
     }
 
     fn check_arity(&self, b: Block, i: Inst) -> Result<(), ValidateError> {
-        let inst = &self.insts[i];
+        let inst = self.inst(i);
         let (defs, uses) = (inst.defs.len(), inst.uses.len());
         let bad = |what: &str| {
             Err(ValidateError {
@@ -628,5 +801,54 @@ mod tests {
         let sites = f.def_sites();
         assert_eq!(sites[Var::new(0)].len(), 1);
         assert_eq!(sites[Var::new(1)].len(), 1);
+    }
+
+    #[test]
+    fn replace_inst_swaps_payload() {
+        let mut f = tiny();
+        let first = f.block_insts(f.entry).next().unwrap();
+        let c = f.new_var("c");
+        f.replace_inst(
+            first,
+            InstData::new(Opcode::Make)
+                .with_defs(vec![c.into()])
+                .with_imm(9),
+        );
+        let view = f.inst(first);
+        assert_eq!(view.imm, 9);
+        assert_eq!(view.defs[0].var, c);
+    }
+
+    #[test]
+    fn phi_remove_arg_shrinks_in_place() {
+        let mut f = Function::new("t", Machine::dsp32());
+        let a = f.new_var("a");
+        let b = f.new_var("b");
+        let x = f.new_var("x");
+        let l = f.add_block("l");
+        let r = f.add_block("r");
+        let m = f.add_block("m");
+        let phi = f.push_inst(m, InstData::phi(x, vec![(l, a), (r, b)]));
+        f.phi_remove_arg(phi, 0);
+        let view = f.inst(phi);
+        assert_eq!(view.uses.len(), 1);
+        assert_eq!(view.uses[0].var, b);
+        assert_eq!(view.phi_preds, &[r]);
+    }
+
+    #[test]
+    fn callees_are_interned() {
+        let mut f = Function::new("t", Machine::dsp32());
+        let a = f.new_var("a");
+        let b = f.new_var("b");
+        let mut call = InstData::new(Opcode::Call).with_defs(vec![a.into()]);
+        call.callee = Some("helper".into());
+        f.push_inst(f.entry, call);
+        let mut call2 = InstData::new(Opcode::Call).with_defs(vec![b.into()]);
+        call2.callee = Some("helper".into());
+        f.push_inst(f.entry, call2);
+        assert_eq!(f.callees.len(), 1);
+        let i0 = f.block_insts(f.entry).next().unwrap();
+        assert_eq!(f.inst(i0).callee, Some("helper"));
     }
 }

@@ -154,6 +154,11 @@ impl<K: EntityId, V> EntityVec<K, V> {
         self.items.get(key.index())
     }
 
+    /// Consumes the map, yielding values in id order.
+    pub fn into_values(self) -> impl Iterator<Item = V> {
+        self.items.into_iter()
+    }
+
     /// Grows the map to cover `key`, filling with `default`.
     pub fn grow_to(&mut self, len: usize, default: V)
     where

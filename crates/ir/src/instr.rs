@@ -1,7 +1,32 @@
 //! Instructions and operands.
+//!
+//! Instruction payloads are stored flat: [`crate::function::Function`]
+//! keeps one dense slot per instruction plus two shared pools (operands
+//! and block references) indexed by `(start, len)` ranges. [`InstData`]
+//! is the *build-time* form — a small struct of `Vec`s used by the
+//! builder, the parser, and tests — which `push_inst` flattens into the
+//! pools. Reading code receives an [`InstRef`] view (slices into the
+//! pools), mutating code an [`InstMut`].
 
 use crate::ids::{Block, Resource, Var};
 use crate::opcode::Opcode;
+
+/// A `(start, len)` range into one of the per-function flat pools.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PoolRange {
+    /// First pool index covered.
+    pub start: u32,
+    /// Number of entries.
+    pub len: u32,
+}
+
+impl PoolRange {
+    /// The covered pool indices as a `usize` range.
+    #[inline]
+    pub fn range(self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
+    }
+}
 
 /// A textual occurrence of a variable in an instruction (paper §2.1),
 /// optionally pinned to a resource.
@@ -148,6 +173,99 @@ impl InstData {
             .iter()
             .position(|&b| b == pred)
             .map(|i| self.uses[i])
+    }
+}
+
+/// A read-only view of one instruction, borrowing slices out of the
+/// function's flat pools. Field names mirror [`InstData`], so most code
+/// is agnostic to which form it reads.
+#[derive(Clone, Copy, Debug)]
+pub struct InstRef<'a> {
+    /// The opcode.
+    pub opcode: Opcode,
+    /// Immediate payload.
+    pub imm: i64,
+    /// Callee name for `call`.
+    pub callee: Option<&'a str>,
+    /// Defined operands.
+    pub defs: &'a [Operand],
+    /// Used operands.
+    pub uses: &'a [Operand],
+    /// Branch targets.
+    pub targets: &'a [Block],
+    /// For `phi`: incoming blocks, parallel to `uses`.
+    pub phi_preds: &'a [Block],
+}
+
+impl<'a> InstRef<'a> {
+    /// Whether this is a φ instruction.
+    pub fn is_phi(&self) -> bool {
+        self.opcode.is_phi()
+    }
+
+    /// Whether this is a terminator.
+    pub fn is_terminator(&self) -> bool {
+        self.opcode.is_terminator()
+    }
+
+    /// Whether this is a `mov` whose source and destination are the same
+    /// variable.
+    pub fn is_self_move(&self) -> bool {
+        self.opcode.is_move() && self.defs[0].var == self.uses[0].var
+    }
+
+    /// Iterates over all operands, defs first.
+    pub fn operands(&self) -> impl Iterator<Item = &'a Operand> {
+        self.defs.iter().chain(self.uses.iter())
+    }
+
+    /// For a φ, returns the argument flowing in from `pred`, if any.
+    pub fn phi_arg_for(&self, pred: Block) -> Option<Operand> {
+        debug_assert!(self.is_phi());
+        self.phi_preds
+            .iter()
+            .position(|&b| b == pred)
+            .map(|i| self.uses[i])
+    }
+
+    /// Materializes the build-time form (for re-pushing or editing).
+    pub fn to_data(&self) -> InstData {
+        InstData {
+            opcode: self.opcode,
+            defs: self.defs.to_vec(),
+            uses: self.uses.to_vec(),
+            imm: self.imm,
+            callee: self.callee.map(str::to_string),
+            targets: self.targets.to_vec(),
+            phi_preds: self.phi_preds.to_vec(),
+        }
+    }
+}
+
+/// A mutable view of one instruction: in-place edits to operands, branch
+/// targets, φ predecessors, and the immediate. Length-changing edits go
+/// through [`crate::function::Function`] methods (`replace_inst`,
+/// `phi_remove_arg`) instead.
+#[derive(Debug)]
+pub struct InstMut<'a> {
+    /// The opcode (read-only; replace the instruction to change it).
+    pub opcode: Opcode,
+    /// Immediate payload.
+    pub imm: &'a mut i64,
+    /// Defined operands.
+    pub defs: &'a mut [Operand],
+    /// Used operands.
+    pub uses: &'a mut [Operand],
+    /// Branch targets.
+    pub targets: &'a mut [Block],
+    /// For `phi`: incoming blocks, parallel to `uses`.
+    pub phi_preds: &'a mut [Block],
+}
+
+impl InstMut<'_> {
+    /// Iterates mutably over all operands, defs first.
+    pub fn operands_mut(&mut self) -> impl Iterator<Item = &mut Operand> {
+        self.defs.iter_mut().chain(self.uses.iter_mut())
     }
 }
 

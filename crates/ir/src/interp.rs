@@ -72,18 +72,74 @@ pub fn call_model(callee: &str, args: &[i64]) -> i64 {
     h
 }
 
+/// The variable environment: a dense value/defined-flag pair per
+/// variable id. Variables are never created mid-run, so both frames are
+/// sized once; reads and writes are direct indexing instead of the
+/// hashing a `HashMap<Var, i64>` pays on every executed operand.
+struct Env {
+    vals: Vec<i64>,
+    defined: Vec<bool>,
+}
+
+impl Env {
+    fn new(n: usize) -> Env {
+        Env {
+            vals: vec![0; n],
+            defined: vec![false; n],
+        }
+    }
+
+    fn write(&mut self, v: Var, x: i64) {
+        self.vals[v.index()] = x;
+        self.defined[v.index()] = true;
+    }
+}
+
+/// The spill frame: dense for the non-negative slot indices the spiller
+/// produces, with a sparse spill-over for any negative slot a
+/// hand-written test might use. `None`/absent means unwritten (a trap
+/// on reload, unlike main memory's `default_mem`).
+#[derive(Default)]
+struct Frame {
+    dense: Vec<Option<i64>>,
+    sparse: HashMap<i64, i64>,
+}
+
+impl Frame {
+    fn store(&mut self, slot: i64, v: i64) {
+        match usize::try_from(slot) {
+            Ok(s) => {
+                if s >= self.dense.len() {
+                    self.dense.resize(s + 1, None);
+                }
+                self.dense[s] = Some(v);
+            }
+            Err(_) => {
+                self.sparse.insert(slot, v);
+            }
+        }
+    }
+
+    fn load(&self, slot: i64) -> Option<i64> {
+        match usize::try_from(slot) {
+            Ok(s) => self.dense.get(s).copied().flatten(),
+            Err(_) => self.sparse.get(&slot).copied(),
+        }
+    }
+}
+
 /// Runs `f` on `inputs` with a step budget.
 ///
 /// # Errors
 /// Returns a [`Trap`] on undefined reads, missing terminators, fuel
 /// exhaustion, or insufficient inputs.
 pub fn run(f: &Function, inputs: &[i64], fuel: u64) -> Result<ExecResult, Trap> {
-    let mut env: HashMap<Var, i64> = HashMap::new();
+    let mut env = Env::new(f.num_vars());
     let mut mem: HashMap<i64, i64> = HashMap::new();
     // The spill frame is separate from `mem`: slots are indices, not
     // addresses, and reading an unwritten slot is a trap rather than a
     // `default_mem` value.
-    let mut frame: HashMap<i64, i64> = HashMap::new();
+    let mut frame = Frame::default();
     let mut steps: u64 = 0;
     let mut block = f.entry;
 
@@ -94,23 +150,25 @@ pub fn run(f: &Function, inputs: &[i64], fuel: u64) -> Result<ExecResult, Trap> 
     for v in f.vars() {
         if let Some(reg) = f.var(v).reg {
             if f.machine.reg_class(reg) == crate::machine::RegClass::Special {
-                env.insert(v, 0x0010_0000 + (reg.index() as i64) * 0x1_0000);
+                env.write(v, 0x0010_0000 + (reg.index() as i64) * 0x1_0000);
             }
         }
     }
 
-    let read = |env: &HashMap<Var, i64>, v: Var| -> Result<i64, Trap> {
-        env.get(&v)
-            .copied()
-            .ok_or_else(|| Trap::UndefinedVar(v, f.var(v).name.clone()))
+    let read = |env: &Env, v: Var| -> Result<i64, Trap> {
+        if env.defined[v.index()] {
+            Ok(env.vals[v.index()])
+        } else {
+            Err(Trap::UndefinedVar(v, f.var(v).name.clone()))
+        }
     };
 
+    let mut updates: Vec<(Var, i64)> = Vec::new();
     loop {
         // Execute the block's instructions (φs were handled on edge entry;
         // at the entry block there are none).
-        let insts: Vec<_> = f.block_insts(block).collect();
         let mut next: Option<Block> = None;
-        for &i in &insts {
+        for &i in &f.block(block).insts {
             let inst = f.inst(i);
             if inst.is_phi() {
                 continue; // evaluated on edge transfer
@@ -127,68 +185,68 @@ pub fn run(f: &Function, inputs: &[i64], fuel: u64) -> Result<ExecResult, Trap> 
                         return Err(Trap::NotEnoughInputs);
                     }
                     for (k, d) in inst.defs.iter().enumerate() {
-                        env.insert(d.var, inputs[k]);
+                        env.write(d.var, inputs[k]);
                     }
                 }
                 Opcode::Mov => {
                     let v = u(0)?;
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::Make => {
-                    env.insert(inst.defs[0].var, inst.imm);
+                    env.write(inst.defs[0].var, inst.imm);
                 }
                 Opcode::More => {
                     let v = u(0)?;
-                    env.insert(inst.defs[0].var, (v << 16) | (inst.imm & 0xffff));
+                    env.write(inst.defs[0].var, (v << 16) | (inst.imm & 0xffff));
                 }
                 Opcode::Add => {
                     let v = u(0)?.wrapping_add(u(1)?);
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::Sub => {
                     let v = u(0)?.wrapping_sub(u(1)?);
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::Mul => {
                     let v = u(0)?.wrapping_mul(u(1)?);
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::And => {
                     let v = u(0)? & u(1)?;
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::Or => {
                     let v = u(0)? | u(1)?;
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::Xor => {
                     let v = u(0)? ^ u(1)?;
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::Shl => {
                     let v = u(0)?.wrapping_shl(u(1)? as u32 & 63);
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::Shr => {
                     let v = u(0)?.wrapping_shr(u(1)? as u32 & 63);
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::Neg => {
                     let v = u(0)?.wrapping_neg();
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::Not => {
                     let v = !u(0)?;
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::AddImm | Opcode::AutoAdd => {
                     let v = u(0)?.wrapping_add(inst.imm);
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::Load => {
                     let addr = u(0)?;
                     let v = mem.get(&addr).copied().unwrap_or_else(|| default_mem(addr));
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::Store => {
                     let addr = u(0)?;
@@ -197,41 +255,41 @@ pub fn run(f: &Function, inputs: &[i64], fuel: u64) -> Result<ExecResult, Trap> 
                 }
                 Opcode::SpillStore => {
                     let v = u(0)?;
-                    frame.insert(inst.imm, v);
+                    frame.store(inst.imm, v);
                 }
                 Opcode::SpillLoad => {
-                    let v = *frame.get(&inst.imm).ok_or(Trap::UnwrittenSlot(inst.imm))?;
-                    env.insert(inst.defs[0].var, v);
+                    let v = frame.load(inst.imm).ok_or(Trap::UnwrittenSlot(inst.imm))?;
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::CmpEq => {
                     let v = (u(0)? == u(1)?) as i64;
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::CmpNe => {
                     let v = (u(0)? != u(1)?) as i64;
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::CmpLt => {
                     let v = (u(0)? < u(1)?) as i64;
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::CmpLe => {
                     let v = (u(0)? <= u(1)?) as i64;
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::Select | Opcode::PSel => {
                     let v = if u(0)? != 0 { u(1)? } else { u(2)? };
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::Call => {
                     let mut args = Vec::with_capacity(inst.uses.len());
                     for k in 0..inst.uses.len() {
                         args.push(u(k)?);
                     }
-                    let callee = inst.callee.as_deref().unwrap_or("");
+                    let callee = inst.callee.unwrap_or("");
                     let v = call_model(callee, &args);
                     if let Some(d) = inst.defs.first() {
-                        env.insert(d.var, v);
+                        env.write(d.var, v);
                     }
                 }
                 Opcode::Psi => {
@@ -241,7 +299,7 @@ pub fn run(f: &Function, inputs: &[i64], fuel: u64) -> Result<ExecResult, Trap> 
                             v = read(&env, pair[1].var)?;
                         }
                     }
-                    env.insert(inst.defs[0].var, v);
+                    env.write(inst.defs[0].var, v);
                 }
                 Opcode::Br => {
                     let c = u(0)?;
@@ -268,25 +326,24 @@ pub fn run(f: &Function, inputs: &[i64], fuel: u64) -> Result<ExecResult, Trap> 
         let Some(next_block) = next else {
             return Err(Trap::MissingTerminator(block));
         };
-        // Edge transfer: evaluate the successor's φs in parallel.
-        let phis: Vec<_> = f.phis(next_block).collect();
-        if !phis.is_empty() {
-            let mut updates = Vec::with_capacity(phis.len());
-            for &phi in &phis {
-                let inst = f.inst(phi);
-                let arg = inst.phi_arg_for(block).ok_or_else(|| {
-                    Trap::UndefinedVar(inst.defs[0].var, "phi missing pred".to_string())
-                })?;
-                updates.push((inst.defs[0].var, read(&env, arg.var)?));
-                steps += 1;
-                if steps > fuel {
-                    tossa_trace::count(tossa_trace::Counter::InterpSteps, steps);
-                    return Err(Trap::OutOfFuel);
-                }
+        // Edge transfer: evaluate the successor's φs in parallel. The
+        // staging buffer (reads first, writes after) is reused across
+        // iterations.
+        updates.clear();
+        for phi in f.phis(next_block) {
+            let inst = f.inst(phi);
+            let arg = inst.phi_arg_for(block).ok_or_else(|| {
+                Trap::UndefinedVar(inst.defs[0].var, "phi missing pred".to_string())
+            })?;
+            updates.push((inst.defs[0].var, read(&env, arg.var)?));
+            steps += 1;
+            if steps > fuel {
+                tossa_trace::count(tossa_trace::Counter::InterpSteps, steps);
+                return Err(Trap::OutOfFuel);
             }
-            for (d, v) in updates {
-                env.insert(d, v);
-            }
+        }
+        for &(d, v) in &updates {
+            env.write(d, v);
         }
         block = next_block;
     }

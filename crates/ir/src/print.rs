@@ -90,7 +90,7 @@ pub fn inst_str(f: &Function, i: Inst) -> String {
             let args: Vec<String> = inst
                 .uses
                 .iter()
-                .zip(&inst.phi_preds)
+                .zip(inst.phi_preds)
                 .map(|(o, &b)| format!("[{}: {}]", block_str(b), use_str(o)))
                 .collect();
             let _ = write!(s, " {}", args.join(", "));
@@ -105,12 +105,7 @@ pub fn inst_str(f: &Function, i: Inst) -> String {
         }
         Opcode::Call => {
             let args: Vec<String> = inst.uses.iter().map(use_str).collect();
-            let _ = write!(
-                s,
-                " {}({})",
-                inst.callee.as_deref().unwrap_or("?"),
-                args.join(", ")
-            );
+            let _ = write!(s, " {}({})", inst.callee.unwrap_or("?"), args.join(", "));
         }
         Opcode::Br => {
             let _ = write!(

@@ -10,8 +10,7 @@
 //! is live: coarser than per-range liveness, but safe, and cheap to
 //! sweep.
 
-use std::collections::HashMap;
-use tossa_analysis::Liveness;
+use tossa_analysis::{AnalysisCache, Liveness};
 use tossa_ir::cfg::Cfg;
 use tossa_ir::ids::{Block, Var};
 use tossa_ir::machine::{PhysReg, RegClass};
@@ -71,16 +70,33 @@ pub(crate) fn linear_order(f: &Function, cfg: &Cfg) -> Vec<Block> {
 pub fn build(f: &Function) -> Intervals {
     let cfg = Cfg::compute(f);
     let live = Liveness::compute(f, &cfg);
-    let order = linear_order(f, &cfg);
+    build_inner(f, &cfg, &live)
+}
 
-    let mut ranges: HashMap<Var, (u32, u32)> = HashMap::new();
+/// [`build`] with analyses drawn from `cache` — the spill loop's fast
+/// path. Spill rewriting inserts and removes instructions but never
+/// touches block structure, so rounds after the first reuse the cached
+/// CFG and only recompute liveness (instructions-only invalidation).
+pub fn build_cached(f: &Function, cache: &mut AnalysisCache) -> Intervals {
+    let cfg = cache.cfg(f);
+    let live = cache.liveness(f);
+    build_inner(f, &cfg, &live)
+}
+
+fn build_inner(f: &Function, cfg: &Cfg, live: &Liveness) -> Intervals {
+    let order = linear_order(f, cfg);
+
+    // Dense per-variable tables; `touch` runs once per operand and per
+    // live-in/live-out member, so it must not hash.
+    const UNSEEN: (u32, u32) = (u32::MAX, 0);
+    let mut ranges: Vec<(u32, u32)> = vec![UNSEEN; f.num_vars()];
     let mut touch = |v: Var, p: u32| {
-        let e = ranges.entry(v).or_insert((p, p));
+        let e = &mut ranges[v.index()];
         e.0 = e.0.min(p);
         e.1 = e.1.max(p);
     };
-    let mut ptr_pref: HashMap<Var, bool> = HashMap::new();
-    let mut hint: HashMap<Var, Var> = HashMap::new();
+    let mut ptr_pref: Vec<bool> = vec![false; f.num_vars()];
+    let mut hint: Vec<Option<Var>> = vec![None; f.num_vars()];
 
     let mut base: u32 = 0;
     for &b in &order {
@@ -94,13 +110,13 @@ pub fn build(f: &Function) -> Intervals {
                 touch(o.var, base + 2 * k);
                 if matches!(inst.opcode, Opcode::Load | Opcode::Store | Opcode::AutoAdd) && pos == 0
                 {
-                    ptr_pref.insert(o.var, true);
+                    ptr_pref[o.var.index()] = true;
                 }
             }
-            for o in &inst.defs {
+            for o in inst.defs {
                 touch(o.var, base + 2 * k + 1);
                 if inst.opcode == Opcode::AutoAdd {
-                    ptr_pref.insert(o.var, true);
+                    ptr_pref[o.var.index()] = true;
                 }
             }
             if !inst.defs.is_empty() {
@@ -110,7 +126,7 @@ pub fn build(f: &Function) -> Intervals {
                 };
                 if let Some(u) = tied {
                     if let Some(src) = inst.uses.get(u) {
-                        hint.insert(inst.defs[0].var, src.var);
+                        hint[inst.defs[0].var.index()] = Some(src.var);
                     }
                 }
             }
@@ -125,17 +141,22 @@ pub fn build(f: &Function) -> Intervals {
 
     let mut items: Vec<Interval> = ranges
         .into_iter()
-        .map(|(var, (start, end))| Interval {
-            var,
-            start,
-            end,
-            pre: f.var(var).reg,
-            ptr_pref: ptr_pref.get(&var).copied().unwrap_or(false)
-                || f.var(var)
-                    .reg
-                    .map(|r| f.machine.reg_class(r) == RegClass::Ptr)
-                    .unwrap_or(false),
-            hint: hint.get(&var).copied(),
+        .enumerate()
+        .filter(|&(_, r)| r != UNSEEN)
+        .map(|(idx, (start, end))| {
+            let var = Var::new(idx);
+            Interval {
+                var,
+                start,
+                end,
+                pre: f.var(var).reg,
+                ptr_pref: ptr_pref[idx]
+                    || f.var(var)
+                        .reg
+                        .map(|r| f.machine.reg_class(r) == RegClass::Ptr)
+                        .unwrap_or(false),
+                hint: hint[idx],
+            }
         })
         .collect();
     items.sort_by_key(|iv| (iv.start, iv.var.index()));

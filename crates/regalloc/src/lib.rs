@@ -288,10 +288,13 @@ pub fn prepare(f: &mut Function, opts: &AllocOptions) -> Result<Prepared, AllocE
         Strategy::Graph => &[(Strategy::Graph, false)],
     };
     let mut last_err = None;
+    // One analysis manager for every round of every engine: spill
+    // rewriting invalidates instructions only, keeping the CFG hot.
+    let mut cache = tossa_analysis::AnalysisCache::new();
     for &(engine, is_fallback) in engines {
         for _ in 0..opts.max_rounds.max(1) {
             stats.rounds += 1;
-            let ivs = intervals::build(f);
+            let ivs = intervals::build_cached(f, &mut cache);
             let outcome = match engine {
                 Strategy::Graph => graph::color(f, &ivs, &temps),
                 _ => scan::scan(f, &ivs, &temps),
@@ -306,6 +309,7 @@ pub fn prepare(f: &mut Function, opts: &AllocOptions) -> Result<Prepared, AllocE
                 }
                 Err(scan::ScanFail::Spill(vars)) => {
                     let (st, rl) = spill::rewrite_spills(f, &vars, &mut next_slot, &mut temps);
+                    cache.invalidate_instructions();
                     stats.spilled_vars += vars.len();
                     stats.stores += st;
                     stats.reloads += rl;

@@ -85,6 +85,10 @@ pub fn scan(f: &Function, ivs: &Intervals, temps: &HashSet<Var>) -> Result<Assig
     // (end, reg, var, spillable)
     let mut active: Vec<(u32, PhysReg, Var, bool)> = Vec::new();
     let mut spills: Vec<Var> = Vec::new();
+    // Candidate pools are interval-independent apart from the pointer
+    // preference; computed once per scan, not once per interval.
+    let pool_gpr_first = pools(f, false);
+    let pool_ptr_first = pools(f, true);
 
     for iv in &ivs.items {
         active.retain(|&(end, _, _, _)| end >= iv.start);
@@ -94,21 +98,26 @@ pub fn scan(f: &Function, ivs: &Intervals, temps: &HashSet<Var>) -> Result<Assig
             continue;
         }
         let spillable = !temps.contains(&iv.var);
-        let mut candidates: Vec<PhysReg> = Vec::new();
-        if let Some(h) = iv.hint {
-            if let Some(r) = asg.get(h) {
-                if f.machine.reg_class(r) != RegClass::Special {
-                    candidates.push(r);
-                }
-            }
-        }
-        candidates.extend(pools(f, iv.ptr_pref));
+        let hinted = iv.hint.and_then(|h| {
+            asg.get(h)
+                .filter(|&r| f.machine.reg_class(r) != RegClass::Special)
+        });
+        let pool = if iv.ptr_pref {
+            &pool_ptr_first
+        } else {
+            &pool_gpr_first
+        };
         let usable = |r: PhysReg| !blocked.conflicts(r, iv.start, iv.end);
-        let taken: HashSet<u8> = active.iter().map(|&(_, r, _, _)| r.0).collect();
-        let chosen = candidates
-            .iter()
-            .copied()
-            .find(|&r| usable(r) && !taken.contains(&r.0));
+        // Registers held by active intervals, as a bitmask over reg ids.
+        let mut taken = [0u64; 4];
+        for &(_, r, _, _) in &active {
+            taken[(r.0 >> 6) as usize] |= 1u64 << (r.0 & 63);
+        }
+        let is_taken = |r: PhysReg| taken[(r.0 >> 6) as usize] & (1u64 << (r.0 & 63)) != 0;
+        let chosen = hinted
+            .into_iter()
+            .chain(pool.iter().copied())
+            .find(|&r| usable(r) && !is_taken(r));
         if let Some(r) = chosen {
             asg.set(iv.var, r);
             active.push((iv.end, r, iv.var, true));

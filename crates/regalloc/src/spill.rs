@@ -39,7 +39,7 @@ pub fn rewrite_spills(
             // One reload temp per distinct spilled variable used here.
             let used: Vec<Var> = {
                 let mut seen = Vec::new();
-                for o in &f.inst(i).uses {
+                for o in f.inst(i).uses {
                     if slot_of.contains_key(&o.var) && !seen.contains(&o.var) {
                         seen.push(o.var);
                     }

@@ -21,7 +21,7 @@
 //! This is the checked-mode contract: chaos-injected allocation faults
 //! must surface here as structured errors, never as miscompiles.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use tossa_analysis::Liveness;
 use tossa_ir::cfg::Cfg;
 use tossa_ir::ids::Var;
@@ -36,15 +36,15 @@ use crate::{AllocError, Assignment};
 /// # Errors
 /// The first violated invariant, as an [`AllocError`].
 pub fn verify_allocation(f: &Function, asg: &Assignment) -> Result<(), AllocError> {
-    let mut def_count: HashMap<Var, usize> = HashMap::new();
-    let mut used: HashSet<Var> = HashSet::new();
+    let mut defined = vec![false; f.num_vars()];
+    let mut used = vec![false; f.num_vars()];
     for (_, i) in f.all_insts() {
         let inst = f.inst(i);
-        for o in &inst.defs {
-            *def_count.entry(o.var).or_insert(0) += 1;
+        for o in inst.defs {
+            defined[o.var.index()] = true;
         }
-        for o in &inst.uses {
-            used.insert(o.var);
+        for o in inst.uses {
+            used[o.var.index()] = true;
         }
     }
 
@@ -64,8 +64,9 @@ pub fn verify_allocation(f: &Function, asg: &Assignment) -> Result<(), AllocErro
             }
         }
     }
-    for &v in &used {
-        if def_count.get(&v).copied().unwrap_or(0) == 0 {
+    for idx in 0..f.num_vars() {
+        if used[idx] && !defined[idx] {
+            let v = Var::new(idx);
             let special = f
                 .var(v)
                 .reg
@@ -81,15 +82,17 @@ pub fn verify_allocation(f: &Function, asg: &Assignment) -> Result<(), AllocErro
     let live = Liveness::compute(f, &cfg);
 
     // Register-overlap check: backward per-block scan tracking the
-    // variable owning each register.
+    // variable owning each register. One dense 256-entry ownership table
+    // is reused across blocks (reg ids are `u8`), cleared per block.
+    let mut owner: Vec<Option<Var>> = vec![None; 256];
     for b in f.blocks() {
-        let mut owner: HashMap<u8, Var> = HashMap::new();
-        let claim = |owner: &mut HashMap<u8, Var>, v: Var| -> Result<(), AllocError> {
+        owner.fill(None);
+        let claim = |owner: &mut [Option<Var>], v: Var| -> Result<(), AllocError> {
             let r = asg.get(v).ok_or(AllocError::Unassigned { var: v })?;
-            match owner.get(&r.0) {
-                Some(&w) if w != v => Err(AllocError::RegisterOverlap { reg: r, a: v, b: w }),
+            match owner[r.0 as usize] {
+                Some(w) if w != v => Err(AllocError::RegisterOverlap { reg: r, a: v, b: w }),
                 _ => {
-                    owner.insert(r.0, v);
+                    owner[r.0 as usize] = Some(v);
                     Ok(())
                 }
             }
@@ -102,28 +105,30 @@ pub fn verify_allocation(f: &Function, asg: &Assignment) -> Result<(), AllocErro
             let inst = f.inst(i);
             // A def clobbers whatever holds its register, so the holder
             // must be the defined variable itself (or nothing). Dead
-            // defs clobber too.
-            let mut def_regs: HashMap<u8, Var> = HashMap::new();
-            for o in &inst.defs {
+            // defs clobber too. Defs per instruction are few, so the
+            // duplicate-register check is a linear pass over the prefix.
+            for (k, o) in inst.defs.iter().enumerate() {
                 let v = o.var;
                 let r = asg.get(v).ok_or(AllocError::Unassigned { var: v })?;
-                if let Some(&w) = def_regs.get(&r.0) {
-                    return Err(AllocError::RegisterOverlap { reg: r, a: v, b: w });
+                for prev in &inst.defs[..k] {
+                    let w = prev.var;
+                    if asg.get(w) == Some(r) {
+                        return Err(AllocError::RegisterOverlap { reg: r, a: v, b: w });
+                    }
                 }
-                def_regs.insert(r.0, v);
-                if let Some(&w) = owner.get(&r.0) {
+                if let Some(w) = owner[r.0 as usize] {
                     if w != v {
                         return Err(AllocError::RegisterOverlap { reg: r, a: v, b: w });
                     }
                 }
             }
-            for o in &inst.defs {
+            for o in inst.defs {
                 let r = asg.get(o.var).unwrap();
-                if owner.get(&r.0) == Some(&o.var) {
-                    owner.remove(&r.0);
+                if owner[r.0 as usize] == Some(o.var) {
+                    owner[r.0 as usize] = None;
                 }
             }
-            for o in &inst.uses {
+            for o in inst.uses {
                 claim(&mut owner, o.var)?;
             }
         }

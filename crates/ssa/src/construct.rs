@@ -37,7 +37,7 @@ pub fn to_ssa(f: &mut Function) {
     // Definition blocks per variable.
     let mut def_blocks: EntityVec<Var, Vec<Block>> = EntityVec::filled(num_orig, Vec::new());
     for (b, i) in f.all_insts().collect::<Vec<_>>() {
-        for d in f.inst(i).defs.clone() {
+        for d in f.inst(i).defs.to_vec() {
             if !def_blocks[d.var].contains(&b) {
                 def_blocks[d.var].push(b);
             }
@@ -89,7 +89,7 @@ pub fn to_ssa(f: &mut Function) {
                     let is_phi = f.inst(i).is_phi();
                     if !is_phi {
                         // Rewrite uses to the current version.
-                        let uses = f.inst(i).uses.clone();
+                        let uses = f.inst(i).uses.to_vec();
                         for (k, op) in uses.iter().enumerate() {
                             if op.var.index() < num_orig {
                                 if let Some(&top) = stacks[op.var].last() {
@@ -99,7 +99,7 @@ pub fn to_ssa(f: &mut Function) {
                         }
                     }
                     // Rewrite defs to fresh versions.
-                    let defs = f.inst(i).defs.clone();
+                    let defs = f.inst(i).defs.to_vec();
                     for (k, op) in defs.iter().enumerate() {
                         if op.var.index() < num_orig {
                             let new = f.new_var_version(op.var);

@@ -158,7 +158,7 @@ fn convert(f: &mut Function, d: Diamond) {
 
     // Replace the join's φs with ψs placed in the branch block.
     for phi in f.phis(d.join).collect::<Vec<_>>() {
-        let inst = f.inst(phi).clone();
+        let inst = f.inst(phi);
         let dst = inst.defs[0].var;
         let arg_for = |b: Block| inst.phi_arg_for(b).expect("diamond pred").var;
         let (tv, ev) = (arg_for(d.then_arm), arg_for(d.else_arm));

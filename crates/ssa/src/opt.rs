@@ -65,7 +65,7 @@ pub fn dce(f: &mut Function) -> usize {
         .collect();
     let mut def_of: HashMap<Var, Inst> = HashMap::new();
     for &(_, i) in &all {
-        for d in &f.inst(i).defs {
+        for d in f.inst(i).defs {
             def_of.insert(d.var, i);
         }
     }
@@ -75,7 +75,7 @@ pub fn dce(f: &mut Function) -> usize {
         .map(|&(_, i)| i)
         .collect();
     while let Some(i) = work.pop() {
-        for u in f.inst(i).uses.clone() {
+        for u in f.inst(i).uses.to_vec() {
             if let Some(&di) = def_of.get(&u.var) {
                 if let Some(flag) = live_insts.get_mut(&di) {
                     if !*flag {

@@ -40,7 +40,7 @@ fn find_psi(f: &Function, b: Block) -> Option<(usize, Inst)> {
 }
 
 fn lower_one(f: &mut Function, b: Block, pos: usize, psi: Inst) {
-    let inst = f.inst(psi).clone();
+    let inst = f.inst(psi);
     let def = inst.defs[0].var;
     let pairs: Vec<(Operand, Operand)> = inst.uses.chunks(2).map(|c| (c[0], c[1])).collect();
     f.remove_inst(b, psi);

@@ -42,7 +42,7 @@ pub fn verify_ssa(f: &Function) -> Result<(), SsaError> {
     // Single definitions.
     let mut seen = vec![false; f.num_vars()];
     for (_, i) in f.all_insts() {
-        for d in &f.inst(i).defs {
+        for d in f.inst(i).defs {
             if seen[d.var.index()] {
                 return err(format!("{} has multiple definitions", d.var));
             }
@@ -102,7 +102,7 @@ pub fn verify_ssa(f: &Function) -> Result<(), SsaError> {
                     }
                 }
             } else {
-                for op in &inst.uses {
+                for op in inst.uses {
                     if defs.site(op.var).is_none() {
                         if entry_live(op.var) {
                             continue;
@@ -152,7 +152,7 @@ pub fn verify_cssa(f: &Function) -> Result<(), SsaError> {
         let inst = f.inst(i);
         if inst.is_phi() {
             let d = find(&mut parent, inst.defs[0].var.index());
-            for u in &inst.uses {
+            for u in inst.uses {
                 let a = find(&mut parent, u.var.index());
                 parent[a] = d;
             }

@@ -397,6 +397,10 @@ impl TraceData {
 struct Collector {
     data: TraceData,
     open: u32,
+    /// Counters-only mode: spans, events, and provenance records are
+    /// skipped (no clock reads, no string building); `count` is
+    /// unaffected. Installed by [`capture_counters`].
+    counters_only: bool,
 }
 
 thread_local! {
@@ -426,6 +430,14 @@ pub fn enabled() -> bool {
     COLLECTOR.with(|c| c.borrow().is_some())
 }
 
+/// True when a *full* collector is installed — one that also records
+/// provenance. Work that only feeds [`provenance::record`] (witness
+/// strings, cause maps) should guard on this, not [`enabled`], so a
+/// counters-only capture skips it.
+pub fn verbose() -> bool {
+    COLLECTOR.with(|c| c.borrow().as_ref().is_some_and(|col| !col.counters_only))
+}
+
 /// Adds `n` to a counter; no-op when tracing is disabled.
 pub fn count(counter: Counter, n: u64) {
     if n == 0 {
@@ -442,7 +454,7 @@ pub fn count(counter: Counter, n: u64) {
 /// built lazily so the disabled path allocates nothing.
 pub fn event(kind: &'static str, detail: impl FnOnce() -> String) {
     COLLECTOR.with(|c| {
-        if let Some(col) = c.borrow_mut().as_mut() {
+        if let Some(col) = c.borrow_mut().as_mut().filter(|col| !col.counters_only) {
             col.data.events.push(Event {
                 kind,
                 detail: detail(),
@@ -464,12 +476,12 @@ pub fn span<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
     let opened = COLLECTOR.with(|c| {
         let mut b = c.borrow_mut();
         match b.as_mut() {
-            Some(col) => {
+            Some(col) if !col.counters_only => {
                 let depth = col.open;
                 col.open += 1;
                 Some((depth, now_ns()))
             }
-            None => None,
+            _ => None,
         }
     });
     let Some((depth, start_ns)) = opened else {
@@ -532,6 +544,7 @@ pub fn capture<T>(f: impl FnOnce() -> T) -> (T, TraceData) {
         c.borrow_mut().replace(Collector {
             data: TraceData::default(),
             open: 0,
+            counters_only: false,
         })
     });
     let mut guard = Restore { prev, armed: true };
@@ -543,6 +556,43 @@ pub fn capture<T>(f: impl FnOnce() -> T) -> (T, TraceData) {
     COLLECTOR.with(|c| *c.borrow_mut() = guard.prev.take());
     guard.armed = false;
     (out, data)
+}
+
+/// [`capture`] restricted to counters: spans, events, and provenance
+/// records are skipped entirely (no clock reads, no record-building
+/// closures), so the instrumented run costs little more than an
+/// untraced one. Counter totals are identical to a full capture of the
+/// same deterministic computation. Nests and unwinds exactly like
+/// [`capture`].
+pub fn capture_counters<T>(f: impl FnOnce() -> T) -> (T, CounterSet) {
+    struct Restore {
+        prev: Option<Collector>,
+        armed: bool,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            if self.armed {
+                let prev = self.prev.take();
+                COLLECTOR.with(|c| *c.borrow_mut() = prev);
+            }
+        }
+    }
+    let prev = COLLECTOR.with(|c| {
+        c.borrow_mut().replace(Collector {
+            data: TraceData::default(),
+            open: 0,
+            counters_only: true,
+        })
+    });
+    let mut guard = Restore { prev, armed: true };
+    let out = f();
+    let data = COLLECTOR.with(|c| {
+        let col = c.borrow_mut().take().expect("collector still installed");
+        col.data
+    });
+    COLLECTOR.with(|c| *c.borrow_mut() = guard.prev.take());
+    guard.armed = false;
+    (out, data.counters)
 }
 
 /// Escapes a string for inclusion in a JSON string literal.

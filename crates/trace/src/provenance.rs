@@ -144,10 +144,10 @@ pub struct Record {
     pub kind: Kind,
 }
 
-/// Records one decision; no-op when tracing is disabled. `make` is
-/// never invoked on the disabled path.
+/// Records one decision; no-op when tracing is disabled or the capture
+/// is counters-only. `make` is never invoked on either skip path.
 pub fn record(make: impl FnOnce() -> Kind) {
-    if !crate::enabled() {
+    if !crate::verbose() {
         return;
     }
     let kind = make();

@@ -1,0 +1,65 @@
+//! Decomposes the register-allocation stage wall clock into its phases
+//! over the full benchmark matrix — the companion to the "Profiling a
+//! hot stage" walkthrough in EXPERIMENTS.md.
+//!
+//! Run with `cargo run --release --example profile_alloc`. Each function
+//! of every suite is taken through the canonical pipeline
+//! (`Experiment::LphiAbiC`), then the allocator's phases are timed
+//! separately on the reconstructed output: interval building, the
+//! assignment engine (linear scan + spill rounds via `prepare`), the
+//! independent verifier, and the physical rewrite (`finish`).
+
+use std::time::Instant;
+use tossa::bench::runner::run_experiment;
+use tossa::bench::suites::all_suites;
+use tossa::core::coalesce::CoalesceOptions;
+use tossa::core::Experiment;
+use tossa::regalloc::{intervals, prepare, verify_allocation, AllocOptions};
+
+fn main() {
+    let opts = CoalesceOptions::default();
+    let aopts = AllocOptions::default();
+    let (mut t_iv, mut t_prep, mut t_verify, mut t_finish) = (0u128, 0u128, 0u128, 0u128);
+    let mut funcs = 0usize;
+    for suite in all_suites(5) {
+        for bf in &suite.functions {
+            let r = run_experiment(&bf.func, Experiment::LphiAbiC, &opts);
+            funcs += 1;
+
+            // Interval building alone (the analysis half of a round).
+            let mut probe = r.func.clone();
+            let begin = Instant::now();
+            let _ = intervals::build(&probe);
+            t_iv += begin.elapsed().as_nanos();
+
+            // Assignment + spill rounds.
+            let begin = Instant::now();
+            let prep = match prepare(&mut probe, &aopts) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{}/{}: {e}", suite.name, bf.func.name);
+                    continue;
+                }
+            };
+            t_prep += begin.elapsed().as_nanos();
+
+            // Independent recheck.
+            let begin = Instant::now();
+            if let Err(e) = verify_allocation(&probe, &prep.assignment) {
+                eprintln!("{}/{}: verify: {e}", suite.name, bf.func.name);
+            }
+            t_verify += begin.elapsed().as_nanos();
+
+            // Physical rewrite.
+            let begin = Instant::now();
+            let _ = tossa::regalloc::finish(&mut probe, prep);
+            t_finish += begin.elapsed().as_nanos();
+        }
+    }
+    let ms = |ns: u128| ns as f64 / 1e6;
+    println!("alloc phase profile over {funcs} functions (one LphiAbiC cell each):");
+    println!("  intervals (one standalone build) {:8.2} ms", ms(t_iv));
+    println!("  prepare (scan + spill rounds)    {:8.2} ms", ms(t_prep));
+    println!("  verify (independent recheck)     {:8.2} ms", ms(t_verify));
+    println!("  finish (physical rewrite)        {:8.2} ms", ms(t_finish));
+}

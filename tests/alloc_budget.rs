@@ -1,0 +1,92 @@
+//! Heap-allocation regression gate for the flat-IR pipeline.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the full
+//! pipeline (LΦ+ABI+C experiment plus register allocation) runs over the
+//! `VALcc1` suite twice — once to warm lazily-initialized state (the
+//! thread-local bitset pool, runtime one-time setup), once counted — and
+//! the counted run must stay under a pinned allocation budget.
+//!
+//! The budget is an upper bound with headroom over the measured count at
+//! the time the gate was pinned (see `BUDGET` below), so it only fires
+//! on order-of-magnitude regressions: reverting the arena instruction
+//! storage, the pooled analysis bitsets, or the dense interpreter
+//! environment each cost far more than the slack. When a deliberate
+//! change moves the count, re-pin the budget with the measured value
+//! printed in the failure message.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Counts allocation *events* (`alloc` and growing `realloc` calls)
+/// while enabled; bytes are ignored on purpose — the refactors this
+/// gate protects reduce the number of heap round-trips, not peak size.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use tossa::bench::runner::{apply_alloc, run_experiment};
+use tossa::bench::suites::kernels::valcc1;
+use tossa::core::coalesce::CoalesceOptions;
+use tossa::core::Experiment;
+
+/// Allocation-event budget for one full pipeline sweep over `VALcc1`.
+///
+/// Pinned at ~25% above the 24,049 events measured when the flat-IR
+/// storage landed; the pre-refactor pipeline exceeded it several times over.
+const BUDGET: u64 = 30_000;
+
+fn sweep() {
+    let opts = CoalesceOptions::default();
+    for bf in valcc1() {
+        let mut r = run_experiment(&bf.func, Experiment::LphiAbiC, &opts);
+        apply_alloc(&mut r);
+    }
+}
+
+#[test]
+fn pipeline_allocations_stay_under_budget() {
+    // Warm-up: thread-local pools and one-time lazy state allocate here,
+    // outside the counted window.
+    sweep();
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+    sweep();
+    ENABLED.store(false, Ordering::SeqCst);
+    let measured = ALLOCS.load(Ordering::SeqCst);
+
+    assert!(
+        measured > 0,
+        "counting allocator saw no traffic; the gate is not wired up"
+    );
+    assert!(
+        measured <= BUDGET,
+        "pipeline over VALcc1 made {measured} heap allocations \
+         (budget {BUDGET}); a flat-IR / pooled-bitset regression, or a \
+         deliberate change that needs the budget re-pinned"
+    );
+}

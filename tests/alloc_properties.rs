@@ -79,7 +79,7 @@ fn assert_no_live_overlap(f: &Function, asg: &Assignment, seed: u64) {
         for &i in insts.iter().rev() {
             let inst = f.inst(i);
             live_now.retain(|v| !inst.defs.iter().any(|o| o.var == *v));
-            for o in &inst.uses {
+            for o in inst.uses {
                 if !live_now.contains(&o.var) {
                     live_now.push(o.var);
                 }

@@ -1,0 +1,255 @@
+//! Property tests for the instructions-only invalidation fast path and
+//! the printer/parser round trip.
+//!
+//! The fast path ([`AnalysisCache::invalidate_instructions`]) keeps the
+//! CFG-shape analyses (CFG, dominators, loops) memoized across mutations
+//! that only insert, remove, or rewrite non-branch instructions. Its
+//! soundness claim is an equivalence: after such a mutation, the kept
+//! memos plus the recomputed instruction-reading analyses must match a
+//! full recompute from scratch. That equivalence is checked here on a
+//! seeded population of random programs, each hit with a burst of
+//! copy-insertion mutations shaped like the ones the coalescer and the
+//! spiller perform.
+//!
+//! Seeds come from the same deterministic local generator as
+//! `tests/proptests.rs` (no proptest crate in the offline build); every
+//! failure message names the seed for direct replay.
+
+use tossa::analysis::AnalysisCache;
+use tossa::bench::suites::{all_suites, synth::generate_function, synth::SynthConfig};
+use tossa::ir::parse::parse_function;
+use tossa::ir::rng::SplitMix64;
+use tossa::ir::{Function, InstData, Opcode};
+
+const CASES: usize = 24;
+
+fn seeds(stream: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::seed_from_u64(0x70_55A ^ stream);
+    (0..CASES).map(|_| rng.random_range(0u64..10_000)).collect()
+}
+
+/// Applies a burst of instruction-only mutations: `mov` copies of
+/// existing variables into fresh ones and `make` constants, inserted
+/// right before block terminators — the same shape of edit the
+/// coalescer's copy insertion and the spiller's reload rewriting make.
+/// Never touches terminators, targets, or block structure.
+fn mutate_instructions(f: &mut Function, rng: &mut SplitMix64) {
+    let blocks: Vec<_> = f.blocks().collect();
+    let vars: Vec<_> = f.vars().collect();
+    for round in 0..4 {
+        let b = blocks[rng.random_range(0u64..blocks.len() as u64) as usize];
+        let at = f.block(b).insts.len() - 1; // before the terminator
+        if round % 2 == 0 && !vars.is_empty() {
+            let src = vars[rng.random_range(0u64..vars.len() as u64) as usize];
+            let dst = f.new_var("fz");
+            f.insert_inst(
+                b,
+                at,
+                InstData::new(Opcode::Mov)
+                    .with_defs(vec![dst.into()])
+                    .with_uses(vec![src.into()]),
+            );
+        } else {
+            let dst = f.new_var("fk");
+            f.insert_inst(
+                b,
+                at,
+                InstData::new(Opcode::Make)
+                    .with_defs(vec![dst.into()])
+                    .with_imm(rng.random_range(0u64..64) as i64),
+            );
+        }
+    }
+}
+
+/// Asserts that every analysis served by `fast` (which went through the
+/// instructions-only invalidation) matches a from-scratch computation in
+/// `full` on the same function.
+fn assert_analyses_match(
+    f: &Function,
+    fast: &mut AnalysisCache,
+    full: &mut AnalysisCache,
+    seed: u64,
+) {
+    let (cfg_a, cfg_b) = (fast.cfg(f), full.cfg(f));
+    assert_eq!(cfg_a.rpo(), cfg_b.rpo(), "seed {seed}: rpo");
+    for b in f.blocks() {
+        assert_eq!(cfg_a.succs(b), cfg_b.succs(b), "seed {seed}: succs({b})");
+        assert_eq!(cfg_a.preds(b), cfg_b.preds(b), "seed {seed}: preds({b})");
+    }
+    let (dt_a, dt_b) = (fast.domtree(f), full.domtree(f));
+    for a in f.blocks() {
+        for b in f.blocks() {
+            assert_eq!(
+                dt_a.dominates(a, b),
+                dt_b.dominates(a, b),
+                "seed {seed}: dominates({a}, {b})"
+            );
+        }
+    }
+    let (lp_a, lp_b) = (fast.loops(f), full.loops(f));
+    assert_eq!(lp_a.headers(), lp_b.headers(), "seed {seed}: loop headers");
+    for b in f.blocks() {
+        assert_eq!(lp_a.depth(b), lp_b.depth(b), "seed {seed}: depth({b})");
+    }
+    let (lv_a, lv_b) = (fast.liveness(f), full.liveness(f));
+    for b in f.blocks() {
+        assert!(
+            lv_a.live_in(b) == lv_b.live_in(b),
+            "seed {seed}: live_in({b}) diverges"
+        );
+        assert!(
+            lv_a.live_out(b) == lv_b.live_out(b),
+            "seed {seed}: live_out({b}) diverges"
+        );
+    }
+    let (lad_a, lad_b) = (fast.live_at_defs(f), full.live_at_defs(f));
+    for v in f.vars() {
+        assert!(
+            lad_a.after_def(v) == lad_b.after_def(v),
+            "seed {seed}: live_at_defs({v:?}) diverges"
+        );
+    }
+}
+
+/// After instruction-only mutations, `invalidate_instructions()` (kept
+/// CFG/domtree/loops memos + recomputed liveness family) is
+/// indistinguishable from a full `invalidate()` recompute.
+#[test]
+fn instructions_only_invalidation_matches_full() {
+    for seed in seeds(10) {
+        let bf = generate_function(
+            seed,
+            &SynthConfig {
+                functions: 1,
+                ..Default::default()
+            },
+        );
+        let mut f = bf.func;
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0xFA57);
+
+        // Warm every memo on the pre-mutation function, as the pipeline
+        // does before a pass runs.
+        let mut fast = AnalysisCache::new();
+        let _ = fast.live_at_defs(&f);
+        let _ = fast.domtree(&f);
+        let _ = fast.loops(&f);
+
+        for burst in 0..3 {
+            mutate_instructions(&mut f, &mut rng);
+            f.validate()
+                .unwrap_or_else(|e| panic!("seed {seed} burst {burst}: {e}"));
+            fast.invalidate_instructions();
+            let mut full = AnalysisCache::new();
+            assert_analyses_match(&f, &mut fast, &mut full, seed);
+        }
+    }
+}
+
+/// The full `invalidate()` is itself consistent with two independent
+/// fresh caches — a control for the test harness above.
+#[test]
+fn full_invalidation_self_consistent() {
+    for seed in seeds(11).into_iter().take(6) {
+        let bf = generate_function(
+            seed,
+            &SynthConfig {
+                functions: 1,
+                ..Default::default()
+            },
+        );
+        let mut f = bf.func;
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0xF011);
+        let mut cache = AnalysisCache::new();
+        let _ = cache.live_at_defs(&f);
+        mutate_instructions(&mut f, &mut rng);
+        cache.invalidate();
+        let mut fresh = AnalysisCache::new();
+        assert_analyses_match(&f, &mut cache, &mut fresh, seed);
+    }
+}
+
+/// Drops the printer's block-name comment column (`bb0:  ; entry`) —
+/// the one piece of the textual form the parser deliberately discards.
+fn strip_label_comments(text: &str) -> String {
+    text.lines()
+        .map(|l| l.split("  ; ").next().unwrap())
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+/// Renumbers variable tokens (`%name.N`) by first occurrence, so two
+/// prints that differ only in variable id assignment compare equal.
+/// Distinctness is preserved: each distinct source token gets its own
+/// canonical id. The parser allocates ids in first-mention order, which
+/// need not match the builder's allocation order.
+fn canon_vars(text: &str) -> String {
+    let mut map: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(pos) = rest.find('%') {
+        out.push_str(&rest[..pos]);
+        let tok_start = &rest[pos + 1..];
+        let len = tok_start
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.'))
+            .unwrap_or(tok_start.len());
+        let tok = &tok_start[..len];
+        let next = map.len();
+        let id = *map.entry(tok).or_insert(next);
+        out.push_str(&format!("%v{id}"));
+        rest = &tok_start[len..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// One print→parse→print round trip on a named function: everything but
+/// the block-name comments and the variable id assignment must survive
+/// byte-identically, and the normalized (comment-free) form must be a
+/// true fixpoint of a second round trip.
+fn check_roundtrip(f: &Function, what: &str) {
+    let text = f.to_string();
+    let reparsed =
+        parse_function(&text, &f.machine).unwrap_or_else(|e| panic!("{what}: reparse failed: {e}"));
+    let normalized = reparsed.to_string();
+    assert_eq!(
+        canon_vars(&normalized),
+        canon_vars(&strip_label_comments(&text)),
+        "{what}: print→parse→print dropped more than block-name comments"
+    );
+    let again = parse_function(&normalized, &f.machine)
+        .unwrap_or_else(|e| panic!("{what}: second reparse failed: {e}"));
+    assert_eq!(
+        again.to_string(),
+        normalized,
+        "{what}: normalized print→parse→print is not a fixpoint"
+    );
+}
+
+/// Printing a function and parsing it back loses nothing but block-name
+/// comments, and is a fixpoint after that one normalization. Checked
+/// over every benchmark suite.
+#[test]
+fn print_parse_roundtrip_all_suites() {
+    for suite in all_suites(2) {
+        for bf in &suite.functions {
+            check_roundtrip(&bf.func, &format!("{}/{}", suite.name, bf.func.name));
+        }
+    }
+}
+
+/// The same round trip holds on random structured programs.
+#[test]
+fn print_parse_roundtrip_synth() {
+    for seed in seeds(12) {
+        let bf = generate_function(
+            seed,
+            &SynthConfig {
+                functions: 1,
+                ..Default::default()
+            },
+        );
+        check_roundtrip(&bf.func, &format!("seed {seed}"));
+    }
+}

@@ -46,7 +46,7 @@ fn ssa_print_parse_preserves_behaviour_and_pins() {
             let pins = |f: &tossa::ir::Function| {
                 let defined: std::collections::HashSet<_> = f
                     .all_insts()
-                    .flat_map(|(_, i)| f.inst(i).defs.clone())
+                    .flat_map(|(_, i)| f.inst(i).defs.to_vec())
                     .map(|d| d.var)
                     .collect();
                 f.vars()
