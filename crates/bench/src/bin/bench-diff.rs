@@ -26,6 +26,14 @@
 //! changed, which a perf-neutral PR must not do silently. Missing or
 //! extra (suite × experiment) cells are structural drift, also exit 2.
 //!
+//! The top-level `"throughput"` object (schema v4: sustained
+//! functions/sec through the full pipeline + allocation) is
+//! timing-class: the ratio of `functions_per_sec` between the two sides
+//! is reported as advisory and never affects the exit status — service
+//! capacity varies with the runner machine, and the end-to-end CI above
+//! is the timing gate. A side without the object (a v3 document, or a
+//! `--no-throughput` run) simply skips the report.
+//!
 //! Two counters are exempt from the exact gate:
 //! `analysis_cache_hits` and `analysis_cache_misses` measure the
 //! memoization layer (how often an analysis memo was reused vs
@@ -66,7 +74,14 @@ const ADVISORY_COUNTERS: [&str; 2] = [
 
 type Cells = BTreeMap<(String, String), Cell>;
 
-fn load(path: &str) -> Cells {
+/// One side of the comparison: the cell matrix plus the optional
+/// top-level sustained-throughput figure (functions/sec; v4 documents).
+struct Side {
+    cells: Cells,
+    functions_per_sec: Option<f64>,
+}
+
+fn load(path: &str) -> Side {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("reading {path}: {e}");
         std::process::exit(3);
@@ -122,22 +137,36 @@ fn load(path: &str) -> Cells {
             cells.insert((suite.to_string(), exp.to_string()), cell);
         }
     }
-    cells
+    let functions_per_sec = doc
+        .get("throughput")
+        .and_then(|t| t.get("functions_per_sec"))
+        .and_then(Json::as_f64)
+        .filter(|&v| v > 0.0);
+    Side {
+        cells,
+        functions_per_sec,
+    }
 }
 
 /// Loads the comma-separated repeat files of one side and reduces them:
 /// min-of-N on timings, exact-equality check on deterministic fields
 /// (drift *between repeats of one side* means the benchmark itself is
 /// not deterministic — reported and treated as drift).
-fn load_side(spec: &str, drift: &mut Vec<String>) -> Cells {
-    let mut merged: Option<Cells> = None;
+fn load_side(spec: &str, drift: &mut Vec<String>) -> Side {
+    let mut merged: Option<Side> = None;
     for path in spec.split(',') {
-        let cells = load(path);
+        let side = load(path);
         match &mut merged {
-            None => merged = Some(cells),
+            None => merged = Some(side),
             Some(m) => {
-                for (key, cell) in cells {
-                    match m.get_mut(&key) {
+                // Throughput is better-is-higher, so the max across
+                // repeats is the min-of-N analog (least machine noise).
+                m.functions_per_sec = match (m.functions_per_sec, side.functions_per_sec) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
+                for (key, cell) in side.cells {
+                    match m.cells.get_mut(&key) {
                         Some(prev) => {
                             prev.wall_ns = prev.wall_ns.min(cell.wall_ns);
                             for (stage, v) in &cell.stages {
@@ -162,7 +191,10 @@ fn load_side(spec: &str, drift: &mut Vec<String>) -> Cells {
             }
         }
     }
-    merged.unwrap_or_default()
+    merged.unwrap_or(Side {
+        cells: Cells::new(),
+        functions_per_sec: None,
+    })
 }
 
 /// Percentile of a sorted slice (nearest-rank).
@@ -215,13 +247,14 @@ fn main() {
 
     let mut drift: Vec<String> = Vec::new();
     let mut advisory: Vec<String> = Vec::new();
-    let old = load_side(old_spec, &mut drift);
-    let new = load_side(new_spec, &mut drift);
+    let old_side = load_side(old_spec, &mut drift);
+    let new_side = load_side(new_spec, &mut drift);
+    let (old, new) = (&old_side.cells, &new_side.cells);
 
     // ---- structural + exact comparison ---------------------------------
     let mut ratios: Vec<(f64, String)> = Vec::new();
     let mut stage_ratios: BTreeMap<String, Vec<f64>> = BTreeMap::new();
-    for (key, o) in &old {
+    for (key, o) in old {
         let Some(n) = new.get(key) else {
             drift.push(format!("{}/{}: cell missing in {new_spec}", key.0, key.1));
             continue;
@@ -341,6 +374,24 @@ fn main() {
                 logs.len()
             );
         }
+    }
+
+    // ---- advisory throughput -------------------------------------------
+    // Sustained functions/sec (schema v4): reported when both sides
+    // carry it, never gating — capacity tracks the runner machine.
+    match (old_side.functions_per_sec, new_side.functions_per_sec) {
+        (Some(o), Some(n)) => {
+            println!(
+                "throughput (advisory, never gating): {o:.1} -> {n:.1} functions/s ({:+.2}%)",
+                (n / o - 1.0) * 100.0
+            );
+        }
+        (None, Some(n)) => {
+            println!(
+                "throughput (advisory, never gating): {n:.1} functions/s (no old-side figure)"
+            );
+        }
+        (Some(_), None) | (None, None) => {}
     }
 
     // ---- verdict --------------------------------------------------------

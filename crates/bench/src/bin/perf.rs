@@ -4,7 +4,8 @@
 //! wall clocks.
 //!
 //! Usage: `perf [--out FILE] [--serial] [--compare] [--no-verify]
-//! [--no-counters] [--no-alloc] [--spec N] [--trace [DIR]]`
+//! [--no-counters] [--no-alloc] [--no-throughput] [--throughput-ms MS]
+//! [--spec N] [--trace [DIR]]`
 //!
 //! * `--serial`   — run on one thread (the JSON records the mode);
 //! * `--compare`  — run serial then parallel, print the speedup, and
@@ -15,6 +16,10 @@
 //!   no `"counters"` object);
 //! * `--no-alloc` — skip the register-allocation post-pass (cells then
 //!   carry no `"alloc"` object and `alloc_ns` stays 0);
+//! * `--no-throughput` — skip the sustained functions/sec measurement
+//!   (the JSON then carries no top-level `"throughput"` object);
+//! * `--throughput-ms MS` — length of the throughput window (default
+//!   1000 ms; timing-class, advisory in `bench-diff`);
 //! * `--spec N`   — scale of the SPECint-like synthetic population;
 //! * `--trace [DIR]` — additionally run the focus suites (kernels +
 //!   vocoder) under per-function trace capture and write
@@ -26,7 +31,7 @@
 
 use tossa_bench::runner::run_suite_each_traced;
 use tossa_bench::suites::all_suites;
-use tossa_bench::trajectory::{measure, Trajectory};
+use tossa_bench::trajectory::{measure, measure_throughput, Trajectory};
 use tossa_core::coalesce::CoalesceOptions;
 use tossa_core::Experiment;
 use tossa_trace::{chrome_trace, jsonl_record, summary_table, TraceData};
@@ -103,14 +108,18 @@ fn main() {
             .and_then(|p| args.get(p + 1))
             .cloned()
     };
-    let out = value("--out").unwrap_or_else(|| "BENCH_pr5.json".into());
+    let out = value("--out").unwrap_or_else(|| "BENCH_pr7.json".into());
     let verify = !flag("--no-verify");
     let counters = !flag("--no-counters");
     let alloc = !flag("--no-alloc");
     let spec_scale = value("--spec").and_then(|v| v.parse().ok()).unwrap_or(40);
 
+    let throughput_ms: u64 = value("--throughput-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+
     let suites = all_suites(spec_scale);
-    let trajectory = if flag("--compare") {
+    let mut trajectory = if flag("--compare") {
         let serial = measure(&suites, verify, true, false, alloc);
         summarize(&serial);
         let parallel = measure(&suites, verify, false, counters, alloc);
@@ -133,6 +142,24 @@ fn main() {
         summarize(&t);
         t
     };
+
+    if !flag("--no-throughput") {
+        let tp = measure_throughput(
+            &suites,
+            Experiment::LphiAbiC,
+            throughput_ms,
+            flag("--serial"),
+        );
+        eprintln!(
+            "throughput: {:.1} functions/s sustained ({} fns in {:.3} s on {} threads, {})",
+            tp.functions_per_sec(),
+            tp.functions,
+            tp.wall_ns as f64 / 1e9,
+            tp.threads,
+            tp.experiment
+        );
+        trajectory.throughput = Some(tp);
+    }
 
     let json = trajectory.to_json(unix_time());
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));

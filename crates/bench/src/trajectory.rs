@@ -10,7 +10,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "tossa-bench-trajectory/3",
+//!   "schema": "tossa-bench-trajectory/4",
 //!   "unix_time": 1722800000,
 //!   "threads": 8,
 //!   "mode": "parallel",
@@ -26,16 +26,25 @@
 //!           "alloc": { "regs_used": ..., "spilled_vars": ..., "reloads": ...,
 //!                      "stores": ..., "moves_after": ..., "spill_move_total": ... },
 //!           "counters": { "congruence_classes": ..., "copies_phi": ..., "...": 0 } } ] } ],
+//!   "throughput": { "experiment": "LphiAbiC", "threads": 8, "functions": ...,
+//!                   "wall_ns": ..., "target_ms": ..., "functions_per_sec": ... },
 //!   "end_to_end_wall_ns": 987654321
 //! }
 //! ```
+//!
+//! v4 over v3: the optional top-level `"throughput"` object (sustained
+//! functions/sec through the full pipeline + allocation — the compile
+//! service's capacity figure). Per-cell fields are unchanged, so v3 and
+//! v4 documents compare cell-for-cell.
 
 use crate::runner::{
-    prepare_suite_counted, run_suite_each_prepared_counted, StageTimings, SuiteResult,
+    apply_alloc, prepare_suite_counted, run_experiment_prepared, run_suite_each_prepared_counted,
+    StageTimings, SuiteResult,
 };
 use crate::suites::Suite;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 use tossa_core::coalesce::CoalesceOptions;
 use tossa_core::Experiment;
 use tossa_regalloc::AllocStats;
@@ -69,6 +78,92 @@ pub struct Cell {
     pub counters: Option<CounterSet>,
 }
 
+/// Sustained-throughput measurement: a worker pool cycles the combined
+/// worklist of every suite function through the full pipeline (plus the
+/// allocation post-pass) until a wall-clock deadline, and the count of
+/// *completed* functions per second is the service-capacity figure.
+///
+/// This is a timing-class dimension — it varies run to run with machine
+/// load — so `bench-diff` treats it as advisory (reported, never
+/// gating), and it lives as a top-level `"throughput"` object in the
+/// trajectory JSON so the per-cell deterministic fields stay
+/// byte-identical whether or not the measurement ran.
+#[derive(Clone, Debug)]
+pub struct Throughput {
+    /// Stable experiment key the worklist was compiled under.
+    pub experiment: String,
+    /// Worker threads in the pool.
+    pub threads: usize,
+    /// Functions fully compiled (pipeline + allocation) before the
+    /// deadline.
+    pub functions: u64,
+    /// Actual wall clock of the measurement window.
+    pub wall_ns: u64,
+    /// The requested window length, for the record.
+    pub target_ms: u64,
+}
+
+impl Throughput {
+    /// The headline figure: completed functions per wall-clock second.
+    pub fn functions_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.functions as f64 * 1e9 / self.wall_ns as f64
+    }
+}
+
+/// Measures sustained compile throughput over `suites`: front-ends every
+/// function once (SSA construction is experiment-independent and is the
+/// service's admission cost, not its steady-state cost), then has
+/// `threads` workers pull indices off a shared cursor and run the full
+/// `exp` pipeline plus register allocation, cycling the worklist until
+/// `target_ms` elapses. Only functions that finish before the deadline
+/// count.
+pub fn measure_throughput(
+    suites: &[Suite],
+    exp: Experiment,
+    target_ms: u64,
+    serial: bool,
+) -> Throughput {
+    let opts = CoalesceOptions::default();
+    let prepared: Vec<_> = suites
+        .iter()
+        .flat_map(|s| s.functions.iter())
+        .map(|bf| crate::runner::front_end(&bf.func))
+        .collect();
+    let threads = if serial {
+        1
+    } else {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    };
+    let completed = AtomicU64::new(0);
+    let cursor = AtomicUsize::new(0);
+    let start = Instant::now();
+    let deadline = start + Duration::from_millis(target_ms);
+    if !prepared.is_empty() {
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    while Instant::now() < deadline {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed) % prepared.len();
+                        let mut r = run_experiment_prepared(&prepared[k], exp, &opts);
+                        apply_alloc(&mut r);
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+    }
+    Throughput {
+        experiment: format!("{exp:?}"),
+        threads,
+        functions: completed.into_inner(),
+        wall_ns: start.elapsed().as_nanos() as u64,
+        target_ms,
+    }
+}
+
 /// A full trajectory: every suite crossed with every Table-1 experiment.
 #[derive(Clone, Debug, Default)]
 pub struct Trajectory {
@@ -86,6 +181,10 @@ pub struct Trajectory {
     pub front_end_ns: Vec<u64>,
     /// Wall clock of the whole matrix.
     pub end_to_end_wall_ns: u64,
+    /// Sustained functions/sec measurement (see [`measure_throughput`]);
+    /// `None` when the throughput pass was off. Timing-class, advisory
+    /// in `bench-diff`.
+    pub throughput: Option<Throughput>,
 }
 
 /// Runs the full experiment matrix over `suites` and collects the
@@ -191,7 +290,7 @@ impl Trajectory {
     pub fn to_json(&self, unix_time: u64) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"schema\": \"tossa-bench-trajectory/3\",");
+        let _ = writeln!(out, "  \"schema\": \"tossa-bench-trajectory/4\",");
         let _ = writeln!(out, "  \"unix_time\": {unix_time},");
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let _ = writeln!(out, "  \"mode\": \"{}\",", self.mode);
@@ -255,6 +354,20 @@ impl Trajectory {
             });
         }
         out.push_str("  ],\n");
+        if let Some(tp) = &self.throughput {
+            let _ = writeln!(
+                out,
+                "  \"throughput\": {{ \"experiment\": \"{}\", \"threads\": {}, \
+                 \"functions\": {}, \"wall_ns\": {}, \"target_ms\": {}, \
+                 \"functions_per_sec\": {:.3} }},",
+                tp.experiment,
+                tp.threads,
+                tp.functions,
+                tp.wall_ns,
+                tp.target_ms,
+                tp.functions_per_sec()
+            );
+        }
         let _ = writeln!(out, "  \"end_to_end_wall_ns\": {}", self.end_to_end_wall_ns);
         out.push_str("}\n");
         out
@@ -272,13 +385,17 @@ mod tests {
             name: "example1-8",
             functions: suites::paper_examples::examples(),
         }];
-        let t = measure(&suites, true, true, true, true);
+        let mut t = measure(&suites, true, true, true, true);
+        t.throughput = Some(measure_throughput(&suites, Experiment::LphiAbiC, 50, true));
         assert_eq!(t.cells.len(), Experiment::all().len());
         assert!(t.cells.iter().all(|c| c.wall_ns > 0));
         let json = t.to_json(0);
-        // Shape sanity: parsable keys present once per cell.
-        assert_eq!(json.matches("\"wall_ns\"").count(), t.cells.len());
-        assert!(json.contains("\"schema\": \"tossa-bench-trajectory/3\""));
+        // Shape sanity: parsable keys present once per cell, plus the
+        // throughput object's own wall_ns.
+        assert_eq!(json.matches("\"wall_ns\"").count(), t.cells.len() + 1);
+        assert!(json.contains("\"schema\": \"tossa-bench-trajectory/4\""));
+        assert!(json.contains("\"throughput\""));
+        assert!(json.contains("\"functions_per_sec\""));
         // The allocation post-pass ran: every cell carries its stats.
         assert_eq!(json.matches("\"alloc\"").count(), t.cells.len());
         assert!(t.cells.iter().all(|c| c.alloc.is_some()));
@@ -286,5 +403,26 @@ mod tests {
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn throughput_counts_completed_functions() {
+        let suites = vec![suites::Suite {
+            name: "example1-8",
+            functions: suites::paper_examples::examples(),
+        }];
+        let tp = measure_throughput(&suites, Experiment::LphiAbiC, 50, true);
+        assert!(tp.functions > 0, "no function completed in the window");
+        assert!(tp.wall_ns > 0);
+        assert!(tp.functions_per_sec() > 0.0);
+        assert_eq!(tp.threads, 1);
+        assert_eq!(tp.experiment, "LphiAbiC");
+    }
+
+    #[test]
+    fn throughput_of_an_empty_worklist_is_zero_not_a_hang() {
+        let tp = measure_throughput(&[], Experiment::LphiC, 50, true);
+        assert_eq!(tp.functions, 0);
+        assert_eq!(tp.functions_per_sec(), 0.0);
     }
 }

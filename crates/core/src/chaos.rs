@@ -119,7 +119,9 @@ fn double_def(f: &mut Function, rng: &mut SplitMix64) -> bool {
         return false;
     };
     let blocks: Vec<_> = f.blocks().collect();
-    let b = pick(rng, &blocks).expect("function has blocks");
+    let Some(b) = pick(rng, &blocks) else {
+        return false;
+    };
     // Before the terminator, after any φs.
     let at = f
         .block(b)
@@ -253,7 +255,10 @@ fn assign_overlapping(
     let Some((a, b)) = pick(rng, &sites) else {
         return false;
     };
-    asg.set(a, asg.get(b).expect("site has assignment"));
+    let Some(stolen) = asg.get(b) else {
+        return false;
+    };
+    asg.set(a, stolen);
     true
 }
 
@@ -272,7 +277,9 @@ fn clobber_pinned(
     let Some(v) = pick(rng, &pinned) else {
         return false;
     };
-    let have = f.var(v).reg.expect("site is precolored");
+    let Some(have) = f.var(v).reg else {
+        return false;
+    };
     let Some(other) = f.machine.regs().find(|&r| r != have) else {
         return false;
     };
@@ -314,8 +321,12 @@ fn reorder_parallel_copy(f: &mut Function, rng: &mut SplitMix64) -> bool {
         return false;
     };
     let list = &mut f.block_mut(b).insts;
-    let pi = list.iter().position(|&x| x == i).expect("site in block");
-    let pj = list.iter().position(|&x| x == j).expect("site in block");
+    let (Some(pi), Some(pj)) = (
+        list.iter().position(|&x| x == i),
+        list.iter().position(|&x| x == j),
+    ) else {
+        return false;
+    };
     list.swap(pi, pj);
     true
 }

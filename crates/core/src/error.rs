@@ -57,6 +57,26 @@ pub enum VerifyError {
     },
 }
 
+impl VerifyError {
+    /// Stable classification key for this failure, independent of the
+    /// blocks/inputs/values baked into the instance. Replay tooling
+    /// (service failure reports, the reducer's "same structured error"
+    /// predicate) compares keys, not Display strings, so a shrunk
+    /// function may trip the same invariant at a different site and
+    /// still count as the same failure.
+    pub fn class_key(&self) -> &'static str {
+        match self {
+            VerifyError::Structural(_) => "verify.structural",
+            VerifyError::Ssa(_) => "verify.ssa",
+            VerifyError::Pin(_) => "verify.pin",
+            VerifyError::StaleAnalysis(_) => "verify.stale_analysis",
+            VerifyError::ResidualPhi { .. } => "verify.residual_phi",
+            VerifyError::Trap { .. } => "verify.trap",
+            VerifyError::Divergence { .. } => "verify.divergence",
+        }
+    }
+}
+
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -204,6 +224,25 @@ pub enum TossaError {
     },
 }
 
+impl TossaError {
+    /// Stable classification key: the variant family plus, where the
+    /// wrapped leaf distinguishes genuinely different invariants (verify
+    /// and alloc), the leaf class. Panic messages and the pass name are
+    /// deliberately excluded — two runs that panic in different passes
+    /// still classify together as `panic`, because panic sites move
+    /// under shrinking while the *kind* of outcome does not.
+    pub fn class_key(&self) -> &'static str {
+        match self {
+            TossaError::Parse(_) => "parse",
+            TossaError::Verify { error, .. } => error.class_key(),
+            TossaError::Coalesce(_) => "coalesce.invalid_pinning",
+            TossaError::Reconstruct(_) => "reconstruct.parallel_copy",
+            TossaError::Alloc(e) => e.class_key(),
+            TossaError::Panic { .. } => "panic",
+        }
+    }
+}
+
 impl fmt::Display for TossaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -282,6 +321,33 @@ mod tests {
         };
         let leaf = e.source().unwrap().source().unwrap();
         assert!(leaf.to_string().contains("multiple definitions"));
+    }
+
+    #[test]
+    fn class_keys_are_stable_and_instance_independent() {
+        let a = TossaError::Verify {
+            pass: "pinning_phi",
+            error: VerifyError::Divergence {
+                inputs: vec![1],
+                expected: vec![2],
+                got: vec![3],
+            },
+        };
+        let b = TossaError::Verify {
+            pass: "reconstruct",
+            error: VerifyError::Divergence {
+                inputs: vec![9, 9],
+                expected: vec![0],
+                got: vec![1],
+            },
+        };
+        assert_eq!(a.class_key(), "verify.divergence");
+        assert_eq!(a.class_key(), b.class_key());
+        let p = TossaError::Panic {
+            pass: "coalesce",
+            message: "index out of bounds".into(),
+        };
+        assert_eq!(p.class_key(), "panic");
     }
 
     #[test]

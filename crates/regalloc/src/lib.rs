@@ -183,6 +183,28 @@ pub enum AllocError {
     },
 }
 
+impl AllocError {
+    /// Stable classification key for this error, independent of the
+    /// variables/registers/blocks baked into the instance. Replay
+    /// tooling (the compile service's failure reports, the reducer's
+    /// "same structured error" predicate) compares keys, not Display
+    /// strings, so shrinking a function is allowed to change *which*
+    /// variable trips the invariant as long as the invariant class is
+    /// preserved.
+    pub fn class_key(&self) -> &'static str {
+        match self {
+            AllocError::ResidualPhi { .. } => "alloc.residual_phi",
+            AllocError::PinConflict { .. } => "alloc.pin_conflict",
+            AllocError::OutOfRegisters { .. } => "alloc.out_of_registers",
+            AllocError::Unassigned { .. } => "alloc.unassigned",
+            AllocError::PinClobbered { .. } => "alloc.pin_clobbered",
+            AllocError::RegisterOverlap { .. } => "alloc.register_overlap",
+            AllocError::UnpairedSlot { .. } => "alloc.unpaired_slot",
+            AllocError::UndefinedUse { .. } => "alloc.undefined_use",
+        }
+    }
+}
+
 impl fmt::Display for AllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

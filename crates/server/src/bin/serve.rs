@@ -1,0 +1,278 @@
+//! `serve` — the tossa compile service front door.
+//!
+//! Three modes:
+//!
+//! * **stdin (default)** — read one JSON job frame per line from stdin,
+//!   write one JSON job report per line to stdout; exit when stdin
+//!   closes and the queue drains.
+//! * **`--tcp ADDR`** — listen on `ADDR`; each connection is its own
+//!   JSONL session (frames in, reports out), one thread per connection.
+//! * **`--soak N`** — drive `N` deterministic fuzz functions through
+//!   the service with chaos on, print the [`SoakSummary`], and exit
+//!   nonzero if any soak invariant is violated. This is the CI gate.
+//!
+//! Flags:
+//!
+//! * `--chaos RATE` — fault injection rate in percent (default 0;
+//!   `--soak` defaults it to 35)
+//! * `--seed S` — chaos base seed (default 7)
+//! * `--workers N` — worker threads (default: available parallelism)
+//! * `--deadline-ms MS` — per-attempt wall-clock budget (default 2000)
+//! * `--fuel N` — interpreter fuel per differential execution
+//! * `--max-allocs N` — per-attempt allocation-event budget (0 = off)
+//! * `--report FILE` — also append every report line to `FILE` (JSONL)
+//! * `--experiment KEY` — default experiment (default `LphiAbiC`)
+//!
+//! The binary installs [`ServiceAlloc`] as the global allocator so the
+//! per-attempt allocation meter actually counts.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::time::Duration;
+use tossa_server::proto::experiment_from_key;
+use tossa_server::report::{JobReport, SoakSummary};
+use tossa_server::service::{run_batch, CompileService, Job, ServiceConfig};
+use tossa_server::{Budget, ChaosConfig, JobRequest, ServiceAlloc};
+
+#[global_allocator]
+static ALLOC: ServiceAlloc = ServiceAlloc;
+
+struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == name)
+            .and_then(|k| self.raw.get(k + 1))
+            .map(String::as_str)
+    }
+
+    fn num(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{name} wants a number, got {v:?}")),
+        }
+    }
+}
+
+fn config_from(args: &Args) -> Result<ServiceConfig, String> {
+    let mut config = ServiceConfig {
+        workers: args.num("--workers", 0)? as usize,
+        budget: Budget {
+            fuel: args.num("--fuel", Budget::default().fuel)?,
+            deadline: Duration::from_millis(args.num("--deadline-ms", 2000)?),
+            max_alloc_events: match args.num("--max-allocs", 1_000_000)? {
+                0 => None,
+                n => Some(n),
+            },
+        },
+        ..ServiceConfig::default()
+    };
+    let default_rate = if args.flag("--soak") { 35 } else { 0 };
+    let rate = args.num("--chaos", default_rate)?;
+    if rate > 0 {
+        config.chaos = Some(ChaosConfig {
+            seed: args.num("--seed", 7)?,
+            rate_pct: rate.min(100) as u32,
+        });
+    }
+    if let Some(key) = args.value("--experiment") {
+        config.default_experiment = experiment_from_key(key)
+            .ok_or_else(|| format!("unknown experiment {key:?} (try LphiAbiC)"))?;
+    }
+    Ok(config)
+}
+
+/// Streams reports from `rx` to stdout (and optionally a JSONL file)
+/// on a dedicated thread; returns the join handle.
+fn spawn_responder(
+    rx: mpsc::Receiver<JobReport>,
+    report_path: Option<String>,
+    echo: bool,
+) -> std::thread::JoinHandle<Vec<JobReport>> {
+    std::thread::spawn(move || {
+        let mut file = report_path.and_then(|p| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(p)
+                .ok()
+        });
+        let stdout = std::io::stdout();
+        let mut reports = Vec::new();
+        for r in rx {
+            let line = r.to_json();
+            if echo {
+                let mut out = stdout.lock();
+                let _ = writeln!(out, "{line}");
+            }
+            if let Some(f) = &mut file {
+                let _ = writeln!(f, "{line}");
+            }
+            reports.push(r);
+        }
+        reports
+    })
+}
+
+fn run_stdin(config: ServiceConfig, report_path: Option<String>) -> i32 {
+    let (service, rx) = CompileService::start(config);
+    let responder = spawn_responder(rx, report_path, true);
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Frame errors already produced a structured report.
+        let _ = service.submit_frame(&line);
+    }
+    let counters = service.shutdown();
+    let _ = responder.join();
+    eprintln!("{}", counters.to_json());
+    0
+}
+
+fn serve_connection(stream: TcpStream, service: &CompileService) {
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    for line in BufReader::new(reader).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let _ = service.submit_frame(&line);
+    }
+}
+
+fn run_tcp(config: ServiceConfig, addr: &str, report_path: Option<String>) -> i32 {
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            return 2;
+        }
+    };
+    eprintln!("serve: listening on {addr}");
+    let (service, rx) = CompileService::start(config);
+    let responder = spawn_responder(rx, report_path, true);
+    // Accept loop; each connection feeds the shared service. Reports go
+    // to the shared responder (stdout / file) rather than back down the
+    // submitting socket — connections are submission channels.
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            match stream {
+                Ok(s) => {
+                    let service = &service;
+                    scope.spawn(move || serve_connection(s, service));
+                }
+                Err(e) => {
+                    eprintln!("serve: accept failed: {e}");
+                    break;
+                }
+            }
+        }
+    });
+    let counters = service.shutdown();
+    let _ = responder.join();
+    eprintln!("{}", counters.to_json());
+    0
+}
+
+fn run_soak(config: ServiceConfig, n: usize, seed: u64, report_path: Option<String>) -> i32 {
+    use tossa_server::proto::default_inputs;
+    // The gate measures the robustness envelope, not admission: size the
+    // queue to the population so every function actually runs (the
+    // shedding path has its own tests).
+    let config = ServiceConfig {
+        queue_cap: n.max(config.queue_cap),
+        ..config
+    };
+    eprintln!(
+        "serve: soak of {n} functions, chaos {}%",
+        config.chaos.map_or(0, |c| c.rate_pct)
+    );
+    let suite = tossa_bench::checked::fuzz_suite(n, seed);
+    let jobs: Vec<Job> = suite
+        .functions
+        .into_iter()
+        .enumerate()
+        .map(|(k, bf)| {
+            let id = k as u64 + 1;
+            let inputs = default_inputs(&bf.func, id);
+            Job {
+                req: JobRequest {
+                    id,
+                    func: bf.func,
+                    experiment: None,
+                    inputs,
+                    inputs_seed: Some(id),
+                },
+                generator_seed: Some(seed.wrapping_add(k as u64)),
+            }
+        })
+        .collect();
+    let (reports, counters) = run_batch(config, jobs);
+    if let Some(path) = report_path {
+        let lines: String = reports.iter().map(|r| r.to_json() + "\n").collect();
+        if let Err(e) = std::fs::write(&path, lines) {
+            eprintln!("serve: cannot write {path}: {e}");
+        }
+    }
+    let summary = SoakSummary::from_reports(&reports);
+    eprint!("{summary}");
+    eprintln!("{}", counters.to_json());
+    if summary.holds() {
+        eprintln!("serve: soak PASSED");
+        0
+    } else {
+        eprintln!("serve: soak FAILED");
+        1
+    }
+}
+
+fn main() {
+    // Contained panics are reported structurally (class + message in the
+    // JobReport); keep the default hook's backtrace spew off stderr.
+    std::panic::set_hook(Box::new(|_| {}));
+    let args = Args {
+        raw: std::env::args().skip(1).collect(),
+    };
+    if args.flag("--help") || args.flag("-h") {
+        eprintln!(
+            "usage: serve [--tcp ADDR | --soak N] [--chaos RATE] [--seed S] [--workers N]\n\
+             \x20            [--deadline-ms MS] [--fuel N] [--max-allocs N] [--report FILE]\n\
+             \x20            [--experiment KEY]"
+        );
+        return;
+    }
+    let code = (|| -> Result<i32, String> {
+        let config = config_from(&args)?;
+        let report_path = args.value("--report").map(str::to_string);
+        if args.flag("--soak") {
+            let n = args.num("--soak", 500)? as usize;
+            let seed = args.num("--seed", 7)?;
+            return Ok(run_soak(config, n.max(1), seed, report_path));
+        }
+        if let Some(addr) = args.value("--tcp") {
+            return Ok(run_tcp(config, addr, report_path));
+        }
+        Ok(run_stdin(config, report_path))
+    })()
+    .unwrap_or_else(|e| {
+        eprintln!("serve: {e}");
+        2
+    });
+    std::process::exit(code);
+}

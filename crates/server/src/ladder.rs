@@ -1,0 +1,164 @@
+//! The three-rung degradation ladder.
+//!
+//! Every job enters at [`Rung::Checked`] (the fully-guarded pipeline of
+//! `tossa_bench::checked`). A failure never aborts the job outright: it
+//! *descends* exactly one rung, and the transition is recorded with a
+//! provenance-style cause string, so a report reads like a decision
+//! record ("left Checked because `verify.divergence`; left
+//! NaiveFallback because the fallback also diverged").
+//!
+//! The ladder's structural invariant — enforced by construction here
+//! and asserted over every report by the chaos soak — is that
+//! transitions only ever go from rung *k* to rung *k + 1*: a job cannot
+//! jump from the checked pipeline straight to a reject without the
+//! fallback having been tried (or its failure recorded).
+
+use std::fmt;
+
+/// One rung of the degradation ladder, ordered best to worst.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// The guarded pipeline: per-pass verification plus differential
+    /// execution, then register allocation.
+    Checked,
+    /// The degraded result: the naive out-of-SSA translation (or, for
+    /// an allocation-stage failure, the verified unallocated pipeline
+    /// output), still differentially verified against the source.
+    NaiveFallback,
+    /// No usable code: the job ends with a structured error only.
+    Reject,
+}
+
+impl Rung {
+    /// Stable snake_case key used in report JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Checked => "checked",
+            Rung::NaiveFallback => "naive_fallback",
+            Rung::Reject => "reject",
+        }
+    }
+
+    /// The next rung down, or `None` from the bottom.
+    pub fn next(self) -> Option<Rung> {
+        match self {
+            Rung::Checked => Some(Rung::NaiveFallback),
+            Rung::NaiveFallback => Some(Rung::Reject),
+            Rung::Reject => None,
+        }
+    }
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded transition: the job left `from` for `to` because of
+/// `cause` (a stable error class key, optionally suffixed with detail,
+/// e.g. `verify.divergence` or `budget.fuel`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LadderStep {
+    /// Rung the job was on.
+    pub from: Rung,
+    /// Rung the job descended to.
+    pub to: Rung,
+    /// Why — an error class key plus optional detail.
+    pub cause: String,
+}
+
+/// The per-job ladder state: current rung plus the transition record.
+#[derive(Clone, Debug, Default)]
+pub struct Ladder {
+    steps: Vec<LadderStep>,
+}
+
+impl Ladder {
+    /// A fresh ladder at [`Rung::Checked`].
+    pub fn new() -> Ladder {
+        Ladder::default()
+    }
+
+    /// The rung the job is currently on.
+    pub fn current(&self) -> Rung {
+        self.steps.last().map_or(Rung::Checked, |s| s.to)
+    }
+
+    /// Descends exactly one rung, recording `cause`. Returns the new
+    /// rung, or `None` when already at the bottom (the caller is trying
+    /// to degrade a reject — a service bug the soak would surface, so
+    /// nothing is recorded).
+    pub fn descend(&mut self, cause: impl Into<String>) -> Option<Rung> {
+        let from = self.current();
+        let to = from.next()?;
+        self.steps.push(LadderStep {
+            from,
+            to,
+            cause: cause.into(),
+        });
+        Some(to)
+    }
+
+    /// The recorded transitions, in order.
+    pub fn steps(&self) -> &[LadderStep] {
+        &self.steps
+    }
+
+    /// Consumes the ladder into its transition record.
+    pub fn into_steps(self) -> Vec<LadderStep> {
+        self.steps
+    }
+}
+
+/// Checks the no-skipped-rung invariant over a transition record: the
+/// record starts at [`Rung::Checked`], every step goes from its rung to
+/// the immediately next one, and consecutive steps chain. An empty
+/// record (a job that never degraded, or was refused at admission
+/// before entering the ladder) is trivially valid.
+pub fn steps_are_contiguous(steps: &[LadderStep]) -> bool {
+    let mut at = Rung::Checked;
+    for s in steps {
+        if s.from != at || s.to != s.from.next().unwrap_or(s.from) {
+            return false;
+        }
+        at = s.to;
+    }
+    true
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_descends_one_rung_at_a_time() {
+        let mut l = Ladder::new();
+        assert_eq!(l.current(), Rung::Checked);
+        assert_eq!(l.descend("verify.divergence"), Some(Rung::NaiveFallback));
+        assert_eq!(l.current(), Rung::NaiveFallback);
+        assert_eq!(l.descend("verify.trap"), Some(Rung::Reject));
+        assert_eq!(l.current(), Rung::Reject);
+        assert_eq!(l.descend("anything"), None, "no rung below reject");
+        assert_eq!(l.steps().len(), 2);
+        assert!(steps_are_contiguous(l.steps()));
+    }
+
+    #[test]
+    fn skipping_a_rung_is_detected() {
+        let skipped = [LadderStep {
+            from: Rung::Checked,
+            to: Rung::Reject,
+            cause: "bogus".into(),
+        }];
+        assert!(!steps_are_contiguous(&skipped));
+        let wrong_start = [LadderStep {
+            from: Rung::NaiveFallback,
+            to: Rung::Reject,
+            cause: "bogus".into(),
+        }];
+        assert!(!steps_are_contiguous(&wrong_start));
+        assert!(steps_are_contiguous(&[]));
+    }
+}

@@ -1,0 +1,244 @@
+//! The wire protocol: newline-delimited JSON job frames.
+//!
+//! One request frame per line:
+//!
+//! ```json
+//! {"id": 7, "experiment": "LphiAbiC", "func": "func @f {\n...\n}",
+//!  "inputs": [[1, 2], [3, 4]]}
+//! ```
+//!
+//! * `func` (required) — the LAI function text (the same surface syntax
+//!   `parse_function` accepts and `Function`'s `Display` emits);
+//! * `id` (optional) — client-chosen job id, defaulted from an
+//!   admission counter;
+//! * `experiment` (optional) — a stable experiment key (the
+//!   `Experiment` debug name, e.g. `LphiAbiC`); defaults to the
+//!   service's configured experiment;
+//! * `inputs` (optional) — input vectors for differential execution;
+//!   when absent, deterministic vectors are synthesized from the
+//!   function's input arity and the frame's id.
+//!
+//! Every way a frame can be malformed maps to a [`FrameError`] variant
+//! with a stable class key, so a garbage line produces a structured
+//! refusal — never a panic, never a dropped connection.
+
+use tossa_core::Experiment;
+use tossa_ir::machine::Machine;
+use tossa_ir::parse::parse_function;
+use tossa_ir::rng::SplitMix64;
+use tossa_ir::{Function, Opcode};
+use tossa_trace::json::{parse_json, Json};
+
+/// A parsed, admitted job request.
+#[derive(Clone, Debug)]
+pub struct JobRequest {
+    /// Job id (client-chosen or admission-assigned).
+    pub id: u64,
+    /// The parsed pre-SSA function.
+    pub func: Function,
+    /// Experiment to run (`None` = service default).
+    pub experiment: Option<Experiment>,
+    /// Input vectors for differential execution.
+    pub inputs: Vec<Vec<i64>>,
+    /// Seed that synthesized `inputs` when the frame carried none
+    /// (recorded in the report for deterministic replay).
+    pub inputs_seed: Option<u64>,
+}
+
+/// A structured frame refusal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line is not well-formed JSON.
+    Json(String),
+    /// The frame is JSON but not an object, or lacks `func`.
+    MissingFunc,
+    /// The `experiment` key names no known experiment.
+    UnknownExperiment(String),
+    /// The `func` text does not parse as an LAI function.
+    BadFunction(String),
+    /// The `inputs` value is not an array of arrays of numbers.
+    BadInputs,
+}
+
+impl FrameError {
+    /// Stable classification key (the frame-level analog of
+    /// `TossaError::class_key`).
+    pub fn class_key(&self) -> &'static str {
+        match self {
+            FrameError::Json(_) => "frame.json",
+            FrameError::MissingFunc => "frame.missing_func",
+            FrameError::UnknownExperiment(_) => "frame.unknown_experiment",
+            FrameError::BadFunction(_) => "frame.bad_function",
+            FrameError::BadInputs => "frame.bad_inputs",
+        }
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Json(e) => write!(f, "frame is not JSON: {e}"),
+            FrameError::MissingFunc => write!(f, "frame lacks a \"func\" string"),
+            FrameError::UnknownExperiment(s) => write!(f, "unknown experiment {s:?}"),
+            FrameError::BadFunction(e) => write!(f, "function does not parse: {e}"),
+            FrameError::BadInputs => write!(f, "\"inputs\" is not an array of number arrays"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Resolves a stable experiment key (the `Experiment` debug name, e.g.
+/// `"LphiAbiC"`) back to the experiment. The enum deliberately has no
+/// `FromStr`; the service keys off the same strings the trajectory
+/// schema uses.
+pub fn experiment_from_key(key: &str) -> Option<Experiment> {
+    Experiment::all()
+        .iter()
+        .copied()
+        .find(|e| format!("{e:?}") == key)
+}
+
+/// Number of input values the function consumes: the widest `input`
+/// instruction (each reads from the front of the input vector).
+pub fn input_arity(f: &Function) -> usize {
+    f.all_insts()
+        .filter(|&(_, i)| f.inst(i).opcode == Opcode::Input)
+        .map(|(_, i)| f.inst(i).defs.len())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Synthesizes deterministic differential-execution inputs for a
+/// function with no client-provided vectors: 8 vectors of small signed
+/// values, reproducible from `seed`.
+pub fn default_inputs(f: &Function, seed: u64) -> Vec<Vec<i64>> {
+    let arity = input_arity(f);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x05EE_D1A1);
+    (0..8)
+        .map(|_| (0..arity).map(|_| rng.random_range(-100i64..100)).collect())
+        .collect()
+}
+
+fn parse_inputs(v: &Json) -> Result<Vec<Vec<i64>>, FrameError> {
+    let rows = v.as_arr().ok_or(FrameError::BadInputs)?;
+    rows.iter()
+        .map(|row| {
+            row.as_arr()
+                .ok_or(FrameError::BadInputs)?
+                .iter()
+                .map(|n| n.as_f64().map(|x| x as i64).ok_or(FrameError::BadInputs))
+                .collect()
+        })
+        .collect()
+}
+
+/// Parses one request line. `default_id` is assigned when the frame
+/// carries no `id` and seeds the synthesized inputs.
+///
+/// # Errors
+/// Any malformed aspect of the frame, as a structured [`FrameError`].
+pub fn parse_frame(line: &str, default_id: u64) -> Result<JobRequest, FrameError> {
+    let doc = parse_json(line).map_err(FrameError::Json)?;
+    let id = doc.get("id").and_then(Json::as_u64).unwrap_or(default_id);
+    let text = doc
+        .get("func")
+        .and_then(Json::as_str)
+        .ok_or(FrameError::MissingFunc)?;
+    let func = parse_function(text, &Machine::dsp32())
+        .map_err(|e| FrameError::BadFunction(e.to_string()))?;
+    let experiment = match doc.get("experiment").and_then(Json::as_str) {
+        Some(key) => Some(
+            experiment_from_key(key)
+                .ok_or_else(|| FrameError::UnknownExperiment(key.to_string()))?,
+        ),
+        None => None,
+    };
+    let (inputs, inputs_seed) = match doc.get("inputs") {
+        Some(v) => (parse_inputs(v)?, None),
+        None => (default_inputs(&func, id), Some(id)),
+    };
+    Ok(JobRequest {
+        id,
+        func,
+        experiment,
+        inputs,
+        inputs_seed,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    const FUNC: &str = "func @f {\nentry:\n  %a, %b = input\n  %c = add %a, %b\n  ret %c\n}";
+
+    fn frame_json(extra: &str) -> String {
+        let escaped = tossa_trace::escape_json(FUNC);
+        format!("{{\"func\": \"{escaped}\"{extra}}}")
+    }
+
+    #[test]
+    fn minimal_frame_parses_with_synthesized_inputs() {
+        let req = parse_frame(&frame_json(""), 42).unwrap();
+        assert_eq!(req.id, 42);
+        assert_eq!(req.func.name, "f");
+        assert!(req.experiment.is_none());
+        assert_eq!(req.inputs.len(), 8);
+        assert!(req.inputs.iter().all(|v| v.len() == 2));
+        assert_eq!(req.inputs_seed, Some(42));
+        // Determinism: the same id synthesizes the same vectors.
+        assert_eq!(parse_frame(&frame_json(""), 42).unwrap().inputs, req.inputs);
+    }
+
+    #[test]
+    fn full_frame_parses() {
+        let req = parse_frame(
+            &frame_json(", \"id\": 9, \"experiment\": \"LphiAbiC\", \"inputs\": [[1, -2]]"),
+            0,
+        )
+        .unwrap();
+        assert_eq!(req.id, 9);
+        assert_eq!(format!("{:?}", req.experiment.unwrap()), "LphiAbiC");
+        assert_eq!(req.inputs, vec![vec![1, -2]]);
+        assert_eq!(req.inputs_seed, None);
+    }
+
+    #[test]
+    fn every_malformation_is_a_distinct_structured_class() {
+        let cases: Vec<(String, &str)> = vec![
+            ("not json at all".into(), "frame.json"),
+            ("{\"id\": 1}".into(), "frame.missing_func"),
+            (
+                frame_json(", \"experiment\": \"NoSuch\""),
+                "frame.unknown_experiment",
+            ),
+            (
+                "{\"func\": \"func @broken {\"}".into(),
+                "frame.bad_function",
+            ),
+            (frame_json(", \"inputs\": [\"x\"]"), "frame.bad_inputs"),
+        ];
+        for (line, class) in cases {
+            let err = parse_frame(&line, 0).unwrap_err();
+            assert_eq!(err.class_key(), class, "{line}");
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn experiment_keys_round_trip_for_all_ten() {
+        for &e in Experiment::all() {
+            let key = format!("{e:?}");
+            assert_eq!(experiment_from_key(&key), Some(e), "{key}");
+        }
+        assert_eq!(experiment_from_key("Bogus"), None);
+    }
+
+    #[test]
+    fn input_arity_reads_the_widest_input_inst() {
+        let f = parse_function(FUNC, &Machine::dsp32()).unwrap();
+        assert_eq!(input_arity(&f), 2);
+    }
+}

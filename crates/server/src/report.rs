@@ -1,0 +1,350 @@
+//! Per-job outcome records and the soak-run aggregate.
+//!
+//! Every job the service touches — completed, degraded, refused at
+//! admission, shed, or quarantined — produces exactly one [`JobReport`]
+//! carrying everything a post-mortem needs: the final ladder rung and
+//! every recorded transition with its cause, the structured error class
+//! and text, the chaos seed and drawn fault class (so
+//! `tossa_bench::reduce` can replay and shrink the failure
+//! deterministically), the resource usage, and the compiled code text
+//! itself for completed jobs (LAI `Display` round-trips through the
+//! parser, so the report *is* the artifact).
+//!
+//! Reports export as one-line `tossa-job-report/1` JSON — the JSONL
+//! stream the soak gate and the CI artifact consume.
+
+use crate::ladder::{LadderStep, Rung};
+use std::fmt::Write as _;
+use tossa_trace::escape_json;
+
+/// Terminal state of one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Usable code was produced (possibly degraded — see the rung).
+    Completed,
+    /// The job entered the ladder and descended off the bottom: a
+    /// structured reject with full cause provenance.
+    Rejected,
+    /// The frame was refused at admission (never entered the ladder).
+    FrameRejected,
+    /// The admission queue stayed full; the job was shed.
+    Shed,
+    /// Transient failures (contained panics, blown deadlines, busted
+    /// allocation budgets) survived every retry; the job is poison.
+    Quarantined,
+}
+
+impl JobOutcome {
+    /// Stable snake_case key for JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobOutcome::Completed => "completed",
+            JobOutcome::Rejected => "rejected",
+            JobOutcome::FrameRejected => "frame_rejected",
+            JobOutcome::Shed => "shed",
+            JobOutcome::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// The full record of one job.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Job id.
+    pub id: u64,
+    /// Function name (empty for frames that never parsed).
+    pub function: String,
+    /// Stable experiment key the job ran under.
+    pub experiment: String,
+    /// Terminal state.
+    pub outcome: JobOutcome,
+    /// Final ladder rung ([`Rung::Checked`] for a clean completion).
+    pub rung: Rung,
+    /// Every recorded ladder transition, in order.
+    pub ladder: Vec<LadderStep>,
+    /// Stable class of the decisive error (`None` on a clean run).
+    pub error_class: Option<String>,
+    /// Human-readable text of the decisive error.
+    pub error: Option<String>,
+    /// Attempts spent (1 = no retry).
+    pub attempts: u32,
+    /// Chaos base seed in effect (`None` = chaos off).
+    pub chaos_seed: Option<u64>,
+    /// Class of the fault drawn on the final attempt, if any.
+    pub chaos_class: Option<String>,
+    /// Seed that synthesized the differential inputs (when the client
+    /// sent none) — with `generator_seed`, enough to replay offline.
+    pub inputs_seed: Option<u64>,
+    /// Seed that generated the function itself (soak mode only).
+    pub generator_seed: Option<u64>,
+    /// Wall clock of the final attempt.
+    pub wall_ns: u64,
+    /// Heap allocation events metered on the final attempt (0 when the
+    /// meter is not installed).
+    pub alloc_events: u64,
+    /// Panics contained across all attempts of this job.
+    pub panics_contained: u32,
+    /// Whether the final attempt blew its wall-clock deadline.
+    pub deadline_blown: bool,
+    /// Whether the produced code passed differential execution.
+    pub verified: bool,
+    /// Static move count of the produced code.
+    pub moves: Option<u64>,
+    /// The produced code text (completed jobs only).
+    pub code: Option<String>,
+    /// Per-job pipeline counter totals as a `tossa-counters/1` JSON
+    /// object (the explain/trace artifact of the response).
+    pub counters_json: Option<String>,
+}
+
+fn opt_str(out: &mut String, key: &str, v: &Option<String>) {
+    if let Some(s) = v {
+        let _ = write!(out, ", \"{key}\": \"{}\"", escape_json(s));
+    }
+}
+
+fn opt_u64(out: &mut String, key: &str, v: Option<u64>) {
+    if let Some(n) = v {
+        let _ = write!(out, ", \"{key}\": {n}");
+    }
+}
+
+impl JobReport {
+    /// Renders the report as one `tossa-job-report/1` JSON line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\": \"tossa-job-report/1\"");
+        let _ = write!(out, ", \"id\": {}", self.id);
+        let _ = write!(out, ", \"function\": \"{}\"", escape_json(&self.function));
+        let _ = write!(
+            out,
+            ", \"experiment\": \"{}\"",
+            escape_json(&self.experiment)
+        );
+        let _ = write!(out, ", \"outcome\": \"{}\"", self.outcome.name());
+        let _ = write!(out, ", \"rung\": \"{}\"", self.rung.name());
+        out.push_str(", \"ladder\": [");
+        for (k, s) in self.ladder.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"from\": \"{}\", \"to\": \"{}\", \"cause\": \"{}\"}}",
+                s.from.name(),
+                s.to.name(),
+                escape_json(&s.cause)
+            );
+        }
+        out.push(']');
+        opt_str(&mut out, "error_class", &self.error_class);
+        opt_str(&mut out, "error", &self.error);
+        let _ = write!(out, ", \"attempts\": {}", self.attempts);
+        opt_u64(&mut out, "chaos_seed", self.chaos_seed);
+        opt_str(&mut out, "chaos_class", &self.chaos_class);
+        opt_u64(&mut out, "inputs_seed", self.inputs_seed);
+        opt_u64(&mut out, "generator_seed", self.generator_seed);
+        let _ = write!(out, ", \"wall_ns\": {}", self.wall_ns);
+        let _ = write!(out, ", \"alloc_events\": {}", self.alloc_events);
+        let _ = write!(out, ", \"panics_contained\": {}", self.panics_contained);
+        let _ = write!(out, ", \"deadline_blown\": {}", self.deadline_blown);
+        let _ = write!(out, ", \"verified\": {}", self.verified);
+        opt_u64(&mut out, "moves", self.moves);
+        opt_str(&mut out, "code", &self.code);
+        if let Some(c) = &self.counters_json {
+            let _ = write!(out, ", \"counters\": {c}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Aggregate invariants of a soak run, computed from the report stream.
+#[derive(Clone, Debug, Default)]
+pub struct SoakSummary {
+    /// Total reports.
+    pub total: usize,
+    /// Completed at [`Rung::Checked`].
+    pub completed_checked: usize,
+    /// Completed at [`Rung::NaiveFallback`].
+    pub completed_fallback: usize,
+    /// Structured rejects (ladder bottom).
+    pub rejected: usize,
+    /// Admission refusals of malformed frames.
+    pub frame_rejected: usize,
+    /// Shed at the queue.
+    pub shed: usize,
+    /// Quarantined as poison.
+    pub quarantined: usize,
+    /// Total panics contained.
+    pub panics_contained: u64,
+    /// Reports whose ladder record skips a rung (must stay 0).
+    pub ladder_violations: usize,
+    /// Failure-class reports lacking a structured error class (must
+    /// stay 0).
+    pub unclassified_failures: usize,
+    /// Completed reports that did not verify (must stay 0).
+    pub unverified_completions: usize,
+}
+
+impl SoakSummary {
+    /// Folds a report stream into the aggregate.
+    pub fn from_reports(reports: &[JobReport]) -> SoakSummary {
+        let mut s = SoakSummary {
+            total: reports.len(),
+            ..SoakSummary::default()
+        };
+        for r in reports {
+            match r.outcome {
+                JobOutcome::Completed => match r.rung {
+                    Rung::Checked => s.completed_checked += 1,
+                    _ => s.completed_fallback += 1,
+                },
+                JobOutcome::Rejected => s.rejected += 1,
+                JobOutcome::FrameRejected => s.frame_rejected += 1,
+                JobOutcome::Shed => s.shed += 1,
+                JobOutcome::Quarantined => s.quarantined += 1,
+            }
+            s.panics_contained += u64::from(r.panics_contained);
+            if !crate::ladder::steps_are_contiguous(&r.ladder) {
+                s.ladder_violations += 1;
+            }
+            let is_failure = !matches!(r.outcome, JobOutcome::Completed) || r.rung != Rung::Checked;
+            if is_failure && r.error_class.is_none() {
+                s.unclassified_failures += 1;
+            }
+            if matches!(r.outcome, JobOutcome::Completed) && !r.verified {
+                s.unverified_completions += 1;
+            }
+        }
+        s
+    }
+
+    /// The soak gate: every invariant the chaos run must uphold.
+    pub fn holds(&self) -> bool {
+        self.ladder_violations == 0
+            && self.unclassified_failures == 0
+            && self.unverified_completions == 0
+    }
+}
+
+impl std::fmt::Display for SoakSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "soak: {} jobs — {} checked, {} degraded, {} rejected, {} frame-rejected, \
+             {} shed, {} quarantined",
+            self.total,
+            self.completed_checked,
+            self.completed_fallback,
+            self.rejected,
+            self.frame_rejected,
+            self.shed,
+            self.quarantined
+        )?;
+        writeln!(
+            f,
+            "      {} panics contained; violations: ladder {}, unclassified {}, unverified {}",
+            self.panics_contained,
+            self.ladder_violations,
+            self.unclassified_failures,
+            self.unverified_completions
+        )
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    fn minimal(outcome: JobOutcome, rung: Rung) -> JobReport {
+        JobReport {
+            id: 1,
+            function: "f".into(),
+            experiment: "LphiAbiC".into(),
+            outcome,
+            rung,
+            ladder: Vec::new(),
+            error_class: None,
+            error: None,
+            attempts: 1,
+            chaos_seed: None,
+            chaos_class: None,
+            inputs_seed: None,
+            generator_seed: None,
+            wall_ns: 10,
+            alloc_events: 0,
+            panics_contained: 0,
+            deadline_blown: false,
+            verified: true,
+            moves: Some(3),
+            code: Some("func @f {\n}".into()),
+            counters_json: None,
+        }
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let mut r = minimal(JobOutcome::Completed, Rung::Checked);
+        r.ladder.push(LadderStep {
+            from: Rung::Checked,
+            to: Rung::NaiveFallback,
+            cause: "verify.divergence \"quoted\"".into(),
+        });
+        r.error_class = Some("verify.divergence".into());
+        r.error = Some("on [1, 2]: outputs differ".into());
+        r.chaos_seed = Some(7);
+        r.chaos_class = Some("service.worker_panic".into());
+        r.counters_json = Some("{\"schema\": \"x\", \"n\": 1}".into());
+        let json = r.to_json();
+        tossa_trace::validate_json(&json).expect("well-formed report JSON");
+        assert!(json.contains("\"schema\": \"tossa-job-report/1\""));
+        assert!(json.contains("\"cause\": \"verify.divergence \\\"quoted\\\"\""));
+    }
+
+    #[test]
+    fn summary_counts_and_gate() {
+        let mut bad = minimal(JobOutcome::Rejected, Rung::Reject);
+        bad.error_class = None; // a failure without a class: gate trips
+        let reports = vec![
+            minimal(JobOutcome::Completed, Rung::Checked),
+            minimal(JobOutcome::Completed, Rung::Checked),
+            bad,
+        ];
+        let s = SoakSummary::from_reports(&reports);
+        assert_eq!(s.total, 3);
+        assert_eq!(s.completed_checked, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.unclassified_failures, 1);
+        assert!(!s.holds());
+
+        let mut ok = minimal(JobOutcome::Rejected, Rung::Reject);
+        ok.error_class = Some("verify.trap".into());
+        ok.ladder.push(LadderStep {
+            from: Rung::Checked,
+            to: Rung::NaiveFallback,
+            cause: "verify.trap".into(),
+        });
+        ok.ladder.push(LadderStep {
+            from: Rung::NaiveFallback,
+            to: Rung::Reject,
+            cause: "verify.trap".into(),
+        });
+        let s = SoakSummary::from_reports(&[minimal(JobOutcome::Completed, Rung::Checked), ok]);
+        assert!(s.holds(), "{s}");
+    }
+
+    #[test]
+    fn skipped_rung_in_a_report_trips_the_gate() {
+        let mut r = minimal(JobOutcome::Rejected, Rung::Reject);
+        r.error_class = Some("panic".into());
+        r.ladder.push(LadderStep {
+            from: Rung::Checked,
+            to: Rung::Reject,
+            cause: "panic".into(),
+        });
+        let s = SoakSummary::from_reports(&[r]);
+        assert_eq!(s.ladder_violations, 1);
+        assert!(!s.holds());
+    }
+}

@@ -1,0 +1,702 @@
+//! The compile service proper: worker pool, panic containment, retry
+//! with backoff, poison quarantine, and report emission.
+//!
+//! # Containment boundary
+//!
+//! Each job attempt runs inside `catch_unwind`. The closure captures
+//! only references the attempt owns (`&BenchFunction`, options by
+//! value) — none of it is observable after an unwind, which is what
+//! makes the `AssertUnwindSafe` sound: a torn `CheckedOutcome` is
+//! simply dropped and the attempt is retried from the immutable
+//! request. Trace state is safe across the boundary too: the attempt's
+//! `capture_counters` installs its collector behind the PR5 drop
+//! guards, so an unwinding attempt restores the thread's trace state on
+//! the way out (the soak asserts no collector leaks).
+//!
+//! # Failure classes
+//!
+//! * **Deterministic** failures (verification, coalescing, allocation —
+//!   anything with a `TossaError` class except `panic`) descend the
+//!   degradation ladder *within* the attempt: `run_checked` already
+//!   produced the verified naive fallback, and the report records the
+//!   transition cause. Retrying them would redraw the same result.
+//! * **Transient** failures (a contained panic, a blown wall-clock
+//!   deadline, a busted allocation budget) discard the attempt and
+//!   retry with exponential backoff; after
+//!   [`ServiceConfig::max_attempts`] the job is **quarantined** as
+//!   poison. Quarantine is the retry axis, orthogonal to the ladder —
+//!   a quarantined report carries an empty ladder record and no code.
+
+use crate::budget::{AllocMeter, Budget};
+use crate::chaos::{site_seed, ChaosConfig, Fault, ServiceFault};
+use crate::ladder::{Ladder, Rung};
+use crate::proto::{parse_frame, FrameError, JobRequest};
+use crate::queue::{BoundedQueue, PushOutcome};
+use crate::report::{JobOutcome, JobReport};
+use crate::watchdog::Watchdog;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+use tossa_bench::checked::{run_checked, CheckedOptions};
+use tossa_bench::runner;
+use tossa_bench::suites::BenchFunction;
+use tossa_core::coalesce::CoalesceOptions;
+use tossa_core::error::{TossaError, VerifyError};
+use tossa_core::Experiment;
+use tossa_ir::interp::Trap;
+use tossa_trace::service::{JobCounter, JobCounterSet, SharedJobCounters};
+
+/// Service tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads (0 = available parallelism).
+    pub workers: usize,
+    /// Admission queue capacity.
+    pub queue_cap: usize,
+    /// How long admission waits for queue space before shedding.
+    pub admission_grace: Duration,
+    /// Per-attempt resource budgets.
+    pub budget: Budget,
+    /// Attempts before a transiently-failing job is quarantined.
+    pub max_attempts: u32,
+    /// Base of the exponential retry backoff.
+    pub backoff_base: Duration,
+    /// Chaos schedule (`None` = faults off).
+    pub chaos: Option<ChaosConfig>,
+    /// Experiment for frames that name none.
+    pub default_experiment: Experiment,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 0,
+            queue_cap: 64,
+            admission_grace: Duration::from_millis(50),
+            budget: Budget::default(),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            chaos: None,
+            default_experiment: Experiment::LphiAbiC,
+        }
+    }
+}
+
+/// One admitted unit of work.
+pub struct Job {
+    /// The parsed request.
+    pub req: JobRequest,
+    /// Seed that generated the function (soak mode), for replay.
+    pub generator_seed: Option<u64>,
+}
+
+struct Ctx {
+    config: ServiceConfig,
+    watchdog: Watchdog,
+    counters: Arc<SharedJobCounters>,
+    attempt_keys: AtomicU64,
+}
+
+/// The running service. Create with [`CompileService::start`], feed with
+/// [`CompileService::submit`] / [`CompileService::submit_frame`], stop
+/// with [`CompileService::shutdown`]. Reports stream out of the
+/// receiver `start` returned, in completion order.
+pub struct CompileService {
+    ctx: Arc<Ctx>,
+    queue: Arc<BoundedQueue<Job>>,
+    reports: mpsc::Sender<JobReport>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl CompileService {
+    /// Starts the worker pool and the watchdog. The returned receiver
+    /// yields one [`JobReport`] per job (including shed and
+    /// frame-rejected ones) and disconnects after
+    /// [`CompileService::shutdown`].
+    pub fn start(config: ServiceConfig) -> (CompileService, mpsc::Receiver<JobReport>) {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            config.workers
+        };
+        let ctx = Arc::new(Ctx {
+            config,
+            watchdog: Watchdog::start(Duration::from_millis(5)),
+            counters: Arc::new(SharedJobCounters::new()),
+            attempt_keys: AtomicU64::new(0),
+        });
+        let queue = Arc::new(BoundedQueue::new(config.queue_cap));
+        let (tx, rx) = mpsc::channel();
+        let handles: Vec<_> = (0..workers)
+            .map(|k| {
+                let ctx = Arc::clone(&ctx);
+                let queue = Arc::clone(&queue);
+                let tx = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("tossa-worker-{k}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            let report = process_job(&ctx, &job);
+                            if tx.send(report).is_err() {
+                                break;
+                            }
+                        }
+                    })
+            })
+            .filter_map(Result::ok)
+            .collect();
+        (
+            CompileService {
+                ctx,
+                queue,
+                reports: tx,
+                workers: handles,
+                next_id: AtomicU64::new(1),
+            },
+            rx,
+        )
+    }
+
+    /// Snapshot of the service-wide job counters.
+    pub fn counters(&self) -> JobCounterSet {
+        self.ctx.counters.snapshot()
+    }
+
+    /// Submits an already-parsed job. A full queue applies backpressure
+    /// for the admission grace, then sheds with a structured report.
+    pub fn submit(&self, job: Job) -> PushOutcome {
+        let shed_report = sketch_report(&job, &self.ctx.config);
+        let outcome = self.queue.push(job, self.ctx.config.admission_grace);
+        match outcome {
+            PushOutcome::Accepted => {
+                self.ctx.counters.add(JobCounter::JobsSubmitted, 1);
+            }
+            PushOutcome::Shed => {
+                self.ctx.counters.add(JobCounter::JobsShed, 1);
+                let _ = self.reports.send(shed_report);
+            }
+        }
+        outcome
+    }
+
+    /// Parses and submits one frame line. Malformed frames (including
+    /// chaos-corrupted ones) are refused with a `FrameRejected` report
+    /// — admission never panics and never silently drops a line.
+    pub fn submit_frame(&self, line: &str) -> Result<u64, FrameError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let corrupted;
+        let effective: &str = match self.ctx.config.chaos.and_then(|c| c.draw(id, 0)) {
+            Some(Fault::Service(ServiceFault::MalformedFrame)) => {
+                self.ctx.counters.add(JobCounter::ServiceFaultsInjected, 1);
+                corrupted = corrupt_frame(line);
+                &corrupted
+            }
+            _ => line,
+        };
+        match parse_frame(effective, id) {
+            Ok(req) => {
+                self.submit(Job {
+                    req,
+                    generator_seed: None,
+                });
+                Ok(id)
+            }
+            Err(e) => {
+                self.ctx.counters.add(JobCounter::FramesMalformed, 1);
+                let _ = self
+                    .reports
+                    .send(frame_reject_report(id, &e, &self.ctx.config));
+                Err(e)
+            }
+        }
+    }
+
+    /// Stops admission, drains the queue, joins the workers, and
+    /// returns the final counter totals. The report receiver
+    /// disconnects once the last in-flight report is delivered.
+    pub fn shutdown(self) -> JobCounterSet {
+        self.queue.close();
+        for h in self.workers {
+            let _ = h.join();
+        }
+        drop(self.reports);
+        self.ctx.counters.snapshot()
+    }
+}
+
+/// Convenience driver for tests and the soak gate: starts a service,
+/// submits every job, shuts down, and returns all reports (sorted by
+/// job id) plus the counter totals.
+pub fn run_batch(config: ServiceConfig, jobs: Vec<Job>) -> (Vec<JobReport>, JobCounterSet) {
+    let (service, rx) = CompileService::start(config);
+    let collector = std::thread::spawn(move || {
+        let mut reports: Vec<JobReport> = rx.iter().collect();
+        reports.sort_by_key(|r| r.id);
+        reports
+    });
+    for job in jobs {
+        service.submit(job);
+    }
+    let counters = service.shutdown();
+    let reports = collector.join().unwrap_or_default();
+    (reports, counters)
+}
+
+/// Deterministically mangles a frame line (the `MalformedFrame` chaos
+/// fault): truncating mid-JSON guarantees a parse failure.
+fn corrupt_frame(line: &str) -> String {
+    let keep = line.len() / 2;
+    let mut out: String = line.chars().take(keep.max(1)).collect();
+    out.push_str("<<chaos:malformed>>");
+    out
+}
+
+/// A pre-admission report skeleton, completed as a shed record if the
+/// queue refuses the job.
+fn sketch_report(job: &Job, config: &ServiceConfig) -> JobReport {
+    JobReport {
+        id: job.req.id,
+        function: job.req.func.name.clone(),
+        experiment: format!(
+            "{:?}",
+            job.req.experiment.unwrap_or(config.default_experiment)
+        ),
+        outcome: JobOutcome::Shed,
+        rung: Rung::Reject,
+        ladder: Vec::new(),
+        error_class: Some("service.queue_full".into()),
+        error: Some("admission queue full past the backpressure grace".into()),
+        attempts: 0,
+        chaos_seed: config.chaos.map(|c| site_seed(c.seed, job.req.id)),
+        chaos_class: None,
+        inputs_seed: job.req.inputs_seed,
+        generator_seed: job.generator_seed,
+        wall_ns: 0,
+        alloc_events: 0,
+        panics_contained: 0,
+        deadline_blown: false,
+        verified: false,
+        moves: None,
+        code: None,
+        counters_json: None,
+    }
+}
+
+fn frame_reject_report(id: u64, e: &FrameError, config: &ServiceConfig) -> JobReport {
+    JobReport {
+        id,
+        function: String::new(),
+        experiment: format!("{:?}", config.default_experiment),
+        outcome: JobOutcome::FrameRejected,
+        rung: Rung::Reject,
+        ladder: Vec::new(),
+        error_class: Some(e.class_key().into()),
+        error: Some(e.to_string()),
+        attempts: 0,
+        chaos_seed: config.chaos.map(|c| site_seed(c.seed, id)),
+        chaos_class: None,
+        inputs_seed: None,
+        generator_seed: None,
+        wall_ns: 0,
+        alloc_events: 0,
+        panics_contained: 0,
+        deadline_blown: false,
+        verified: false,
+        moves: None,
+        code: None,
+        counters_json: None,
+    }
+}
+
+/// Is this error the fuel budget tripping (as opposed to a genuine
+/// divergence)?
+fn is_fuel_exhaustion(e: &TossaError) -> bool {
+    matches!(
+        e,
+        TossaError::Verify {
+            error: VerifyError::Trap {
+                trap: Trap::OutOfFuel,
+                ..
+            },
+            ..
+        }
+    )
+}
+
+/// Why a transient attempt failed; decides retry vs quarantine cause.
+enum Transient {
+    Panic(String),
+    Deadline,
+    AllocBudget(u64),
+}
+
+impl Transient {
+    fn class(&self) -> &'static str {
+        match self {
+            Transient::Panic(_) => "panic",
+            Transient::Deadline => "budget.deadline",
+            Transient::AllocBudget(_) => "budget.alloc_events",
+        }
+    }
+
+    fn message(&self) -> String {
+        match self {
+            Transient::Panic(m) => format!("contained worker panic: {m}"),
+            Transient::Deadline => "attempt overran its wall-clock deadline".into(),
+            Transient::AllocBudget(n) => {
+                format!("attempt charged {n} allocation events, over budget")
+            }
+        }
+    }
+}
+
+fn process_job(ctx: &Ctx, job: &Job) -> JobReport {
+    let config = &ctx.config;
+    let exp = job.req.experiment.unwrap_or(config.default_experiment);
+    let bf = BenchFunction {
+        func: job.req.func.clone(),
+        inputs: job.req.inputs.clone(),
+    };
+    let copts_base = CheckedOptions {
+        fuel: config.budget.fuel,
+        alloc: true,
+        ..CheckedOptions::default()
+    };
+    let chaos_site_seed = config.chaos.map(|c| site_seed(c.seed, job.req.id));
+
+    let mut panics_contained = 0u32;
+    let mut attempt = 1u32;
+    loop {
+        let fault = config.chaos.and_then(|c| c.draw(job.req.id, attempt));
+        if fault.is_some() {
+            ctx.counters.add(JobCounter::ServiceFaultsInjected, 1);
+        }
+        let mut copts = copts_base;
+        match fault {
+            Some(Fault::Pipeline(c)) => {
+                copts.chaos = Some(c);
+                copts.chaos_seed = chaos_site_seed.unwrap_or(0);
+            }
+            Some(Fault::Alloc(c)) => {
+                copts.alloc_chaos = Some(c);
+                copts.chaos_seed = chaos_site_seed.unwrap_or(0);
+            }
+            _ => {}
+        }
+
+        let meter = AllocMeter::arm();
+        let watch = ctx.watchdog.watch(
+            ctx.attempt_keys.fetch_add(1, Ordering::Relaxed),
+            config.budget.deadline,
+        );
+        let started = Instant::now();
+        // Containment boundary. AssertUnwindSafe is sound here: the
+        // closure borrows only `bf`/`copts`/`fault`, and on unwind the
+        // attempt's partial state is dropped unobserved — the retry
+        // starts over from the immutable request. The trace collector
+        // installed by capture_counters restores itself via its drop
+        // guard even when the closure unwinds.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            match fault {
+                Some(Fault::Service(ServiceFault::WorkerPanic)) => {
+                    // The chaos fault IS a panic; the soak proves this
+                    // line never takes down a worker.
+                    #[allow(clippy::panic)]
+                    {
+                        panic!("chaos: injected worker panic");
+                    }
+                }
+                Some(Fault::Service(ServiceFault::DeadlineBlowout)) => {
+                    std::thread::sleep(config.budget.deadline + Duration::from_millis(20));
+                }
+                _ => {}
+            }
+            tossa_trace::capture_counters(|| {
+                run_checked(&bf, exp, &CoalesceOptions::default(), &copts)
+            })
+        }));
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let alloc_events = meter.events();
+        drop(meter);
+        let deadline_blown = watch.blown();
+        drop(watch);
+
+        // Classify transient failures (attempt discarded, retried).
+        let transient = match &result {
+            Err(payload) => {
+                panics_contained += 1;
+                ctx.counters.add(JobCounter::PanicsContained, 1);
+                Some(Transient::Panic(panic_text(payload)))
+            }
+            Ok(_) if deadline_blown => {
+                ctx.counters.add(JobCounter::DeadlinesBlown, 1);
+                Some(Transient::Deadline)
+            }
+            Ok(_) => match config.budget.max_alloc_events {
+                Some(cap) if alloc_events > cap => {
+                    ctx.counters.add(JobCounter::AllocBudgetExceeded, 1);
+                    Some(Transient::AllocBudget(alloc_events))
+                }
+                _ => None,
+            },
+        };
+        if let Some(t) = transient {
+            if attempt >= config.max_attempts {
+                ctx.counters.add(JobCounter::JobsQuarantined, 1);
+                return JobReport {
+                    id: job.req.id,
+                    function: bf.func.name.clone(),
+                    experiment: format!("{exp:?}"),
+                    outcome: JobOutcome::Quarantined,
+                    rung: Rung::Reject,
+                    ladder: Vec::new(),
+                    error_class: Some(t.class().into()),
+                    error: Some(t.message()),
+                    attempts: attempt,
+                    chaos_seed: chaos_site_seed,
+                    chaos_class: fault.map(|f| f.class()),
+                    inputs_seed: job.req.inputs_seed,
+                    generator_seed: job.generator_seed,
+                    wall_ns,
+                    alloc_events,
+                    panics_contained,
+                    deadline_blown,
+                    verified: false,
+                    moves: None,
+                    code: None,
+                    counters_json: None,
+                };
+            }
+            ctx.counters.add(JobCounter::JobsRetried, 1);
+            std::thread::sleep(backoff(config.backoff_base, attempt));
+            attempt += 1;
+            continue;
+        }
+
+        // Non-transient: the attempt produced a CheckedOutcome; walk
+        // the degradation ladder from it.
+        let Ok((outcome, counter_set)) = result else {
+            unreachable!("transient classification covers the Err arm")
+        };
+        let mut ladder = Ladder::new();
+        let mut error_class = None;
+        let mut error_text = None;
+        if let Some(e) = &outcome.error {
+            if is_fuel_exhaustion(e) {
+                ctx.counters.add(JobCounter::FuelExhausted, 1);
+            }
+            ladder.descend(e.class_key());
+            error_class = Some(e.class_key().to_string());
+            error_text = Some(e.to_string());
+            if let Some(fe) = &outcome.fallback_error {
+                // The fallback failed too: off the bottom of the ladder.
+                ladder.descend(fe.class_key());
+                ctx.counters.add(JobCounter::JobsRejected, 1);
+                return JobReport {
+                    id: job.req.id,
+                    function: bf.func.name.clone(),
+                    experiment: format!("{exp:?}"),
+                    outcome: JobOutcome::Rejected,
+                    rung: Rung::Reject,
+                    ladder: ladder.into_steps(),
+                    error_class: Some(fe.class_key().to_string()),
+                    error: Some(fe.to_string()),
+                    attempts: attempt,
+                    chaos_seed: chaos_site_seed,
+                    chaos_class: fault.map(|f| f.class()),
+                    inputs_seed: job.req.inputs_seed,
+                    generator_seed: job.generator_seed,
+                    wall_ns,
+                    alloc_events,
+                    panics_contained,
+                    deadline_blown,
+                    verified: false,
+                    moves: None,
+                    code: None,
+                    counters_json: Some(counter_set.to_json()),
+                };
+            }
+        }
+        let rung = ladder.current();
+        match rung {
+            Rung::Checked => ctx.counters.add(JobCounter::JobsCompletedChecked, 1),
+            _ => ctx.counters.add(JobCounter::JobsCompletedFallback, 1),
+        }
+        // Independent post-hoc differential check of the code actually
+        // being returned (the pipeline's own guards already verified
+        // it; this is the service's output-side seal).
+        let verified = runner::verify(&bf.func, &outcome.func, &bf.inputs).is_ok();
+        return JobReport {
+            id: job.req.id,
+            function: bf.func.name.clone(),
+            experiment: format!("{exp:?}"),
+            outcome: JobOutcome::Completed,
+            rung,
+            ladder: ladder.into_steps(),
+            error_class,
+            error: error_text,
+            attempts: attempt,
+            chaos_seed: chaos_site_seed,
+            chaos_class: fault.map(|f| f.class()),
+            inputs_seed: job.req.inputs_seed,
+            generator_seed: job.generator_seed,
+            wall_ns,
+            alloc_events,
+            panics_contained,
+            deadline_blown,
+            verified,
+            moves: Some(outcome.moves as u64),
+            code: Some(outcome.func.to_string()),
+            counters_json: Some(counter_set.to_json()),
+        };
+    }
+}
+
+fn backoff(base: Duration, attempt: u32) -> Duration {
+    base.saturating_mul(1u32 << attempt.min(10))
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use crate::proto::default_inputs;
+    use tossa_ir::machine::Machine;
+    use tossa_ir::parse::parse_function;
+
+    fn job(id: u64, text: &str) -> Job {
+        let func = parse_function(text, &Machine::dsp32()).unwrap();
+        let inputs = default_inputs(&func, id);
+        Job {
+            req: JobRequest {
+                id,
+                func,
+                experiment: None,
+                inputs,
+                inputs_seed: Some(id),
+            },
+            generator_seed: None,
+        }
+    }
+
+    const ADD: &str = "func @add {\nentry:\n  %a, %b = input\n  %c = add %a, %b\n  ret %c\n}";
+
+    #[test]
+    fn clean_job_completes_checked_with_code_and_counters() {
+        let config = ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        };
+        let (reports, counters) = run_batch(config, vec![job(1, ADD), job(2, ADD)]);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.outcome, JobOutcome::Completed);
+            assert_eq!(r.rung, Rung::Checked);
+            assert!(r.ladder.is_empty());
+            assert!(r.verified);
+            assert!(r.error.is_none());
+            let code = r.code.as_deref().unwrap();
+            // The artifact round-trips through the parser.
+            parse_function(code, &Machine::dsp32()).unwrap();
+            let cj = r.counters_json.as_deref().unwrap();
+            tossa_trace::validate_json(cj).unwrap();
+        }
+        assert_eq!(counters.get(JobCounter::JobsSubmitted), 2);
+        assert_eq!(counters.get(JobCounter::JobsCompletedChecked), 2);
+    }
+
+    #[test]
+    fn worker_panic_fault_is_contained_and_retried_to_success() {
+        // Rate 100 with WorkerPanic-heavy draws: some attempts panic,
+        // retries eventually land (attempt participates in the draw) or
+        // the job quarantines — either way no unwind escapes run_batch.
+        let config = ServiceConfig {
+            workers: 2,
+            chaos: Some(ChaosConfig {
+                seed: 3,
+                rate_pct: 60,
+            }),
+            ..ServiceConfig::default()
+        };
+        let jobs: Vec<Job> = (1..=20).map(|k| job(k, ADD)).collect();
+        let (reports, counters) = run_batch(config, jobs);
+        assert_eq!(reports.len(), 20);
+        for r in &reports {
+            assert!(
+                crate::ladder::steps_are_contiguous(&r.ladder),
+                "job {}: ladder skipped a rung",
+                r.id
+            );
+            if r.outcome != JobOutcome::Completed {
+                assert!(r.error_class.is_some(), "job {}: unclassified", r.id);
+            }
+        }
+        // At the 60% rate over 20 jobs × attempts something must land.
+        assert!(counters.get(JobCounter::ServiceFaultsInjected) > 0);
+    }
+
+    #[test]
+    fn queue_overflow_sheds_with_structured_reports() {
+        // One worker, capacity-1 queue, zero grace: flooding must shed
+        // some jobs, and every shed job must still produce a report.
+        let config = ServiceConfig {
+            workers: 1,
+            queue_cap: 1,
+            admission_grace: Duration::ZERO,
+            ..ServiceConfig::default()
+        };
+        let n = 30u64;
+        let (reports, counters) = run_batch(config, (1..=n).map(|k| job(k, ADD)).collect());
+        assert_eq!(reports.len() as u64, n, "every job reports, shed or not");
+        let shed = reports
+            .iter()
+            .filter(|r| r.outcome == JobOutcome::Shed)
+            .count() as u64;
+        assert_eq!(counters.get(JobCounter::JobsShed), shed);
+        assert_eq!(
+            counters.get(JobCounter::JobsSubmitted) + shed,
+            n,
+            "accepted + shed covers the flood"
+        );
+        for r in reports.iter().filter(|r| r.outcome == JobOutcome::Shed) {
+            assert_eq!(r.error_class.as_deref(), Some("service.queue_full"));
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_refused_structurally() {
+        let (service, rx) = CompileService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        assert!(service.submit_frame("this is not a frame").is_err());
+        let escaped = tossa_trace::escape_json(ADD);
+        service
+            .submit_frame(&format!("{{\"func\": \"{escaped}\"}}"))
+            .unwrap();
+        let counters = service.shutdown();
+        let reports: Vec<JobReport> = rx.iter().collect();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(counters.get(JobCounter::FramesMalformed), 1);
+        let rejected = reports
+            .iter()
+            .find(|r| r.outcome == JobOutcome::FrameRejected)
+            .unwrap();
+        assert_eq!(rejected.error_class.as_deref(), Some("frame.json"));
+        assert!(reports
+            .iter()
+            .any(|r| r.outcome == JobOutcome::Completed && r.verified));
+    }
+}

@@ -1,0 +1,168 @@
+//! Wall-clock deadline enforcement: a watchdog thread that *marks*
+//! rather than kills.
+//!
+//! Rust threads cannot be cancelled safely, and the pipeline holds
+//! interior state (arena IR, analysis caches) that forced termination
+//! would tear. The service therefore leans on the fact that every job
+//! attempt provably terminates — interpreter fuel bounds differential
+//! execution, and every pass is a finite traversal — and enforces
+//! deadlines observationally: the watchdog scans registered jobs on a
+//! tick, marks any past its deadline as *blown*, and the worker reads
+//! the mark when the attempt finishes. A blown attempt's result is
+//! discarded and the job is retried (then quarantined), exactly as if
+//! it had been killed, but with no unsafe cancellation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Entry {
+    deadline: Instant,
+    blown: Arc<AtomicBool>,
+}
+
+struct Shared {
+    entries: Mutex<HashMap<u64, Entry>>,
+    stop: AtomicBool,
+    wake: Condvar,
+    // Paired with `wake`; the bool is a dummy — the watchdog sleeps on
+    // the condvar so shutdown can interrupt a tick immediately.
+    gate: Mutex<bool>,
+}
+
+/// The watchdog: one scanning thread for the whole service.
+pub struct Watchdog {
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Registration of one job attempt; dropping it deregisters. The
+/// `blown` flag stays readable after drop, so the worker can read the
+/// verdict once the attempt is over.
+pub struct WatchGuard {
+    shared: Arc<Shared>,
+    key: u64,
+    blown: Arc<AtomicBool>,
+}
+
+impl WatchGuard {
+    /// Whether the watchdog marked this attempt as past its deadline.
+    pub fn blown(&self) -> bool {
+        self.blown.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for WatchGuard {
+    fn drop(&mut self) {
+        let mut entries = self
+            .shared
+            .entries
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        entries.remove(&self.key);
+    }
+}
+
+impl Watchdog {
+    /// Starts the watchdog with the given scan period.
+    pub fn start(tick: Duration) -> Watchdog {
+        let shared = Arc::new(Shared {
+            entries: Mutex::new(HashMap::new()),
+            stop: AtomicBool::new(false),
+            wake: Condvar::new(),
+            gate: Mutex::new(false),
+        });
+        let s = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("tossa-watchdog".into())
+            .spawn(move || {
+                while !s.stop.load(Ordering::Relaxed) {
+                    {
+                        let entries = s.entries.lock().unwrap_or_else(|p| p.into_inner());
+                        let now = Instant::now();
+                        for e in entries.values() {
+                            if now >= e.deadline {
+                                e.blown.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    let gate = s.gate.lock().unwrap_or_else(|p| p.into_inner());
+                    let _unused = s
+                        .wake
+                        .wait_timeout(gate, tick)
+                        .unwrap_or_else(|p| p.into_inner());
+                }
+            })
+            .ok();
+        Watchdog { shared, thread }
+    }
+
+    /// Registers attempt `key` (unique per in-flight attempt) with a
+    /// deadline `budget` from now.
+    pub fn watch(&self, key: u64, budget: Duration) -> WatchGuard {
+        let blown = Arc::new(AtomicBool::new(false));
+        let mut entries = self
+            .shared
+            .entries
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        entries.insert(
+            key,
+            Entry {
+                deadline: Instant::now() + budget,
+                blown: Arc::clone(&blown),
+            },
+        );
+        WatchGuard {
+            shared: Arc::clone(&self.shared),
+            key,
+            blown,
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.wake.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overrunning_attempt_is_marked_blown() {
+        let wd = Watchdog::start(Duration::from_millis(5));
+        let guard = wd.watch(1, Duration::from_millis(20));
+        assert!(!guard.blown(), "fresh attempt must not be blown");
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(guard.blown(), "attempt past its deadline must be marked");
+    }
+
+    #[test]
+    fn fast_attempt_is_never_marked() {
+        let wd = Watchdog::start(Duration::from_millis(5));
+        let guard = wd.watch(2, Duration::from_secs(30));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!guard.blown());
+        drop(guard);
+    }
+
+    #[test]
+    fn verdict_survives_deregistration() {
+        let wd = Watchdog::start(Duration::from_millis(5));
+        let guard = wd.watch(3, Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(30));
+        let blown_flag = Arc::clone(&guard.blown);
+        drop(guard);
+        assert!(blown_flag.load(Ordering::Relaxed));
+        drop(wd); // shutdown joins the scanner promptly
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod json;
 pub mod provenance;
+pub mod service;
 
 use std::cell::RefCell;
 use std::fmt::Write as _;

@@ -19,6 +19,7 @@
 //! | [`baselines`] | Briggs-style naive replacement, Sreedhar et al. Method III, Chaitin coalescing |
 //! | [`bench`](mod@bench) | the five benchmark suites and the harness regenerating Tables 1–5 |
 //! | [`trace`] | zero-cost-when-disabled pass tracing: spans, counters, JSONL/Chrome-trace export |
+//! | [`server`] | fault-isolated compile service: panic containment, resource budgets, degradation ladder, chaos soak |
 //!
 //! ## Quickstart
 //!
@@ -65,5 +66,6 @@ pub use tossa_bench as bench;
 pub use tossa_core as core;
 pub use tossa_ir as ir;
 pub use tossa_regalloc as regalloc;
+pub use tossa_server as server;
 pub use tossa_ssa as ssa;
 pub use tossa_trace as trace;
