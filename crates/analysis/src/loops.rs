@@ -15,6 +15,9 @@ use tossa_ir::Function;
 pub struct LoopInfo {
     depth: EntityVec<Block, u32>,
     headers: Vec<Block>,
+    /// Loop body per header, parallel to `headers` (back edges sharing a
+    /// header are merged into one natural loop).
+    bodies: Vec<Vec<Block>>,
 }
 
 impl LoopInfo {
@@ -74,7 +77,21 @@ impl LoopInfo {
                 depth[b] += 1;
             }
         }
-        LoopInfo { depth, headers }
+        let bodies = headers
+            .iter()
+            .map(|h| {
+                body_of
+                    .iter()
+                    .find(|(hh, _)| hh == h)
+                    .map(|(_, body)| body.clone())
+                    .unwrap_or_default()
+            })
+            .collect();
+        LoopInfo {
+            depth,
+            headers,
+            bodies,
+        }
     }
 
     /// Loop nesting depth of `b` (0 outside any loop).
@@ -90,6 +107,23 @@ impl LoopInfo {
     /// The maximum nesting depth in the function.
     pub fn max_depth(&self) -> u32 {
         self.depth.values().copied().max().unwrap_or(0)
+    }
+
+    /// The blocks of the natural loop headed by `h` (header included),
+    /// or `None` when `h` is not a loop header. Back edges sharing a
+    /// header are merged, matching [`LoopInfo::depth`].
+    pub fn body(&self, h: Block) -> Option<&[Block]> {
+        self.headers
+            .iter()
+            .position(|&hh| hh == h)
+            .map(|idx| self.bodies[idx].as_slice())
+    }
+
+    /// The Table 5 execution-frequency weight of `b`: `5^depth`,
+    /// saturating. This is the per-occurrence unit of the allocator's
+    /// spill-cost model.
+    pub fn weight(&self, b: Block) -> u64 {
+        5u64.saturating_pow(self.depth(b))
     }
 
     /// Reachable blocks ordered from the innermost loops outwards
@@ -176,6 +210,35 @@ exit:
         for w in order.windows(2) {
             assert!(li.depth(w[0]) >= li.depth(w[1]));
         }
+    }
+
+    #[test]
+    fn bodies_and_weights_follow_nesting() {
+        let (f, cfg, dt) = setup(
+            "func @n {
+entry:
+  %c = input
+  jump outer
+outer:
+  jump inner
+inner:
+  br %c, inner, outertest
+outertest:
+  br %c, outer, exit
+exit:
+  ret %c
+}",
+        );
+        let li = LoopInfo::compute(&f, &cfg, &dt);
+        let (outer, inner, outertest) = (Block::new(1), Block::new(2), Block::new(3));
+        let outer_body = li.body(outer).unwrap();
+        assert!(outer_body.contains(&outer) && outer_body.contains(&inner));
+        assert!(outer_body.contains(&outertest));
+        assert_eq!(li.body(inner).unwrap(), &[inner]);
+        assert!(li.body(f.entry).is_none());
+        assert_eq!(li.weight(f.entry), 1);
+        assert_eq!(li.weight(outer), 5);
+        assert_eq!(li.weight(inner), 25);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //!
 //! Usage:
 //!   `explain [--suite NAME] [--experiment NAME] [--function NAME]`
-//!   `        [--naive] [--alloc] [--spec N] [--json FILE] [--quiet]`
+//!   `        [--naive] [--alloc] [--spill-everywhere] [--spec N]`
+//!   `        [--json FILE] [--quiet]`
 //!   `explain --diff A.json B.json`
 //!
 //! * `--suite NAME`      — suite to run (default `VALcc1`);
@@ -16,6 +17,10 @@
 //!   knob `--diff` is meant to compare;
 //! * `--alloc`           — run the register allocator too, so spill
 //!   rationales appear;
+//! * `--spill-everywhere` — allocate under the PR4 spill-everywhere
+//!   policy instead of the cost-driven default; `--diff` two `--alloc`
+//!   dumps (one with this flag, one without) to list exactly the webs
+//!   whose spill decision flipped;
 //! * `--json FILE`       — also write the machine-readable
 //!   `tossa-explain/1` dump;
 //! * `--quiet`           — skip the human-readable report (JSON only);
@@ -27,11 +32,12 @@
 //! with a pruning summary attributing every killed affinity edge to an
 //! interference class with its concrete witness pair.
 
-use tossa_bench::runner::{apply_alloc, run_experiment};
+use tossa_bench::runner::{apply_alloc_with, run_experiment};
 use tossa_bench::suites::all_suites;
 use tossa_core::coalesce::CoalesceOptions;
 use tossa_core::interfere::InterferenceMode;
 use tossa_core::Experiment;
+use tossa_regalloc::{AllocOptions, SpillPolicy};
 use tossa_trace::json::{parse_json, Json};
 use tossa_trace::provenance::{records_json, Kind, Record, Verdict};
 use tossa_trace::{escape_json, validate_json};
@@ -55,7 +61,7 @@ fn run_dump(
     suite_name: &str,
     exp: Experiment,
     opts: &CoalesceOptions,
-    alloc: bool,
+    alloc: Option<&AllocOptions>,
     only: Option<&str>,
     spec_scale: usize,
 ) -> Vec<FunctionDump> {
@@ -74,8 +80,8 @@ fn run_dump(
         .map(|bf| {
             let (r, trace) = tossa_trace::capture(|| {
                 let mut r = run_experiment(&bf.func, exp, opts);
-                if alloc {
-                    apply_alloc(&mut r);
+                if let Some(aopts) = alloc {
+                    apply_alloc_with(&mut r, aopts);
                 }
                 r
             });
@@ -408,11 +414,19 @@ fn main() {
     let mode = if naive { "pessimistic" } else { "exact" };
     let spec_scale = value("--spec").and_then(|v| v.parse().ok()).unwrap_or(40);
     let only = value("--function");
+    let alloc_opts = flag("--alloc").then(|| AllocOptions {
+        spill_policy: if flag("--spill-everywhere") {
+            SpillPolicy::Everywhere
+        } else {
+            SpillPolicy::default()
+        },
+        ..Default::default()
+    });
     let dumps = run_dump(
         &suite,
         exp,
         &opts,
-        flag("--alloc"),
+        alloc_opts.as_ref(),
         only.as_deref(),
         spec_scale,
     );

@@ -14,7 +14,7 @@
 //! * `--chaos CLASS` — inject a corruption class (`drop-phi-arg`,
 //!   `double-def`, `undefined-use`, `merge-webs`, `reorder-copy`, or the
 //!   allocation classes `assign-overlap`, `clobber-pin`, `drop-reload`,
-//!   which imply `--alloc`) to validate the safety net: the run then
+//!   `drop-split-copy`, which imply `--alloc`) to validate the safety net: the run then
 //!   *expects* degradations and fails if the fallback misbehaves;
 //! * `--alloc`       — run the checked register-allocation stage after
 //!   the pipeline (allocation verifier + post-allocation differential);
@@ -58,6 +58,7 @@ fn parse_chaos(s: &str) -> Option<ChaosClass> {
         )),
         "clobber-pin" => Some(ChaosClass::Alloc(AllocCorruption::ClobberPinnedResource)),
         "drop-reload" => Some(ChaosClass::Alloc(AllocCorruption::DropReload)),
+        "drop-split-copy" => Some(ChaosClass::Alloc(AllocCorruption::DropSplitCopy)),
         _ => None,
     }
 }

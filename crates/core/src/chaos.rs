@@ -201,13 +201,24 @@ pub enum AllocCorruption {
     /// spiller losing an insertion. Caught as
     /// [`AllocError::UndefinedUse`](tossa_regalloc::AllocError::UndefinedUse).
     DropReload,
+    /// Redirect one live-range-split boundary reload (a `spillld`
+    /// defining a `.s` hot sub-web) to a slot nothing stores into — a
+    /// splitter miscomputing the boundary slot, so the store/reload
+    /// pairing the split promised is broken. Caught as
+    /// [`AllocError::UnpairedSlot`](tossa_regalloc::AllocError::UnpairedSlot).
+    DropSplitCopy,
 }
 
 impl AllocCorruption {
     /// All allocation corruption classes.
     pub fn all() -> &'static [AllocCorruption] {
         use AllocCorruption::*;
-        &[AssignOverlappingInterval, ClobberPinnedResource, DropReload]
+        &[
+            AssignOverlappingInterval,
+            ClobberPinnedResource,
+            DropReload,
+            DropSplitCopy,
+        ]
     }
 }
 
@@ -225,6 +236,7 @@ pub fn inject_alloc(
         AllocCorruption::AssignOverlappingInterval => assign_overlapping(f, asg, rng),
         AllocCorruption::ClobberPinnedResource => clobber_pinned(f, asg, rng),
         AllocCorruption::DropReload => drop_reload(f, rng),
+        AllocCorruption::DropSplitCopy => drop_split_copy(f, rng),
     }
 }
 
@@ -296,6 +308,35 @@ fn drop_reload(f: &mut Function, rng: &mut SplitMix64) -> bool {
         return false;
     };
     f.remove_inst(b, i);
+    true
+}
+
+fn drop_split_copy(f: &mut Function, rng: &mut SplitMix64) -> bool {
+    // Boundary reloads inserted by a live-range split define the `.s`
+    // hot sub-web; any other reload defines a `.r` use temporary.
+    let sites: Vec<_> = f
+        .all_insts()
+        .filter(|&(_, i)| {
+            let inst = f.inst(i);
+            inst.opcode == Opcode::SpillLoad
+                && inst
+                    .defs
+                    .first()
+                    .is_some_and(|o| f.var(o.var).name.ends_with(".s"))
+        })
+        .map(|(_, i)| i)
+        .collect();
+    let Some(i) = pick(rng, &sites) else {
+        return false;
+    };
+    let unpaired = f
+        .all_insts()
+        .filter(|&(_, j)| matches!(f.inst(j).opcode, Opcode::SpillLoad | Opcode::SpillStore))
+        .map(|(_, j)| f.inst(j).imm)
+        .max()
+        .unwrap_or(0)
+        + 1;
+    *f.inst_mut(i).imm = unpaired;
     true
 }
 
@@ -526,9 +567,59 @@ exit:
         );
     }
 
+    /// Pressure shaped so the cost-driven allocator must split: six
+    /// webs crossing a loop (weight 7 = entry def + body use ×5 + cold
+    /// use) against sixteen heavier short webs (weight 9, dead before
+    /// the loop) overflow the register file inside the entry block, so
+    /// the cheapest normalized victims are exactly the loop-crossing
+    /// webs and their conflict point lies outside the loop — the split
+    /// precondition — while the hot sub-webs face no pressure and stay
+    /// register-resident.
+    fn split_specimen_text() -> String {
+        let mut text = String::from("func @sp {\nentry:\n  %n = input\n");
+        for k in 0..6 {
+            text.push_str(&format!("  %h{k} = addi %n, {k}\n"));
+        }
+        text.push_str("  %t = make 0\n");
+        for k in 0..16 {
+            text.push_str(&format!("  %c{k} = addi %n, {}\n", 100 + k));
+        }
+        for k in 0..16 {
+            for _ in 0..8 {
+                text.push_str(&format!("  %t = add %t, %c{k}\n"));
+            }
+        }
+        text.push_str("  %z = mov %t\n  jump head\nhead:\n");
+        text.push_str("  %cc = cmplt %z, %n\n  br %cc, body, mid\nbody:\n");
+        for k in 0..6 {
+            text.push_str(&format!("  %z = add %z, %h{k}\n"));
+        }
+        text.push_str("  jump head\nmid:\n  %s = mov %z\n");
+        for k in 0..6 {
+            text.push_str(&format!("  %s = add %s, %h{k}\n"));
+        }
+        text.push_str("  ret %s\n}\n");
+        text
+    }
+
+    #[test]
+    fn drop_split_copy_caught_as_unpaired_slot() {
+        let (mut f, mut asg) = prepared_for_alloc(&split_specimen_text());
+        let mut rng = SplitMix64::seed_from_u64(11);
+        assert!(
+            inject_alloc(&mut f, &mut asg, AllocCorruption::DropSplitCopy, &mut rng),
+            "the specimen never split:\n{f}"
+        );
+        let e = tossa_regalloc::verify_allocation(&f, &asg).unwrap_err();
+        assert!(
+            matches!(e, tossa_regalloc::AllocError::UnpairedSlot { .. }),
+            "{e}"
+        );
+    }
+
     #[test]
     fn alloc_classes_without_sites_leave_state_untouched() {
-        // No pinned variables and no spill code: two of the three
+        // No pinned variables and no spill code: three of the four
         // classes have no site.
         let (mut f, mut asg) = prepared_for_alloc("func @n {\nentry:\n  %a = input\n  ret %a\n}");
         let before = f.to_string();
@@ -537,6 +628,7 @@ exit:
         for c in [
             AllocCorruption::ClobberPinnedResource,
             AllocCorruption::DropReload,
+            AllocCorruption::DropSplitCopy,
         ] {
             assert!(!inject_alloc(&mut f, &mut asg, c, &mut rng), "{c:?}");
         }

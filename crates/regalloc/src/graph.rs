@@ -6,14 +6,22 @@
 //! decreasing-degree order. Uncolorable spillable nodes are returned as
 //! an eviction set, so the driver's spill loop works identically for
 //! both engines.
+//!
+//! Under the cost-driven policy (`costs: Some(..)`) an uncolorable node
+//! may instead evict a strictly cheaper already-colored neighbor whose
+//! color is uniquely held, mirroring the scan engine's cheapest-victim
+//! rule.
 
 use std::collections::HashSet;
 use tossa_ir::ids::Var;
 use tossa_ir::machine::{PhysReg, RegClass};
+use tossa_ir::print::var_str;
 use tossa_ir::Function;
+use tossa_trace::provenance;
 
+use crate::cost::SpillCosts;
 use crate::intervals::Intervals;
-use crate::scan::{Blocked, ScanFail};
+use crate::scan::{Blocked, ScanFail, SpillReq};
 use crate::{pools, AllocError, Assignment};
 
 /// One greedy-coloring round.
@@ -21,7 +29,12 @@ use crate::{pools, AllocError, Assignment};
 /// # Errors
 /// [`ScanFail::Spill`] with the uncolorable spillable set, or
 /// [`ScanFail::Hard`] on pin conflicts / unspillable pressure.
-pub fn color(f: &Function, ivs: &Intervals, temps: &HashSet<Var>) -> Result<Assignment, ScanFail> {
+pub fn color(
+    f: &Function,
+    ivs: &Intervals,
+    temps: &HashSet<Var>,
+    costs: Option<&SpillCosts>,
+) -> Result<Assignment, ScanFail> {
     // Pin-conflict detection shared with the scan engine.
     let _ = Blocked::collect(ivs).map_err(ScanFail::Hard)?;
 
@@ -50,13 +63,10 @@ pub fn color(f: &Function, ivs: &Intervals, temps: &HashSet<Var>) -> Result<Assi
     let mut order: Vec<usize> = (0..n).filter(|&i| ivs.items[i].pre.is_none()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(adj[i].len()));
 
-    let mut spills: Vec<Var> = Vec::new();
+    let mut spills: Vec<SpillReq> = Vec::new();
+    let mut spilled_nodes: HashSet<usize> = HashSet::new();
     for idx in order {
         let iv = &ivs.items[idx];
-        let neighbor_regs: HashSet<u8> = adj[idx]
-            .iter()
-            .filter_map(|&a| color_of[a].map(|r| r.0))
-            .collect();
         let mut candidates: Vec<PhysReg> = Vec::new();
         if let Some(h) = iv.hint {
             if let Some(r) = asg.get(h) {
@@ -66,24 +76,105 @@ pub fn color(f: &Function, ivs: &Intervals, temps: &HashSet<Var>) -> Result<Assi
             }
         }
         candidates.extend(pools(f, iv.ptr_pref));
-        match candidates
-            .iter()
-            .copied()
-            .find(|r| !neighbor_regs.contains(&r.0))
-        {
-            Some(r) => {
+        loop {
+            let neighbor_regs: HashSet<u8> = adj[idx]
+                .iter()
+                .filter_map(|&a| color_of[a].map(|r| r.0))
+                .collect();
+            if let Some(r) = candidates
+                .iter()
+                .copied()
+                .find(|r| !neighbor_regs.contains(&r.0))
+            {
                 color_of[idx] = Some(r);
                 asg.set(iv.var, r);
+                break;
             }
-            None if !temps.contains(&iv.var) => spills.push(iv.var),
-            None => return Err(ScanFail::Hard(AllocError::OutOfRegisters { var: iv.var })),
+            // Cost-driven: a colored spillable neighbor whose color no
+            // other colored neighbor shares frees a register for us when
+            // evicted. Take the cheapest such neighbor if it is strictly
+            // cheaper than spilling ourselves.
+            // Normalized like the scan engine: spill weight per position
+            // of relief, so long cold neighbors are preferred victims.
+            let norm = |a: usize| {
+                let aiv = &ivs.items[a];
+                (
+                    u128::from(costs.map(|c| c.cost(aiv.var).weight).unwrap_or(0)),
+                    u128::from(aiv.end - aiv.start) + 1,
+                )
+            };
+            let cheaper_neighbor = costs.and_then(|_| {
+                let (sw, sl) = norm(idx);
+                adj[idx]
+                    .iter()
+                    .copied()
+                    .filter(|&a| {
+                        let aiv = &ivs.items[a];
+                        color_of[a].is_some()
+                            && aiv.pre.is_none()
+                            && !temps.contains(&aiv.var)
+                            && !spilled_nodes.contains(&a)
+                            && adj[idx]
+                                .iter()
+                                .filter(|&&b| color_of[b] == color_of[a])
+                                .count()
+                                == 1
+                    })
+                    .min_by(|&a, &b| {
+                        let (wa, la) = norm(a);
+                        let (wb, lb) = norm(b);
+                        (wa * lb)
+                            .cmp(&(wb * la))
+                            .then(ivs.items[b].end.cmp(&ivs.items[a].end))
+                            .then(a.cmp(&b))
+                    })
+                    .filter(|&a| {
+                        let (vw, vl) = norm(a);
+                        vw * sl < sw * vl
+                    })
+            });
+            match cheaper_neighbor {
+                Some(a) => {
+                    let av = ivs.items[a].var;
+                    color_of[a] = None;
+                    spilled_nodes.insert(a);
+                    spills.push(SpillReq {
+                        var: av,
+                        at: iv.start.max(ivs.items[a].start),
+                    });
+                    provenance::record(|| provenance::Kind::Spill {
+                        var: var_str(f, av),
+                        start: ivs.items[a].start,
+                        end: ivs.items[a].end,
+                        cause: costs.expect("cost mode").rationale(av),
+                    });
+                    // Retry coloring with the freed register.
+                }
+                None if !temps.contains(&iv.var) => {
+                    spills.push(SpillReq {
+                        var: iv.var,
+                        at: iv.start,
+                    });
+                    spilled_nodes.insert(idx);
+                    if let Some(c) = costs {
+                        provenance::record(|| provenance::Kind::Spill {
+                            var: var_str(f, iv.var),
+                            start: iv.start,
+                            end: iv.end,
+                            cause: c.rationale(iv.var),
+                        });
+                    }
+                    break;
+                }
+                None => return Err(ScanFail::Hard(AllocError::OutOfRegisters { var: iv.var })),
+            }
         }
     }
     if spills.is_empty() {
         Ok(asg)
     } else {
-        spills.sort_unstable_by_key(|v| v.index());
-        spills.dedup();
+        spills.sort_by_key(|s| s.var.index());
+        spills.dedup_by_key(|s| s.var);
         Err(ScanFail::Spill(spills))
     }
 }
@@ -103,7 +194,7 @@ mod tests {
         )
         .unwrap();
         let ivs = intervals::build(&f);
-        let asg = color(&f, &ivs, &HashSet::new()).unwrap();
+        let asg = color(&f, &ivs, &HashSet::new(), None).unwrap();
         for (i, x) in ivs.items.iter().enumerate() {
             for y in &ivs.items[i + 1..] {
                 if x.overlaps(y) {

@@ -48,6 +48,23 @@ impl Interval {
 pub struct Intervals {
     /// Intervals sorted by `(start, var)`.
     pub items: Vec<Interval>,
+    /// Per-block position span `(base, live_exit)` in the linearized
+    /// order, indexed by `Block::index()`. Used by the spill layer to
+    /// reason about loop-region boundaries in position space.
+    pub block_span: Vec<(u32, u32)>,
+}
+
+impl Intervals {
+    /// Does the position `p` fall inside the span of any block in
+    /// `blocks`?
+    pub fn position_in_blocks(&self, p: u32, blocks: &[tossa_ir::ids::Block]) -> bool {
+        blocks.iter().any(|b| {
+            self.block_span
+                .get(b.index())
+                .map(|&(s, e)| s <= p && p <= e)
+                .unwrap_or(false)
+        })
+    }
 }
 
 /// Reverse postorder with unreachable blocks appended, so every
@@ -98,6 +115,7 @@ fn build_inner(f: &Function, cfg: &Cfg, live: &Liveness) -> Intervals {
     let mut ptr_pref: Vec<bool> = vec![false; f.num_vars()];
     let mut hint: Vec<Option<Var>> = vec![None; f.num_vars()];
 
+    let mut block_span: Vec<(u32, u32)> = vec![(0, 0); f.num_blocks()];
     let mut base: u32 = 0;
     for &b in &order {
         for v in live.live_in(b).iter() {
@@ -136,6 +154,7 @@ fn build_inner(f: &Function, cfg: &Cfg, live: &Liveness) -> Intervals {
         for v in live.live_exit(f, b).iter() {
             touch(v, end_pos);
         }
+        block_span[b.index()] = (base, end_pos);
         base = end_pos + 2;
     }
 
@@ -160,7 +179,7 @@ fn build_inner(f: &Function, cfg: &Cfg, live: &Liveness) -> Intervals {
         })
         .collect();
     items.sort_by_key(|iv| (iv.start, iv.var.index()));
-    Intervals { items }
+    Intervals { items, block_span }
 }
 
 #[cfg(test)]

@@ -36,10 +36,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod graph;
 pub mod intervals;
 pub mod scan;
 pub mod spill;
+pub mod split;
 pub mod verify;
 
 use std::collections::{HashMap, HashSet};
@@ -64,6 +66,20 @@ pub enum Strategy {
     Graph,
 }
 
+/// How eviction victims are chosen and rewritten.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpillPolicy {
+    /// The PR4 policy: evict the furthest-ending spillable interval and
+    /// rewrite it through a slot at every occurrence. Cost-blind.
+    Everywhere,
+    /// Cost-driven: evict the candidate with the lowest loop-weighted
+    /// spill cost ([`cost::SpillCosts`]); rematerialize single-`make`
+    /// webs instead of reloading them; split live ranges at loop-region
+    /// boundaries when the pressure point lies outside a hot loop.
+    #[default]
+    CostDriven,
+}
+
 /// Allocator configuration.
 #[derive(Clone, Debug)]
 pub struct AllocOptions {
@@ -73,6 +89,8 @@ pub struct AllocOptions {
     pub max_rounds: usize,
     /// Run [`verify_allocation`] before rewriting to physical form.
     pub verify: bool,
+    /// Victim selection and spill-rewrite policy.
+    pub spill_policy: SpillPolicy,
 }
 
 impl Default for AllocOptions {
@@ -81,6 +99,7 @@ impl Default for AllocOptions {
             strategy: Strategy::Auto,
             max_rounds: 8,
             verify: true,
+            spill_policy: SpillPolicy::default(),
         }
     }
 }
@@ -103,6 +122,12 @@ pub struct AllocStats {
     pub fallback: bool,
     /// Spill-and-retry rounds taken.
     pub rounds: usize,
+    /// `make` defs re-issued by rematerialization (no slot, no memory
+    /// traffic; not counted in `spilled_vars`).
+    pub remats: usize,
+    /// Webs split at a loop-region boundary instead of spilled
+    /// everywhere (each consumes one slot and counts in `spilled_vars`).
+    pub splits: usize,
 }
 
 impl AllocStats {
@@ -121,6 +146,8 @@ impl AllocStats {
         self.moves_after += other.moves_after;
         self.fallback |= other.fallback;
         self.rounds = self.rounds.max(other.rounds);
+        self.remats += other.remats;
+        self.splits += other.splits;
     }
 }
 
@@ -310,6 +337,11 @@ pub fn prepare(f: &mut Function, opts: &AllocOptions) -> Result<Prepared, AllocE
         Strategy::Graph => &[(Strategy::Graph, false)],
     };
     let mut last_err = None;
+    // Webs that already went through rematerialization or splitting:
+    // if they come back as victims the fallback is spill-everywhere,
+    // which guarantees the loop keeps shrinking long intervals.
+    let mut no_split: HashSet<Var> = HashSet::new();
+    let mut remat_done: HashSet<Var> = HashSet::new();
     // One analysis manager for every round of every engine: spill
     // rewriting invalidates instructions only, keeping the CFG hot.
     let mut cache = tossa_analysis::AnalysisCache::new();
@@ -317,9 +349,22 @@ pub fn prepare(f: &mut Function, opts: &AllocOptions) -> Result<Prepared, AllocE
         for _ in 0..opts.max_rounds.max(1) {
             stats.rounds += 1;
             let ivs = intervals::build_cached(f, &mut cache);
+            // Round-scoped analyses for the cost-driven policy, pulled
+            // from the cache *before* any rewrite mutates `f`.
+            let round = match opts.spill_policy {
+                SpillPolicy::Everywhere => None,
+                SpillPolicy::CostDriven => {
+                    let cfg = cache.cfg(f);
+                    let live = cache.liveness(f);
+                    let loops = cache.loops(f);
+                    let costs = cost::SpillCosts::compute(f, &loops);
+                    Some((cfg, live, loops, costs))
+                }
+            };
+            let costs = round.as_ref().map(|(_, _, _, c)| c);
             let outcome = match engine {
-                Strategy::Graph => graph::color(f, &ivs, &temps),
-                _ => scan::scan(f, &ivs, &temps),
+                Strategy::Graph => graph::color(f, &ivs, &temps, costs),
+                _ => scan::scan(f, &ivs, &temps, costs),
             };
             match outcome {
                 Ok(assignment) => {
@@ -329,15 +374,60 @@ pub fn prepare(f: &mut Function, opts: &AllocOptions) -> Result<Prepared, AllocE
                     }
                     return Ok(Prepared { assignment, stats });
                 }
-                Err(scan::ScanFail::Spill(vars)) => {
-                    let (st, rl) = spill::rewrite_spills(f, &vars, &mut next_slot, &mut temps);
+                Err(scan::ScanFail::Spill(reqs)) => {
+                    // Disposition per victim: rematerialize, split, or
+                    // spill everywhere. Remat and split run first so the
+                    // batched everywhere-rewrite sees the final shape.
+                    let mut everywhere: Vec<(Var, i64)> = Vec::new();
+                    for req in &reqs {
+                        let v = req.var;
+                        if let Some((cfg, live, loops, costs)) = &round {
+                            if let Some(imm) = costs.remat_imm(v) {
+                                if !remat_done.contains(&v) {
+                                    remat_done.insert(v);
+                                    record_spill_cause(f, &ivs, v, "remat:make");
+                                    let n = spill::rematerialize(f, v, imm, &mut temps);
+                                    stats.remats += n;
+                                    continue;
+                                }
+                            }
+                            if let Some(out) = split::try_split(
+                                f,
+                                v,
+                                req.at,
+                                &ivs,
+                                loops,
+                                live,
+                                cfg,
+                                costs,
+                                next_slot,
+                                &mut temps,
+                                &mut no_split,
+                            ) {
+                                next_slot += 1;
+                                stats.splits += 1;
+                                stats.spilled_vars += 1;
+                                stats.stores += out.stores;
+                                stats.reloads += out.reloads;
+                                tossa_trace::count(Counter::AllocSpilledVars, 1);
+                                tossa_trace::count(Counter::AllocStores, out.stores as u64);
+                                tossa_trace::count(Counter::AllocReloads, out.reloads as u64);
+                                continue;
+                            }
+                        }
+                        everywhere.push((v, next_slot));
+                        next_slot += 1;
+                    }
+                    if !everywhere.is_empty() {
+                        let (st, rl) = spill::rewrite_spills_with_slots(f, &everywhere, &mut temps);
+                        stats.spilled_vars += everywhere.len();
+                        stats.stores += st;
+                        stats.reloads += rl;
+                        tossa_trace::count(Counter::AllocSpilledVars, everywhere.len() as u64);
+                        tossa_trace::count(Counter::AllocStores, st as u64);
+                        tossa_trace::count(Counter::AllocReloads, rl as u64);
+                    }
                     cache.invalidate_instructions();
-                    stats.spilled_vars += vars.len();
-                    stats.stores += st;
-                    stats.reloads += rl;
-                    tossa_trace::count(Counter::AllocSpilledVars, vars.len() as u64);
-                    tossa_trace::count(Counter::AllocStores, st as u64);
-                    tossa_trace::count(Counter::AllocReloads, rl as u64);
                 }
                 Err(scan::ScanFail::Hard(e)) => {
                     if matches!(e, AllocError::PinConflict { .. }) {
@@ -350,6 +440,25 @@ pub fn prepare(f: &mut Function, opts: &AllocOptions) -> Result<Prepared, AllocE
         }
     }
     Err(last_err.unwrap_or(AllocError::OutOfRegisters { var: Var::new(0) }))
+}
+
+/// Records a `Spill` provenance entry for `v` with the given cause,
+/// using its hull interval for the range.
+fn record_spill_cause(f: &Function, ivs: &intervals::Intervals, v: Var, cause: &str) {
+    tossa_trace::provenance::record(|| {
+        let (start, end) = ivs
+            .items
+            .iter()
+            .find(|iv| iv.var == v)
+            .map(|iv| (iv.start, iv.end))
+            .unwrap_or((0, 0));
+        tossa_trace::provenance::Kind::Spill {
+            var: tossa_ir::print::var_str(f, v),
+            start,
+            end,
+            cause: cause.to_string(),
+        }
+    });
 }
 
 /// Rewrites `f` into physical form: every variable becomes the canonical

@@ -3,11 +3,17 @@
 //! Precolored intervals (out-of-SSA pinnings) are fixed: their register
 //! is reserved for their whole interval, and an unpinned candidate may
 //! only take a register whose precolored reservations it does not
-//! overlap. When no register is free the furthest-ending spillable
-//! interval (possibly the current one) is evicted; the caller rewrites
-//! the evicted variables through spill slots and re-runs the scan.
-//! Spill-reload temporaries are unspillable, which bounds the iteration:
-//! each round strictly shrinks the set of long intervals.
+//! overlap. When no register is free an eviction is forced; the caller
+//! rewrites the evicted variables through spill slots and re-runs the
+//! scan. Spill-reload temporaries are unspillable, which bounds the
+//! iteration: each round strictly shrinks the set of long intervals.
+//!
+//! Victim choice is policy-dependent. The PR4 policy (`costs: None`)
+//! evicts the furthest-ending spillable interval (possibly the current
+//! one). The cost-driven policy (`costs: Some(..)`) evicts the candidate
+//! with the *lowest* loop-weighted spill cost ([`crate::cost`]), ties
+//! broken toward the furthest end, so hot loop-carried webs stay in
+//! registers while cold webs take the slots.
 
 use std::collections::{HashMap, HashSet};
 use tossa_ir::ids::Var;
@@ -16,15 +22,28 @@ use tossa_ir::print::var_str;
 use tossa_ir::Function;
 use tossa_trace::provenance;
 
+use crate::cost::SpillCosts;
 use crate::intervals::Intervals;
 use crate::{pools, AllocError, Assignment};
+
+/// One eviction decision: which web to spill and the linear position of
+/// the pressure point that forced it (the spill layer uses the position
+/// to decide whether live-range splitting can move the conflict out of
+/// a loop).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpillReq {
+    /// The web to rewrite through a slot (or remat / split).
+    pub var: Var,
+    /// Linear position of the conflict that evicted it.
+    pub at: u32,
+}
 
 /// Why a scan round did not produce an assignment.
 #[derive(Clone, Debug)]
 pub enum ScanFail {
     /// These variables must be rewritten through spill slots, then the
     /// scan re-run.
-    Spill(Vec<Var>),
+    Spill(Vec<SpillReq>),
     /// Unrecoverable failure (pin conflict, out of registers).
     Hard(AllocError),
 }
@@ -79,12 +98,26 @@ impl Blocked {
 /// # Errors
 /// [`ScanFail::Spill`] with the eviction set, or [`ScanFail::Hard`] on
 /// pin conflicts / unspillable pressure.
-pub fn scan(f: &Function, ivs: &Intervals, temps: &HashSet<Var>) -> Result<Assignment, ScanFail> {
+pub fn scan(
+    f: &Function,
+    ivs: &Intervals,
+    temps: &HashSet<Var>,
+    costs: Option<&SpillCosts>,
+) -> Result<Assignment, ScanFail> {
     let blocked = Blocked::collect(ivs).map_err(ScanFail::Hard)?;
+    // Hull lengths for weight normalization: the cost-driven victim
+    // rule compares spill cost *per position of relief*, so a long cold
+    // web beats many short cheap webs (which would each relieve only
+    // one pressure point).
+    let mut len_of: Vec<u64> = vec![1; f.num_vars()];
+    for iv in &ivs.items {
+        len_of[iv.var.index()] = u64::from(iv.end - iv.start) + 1;
+    }
+    let norm = |w: u64, v: Var| -> (u128, u128) { (u128::from(w), u128::from(len_of[v.index()])) };
     let mut asg = Assignment::new(f.num_vars());
     // (end, reg, var, spillable)
     let mut active: Vec<(u32, PhysReg, Var, bool)> = Vec::new();
-    let mut spills: Vec<Var> = Vec::new();
+    let mut spills: Vec<SpillReq> = Vec::new();
     // Candidate pools are interval-independent apart from the pointer
     // preference; computed once per scan, not once per interval.
     let pool_gpr_first = pools(f, false);
@@ -120,21 +153,54 @@ pub fn scan(f: &Function, ivs: &Intervals, temps: &HashSet<Var>) -> Result<Assig
             .find(|&r| usable(r) && !is_taken(r));
         if let Some(r) = chosen {
             asg.set(iv.var, r);
-            active.push((iv.end, r, iv.var, true));
+            active.push((iv.end, r, iv.var, spillable));
             continue;
         }
-        // No free register: evict the furthest-ending spillable holder of
-        // a register this interval could use — or the interval itself.
-        let victim = active
+        // No free register: evict a spillable holder of a register this
+        // interval could use — or the interval itself. The PR4 policy
+        // picks the furthest-ending holder; the cost-driven policy picks
+        // the cheapest by loop weight, ties toward the furthest end.
+        let candidates = active
             .iter()
             .enumerate()
             .filter(|(_, &(_, r, _, sp))| sp && usable(r))
-            .max_by_key(|(_, &(end, _, _, _))| end)
             .map(|(idx, &(end, r, v, _))| (idx, end, r, v));
+        let victim = match costs {
+            None => candidates.max_by_key(|&(_, end, _, _)| end),
+            Some(c) => candidates.min_by(|&(_, enda, _, va), &(_, endb, _, vb)| {
+                let (wa, la) = norm(c.cost(va).weight, va);
+                let (wb, lb) = norm(c.cost(vb).weight, vb);
+                // wa/la vs wb/lb, cross-multiplied; ties prefer the
+                // furthest end (most relief), then the lowest index.
+                (wa * lb)
+                    .cmp(&(wb * la))
+                    .then(endb.cmp(&enda))
+                    .then(va.index().cmp(&vb.index()))
+            }),
+        };
+        let evict = match (costs, victim) {
+            // Legacy: evict only a holder reaching further than we do.
+            (None, Some((_, end, _, _))) => !spillable || end > iv.end,
+            // Cost-driven: evict a holder whose normalized cost (spill
+            // weight per position of relief) is below our own; on a tie
+            // keep the legacy bias toward the furthest end (progress at
+            // the pressure point).
+            (Some(c), Some((_, end, _, v))) => {
+                !spillable || {
+                    let (vw, vl) = norm(c.cost(v).weight, v);
+                    let (sw, sl) = norm(c.cost(iv.var).weight, iv.var);
+                    vw * sl < sw * vl || (vw * sl == sw * vl && end > iv.end)
+                }
+            }
+            (_, None) => false,
+        };
         match victim {
-            Some((idx, end, r, v)) if !spillable || end > iv.end => {
+            Some((idx, end, r, v)) if evict => {
                 active.remove(idx);
-                spills.push(v);
+                spills.push(SpillReq {
+                    var: v,
+                    at: iv.start,
+                });
                 provenance::record(|| {
                     let (vs, ve) = ivs
                         .items
@@ -146,27 +212,38 @@ pub fn scan(f: &Function, ivs: &Intervals, temps: &HashSet<Var>) -> Result<Assig
                         var: var_str(f, v),
                         start: vs,
                         end: ve,
-                        cause: format!(
-                            "evicted-by:{}@{}",
-                            var_str(f, iv.var),
-                            f.machine.reg_name(r)
-                        ),
+                        cause: match costs {
+                            Some(c) => c.rationale(v),
+                            None => format!(
+                                "evicted-by:{}@{}",
+                                var_str(f, iv.var),
+                                f.machine.reg_name(r)
+                            ),
+                        },
                     }
                 });
                 asg.set(iv.var, r);
                 active.push((iv.end, r, iv.var, spillable));
             }
             _ if spillable => {
-                spills.push(iv.var);
+                spills.push(SpillReq {
+                    var: iv.var,
+                    at: iv.start,
+                });
                 provenance::record(|| {
                     let hint = iv.hint.and_then(|h| asg.get(h));
                     provenance::Kind::Spill {
                         var: var_str(f, iv.var),
                         start: iv.start,
                         end: iv.end,
-                        cause: match hint {
-                            Some(r) => format!("no-register:hint-failed={}", f.machine.reg_name(r)),
-                            None => "no-register".to_string(),
+                        cause: match costs {
+                            Some(c) => c.rationale(iv.var),
+                            None => match hint {
+                                Some(r) => {
+                                    format!("no-register:hint-failed={}", f.machine.reg_name(r))
+                                }
+                                None => "no-register".to_string(),
+                            },
                         },
                     }
                 });
@@ -177,8 +254,9 @@ pub fn scan(f: &Function, ivs: &Intervals, temps: &HashSet<Var>) -> Result<Assig
     if spills.is_empty() {
         Ok(asg)
     } else {
-        spills.sort_unstable_by_key(|v| v.index());
-        spills.dedup();
+        // One request per web: keep the first pressure point.
+        spills.sort_by_key(|s| s.var.index());
+        spills.dedup_by_key(|s| s.var);
         Err(ScanFail::Spill(spills))
     }
 }
@@ -209,7 +287,7 @@ mod tests {
         f.var_mut(va).reg = Some(r5);
         f.var_mut(vb).reg = Some(r5);
         let ivs = intervals::build(&f);
-        let err = scan(&f, &ivs, &HashSet::new()).unwrap_err();
+        let err = scan(&f, &ivs, &HashSet::new(), None).unwrap_err();
         assert!(
             matches!(err, ScanFail::Hard(AllocError::PinConflict { .. })),
             "{err:?}"
@@ -232,7 +310,7 @@ mod tests {
             }
         }
         let ivs = intervals::build(&f);
-        let asg = scan(&f, &ivs, &HashSet::new()).unwrap();
+        let asg = scan(&f, &ivs, &HashSet::new(), None).unwrap();
         for iv in &ivs.items {
             if iv.pre.is_some() {
                 assert_eq!(asg.get(iv.var), Some(r5));

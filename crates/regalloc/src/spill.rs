@@ -1,38 +1,88 @@
-//! Spill-everywhere rewriting through the stack-slot model.
+//! Spill rewriting through the stack-slot model.
 //!
-//! Each evicted variable gets one stack slot for the whole function.
-//! Every instruction that reads it gets a fresh reload temporary
-//! (`tmp = spillld slot`) inserted just before it; every instruction
-//! that writes it gets a fresh store temporary followed by
-//! `spillst tmp, slot`. Temporaries live for exactly one instruction,
-//! are recorded as unspillable, and shrink register pressure at every
-//! original program point — which is what makes the driver's
-//! spill-and-rescan loop terminate.
+//! Three rewrites live here, all driven by the spill loop in
+//! [`crate::prepare`]:
+//!
+//! - **Spill-everywhere** ([`rewrite_spills`] / [`rewrite_spills_with_slots`]):
+//!   each evicted variable gets one stack slot for the whole function.
+//!   Every instruction that reads it gets a fresh reload temporary
+//!   (`tmp = spillld slot`) inserted just before it; every instruction
+//!   that writes it gets a fresh store temporary followed by
+//!   `spillst tmp, slot`. Temporaries live for exactly one instruction,
+//!   are recorded as unspillable, and shrink register pressure at every
+//!   original program point — which is what makes the spill-and-rescan
+//!   loop terminate.
+//! - **Region-filtered spill** ([`rewrite_spills_outside`]): the same
+//!   rewrite restricted to blocks outside a loop region; the
+//!   live-range-splitting layer ([`crate::split`]) uses it for the cold
+//!   side of a split web.
+//! - **Rematerialization** ([`rematerialize`]): a web whose single def is
+//!   a pure `make` is re-issued before each use instead of reloaded, and
+//!   its original def deleted — no slot, no memory traffic.
 
 use std::collections::{HashMap, HashSet};
-use tossa_ir::ids::Var;
+use tossa_ir::ids::{Block, Var};
 use tossa_ir::instr::{InstData, Operand};
 use tossa_ir::{Function, Opcode};
 
-/// Rewrites `vars` through spill slots. Returns `(stores, reloads)`
-/// inserted. `next_slot` persists across rounds so slots never collide;
-/// the fresh temporaries are added to `temps`.
+/// Rewrites `vars` through freshly assigned spill slots. Returns
+/// `(stores, reloads)` inserted. `next_slot` persists across rounds so
+/// slots never collide; the fresh temporaries are added to `temps`.
 pub fn rewrite_spills(
     f: &mut Function,
     vars: &[Var],
     next_slot: &mut i64,
     temps: &mut HashSet<Var>,
 ) -> (usize, usize) {
-    let mut slot_of: HashMap<Var, i64> = HashMap::new();
-    for &v in vars {
-        slot_of.insert(v, *next_slot);
-        *next_slot += 1;
-    }
+    let pairs: Vec<(Var, i64)> = vars
+        .iter()
+        .map(|&v| {
+            let s = *next_slot;
+            *next_slot += 1;
+            (v, s)
+        })
+        .collect();
+    rewrite_spills_with_slots(f, &pairs, temps)
+}
+
+/// [`rewrite_spills`] with caller-assigned slots (the cost-driven driver
+/// assigns slots up front so splitting and everywhere-spilling share one
+/// slot namespace).
+pub fn rewrite_spills_with_slots(
+    f: &mut Function,
+    pairs: &[(Var, i64)],
+    temps: &mut HashSet<Var>,
+) -> (usize, usize) {
+    rewrite_filtered(f, pairs, temps, &|_| false)
+}
+
+/// Spill-everywhere restricted to blocks *outside* `region`: the cold
+/// side of a live-range split. Occurrences inside `region` are left
+/// untouched (the split renamed them to the hot sub-web already).
+pub fn rewrite_spills_outside(
+    f: &mut Function,
+    pairs: &[(Var, i64)],
+    temps: &mut HashSet<Var>,
+    region: &[Block],
+) -> (usize, usize) {
+    rewrite_filtered(f, pairs, temps, &|b| region.contains(&b))
+}
+
+fn rewrite_filtered(
+    f: &mut Function,
+    pairs: &[(Var, i64)],
+    temps: &mut HashSet<Var>,
+    skip: &dyn Fn(Block) -> bool,
+) -> (usize, usize) {
+    let slot_of: HashMap<Var, i64> = pairs.iter().copied().collect();
     let mut stores = 0usize;
     let mut reloads = 0usize;
 
     let blocks: Vec<_> = f.blocks().collect();
     for b in blocks {
+        if skip(b) {
+            continue;
+        }
         let old: Vec<_> = f.block_insts(b).collect();
         let mut new_list = Vec::with_capacity(old.len());
         for i in old {
@@ -104,6 +154,47 @@ pub fn rewrite_spills(
     (stores, reloads)
 }
 
+/// Rematerializes `v` (single def `make imm`): re-issues the `make` into
+/// a fresh one-instruction temporary before every use and deletes the
+/// original def, eliminating `v` without a stack slot. Returns the
+/// number of re-issued defs. The temporaries join `temps` (unspillable,
+/// like reload temps).
+pub fn rematerialize(f: &mut Function, v: Var, imm: i64, temps: &mut HashSet<Var>) -> usize {
+    let mut remats = 0usize;
+    let blocks: Vec<_> = f.blocks().collect();
+    for b in blocks {
+        let old: Vec<_> = f.block_insts(b).collect();
+        let mut new_list = Vec::with_capacity(old.len());
+        for i in old {
+            // Drop the original def: after the rewrite the web has no
+            // uses left, and `make` is pure.
+            let inst_ref = f.inst(i);
+            if inst_ref.opcode == Opcode::Make && inst_ref.defs.iter().any(|o| o.var == v) {
+                continue;
+            }
+            if inst_ref.uses.iter().any(|o| o.var == v) {
+                let name = format!("{}.m", f.var(v).name);
+                let tmp = f.new_var(name);
+                temps.insert(tmp);
+                let mk = InstData::new(Opcode::Make)
+                    .with_defs(vec![Operand::new(tmp)])
+                    .with_imm(imm);
+                new_list.push(f.alloc_inst(mk));
+                let inst = f.inst_mut(i);
+                for o in inst.uses.iter_mut() {
+                    if o.var == v {
+                        o.var = tmp;
+                    }
+                }
+                remats += 1;
+            }
+            new_list.push(i);
+        }
+        f.block_mut(b).insts = new_list;
+    }
+    remats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +240,39 @@ exit:
                 assert_ne!(o.var, z, "{f}");
             }
         }
+    }
+
+    #[test]
+    fn remat_reissues_the_make_and_drops_the_def() {
+        let text = "
+func @rm {
+entry:
+  %k = make 9
+  %a = input
+  %x = add %a, %k
+  %y = mul %x, %k
+  ret %y
+}";
+        let mut f = parse_function(text, &Machine::dsp32()).unwrap();
+        let before = interp::run(&f, &[3], 100).unwrap().outputs;
+        let k = f.vars().find(|&v| f.var(v).name == "k").unwrap();
+        let mut temps = HashSet::new();
+        let n = rematerialize(&mut f, k, 9, &mut temps);
+        f.validate().unwrap();
+        assert_eq!(n, 2, "{f}");
+        assert_eq!(temps.len(), 2);
+        // The web is gone entirely — no operand, no def, and no spill
+        // opcode was introduced.
+        for (_, i) in f.all_insts() {
+            let inst = f.inst(i);
+            assert!(
+                !matches!(inst.opcode, Opcode::SpillLoad | Opcode::SpillStore),
+                "{f}"
+            );
+            for o in inst.operands() {
+                assert_ne!(o.var, k, "{f}");
+            }
+        }
+        assert_eq!(interp::run(&f, &[3], 100).unwrap().outputs, before, "{f}");
     }
 }

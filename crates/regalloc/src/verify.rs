@@ -268,7 +268,7 @@ mod tests {
         )
         .unwrap();
         let ivs = intervals::build(&f);
-        let asg = match scan::scan(&f, &ivs, &std::collections::HashSet::new()) {
+        let asg = match scan::scan(&f, &ivs, &std::collections::HashSet::new(), None) {
             Ok(a) => a,
             Err(e) => panic!("{e:?}"),
         };
@@ -284,7 +284,7 @@ mod tests {
         )
         .unwrap();
         let ivs = intervals::build(&f);
-        let asg = scan::scan(&f, &ivs, &std::collections::HashSet::new()).unwrap();
+        let asg = scan::scan(&f, &ivs, &std::collections::HashSet::new(), None).unwrap();
         let e = verify_allocation(&f, &asg).unwrap_err();
         assert!(matches!(e, AllocError::UndefinedUse { .. }), "{e}");
     }

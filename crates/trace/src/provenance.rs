@@ -127,10 +127,15 @@ pub enum Kind {
         start: u32,
         /// Interval end.
         end: u32,
-        /// Rationale: `"evicted-by:<var>@<reg>"` (a further-reaching
-        /// candidate took its register) or
-        /// `"no-register[:hint-failed=<reg>]"` (self-spill under
-        /// pressure).
+        /// Rationale. Under the spill-everywhere policy:
+        /// `"evicted-by:<var>@<reg>"` (a further-reaching candidate took
+        /// its register) or `"no-register[:hint-failed=<reg>]"`
+        /// (self-spill under pressure). Under the cost-driven policy:
+        /// `"cost:weight=<w>,depth=<d>"` (cheapest loop-weighted victim
+        /// at the pressure point), `"remat:<opcode>"` (def re-issued
+        /// before each use instead of reloading), or
+        /// `"split-at:<block>"` (one record per region boundary block
+        /// that received a split copy).
         cause: String,
     },
 }

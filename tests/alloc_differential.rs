@@ -7,10 +7,11 @@
 //! `check` panics on the first divergence or trap, naming the function
 //! and inputs.
 
-use tossa::bench::runner::run_suite_each_allocated;
+use tossa::bench::runner::{run_suite_each_allocated, run_suite_each_allocated_with};
 use tossa::bench::suites::all_suites;
 use tossa::core::coalesce::CoalesceOptions;
 use tossa::core::Experiment;
+use tossa::regalloc::{AllocOptions, SpillPolicy};
 
 /// Small synthetic-population scale: keeps the full 10-experiment matrix
 /// affordable in CI; the perf trajectory run covers the full scale.
@@ -52,6 +53,74 @@ fn allocated_code_matches_source_on_every_suite_and_experiment() {
         "the matrix must cover every suite × experiment cell"
     );
     assert!(functions > 0);
+}
+
+/// Both spill policies run the full matrix on the loop-heavy SPECint
+/// suite with differential execution on — allocated output bit-identical
+/// to the pre-SSA source under either policy — and the cost-driven
+/// policy actually earns its keep: its static spill+move total never
+/// exceeds spill-everywhere's, beats it strictly on at least one cell,
+/// and its remat/split machinery demonstrably fires (while never firing
+/// under the legacy policy).
+#[test]
+fn spill_policies_are_execution_equivalent_and_cost_driven_wins_statically() {
+    let opts = CoalesceOptions::default();
+    let suite = all_suites(SPEC_SCALE)
+        .into_iter()
+        .find(|s| s.name == "SPECint")
+        .expect("the loop-heavy suite exists");
+    let policy_opts = |p: SpillPolicy| AllocOptions {
+        spill_policy: p,
+        ..Default::default()
+    };
+    let mut strict_wins = 0usize;
+    let (mut remats, mut splits) = (0usize, 0usize);
+    for &exp in Experiment::all() {
+        let total = |rs: &[tossa::bench::runner::RunResult]| -> (usize, usize, usize) {
+            rs.iter()
+                .map(|r| r.alloc.as_ref().expect("alloc ran"))
+                .fold((0, 0, 0), |(t, rm, sp), s| {
+                    (t + s.spill_move_total(), rm + s.remats, sp + s.splits)
+                })
+        };
+        // Differential execution (verify_each = true) panics on the
+        // first output divergence from the pre-SSA source.
+        let everywhere = total(&run_suite_each_allocated_with(
+            &suite,
+            exp,
+            &opts,
+            &policy_opts(SpillPolicy::Everywhere),
+            true,
+        ));
+        let cost = total(&run_suite_each_allocated_with(
+            &suite,
+            exp,
+            &opts,
+            &policy_opts(SpillPolicy::CostDriven),
+            true,
+        ));
+        assert_eq!(
+            (everywhere.1, everywhere.2),
+            (0, 0),
+            "{exp:?}: spill-everywhere must never remat or split"
+        );
+        assert!(
+            cost.0 <= everywhere.0,
+            "{exp:?}: cost-driven regressed the spill+move total ({} > {})",
+            cost.0,
+            everywhere.0
+        );
+        if cost.0 < everywhere.0 {
+            strict_wins += 1;
+        }
+        remats += cost.1;
+        splits += cost.2;
+    }
+    assert!(strict_wins > 0, "cost-driven never beat spill-everywhere");
+    assert!(
+        remats > 0 && splits > 0,
+        "remat ({remats}) and splitting ({splits}) must both fire on SPECint"
+    );
 }
 
 /// The allocated form is genuinely physical: every operand variable of
