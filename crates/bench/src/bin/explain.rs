@@ -3,8 +3,8 @@
 //!
 //! Usage:
 //!   `explain [--suite NAME] [--experiment NAME] [--function NAME]`
-//!   `        [--naive] [--alloc] [--spill-everywhere] [--spec N]`
-//!   `        [--json FILE] [--quiet]`
+//!   `        [--naive] [--alloc] [--spill-everywhere] [--hull]`
+//!   `        [--spec N] [--json FILE] [--quiet]`
 //!   `explain --diff A.json B.json`
 //!
 //! * `--suite NAME`      — suite to run (default `VALcc1`);
@@ -21,6 +21,10 @@
 //!   policy instead of the cost-driven default; `--diff` two `--alloc`
 //!   dumps (one with this flag, one without) to list exactly the webs
 //!   whose spill decision flipped;
+//! * `--hull`            — allocate over hull intervals (the pre-PR9
+//!   model: no lifetime holes) instead of the per-range default;
+//!   `--diff` against a default dump to list exactly the spill
+//!   decisions that hole-precise liveness dissolves;
 //! * `--json FILE`       — also write the machine-readable
 //!   `tossa-explain/1` dump;
 //! * `--quiet`           — skip the human-readable report (JSON only);
@@ -37,7 +41,7 @@ use tossa_bench::suites::all_suites;
 use tossa_core::coalesce::CoalesceOptions;
 use tossa_core::interfere::InterferenceMode;
 use tossa_core::Experiment;
-use tossa_regalloc::{AllocOptions, SpillPolicy};
+use tossa_regalloc::{AllocOptions, IntervalPrecision, SpillPolicy};
 use tossa_trace::json::{parse_json, Json};
 use tossa_trace::provenance::{records_json, Kind, Record, Verdict};
 use tossa_trace::{escape_json, validate_json};
@@ -419,6 +423,11 @@ fn main() {
             SpillPolicy::Everywhere
         } else {
             SpillPolicy::default()
+        },
+        precision: if flag("--hull") {
+            IntervalPrecision::Hull
+        } else {
+            IntervalPrecision::default()
         },
         ..Default::default()
     });

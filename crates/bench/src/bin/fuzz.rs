@@ -14,7 +14,8 @@
 //! * `--chaos CLASS` — inject a corruption class (`drop-phi-arg`,
 //!   `double-def`, `undefined-use`, `merge-webs`, `reorder-copy`, or the
 //!   allocation classes `assign-overlap`, `clobber-pin`, `drop-reload`,
-//!   `drop-split-copy`, which imply `--alloc`) to validate the safety net: the run then
+//!   `drop-split-copy`, `assign-in-hole`, which imply `--alloc`) to
+//!   validate the safety net: the run then
 //!   *expects* degradations and fails if the fallback misbehaves;
 //! * `--alloc`       — run the checked register-allocation stage after
 //!   the pipeline (allocation verifier + post-allocation differential);
@@ -59,6 +60,7 @@ fn parse_chaos(s: &str) -> Option<ChaosClass> {
         "clobber-pin" => Some(ChaosClass::Alloc(AllocCorruption::ClobberPinnedResource)),
         "drop-reload" => Some(ChaosClass::Alloc(AllocCorruption::DropReload)),
         "drop-split-copy" => Some(ChaosClass::Alloc(AllocCorruption::DropSplitCopy)),
+        "assign-in-hole" => Some(ChaosClass::Alloc(AllocCorruption::AssignInHole)),
         _ => None,
     }
 }

@@ -207,6 +207,13 @@ pub enum AllocCorruption {
     /// pairing the split promised is broken. Caught as
     /// [`AllocError::UnpairedSlot`](tossa_regalloc::AllocError::UnpairedSlot).
     DropSplitCopy,
+    /// Force two webs onto one register at a point where *both ranges*
+    /// are live, choosing a pair where at least one web has a lifetime
+    /// hole — the PR9 failure mode: hull interference would have caught
+    /// the overlap trivially, but a buggy hole check (one that treats
+    /// the whole hull gap as free) would miss it. Caught as
+    /// [`AllocError::RegisterOverlap`](tossa_regalloc::AllocError::RegisterOverlap).
+    AssignInHole,
 }
 
 impl AllocCorruption {
@@ -218,6 +225,7 @@ impl AllocCorruption {
             ClobberPinnedResource,
             DropReload,
             DropSplitCopy,
+            AssignInHole,
         ]
     }
 }
@@ -237,7 +245,45 @@ pub fn inject_alloc(
         AllocCorruption::ClobberPinnedResource => clobber_pinned(f, asg, rng),
         AllocCorruption::DropReload => drop_reload(f, rng),
         AllocCorruption::DropSplitCopy => drop_split_copy(f, rng),
+        AllocCorruption::AssignInHole => assign_in_hole(f, asg, rng),
     }
+}
+
+fn assign_in_hole(
+    f: &Function,
+    asg: &mut tossa_regalloc::Assignment,
+    rng: &mut SplitMix64,
+) -> bool {
+    // Pairs whose per-range lifetimes overlap where at least one side
+    // has a lifetime hole: merging them is wrong at a point both ranges
+    // cover, yet a hole check that wrongly frees the whole hull gap
+    // would wave it through. The hull prefilter alone catches every
+    // such pair, so this class discriminates the range walk itself.
+    let ivs = tossa_regalloc::intervals::build(f);
+    let mut sites: Vec<(Var, Var)> = Vec::new();
+    for (k, x) in ivs.items.iter().enumerate() {
+        for y in &ivs.items[k + 1..] {
+            let holed = ivs.ranges_of(x).len() > 1 || ivs.ranges_of(y).len() > 1;
+            if holed
+                && f.var(x.var).reg.is_none()
+                && f.var(y.var).reg.is_none()
+                && asg.get(x.var).is_some()
+                && asg.get(y.var).is_some()
+                && asg.get(x.var) != asg.get(y.var)
+                && ivs.overlap(x, y)
+            {
+                sites.push((x.var, y.var));
+            }
+        }
+    }
+    let Some((a, b)) = pick(rng, &sites) else {
+        return false;
+    };
+    let Some(stolen) = asg.get(b) else {
+        return false;
+    };
+    asg.set(a, stolen);
+    true
 }
 
 fn assign_overlapping(
@@ -602,6 +648,36 @@ exit:
         text
     }
 
+    /// A web (%a) with a lifetime hole — dead between its last use and
+    /// its redefinition — plus a web (%c) live across that hole: the
+    /// [`AllocCorruption::AssignInHole`] site shape.
+    fn hole_specimen_text() -> &'static str {
+        "func @ih {
+entry:
+  %a, %p = input
+  %b = add %a, %a
+  %c = add %b, %p
+  %a = make 5
+  %r = add %a, %c
+  ret %r
+}"
+    }
+
+    #[test]
+    fn assign_in_hole_caught_as_register_overlap() {
+        let (mut f, mut asg) = prepared_for_alloc(hole_specimen_text());
+        let mut rng = SplitMix64::seed_from_u64(12);
+        assert!(
+            inject_alloc(&mut f, &mut asg, AllocCorruption::AssignInHole, &mut rng),
+            "the specimen offers no holed overlapping pair:\n{f}"
+        );
+        let e = tossa_regalloc::verify_allocation(&f, &asg).unwrap_err();
+        assert!(
+            matches!(e, tossa_regalloc::AllocError::RegisterOverlap { .. }),
+            "{e}"
+        );
+    }
+
     #[test]
     fn drop_split_copy_caught_as_unpaired_slot() {
         let (mut f, mut asg) = prepared_for_alloc(&split_specimen_text());
@@ -629,6 +705,7 @@ exit:
             AllocCorruption::ClobberPinnedResource,
             AllocCorruption::DropReload,
             AllocCorruption::DropSplitCopy,
+            AllocCorruption::AssignInHole,
         ] {
             assert!(!inject_alloc(&mut f, &mut asg, c, &mut rng), "{c:?}");
         }

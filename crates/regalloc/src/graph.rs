@@ -1,11 +1,12 @@
 //! Interference-graph greedy-coloring fallback.
 //!
-//! Builds an interference graph by a sorted sweep over the hull
-//! intervals (two variables interfere when their intervals overlap),
-//! fixes precolored nodes first, and greedily colors the rest in
-//! decreasing-degree order. Uncolorable spillable nodes are returned as
-//! an eviction set, so the driver's spill loop works identically for
-//! both engines.
+//! Builds an interference graph by a sorted sweep over the intervals
+//! (two variables interfere when their *ranges* overlap — the hull is
+//! only the sweep's prefilter, so webs in each other's lifetime holes
+//! get no edge), fixes precolored nodes first, and greedily colors the
+//! rest in decreasing-degree order. Uncolorable spillable nodes are
+//! returned as an eviction set plus the partial coloring, so the
+//! driver's spill loop works identically for both engines.
 //!
 //! Under the cost-driven policy (`costs: Some(..)`) an uncolorable node
 //! may instead evict a strictly cheaper already-colored neighbor whose
@@ -46,8 +47,10 @@ pub fn color(
     for (idx, iv) in ivs.items.iter().enumerate() {
         active.retain(|&a| ivs.items[a].end >= iv.start);
         for &a in &active {
-            adj[idx].push(a);
-            adj[a].push(idx);
+            if ivs.overlap(&ivs.items[a], iv) {
+                adj[idx].push(a);
+                adj[a].push(idx);
+            }
         }
         active.push(idx);
     }
@@ -94,13 +97,14 @@ pub fn color(
             // other colored neighbor shares frees a register for us when
             // evicted. Take the cheapest such neighbor if it is strictly
             // cheaper than spilling ourselves.
-            // Normalized like the scan engine: spill weight per position
-            // of relief, so long cold neighbors are preferred victims.
+            // Normalized like the scan engine: spill weight per covered
+            // position of relief, so long cold neighbors are preferred
+            // victims (holes relieve nothing and do not count).
             let norm = |a: usize| {
                 let aiv = &ivs.items[a];
                 (
                     u128::from(costs.map(|c| c.cost(aiv.var).weight).unwrap_or(0)),
-                    u128::from(aiv.end - aiv.start) + 1,
+                    u128::from(ivs.covered_len(aiv).max(1)),
                 )
             };
             let cheaper_neighbor = costs.and_then(|_| {
@@ -137,6 +141,7 @@ pub fn color(
                 Some(a) => {
                     let av = ivs.items[a].var;
                     color_of[a] = None;
+                    asg.clear(av);
                     spilled_nodes.insert(a);
                     spills.push(SpillReq {
                         var: av,
@@ -175,7 +180,10 @@ pub fn color(
     } else {
         spills.sort_by_key(|s| s.var.index());
         spills.dedup_by_key(|s| s.var);
-        Err(ScanFail::Spill(spills))
+        Err(ScanFail::Spill {
+            reqs: spills,
+            partial: asg,
+        })
     }
 }
 
@@ -197,7 +205,7 @@ mod tests {
         let asg = color(&f, &ivs, &HashSet::new(), None).unwrap();
         for (i, x) in ivs.items.iter().enumerate() {
             for y in &ivs.items[i + 1..] {
-                if x.overlaps(y) {
+                if ivs.overlap(x, y) {
                     assert_ne!(
                         asg.get(x.var),
                         asg.get(y.var),

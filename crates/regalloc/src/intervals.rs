@@ -1,14 +1,28 @@
-//! Hull live intervals over a linearized block order.
+//! Per-range live intervals over a linearized block order.
 //!
 //! Blocks are laid out in reverse postorder (unreachable blocks
 //! appended); instruction `k` of a block with base position `p` reads
 //! its uses at `p + 2k` and writes its defs at `p + 2k + 1`. A def
 //! therefore never overlaps a use that dies at the same instruction —
 //! which is exactly what lets `mov` destinations and two-operand tied
-//! defs share the register of their dying source. Each variable gets a
-//! single *hull* interval `[min, max]` over all the positions where it
-//! is live: coarser than per-range liveness, but safe, and cheap to
-//! sweep.
+//! defs share the register of their dying source.
+//!
+//! Each variable carries two views of its lifetime:
+//!
+//! * the *hull* `[min, max]` (inclusive) over all live positions — a
+//!   cheap prefilter, and the whole story under
+//!   [`IntervalPrecision::Hull`];
+//! * a sorted list of disjoint half-open `[start, end)` *ranges* with
+//!   lifetime holes between them, built by a backward per-block walk
+//!   over the same worklist liveness. Two webs interfere only where
+//!   their ranges overlap, so a register stays assignable inside
+//!   another web's holes.
+//!
+//! Ranges separated only by the unused padding position between two
+//! consecutive blocks in the linear order are merged: no instruction
+//! ever occupies a padding position, so the "hole" there could never
+//! hold another web, and merging keeps each web's range list in
+//! one-piece-per-real-hole form (and its envelope equal to its hull).
 
 use tossa_analysis::{AnalysisCache, Liveness};
 use tossa_ir::cfg::Cfg;
@@ -16,14 +30,31 @@ use tossa_ir::ids::{Block, Var};
 use tossa_ir::machine::{PhysReg, RegClass};
 use tossa_ir::{Function, Opcode};
 
-/// One variable's hull interval plus its allocation preferences.
+/// How precisely intervals model liveness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IntervalPrecision {
+    /// One `[min, max]` hull per web (the pre-PR9 model): every position
+    /// between the first and last live position counts as occupied.
+    /// Each interval gets a single range equal to its envelope, so the
+    /// downstream engines need no mode switches.
+    Hull,
+    /// Sorted disjoint `[start, end)` ranges with lifetime holes between
+    /// them; interference consults the ranges and the hull is only a
+    /// prefilter.
+    #[default]
+    Ranges,
+}
+
+/// One variable's live interval plus its allocation preferences.
 #[derive(Clone, Copy, Debug)]
 pub struct Interval {
     /// The variable.
     pub var: Var,
-    /// First position (inclusive) where the variable is live.
+    /// First position (inclusive) where the variable is live — the hull
+    /// start, equal to the first range's start.
     pub start: u32,
-    /// Last position (inclusive) where the variable is live.
+    /// Last position (inclusive) where the variable is live — the hull
+    /// end, equal to the last range's end minus one.
     pub end: u32,
     /// Pre-existing register identity (out-of-SSA pinning); kept
     /// verbatim and never spilled.
@@ -34,27 +65,94 @@ pub struct Interval {
     /// Prefer the register of this variable (`mov` source or tied use),
     /// so the copy becomes a self-move.
     pub hint: Option<Var>,
+    /// Index of this interval's first range in the owning
+    /// [`Intervals`] pool.
+    range_start: u32,
+    /// Number of ranges.
+    range_len: u32,
 }
 
 impl Interval {
-    /// Inclusive-interval overlap.
+    /// Inclusive *hull* overlap — the cheap prefilter. For liveness-
+    /// accurate interference use [`Intervals::overlap`], which descends
+    /// into the ranges.
     pub fn overlaps(&self, other: &Interval) -> bool {
         self.start <= other.end && other.start <= self.end
     }
 }
 
-/// All intervals of a function, sorted by start position.
+/// All intervals of a function, sorted by start position, plus the
+/// shared range pool they index into.
 #[derive(Clone, Debug, Default)]
 pub struct Intervals {
     /// Intervals sorted by `(start, var)`.
     pub items: Vec<Interval>,
     /// Per-block position span `(base, live_exit)` in the linearized
     /// order, indexed by `Block::index()`. Used by the spill layer to
-    /// reason about loop-region boundaries in position space.
+    /// reason about region boundaries in position space.
     pub block_span: Vec<(u32, u32)>,
+    /// The precision these intervals were built at.
+    pub precision: IntervalPrecision,
+    /// Half-open `[start, end)` ranges, grouped per interval (see
+    /// [`Intervals::ranges_of`]); within a group sorted, disjoint and
+    /// nonempty.
+    ranges: Vec<(u32, u32)>,
 }
 
 impl Intervals {
+    /// The sorted disjoint half-open ranges of `iv`.
+    pub fn ranges_of(&self, iv: &Interval) -> &[(u32, u32)] {
+        let s = iv.range_start as usize;
+        &self.ranges[s..s + iv.range_len as usize]
+    }
+
+    /// Liveness-accurate interference: do `a` and `b` have a position
+    /// where both are live? Hull-disjoint pairs short-circuit; hull-
+    /// overlapping pairs walk their range lists in merge order.
+    pub fn overlap(&self, a: &Interval, b: &Interval) -> bool {
+        if !a.overlaps(b) {
+            return false;
+        }
+        let (ra, rb) = (self.ranges_of(a), self.ranges_of(b));
+        if a.range_len == 1 && b.range_len == 1 {
+            return true; // the hulls already overlapped
+        }
+        let (mut i, mut j) = (0, 0);
+        while i < ra.len() && j < rb.len() {
+            let (s1, e1) = ra[i];
+            let (s2, e2) = rb[j];
+            if s1 < e2 && s2 < e1 {
+                return true;
+            }
+            if e1 <= e2 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        false
+    }
+
+    /// Is `iv` live at position `p`?
+    pub fn covers(&self, iv: &Interval, p: u32) -> bool {
+        self.ranges_of(iv).iter().any(|&(s, e)| s <= p && p < e)
+    }
+
+    /// Positions actually covered by `iv`'s ranges — the spill-cost
+    /// normalization denominator (a web full of holes relieves pressure
+    /// only where it is live, not across its whole hull).
+    pub fn covered_len(&self, iv: &Interval) -> u64 {
+        self.ranges_of(iv)
+            .iter()
+            .map(|&(s, e)| u64::from(e - s))
+            .sum()
+    }
+
+    /// The interval of `v`, if it has one.
+    pub fn find(&self, v: Var) -> Option<&Interval> {
+        self.items.iter().find(|iv| iv.var == v)
+    }
+
     /// Does the position `p` fall inside the span of any block in
     /// `blocks`?
     pub fn position_in_blocks(&self, p: u32, blocks: &[tossa_ir::ids::Block]) -> bool {
@@ -83,11 +181,16 @@ pub(crate) fn linear_order(f: &Function, cfg: &Cfg) -> Vec<Block> {
     order
 }
 
-/// Builds hull intervals from the worklist liveness.
+/// Builds per-range intervals from the worklist liveness.
 pub fn build(f: &Function) -> Intervals {
+    build_with(f, IntervalPrecision::Ranges)
+}
+
+/// [`build`] at an explicit precision.
+pub fn build_with(f: &Function, precision: IntervalPrecision) -> Intervals {
     let cfg = Cfg::compute(f);
     let live = Liveness::compute(f, &cfg);
-    build_inner(f, &cfg, &live)
+    build_inner(f, &cfg, &live, precision)
 }
 
 /// [`build`] with analyses drawn from `cache` — the spill loop's fast
@@ -95,45 +198,83 @@ pub fn build(f: &Function) -> Intervals {
 /// touches block structure, so rounds after the first reuse the cached
 /// CFG and only recompute liveness (instructions-only invalidation).
 pub fn build_cached(f: &Function, cache: &mut AnalysisCache) -> Intervals {
-    let cfg = cache.cfg(f);
-    let live = cache.liveness(f);
-    build_inner(f, &cfg, &live)
+    build_cached_with(f, cache, IntervalPrecision::Ranges)
 }
 
-fn build_inner(f: &Function, cfg: &Cfg, live: &Liveness) -> Intervals {
+/// [`build_cached`] at an explicit precision.
+pub fn build_cached_with(
+    f: &Function,
+    cache: &mut AnalysisCache,
+    precision: IntervalPrecision,
+) -> Intervals {
+    let cfg = cache.cfg(f);
+    let live = cache.liveness(f);
+    build_inner(f, &cfg, &live, precision)
+}
+
+fn build_inner(
+    f: &Function,
+    cfg: &Cfg,
+    live: &Liveness,
+    precision: IntervalPrecision,
+) -> Intervals {
     let order = linear_order(f, cfg);
 
-    // Dense per-variable tables; `touch` runs once per operand and per
-    // live-in/live-out member, so it must not hash.
-    const UNSEEN: (u32, u32) = (u32::MAX, 0);
-    let mut ranges: Vec<(u32, u32)> = vec![UNSEEN; f.num_vars()];
-    let mut touch = |v: Var, p: u32| {
-        let e = &mut ranges[v.index()];
-        e.0 = e.0.min(p);
-        e.1 = e.1.max(p);
-    };
+    // Dense per-variable tables; the backward walk runs once per
+    // operand and per live-exit member, so none of it may hash.
     let mut ptr_pref: Vec<bool> = vec![false; f.num_vars()];
     let mut hint: Vec<Option<Var>> = vec![None; f.num_vars()];
+    // Open segment ends (exclusive) during the backward walk; 0 means
+    // "not live below this point" (every real end is >= 1).
+    let mut pending: Vec<u32> = vec![0; f.num_vars()];
+    let mut opened: Vec<Var> = Vec::new();
+    // Raw (var, start, end) segments, per-block in decreasing start
+    // order; sorted and merged into the pool afterwards.
+    let mut raw: Vec<(u32, u32, u32)> = Vec::new();
 
     let mut block_span: Vec<(u32, u32)> = vec![(0, 0); f.num_blocks()];
     let mut base: u32 = 0;
     for &b in &order {
-        for v in live.live_in(b).iter() {
-            touch(v, base);
+        let insts = &f.block(b).insts;
+        let k_count = insts.len() as u32;
+        let end_pos = base + 2 * k_count;
+        block_span[b.index()] = (base, end_pos);
+
+        // Seed the walk from the block's live-exit set: everything live
+        // out is live at `end_pos` until a def inside the block closes
+        // its segment.
+        opened.clear();
+        for v in live.live_exit(f, b).iter() {
+            pending[v.index()] = end_pos + 1;
+            opened.push(v);
         }
-        let mut k: u32 = 0;
-        for i in f.block_insts(b) {
+        for (k, &i) in insts.iter().enumerate().rev() {
+            let k = k as u32;
             let inst = f.inst(i);
-            for (pos, o) in inst.uses.iter().enumerate() {
-                touch(o.var, base + 2 * k);
-                if matches!(inst.opcode, Opcode::Load | Opcode::Store | Opcode::AutoAdd) && pos == 0
-                {
+            let def_pos = base + 2 * k + 1;
+            for o in inst.defs {
+                let p = &mut pending[o.var.index()];
+                if *p != 0 {
+                    raw.push((o.var.index() as u32, def_pos, *p));
+                    *p = 0;
+                } else {
+                    // Dead def: the web still occupies a register for
+                    // the defining position itself.
+                    raw.push((o.var.index() as u32, def_pos, def_pos + 1));
+                }
+                if inst.opcode == Opcode::AutoAdd {
                     ptr_pref[o.var.index()] = true;
                 }
             }
-            for o in inst.defs {
-                touch(o.var, base + 2 * k + 1);
-                if inst.opcode == Opcode::AutoAdd {
+            let use_pos = base + 2 * k;
+            for (pos, o) in inst.uses.iter().enumerate() {
+                let p = &mut pending[o.var.index()];
+                if *p == 0 {
+                    *p = use_pos + 1;
+                    opened.push(o.var);
+                }
+                if matches!(inst.opcode, Opcode::Load | Opcode::Store | Opcode::AutoAdd) && pos == 0
+                {
                     ptr_pref[o.var.index()] = true;
                 }
             }
@@ -148,38 +289,75 @@ fn build_inner(f: &Function, cfg: &Cfg, live: &Liveness) -> Intervals {
                     }
                 }
             }
-            k += 1;
         }
-        let end_pos = base + 2 * k;
-        for v in live.live_exit(f, b).iter() {
-            touch(v, end_pos);
+        // Segments still open at the block start belong to live-in
+        // variables.
+        for &v in &opened {
+            let p = &mut pending[v.index()];
+            if *p != 0 {
+                raw.push((v.index() as u32, base, *p));
+                *p = 0;
+            }
         }
-        block_span[b.index()] = (base, end_pos);
         base = end_pos + 2;
     }
 
-    let mut items: Vec<Interval> = ranges
-        .into_iter()
-        .enumerate()
-        .filter(|&(_, r)| r != UNSEEN)
-        .map(|(idx, (start, end))| {
-            let var = Var::new(idx);
-            Interval {
-                var,
-                start,
-                end,
-                pre: f.var(var).reg,
-                ptr_pref: ptr_pref[idx]
-                    || f.var(var)
-                        .reg
-                        .map(|r| f.machine.reg_class(r) == RegClass::Ptr)
-                        .unwrap_or(false),
-                hint: hint[idx],
+    // Padding positions: the one unused slot between consecutive blocks
+    // in the linear order. A same-web gap that is exactly a padding
+    // position is a layout artifact, not a lifetime hole.
+    let mut pads: Vec<u32> = block_span.iter().map(|&(_, e)| e + 1).collect();
+    pads.sort_unstable();
+    let is_pad = |p: u32| pads.binary_search(&p).is_ok();
+
+    raw.sort_unstable();
+    let mut items: Vec<Interval> = Vec::new();
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        let var_idx = raw[i].0;
+        let range_start = ranges.len() as u32;
+        let (mut cur_s, mut cur_e) = (raw[i].1, raw[i].2);
+        i += 1;
+        while i < raw.len() && raw[i].0 == var_idx {
+            let (s, e) = (raw[i].1, raw[i].2);
+            if s <= cur_e || (s == cur_e + 1 && is_pad(cur_e)) {
+                cur_e = cur_e.max(e);
+            } else {
+                ranges.push((cur_s, cur_e));
+                (cur_s, cur_e) = (s, e);
             }
-        })
-        .collect();
+            i += 1;
+        }
+        ranges.push((cur_s, cur_e));
+        let (start, end) = (ranges[range_start as usize].0, cur_e - 1);
+        if precision == IntervalPrecision::Hull {
+            // Collapse to the envelope: one range, no holes.
+            ranges.truncate(range_start as usize);
+            ranges.push((start, end + 1));
+        }
+        let var = Var::new(var_idx as usize);
+        items.push(Interval {
+            var,
+            start,
+            end,
+            pre: f.var(var).reg,
+            ptr_pref: ptr_pref[var.index()]
+                || f.var(var)
+                    .reg
+                    .map(|r| f.machine.reg_class(r) == RegClass::Ptr)
+                    .unwrap_or(false),
+            hint: hint[var.index()],
+            range_start,
+            range_len: ranges.len() as u32 - range_start,
+        });
+    }
     items.sort_by_key(|iv| (iv.start, iv.var.index()));
-    Intervals { items, block_span }
+    Intervals {
+        items,
+        block_span,
+        precision,
+        ranges,
+    }
 }
 
 #[cfg(test)]
@@ -243,5 +421,102 @@ exit:
             .find(|iv| f.var(iv.var).name == "n")
             .unwrap();
         assert!(z.overlaps(n), "loop-carried z must interfere with n");
+        assert!(ivs.overlap(z, n), "per-range view must agree here");
+    }
+
+    /// A web that dies and is later redefined has a lifetime hole; its
+    /// hull still spans both pieces, and another web fully inside the
+    /// hole does not interfere.
+    #[test]
+    fn redefined_web_has_a_hole_and_hole_dweller_does_not_interfere() {
+        let f = parse_function(
+            "func @h {
+entry:
+  %a = input
+  %b = add %a, %a
+  %c = add %b, %b
+  %a = make 1
+  %r = add %a, %c
+  ret %r
+}",
+            &Machine::dsp32(),
+        )
+        .unwrap();
+        let ivs = build(&f);
+        let by_name = |n: &str| ivs.items.iter().find(|iv| f.var(iv.var).name == n).unwrap();
+        let a = by_name("a");
+        let b = by_name("b");
+        assert_eq!(
+            ivs.ranges_of(a).len(),
+            2,
+            "two lives of %a: {:?}",
+            ivs.ranges_of(a)
+        );
+        // Envelope equals the hull on both sides of the hole.
+        let ra = ivs.ranges_of(a);
+        assert_eq!(ra[0].0, a.start);
+        assert_eq!(ra[ra.len() - 1].1, a.end + 1);
+        // %b lives strictly inside %a's hole: hulls overlap, ranges
+        // do not.
+        assert!(a.overlaps(b), "hull prefilter must still fire");
+        assert!(!ivs.overlap(a, b), "ranges must expose the hole");
+        assert!(!ivs.covers(a, b.start), "%a is dead where %b starts");
+        assert!(ivs.covered_len(a) < u64::from(a.end - a.start) + 1);
+    }
+
+    /// Hull precision collapses every interval to a single envelope
+    /// range, reproducing the pre-PR9 interference exactly.
+    #[test]
+    fn hull_precision_collapses_ranges_to_the_envelope() {
+        let f = parse_function(
+            "func @h {
+entry:
+  %a = input
+  %b = add %a, %a
+  %a = make 1
+  %r = add %a, %b
+  ret %r
+}",
+            &Machine::dsp32(),
+        )
+        .unwrap();
+        let ranged = build_with(&f, IntervalPrecision::Ranges);
+        let hulled = build_with(&f, IntervalPrecision::Hull);
+        for (rv, hv) in ranged.items.iter().zip(&hulled.items) {
+            assert_eq!(rv.var, hv.var);
+            assert_eq!((rv.start, rv.end), (hv.start, hv.end), "hulls agree");
+            assert_eq!(hulled.ranges_of(hv), &[(hv.start, hv.end + 1)]);
+            assert_eq!(hulled.covered_len(hv), u64::from(hv.end - hv.start) + 1);
+        }
+    }
+
+    /// A web live across a block boundary keeps one merged range over
+    /// the inter-block padding position instead of a spurious hole.
+    #[test]
+    fn block_boundary_padding_is_bridged() {
+        let f = parse_function(
+            "func @p {
+entry:
+  %a = input
+  jump next
+next:
+  ret %a
+}",
+            &Machine::dsp32(),
+        )
+        .unwrap();
+        let ivs = build(&f);
+        let a = ivs
+            .items
+            .iter()
+            .find(|iv| f.var(iv.var).name == "a")
+            .unwrap();
+        assert_eq!(
+            ivs.ranges_of(a).len(),
+            1,
+            "padding gap must merge: {:?}",
+            ivs.ranges_of(a)
+        );
+        assert_eq!(ivs.ranges_of(a)[0], (a.start, a.end + 1));
     }
 }

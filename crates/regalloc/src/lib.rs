@@ -51,6 +51,7 @@ use tossa_ir::machine::{PhysReg, RegClass};
 use tossa_ir::Function;
 use tossa_trace::Counter;
 
+pub use intervals::IntervalPrecision;
 pub use verify::verify_allocation;
 
 /// Which assignment engine produced (or should produce) the allocation.
@@ -91,6 +92,9 @@ pub struct AllocOptions {
     pub verify: bool,
     /// Victim selection and spill-rewrite policy.
     pub spill_policy: SpillPolicy,
+    /// Liveness model for interference: per-range intervals with
+    /// lifetime holes (default) or the pre-PR9 `[min, max]` hulls.
+    pub precision: IntervalPrecision,
 }
 
 impl Default for AllocOptions {
@@ -100,6 +104,7 @@ impl Default for AllocOptions {
             max_rounds: 8,
             verify: true,
             spill_policy: SpillPolicy::default(),
+            precision: IntervalPrecision::default(),
         }
     }
 }
@@ -128,6 +133,11 @@ pub struct AllocStats {
     /// Webs split at a loop-region boundary instead of spilled
     /// everywhere (each consumes one slot and counts in `spilled_vars`).
     pub splits: usize,
+    /// Split sub-webs rescued by the second-chance pass: evicted during
+    /// a scan round but re-assigned a register left free across their
+    /// ranges once the round's full assignment was known (no spill code
+    /// at all).
+    pub second_chances: usize,
 }
 
 impl AllocStats {
@@ -148,6 +158,7 @@ impl AllocStats {
         self.rounds = self.rounds.max(other.rounds);
         self.remats += other.remats;
         self.splits += other.splits;
+        self.second_chances += other.second_chances;
     }
 }
 
@@ -296,6 +307,14 @@ impl Assignment {
         self.regs[v.index()] = Some(r);
     }
 
+    /// Removes the register of `v` (eviction: the partial assignment a
+    /// failed round reports must not claim registers for its victims).
+    pub fn clear(&mut self, v: Var) {
+        if let Some(slot) = self.regs.get_mut(v.index()) {
+            *slot = None;
+        }
+    }
+
     /// Distinct registers in use.
     pub fn regs_used(&self) -> usize {
         let mut seen: Vec<PhysReg> = self.regs.iter().copied().flatten().collect();
@@ -342,13 +361,18 @@ pub fn prepare(f: &mut Function, opts: &AllocOptions) -> Result<Prepared, AllocE
     // which guarantees the loop keeps shrinking long intervals.
     let mut no_split: HashSet<Var> = HashSet::new();
     let mut remat_done: HashSet<Var> = HashSet::new();
+    // Hot sub-webs created by region splitting: when one comes back as
+    // a victim, the second-chance pass probes the round's partial
+    // assignment for a register before the terminal spill-everywhere
+    // fallback.
+    let mut split_webs: HashSet<Var> = HashSet::new();
     // One analysis manager for every round of every engine: spill
     // rewriting invalidates instructions only, keeping the CFG hot.
     let mut cache = tossa_analysis::AnalysisCache::new();
     for &(engine, is_fallback) in engines {
         for _ in 0..opts.max_rounds.max(1) {
             stats.rounds += 1;
-            let ivs = intervals::build_cached(f, &mut cache);
+            let ivs = intervals::build_cached_with(f, &mut cache, opts.precision);
             // Round-scoped analyses for the cost-driven policy, pulled
             // from the cache *before* any rewrite mutates `f`.
             let round = match opts.spill_policy {
@@ -374,13 +398,66 @@ pub fn prepare(f: &mut Function, opts: &AllocOptions) -> Result<Prepared, AllocE
                     }
                     return Ok(Prepared { assignment, stats });
                 }
-                Err(scan::ScanFail::Spill(reqs)) => {
+                Err(scan::ScanFail::Spill { reqs, partial }) => {
+                    // Second chance: the engines batch a whole round's
+                    // evictions, so by the end of the round the pressure
+                    // that evicted a web is often over-relieved. A split
+                    // sub-web back on the victim list would fall
+                    // terminally to spill-everywhere — probe the round's
+                    // finished partial assignment for a register free
+                    // across its ranges first. The rescue stands only
+                    // when *every* victim of the round is rescued (the
+                    // assignment is then complete); otherwise the other
+                    // victims force a rewrite-and-rescan anyway and the
+                    // rescued webs simply skip this round's spill code.
+                    let mut rescue_asg = partial;
+                    let mut rescues: Vec<(Var, PhysReg)> = Vec::new();
+                    if reqs.iter().any(|r| split_webs.contains(&r.var)) {
+                        if let Ok(blocked) = scan::Blocked::collect(&ivs) {
+                            for req in reqs.iter().filter(|r| split_webs.contains(&r.var)) {
+                                let Some(iv) = ivs.find(req.var) else {
+                                    continue;
+                                };
+                                let free = pools(f, iv.ptr_pref).into_iter().find(|&r| {
+                                    !blocked.conflicts(&ivs, r, iv)
+                                        && !ivs.items.iter().any(|other| {
+                                            other.var != iv.var
+                                                && rescue_asg.get(other.var) == Some(r)
+                                                && ivs.overlap(other, iv)
+                                        })
+                                });
+                                if let Some(r) = free {
+                                    rescue_asg.set(iv.var, r);
+                                    rescues.push((iv.var, r));
+                                }
+                            }
+                        }
+                    }
+                    if !rescues.is_empty() && rescues.len() == reqs.len() {
+                        for &(v, r) in &rescues {
+                            let cause = format!("second-chance:{}", f.machine.reg_name(r));
+                            record_spill_cause(f, &ivs, v, &cause);
+                        }
+                        stats.second_chances += rescues.len();
+                        stats.fallback = is_fallback;
+                        if is_fallback {
+                            tossa_trace::count(Counter::AllocFallbacks, 1);
+                        }
+                        return Ok(Prepared {
+                            assignment: rescue_asg,
+                            stats,
+                        });
+                    }
+                    let rescued: HashSet<Var> = rescues.into_iter().map(|(v, _)| v).collect();
                     // Disposition per victim: rematerialize, split, or
                     // spill everywhere. Remat and split run first so the
                     // batched everywhere-rewrite sees the final shape.
                     let mut everywhere: Vec<(Var, i64)> = Vec::new();
                     for req in &reqs {
                         let v = req.var;
+                        if rescued.contains(&v) {
+                            continue;
+                        }
                         if let Some((cfg, live, loops, costs)) = &round {
                             if let Some(imm) = costs.remat_imm(v) {
                                 if !remat_done.contains(&v) {
@@ -404,6 +481,7 @@ pub fn prepare(f: &mut Function, opts: &AllocOptions) -> Result<Prepared, AllocE
                                 &mut temps,
                                 &mut no_split,
                             ) {
+                                split_webs.insert(out.hot_var);
                                 next_slot += 1;
                                 stats.splits += 1;
                                 stats.spilled_vars += 1;

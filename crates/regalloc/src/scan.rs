@@ -1,19 +1,28 @@
-//! Liveness-driven linear scan over hull intervals.
+//! Liveness-driven linear scan over per-range live intervals.
 //!
 //! Precolored intervals (out-of-SSA pinnings) are fixed: their register
-//! is reserved for their whole interval, and an unpinned candidate may
-//! only take a register whose precolored reservations it does not
-//! overlap. When no register is free an eviction is forced; the caller
-//! rewrites the evicted variables through spill slots and re-runs the
-//! scan. Spill-reload temporaries are unspillable, which bounds the
-//! iteration: each round strictly shrinks the set of long intervals.
+//! is reserved wherever their ranges are live, and an unpinned candidate
+//! may only take a register whose precolored reservations it does not
+//! overlap. Interference is range-accurate ([`Intervals::overlap`]):
+//! several webs may hold one register simultaneously as long as each
+//! lives inside the others' lifetime holes. When no register is free an
+//! eviction is forced; the caller rewrites the evicted variables through
+//! spill slots and re-runs the scan. Spill-reload temporaries are
+//! unspillable, which bounds the iteration: each round strictly shrinks
+//! the set of long intervals.
 //!
 //! Victim choice is policy-dependent. The PR4 policy (`costs: None`)
 //! evicts the furthest-ending spillable interval (possibly the current
 //! one). The cost-driven policy (`costs: Some(..)`) evicts the candidate
-//! with the *lowest* loop-weighted spill cost ([`crate::cost`]), ties
-//! broken toward the furthest end, so hot loop-carried webs stay in
-//! registers while cold webs take the slots.
+//! with the *lowest* loop-weighted spill cost ([`crate::cost`]),
+//! normalized by the positions its ranges actually cover, ties broken
+//! toward the furthest end, so hot loop-carried webs stay in registers
+//! while cold webs take the slots.
+//!
+//! A failed round returns the eviction set *and* the partial assignment
+//! of everything that did fit — the driver's second-chance pass re-tests
+//! split sub-webs against that assignment before falling back to
+//! spill-everywhere.
 
 use std::collections::{HashMap, HashSet};
 use tossa_ir::ids::Var;
@@ -23,7 +32,7 @@ use tossa_ir::Function;
 use tossa_trace::provenance;
 
 use crate::cost::SpillCosts;
-use crate::intervals::Intervals;
+use crate::intervals::{Interval, Intervals};
 use crate::{pools, AllocError, Assignment};
 
 /// One eviction decision: which web to spill and the linear position of
@@ -32,7 +41,7 @@ use crate::{pools, AllocError, Assignment};
 /// a loop).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SpillReq {
-    /// The web to rewrite through a slot (or remat / split).
+    /// The web to rewrite through a slot (or remat / split / rescue).
     pub var: Var,
     /// Linear position of the conflict that evicted it.
     pub at: u32,
@@ -43,52 +52,58 @@ pub struct SpillReq {
 pub enum ScanFail {
     /// These variables must be rewritten through spill slots, then the
     /// scan re-run.
-    Spill(Vec<SpillReq>),
+    Spill {
+        /// The eviction set, one request per web.
+        reqs: Vec<SpillReq>,
+        /// The registers everything *else* received this round (evicted
+        /// and spilled webs are unassigned). The driver's second-chance
+        /// pass probes this for registers left free across a victim's
+        /// ranges.
+        partial: Assignment,
+    },
     /// Unrecoverable failure (pin conflict, out of registers).
     Hard(AllocError),
 }
 
 /// Per-register reservations made by precolored intervals.
 pub(crate) struct Blocked {
-    ranges: HashMap<u8, Vec<(u32, u32)>>,
+    /// Item indices of precolored intervals, by register id.
+    by_reg: HashMap<u8, Vec<usize>>,
 }
 
 impl Blocked {
     /// Collects precolored reservations; errors when two precolored
-    /// intervals on one register overlap.
+    /// intervals on one register have overlapping ranges (sharing a
+    /// register across disjoint ranges is legal).
     pub(crate) fn collect(ivs: &Intervals) -> Result<Blocked, AllocError> {
-        let mut ranges: HashMap<u8, Vec<(u32, u32, Var)>> = HashMap::new();
-        for iv in &ivs.items {
+        let mut by_reg: HashMap<u8, Vec<usize>> = HashMap::new();
+        for (idx, iv) in ivs.items.iter().enumerate() {
             if let Some(r) = iv.pre {
-                ranges
-                    .entry(r.0)
-                    .or_default()
-                    .push((iv.start, iv.end, iv.var));
+                by_reg.entry(r.0).or_default().push(idx);
             }
         }
-        let mut out: HashMap<u8, Vec<(u32, u32)>> = HashMap::new();
-        for (reg, mut v) in ranges {
-            v.sort_unstable();
-            for w in v.windows(2) {
-                if w[1].0 <= w[0].1 {
-                    return Err(AllocError::PinConflict {
-                        reg: PhysReg(reg),
-                        a: w[0].2,
-                        b: w[1].2,
-                    });
+        for (&reg, idxs) in &by_reg {
+            for (i, &a) in idxs.iter().enumerate() {
+                for &b in &idxs[i + 1..] {
+                    if ivs.overlap(&ivs.items[a], &ivs.items[b]) {
+                        return Err(AllocError::PinConflict {
+                            reg: PhysReg(reg),
+                            a: ivs.items[a].var,
+                            b: ivs.items[b].var,
+                        });
+                    }
                 }
             }
-            out.insert(reg, v.into_iter().map(|(s, e, _)| (s, e)).collect());
         }
-        Ok(Blocked { ranges: out })
+        Ok(Blocked { by_reg })
     }
 
-    /// Does register `r` carry a precolored reservation overlapping
-    /// `[start, end]`?
-    pub(crate) fn conflicts(&self, r: PhysReg, start: u32, end: u32) -> bool {
-        self.ranges
+    /// Does register `r` carry a precolored reservation whose ranges
+    /// overlap `iv`'s?
+    pub(crate) fn conflicts(&self, ivs: &Intervals, r: PhysReg, iv: &Interval) -> bool {
+        self.by_reg
             .get(&r.0)
-            .map(|v| v.iter().any(|&(s, e)| s <= end && start <= e))
+            .map(|v| v.iter().any(|&i| ivs.overlap(&ivs.items[i], iv)))
             .unwrap_or(false)
     }
 }
@@ -96,8 +111,8 @@ impl Blocked {
 /// One linear-scan round.
 ///
 /// # Errors
-/// [`ScanFail::Spill`] with the eviction set, or [`ScanFail::Hard`] on
-/// pin conflicts / unspillable pressure.
+/// [`ScanFail::Spill`] with the eviction set and partial assignment, or
+/// [`ScanFail::Hard`] on pin conflicts / unspillable pressure.
 pub fn scan(
     f: &Function,
     ivs: &Intervals,
@@ -105,29 +120,36 @@ pub fn scan(
     costs: Option<&SpillCosts>,
 ) -> Result<Assignment, ScanFail> {
     let blocked = Blocked::collect(ivs).map_err(ScanFail::Hard)?;
-    // Hull lengths for weight normalization: the cost-driven victim
+    // Covered lengths for weight normalization: the cost-driven victim
     // rule compares spill cost *per position of relief*, so a long cold
     // web beats many short cheap webs (which would each relieve only
-    // one pressure point).
+    // one pressure point). Holes do not relieve anything, so they do
+    // not count.
     let mut len_of: Vec<u64> = vec![1; f.num_vars()];
     for iv in &ivs.items {
-        len_of[iv.var.index()] = u64::from(iv.end - iv.start) + 1;
+        len_of[iv.var.index()] = ivs.covered_len(iv).max(1);
     }
     let norm = |w: u64, v: Var| -> (u128, u128) { (u128::from(w), u128::from(len_of[v.index()])) };
     let mut asg = Assignment::new(f.num_vars());
-    // (end, reg, var, spillable)
-    let mut active: Vec<(u32, PhysReg, Var, bool)> = Vec::new();
+    // (hull end, reg, item index, spillable)
+    let mut active: Vec<(u32, PhysReg, usize, bool)> = Vec::new();
     let mut spills: Vec<SpillReq> = Vec::new();
     // Candidate pools are interval-independent apart from the pointer
     // preference; computed once per scan, not once per interval.
     let pool_gpr_first = pools(f, false);
     let pool_ptr_first = pools(f, true);
+    // Per-register pressure against the current interval's ranges:
+    // how many active holders overlap it, and (when exactly one does)
+    // which active entry that is. Reset via `touched` between items.
+    let mut over_count = [0u32; 256];
+    let mut sole = [usize::MAX; 256];
+    let mut touched: Vec<u8> = Vec::new();
 
-    for iv in &ivs.items {
+    for (idx, iv) in ivs.items.iter().enumerate() {
         active.retain(|&(end, _, _, _)| end >= iv.start);
         if let Some(r) = iv.pre {
             asg.set(iv.var, r);
-            active.push((iv.end, r, iv.var, false));
+            active.push((iv.end, r, idx, false));
             continue;
         }
         let spillable = !temps.contains(&iv.var);
@@ -140,31 +162,43 @@ pub fn scan(
         } else {
             &pool_gpr_first
         };
-        let usable = |r: PhysReg| !blocked.conflicts(r, iv.start, iv.end);
-        // Registers held by active intervals, as a bitmask over reg ids.
-        let mut taken = [0u64; 4];
-        for &(_, r, _, _) in &active {
-            taken[(r.0 >> 6) as usize] |= 1u64 << (r.0 & 63);
+        let usable = |r: PhysReg| !blocked.conflicts(ivs, r, iv);
+        for &t in &touched {
+            over_count[t as usize] = 0;
         }
-        let is_taken = |r: PhysReg| taken[(r.0 >> 6) as usize] & (1u64 << (r.0 & 63)) != 0;
+        touched.clear();
+        for (ai, &(_, r, aidx, _)) in active.iter().enumerate() {
+            if ivs.overlap(&ivs.items[aidx], iv) {
+                if over_count[r.0 as usize] == 0 {
+                    touched.push(r.0);
+                }
+                over_count[r.0 as usize] += 1;
+                sole[r.0 as usize] = ai;
+            }
+        }
         let chosen = hinted
             .into_iter()
             .chain(pool.iter().copied())
-            .find(|&r| usable(r) && !is_taken(r));
+            .find(|&r| usable(r) && over_count[r.0 as usize] == 0);
         if let Some(r) = chosen {
             asg.set(iv.var, r);
-            active.push((iv.end, r, iv.var, spillable));
+            active.push((iv.end, r, idx, spillable));
             continue;
         }
-        // No free register: evict a spillable holder of a register this
-        // interval could use — or the interval itself. The PR4 policy
-        // picks the furthest-ending holder; the cost-driven policy picks
-        // the cheapest by loop weight, ties toward the furthest end.
+        // No free register: evict a spillable *sole* overlapping holder
+        // of a register this interval could use — or the interval
+        // itself. (A register whose pressure comes from two hole-sharing
+        // holders cannot be freed by one eviction.) The PR4 policy picks
+        // the furthest-ending holder; the cost-driven policy picks the
+        // cheapest by loop weight per covered position, ties toward the
+        // furthest end.
         let candidates = active
             .iter()
             .enumerate()
-            .filter(|(_, &(_, r, _, sp))| sp && usable(r))
-            .map(|(idx, &(end, r, v, _))| (idx, end, r, v));
+            .filter(|&(ai, &(_, r, _, sp))| {
+                sp && usable(r) && over_count[r.0 as usize] == 1 && sole[r.0 as usize] == ai
+            })
+            .map(|(ai, &(end, r, aidx, _))| (ai, end, r, ivs.items[aidx].var));
         let victim = match costs {
             None => candidates.max_by_key(|&(_, end, _, _)| end),
             Some(c) => candidates.min_by(|&(_, enda, _, va), &(_, endb, _, vb)| {
@@ -195,19 +229,15 @@ pub fn scan(
             (_, None) => false,
         };
         match victim {
-            Some((idx, end, r, v)) if evict => {
-                active.remove(idx);
+            Some((ai, end, r, v)) if evict => {
+                active.remove(ai);
+                asg.clear(v);
                 spills.push(SpillReq {
                     var: v,
                     at: iv.start,
                 });
                 provenance::record(|| {
-                    let (vs, ve) = ivs
-                        .items
-                        .iter()
-                        .find(|x| x.var == v)
-                        .map(|x| (x.start, x.end))
-                        .unwrap_or((0, end));
+                    let (vs, ve) = ivs.find(v).map(|x| (x.start, x.end)).unwrap_or((0, end));
                     provenance::Kind::Spill {
                         var: var_str(f, v),
                         start: vs,
@@ -223,7 +253,7 @@ pub fn scan(
                     }
                 });
                 asg.set(iv.var, r);
-                active.push((iv.end, r, iv.var, spillable));
+                active.push((iv.end, r, idx, spillable));
             }
             _ if spillable => {
                 spills.push(SpillReq {
@@ -257,7 +287,10 @@ pub fn scan(
         // One request per web: keep the first pressure point.
         spills.sort_by_key(|s| s.var.index());
         spills.dedup_by_key(|s| s.var);
-        Err(ScanFail::Spill(spills))
+        Err(ScanFail::Spill {
+            reqs: spills,
+            partial: asg,
+        })
     }
 }
 
@@ -316,5 +349,39 @@ mod tests {
                 assert_eq!(asg.get(iv.var), Some(r5));
             }
         }
+    }
+
+    /// Two precolored lives of one register whose *hulls* overlap but
+    /// whose ranges do not (one sits in the other's hole) must be
+    /// accepted — and under hull precision they must still conflict.
+    #[test]
+    fn precolored_hole_sharing_is_allowed_only_under_range_precision() {
+        let text = "func @ph {
+entry:
+  %a = input
+  %b = add %a, %a
+  %c = add %b, %b
+  %a = make 1
+  %r = add %a, %c
+  ret %r
+}";
+        let mut f = parse_function(text, &Machine::dsp32()).unwrap();
+        let r5 = Machine::dsp32().reg_by_name("R5").unwrap();
+        let vars: Vec<_> = f.vars().collect();
+        for v in vars {
+            if f.var(v).name == "a" || f.var(v).name == "b" {
+                f.var_mut(v).reg = Some(r5);
+            }
+        }
+        let ivs = intervals::build(&f);
+        assert!(
+            Blocked::collect(&ivs).is_ok(),
+            "%b lives in %a's hole — no pin conflict"
+        );
+        let hull = intervals::build_with(&f, intervals::IntervalPrecision::Hull);
+        assert!(
+            matches!(Blocked::collect(&hull), Err(AllocError::PinConflict { .. })),
+            "hull precision must reject the same pinning"
+        );
     }
 }

@@ -1,10 +1,15 @@
-//! Live-range splitting at loop-region boundaries.
+//! Live-range splitting at region boundaries.
 //!
-//! A victim web whose pressure point lies *outside* a loop it occurs in
-//! does not have to give up its register inside that loop. The split
-//! renames the web's occurrences inside the loop body to a fresh hot
-//! sub-web (register-resident), spills the cold remainder everywhere,
-//! and stitches the two together with boundary copies through the web's
+//! A victim web whose pressure point lies *outside* a region it occurs
+//! in does not have to give up its register inside that region. Regions
+//! are loop bodies first (the Table 5 frequency argument: occurrences
+//! inside a loop are worth `5^depth` memory operations each) and, since
+//! PR9, single non-loop blocks — any block holding an occurrence away
+//! from the pressure point qualifies, with the hottest eligible region
+//! winning and loop regions preferred on ties. The split renames the
+//! web's occurrences inside the region to a fresh hot sub-web
+//! (register-resident), spills the cold remainder everywhere, and
+//! stitches the two together with boundary copies through the web's
 //! stack slot:
 //!
 //! - one `vh = spillld slot` at the end of each entry predecessor of the
@@ -50,16 +55,19 @@ pub struct SplitOutcome {
     pub hot_var: Var,
 }
 
-/// The loop region a split would preserve, chosen before mutating.
+/// The region a split would preserve, chosen before mutating: a loop
+/// body entered through its header, or a single non-loop block.
 struct Region {
     header: Block,
     body: Vec<Block>,
 }
 
-/// Picks the hottest eligible loop region for splitting `v`, or `None`
-/// when no region qualifies (the conflict sits inside every loop the
-/// web occurs in, the region has side entries, or the web never leaves
-/// the loop).
+/// Picks the hottest eligible region for splitting `v`, or `None` when
+/// no region qualifies (the conflict sits inside every candidate, a
+/// candidate has side entries or no entry predecessor, or the web never
+/// leaves it). Loop regions are tried first and win heat ties over
+/// single-block regions, which exist so a web can keep its register in
+/// a straight-line block even when no loop shape applies.
 fn pick_region(
     v: Var,
     conflict_at: u32,
@@ -106,6 +114,28 @@ fn pick_region(
         let region = Region {
             header: h,
             body: body.to_vec(),
+        };
+        if best.as_ref().map(|(w, _)| heat > *w).unwrap_or(true) {
+            best = Some((heat, region));
+        }
+    }
+    // Non-loop fallback: a single occurrence-holding block away from
+    // the pressure point. Header == body, so the side-entry condition
+    // is vacuous; the remaining checks mirror the loop case.
+    for &b in occ {
+        if ivs.position_in_blocks(conflict_at, &[b]) {
+            continue;
+        }
+        if !occ.iter().any(|&o| o != b) {
+            continue;
+        }
+        if !cfg.preds(b).iter().any(|&p| p != b) {
+            continue;
+        }
+        let heat = loops.weight(b);
+        let region = Region {
+            header: b,
+            body: vec![b],
         };
         if best.as_ref().map(|(w, _)| heat > *w).unwrap_or(true) {
             best = Some((heat, region));
@@ -405,9 +435,14 @@ exit:
         );
     }
 
+    /// With the pressure point inside the loop, the loop region is
+    /// ineligible — but since PR9 a single non-loop block holding an
+    /// occurrence (here `exit`) still qualifies, so the split falls
+    /// back to it instead of giving up.
     #[test]
-    fn conflict_inside_the_loop_blocks_the_split() {
+    fn conflict_inside_the_loop_falls_back_to_a_non_loop_region() {
         let mut f = parse_function(HOT_THROUGH_LOOP, &Machine::dsp32()).unwrap();
+        let before = interp::run(&f, &[5], 10_000).unwrap().outputs;
         let k = f.vars().find(|&v| f.var(v).name == "k").unwrap();
         let (cfg, loops, live) = analyses(&f);
         let ivs = intervals::build(&f);
@@ -416,7 +451,7 @@ exit:
         let conflict_at = ivs.block_span[body_b.index()].0;
         let mut temps = HashSet::new();
         let mut no_split = HashSet::new();
-        assert!(try_split(
+        let out = try_split(
             &mut f,
             k,
             conflict_at,
@@ -429,7 +464,114 @@ exit:
             &mut temps,
             &mut no_split,
         )
+        .expect("single-block fallback region must apply");
+        f.validate().unwrap();
+        // The hot sub-web is confined to a region away from the
+        // conflict block: no occurrence of it in `body`.
+        for i in f.block_insts(body_b) {
+            assert!(
+                f.inst(i).operands().all(|o| o.var != out.hot_var),
+                "hot sub-web leaked into the conflict block\n{f}"
+            );
+        }
+        assert_eq!(
+            interp::run(&f, &[5], 10_000).unwrap().outputs,
+            before,
+            "{f}"
+        );
+    }
+
+    /// A web confined to one block can never be split: there is no cold
+    /// part to spill, whatever the conflict position.
+    #[test]
+    fn single_block_web_has_no_region() {
+        let mut f = parse_function(HOT_THROUGH_LOOP, &Machine::dsp32()).unwrap();
+        let r = f.vars().find(|&v| f.var(v).name == "r").unwrap();
+        let (cfg, loops, live) = analyses(&f);
+        let ivs = intervals::build(&f);
+        let costs = SpillCosts::compute(&f, &loops);
+        let entry = f.blocks().find(|&b| f.block(b).name == "entry").unwrap();
+        let conflict_at = ivs.block_span[entry.index()].0;
+        let mut temps = HashSet::new();
+        let mut no_split = HashSet::new();
+        assert!(try_split(
+            &mut f,
+            r,
+            conflict_at,
+            &ivs,
+            &loops,
+            &live,
+            &cfg,
+            &costs,
+            0,
+            &mut temps,
+            &mut no_split,
+        )
         .is_none());
+    }
+
+    /// A loop-free program: the split carves a straight-line block out
+    /// of the web, reloading at the block's entry predecessor.
+    #[test]
+    fn non_loop_region_splits_a_straightline_web() {
+        let mut f = parse_function(
+            "
+func @sl {
+entry:
+  %k = make 7
+  %a = input
+  %b = add %a, %k
+  jump mid
+mid:
+  %c = add %b, %b
+  jump last
+last:
+  %r = add %c, %k
+  ret %r
+}",
+            &Machine::dsp32(),
+        )
+        .unwrap();
+        let before = interp::run(&f, &[5], 10_000).unwrap().outputs;
+        let k = f.vars().find(|&v| f.var(v).name == "k").unwrap();
+        let (cfg, loops, live) = analyses(&f);
+        let ivs = intervals::build(&f);
+        let costs = SpillCosts::compute(&f, &loops);
+        let mid = f.blocks().find(|&b| f.block(b).name == "mid").unwrap();
+        let conflict_at = ivs.block_span[mid.index()].0;
+        let mut temps = HashSet::new();
+        let mut no_split = HashSet::new();
+        let out = try_split(
+            &mut f,
+            k,
+            conflict_at,
+            &ivs,
+            &loops,
+            &live,
+            &cfg,
+            &costs,
+            0,
+            &mut temps,
+            &mut no_split,
+        )
+        .expect("non-loop split must apply");
+        f.validate().unwrap();
+        assert!(out.reloads >= 1, "{f}");
+        // Boundary copies land outside the conflict-free region's
+        // interior: every boundary block is a predecessor of the region
+        // or an exit of it.
+        let last = f.blocks().find(|&b| f.block(b).name == "last").unwrap();
+        for &b in &out.boundaries {
+            assert!(
+                f.succs(b).contains(&last) || b == last,
+                "boundary {b:?} detached from the region\n{f}"
+            );
+        }
+        assert_eq!(
+            interp::run(&f, &[5], 10_000).unwrap().outputs,
+            before,
+            "{f}"
+        );
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //!   dead defs clobbering live-through values
 //!   ([`AllocError::RegisterOverlap`]) — checked by a per-block backward
 //!   scan from `live_exit` that tracks which variable currently owns
-//!   each register;
+//!   each register. The scan is per-program-point precise, which makes
+//!   it *hole-aware* by construction: a def releases its register, so
+//!   two webs may legally share one as long as each lives inside the
+//!   other's lifetime holes — exactly the sharing the per-range
+//!   allocator (PR9) produces, and exactly what a hull-based recheck
+//!   would wrongly reject;
 //! - every `spillld` reads a slot that a `spillst` must have written on
 //!   all paths ([`AllocError::UnpairedSlot`]) — a forward must-written
 //!   dataflow over slots;
@@ -245,6 +250,37 @@ mod tests {
         let a = f.vars().find(|&v| f.var(v).name == "a").unwrap();
         let dead = f.vars().find(|&v| f.var(v).name == "dead").unwrap();
         asg.set(dead, asg.get(a).unwrap());
+        let e = verify_allocation(&f, &asg).unwrap_err();
+        assert!(matches!(e, AllocError::RegisterOverlap { .. }), "{e}");
+    }
+
+    /// Hole-aware acceptance: two webs whose hulls overlap but whose
+    /// ranges do not (one lives entirely inside the other's lifetime
+    /// hole) may share a register. The per-point owner scan releases
+    /// the register at the hole boundary, so no overlap is reported.
+    #[test]
+    fn hole_sharing_assignment_verifies() {
+        let (f, mut asg) = prepared(
+            "func @hs {
+entry:
+  %a = input
+  %b = add %a, %a
+  %c = add %b, %b
+  %a = make 1
+  %r = add %a, %c
+  ret %r
+}",
+        );
+        let a = f.vars().find(|&v| f.var(v).name == "a").unwrap();
+        let b = f.vars().find(|&v| f.var(v).name == "b").unwrap();
+        // %b lives in %a's hole (between %a's last use and its
+        // redefinition): sharing %a's register is legal.
+        asg.set(b, asg.get(a).unwrap());
+        verify_allocation(&f, &asg).unwrap();
+        // But %c overlaps %a's second life at the final add: sharing
+        // with it must still be rejected.
+        let c = f.vars().find(|&v| f.var(v).name == "c").unwrap();
+        asg.set(c, asg.get(a).unwrap());
         let e = verify_allocation(&f, &asg).unwrap_err();
         assert!(matches!(e, AllocError::RegisterOverlap { .. }), "{e}");
     }

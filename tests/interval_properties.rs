@@ -1,0 +1,259 @@
+//! Property battery for the per-range live intervals (DESIGN.md §15).
+//!
+//! Every property is an independent re-derivation: positions are read
+//! off `block_span` directly, the liveness input comes from the
+//! quadratic reference dataflow (`Liveness::compute_reference`), not
+//! the worklist engine the builder uses, and the per-point walk
+//! re-implements the backward scan from scratch. The population mixes
+//! seeded pipeline outputs under register pressure (so holes, split
+//! temps, and redefined webs all occur) with the fixed hole specimen.
+
+use std::collections::HashSet;
+use tossa::analysis::Liveness;
+use tossa::bench::runner::run_experiment;
+use tossa::bench::suites::synth::{generate_function, SynthConfig};
+use tossa::core::coalesce::CoalesceOptions;
+use tossa::core::Experiment;
+use tossa::ir::cfg::Cfg;
+use tossa::ir::machine::Machine;
+use tossa::ir::parse::parse_function;
+use tossa::ir::rng::SplitMix64;
+use tossa::ir::Function;
+use tossa::regalloc::intervals::{self, Intervals};
+
+const CASES: usize = 16;
+
+fn seeds(stream: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::seed_from_u64(0x1_7E0 ^ stream);
+    (0..CASES).map(|_| rng.random_range(0u64..10_000)).collect()
+}
+
+fn population(stream: u64) -> Vec<(String, Function)> {
+    let cfg = SynthConfig {
+        functions: 1,
+        pool: 32,
+        max_depth: 2,
+        body_len: 12,
+    };
+    let mut cases: Vec<(String, Function)> = seeds(stream)
+        .into_iter()
+        .map(|s| {
+            let bf = generate_function(s, &cfg);
+            let f =
+                run_experiment(&bf.func, Experiment::LphiAbiC, &CoalesceOptions::default()).func;
+            (format!("seed {s}"), f)
+        })
+        .collect();
+    cases.push((
+        "hole specimen".into(),
+        parse_function(
+            "func @h {\nentry:\n  %a = input\n  %b = add %a, %a\n  %c = add %b, %b\n  \
+             %a = make 1\n  %r = add %a, %c\n  ret %r\n}",
+            &Machine::dsp32(),
+        )
+        .unwrap(),
+    ));
+    cases
+}
+
+/// All def positions (`base + 2k + 1`), use positions (`base + 2k`),
+/// block bases, and block end positions of `f`, read off `block_span`.
+struct Positions {
+    defs: HashSet<(usize, u32)>,
+    uses: HashSet<(usize, u32)>,
+    bases: HashSet<u32>,
+    ends: HashSet<u32>,
+}
+
+fn positions(f: &Function, ivs: &Intervals) -> Positions {
+    let mut p = Positions {
+        defs: HashSet::new(),
+        uses: HashSet::new(),
+        bases: HashSet::new(),
+        ends: HashSet::new(),
+    };
+    for b in f.blocks() {
+        let (base, end_pos) = ivs.block_span[b.index()];
+        p.bases.insert(base);
+        p.ends.insert(end_pos);
+        for (k, i) in f.block_insts(b).enumerate() {
+            let k = k as u32;
+            let inst = f.inst(i);
+            for o in inst.defs {
+                p.defs.insert((o.var.index(), base + 2 * k + 1));
+            }
+            for o in inst.uses {
+                p.uses.insert((o.var.index(), base + 2 * k));
+            }
+        }
+    }
+    p
+}
+
+/// Range lists are structurally sound: nonempty sorted disjoint ranges
+/// whose envelope equals the hull, so the hull prefilter never lies
+/// about the outer bounds.
+#[test]
+fn ranges_are_sorted_disjoint_nonempty_and_envelope_equals_hull() {
+    for (label, f) in population(31) {
+        let ivs = intervals::build(&f);
+        for iv in &ivs.items {
+            let rs = ivs.ranges_of(iv);
+            let name = &f.var(iv.var).name;
+            assert!(!rs.is_empty(), "{label}: {name} has no ranges");
+            for &(s, e) in rs {
+                assert!(s < e, "{label}: {name} empty range [{s},{e})");
+                assert!(
+                    iv.start <= s && e <= iv.end + 1,
+                    "{label}: {name} range [{s},{e}) escapes hull [{},{}]",
+                    iv.start,
+                    iv.end
+                );
+            }
+            for w in rs.windows(2) {
+                assert!(
+                    w[0].1 < w[1].0,
+                    "{label}: {name} ranges not disjoint-sorted: {w:?}"
+                );
+            }
+            assert_eq!(rs[0].0, iv.start, "{label}: {name} envelope start != hull");
+            assert_eq!(
+                rs[rs.len() - 1].1,
+                iv.end + 1,
+                "{label}: {name} envelope end != hull"
+            );
+        }
+    }
+}
+
+/// Every range boundary is an event the program can explain: a range
+/// starts at a def of its variable or at a block base (live-in), and
+/// its last covered position is a use, a def (dead def), or a block
+/// end position (live-out).
+#[test]
+fn range_endpoints_land_on_def_use_or_block_boundaries() {
+    for (label, f) in population(32) {
+        let ivs = intervals::build(&f);
+        let pos = positions(&f, &ivs);
+        for iv in &ivs.items {
+            let v = iv.var.index();
+            let name = &f.var(iv.var).name;
+            for &(s, e) in ivs.ranges_of(iv) {
+                assert!(
+                    pos.defs.contains(&(v, s)) || pos.bases.contains(&s),
+                    "{label}: {name} range starts at {s}, neither a def of it nor a block base"
+                );
+                let last = e - 1;
+                assert!(
+                    pos.uses.contains(&(v, last))
+                        || pos.defs.contains(&(v, last))
+                        || pos.ends.contains(&last),
+                    "{label}: {name} range ends at {last}, neither a use/def of it nor a block end"
+                );
+            }
+        }
+    }
+}
+
+/// A from-scratch per-point walk — reference liveness, per-block
+/// backward scan marking each live variable at each position — agrees
+/// with `covers` at every position. Inter-block padding positions are
+/// the one modeled divergence: the builder bridges a gap that is
+/// exactly the unused padding slot, so there the walk's verdict on the
+/// two neighboring real positions decides.
+#[test]
+fn per_point_walk_agrees_with_the_ranges() {
+    for (label, f) in population(33) {
+        let cfg = Cfg::compute(&f);
+        let live = Liveness::compute_reference(&f, &cfg);
+        let ivs = intervals::build(&f);
+
+        let mut marked: HashSet<(usize, u32)> = HashSet::new();
+        let mut max_pos = 0u32;
+        for b in f.blocks() {
+            let (base, end_pos) = ivs.block_span[b.index()];
+            max_pos = max_pos.max(end_pos + 1);
+            let mut cursor: HashSet<usize> =
+                live.live_exit(&f, b).iter().map(|v| v.index()).collect();
+            for &v in &cursor {
+                marked.insert((v, end_pos));
+            }
+            let insts: Vec<_> = f.block_insts(b).collect();
+            for (k, &i) in insts.iter().enumerate().rev() {
+                let k = k as u32;
+                let inst = f.inst(i);
+                let def_pos = base + 2 * k + 1;
+                for o in inst.defs {
+                    // Dead or not, the def occupies its position.
+                    marked.insert((o.var.index(), def_pos));
+                    cursor.remove(&o.var.index());
+                }
+                for &v in &cursor {
+                    marked.insert((v, def_pos));
+                }
+                let use_pos = base + 2 * k;
+                for o in inst.uses {
+                    cursor.insert(o.var.index());
+                }
+                for &v in &cursor {
+                    marked.insert((v, use_pos));
+                }
+            }
+        }
+
+        let pads: HashSet<u32> = f
+            .blocks()
+            .map(|b| ivs.block_span[b.index()].1 + 1)
+            .collect();
+        for iv in &ivs.items {
+            let v = iv.var.index();
+            let name = &f.var(iv.var).name;
+            for p in 0..=max_pos {
+                let expect = if pads.contains(&p) {
+                    marked.contains(&(v, p.wrapping_sub(1))) && marked.contains(&(v, p + 1))
+                } else {
+                    marked.contains(&(v, p))
+                };
+                assert_eq!(
+                    ivs.covers(iv, p),
+                    expect,
+                    "{label}: {name} coverage at position {p} disagrees with the walk"
+                );
+            }
+        }
+    }
+}
+
+/// Covered length is exactly the number of positions the walk marks
+/// plus the bridged padding slots — never the hull length when a hole
+/// exists — and at least one population member actually has a hole (so
+/// the properties above are not vacuous about holes).
+#[test]
+fn covered_length_counts_live_positions_only() {
+    let mut holed = 0usize;
+    for (label, f) in population(34) {
+        let ivs = intervals::build(&f);
+        for iv in &ivs.items {
+            let rs = ivs.ranges_of(iv);
+            if rs.len() > 1 {
+                holed += 1;
+                assert!(
+                    ivs.covered_len(iv) < u64::from(iv.end - iv.start) + 1,
+                    "{label}: {} has {} ranges but hull-sized cover",
+                    f.var(iv.var).name,
+                    rs.len()
+                );
+            } else {
+                assert_eq!(ivs.covered_len(iv), u64::from(iv.end - iv.start) + 1);
+            }
+            let by_points: u64 = (iv.start..=iv.end).filter(|&p| ivs.covers(iv, p)).count() as u64;
+            assert_eq!(
+                ivs.covered_len(iv),
+                by_points,
+                "{label}: {} covered_len disagrees with point count",
+                f.var(iv.var).name
+            );
+        }
+    }
+    assert!(holed > 0, "no population member ever had a hole — vacuous");
+}

@@ -292,7 +292,7 @@ fn spill_decisions_carry_rationales() {
 /// The documented `Kind::Spill` cause grammar, both policies:
 /// `evicted-by:<var>@<reg>` / `no-register[:hint-failed=<reg>]`
 /// (spill-everywhere) and `cost:weight=<w>,depth=<d>` / `remat:<opcode>`
-/// / `split-at:<block>` (cost-driven).
+/// / `split-at:<block>` / `second-chance:<reg>` (cost-driven).
 fn assert_spill_cause_grammar(cause: &str) {
     if let Some(rest) = cause.strip_prefix("cost:") {
         let (w, d) = rest
@@ -310,10 +310,69 @@ fn assert_spill_cause_grammar(cause: &str) {
         assert!(!op.is_empty(), "{cause:?}");
     } else if let Some(block) = cause.strip_prefix("split-at:") {
         assert!(!block.is_empty(), "{cause:?}");
+    } else if let Some(reg) = cause.strip_prefix("second-chance:") {
+        assert!(!reg.is_empty(), "{cause:?}");
     } else {
         assert!(
             cause.starts_with("evicted-by:") || cause.starts_with("no-register"),
             "undocumented spill cause {cause:?}"
+        );
+    }
+}
+
+/// Golden pin of the PR9 `second-chance:<reg>` cause: on a seeded
+/// pipeline output under heavy pressure (the same deterministic seed
+/// the differential battery uses), a scan round evicts split sub-webs
+/// that the second-chance pass then re-assigns — one grammar-conforming
+/// `second-chance:` record per rescue, each naming a register that
+/// exists on the machine, with no spill code behind it.
+#[test]
+fn second_chance_rescues_carry_register_rationales() {
+    use tossa::bench::runner::run_experiment;
+    use tossa::core::coalesce::CoalesceOptions;
+    use tossa::core::Experiment;
+    let bf = generate_function(
+        187,
+        &SynthConfig {
+            functions: 1,
+            pool: 48,
+            max_depth: 2,
+            body_len: 16,
+        },
+    );
+    let mut f = run_experiment(&bf.func, Experiment::LphiAbiC, &CoalesceOptions::default()).func;
+    let (stats, trace) = capture(|| allocate(&mut f, &AllocOptions::default()).unwrap());
+    assert!(
+        stats.second_chances > 0,
+        "seed 187 must take the second-chance path: {stats:?}"
+    );
+    let rescues: Vec<(&str, &str)> = trace
+        .records
+        .iter()
+        .filter_map(|r| match &r.kind {
+            Kind::Spill { var, cause, .. } if cause.starts_with("second-chance:") => {
+                Some((var.as_str(), cause.as_str()))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        rescues.len(),
+        stats.second_chances,
+        "one record per rescue: {rescues:?}"
+    );
+    for (var, cause) in &rescues {
+        assert_spill_cause_grammar(cause);
+        // Split sub-webs carry the `.s` suffix; `var_str` sanitizes the
+        // dot to `_s` before appending the variable index.
+        assert!(
+            base(var).ends_with("_s"),
+            "{var}: only split sub-webs are rescue candidates"
+        );
+        let reg = cause.strip_prefix("second-chance:").unwrap();
+        assert!(
+            f.machine.reg_by_name(reg).is_some(),
+            "{cause:?} names no machine register"
         );
     }
 }

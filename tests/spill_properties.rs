@@ -149,9 +149,10 @@ fn rematerialized_defs_never_reach_a_spill_load() {
 
 /// Every split boundary copy lands on a region boundary: a boundary
 /// reload (`spillld` defining a `.s` hot sub-web) sits in a block
-/// branching into a loop header whose body holds the hot web's uses,
-/// and a boundary store (`spillst` of a `.s` web) sits inside that body
-/// in a block with a successor outside it.
+/// branching into the hot web's home region — a loop body, or the
+/// single block of a non-loop region split — and a boundary store
+/// (`spillst` of a `.s` web) sits inside that region in a block with a
+/// successor outside it.
 #[test]
 fn split_points_land_on_region_boundaries() {
     let mut cases: Vec<(String, Function)> = seeds(21)
@@ -182,38 +183,52 @@ fn split_points_land_on_region_boundaries() {
                     })
                 })
                 .collect();
-            let body = loops
+            // Candidate home regions: every loop body holding all the
+            // occurrences (nested loops give several), plus the single
+            // occurrence block itself (a non-loop region split — which
+            // may also sit inside a loop body, so region inference is
+            // ambiguous and the property quantifies over candidates).
+            let mut regions: Vec<Vec<Block>> = loops
                 .headers()
                 .iter()
                 .filter_map(|&h| loops.body(h))
-                .find(|body| occ.iter().all(|b| body.contains(b)))
-                .unwrap_or_else(|| {
-                    panic!(
-                        "{label}: hot web {} occurs outside any single loop body",
-                        f.var(hv).name
-                    )
-                });
-            for b in f.blocks() {
-                for i in f.block_insts(b) {
-                    let inst = f.inst(i);
-                    if inst.opcode == Opcode::SpillLoad && inst.defs.iter().any(|o| o.var == hv) {
-                        assert!(
-                            !body.contains(&b) && f.succs(b).iter().any(|s| body.contains(s)),
-                            "{label}: boundary reload of {} in {} is not an entry pred",
-                            f.var(hv).name,
-                            f.block(b).name
-                        );
-                    }
-                    if inst.opcode == Opcode::SpillStore && inst.uses.iter().any(|o| o.var == hv) {
-                        assert!(
-                            body.contains(&b) && f.succs(b).iter().any(|s| !body.contains(s)),
-                            "{label}: boundary store of {} in {} is not an exit block",
-                            f.var(hv).name,
-                            f.block(b).name
-                        );
-                    }
-                }
+                .filter(|body| occ.iter().all(|b| body.contains(b)))
+                .map(<[Block]>::to_vec)
+                .collect();
+            if occ.len() == 1 {
+                regions.push(vec![occ[0]]);
             }
+            assert!(
+                !regions.is_empty(),
+                "{label}: hot web {} occurs outside any single region",
+                f.var(hv).name
+            );
+            let fits = |body: &[Block]| -> bool {
+                f.blocks().all(|b| {
+                    f.block_insts(b).all(|i| {
+                        let inst = f.inst(i);
+                        if inst.opcode == Opcode::SpillLoad && inst.defs.iter().any(|o| o.var == hv)
+                        {
+                            // A boundary reload sits outside the region
+                            // in a block branching into it.
+                            !body.contains(&b) && f.succs(b).iter().any(|s| body.contains(s))
+                        } else if inst.opcode == Opcode::SpillStore
+                            && inst.uses.iter().any(|o| o.var == hv)
+                        {
+                            // A boundary store sits inside the region
+                            // in a block with an exit successor.
+                            body.contains(&b) && f.succs(b).iter().any(|s| !body.contains(s))
+                        } else {
+                            true
+                        }
+                    })
+                })
+            };
+            assert!(
+                regions.iter().any(|r| fits(r)),
+                "{label}: no candidate region explains the boundary copies of {}",
+                f.var(hv).name
+            );
         }
     }
     assert!(splits > 0, "no case ever split — vacuous");
@@ -221,8 +236,8 @@ fn split_points_land_on_region_boundaries() {
 
 /// The scan engine's victim choice respects the normalized cost order:
 /// every round-1 spill request is an unpinned web no costlier (weight
-/// per position of live range) than the interval whose start position
-/// triggered the conflict.
+/// per *covered* position — holes relieve nothing and do not count)
+/// than the interval whose start position triggered the conflict.
 #[test]
 fn spill_requests_respect_the_cost_order() {
     let mut conflicts = 0usize;
@@ -235,14 +250,14 @@ fn spill_requests_respect_the_cost_order() {
         let ivs = intervals::build(&f);
         let reqs = match scan(&f, &ivs, &HashSet::new(), Some(&costs)) {
             Ok(_) => continue,
-            Err(ScanFail::Spill(reqs)) => reqs,
+            Err(ScanFail::Spill { reqs, .. }) => reqs,
             Err(ScanFail::Hard(e)) => panic!("seed {seed}: {e}"),
         };
         let norm = |v: Var| -> (u128, u128) {
             let iv = ivs.items.iter().find(|iv| iv.var == v).unwrap();
             (
                 u128::from(costs.cost(v).weight),
-                u128::from(iv.end - iv.start) + 1,
+                u128::from(ivs.covered_len(iv).max(1)),
             )
         };
         for req in &reqs {
