@@ -74,11 +74,18 @@ const ADVISORY_COUNTERS: [&str; 2] = [
 
 type Cells = BTreeMap<(String, String), Cell>;
 
+/// Names of the advisory compile-latency percentiles inside the
+/// `"throughput"` object (schema v5), in [`Side::latency_ns`] order.
+const LATENCY_KEYS: [&str; 3] = ["latency_p50_ns", "latency_p90_ns", "latency_p99_ns"];
+
 /// One side of the comparison: the cell matrix plus the optional
-/// top-level sustained-throughput figure (functions/sec; v4 documents).
+/// top-level sustained-throughput figures (functions/sec since v4,
+/// compile-latency percentiles since v5).
 struct Side {
     cells: Cells,
     functions_per_sec: Option<f64>,
+    /// p50/p90/p99 per-function compile latency, per [`LATENCY_KEYS`].
+    latency_ns: [Option<f64>; 3],
 }
 
 fn load(path: &str) -> Side {
@@ -142,9 +149,16 @@ fn load(path: &str) -> Side {
         .and_then(|t| t.get("functions_per_sec"))
         .and_then(Json::as_f64)
         .filter(|&v| v > 0.0);
+    let latency_ns = LATENCY_KEYS.map(|key| {
+        doc.get("throughput")
+            .and_then(|t| t.get(key))
+            .and_then(Json::as_f64)
+            .filter(|&v| v > 0.0)
+    });
     Side {
         cells,
         functions_per_sec,
+        latency_ns,
     }
 }
 
@@ -165,6 +179,13 @@ fn load_side(spec: &str, drift: &mut Vec<String>) -> Side {
                     (Some(a), Some(b)) => Some(a.max(b)),
                     (a, b) => a.or(b),
                 };
+                // Latency is better-is-lower: plain min-of-N.
+                for (p, v) in m.latency_ns.iter_mut().zip(side.latency_ns) {
+                    *p = match (*p, v) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                }
                 for (key, cell) in side.cells {
                     match m.cells.get_mut(&key) {
                         Some(prev) => {
@@ -194,6 +215,7 @@ fn load_side(spec: &str, drift: &mut Vec<String>) -> Side {
     merged.unwrap_or(Side {
         cells: Cells::new(),
         functions_per_sec: None,
+        latency_ns: [None; 3],
     })
 }
 
@@ -392,6 +414,25 @@ fn main() {
             );
         }
         (Some(_), None) | (None, None) => {}
+    }
+    // Compile-latency percentiles (schema v5): same advisory treatment.
+    for (key, (o, n)) in LATENCY_KEYS
+        .iter()
+        .zip(old_side.latency_ns.iter().zip(&new_side.latency_ns))
+    {
+        match (o, n) {
+            (Some(o), Some(n)) => println!(
+                "{key} (advisory, never gating): {:.3} -> {:.3} ms ({:+.2}%)",
+                o / 1e6,
+                n / 1e6,
+                (n / o - 1.0) * 100.0
+            ),
+            (None, Some(n)) => println!(
+                "{key} (advisory, never gating): {:.3} ms (no old-side figure)",
+                n / 1e6
+            ),
+            _ => {}
+        }
     }
 
     // ---- verdict --------------------------------------------------------

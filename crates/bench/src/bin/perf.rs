@@ -108,7 +108,7 @@ fn main() {
             .and_then(|p| args.get(p + 1))
             .cloned()
     };
-    let out = value("--out").unwrap_or_else(|| "BENCH_pr9.json".into());
+    let out = value("--out").unwrap_or_else(|| "BENCH_pr10.json".into());
     let verify = !flag("--no-verify");
     let counters = !flag("--no-counters");
     let alloc = !flag("--no-alloc");
@@ -158,6 +158,16 @@ fn main() {
             tp.threads,
             tp.experiment
         );
+        if let (Some(p50), Some(p90), Some(p99)) =
+            (tp.latency_p50_ns, tp.latency_p90_ns, tp.latency_p99_ns)
+        {
+            eprintln!(
+                "  compile latency p50/p90/p99: {:.3}/{:.3}/{:.3} ms",
+                p50 as f64 / 1e6,
+                p90 as f64 / 1e6,
+                p99 as f64 / 1e6
+            );
+        }
         trajectory.throughput = Some(tp);
     }
 

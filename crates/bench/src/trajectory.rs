@@ -10,7 +10,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "tossa-bench-trajectory/4",
+//!   "schema": "tossa-bench-trajectory/5",
 //!   "unix_time": 1722800000,
 //!   "threads": 8,
 //!   "mode": "parallel",
@@ -27,15 +27,21 @@
 //!                      "stores": ..., "moves_after": ..., "spill_move_total": ... },
 //!           "counters": { "congruence_classes": ..., "copies_phi": ..., "...": 0 } } ] } ],
 //!   "throughput": { "experiment": "LphiAbiC", "threads": 8, "functions": ...,
-//!                   "wall_ns": ..., "target_ms": ..., "functions_per_sec": ... },
+//!                   "wall_ns": ..., "target_ms": ..., "functions_per_sec": ...,
+//!                   "latency_p50_ns": ..., "latency_p90_ns": ..., "latency_p99_ns": ... },
 //!   "end_to_end_wall_ns": 987654321
 //! }
 //! ```
 //!
 //! v4 over v3: the optional top-level `"throughput"` object (sustained
 //! functions/sec through the full pipeline + allocation — the compile
-//! service's capacity figure). Per-cell fields are unchanged, so v3 and
-//! v4 documents compare cell-for-cell.
+//! service's capacity figure). v5 over v4: the throughput object also
+//! carries per-function compile-latency percentiles
+//! (`latency_p50_ns`/`p90`/`p99`, from a log-linear-bucket histogram —
+//! see `tossa_trace::metrics`). Per-cell fields are unchanged across
+//! v3/v4/v5, so documents compare cell-for-cell; the latency keys are
+//! timing-class and advisory in `bench-diff` like the rest of the
+//! throughput object.
 
 use crate::runner::{
     apply_alloc, prepare_suite_counted, run_experiment_prepared, run_suite_each_prepared_counted,
@@ -101,6 +107,13 @@ pub struct Throughput {
     pub wall_ns: u64,
     /// The requested window length, for the record.
     pub target_ms: u64,
+    /// p50 of per-function compile latency inside the window (`None`
+    /// when no function completed).
+    pub latency_p50_ns: Option<u64>,
+    /// p90 of per-function compile latency.
+    pub latency_p90_ns: Option<u64>,
+    /// p99 of per-function compile latency.
+    pub latency_p99_ns: Option<u64>,
 }
 
 impl Throughput {
@@ -139,6 +152,10 @@ pub fn measure_throughput(
     };
     let completed = AtomicU64::new(0);
     let cursor = AtomicUsize::new(0);
+    // Per-function latency lands in a sharded log-linear histogram —
+    // the same instrument the compile service records with — so the
+    // percentiles cost the workers five relaxed atomics per function.
+    let latency = tossa_trace::metrics::Histogram::new();
     let start = Instant::now();
     let deadline = start + Duration::from_millis(target_ms);
     if !prepared.is_empty() {
@@ -147,20 +164,26 @@ pub fn measure_throughput(
                 s.spawn(|| {
                     while Instant::now() < deadline {
                         let k = cursor.fetch_add(1, Ordering::Relaxed) % prepared.len();
+                        let begin = Instant::now();
                         let mut r = run_experiment_prepared(&prepared[k], exp, &opts);
                         apply_alloc(&mut r);
+                        latency.record(begin.elapsed().as_nanos() as u64);
                         completed.fetch_add(1, Ordering::Relaxed);
                     }
                 });
             }
         });
     }
+    let snap = latency.snapshot();
     Throughput {
         experiment: format!("{exp:?}"),
         threads,
         functions: completed.into_inner(),
         wall_ns: start.elapsed().as_nanos() as u64,
         target_ms,
+        latency_p50_ns: snap.quantile(0.50),
+        latency_p90_ns: snap.quantile(0.90),
+        latency_p99_ns: snap.quantile(0.99),
     }
 }
 
@@ -290,7 +313,7 @@ impl Trajectory {
     pub fn to_json(&self, unix_time: u64) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"schema\": \"tossa-bench-trajectory/4\",");
+        let _ = writeln!(out, "  \"schema\": \"tossa-bench-trajectory/5\",");
         let _ = writeln!(out, "  \"unix_time\": {unix_time},");
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let _ = writeln!(out, "  \"mode\": \"{}\",", self.mode);
@@ -355,11 +378,11 @@ impl Trajectory {
         }
         out.push_str("  ],\n");
         if let Some(tp) = &self.throughput {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "  \"throughput\": {{ \"experiment\": \"{}\", \"threads\": {}, \
                  \"functions\": {}, \"wall_ns\": {}, \"target_ms\": {}, \
-                 \"functions_per_sec\": {:.3} }},",
+                 \"functions_per_sec\": {:.3}",
                 tp.experiment,
                 tp.threads,
                 tp.functions,
@@ -367,6 +390,16 @@ impl Trajectory {
                 tp.target_ms,
                 tp.functions_per_sec()
             );
+            for (key, v) in [
+                ("latency_p50_ns", tp.latency_p50_ns),
+                ("latency_p90_ns", tp.latency_p90_ns),
+                ("latency_p99_ns", tp.latency_p99_ns),
+            ] {
+                if let Some(n) = v {
+                    let _ = write!(out, ", \"{key}\": {n}");
+                }
+            }
+            out.push_str(" },\n");
         }
         let _ = writeln!(out, "  \"end_to_end_wall_ns\": {}", self.end_to_end_wall_ns);
         out.push_str("}\n");
@@ -393,9 +426,14 @@ mod tests {
         // Shape sanity: parsable keys present once per cell, plus the
         // throughput object's own wall_ns.
         assert_eq!(json.matches("\"wall_ns\"").count(), t.cells.len() + 1);
-        assert!(json.contains("\"schema\": \"tossa-bench-trajectory/4\""));
+        assert!(json.contains("\"schema\": \"tossa-bench-trajectory/5\""));
         assert!(json.contains("\"throughput\""));
         assert!(json.contains("\"functions_per_sec\""));
+        // Something completed inside the window, so all three latency
+        // percentiles must be present.
+        assert!(json.contains("\"latency_p50_ns\""));
+        assert!(json.contains("\"latency_p90_ns\""));
+        assert!(json.contains("\"latency_p99_ns\""));
         // The allocation post-pass ran: every cell carries its stats.
         assert_eq!(json.matches("\"alloc\"").count(), t.cells.len());
         assert!(t.cells.iter().all(|c| c.alloc.is_some()));
@@ -417,6 +455,9 @@ mod tests {
         assert!(tp.functions_per_sec() > 0.0);
         assert_eq!(tp.threads, 1);
         assert_eq!(tp.experiment, "LphiAbiC");
+        assert!(tp.latency_p50_ns.is_some());
+        assert!(tp.latency_p50_ns <= tp.latency_p90_ns);
+        assert!(tp.latency_p90_ns <= tp.latency_p99_ns);
     }
 
     #[test]

@@ -6,10 +6,18 @@
 //!   write one JSON job report per line to stdout; exit when stdin
 //!   closes and the queue drains.
 //! * **`--tcp ADDR`** — listen on `ADDR`; each connection is its own
-//!   JSONL session (frames in, reports out), one thread per connection.
+//!   JSONL session: frames in, and the reports for *that connection's
+//!   jobs* back down the same socket (reports for jobs whose connection
+//!   has gone away fall back to stdout). A connection whose first line
+//!   is `GET /metrics` gets a one-shot HTTP Prometheus exposition
+//!   instead, so a scraper can point at the same port.
 //! * **`--soak N`** — drive `N` deterministic fuzz functions through
-//!   the service with chaos on, print the [`SoakSummary`], and exit
-//!   nonzero if any soak invariant is violated. This is the CI gate.
+//!   the service with chaos on, print the [`SoakSummary`] (now with
+//!   p50/p90/p99 job latency and queue wait), and exit nonzero if any
+//!   soak invariant is violated. This is the CI gate.
+//!
+//! Every mode answers the in-band `{"control": "stats"}` frame with one
+//! `tossa-service-stats/1` snapshot line.
 //!
 //! Flags:
 //!
@@ -22,18 +30,30 @@
 //! * `--max-allocs N` — per-attempt allocation-event budget (0 = off)
 //! * `--report FILE` — also append every report line to `FILE` (JSONL)
 //! * `--experiment KEY` — default experiment (default `LphiAbiC`)
+//! * `--metrics-path FILE` — write the final Prometheus exposition to
+//!   `FILE` on shutdown
+//! * `--stats-path FILE` — append periodic `tossa-service-stats/1`
+//!   snapshot lines to `FILE` while running (soak mode), plus one final
+//!   snapshot at shutdown in every mode
+//! * `--stats-interval-ms MS` — snapshot period (default 1000)
+//! * `--flight-path FILE` — write the flight-recorder ring to `FILE` on
+//!   shutdown (a failing soak gate dumps it to stderr regardless)
 //!
 //! The binary installs [`ServiceAlloc`] as the global allocator so the
 //! per-attempt allocation meter actually counts.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::time::Duration;
+use tossa_server::metrics::ServiceMetrics;
 use tossa_server::proto::experiment_from_key;
 use tossa_server::report::{JobReport, SoakSummary};
-use tossa_server::service::{run_batch, CompileService, Job, ServiceConfig};
-use tossa_server::{Budget, ChaosConfig, JobRequest, ServiceAlloc};
+use tossa_server::service::{CompileService, Job, ServiceConfig};
+use tossa_server::{parse_control, Budget, ChaosConfig, Control, JobRequest, ServiceAlloc};
+use tossa_trace::service::JobCounterSet;
 
 #[global_allocator]
 static ALLOC: ServiceAlloc = ServiceAlloc;
@@ -65,6 +85,63 @@ impl Args {
     }
 }
 
+/// Output paths shared by every mode.
+#[derive(Clone, Default)]
+struct OutPaths {
+    report: Option<String>,
+    metrics: Option<String>,
+    stats: Option<String>,
+    flight: Option<String>,
+    stats_interval: Duration,
+}
+
+impl OutPaths {
+    fn from(args: &Args) -> Result<OutPaths, String> {
+        Ok(OutPaths {
+            report: args.value("--report").map(str::to_string),
+            metrics: args.value("--metrics-path").map(str::to_string),
+            stats: args.value("--stats-path").map(str::to_string),
+            flight: args.value("--flight-path").map(str::to_string),
+            stats_interval: Duration::from_millis(args.num("--stats-interval-ms", 1000)?.max(10)),
+        })
+    }
+
+    /// Shutdown-time dumps common to every mode: the final stats
+    /// snapshot, the Prometheus exposition, and the flight ring. Runs
+    /// *after* [`CompileService::shutdown`] (the metrics handle
+    /// outlives the service), so the dumps cover every job.
+    fn final_dumps(&self, metrics: &ServiceMetrics, counters: &JobCounterSet) {
+        if let Some(p) = &self.stats {
+            append_line(p, &metrics.stats_json(counters));
+        }
+        if let Some(p) = &self.metrics {
+            write_file(p, &metrics.prometheus(counters));
+        }
+        if let Some(p) = &self.flight {
+            write_file(p, &metrics.flight.to_json());
+        }
+    }
+}
+
+fn append_line(path: &str, line: &str) {
+    let f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path);
+    match f {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{line}");
+        }
+        Err(e) => eprintln!("serve: cannot append to {path}: {e}"),
+    }
+}
+
+fn write_file(path: &str, content: &str) {
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("serve: cannot write {path}: {e}");
+    }
+}
+
 fn config_from(args: &Args) -> Result<ServiceConfig, String> {
     let mut config = ServiceConfig {
         workers: args.num("--workers", 0)? as usize,
@@ -93,31 +170,71 @@ fn config_from(args: &Args) -> Result<ServiceConfig, String> {
     Ok(config)
 }
 
-/// Streams reports from `rx` to stdout (and optionally a JSONL file)
-/// on a dedicated thread; returns the join handle.
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Job-id → submitting connection. The responder removes an entry as it
+/// delivers (each job reports exactly once), so the map stays bounded
+/// by in-flight work.
+type Routes = Arc<Mutex<HashMap<u64, Arc<Mutex<TcpStream>>>>>;
+
+/// Streams reports from `rx` on a dedicated thread: down the submitting
+/// socket when `routes` knows one, else to stdout (when `echo`), and
+/// always appended to the report file when given. I/O errors on the
+/// report path are *counted* (`service_report_io_errors`) and warned
+/// once — a full disk must not silently eat the audit trail.
 fn spawn_responder(
     rx: mpsc::Receiver<JobReport>,
     report_path: Option<String>,
     echo: bool,
+    routes: Option<Routes>,
+    metrics: Arc<ServiceMetrics>,
 ) -> std::thread::JoinHandle<Vec<JobReport>> {
     std::thread::spawn(move || {
-        let mut file = report_path.and_then(|p| {
-            std::fs::OpenOptions::new()
+        let mut file = match &report_path {
+            Some(p) => std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)
                 .open(p)
-                .ok()
-        });
+                .map_err(|e| eprintln!("serve: cannot open report file {p}: {e}"))
+                .ok(),
+            None => None,
+        };
         let stdout = std::io::stdout();
+        let mut warned_file = false;
+        let mut warned_socket = false;
         let mut reports = Vec::new();
         for r in rx {
             let line = r.to_json();
-            if echo {
+            let route = routes
+                .as_ref()
+                .and_then(|rt| lock_ignoring_poison(rt).remove(&r.id));
+            let mut delivered = false;
+            if let Some(sock) = route {
+                let mut s = lock_ignoring_poison(&sock);
+                if let Err(e) = writeln!(s, "{line}") {
+                    metrics.report_io_errors.inc();
+                    if !warned_socket {
+                        warned_socket = true;
+                        eprintln!("serve: report delivery to a client socket failed: {e} (falling back to stdout; counting further failures silently)");
+                    }
+                } else {
+                    delivered = true;
+                }
+            }
+            if !delivered && echo {
                 let mut out = stdout.lock();
                 let _ = writeln!(out, "{line}");
             }
             if let Some(f) = &mut file {
-                let _ = writeln!(f, "{line}");
+                if let Err(e) = writeln!(f, "{line}") {
+                    metrics.report_io_errors.inc();
+                    if !warned_file {
+                        warned_file = true;
+                        eprintln!("serve: report file write failed: {e} (counting further failures silently)");
+                    }
+                }
             }
             reports.push(r);
         }
@@ -125,38 +242,109 @@ fn spawn_responder(
     })
 }
 
-fn run_stdin(config: ServiceConfig, report_path: Option<String>) -> i32 {
+fn run_stdin(config: ServiceConfig, paths: &OutPaths) -> i32 {
     let (service, rx) = CompileService::start(config);
-    let responder = spawn_responder(rx, report_path, true);
+    let responder = spawn_responder(rx, paths.report.clone(), true, None, service.metrics());
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
             continue;
         }
-        // Frame errors already produced a structured report.
-        let _ = service.submit_frame(&line);
+        match parse_control(&line) {
+            Some(Ok(Control::Stats)) => {
+                let mut out = std::io::stdout().lock();
+                let _ = writeln!(out, "{}", service.stats_json());
+            }
+            Some(Err(e)) => {
+                let report = service.refuse_frame(&e);
+                service.emit_report(report);
+            }
+            None => {
+                // Frame errors already produced a structured report.
+                let _ = service.submit_frame(&line);
+            }
+        }
     }
+    let metrics = service.metrics();
     let counters = service.shutdown();
+    paths.final_dumps(&metrics, &counters);
     let _ = responder.join();
     eprintln!("{}", counters.to_json());
     0
 }
 
-fn serve_connection(stream: TcpStream, service: &CompileService) {
-    let Ok(reader) = stream.try_clone() else {
+/// One-shot HTTP answer for a scraper that opened a JSONL port.
+fn answer_http(sock: &Mutex<TcpStream>, request_line: &str, service: &CompileService) {
+    let (status, body) = if request_line.starts_with("GET /metrics") {
+        ("200 OK", service.prometheus())
+    } else {
+        ("404 Not Found", String::from("only /metrics lives here\n"))
+    };
+    let mut s = lock_ignoring_poison(sock);
+    let _ = write!(
+        s,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+}
+
+fn serve_connection(stream: TcpStream, service: &CompileService, routes: &Routes) {
+    let Ok(writer) = stream.try_clone() else {
         return;
     };
-    for line in BufReader::new(reader).lines() {
+    let sock = Arc::new(Mutex::new(writer));
+    let mut first = true;
+    let mut lines = BufReader::new(stream).lines();
+    while let Some(line) = lines.next() {
         let Ok(line) = line else { break };
+        if first && line.starts_with("GET ") {
+            // A scraper, not a JSONL client: drain the request headers
+            // (closing with unread bytes would RST the connection and
+            // can discard the queued response body), answer, hang up.
+            for header in lines.by_ref() {
+                if header.map_or(true, |h| h.trim().is_empty()) {
+                    break;
+                }
+            }
+            answer_http(&sock, &line, service);
+            return;
+        }
+        first = false;
         if line.trim().is_empty() {
             continue;
         }
-        let _ = service.submit_frame(&line);
+        match parse_control(&line) {
+            Some(Ok(Control::Stats)) => {
+                let mut s = lock_ignoring_poison(&sock);
+                let _ = writeln!(s, "{}", service.stats_json());
+            }
+            Some(Err(e)) => {
+                let report = service.refuse_frame(&e);
+                let mut s = lock_ignoring_poison(&sock);
+                let _ = writeln!(s, "{}", report.to_json());
+            }
+            None => match service.admit_frame(&line) {
+                Ok(req) => {
+                    // Route *before* submit: the report (even a shed
+                    // one) can race back before we return.
+                    lock_ignoring_poison(routes).insert(req.id, Arc::clone(&sock));
+                    service.submit(Job {
+                        req,
+                        generator_seed: None,
+                    });
+                }
+                Err((id, e)) => {
+                    let report = service.frame_rejection(id, &e);
+                    let mut s = lock_ignoring_poison(&sock);
+                    let _ = writeln!(s, "{}", report.to_json());
+                }
+            },
+        }
     }
 }
 
-fn run_tcp(config: ServiceConfig, addr: &str, report_path: Option<String>) -> i32 {
+fn run_tcp(config: ServiceConfig, addr: &str, paths: &OutPaths) -> i32 {
     let listener = match TcpListener::bind(addr) {
         Ok(l) => l,
         Err(e) => {
@@ -166,16 +354,23 @@ fn run_tcp(config: ServiceConfig, addr: &str, report_path: Option<String>) -> i3
     };
     eprintln!("serve: listening on {addr}");
     let (service, rx) = CompileService::start(config);
-    let responder = spawn_responder(rx, report_path, true);
-    // Accept loop; each connection feeds the shared service. Reports go
-    // to the shared responder (stdout / file) rather than back down the
-    // submitting socket — connections are submission channels.
+    let routes: Routes = Arc::new(Mutex::new(HashMap::new()));
+    let responder = spawn_responder(
+        rx,
+        paths.report.clone(),
+        true,
+        Some(Arc::clone(&routes)),
+        service.metrics(),
+    );
+    // Accept loop; each connection feeds the shared service and gets its
+    // own jobs' reports routed back down its socket.
     std::thread::scope(|scope| {
         for stream in listener.incoming() {
             match stream {
                 Ok(s) => {
                     let service = &service;
-                    scope.spawn(move || serve_connection(s, service));
+                    let routes = &routes;
+                    scope.spawn(move || serve_connection(s, service, routes));
                 }
                 Err(e) => {
                     eprintln!("serve: accept failed: {e}");
@@ -184,13 +379,15 @@ fn run_tcp(config: ServiceConfig, addr: &str, report_path: Option<String>) -> i3
             }
         }
     });
+    let metrics = service.metrics();
     let counters = service.shutdown();
+    paths.final_dumps(&metrics, &counters);
     let _ = responder.join();
     eprintln!("{}", counters.to_json());
     0
 }
 
-fn run_soak(config: ServiceConfig, n: usize, seed: u64, report_path: Option<String>) -> i32 {
+fn run_soak(config: ServiceConfig, n: usize, seed: u64, paths: &OutPaths) -> i32 {
     use tossa_server::proto::default_inputs;
     // The gate measures the robustness envelope, not admission: size the
     // queue to the population so every function actually runs (the
@@ -223,20 +420,56 @@ fn run_soak(config: ServiceConfig, n: usize, seed: u64, report_path: Option<Stri
             }
         })
         .collect();
-    let (reports, counters) = run_batch(config, jobs);
-    if let Some(path) = report_path {
-        let lines: String = reports.iter().map(|r| r.to_json() + "\n").collect();
-        if let Err(e) = std::fs::write(&path, lines) {
-            eprintln!("serve: cannot write {path}: {e}");
-        }
+
+    let (service, rx) = CompileService::start(config);
+    let metrics = service.metrics();
+    let collector = std::thread::spawn(move || {
+        let mut reports: Vec<JobReport> = rx.iter().collect();
+        reports.sort_by_key(|r| r.id);
+        reports
+    });
+    // Periodic live snapshots while the soak runs: one stats line per
+    // interval, the same schema a stats control frame answers with.
+    let stop = Arc::new(AtomicBool::new(false));
+    let emitter = paths.stats.clone().map(|path| {
+        let stop = Arc::clone(&stop);
+        let metrics = service.metrics();
+        let counters = service.counters_handle();
+        let interval = paths.stats_interval;
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                append_line(&path, &metrics.stats_json(&counters.snapshot()));
+            }
+        })
+    });
+    for job in jobs {
+        service.submit(job);
     }
-    let summary = SoakSummary::from_reports(&reports);
+    let counters = service.shutdown();
+    stop.store(true, Ordering::Relaxed);
+    if let Some(h) = emitter {
+        let _ = h.join();
+    }
+    paths.final_dumps(&metrics, &counters);
+    let reports = collector.join().unwrap_or_default();
+
+    if let Some(path) = &paths.report {
+        let lines: String = reports.iter().map(|r| r.to_json() + "\n").collect();
+        write_file(path, &lines);
+    }
+    let mut summary = SoakSummary::from_reports(&reports);
+    summary.set_queue_wait(&metrics.queue_wait_ns.snapshot());
     eprint!("{summary}");
     eprintln!("{}", counters.to_json());
     if summary.holds() {
         eprintln!("serve: soak PASSED");
         0
     } else {
+        // The post-mortem trail goes to stderr with the verdict: CI
+        // failure logs carry the flight ring even when nobody passed
+        // --flight-path.
+        eprintln!("{}", metrics.flight.to_json());
         eprintln!("serve: soak FAILED");
         1
     }
@@ -253,22 +486,23 @@ fn main() {
         eprintln!(
             "usage: serve [--tcp ADDR | --soak N] [--chaos RATE] [--seed S] [--workers N]\n\
              \x20            [--deadline-ms MS] [--fuel N] [--max-allocs N] [--report FILE]\n\
-             \x20            [--experiment KEY]"
+             \x20            [--experiment KEY] [--metrics-path FILE] [--stats-path FILE]\n\
+             \x20            [--stats-interval-ms MS] [--flight-path FILE]"
         );
         return;
     }
     let code = (|| -> Result<i32, String> {
         let config = config_from(&args)?;
-        let report_path = args.value("--report").map(str::to_string);
+        let paths = OutPaths::from(&args)?;
         if args.flag("--soak") {
             let n = args.num("--soak", 500)? as usize;
             let seed = args.num("--seed", 7)?;
-            return Ok(run_soak(config, n.max(1), seed, report_path));
+            return Ok(run_soak(config, n.max(1), seed, &paths));
         }
         if let Some(addr) = args.value("--tcp") {
-            return Ok(run_tcp(config, addr, report_path));
+            return Ok(run_tcp(config, addr, &paths));
         }
-        Ok(run_stdin(config, report_path))
+        Ok(run_stdin(config, &paths))
     })()
     .unwrap_or_else(|e| {
         eprintln!("serve: {e}");

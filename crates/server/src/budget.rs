@@ -56,6 +56,7 @@ impl Default for Budget {
 thread_local! {
     static ARMED: Cell<bool> = const { Cell::new(false) };
     static EVENTS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
 }
 
 /// A counting wrapper around the system allocator. Install it as the
@@ -68,7 +69,7 @@ pub struct ServiceAlloc;
 
 unsafe impl GlobalAlloc for ServiceAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        charge();
+        charge(layout.size() as u64);
         System.alloc(layout)
     }
 
@@ -78,19 +79,23 @@ unsafe impl GlobalAlloc for ServiceAlloc {
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if new_size > layout.size() {
-            charge();
+            // Only the growth is new demand — a shrinking realloc
+            // frees, it doesn't consume.
+            charge((new_size - layout.size()) as u64);
         }
         System.realloc(ptr, layout, new_size)
     }
 }
 
-/// Charges one allocation event to the current thread's meter, if
-/// armed. `try_with` keeps the hook total: during thread teardown (TLS
-/// already destroyed) it silently skips rather than aborting.
-fn charge() {
+/// Charges one allocation event and its requested bytes to the current
+/// thread's meter, if armed. `try_with` keeps the hook total: during
+/// thread teardown (TLS already destroyed) it silently skips rather
+/// than aborting.
+fn charge(bytes: u64) {
     let armed = ARMED.try_with(Cell::get).unwrap_or(false);
     if armed {
         let _ = EVENTS.try_with(|e| e.set(e.get().saturating_add(1)));
+        let _ = BYTES.try_with(|b| b.set(b.get().saturating_add(bytes)));
     }
 }
 
@@ -104,11 +109,12 @@ pub struct AllocMeter {
 }
 
 impl AllocMeter {
-    /// Arms the meter (zeroing the thread's count).
+    /// Arms the meter (zeroing the thread's counts).
     pub fn arm() -> AllocMeter {
         let owner = ARMED.try_with(|a| !a.replace(true)).unwrap_or(false);
         if owner {
             let _ = EVENTS.try_with(|e| e.set(0));
+            let _ = BYTES.try_with(|b| b.set(0));
         }
         AllocMeter { owner }
     }
@@ -120,6 +126,16 @@ impl AllocMeter {
             return 0;
         }
         EVENTS.try_with(Cell::get).unwrap_or(0)
+    }
+
+    /// Bytes requested by the charged events (growth only for
+    /// reallocs). Same ownership/installation caveats as
+    /// [`AllocMeter::events`].
+    pub fn bytes(&self) -> u64 {
+        if !self.owner {
+            return 0;
+        }
+        BYTES.try_with(Cell::get).unwrap_or(0)
     }
 }
 
@@ -166,12 +182,14 @@ mod tests {
         // real hook path is exercised by the soak binary, which installs
         // ServiceAlloc for the whole process.
         let m = AllocMeter::arm();
-        charge();
-        charge();
+        charge(16);
+        charge(48);
         assert_eq!(m.events(), 2);
+        assert_eq!(m.bytes(), 64);
         drop(m);
-        charge();
+        charge(8);
         let m2 = AllocMeter::arm();
         assert_eq!(m2.events(), 0, "arming re-zeroes the count");
+        assert_eq!(m2.bytes(), 0, "arming re-zeroes the byte total");
     }
 }

@@ -29,6 +29,11 @@
 //!   under deterministic fault injection: the pipeline corruption
 //!   classes plus worker panics, deadline blowouts, and malformed
 //!   frames ([`chaos`]).
+//! * **Live telemetry** — a lock-free instrument set (queue gauges,
+//!   latency/fuel/allocation histograms) answerable over the wire as a
+//!   `stats` control frame or a Prometheus exposition ([`metrics`]),
+//!   plus a flight recorder ring of recent job lifecycle events dumped
+//!   on quarantine or soak-gate failure ([`flight`]).
 //!
 //! Unlike the library crates (whose unwrap audit is warn-only), this
 //! crate sits entirely on the untrusted path and compiles with
@@ -38,7 +43,9 @@
 
 pub mod budget;
 pub mod chaos;
+pub mod flight;
 pub mod ladder;
+pub mod metrics;
 pub mod proto;
 pub mod queue;
 pub mod report;
@@ -47,8 +54,10 @@ pub mod watchdog;
 
 pub use budget::{AllocMeter, Budget, ServiceAlloc};
 pub use chaos::{site_seed, ChaosConfig, Fault, ServiceFault};
+pub use flight::{FlightEvent, FlightRecorder, FLIGHT_STAGES};
 pub use ladder::{steps_are_contiguous, Ladder, LadderStep, Rung};
-pub use proto::{parse_frame, FrameError, JobRequest};
+pub use metrics::{QueueMetrics, ServiceMetrics};
+pub use proto::{parse_control, parse_frame, Control, FrameError, JobRequest};
 pub use queue::{BoundedQueue, PushOutcome};
 pub use report::{JobOutcome, JobReport, SoakSummary};
 pub use service::{run_batch, CompileService, Job, ServiceConfig};

@@ -1,0 +1,276 @@
+//! Service-level telemetry: the closed instrument set the compile
+//! service records, its `tossa-service-stats/1` JSON snapshot, and its
+//! Prometheus text exposition.
+//!
+//! The instruments live in a [`tossa_trace::metrics::Registry`] —
+//! lock-free sharded atomics on every write path — and the set is
+//! **closed**: every name below is pinned by the golden test in
+//! `tests/service_stats.rs`, so a rename is a deliberate schema
+//! change, exactly like the pipeline counters. The compile pipeline
+//! itself is untouched: all recording happens in the service layer
+//! (queue, worker loop, attempt boundary), so trajectory cells stay
+//! byte-identical with or without a running registry.
+//!
+//! Instrument map:
+//!
+//! | name | kind | written from |
+//! |------|------|--------------|
+//! | `service_queue_depth` | gauge | [`crate::queue`] push/pop |
+//! | `service_workers_busy` | gauge | worker loop |
+//! | `service_queue_wait_ns` | histogram | backpressure wait inside `push` (one record per push, shed or accepted) |
+//! | `service_queue_latency_ns` | histogram | admission → dequeue |
+//! | `service_job_latency_ns{rung=…}` | histogram | admission → terminal report, keyed by final ladder rung |
+//! | `service_attempt_latency_ns{result=…}` | histogram | each attempt's wall clock, keyed by how it ended |
+//! | `service_stage_latency_ns{stage=…}` | histogram | compile (the contained pipeline run) and verify (output seal) |
+//! | `service_fuel_used` | histogram | interpreter steps per completed attempt |
+//! | `service_alloc_events` | histogram | metered heap events per attempt |
+//! | `service_alloc_bytes` | histogram | metered heap bytes per attempt |
+//! | `service_report_io_errors` | counter | responder write failures (file or socket) |
+//!
+//! Job outcome totals are **not** duplicated here: the
+//! [`JobCounterSet`] stays the single source of truth and the snapshot
+//! embeds it as its `"jobs"` object, so stats totals reconcile with
+//! the final counters by construction.
+
+use crate::flight::FlightRecorder;
+use crate::ladder::Rung;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use tossa_trace::metrics::{Gauge, Histogram, MetricCounter, Registry, RegistrySnapshot};
+use tossa_trace::service::{JobCounter, JobCounterSet};
+
+/// Label values of `service_job_latency_ns{rung=…}`, in [`Rung`] order.
+pub const RUNG_KEYS: [&str; 3] = ["checked", "naive_fallback", "reject"];
+
+/// Label values of `service_attempt_latency_ns{result=…}`.
+pub const ATTEMPT_RESULT_KEYS: [&str; 4] = ["ok", "panic", "deadline", "alloc_budget"];
+
+/// Label values of `service_stage_latency_ns{stage=…}`.
+pub const STAGE_KEYS: [&str; 2] = ["compile", "verify"];
+
+/// Index into the `attempt_latency_ns` family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttemptResult {
+    /// The attempt produced a `CheckedOutcome` within budget.
+    Ok,
+    /// The attempt unwound and was contained.
+    Panic,
+    /// The attempt blew its wall-clock deadline.
+    Deadline,
+    /// The attempt exceeded its allocation budget.
+    AllocBudget,
+}
+
+/// Index into the `stage_latency_ns` family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// The contained pipeline run (`run_checked` inside
+    /// `catch_unwind`).
+    Compile,
+    /// The service's output-side differential seal.
+    Verify,
+}
+
+/// Handles the [`crate::queue::BoundedQueue`] records through.
+pub struct QueueMetrics {
+    /// `service_queue_depth`.
+    pub depth: Arc<Gauge>,
+    /// `service_queue_wait_ns`.
+    pub enqueue_wait_ns: Arc<Histogram>,
+}
+
+/// The service's full instrument set plus its flight recorder. One
+/// instance per [`crate::service::CompileService`], shared by every
+/// worker through an `Arc`.
+pub struct ServiceMetrics {
+    registry: Registry,
+    started: Instant,
+    /// `service_queue_depth`.
+    pub queue_depth: Arc<Gauge>,
+    /// `service_workers_busy`.
+    pub workers_busy: Arc<Gauge>,
+    /// `service_queue_wait_ns` — backpressure wait per push.
+    pub queue_wait_ns: Arc<Histogram>,
+    /// `service_queue_latency_ns` — admission to dequeue.
+    pub queue_latency_ns: Arc<Histogram>,
+    /// `service_job_latency_ns{rung=…}`, indexed per [`RUNG_KEYS`].
+    pub job_latency_ns: [Arc<Histogram>; 3],
+    /// `service_attempt_latency_ns{result=…}`, per
+    /// [`ATTEMPT_RESULT_KEYS`].
+    pub attempt_latency_ns: [Arc<Histogram>; 4],
+    /// `service_stage_latency_ns{stage=…}`, per [`STAGE_KEYS`].
+    pub stage_latency_ns: [Arc<Histogram>; 2],
+    /// `service_fuel_used` — interpreter steps per completed attempt.
+    pub fuel_used: Arc<Histogram>,
+    /// `service_alloc_events` — heap events per attempt.
+    pub alloc_events: Arc<Histogram>,
+    /// `service_alloc_bytes` — heap bytes per attempt.
+    pub alloc_bytes: Arc<Histogram>,
+    /// `service_report_io_errors` — responder write failures.
+    pub report_io_errors: Arc<MetricCounter>,
+    /// The lifecycle-event ring.
+    pub flight: FlightRecorder,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> ServiceMetrics {
+        ServiceMetrics::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// Builds the closed instrument set.
+    pub fn new() -> ServiceMetrics {
+        let registry = Registry::new();
+        let hist3 = |name, key, vals: [&'static str; 3]| {
+            vals.map(|v| registry.histogram_with_label(name, key, v))
+        };
+        let hist4 = |name, key, vals: [&'static str; 4]| {
+            vals.map(|v| registry.histogram_with_label(name, key, v))
+        };
+        let hist2 = |name, key, vals: [&'static str; 2]| {
+            vals.map(|v| registry.histogram_with_label(name, key, v))
+        };
+        ServiceMetrics {
+            started: Instant::now(),
+            queue_depth: registry.gauge("service_queue_depth"),
+            workers_busy: registry.gauge("service_workers_busy"),
+            queue_wait_ns: registry.histogram("service_queue_wait_ns"),
+            queue_latency_ns: registry.histogram("service_queue_latency_ns"),
+            job_latency_ns: hist3("service_job_latency_ns", "rung", RUNG_KEYS),
+            attempt_latency_ns: hist4("service_attempt_latency_ns", "result", ATTEMPT_RESULT_KEYS),
+            stage_latency_ns: hist2("service_stage_latency_ns", "stage", STAGE_KEYS),
+            fuel_used: registry.histogram("service_fuel_used"),
+            alloc_events: registry.histogram("service_alloc_events"),
+            alloc_bytes: registry.histogram("service_alloc_bytes"),
+            report_io_errors: registry.counter("service_report_io_errors"),
+            flight: FlightRecorder::default(),
+            registry,
+        }
+    }
+
+    /// The queue's instrument handles.
+    pub fn queue_metrics(&self) -> QueueMetrics {
+        QueueMetrics {
+            depth: Arc::clone(&self.queue_depth),
+            enqueue_wait_ns: Arc::clone(&self.queue_wait_ns),
+        }
+    }
+
+    /// The job-latency histogram for a final rung.
+    pub fn job_latency(&self, rung: Rung) -> &Histogram {
+        let k = match rung {
+            Rung::Checked => 0,
+            Rung::NaiveFallback => 1,
+            Rung::Reject => 2,
+        };
+        &self.job_latency_ns[k]
+    }
+
+    /// The attempt-latency histogram for how an attempt ended.
+    pub fn attempt_latency(&self, result: AttemptResult) -> &Histogram {
+        let k = match result {
+            AttemptResult::Ok => 0,
+            AttemptResult::Panic => 1,
+            AttemptResult::Deadline => 2,
+            AttemptResult::AllocBudget => 3,
+        };
+        &self.attempt_latency_ns[k]
+    }
+
+    /// The per-stage latency histogram.
+    pub fn stage_latency(&self, stage: Stage) -> &Histogram {
+        let k = match stage {
+            Stage::Compile => 0,
+            Stage::Verify => 1,
+        };
+        &self.stage_latency_ns[k]
+    }
+
+    /// Freezes every instrument.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Renders the live telemetry as one `tossa-service-stats/1` JSON
+    /// line. `jobs` is the outcome-counter snapshot taken alongside —
+    /// the stats document embeds it verbatim, so its totals reconcile
+    /// with the final [`JobCounterSet`] by construction.
+    pub fn stats_json(&self, jobs: &JobCounterSet) -> String {
+        let mut out = String::from("{\"schema\": \"tossa-service-stats/1\"");
+        let _ = write!(
+            out,
+            ", \"uptime_ns\": {}",
+            self.started.elapsed().as_nanos() as u64
+        );
+        out.push_str(", \"jobs\": {");
+        for (k, c) in JobCounter::ALL.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {}", c.name(), jobs.get(*c));
+        }
+        out.push('}');
+        let _ = write!(out, ", \"metrics\": {}", self.snapshot().to_json());
+        let _ = write!(
+            out,
+            ", \"flight\": {{\"capacity\": {}, \"recorded\": {}, \"dropped\": {}}}",
+            self.flight.capacity(),
+            self.flight.recorded(),
+            self.flight.dropped()
+        );
+        out.push('}');
+        out
+    }
+
+    /// Renders the live telemetry in the Prometheus text exposition
+    /// format under the `tossa_` namespace: one counter per
+    /// [`JobCounter`] plus every registry instrument.
+    pub fn prometheus(&self, jobs: &JobCounterSet) -> String {
+        let mut out = String::new();
+        for c in JobCounter::ALL {
+            let _ = writeln!(out, "# TYPE tossa_{} counter", c.name());
+            let _ = writeln!(out, "tossa_{} {}", c.name(), jobs.get(c));
+        }
+        out.push_str(&self.snapshot().prometheus_text("tossa"));
+        out
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_json_is_well_formed_and_schema_tagged() {
+        let m = ServiceMetrics::new();
+        m.queue_wait_ns.record(100);
+        m.job_latency(Rung::Checked).record(5_000);
+        m.flight.record(1, 0, "submit", "f");
+        let mut jobs = JobCounterSet::new();
+        jobs.add(JobCounter::JobsSubmitted, 1);
+        let json = m.stats_json(&jobs);
+        tossa_trace::validate_json(&json).expect("stats snapshot is well-formed JSON");
+        assert!(json.contains("\"schema\": \"tossa-service-stats/1\""));
+        assert!(json.contains("\"jobs_submitted\": 1"));
+        assert!(
+            json.contains("\"service_job_latency_ns{rung=\\\"checked\\\"}\"")
+                || json.contains("service_job_latency_ns")
+        );
+    }
+
+    #[test]
+    fn prometheus_covers_jobs_and_instruments() {
+        let m = ServiceMetrics::new();
+        m.queue_depth.set(3);
+        m.attempt_latency(AttemptResult::Panic).record(42);
+        let jobs = JobCounterSet::new();
+        let text = m.prometheus(&jobs);
+        assert!(text.contains("# TYPE tossa_jobs_submitted counter"));
+        assert!(text.contains("tossa_service_queue_depth 3"));
+        assert!(text
+            .contains("tossa_service_attempt_latency_ns_bucket{result=\"panic\",le=\"+Inf\"} 1"));
+    }
+}

@@ -21,6 +21,17 @@
 //! Every way a frame can be malformed maps to a [`FrameError`] variant
 //! with a stable class key, so a garbage line produces a structured
 //! refusal — never a panic, never a dropped connection.
+//!
+//! Besides job frames the protocol carries **control frames** — JSON
+//! objects with a `"control"` key instead of `"func"`:
+//!
+//! ```json
+//! {"control": "stats"}
+//! ```
+//!
+//! answered in-line with one `tossa-service-stats/1` snapshot of the
+//! live server's telemetry ([`parse_control`]). An unknown control
+//! verb is a structured [`FrameError::UnknownControl`] refusal.
 
 use tossa_core::Experiment;
 use tossa_ir::machine::Machine;
@@ -58,6 +69,8 @@ pub enum FrameError {
     BadFunction(String),
     /// The `inputs` value is not an array of arrays of numbers.
     BadInputs,
+    /// The `control` key names no known control verb.
+    UnknownControl(String),
 }
 
 impl FrameError {
@@ -70,6 +83,7 @@ impl FrameError {
             FrameError::UnknownExperiment(_) => "frame.unknown_experiment",
             FrameError::BadFunction(_) => "frame.bad_function",
             FrameError::BadInputs => "frame.bad_inputs",
+            FrameError::UnknownControl(_) => "frame.unknown_control",
         }
     }
 }
@@ -82,11 +96,39 @@ impl std::fmt::Display for FrameError {
             FrameError::UnknownExperiment(s) => write!(f, "unknown experiment {s:?}"),
             FrameError::BadFunction(e) => write!(f, "function does not parse: {e}"),
             FrameError::BadInputs => write!(f, "\"inputs\" is not an array of number arrays"),
+            FrameError::UnknownControl(s) => write!(f, "unknown control verb {s:?}"),
         }
     }
 }
 
 impl std::error::Error for FrameError {}
+
+/// A control frame: an in-band query answered by the server itself
+/// rather than scheduled onto a worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// `{"control": "stats"}` — answer with one `tossa-service-stats/1`
+    /// snapshot line.
+    Stats,
+}
+
+/// Classifies a line as a control frame. Returns `None` when the line
+/// is not one (not JSON, not an object, or no `"control"` key) — the
+/// caller then treats it as a job frame. A present-but-unknown control
+/// verb is a structured refusal, not a fall-through: silently
+/// reinterpreting a typoed query as a job frame would produce a
+/// confusing `frame.missing_func` reject.
+pub fn parse_control(line: &str) -> Option<Result<Control, FrameError>> {
+    let doc = parse_json(line).ok()?;
+    let verb = doc.get("control")?;
+    Some(match verb.as_str() {
+        Some("stats") => Ok(Control::Stats),
+        Some(other) => Err(FrameError::UnknownControl(other.to_string())),
+        None => Err(FrameError::UnknownControl(
+            "non-string control value".to_string(),
+        )),
+    })
+}
 
 /// Resolves a stable experiment key (the `Experiment` debug name, e.g.
 /// `"LphiAbiC"`) back to the experiment. The enum deliberately has no
@@ -234,6 +276,30 @@ mod tests {
             assert_eq!(experiment_from_key(&key), Some(e), "{key}");
         }
         assert_eq!(experiment_from_key("Bogus"), None);
+    }
+
+    #[test]
+    fn control_frames_classify_without_stealing_job_frames() {
+        assert_eq!(
+            parse_control("{\"control\": \"stats\"}"),
+            Some(Ok(Control::Stats))
+        );
+        // Unknown verbs refuse structurally rather than falling through.
+        let err = parse_control("{\"control\": \"bogus\"}")
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(err.class_key(), "frame.unknown_control");
+        assert_eq!(
+            parse_control("{\"control\": 3}")
+                .unwrap()
+                .unwrap_err()
+                .class_key(),
+            "frame.unknown_control"
+        );
+        // Job frames, garbage, and non-objects are not control frames.
+        assert_eq!(parse_control(&frame_json("")), None);
+        assert_eq!(parse_control("not json"), None);
+        assert_eq!(parse_control("[1, 2]"), None);
     }
 
     #[test]

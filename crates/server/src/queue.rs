@@ -11,7 +11,14 @@
 //! that panicked while holding the lock left a `VecDeque` in a valid
 //! state (push/pop are not interruptible mid-invariant here), and the
 //! service's whole point is to survive worker panics.
+//!
+//! When built with [`BoundedQueue::with_metrics`], the queue keeps the
+//! `service_queue_depth` gauge current and records every push's
+//! backpressure wait (shed or accepted — exactly one record per push,
+//! so the histogram count equals submitted + shed) into
+//! `service_queue_wait_ns`.
 
+use crate::metrics::QueueMetrics;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -37,6 +44,7 @@ pub struct BoundedQueue<T> {
     not_empty: Condvar,
     not_full: Condvar,
     cap: usize,
+    metrics: Option<QueueMetrics>,
 }
 
 fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -54,12 +62,34 @@ impl<T> BoundedQueue<T> {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             cap: cap.max(1),
+            metrics: None,
+        }
+    }
+
+    /// A queue that keeps the depth gauge and enqueue-wait histogram
+    /// in `metrics` current.
+    pub fn with_metrics(cap: usize, metrics: QueueMetrics) -> BoundedQueue<T> {
+        BoundedQueue {
+            metrics: Some(metrics),
+            ..BoundedQueue::new(cap)
         }
     }
 
     /// Tries to enqueue `item`, waiting up to `grace` for space.
     pub fn push(&self, item: T, grace: Duration) -> PushOutcome {
-        let deadline = Instant::now() + grace;
+        let started = Instant::now();
+        let outcome = self.push_inner(item, started + grace);
+        if let Some(m) = &self.metrics {
+            m.enqueue_wait_ns
+                .record(started.elapsed().as_nanos() as u64);
+            if outcome == PushOutcome::Accepted {
+                m.depth.add(1);
+            }
+        }
+        outcome
+    }
+
+    fn push_inner(&self, item: T, deadline: Instant) -> PushOutcome {
         let mut st = lock_ignoring_poison(&self.state);
         loop {
             if st.closed {
@@ -89,6 +119,10 @@ impl<T> BoundedQueue<T> {
         loop {
             if let Some(item) = st.items.pop_front() {
                 self.not_full.notify_one();
+                drop(st);
+                if let Some(m) = &self.metrics {
+                    m.depth.add(-1);
+                }
                 return Some(item);
             }
             if st.closed {

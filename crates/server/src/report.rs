@@ -82,6 +82,9 @@ pub struct JobReport {
     /// Heap allocation events metered on the final attempt (0 when the
     /// meter is not installed).
     pub alloc_events: u64,
+    /// Bytes requested by those events (growth only for reallocs; 0
+    /// when the meter is not installed).
+    pub alloc_bytes: u64,
     /// Panics contained across all attempts of this job.
     pub panics_contained: u32,
     /// Whether the final attempt blew its wall-clock deadline.
@@ -145,6 +148,7 @@ impl JobReport {
         opt_u64(&mut out, "generator_seed", self.generator_seed);
         let _ = write!(out, ", \"wall_ns\": {}", self.wall_ns);
         let _ = write!(out, ", \"alloc_events\": {}", self.alloc_events);
+        let _ = write!(out, ", \"alloc_bytes\": {}", self.alloc_bytes);
         let _ = write!(out, ", \"panics_contained\": {}", self.panics_contained);
         let _ = write!(out, ", \"deadline_blown\": {}", self.deadline_blown);
         let _ = write!(out, ", \"verified\": {}", self.verified);
@@ -184,6 +188,29 @@ pub struct SoakSummary {
     pub unclassified_failures: usize,
     /// Completed reports that did not verify (must stay 0).
     pub unverified_completions: usize,
+    /// p50 of per-job wall clock (final attempt), over jobs that ran.
+    pub wall_p50_ns: Option<u64>,
+    /// p90 of per-job wall clock.
+    pub wall_p90_ns: Option<u64>,
+    /// p99 of per-job wall clock.
+    pub wall_p99_ns: Option<u64>,
+    /// p50 of admission queue wait (from the service's
+    /// `service_queue_wait_ns` histogram, when attached).
+    pub queue_wait_p50_ns: Option<u64>,
+    /// p90 of admission queue wait.
+    pub queue_wait_p90_ns: Option<u64>,
+    /// p99 of admission queue wait.
+    pub queue_wait_p99_ns: Option<u64>,
+}
+
+/// Exact percentile of a sorted sample (nearest-rank: the smallest
+/// element with at least `q` of the mass at or below it).
+fn percentile(sorted: &[u64], q: f64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
 }
 
 impl SoakSummary {
@@ -216,7 +243,27 @@ impl SoakSummary {
                 s.unverified_completions += 1;
             }
         }
+        // Latency percentiles over jobs that actually ran an attempt
+        // (shed and frame-rejected reports carry wall_ns 0 by
+        // construction and would drag the tail down artificially).
+        let mut walls: Vec<u64> = reports
+            .iter()
+            .filter(|r| !matches!(r.outcome, JobOutcome::Shed | JobOutcome::FrameRejected))
+            .map(|r| r.wall_ns)
+            .collect();
+        walls.sort_unstable();
+        s.wall_p50_ns = percentile(&walls, 0.50);
+        s.wall_p90_ns = percentile(&walls, 0.90);
+        s.wall_p99_ns = percentile(&walls, 0.99);
         s
+    }
+
+    /// Attaches queue-wait percentiles from the service's
+    /// `service_queue_wait_ns` histogram snapshot.
+    pub fn set_queue_wait(&mut self, snap: &tossa_trace::metrics::HistogramSnapshot) {
+        self.queue_wait_p50_ns = snap.quantile(0.50);
+        self.queue_wait_p90_ns = snap.quantile(0.90);
+        self.queue_wait_p99_ns = snap.quantile(0.99);
     }
 
     /// The soak gate: every invariant the chaos run must uphold.
@@ -248,6 +295,19 @@ impl std::fmt::Display for SoakSummary {
             self.ladder_violations,
             self.unclassified_failures,
             self.unverified_completions
+        )?;
+        fn ms(v: Option<u64>) -> String {
+            v.map_or_else(|| "-".to_string(), |n| format!("{:.2}ms", n as f64 / 1e6))
+        }
+        writeln!(
+            f,
+            "      job latency p50/p90/p99: {}/{}/{}; queue wait p50/p90/p99: {}/{}/{}",
+            ms(self.wall_p50_ns),
+            ms(self.wall_p90_ns),
+            ms(self.wall_p99_ns),
+            ms(self.queue_wait_p50_ns),
+            ms(self.queue_wait_p90_ns),
+            ms(self.queue_wait_p99_ns)
         )
     }
 }
@@ -274,6 +334,7 @@ mod tests {
             generator_seed: None,
             wall_ns: 10,
             alloc_events: 0,
+            alloc_bytes: 0,
             panics_contained: 0,
             deadline_blown: false,
             verified: true,

@@ -30,6 +30,7 @@
 use crate::budget::{AllocMeter, Budget};
 use crate::chaos::{site_seed, ChaosConfig, Fault, ServiceFault};
 use crate::ladder::{Ladder, Rung};
+use crate::metrics::{AttemptResult, ServiceMetrics, Stage};
 use crate::proto::{parse_frame, FrameError, JobRequest};
 use crate::queue::{BoundedQueue, PushOutcome};
 use crate::report::{JobOutcome, JobReport};
@@ -46,6 +47,7 @@ use tossa_core::error::{TossaError, VerifyError};
 use tossa_core::Experiment;
 use tossa_ir::interp::Trap;
 use tossa_trace::service::{JobCounter, JobCounterSet, SharedJobCounters};
+use tossa_trace::Counter;
 
 /// Service tuning.
 #[derive(Clone, Copy, Debug)]
@@ -91,10 +93,19 @@ pub struct Job {
     pub generator_seed: Option<u64>,
 }
 
+/// An accepted job plus its admission timestamp (the epoch the queue-
+/// and job-latency histograms measure from). Internal: the queue holds
+/// these so `Job` itself stays a plain constructible value.
+struct Admitted {
+    job: Job,
+    submitted_at: Instant,
+}
+
 struct Ctx {
     config: ServiceConfig,
     watchdog: Watchdog,
     counters: Arc<SharedJobCounters>,
+    metrics: Arc<ServiceMetrics>,
     attempt_keys: AtomicU64,
 }
 
@@ -104,7 +115,7 @@ struct Ctx {
 /// receiver `start` returned, in completion order.
 pub struct CompileService {
     ctx: Arc<Ctx>,
-    queue: Arc<BoundedQueue<Job>>,
+    queue: Arc<BoundedQueue<Admitted>>,
     reports: mpsc::Sender<JobReport>,
     workers: Vec<std::thread::JoinHandle<()>>,
     next_id: AtomicU64,
@@ -121,13 +132,18 @@ impl CompileService {
         } else {
             config.workers
         };
+        let metrics = Arc::new(ServiceMetrics::new());
         let ctx = Arc::new(Ctx {
             config,
             watchdog: Watchdog::start(Duration::from_millis(5)),
             counters: Arc::new(SharedJobCounters::new()),
+            metrics: Arc::clone(&metrics),
             attempt_keys: AtomicU64::new(0),
         });
-        let queue = Arc::new(BoundedQueue::new(config.queue_cap));
+        let queue = Arc::new(BoundedQueue::<Admitted>::with_metrics(
+            config.queue_cap,
+            metrics.queue_metrics(),
+        ));
         let (tx, rx) = mpsc::channel();
         let handles: Vec<_> = (0..workers)
             .map(|k| {
@@ -137,8 +153,27 @@ impl CompileService {
                 std::thread::Builder::new()
                     .name(format!("tossa-worker-{k}"))
                     .spawn(move || {
-                        while let Some(job) = queue.pop() {
-                            let report = process_job(&ctx, &job);
+                        while let Some(adm) = queue.pop() {
+                            let m = &ctx.metrics;
+                            m.queue_latency_ns
+                                .record(adm.submitted_at.elapsed().as_nanos() as u64);
+                            m.flight.record(
+                                adm.job.req.id,
+                                0,
+                                "dequeue",
+                                adm.job.req.func.name.clone(),
+                            );
+                            m.workers_busy.add(1);
+                            let report = process_job(&ctx, &adm.job);
+                            m.workers_busy.add(-1);
+                            m.job_latency(report.rung)
+                                .record(adm.submitted_at.elapsed().as_nanos() as u64);
+                            m.flight.record(
+                                report.id,
+                                report.attempts,
+                                "outcome",
+                                format!("{}/{}", report.outcome.name(), report.rung.name()),
+                            );
                             if tx.send(report).is_err() {
                                 break;
                             }
@@ -164,27 +199,65 @@ impl CompileService {
         self.ctx.counters.snapshot()
     }
 
+    /// The live shared counters, for threads that monitor a running
+    /// service (the periodic stats emitter) without borrowing it.
+    pub fn counters_handle(&self) -> Arc<SharedJobCounters> {
+        Arc::clone(&self.ctx.counters)
+    }
+
+    /// The service's telemetry: instrument registry + flight recorder.
+    /// The handle outlives [`CompileService::shutdown`], so final
+    /// percentiles and flight dumps stay readable after the workers
+    /// join.
+    pub fn metrics(&self) -> Arc<ServiceMetrics> {
+        Arc::clone(&self.ctx.metrics)
+    }
+
+    /// One `tossa-service-stats/1` line of the service's telemetry at
+    /// this instant — the answer to a `stats` control frame.
+    pub fn stats_json(&self) -> String {
+        self.ctx.metrics.stats_json(&self.ctx.counters.snapshot())
+    }
+
+    /// The Prometheus text exposition of the service's telemetry at
+    /// this instant.
+    pub fn prometheus(&self) -> String {
+        self.ctx.metrics.prometheus(&self.ctx.counters.snapshot())
+    }
+
     /// Submits an already-parsed job. A full queue applies backpressure
     /// for the admission grace, then sheds with a structured report.
     pub fn submit(&self, job: Job) -> PushOutcome {
+        let m = &self.ctx.metrics;
+        m.flight
+            .record(job.req.id, 0, "submit", job.req.func.name.clone());
         let shed_report = sketch_report(&job, &self.ctx.config);
-        let outcome = self.queue.push(job, self.ctx.config.admission_grace);
+        let adm = Admitted {
+            job,
+            submitted_at: Instant::now(),
+        };
+        let outcome = self.queue.push(adm, self.ctx.config.admission_grace);
         match outcome {
             PushOutcome::Accepted => {
                 self.ctx.counters.add(JobCounter::JobsSubmitted, 1);
             }
             PushOutcome::Shed => {
                 self.ctx.counters.add(JobCounter::JobsShed, 1);
+                m.flight
+                    .record(shed_report.id, 0, "shed", "service.queue_full");
                 let _ = self.reports.send(shed_report);
             }
         }
         outcome
     }
 
-    /// Parses and submits one frame line. Malformed frames (including
-    /// chaos-corrupted ones) are refused with a `FrameRejected` report
-    /// — admission never panics and never silently drops a line.
-    pub fn submit_frame(&self, line: &str) -> Result<u64, FrameError> {
+    /// Parses one frame line into an admissible request, applying
+    /// frame-level chaos and counting the refusal, but emitting **no**
+    /// report: callers that route responses per-connection (the TCP
+    /// front end) build the reject with
+    /// [`CompileService::frame_rejection`] and deliver it themselves.
+    /// The error carries the admission id assigned to the line.
+    pub fn admit_frame(&self, line: &str) -> Result<JobRequest, (u64, FrameError)> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let corrupted;
         let effective: &str = match self.ctx.config.chaos.and_then(|c| c.draw(id, 0)) {
@@ -195,16 +268,55 @@ impl CompileService {
             }
             _ => line,
         };
-        match parse_frame(effective, id) {
+        parse_frame(effective, id).map_err(|e| {
+            self.ctx.counters.add(JobCounter::FramesMalformed, 1);
+            self.ctx
+                .metrics
+                .flight
+                .record(id, 0, "frame_rejected", e.class_key());
+            (id, e)
+        })
+    }
+
+    /// Builds the structured `FrameRejected` report for a refusal from
+    /// [`CompileService::admit_frame`] (or a malformed control frame).
+    pub fn frame_rejection(&self, id: u64, e: &FrameError) -> JobReport {
+        frame_reject_report(id, e, &self.ctx.config)
+    }
+
+    /// Refuses a line that never reached frame parsing (an unknown
+    /// control verb): assigns an id, counts it as malformed, and
+    /// returns the report for the caller to deliver.
+    pub fn refuse_frame(&self, e: &FrameError) -> JobReport {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.ctx.counters.add(JobCounter::FramesMalformed, 1);
+        self.ctx
+            .metrics
+            .flight
+            .record(id, 0, "frame_rejected", e.class_key());
+        frame_reject_report(id, e, &self.ctx.config)
+    }
+
+    /// Injects a report into the service's response stream (used by
+    /// front ends for refusals they synthesize themselves).
+    pub fn emit_report(&self, report: JobReport) {
+        let _ = self.reports.send(report);
+    }
+
+    /// Parses and submits one frame line. Malformed frames (including
+    /// chaos-corrupted ones) are refused with a `FrameRejected` report
+    /// — admission never panics and never silently drops a line.
+    pub fn submit_frame(&self, line: &str) -> Result<u64, FrameError> {
+        match self.admit_frame(line) {
             Ok(req) => {
+                let id = req.id;
                 self.submit(Job {
                     req,
                     generator_seed: None,
                 });
                 Ok(id)
             }
-            Err(e) => {
-                self.ctx.counters.add(JobCounter::FramesMalformed, 1);
+            Err((id, e)) => {
                 let _ = self
                     .reports
                     .send(frame_reject_report(id, &e, &self.ctx.config));
@@ -275,6 +387,7 @@ fn sketch_report(job: &Job, config: &ServiceConfig) -> JobReport {
         generator_seed: job.generator_seed,
         wall_ns: 0,
         alloc_events: 0,
+        alloc_bytes: 0,
         panics_contained: 0,
         deadline_blown: false,
         verified: false,
@@ -301,6 +414,7 @@ fn frame_reject_report(id: u64, e: &FrameError, config: &ServiceConfig) -> JobRe
         generator_seed: None,
         wall_ns: 0,
         alloc_events: 0,
+        alloc_bytes: 0,
         panics_contained: 0,
         deadline_blown: false,
         verified: false,
@@ -373,6 +487,12 @@ fn process_job(ctx: &Ctx, job: &Job) -> JobReport {
         if fault.is_some() {
             ctx.counters.add(JobCounter::ServiceFaultsInjected, 1);
         }
+        ctx.metrics.flight.record(
+            job.req.id,
+            attempt,
+            "attempt",
+            fault.map_or_else(|| "clean".to_string(), |f| f.class()),
+        );
         let mut copts = copts_base;
         match fault {
             Some(Fault::Pipeline(c)) => {
@@ -419,6 +539,7 @@ fn process_job(ctx: &Ctx, job: &Job) -> JobReport {
         }));
         let wall_ns = started.elapsed().as_nanos() as u64;
         let alloc_events = meter.events();
+        let alloc_bytes = meter.bytes();
         drop(meter);
         let deadline_blown = watch.blown();
         drop(watch);
@@ -442,9 +563,36 @@ fn process_job(ctx: &Ctx, job: &Job) -> JobReport {
                 _ => None,
             },
         };
+
+        // Every attempt — transient or not — lands in exactly one
+        // result-keyed latency histogram (so e.g. the `panic` series
+        // count equals the PanicsContained counter) plus the compile
+        // stage and allocation-consumption histograms.
+        let attempt_result = match &transient {
+            Some(Transient::Panic(_)) => AttemptResult::Panic,
+            Some(Transient::Deadline) => AttemptResult::Deadline,
+            Some(Transient::AllocBudget(_)) => AttemptResult::AllocBudget,
+            None => AttemptResult::Ok,
+        };
+        let m = &ctx.metrics;
+        m.attempt_latency(attempt_result).record(wall_ns);
+        m.stage_latency(Stage::Compile).record(wall_ns);
+        m.alloc_events.record(alloc_events);
+        m.alloc_bytes.record(alloc_bytes);
+
         if let Some(t) = transient {
             if attempt >= config.max_attempts {
                 ctx.counters.add(JobCounter::JobsQuarantined, 1);
+                m.flight
+                    .record(job.req.id, attempt, "quarantine", t.class());
+                // The poisoned job's own trail goes to the log the
+                // moment it quarantines — the post-mortem is in stderr
+                // before anyone asks for a dump.
+                eprintln!(
+                    "tossa-serve: quarantined job {}: {}",
+                    job.req.id,
+                    m.flight.dump_json(&m.flight.for_job(job.req.id))
+                );
                 return JobReport {
                     id: job.req.id,
                     function: bf.func.name.clone(),
@@ -461,6 +609,7 @@ fn process_job(ctx: &Ctx, job: &Job) -> JobReport {
                     generator_seed: job.generator_seed,
                     wall_ns,
                     alloc_events,
+                    alloc_bytes,
                     panics_contained,
                     deadline_blown,
                     verified: false,
@@ -470,6 +619,7 @@ fn process_job(ctx: &Ctx, job: &Job) -> JobReport {
                 };
             }
             ctx.counters.add(JobCounter::JobsRetried, 1);
+            m.flight.record(job.req.id, attempt, "retry", t.class());
             std::thread::sleep(backoff(config.backoff_base, attempt));
             attempt += 1;
             continue;
@@ -480,6 +630,7 @@ fn process_job(ctx: &Ctx, job: &Job) -> JobReport {
         let Ok((outcome, counter_set)) = result else {
             unreachable!("transient classification covers the Err arm")
         };
+        m.fuel_used.record(counter_set.get(Counter::InterpSteps));
         let mut ladder = Ladder::new();
         let mut error_class = None;
         let mut error_text = None;
@@ -510,6 +661,7 @@ fn process_job(ctx: &Ctx, job: &Job) -> JobReport {
                     generator_seed: job.generator_seed,
                     wall_ns,
                     alloc_events,
+                    alloc_bytes,
                     panics_contained,
                     deadline_blown,
                     verified: false,
@@ -527,7 +679,10 @@ fn process_job(ctx: &Ctx, job: &Job) -> JobReport {
         // Independent post-hoc differential check of the code actually
         // being returned (the pipeline's own guards already verified
         // it; this is the service's output-side seal).
+        let verify_started = Instant::now();
         let verified = runner::verify(&bf.func, &outcome.func, &bf.inputs).is_ok();
+        m.stage_latency(Stage::Verify)
+            .record(verify_started.elapsed().as_nanos() as u64);
         return JobReport {
             id: job.req.id,
             function: bf.func.name.clone(),
@@ -544,6 +699,7 @@ fn process_job(ctx: &Ctx, job: &Job) -> JobReport {
             generator_seed: job.generator_seed,
             wall_ns,
             alloc_events,
+            alloc_bytes,
             panics_contained,
             deadline_blown,
             verified,

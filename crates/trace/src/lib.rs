@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod metrics;
 pub mod provenance;
 pub mod service;
 

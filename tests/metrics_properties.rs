@@ -1,0 +1,241 @@
+//! Property tests for the lock-free metrics registry (PR 10 tentpole):
+//! the log-linear bucket scheme is a stable, invertible partition of
+//! `u64`; snapshots are exact (no lost increments, even under
+//! concurrent writers across shards); and merge is a commutative
+//! monoid, so aggregation order — worker threads, soak snapshots,
+//! multi-process scrapes — can never change a reported quantile.
+//!
+//! The bucket boundaries are part of the wire format (`le` labels in
+//! the Prometheus exposition, `buckets` arrays in
+//! `tossa-service-stats/1`), so a handful of golden values are pinned
+//! here: drifting them silently corrupts every dashboard downstream.
+
+use tossa::trace::metrics::{
+    bucket_bounds, bucket_index, bucket_le, Histogram, HistogramSnapshot, BUCKET_COUNT, SUB_BUCKETS,
+};
+
+/// A deterministic probe set that hits every regime: the identity
+/// range, every octave boundary ±1, wide interior points from an LCG,
+/// and the saturating top.
+fn probes() -> Vec<u64> {
+    let mut vs: Vec<u64> = (0..256).collect();
+    for bits in 3..64u32 {
+        let p = 1u64 << bits;
+        vs.extend([p - 1, p, p + 1]);
+    }
+    let mut x = 0x243F_6A88_85A3_08D3u64; // deterministic LCG walk
+    for _ in 0..4096 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        vs.push(x);
+    }
+    vs.extend([u64::MAX - 1, u64::MAX]);
+    vs
+}
+
+#[test]
+fn bucket_index_is_monotone_and_bounds_invert_it() {
+    let mut vs = probes();
+    vs.sort_unstable();
+    let mut prev = 0usize;
+    for (k, &v) in vs.iter().enumerate() {
+        let i = bucket_index(v);
+        assert!(i < BUCKET_COUNT, "bucket_index({v}) = {i} out of range");
+        assert!(k == 0 || i >= prev, "bucket_index not monotone at {v}");
+        prev = i;
+        let (lo, hi) = bucket_bounds(i);
+        assert!(
+            lo <= v && (v < hi || hi == u64::MAX),
+            "bucket {i} = [{lo}, {hi}) does not contain {v}"
+        );
+        assert!(v <= bucket_le(i), "le bound below member {v}");
+    }
+}
+
+#[test]
+fn buckets_tile_the_u64_range_without_gaps() {
+    // Consecutive buckets abut exactly: each hi is the next lo, so the
+    // partition has no gaps and no overlaps until the saturating top.
+    let mut expect_lo = 0u64;
+    for i in 0..BUCKET_COUNT {
+        let (lo, hi) = bucket_bounds(i);
+        assert_eq!(lo, expect_lo, "bucket {i} leaves a gap");
+        assert!(hi > lo, "bucket {i} is empty");
+        if hi == u64::MAX {
+            // Saturated top; every later bucket is unreachable padding.
+            return;
+        }
+        expect_lo = hi;
+    }
+    panic!("partition never reached the top of the u64 range");
+}
+
+/// The boundaries are wire format. These exact values appear as
+/// `le="…"` labels in the Prometheus exposition and must never drift.
+#[test]
+fn golden_bucket_boundaries_are_pinned() {
+    for v in 0..SUB_BUCKETS as u64 {
+        assert_eq!(bucket_index(v), v as usize, "identity range broken");
+        assert_eq!(bucket_le(v as usize), v);
+    }
+    let golden: [(u64, usize, u64); 7] = [
+        // (value, bucket, le)
+        (8, 8, 8),
+        (15, 15, 15),
+        (16, 16, 17),
+        (100, 36, 103),
+        (1_000, 63, 1_023),
+        (1_000_000, 143, 1_048_575),
+        (1_000_000_000, 222, 1_006_632_959),
+    ];
+    for (v, idx, le) in golden {
+        assert_eq!(bucket_index(v), idx, "bucket_index({v}) drifted");
+        assert_eq!(bucket_le(idx), le, "bucket_le({idx}) drifted");
+    }
+    // Relative error bound: a recorded value is never reported (via its
+    // le bound) more than 1/SUB_BUCKETS = 12.5% above its true value.
+    for &v in probes().iter().filter(|&&v| v >= SUB_BUCKETS as u64) {
+        let le = bucket_le(bucket_index(v));
+        if le != u64::MAX {
+            assert!(
+                (le - v) as f64 / v as f64 <= 0.125,
+                "bucket for {v} reports {le}: error above 12.5%"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_count_equals_sum_of_buckets_and_tracks_extremes() {
+    let h = Histogram::new();
+    let vs = probes();
+    let mut sum = 0u64;
+    for &v in &vs {
+        h.record(v);
+        sum = sum.wrapping_add(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, vs.len() as u64);
+    assert_eq!(s.buckets.iter().sum::<u64>(), s.count, "count != Σ buckets");
+    assert_eq!(s.sum, sum);
+    assert_eq!(s.min, vs.iter().copied().min());
+    assert_eq!(s.max, vs.iter().copied().max());
+}
+
+#[test]
+fn no_increment_is_lost_under_concurrent_writers() {
+    const THREADS: usize = 16;
+    const PER_THREAD: u64 = 20_000;
+    let h = std::sync::Arc::new(Histogram::new());
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = std::sync::Arc::clone(&h);
+            std::thread::spawn(move || {
+                for k in 0..PER_THREAD {
+                    // Spread across octaves so shards see real contention
+                    // on distinct buckets, not one hot slot.
+                    h.record((t as u64 + 1) * 1000 + k % 997);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("writer panicked");
+    }
+    let s = h.snapshot();
+    assert_eq!(
+        s.count,
+        THREADS as u64 * PER_THREAD,
+        "lost increments across shards"
+    );
+    assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+}
+
+/// Splits `vs` into `parts` chunks, records each into its own
+/// histogram, and merges the snapshots in the given order.
+fn merged(vs: &[u64], parts: usize, order: impl Fn(usize) -> usize) -> HistogramSnapshot {
+    let mut snaps: Vec<HistogramSnapshot> = (0..parts)
+        .map(|p| {
+            let h = Histogram::new();
+            for (k, &v) in vs.iter().enumerate() {
+                if k % parts == p {
+                    h.record(v);
+                }
+            }
+            h.snapshot()
+        })
+        .collect();
+    let mut acc = HistogramSnapshot::empty();
+    for k in 0..parts {
+        acc.merge(&snaps[order(k)]);
+    }
+    // `merge` must not mutate its argument.
+    for s in &mut snaps {
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+    }
+    acc
+}
+
+#[test]
+fn merge_is_order_independent_and_matches_single_recording() {
+    let vs = probes();
+    let whole = {
+        let h = Histogram::new();
+        for &v in &vs {
+            h.record(v);
+        }
+        h.snapshot()
+    };
+    let forward = merged(&vs, 7, |k| k);
+    let backward = merged(&vs, 7, |k| 6 - k);
+    let interleaved = merged(&vs, 7, |k| (k * 3) % 7);
+    for (name, s) in [
+        ("forward", &forward),
+        ("backward", &backward),
+        ("interleaved", &interleaved),
+    ] {
+        assert_eq!(s.count, whole.count, "{name}: count drifted");
+        assert_eq!(s.sum, whole.sum, "{name}: sum drifted");
+        assert_eq!(s.min, whole.min, "{name}: min drifted");
+        assert_eq!(s.max, whole.max, "{name}: max drifted");
+        assert_eq!(s.buckets, whole.buckets, "{name}: buckets drifted");
+    }
+}
+
+#[test]
+fn quantiles_are_deterministic_across_aggregation_orders() {
+    let vs = probes();
+    let a = merged(&vs, 5, |k| k);
+    let b = merged(&vs, 5, |k| 4 - k);
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(a.quantile(q), b.quantile(q), "q={q} depends on order");
+    }
+    // Quantiles are monotone in q and bracketed by the exact extremes.
+    let p50 = a.quantile(0.5).expect("nonempty");
+    let p90 = a.quantile(0.9).expect("nonempty");
+    let p99 = a.quantile(0.99).expect("nonempty");
+    assert!(p50 <= p90 && p90 <= p99, "{p50} / {p90} / {p99}");
+    assert!(a.quantile(0.0).expect("nonempty") >= a.min.expect("nonempty"));
+    assert!(a.quantile(1.0).expect("nonempty") <= a.max.expect("nonempty"));
+    assert_eq!(HistogramSnapshot::empty().quantile(0.5), None);
+}
+
+#[test]
+fn quantile_error_is_bounded_by_the_bucket_scheme() {
+    // Against a known distribution: 10_000 uniform values 1..=10_000,
+    // the reported p50 must land within one bucket of the true median.
+    let h = Histogram::new();
+    for v in 1..=10_000u64 {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    let p50 = s.quantile(0.5).expect("nonempty");
+    let true_median = 5_000u64;
+    assert!(
+        p50 >= true_median && (p50 - true_median) as f64 / true_median as f64 <= 0.125,
+        "p50 {p50} outside the 12.5% envelope around {true_median}"
+    );
+    let snap_json = s.to_json();
+    tossa::trace::validate_json(&snap_json).expect("snapshot JSON well-formed");
+}

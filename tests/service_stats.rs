@@ -1,0 +1,326 @@
+//! Golden tests for the service telemetry surface (PR 10): the closed
+//! metric name set, the `tossa-service-stats/1` stats document, the
+//! Prometheus exposition, the flight-recorder lifecycle trail, and the
+//! reconciliation identities that tie every histogram back to the
+//! [`JobCounter`] totals. Names and schema fields pinned here are wire
+//! format — dashboards and the CI smoke grep for them verbatim, so a
+//! rename must fail a test before it reaches a scrape.
+
+use std::collections::BTreeSet;
+
+use tossa::bench::checked::fuzz_suite;
+use tossa::server::proto::default_inputs;
+use tossa::server::report::JobReport;
+use tossa::server::service::{CompileService, Job, ServiceConfig};
+use tossa::server::{ChaosConfig, JobRequest, ServiceMetrics, FLIGHT_STAGES};
+use tossa::trace::json::{parse_json, Json};
+use tossa::trace::service::{JobCounter, JobCounterSet};
+
+const SEED: u64 = 0x0005_7A75;
+
+fn jobs(n: usize) -> Vec<Job> {
+    fuzz_suite(n, SEED)
+        .functions
+        .into_iter()
+        .enumerate()
+        .map(|(k, bf)| {
+            let id = k as u64 + 1;
+            let inputs = default_inputs(&bf.func, id);
+            Job {
+                req: JobRequest {
+                    id,
+                    func: bf.func,
+                    experiment: None,
+                    inputs,
+                    inputs_seed: Some(id),
+                },
+                generator_seed: Some(SEED.wrapping_add(k as u64)),
+            }
+        })
+        .collect()
+}
+
+/// `run_batch`, but keeping the telemetry handle alive past shutdown
+/// so the tests can interrogate the final instrument state.
+fn run_instrumented(
+    config: ServiceConfig,
+    jobs: Vec<Job>,
+) -> (
+    Vec<JobReport>,
+    JobCounterSet,
+    std::sync::Arc<ServiceMetrics>,
+) {
+    let (service, rx) = CompileService::start(config);
+    let metrics = service.metrics();
+    let collector = std::thread::spawn(move || {
+        let mut reports: Vec<JobReport> = rx.iter().collect();
+        reports.sort_by_key(|r| r.id);
+        reports
+    });
+    for job in jobs {
+        service.submit(job);
+    }
+    let counters = service.shutdown();
+    let reports = collector.join().unwrap_or_default();
+    (reports, counters, metrics)
+}
+
+fn chaos_config() -> ServiceConfig {
+    ServiceConfig {
+        queue_cap: 64,
+        chaos: Some(ChaosConfig {
+            seed: 0xC4A0_5EED,
+            rate_pct: 30,
+        }),
+        budget: tossa::server::Budget {
+            deadline: std::time::Duration::from_secs(1),
+            ..Default::default()
+        },
+        ..ServiceConfig::default()
+    }
+}
+
+fn hist_count(doc: &Json, full_name: &str) -> u64 {
+    doc.get("metrics")
+        .and_then(|m| m.get("histograms"))
+        .and_then(|h| h.get(full_name))
+        .and_then(|h| h.get("count"))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats lacks histogram {full_name:?}"))
+}
+
+/// The complete instrument set, by full name. Wire format: the CI
+/// smoke and the EXPERIMENTS.md walkthrough grep for these strings.
+#[test]
+fn metric_name_set_is_pinned_and_closed() {
+    let (_, _, metrics) = run_instrumented(ServiceConfig::default(), jobs(8));
+    let got: BTreeSet<String> = metrics
+        .snapshot()
+        .metrics
+        .iter()
+        .map(|m| m.full_name())
+        .collect();
+    let want: BTreeSet<String> = [
+        "service_alloc_bytes",
+        "service_alloc_events",
+        "service_attempt_latency_ns{result=\"alloc_budget\"}",
+        "service_attempt_latency_ns{result=\"deadline\"}",
+        "service_attempt_latency_ns{result=\"ok\"}",
+        "service_attempt_latency_ns{result=\"panic\"}",
+        "service_fuel_used",
+        "service_job_latency_ns{rung=\"checked\"}",
+        "service_job_latency_ns{rung=\"naive_fallback\"}",
+        "service_job_latency_ns{rung=\"reject\"}",
+        "service_queue_depth",
+        "service_queue_latency_ns",
+        "service_queue_wait_ns",
+        "service_report_io_errors",
+        "service_stage_latency_ns{stage=\"compile\"}",
+        "service_stage_latency_ns{stage=\"verify\"}",
+        "service_workers_busy",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    assert_eq!(
+        got, want,
+        "the instrument set changed — update DESIGN.md §16, the CI smoke \
+         greps, and this golden list together"
+    );
+}
+
+/// The stats document is schema-tagged, machine-readable, embeds the
+/// job counters verbatim, and its histograms reconcile with them.
+#[test]
+fn stats_frame_reconciles_with_final_counters() {
+    let (reports, counters, metrics) = run_instrumented(chaos_config(), jobs(120));
+    assert_eq!(reports.len(), 120);
+    let json = metrics.stats_json(&counters);
+    tossa::trace::validate_json(&json).expect("stats frame is well-formed JSON");
+    let doc = parse_json(&json).expect("stats frame parses");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("tossa-service-stats/1")
+    );
+    assert!(doc.get("uptime_ns").and_then(Json::as_u64).is_some());
+
+    // The jobs object is the counter set verbatim: every name, every
+    // total, nothing else.
+    let jobs_obj = doc
+        .get("jobs")
+        .and_then(Json::as_obj)
+        .expect("stats carries a jobs object");
+    assert_eq!(jobs_obj.len(), JobCounter::COUNT);
+    for c in JobCounter::ALL {
+        assert_eq!(
+            doc.get("jobs")
+                .and_then(|j| j.get(c.name()))
+                .and_then(Json::as_u64),
+            Some(counters.get(c)),
+            "jobs.{} diverged from the final counter set",
+            c.name()
+        );
+    }
+
+    // Reconciliation identities: each latency series counts exactly the
+    // population its label names.
+    let submitted = counters.get(JobCounter::JobsSubmitted);
+    let shed = counters.get(JobCounter::JobsShed);
+    assert_eq!(
+        hist_count(&doc, "service_queue_wait_ns"),
+        submitted + shed,
+        "every admission attempt waits on the queue exactly once"
+    );
+    assert_eq!(
+        hist_count(&doc, "service_queue_latency_ns"),
+        submitted,
+        "every accepted job is dequeued exactly once"
+    );
+    assert_eq!(
+        hist_count(&doc, "service_attempt_latency_ns{result=\"panic\"}"),
+        counters.get(JobCounter::PanicsContained),
+        "panic-attempt latencies must count the contained panics"
+    );
+    assert_eq!(
+        hist_count(&doc, "service_attempt_latency_ns{result=\"deadline\"}"),
+        counters.get(JobCounter::DeadlinesBlown)
+    );
+    assert_eq!(
+        hist_count(&doc, "service_attempt_latency_ns{result=\"alloc_budget\"}"),
+        counters.get(JobCounter::AllocBudgetExceeded)
+    );
+    let worker_reports = counters.get(JobCounter::JobsCompletedChecked)
+        + counters.get(JobCounter::JobsCompletedFallback)
+        + counters.get(JobCounter::JobsRejected)
+        + counters.get(JobCounter::JobsQuarantined);
+    let job_latency_total: u64 = [
+        "service_job_latency_ns{rung=\"checked\"}",
+        "service_job_latency_ns{rung=\"naive_fallback\"}",
+        "service_job_latency_ns{rung=\"reject\"}",
+    ]
+    .iter()
+    .map(|n| hist_count(&doc, n))
+    .sum();
+    assert_eq!(
+        job_latency_total, worker_reports,
+        "every worker-delivered report lands in exactly one rung series"
+    );
+    // Chaos actually drove the envelope, so the identities above are
+    // non-vacuous.
+    assert!(counters.get(JobCounter::PanicsContained) > 0);
+
+    // Flight summary: ring capacity and a recorded-count floor (at
+    // least submit + dequeue + attempt + outcome per worker report).
+    let flight = doc.get("flight").expect("stats carries a flight object");
+    assert_eq!(
+        flight.get("capacity").and_then(Json::as_u64),
+        Some(metrics.flight.capacity() as u64)
+    );
+    let recorded = flight
+        .get("recorded")
+        .and_then(Json::as_u64)
+        .expect("flight.recorded");
+    assert!(recorded >= 4 * worker_reports, "flight trail too sparse");
+
+    // Gauges settle: no worker is busy and the queue is empty after
+    // shutdown.
+    let gauge = |name: &str| {
+        doc.get("metrics")
+            .and_then(|m| m.get("gauges"))
+            .and_then(|g| g.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("stats lacks gauge {name:?}"))
+    };
+    assert_eq!(gauge("service_workers_busy"), 0.0);
+    assert_eq!(gauge("service_queue_depth"), 0.0);
+}
+
+#[test]
+fn prometheus_exposition_covers_jobs_and_instruments() {
+    let (_, counters, metrics) = run_instrumented(ServiceConfig::default(), jobs(10));
+    let text = metrics.prometheus(&counters);
+    assert!(text.contains("# TYPE tossa_jobs_submitted counter"));
+    assert!(text.contains(&format!(
+        "tossa_jobs_submitted {}",
+        counters.get(JobCounter::JobsSubmitted)
+    )));
+    assert!(text.contains("# TYPE tossa_service_queue_depth gauge"));
+    assert!(text.contains("# TYPE tossa_service_queue_latency_ns histogram"));
+    assert!(text.contains("tossa_service_queue_latency_ns_bucket{le=\"+Inf\"} 10"));
+    assert!(text.contains("tossa_service_queue_latency_ns_count 10"));
+    assert!(text.contains("tossa_service_job_latency_ns_bucket{rung=\"checked\",le="));
+    // The cumulative bucket series is monotone for every histogram.
+    for family in ["tossa_service_queue_latency_ns", "tossa_service_fuel_used"] {
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with(&format!("{family}_bucket")))
+        {
+            let v: u64 = line
+                .rsplit(' ')
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("bad exposition line {line:?}"));
+            assert!(v >= last, "non-cumulative bucket series: {line}");
+            last = v;
+        }
+        assert!(last > 0, "{family} recorded nothing");
+    }
+}
+
+/// A clean job leaves the canonical trail: submit → dequeue → attempt
+/// → outcome, in order, with the documented details.
+#[test]
+fn flight_recorder_captures_the_job_lifecycle_in_order() {
+    let (reports, _, metrics) = run_instrumented(ServiceConfig::default(), jobs(4));
+    assert_eq!(reports.len(), 4);
+    for id in 1..=4u64 {
+        let trail = metrics.flight.for_job(id);
+        let stages: Vec<&str> = trail.iter().map(|e| e.stage).collect();
+        assert_eq!(
+            stages,
+            ["submit", "dequeue", "attempt", "outcome"],
+            "job {id}: unexpected lifecycle trail"
+        );
+        for e in &trail {
+            assert!(FLIGHT_STAGES.contains(&e.stage));
+            assert_eq!(e.job, id);
+        }
+        assert_eq!(
+            trail[2].detail, "clean",
+            "attempt detail records chaos class"
+        );
+        assert_eq!(trail[3].detail, "completed/checked");
+        assert!(
+            trail.windows(2).all(|w| w[0].at_ns <= w[1].at_ns),
+            "job {id}: trail timestamps not monotone"
+        );
+    }
+    // The dump is schema-tagged, machine-readable JSON.
+    let dump = metrics.flight.to_json();
+    tossa::trace::validate_json(&dump).expect("flight dump is well-formed JSON");
+    assert!(dump.contains("\"schema\": \"tossa-flight-recorder/1\""));
+    let doc = parse_json(&dump).expect("flight dump parses");
+    let events = doc
+        .get("events")
+        .and_then(Json::as_arr)
+        .expect("dump carries events");
+    assert_eq!(events.len() as u64, metrics.flight.recorded());
+    assert_eq!(metrics.flight.dropped(), 0);
+}
+
+/// The ring stays bounded: overflow evicts the oldest events and
+/// counts them as dropped instead of growing without bound.
+#[test]
+fn flight_ring_evicts_oldest_on_overflow() {
+    let r = tossa::server::FlightRecorder::new(8);
+    for k in 0..20u64 {
+        r.record(k, 0, "submit", "f");
+    }
+    let snap = r.snapshot();
+    assert_eq!(snap.len(), 8, "ring exceeded its capacity");
+    let ids: Vec<u64> = snap.iter().map(|e| e.job).collect();
+    assert_eq!(ids, (12..20).collect::<Vec<u64>>(), "not the newest events");
+    assert_eq!(r.recorded(), 20);
+    assert_eq!(r.dropped(), 12);
+}
